@@ -1,0 +1,123 @@
+// Ablation (Sec. III-A / III-C3): the state-transfer partial-locking
+// protocol vs locking every slot access.
+//
+// Claims to verify:
+//   * exclusive key-lock events in the state-transfer table happen once
+//     per DISTINCT vertex (its insertion) — with distinct/total ~ 1/5,
+//     that removes ~80% of the key locking of a lock-per-access scheme;
+//   * this translates into faster builds under the same workload.
+#include "bench_common.h"
+#include "concurrent/kmer_table.h"
+#include "concurrent/mutex_table.h"
+#include "core/subgraph.h"
+#include "io/partition_file.h"
+
+namespace {
+
+using namespace parahash;
+
+/// Same kernel as hash_process_records but against any table type.
+template <typename Table>
+concurrent::TableStats drive(const io::PartitionBlob& blob, Table& table) {
+  const int k = static_cast<int>(blob.header().k);
+  concurrent::TableStats stats;
+  std::vector<std::uint8_t> seq;
+  for (const auto offset : io::record_offsets(blob)) {
+    const auto view = io::record_at(blob, offset);
+    seq.resize(view.n_bases);
+    for (int i = 0; i < view.n_bases; ++i) seq[i] = view.base(i);
+    const int core_begin = view.core_begin();
+    Kmer<1> fwd(k);
+    for (int i = 0; i < k; ++i) fwd.roll_append(seq[core_begin + i]);
+    Kmer<1> rc = fwd.reverse_complement();
+    const int n = view.n_bases;
+    for (int j = 0; j < view.kmer_count(k); ++j) {
+      const int pos = core_begin + j;
+      if (j > 0) {
+        const std::uint8_t b = seq[pos + k - 1];
+        fwd.roll_append(b);
+        rc.roll_prepend(complement(b));
+      }
+      const int left = pos > 0 ? seq[pos - 1] : -1;
+      const int right = pos + k < n ? seq[pos + k] : -1;
+      const bool flipped = rc < fwd;
+      int eo;
+      int ei;
+      if (!flipped) {
+        eo = right;
+        ei = left;
+      } else {
+        eo = left >= 0 ? complement(static_cast<std::uint8_t>(left)) : -1;
+        ei = right >= 0 ? complement(static_cast<std::uint8_t>(right)) : -1;
+      }
+      stats.absorb(table.add(flipped ? rc : fwd, eo, ei));
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — state-transfer locking vs lock-per-access",
+      "Sec. III-A / III-C3 (the '80% lock reduction' claim)");
+
+  io::TempDir dir("bench_lock");
+  auto spec = bench::bench_chr14();
+  spec.coverage = 42.0;  // deep coverage: many duplicates per vertex
+  const std::string fastq = bench::dataset_path(dir, spec);
+
+  core::MspConfig msp;
+  msp.k = 27;
+  msp.p = 11;
+  msp.num_partitions = 8;
+  const auto paths = bench::make_partitions(dir, fastq, msp, "lock");
+
+  std::uint64_t adds = 0;
+  std::uint64_t distinct = 0;
+  double state_transfer_seconds = 0;
+  double mutex_seconds = 0;
+
+  for (const auto& path : paths) {
+    const auto blob = io::PartitionBlob::read_file(path);
+    const auto slots =
+        core::hash_table_slots(blob.header().kmer_count, 2.0, 0.7);
+
+    concurrent::ConcurrentKmerTable<1> fine(slots, msp.k);
+    WallTimer t1;
+    const auto stats = drive(blob, fine);
+    state_transfer_seconds += t1.seconds();
+    adds += stats.adds;
+    distinct += stats.inserts;
+
+    concurrent::MutexShardTable<1> coarse(slots, msp.k);
+    WallTimer t2;
+    drive(blob, coarse);
+    mutex_seconds += t2.seconds();
+  }
+
+  const double lock_events_fine = static_cast<double>(distinct);
+  const double lock_events_coarse = static_cast<double>(adds);
+  std::printf("total <kmer,edge> adds:            %llu\n",
+              static_cast<unsigned long long>(adds));
+  std::printf("distinct vertices:                 %llu (%.1f%% of adds)\n",
+              static_cast<unsigned long long>(distinct),
+              100.0 * lock_events_fine / lock_events_coarse);
+  std::printf("exclusive key locks, state-transfer: %llu (one per distinct"
+              " vertex)\n",
+              static_cast<unsigned long long>(distinct));
+  std::printf("exclusive key locks, lock-per-access: %llu (one per add)\n",
+              static_cast<unsigned long long>(adds));
+  std::printf("lock reduction:                    %.1f%%\n",
+              100.0 * (1.0 - lock_events_fine / lock_events_coarse));
+  std::printf("\nbuild time, state-transfer table:  %.3f s\n",
+              state_transfer_seconds);
+  std::printf("build time, lock-per-access table: %.3f s (%.2fx)\n",
+              mutex_seconds, mutex_seconds / state_transfer_seconds);
+
+  std::printf("\nshape check (paper): distinct ~ 1/5 of adds at deep "
+              "coverage -> ~80%% fewer\nexclusive key locks; the fine-"
+              "grained table builds faster.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary prints the rows of one table/figure of the paper.
+// Dataset sizes are scaled to this machine; set PARAHASH_BENCH_SCALE
+// (default 1.0) to grow or shrink every dataset proportionally.
+#pragma once
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+#include "util/mem.h"
+
+namespace parahash::bench {
+
+inline double bench_scale() {
+  const char* env = std::getenv("PARAHASH_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+/// The two paper datasets, scaled for bench runs. The chr14-like preset
+/// lands around a 150 kbp genome / ~60k reads at scale 1 — small enough
+/// that the full bench suite finishes in minutes on one core.
+inline sim::DatasetSpec bench_chr14() {
+  auto spec = sim::human_chr14_like(0.15 * bench_scale());
+  return spec;
+}
+
+inline sim::DatasetSpec bench_bumblebee() {
+  // Trim the bee's 150x coverage to 40x so the "big" dataset stays ~6x
+  // the small one rather than 30x; the graph-size ratio survives.
+  auto spec = sim::bumblebee_like(0.15 * bench_scale());
+  spec.coverage = 40.0;
+  return spec;
+}
+
+/// Simulates `spec` into dir and returns the FASTQ path (cached per dir).
+inline std::string dataset_path(const io::TempDir& dir,
+                                const sim::DatasetSpec& spec) {
+  const std::string path = dir.file(spec.name + ".fastq");
+  if (!std::ifstream(path).good()) {
+    sim::write_dataset(spec, path);
+  }
+  return path;
+}
+
+/// Runs Step 1 once and returns the partition paths (kept in dir).
+inline std::vector<std::string> make_partitions(
+    const io::TempDir& dir, const std::string& fastq,
+    const core::MspConfig& msp, const std::string& tag) {
+  pipeline::Options options;
+  options.msp = msp;
+  options.cpu_threads = 2;
+  options.work_dir = dir.file("parts_" + tag);
+  options.keep_partitions = true;
+  pipeline::ParaHash<1> system(options);
+  pipeline::StepReport report;
+  return system.run_partitioning(fastq, report);
+}
+
+struct SubprocessResult {
+  double seconds = 0;
+  std::uint64_t peak_rss = 0;
+  std::uint64_t value = 0;  ///< bench-specific payload (e.g. #vertices)
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs `fn` in a forked child so its peak RSS is measured in isolation
+/// (VmHWM is monotonic per process — Table III needs per-configuration
+/// peaks). The child writes its result to a pipe.
+inline SubprocessResult run_isolated(
+    const std::function<SubprocessResult()>& fn) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return {.error = "pipe() failed"};
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return {.error = "fork() failed"};
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    SubprocessResult r;
+    try {
+      r = fn();
+      r.peak_rss = peak_rss_bytes();
+      r.ok = r.error.empty();
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error = e.what();
+    }
+    // Fixed-size wire record: ok, seconds, rss, value, error[240].
+    char buffer[280] = {};
+    buffer[0] = r.ok ? 1 : 0;
+    std::memcpy(buffer + 8, &r.seconds, 8);
+    std::memcpy(buffer + 16, &r.peak_rss, 8);
+    std::memcpy(buffer + 24, &r.value, 8);
+    std::snprintf(buffer + 32, 240, "%s", r.error.c_str());
+    ssize_t unused = write(fds[1], buffer, sizeof(buffer));
+    (void)unused;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  char buffer[280] = {};
+  std::size_t got = 0;
+  while (got < sizeof(buffer)) {
+    const ssize_t n = read(fds[0], buffer + got, sizeof(buffer) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+
+  SubprocessResult r;
+  if (got < sizeof(buffer)) {
+    r.ok = false;
+    r.error = "child crashed";
+    return r;
+  }
+  r.ok = buffer[0] == 1;
+  std::memcpy(&r.seconds, buffer + 8, 8);
+  std::memcpy(&r.peak_rss, buffer + 16, 8);
+  std::memcpy(&r.value, buffer + 24, 8);
+  r.error = buffer + 32;
+  return r;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("bench scale: %.2f (PARAHASH_BENCH_SCALE)\n", bench_scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace parahash::bench

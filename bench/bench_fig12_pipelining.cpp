@@ -1,0 +1,74 @@
+// Fig. 12: non-pipelined stage breakdown vs pipelined elapsed time.
+//
+// Paper findings to reproduce in shape:
+//   * chr14 (fast IO): pipelining pushes the elapsed time well below the
+//     sum of the stage times (compute hidden behind IO and vice versa);
+//   * bumblebee (IO-bound, modelled with a throttled channel here):
+//     the elapsed time collapses towards max(input, output) — roughly
+//     half the stage-time sum, because input and output overlap.
+#include "bench_common.h"
+#include "pipeline/parahash.h"
+
+namespace {
+
+void run_case(const char* label, const parahash::sim::DatasetSpec& spec,
+              double io_bytes_per_sec) {
+  using namespace parahash;
+  io::TempDir dir(std::string("bench_fig12_") + label);
+  const std::string fastq = bench::dataset_path(dir, spec);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 32;
+  options.cpu_threads = 2;
+  options.num_gpus = 1;
+  options.gpu.threads = 2;
+  options.input_bytes_per_sec = io_bytes_per_sec;
+  options.output_bytes_per_sec = io_bytes_per_sec;
+  options.write_subgraphs = io_bytes_per_sec > 0;
+
+  std::printf("\n=== %s (IO %s) ===\n", label,
+              io_bytes_per_sec > 0 ? "throttled" : "memory-speed");
+  std::printf("%-8s %10s %12s %10s %12s | %12s %10s\n", "step",
+              "input(s)", "compute(s)", "output(s)", "stage sum", "",
+              "elapsed(s)");
+
+  for (const bool pipelined : {false, true}) {
+    options.pipelined = pipelined;
+    pipeline::ParaHash<1> system(options);
+    auto [graph, report] = system.construct(fastq);
+    for (const auto& [name, step] :
+         {std::pair{"step1", &report.step1}, std::pair{"step2",
+                                                       &report.step2}}) {
+      const auto& t = step->times;
+      const double sum =
+          t.input_seconds + t.compute_seconds + t.output_seconds;
+      std::printf("%-8s %10.3f %12.3f %10.3f %12.3f | %12s %10.3f\n", name,
+                  t.input_seconds, t.compute_seconds, t.output_seconds, sum,
+                  pipelined ? "pipelined" : "sequential",
+                  t.elapsed_seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace parahash;
+  bench::print_header("Fig. 12 — pipelining vs stage-time breakdown",
+                      "Fig. 12 (Sec. V-C2)");
+
+  run_case("chr14-like", bench::bench_chr14(), 0);
+
+  auto bee = bench::bench_bumblebee();
+  // Throttle to make T_io dominate compute (the paper's disk-bound
+  // regime for the 92 GB dataset).
+  run_case("bumblebee-like", bee, 30e6);
+
+  std::printf("\nshape check (paper): with fast IO, pipelined elapsed << "
+              "sequential stage sum;\nwith dominant IO, pipelined elapsed "
+              "~ max(input, output) — about half the sum,\nsince input and "
+              "output overlap and computation hides inside the transfer.\n");
+  return 0;
+}

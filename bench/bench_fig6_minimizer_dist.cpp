@@ -1,0 +1,76 @@
+// Fig. 6: distribution of superkmers and kmers across partitions as the
+// minimizer length P varies (32 partitions, Human Chr14).
+//
+// Paper findings to reproduce in shape:
+//   * larger P -> more superkmers (shorter average superkmer), and
+//   * larger P -> much lower variance of per-partition kmer counts
+//     (balanced partitions), which is why the paper sets P >= 11.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/msp.h"
+#include "io/fastx.h"
+
+int main() {
+  using namespace parahash;
+  bench::print_header("Fig. 6 — partition distribution vs minimizer length P",
+                      "Fig. 6 (Sec. V-B1)");
+
+  io::TempDir dir("bench_fig6");
+  const auto spec = bench::bench_chr14();
+  const std::string fastq = bench::dataset_path(dir, spec);
+
+  io::FastxChunker chunker(fastq, 1u << 30);
+  io::ReadBatch batch;
+  chunker.next(batch);
+  std::printf("reads: %zu, bases: %zu\n\n", batch.size(),
+              batch.total_bases());
+
+  std::printf("%4s %14s %14s %16s %16s %10s\n", "P", "#superkmers(K)",
+              "mean sk len", "min kmers/part", "max kmers/part", "CV");
+
+  for (const int p : {5, 7, 9, 11, 13, 15}) {
+    core::MspConfig config;
+    config.k = 27;
+    config.p = p;
+    config.num_partitions = 32;
+
+    core::MspBatchOutput out(config.num_partitions);
+    core::msp_process_range(batch, config, 0, batch.size(), out);
+
+    std::uint64_t superkmers = 0;
+    std::uint64_t bases = 0;
+    std::uint64_t min_kmers = ~std::uint64_t{0};
+    std::uint64_t max_kmers = 0;
+    double mean = 0;
+    for (const auto& part : out.parts) {
+      superkmers += part.superkmers;
+      bases += part.bases;
+      min_kmers = std::min(min_kmers, part.kmers);
+      max_kmers = std::max(max_kmers, part.kmers);
+      mean += static_cast<double>(part.kmers);
+    }
+    mean /= static_cast<double>(config.num_partitions);
+    double var = 0;
+    for (const auto& part : out.parts) {
+      const double d = static_cast<double>(part.kmers) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(config.num_partitions);
+    const double cv = mean > 0 ? std::sqrt(var) / mean : 0;
+
+    std::printf("%4d %14.1f %14.1f %16llu %16llu %10.3f\n", p,
+                static_cast<double>(superkmers) / 1e3,
+                superkmers == 0
+                    ? 0.0
+                    : static_cast<double>(bases) /
+                          static_cast<double>(superkmers),
+                static_cast<unsigned long long>(min_kmers),
+                static_cast<unsigned long long>(max_kmers), cv);
+  }
+
+  std::printf("\nshape check (paper): #superkmers grows with P while the "
+              "spread (CV, max-min)\nof per-partition kmer counts shrinks "
+              "sharply from P=5 to P>=11.\n");
+  return 0;
+}

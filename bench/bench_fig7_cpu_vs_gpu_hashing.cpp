@@ -1,0 +1,75 @@
+// Fig. 7: CPU hashing vs GPU hashing time as the number of superkmer
+// partitions grows (P fixed).
+//
+// Paper findings to reproduce in shape:
+//   * both curves fall as partitions grow (smaller hash tables -> better
+//     memory locality), and
+//   * the gap between the GPU curve and the CPU curve is roughly the
+//     host<->device transfer time (cf. Fig. 8) once partitions are
+//     small enough.
+#include "bench_common.h"
+#include "device/device.h"
+#include "io/partition_file.h"
+
+namespace {
+
+template <typename Device>
+double hash_all(Device& device,
+                const std::vector<parahash::io::PartitionBlob>& blobs,
+                const parahash::core::HashConfig& config) {
+  parahash::WallTimer timer;
+  for (const auto& blob : blobs) {
+    auto result = device.run_hash(blob, config);
+    (void)result;
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace parahash;
+  bench::print_header("Fig. 7 — CPU hashing vs (simulated) GPU hashing",
+                      "Fig. 7 (Sec. V-C1)");
+
+  io::TempDir dir("bench_fig7");
+  const auto spec = bench::bench_chr14();
+  const std::string fastq = bench::dataset_path(dir, spec);
+
+  std::printf("%8s %14s %14s %14s %18s\n", "NP", "CPU hash (s)",
+              "GPU hash (s)", "GPU xfer (s)", "GPU-CPU gap (s)");
+
+  for (const std::uint32_t parts : {8u, 16u, 32u, 64u, 128u}) {
+    core::MspConfig msp;
+    msp.k = 27;
+    msp.p = 11;
+    msp.num_partitions = parts;
+    const auto paths =
+        bench::make_partitions(dir, fastq, msp, std::to_string(parts));
+    std::vector<io::PartitionBlob> blobs;
+    blobs.reserve(paths.size());
+    for (const auto& p : paths) {
+      blobs.push_back(io::PartitionBlob::read_file(p));
+    }
+
+    core::HashConfig hash_config;
+    device::CpuDevice<1> cpu(2);
+    device::SimGpuConfig gpu_config;
+    gpu_config.threads = 2;
+    gpu_config.h2d_bytes_per_sec = 1.5e9;
+    gpu_config.d2h_bytes_per_sec = 1.5e9;
+    device::SimGpuDevice<1> gpu(gpu_config);
+
+    const double cpu_seconds = hash_all(cpu, blobs, hash_config);
+    const double gpu_seconds = hash_all(gpu, blobs, hash_config);
+    const double transfer = gpu.stats().transfer_seconds;
+
+    std::printf("%8u %14.3f %14.3f %14.3f %18.3f\n", parts, cpu_seconds,
+                gpu_seconds, transfer, gpu_seconds - cpu_seconds);
+  }
+
+  std::printf("\nshape check (paper): hashing time decreases as partitions "
+              "grow; for NP > 16\nthe GPU-CPU gap approaches the "
+              "host<->device transfer time.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Google-benchmark micro benches for the concurrency substrate: table
+// variants, the Bloom pre-filter, ticket queues and the thread pool.
+#include <benchmark/benchmark.h>
+
+#include "concurrent/bloom.h"
+#include "concurrent/counter_table.h"
+#include "concurrent/kmer_table.h"
+#include "concurrent/mutex_table.h"
+#include "concurrent/thread_pool.h"
+#include "pipeline/queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parahash;
+
+template <typename Table>
+void table_add_loop(benchmark::State& state, Table& table,
+                    const std::vector<Kmer<1>>& keys) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& key = keys[(i * 2654435761u) % keys.size()];
+    benchmark::DoNotOptimize(
+        table.add(key, static_cast<int>(i & 3), static_cast<int>(i & 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+std::vector<Kmer<1>> make_keys(std::size_t n) {
+  Rng rng(12);
+  std::vector<Kmer<1>> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Kmer<1> kmer;
+    for (int j = 0; j < 27; ++j) kmer.push_back(rng.base());
+    keys.push_back(kmer);
+  }
+  return keys;
+}
+
+void BM_StateTransferTableAdd(benchmark::State& state) {
+  const auto keys = make_keys(1 << 14);
+  concurrent::ConcurrentKmerTable<1> table(keys.size() * 2, 27);
+  table_add_loop(state, table, keys);
+}
+BENCHMARK(BM_StateTransferTableAdd);
+
+void BM_MutexTableAdd(benchmark::State& state) {
+  const auto keys = make_keys(1 << 14);
+  concurrent::MutexShardTable<1> table(keys.size() * 2, 27);
+  table_add_loop(state, table, keys);
+}
+BENCHMARK(BM_MutexTableAdd);
+
+void BM_CounterTableAdd(benchmark::State& state) {
+  const auto keys = make_keys(1 << 14);
+  concurrent::ConcurrentCounterTable<1> table(keys.size() * 2, 27);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.add(keys[(i * 2654435761u) % keys.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterTableAdd);
+
+void BM_BloomIncrement(benchmark::State& state) {
+  concurrent::CountingBloom bloom(1 << 20, static_cast<int>(state.range(0)));
+  Rng rng(13);
+  std::vector<std::uint64_t> hashes(1 << 12);
+  for (auto& h : hashes) h = rng.next();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bloom.increment_and_count(hashes[i++ & (hashes.size() - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomIncrement)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_TicketQueueRoundTrip(benchmark::State& state) {
+  pipeline::TicketQueue<int> queue(64);
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TicketQueueRoundTrip);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  concurrent::ThreadPool pool(2);
+  for (auto _ : state) {
+    pool.parallel_for(64, 16, [](std::uint64_t, std::uint64_t) {});
+  }
+}
+BENCHMARK(BM_ParallelForOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

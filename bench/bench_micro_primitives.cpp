@@ -1,0 +1,179 @@
+// Google-benchmark micro benches for the hot primitives: kmer rolling,
+// reverse complement, canonicalisation, minimizer scanning, superkmer
+// record encoding, and hash table upserts.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "core/msp.h"
+#include "io/partition_file.h"
+#include "util/kmer.h"
+#include "util/packed_seq.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parahash;
+
+std::vector<std::uint8_t> random_codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = rng.base();
+  return codes;
+}
+
+template <int W>
+void BM_KmerRollAppend(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto codes = random_codes(4096, 1);
+  Kmer<W> kmer(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    kmer.roll_append(codes[i++ & 4095]);
+    benchmark::DoNotOptimize(kmer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmerRollAppend<1>)->Arg(27);
+BENCHMARK(BM_KmerRollAppend<2>)->Arg(55);
+
+template <int W>
+void BM_KmerReverseComplement(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Kmer<W> kmer;
+  for (int i = 0; i < k; ++i) kmer.push_back(rng.base());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kmer.reverse_complement());
+  }
+}
+BENCHMARK(BM_KmerReverseComplement<1>)->Arg(27);
+BENCHMARK(BM_KmerReverseComplement<2>)->Arg(55);
+
+void BM_KmerCanonicalRolling(benchmark::State& state) {
+  // The production pattern: roll fwd and rc together, take the min.
+  const int k = 27;
+  const auto codes = random_codes(4096, 3);
+  Kmer<1> fwd(k);
+  Kmer<1> rc(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint8_t b = codes[i++ & 4095];
+    fwd.roll_append(b);
+    rc.roll_prepend(complement(b));
+    benchmark::DoNotOptimize(rc < fwd ? rc : fwd);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmerCanonicalRolling);
+
+void BM_MinimizerScanRead(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  core::MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 512;
+  core::MspScanner scanner(config);
+  const auto codes = random_codes(static_cast<std::size_t>(L), 4);
+  std::vector<core::SuperkmerSpan> spans;
+  for (auto _ : state) {
+    spans.clear();
+    benchmark::DoNotOptimize(scanner.scan_read(codes, spans));
+  }
+  state.SetBytesProcessed(state.iterations() * L);
+}
+BENCHMARK(BM_MinimizerScanRead)->Arg(101)->Arg(124)->Arg(250);
+
+void BM_MinimizerScanReadNaive(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  core::MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 512;
+  core::MspScanner scanner(config);
+  const auto codes = random_codes(static_cast<std::size_t>(L), 4);
+  std::vector<core::SuperkmerSpan> spans;
+  for (auto _ : state) {
+    spans.clear();
+    benchmark::DoNotOptimize(scanner.scan_read_naive(codes, spans));
+  }
+  state.SetBytesProcessed(state.iterations() * L);
+}
+BENCHMARK(BM_MinimizerScanReadNaive)->Arg(101);
+
+void BM_PackedSeqAppend(benchmark::State& state) {
+  const auto codes = random_codes(4096, 5);
+  for (auto _ : state) {
+    PackedSeq seq;
+    seq.reserve(codes.size());
+    for (const auto c : codes) seq.push_back(c);
+    benchmark::DoNotOptimize(seq);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PackedSeqAppend);
+
+void BM_SuperkmerRecordEncode(benchmark::State& state) {
+  const auto codes = random_codes(40, 6);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    io::encode_superkmer_record(out, codes.data(), codes.size(), true, true,
+                                io::Encoding::kTwoBit);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SuperkmerRecordEncode);
+
+template <int W>
+void BM_TableAdd(benchmark::State& state) {
+  // Duplicate-heavy upsert stream (the Step-2 hot loop): ~5 adds per
+  // distinct key, Property-1-sized table.
+  const int k = W == 1 ? 27 : 55;
+  const std::size_t distinct = 1 << 14;
+  Rng rng(7);
+  std::vector<Kmer<W>> keys;
+  keys.reserve(distinct);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    Kmer<W> kmer;
+    for (int j = 0; j < k; ++j) kmer.push_back(rng.base());
+    keys.push_back(kmer);
+  }
+  concurrent::ConcurrentKmerTable<W> table(distinct * 2, k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& key = keys[(i * 2654435761u) % distinct];
+    benchmark::DoNotOptimize(
+        table.add(key, static_cast<int>(i & 3), static_cast<int>(i & 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableAdd<1>);
+BENCHMARK(BM_TableAdd<2>);
+
+void BM_TableFind(benchmark::State& state) {
+  const int k = 27;
+  const std::size_t distinct = 1 << 14;
+  Rng rng(8);
+  std::vector<Kmer<1>> keys;
+  concurrent::ConcurrentKmerTable<1> table(distinct * 2, k);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    Kmer<1> kmer;
+    for (int j = 0; j < k; ++j) kmer.push_back(rng.base());
+    keys.push_back(kmer);
+    table.add(kmer, 0, 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[(i++ * 40503u) % distinct]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table I: test dataset properties.
+//
+// Paper row set: fastq size, read length, #reads, genome size,
+// #distinct vertices, #duplicate vertices — for Human Chr14 and
+// Bumblebee. We report the same rows for the scaled synthetic stand-ins
+// (DESIGN.md documents the substitution); the property to check is the
+// *shape*: the bumblebee-like dataset's graph is several times larger
+// and duplicates outnumber distinct vertices ~5:1 at deep coverage.
+#include <filesystem>
+
+#include "bench_common.h"
+#include "core/reference.h"
+#include "io/fastx.h"
+
+int main() {
+  using namespace parahash;
+  bench::print_header("Table I — dataset properties",
+                      "Table I (Sec. V-A)");
+
+  io::TempDir dir("bench_table1");
+  const int k = 27;
+
+  std::printf("%-28s %14s %14s\n", "", "chr14-like", "bumblebee-like");
+  struct Row {
+    std::string name;
+    double values[2];
+  };
+  std::vector<Row> rows(6);
+
+  int col = 0;
+  for (const auto& spec : {bench::bench_chr14(), bench::bench_bumblebee()}) {
+    const std::string fastq = bench::dataset_path(dir, spec);
+    const auto file_bytes = std::filesystem::file_size(fastq);
+
+    core::ReferenceBuilder reference(k);
+    std::uint64_t reads = 0;
+    io::FastxFileReader reader(fastq);
+    io::Read read;
+    while (reader.next(read)) {
+      ++reads;
+      reference.add_read(read.bases);
+    }
+
+    rows[0] = {"Fastq file size (MB)", {rows[0].values[0], 0}};
+    rows[0].name = "Fastq file size (MB)";
+    rows[0].values[col] = static_cast<double>(file_bytes) / 1e6;
+    rows[1].name = "Read length (bp)";
+    rows[1].values[col] = spec.read_length;
+    rows[2].name = "# Reads (K)";
+    rows[2].values[col] = static_cast<double>(reads) / 1e3;
+    rows[3].name = "Genome size (Kbp)";
+    rows[3].values[col] = static_cast<double>(spec.genome_size) / 1e3;
+    rows[4].name = "# Distinct vertices (K)";
+    rows[4].values[col] =
+        static_cast<double>(reference.distinct_vertices()) / 1e3;
+    rows[5].name = "# Duplicate vertices (K)";
+    rows[5].values[col] =
+        static_cast<double>(reference.duplicate_vertices()) / 1e3;
+    ++col;
+  }
+
+  for (const auto& row : rows) {
+    std::printf("%-28s %14.1f %14.1f\n", row.name.c_str(), row.values[0],
+                row.values[1]);
+  }
+
+  const double ratio = rows[4].values[1] / rows[4].values[0];
+  std::printf("\nshape checks (paper: bumblebee graph ~10x chr14; duplicates"
+              " ~5-6x distinct):\n");
+  std::printf("  graph size ratio bumblebee/chr14: %.1fx\n", ratio);
+  std::printf("  chr14 duplicates/distinct:        %.1fx\n",
+              rows[5].values[0] / rows[4].values[0]);
+  std::printf("  bumblebee duplicates/distinct:    %.1fx\n",
+              rows[5].values[1] / rows[4].values[1]);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// A miniature de novo assembly pipeline on simulated sequencing data:
+//
+//   1. simulate a genome and error-bearing shotgun reads (Poisson(λ)
+//      substitution errors, both strands),
+//   2. construct the De Bruijn graph with ParaHash,
+//   3. filter low-coverage (erroneous) vertices by multiplicity,
+//   4. compact the surviving graph into unitigs,
+//   5. check how much of the true genome the unitigs recover.
+//
+// This is the workload the paper's introduction motivates: the graph
+// construction step feeding a de novo assembler.
+//
+// Usage: denovo_pipeline [genome_size [coverage [lambda]]]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/algo.h"
+#include "core/gfa.h"
+#include "core/stats.h"
+#include "core/unitig.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace parahash;
+
+  sim::DatasetSpec spec;
+  spec.genome_size = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  spec.read_length = 101;
+  spec.coverage = argc > 2 ? std::atof(argv[2]) : 25.0;
+  spec.lambda = argc > 3 ? std::atof(argv[3]) : 1.0;
+  spec.seed = 4242;
+
+  io::TempDir scratch("denovo");
+  const std::string fastq = scratch.file("reads.fastq");
+  std::printf("simulating: genome %llu bp, %.0fx coverage, lambda=%.1f\n",
+              static_cast<unsigned long long>(spec.genome_size),
+              spec.coverage, spec.lambda);
+  const std::string genome = sim::write_dataset(spec, fastq);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 32;
+  options.cpu_threads = 4;
+
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  std::printf("graph constructed in %.3f s: %llu distinct vertices "
+              "(%llu duplicates merged)\n",
+              report.total_elapsed_seconds,
+              static_cast<unsigned long long>(report.graph.vertices),
+              static_cast<unsigned long long>(
+                  report.graph.duplicate_vertices()));
+
+  // Erroneous kmers can only be told apart by multiplicity after the
+  // graph is built (paper Sec. III-C1); pick the threshold from the
+  // coverage histogram's error valley.
+  const std::uint64_t before = graph.num_vertices();
+  const auto histogram = core::coverage_histogram(graph);
+  std::uint32_t min_coverage = histogram.suggested_min_coverage();
+  if (min_coverage < 2) min_coverage = 2;
+  std::printf("coverage histogram suggests min coverage %u\n", min_coverage);
+  const std::uint64_t removed = graph.filter_min_coverage(min_coverage);
+  std::printf("coverage filter (>= %u): removed %llu error vertices "
+              "(%.1f%% of the graph), kept %llu\n",
+              min_coverage, static_cast<unsigned long long>(removed),
+              100.0 * static_cast<double>(removed) /
+                  static_cast<double>(before),
+              static_cast<unsigned long long>(graph.num_vertices()));
+
+  core::UnitigBuilder<1> builder(graph, min_coverage,
+                                 /*min_edge_weight=*/2);
+  const auto unitigs = builder.build();
+
+  std::uint64_t total_length = 0;
+  std::size_t longest = 0;
+  for (const auto& u : unitigs) {
+    total_length += u.length();
+    longest = std::max(longest, u.length());
+  }
+  // N50: half the assembled bases live in unitigs at least this long.
+  std::vector<std::size_t> lengths;
+  lengths.reserve(unitigs.size());
+  for (const auto& u : unitigs) lengths.push_back(u.length());
+  std::sort(lengths.rbegin(), lengths.rend());
+  std::uint64_t acc = 0;
+  std::size_t n50 = 0;
+  for (const auto len : lengths) {
+    acc += len;
+    if (acc * 2 >= total_length) {
+      n50 = len;
+      break;
+    }
+  }
+
+  std::printf("\n-- assembly summary --\n");
+  std::printf("unitigs:        %zu\n", unitigs.size());
+  std::printf("total length:   %llu bp (genome: %llu bp)\n",
+              static_cast<unsigned long long>(total_length),
+              static_cast<unsigned long long>(genome.size()));
+  std::printf("longest unitig: %zu bp\n", longest);
+  std::printf("unitig N50:     %zu bp\n", n50);
+
+  // Validation against the truth we happen to own: what fraction of
+  // assembled bases align exactly to the genome (either strand)?
+  std::uint64_t aligned = 0;
+  for (const auto& u : unitigs) {
+    if (genome.find(u.bases) != std::string::npos ||
+        genome.find(reverse_complement_str(u.bases)) != std::string::npos) {
+      aligned += u.length();
+    }
+  }
+  std::printf("unitig bases exactly matching the genome: %.1f%%\n",
+              total_length == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(aligned) /
+                        static_cast<double>(total_length));
+
+  // Connectivity of the filtered graph, and a GFA for Bandage & friends.
+  const auto components = core::connected_components(graph);
+  std::printf("connected components: %llu (largest %llu vertices)\n",
+              static_cast<unsigned long long>(components.count),
+              static_cast<unsigned long long>(components.largest()));
+
+  core::GfaExporter<1> exporter(graph, unitigs);
+  const std::string gfa_path = scratch.file("assembly.gfa");
+  const auto [segments, links] = exporter.write(gfa_path);
+  std::printf("assembly graph: %zu segments, %zu links -> %s\n", segments,
+              links, gfa_path.c_str());
+  return 0;
+}

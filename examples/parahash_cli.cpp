@@ -1,0 +1,188 @@
+// parahash_cli — a complete command-line front end for the library.
+//
+//   parahash_cli build  <reads.fastq...> --graph=out.phdg [--k=27 --p=11
+//        --partitions=512 --gpus=0 --threads=N --min-coverage=0
+//        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
+//        --quality-trim=0 --max-open-files=0]
+//        (several input files — plain or .gz — concatenate)
+//   parahash_cli stats  <graph.phdg>
+//   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
+//        --min-edge-weight=2]
+//   parahash_cli gfa    <graph.phdg> --out=graph.gfa [--min-coverage=2]
+//   parahash_cli export <graph.phdg> --tsv=graph.tsv [--min-coverage=0]
+//
+// The graph file must have been produced with k <= 32 (one-word kmers);
+// `build` dispatches on k automatically.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/algo.h"
+#include "core/export.h"
+#include "core/gfa.h"
+#include "core/stats.h"
+#include "core/unitig.h"
+#include "pipeline/parahash.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace parahash;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parahash_cli <build|stats|unitigs|gfa|export> ...\n"
+               "see the header of examples/parahash_cli.cpp\n");
+  return 2;
+}
+
+int cmd_build(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  // Every positional after "build" is an input file (lanes concatenate).
+  const std::vector<std::string> inputs(flags.positional().begin() + 1,
+                                        flags.positional().end());
+  pipeline::Options options;
+  options.msp.k = static_cast<int>(flags.get_int("k", 27));
+  options.msp.p = static_cast<int>(flags.get_int("p", 11));
+  options.msp.num_partitions =
+      static_cast<std::uint32_t>(flags.get_int("partitions", 512));
+  options.cpu_threads = static_cast<int>(flags.get_int("threads", 0));
+  options.num_gpus = static_cast<int>(flags.get_int("gpus", 0));
+  options.min_coverage =
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
+  options.work_dir = flags.get("work-dir");
+  options.pipelined = !flags.get_bool("no-pipeline");
+  options.input_bytes_per_sec = flags.get_double("input-mbps", 0) * 1e6;
+  options.output_bytes_per_sec = flags.get_double("output-mbps", 0) * 1e6;
+  options.quality_trim_phred =
+      static_cast<int>(flags.get_int("quality-trim", 0));
+  options.max_open_partitions =
+      static_cast<std::uint32_t>(flags.get_int("max-open-files", 0));
+
+  const std::string graph_path = flags.get("graph", "graph.phdg");
+  const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
+    pipeline::ParaHash<W> system(options);
+    auto [graph, run_report] = system.construct(inputs);
+    graph.write(graph_path);
+    return run_report;
+  });
+
+  std::printf("step1 %.3f s (%llu batches), step2 %.3f s (%llu "
+              "partitions), total %.3f s\n",
+              report.step1.times.elapsed_seconds,
+              static_cast<unsigned long long>(report.step1.times.items),
+              report.step2.times.elapsed_seconds,
+              static_cast<unsigned long long>(report.step2.times.items),
+              report.total_elapsed_seconds);
+  std::printf("vertices %llu (filtered %llu), partition bytes %llu, "
+              "peak RSS %.1f MB\n",
+              static_cast<unsigned long long>(report.graph.vertices),
+              static_cast<unsigned long long>(report.filtered_vertices),
+              static_cast<unsigned long long>(report.partition_bytes),
+              static_cast<double>(report.peak_rss_bytes) / 1e6);
+  std::printf("graph written to %s\n", graph_path.c_str());
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto stats = graph.stats();
+  std::printf("k=%d P=%d partitions=%u\n", graph.k(), graph.p(),
+              graph.num_partitions());
+  std::printf("vertices:            %llu\n",
+              static_cast<unsigned long long>(stats.vertices));
+  std::printf("total coverage:      %llu\n",
+              static_cast<unsigned long long>(stats.total_coverage));
+  std::printf("distinct edges:      %llu\n",
+              static_cast<unsigned long long>(stats.distinct_edges));
+  std::printf("branching vertices:  %llu\n",
+              static_cast<unsigned long long>(stats.branching_vertices));
+
+  const auto histogram = core::coverage_histogram(graph, 32);
+  std::printf("suggested min-coverage: %u\n",
+              histogram.suggested_min_coverage());
+  const auto degrees = core::degree_distribution(graph);
+  std::printf("simple-path vertices:   %llu\n",
+              static_cast<unsigned long long>(
+                  degrees.simple_path_vertices()));
+  std::printf("tips:                   %llu\n",
+              static_cast<unsigned long long>(degrees.tips()));
+  std::printf("branch vertices:        %llu\n",
+              static_cast<unsigned long long>(degrees.branches()));
+  const auto components = core::connected_components(graph);
+  std::printf("connected components:   %llu (largest %llu)\n",
+              static_cast<unsigned long long>(components.count),
+              static_cast<unsigned long long>(components.largest()));
+  return 0;
+}
+
+int cmd_unitigs(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto min_coverage =
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
+  const auto min_edge =
+      static_cast<std::uint32_t>(flags.get_int("min-edge-weight", 1));
+  core::UnitigBuilder<1> builder(graph, min_coverage, min_edge);
+  const auto unitigs = builder.build();
+
+  const std::string fasta = flags.get("fasta", "unitigs.fa");
+  std::ofstream out(fasta);
+  if (!out) throw IoError("cannot open " + fasta);
+  std::uint64_t bases = 0;
+  for (std::size_t i = 0; i < unitigs.size(); ++i) {
+    out << ">unitig_" << i << " len=" << unitigs[i].length()
+        << " cov=" << unitigs[i].mean_coverage << '\n'
+        << unitigs[i].bases << '\n';
+    bases += unitigs[i].length();
+  }
+  std::printf("%zu unitigs, %llu bases -> %s\n", unitigs.size(),
+              static_cast<unsigned long long>(bases), fasta.c_str());
+  return 0;
+}
+
+int cmd_gfa(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto min_coverage =
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
+  core::UnitigBuilder<1> builder(graph, min_coverage);
+  core::GfaExporter<1> exporter(graph, builder.build(), min_coverage);
+  const std::string path = flags.get("out", "graph.gfa");
+  const auto [segments, links] = exporter.write(path);
+  std::printf("%zu segments, %zu links -> %s\n", segments, links,
+              path.c_str());
+  return 0;
+}
+
+int cmd_export(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const std::string path = flags.get("tsv", "graph.tsv");
+  const auto written = core::write_adjacency_tsv(
+      graph, path,
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0)));
+  std::printf("%llu vertices -> %s\n",
+              static_cast<unsigned long long>(written), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& command = flags.positional()[0];
+  try {
+    if (command == "build") return cmd_build(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "unitigs") return cmd_unitigs(flags);
+    if (command == "gfa") return cmd_gfa(flags);
+    if (command == "export") return cmd_export(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,141 @@
+// MSP parameter study on your own data (or a simulated dataset): how the
+// minimizer length P and the partition count shape the superkmer
+// partitions — the partition-size balance and hash-table sizing story of
+// the paper's Sec. IV-A / Fig. 6 / Table II, as a tool.
+//
+// Usage: partition_explorer [reads.fastq]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/msp.h"
+#include "core/properties.h"
+#include "io/fastx.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+
+namespace {
+
+struct PartitionShape {
+  std::uint64_t superkmers = 0;
+  std::uint64_t total_superkmer_bases = 0;
+  std::vector<std::uint64_t> kmers_per_partition;
+
+  double mean_superkmer_len() const {
+    return superkmers == 0 ? 0.0
+                           : static_cast<double>(total_superkmer_bases) /
+                                 static_cast<double>(superkmers);
+  }
+  std::uint64_t max_partition_kmers() const {
+    return *std::max_element(kmers_per_partition.begin(),
+                             kmers_per_partition.end());
+  }
+  double cv_partition_kmers() const {  // coefficient of variation
+    const double n = static_cast<double>(kmers_per_partition.size());
+    double mean = 0;
+    for (auto v : kmers_per_partition) mean += static_cast<double>(v);
+    mean /= n;
+    double var = 0;
+    for (auto v : kmers_per_partition) {
+      const double d = static_cast<double>(v) - mean;
+      var += d * d;
+    }
+    return mean == 0 ? 0.0 : std::sqrt(var / n) / mean;
+  }
+};
+
+PartitionShape scan(const parahash::io::ReadBatch& batch,
+                    const parahash::core::MspConfig& config) {
+  using namespace parahash;
+  PartitionShape shape;
+  shape.kmers_per_partition.assign(config.num_partitions, 0);
+  core::MspScanner scanner(config);
+  std::vector<std::uint8_t> codes;
+  std::vector<core::SuperkmerSpan> spans;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const auto len = batch.read_length(r);
+    codes.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      codes[i] = batch.bases[batch.offsets[r] + i];
+    }
+    spans.clear();
+    scanner.scan_read(codes, spans);
+    for (const auto& span : spans) {
+      ++shape.superkmers;
+      shape.total_superkmer_bases += span.end - span.begin;
+      shape.kmers_per_partition[span.partition] +=
+          (span.end - span.begin) - config.k + 1;
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parahash;
+
+  io::TempDir scratch("explorer");
+  std::string input;
+  if (argc > 1) {
+    input = argv[1];
+  } else {
+    sim::DatasetSpec spec = sim::human_chr14_like(0.2);
+    input = scratch.file("demo.fastq");
+    std::printf("no input given; simulating %s (%llu bp genome)\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(spec.genome_size));
+    sim::write_dataset(spec, input);
+  }
+
+  // Load up to ~40 Mbp of reads.
+  io::FastxChunker chunker(input, 40u << 20);
+  io::ReadBatch batch;
+  chunker.next(batch);
+  std::printf("loaded %zu reads (%zu bases)\n\n", batch.size(),
+              batch.total_bases());
+
+  // Sweep P at a fixed partition count (the Fig. 6 question).
+  std::printf("-- minimizer length sweep (32 partitions, k=27) --\n");
+  std::printf("%4s %12s %14s %18s %10s\n", "P", "#superkmers",
+              "mean sk len", "max part kmers(M)", "size CV");
+  for (int p : {5, 7, 9, 11, 13, 15}) {
+    core::MspConfig config;
+    config.k = 27;
+    config.p = p;
+    config.num_partitions = 32;
+    const auto shape = scan(batch, config);
+    std::printf("%4d %12llu %14.1f %18.3f %10.3f\n", p,
+                static_cast<unsigned long long>(shape.superkmers),
+                shape.mean_superkmer_len(),
+                static_cast<double>(shape.max_partition_kmers()) / 1e6,
+                shape.cv_partition_kmers());
+  }
+
+  // Sweep the partition count at fixed P (the Table II question):
+  // maximum hash table size per partition.
+  std::printf("\n-- partition count sweep (P=11, k=27) --\n");
+  std::printf("%6s %18s %22s\n", "parts", "max kmers/part(M)",
+              "max hash table (MB)");
+  for (std::uint32_t parts : {16u, 32u, 64u, 128u, 256u}) {
+    core::MspConfig config;
+    config.k = 27;
+    config.p = 11;
+    config.num_partitions = parts;
+    const auto shape = scan(batch, config);
+    const auto max_kmers = shape.max_partition_kmers();
+    const auto slots = core::hash_table_slots(max_kmers, 2.0, 0.7);
+    // 32-byte slots for one-word kmers (state + key + 8 counters + cov).
+    const double table_mb = static_cast<double>(slots) * 32.0 / 1e6;
+    std::printf("%6u %18.3f %22.1f\n", parts,
+                static_cast<double>(max_kmers) / 1e6, table_mb);
+  }
+
+  std::printf("\nlarger P -> more, shorter superkmers but a flatter "
+              "partition-size distribution;\nmore partitions -> smaller "
+              "per-partition hash tables (the paper picks P>=11 and "
+              "512-960 partitions).\n");
+  return 0;
+}

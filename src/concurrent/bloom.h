@@ -1,0 +1,92 @@
+// Concurrent counting Bloom filter for singleton pre-filtering.
+//
+// Most erroneous kmers occur exactly once (Property 1's error model), so
+// a BFCounter-style pre-filter — admit a kmer into the main hash table
+// only on its SECOND sighting — shrinks the table by roughly the
+// erroneous fraction, at the cost of approximation: a small Bloom
+// false-positive rate admits some singletons, and each admitted kmer's
+// first sighting is absorbed by the filter (counts start at the second
+// occurrence). This implements the idea the paper cites as Melsted &
+// Pritchard's bloom-filter kmer counting [10], as an optional mode.
+//
+// Counters are 4-bit saturating, packed two per byte, updated with CAS.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace parahash::concurrent {
+
+class CountingBloom {
+ public:
+  /// `cells` is rounded up to a power of two; each cell is a 4-bit
+  /// saturating counter. `hashes` probes per item (2-4 typical).
+  explicit CountingBloom(std::uint64_t cells, int hashes = 3)
+      : hashes_(hashes), bytes_(next_pow2(cells < 16 ? 16 : cells) / 2) {
+    PARAHASH_CHECK_MSG(hashes >= 1 && hashes <= 8, "1..8 hashes");
+    mask_ = bytes_.size() * 2 - 1;
+  }
+
+  std::uint64_t cells() const noexcept { return bytes_.size() * 2; }
+  std::uint64_t memory_bytes() const noexcept { return bytes_.size(); }
+
+  /// Increments the item's counters and returns its (approximate) count
+  /// AFTER the increment: the minimum over the item's cells, saturating
+  /// at 15. Thread-safe; counts are never under-reported.
+  int increment_and_count(std::uint64_t item_hash) {
+    int min_count = 15;
+    std::uint64_t h = item_hash;
+    for (int i = 0; i < hashes_; ++i) {
+      h = mix64(h + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+      min_count = std::min(min_count, bump(h & mask_));
+    }
+    return min_count;
+  }
+
+  /// Read-only count estimate (minimum over cells).
+  int count(std::uint64_t item_hash) const {
+    int min_count = 15;
+    std::uint64_t h = item_hash;
+    for (int i = 0; i < hashes_; ++i) {
+      h = mix64(h + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull);
+      min_count = std::min(min_count, read(h & mask_));
+    }
+    return min_count;
+  }
+
+ private:
+  /// Saturating-increments cell `idx`, returns the value after.
+  int bump(std::uint64_t idx) {
+    std::atomic<std::uint8_t>& byte = bytes_[idx / 2];
+    const int shift = (idx & 1) ? 4 : 0;
+    std::uint8_t current = byte.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint8_t cell = (current >> shift) & 0xF;
+      if (cell == 15) return 15;  // saturated
+      const std::uint8_t updated = static_cast<std::uint8_t>(
+          (current & ~(0xF << shift)) | ((cell + 1) << shift));
+      if (byte.compare_exchange_weak(current, updated,
+                                     std::memory_order_relaxed)) {
+        return cell + 1;
+      }
+      // current reloaded by the failed CAS; retry.
+    }
+  }
+
+  int read(std::uint64_t idx) const {
+    const std::uint8_t byte =
+        bytes_[idx / 2].load(std::memory_order_relaxed);
+    return (byte >> ((idx & 1) ? 4 : 0)) & 0xF;
+  }
+
+  int hashes_;
+  std::vector<std::atomic<std::uint8_t>> bytes_;
+  std::uint64_t mask_;
+};
+
+}  // namespace parahash::concurrent

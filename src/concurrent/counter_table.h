@@ -1,0 +1,154 @@
+// Counting-only concurrent kmer table.
+//
+// The paper distinguishes De Bruijn graph *construction* (vertices plus
+// weighted adjacency lists) from plain kmer *counting* (Jellyfish, the
+// MSP counter, KMC-class tools), which "do not generate the complete De
+// Bruijn graph in the output" (Sec. V-A). This table is that counting
+// mode: the same state-transfer protocol, but slots hold only a key and
+// one counter — about a third of the full slot — for workloads that only
+// need the kmer spectrum.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+
+namespace parahash::concurrent {
+
+template <int W>
+class ConcurrentCounterTable {
+ public:
+  enum State : std::uint8_t { kEmpty = 0, kLocked = 1, kOccupied = 2 };
+
+  struct Slot {
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::atomic<std::uint32_t> count{0};
+    std::array<std::atomic<std::uint64_t>, W> key{};
+  };
+
+  struct Entry {
+    Kmer<W> kmer;
+    std::uint32_t count = 0;
+  };
+
+  ConcurrentCounterTable(std::uint64_t min_slots, int k)
+      : k_(k), slots_(next_pow2(min_slots < 2 ? 2 : min_slots)) {
+    PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK, "k out of range");
+    mask_ = slots_.size() - 1;
+  }
+
+  int k() const noexcept { return k_; }
+  std::uint64_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+  std::uint64_t size() const noexcept {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts one occurrence of the canonical kmer. Same state-transfer
+  /// protocol as the full table.
+  AddResult add(const Kmer<W>& canon) {
+    AddResult result;
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      ++result.probes;
+
+      if (st == kEmpty) {
+        std::uint8_t expected = kEmpty;
+        if (slot.state.compare_exchange_strong(expected, kLocked,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          for (int w = 0; w < W; ++w) {
+            slot.key[w].store(words[w], std::memory_order_relaxed);
+          }
+          slot.state.store(kOccupied, std::memory_order_release);
+          distinct_.fetch_add(1, std::memory_order_relaxed);
+          slot.count.fetch_add(1, std::memory_order_relaxed);
+          result.inserted = true;
+          return result;
+        }
+        st = expected;
+      }
+      if (st == kLocked) {
+        result.waited_on_lock = true;
+        do {
+          cpu_relax();
+          st = slot.state.load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+      if (key_equals(slot, words)) {
+        slot.count.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("counter table is full");
+  }
+
+  std::optional<Entry> find(const Kmer<W>& canon) const {
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      const Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      if (st == kEmpty) return std::nullopt;
+      while (st == kLocked) {
+        cpu_relax();
+        st = slot.state.load(std::memory_order_acquire);
+      }
+      if (key_equals(slot, words)) {
+        return Entry{Kmer<W>::from_words(load_key(slot), k_),
+                     slot.count.load(std::memory_order_relaxed)};
+      }
+      idx = (idx + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kOccupied) {
+        fn(Entry{Kmer<W>::from_words(load_key(slot), k_),
+                 slot.count.load(std::memory_order_relaxed)});
+      }
+    }
+  }
+
+ private:
+  bool key_equals(const Slot& slot,
+                  std::span<const std::uint64_t, W> words) const noexcept {
+    for (int w = 0; w < W; ++w) {
+      if (slot.key[w].load(std::memory_order_relaxed) != words[w]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::array<std::uint64_t, W> load_key(const Slot& slot) const {
+    std::array<std::uint64_t, W> words;
+    for (int w = 0; w < W; ++w) {
+      words[w] = slot.key[w].load(std::memory_order_relaxed);
+    }
+    return words;
+  }
+
+  int k_;
+  std::uint64_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> distinct_{0};
+};
+
+}  // namespace parahash::concurrent

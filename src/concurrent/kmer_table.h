@@ -1,0 +1,346 @@
+// Concurrent open-addressing hash table for De Bruijn graph vertices.
+//
+// This is the paper's core data structure (Sec. III-C): ONE table shared
+// by all threads, entries of the form <vertex, list of edge counts>, with
+// multi-word keys (wider than a machine word, unlike CAS-per-entry GPU
+// tables). Concurrency follows the paper's two observations:
+//
+//  1. The number of distinct vertices is predictable (Property 1), so the
+//     table is allocated once at full size and never resized mid-build.
+//  2. Each bucket sees a one-insertion / many-updates pattern, so only
+//     the insertion of the multi-word key needs mutual exclusion. A
+//     3-state flag per slot implements that *state transfer*:
+//
+//        empty --CAS--> locked --release-store--> occupied
+//
+//     The winner of the CAS writes the key while the slot is `locked`;
+//     everyone else spins only for that short window. Once `occupied`,
+//     the key is immutable and read lock-free; all counter updates are
+//     plain atomic increments. This confines locking to one event per
+//     distinct vertex — with ~5x duplication that removes ~80% of the
+//     key locking a lock-per-access scheme would do (paper Sec. III-A).
+//
+// Memory ordering: the key words are stored relaxed *before* the release
+// store of `occupied`; readers acquire-load the state before touching the
+// key, which transfers visibility of the key words (happens-before via
+// the state flag).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+
+namespace parahash::concurrent {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Indices into a slot's 8 edge counters. Counters 0..3 are outgoing
+/// edges (next base, relative to the canonical orientation), 4..7 are
+/// incoming edges (previous base). With (K-1) bases shared between
+/// adjacent vertices, one base identifies the neighbour (Sec. III-C2).
+inline constexpr int kEdgeOut = 0;
+inline constexpr int kEdgeIn = 4;
+
+/// A decoded snapshot of one occupied slot.
+template <int W>
+struct VertexEntry {
+  Kmer<W> kmer;                        ///< canonical vertex
+  std::uint32_t coverage = 0;          ///< number of kmer occurrences
+  std::array<std::uint32_t, 8> edges{};  ///< out[0..3], in[4..7] weights
+
+  std::uint32_t out_weight(int base) const { return edges[kEdgeOut + base]; }
+  std::uint32_t in_weight(int base) const { return edges[kEdgeIn + base]; }
+  int out_degree() const {
+    int d = 0;
+    for (int b = 0; b < 4; ++b) d += edges[kEdgeOut + b] > 0;
+    return d;
+  }
+  int in_degree() const {
+    int d = 0;
+    for (int b = 0; b < 4; ++b) d += edges[kEdgeIn + b] > 0;
+    return d;
+  }
+};
+
+/// Result of a single add(): number of slots probed and whether the call
+/// inserted a new vertex. Callers accumulate these into build statistics
+/// without putting extra atomics on the hot path.
+struct AddResult {
+  std::uint32_t probes = 0;
+  bool inserted = false;
+  bool waited_on_lock = false;
+};
+
+/// Aggregate statistics a builder can accumulate from AddResults.
+struct TableStats {
+  std::uint64_t adds = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t lock_waits = 0;
+
+  void absorb(const AddResult& r) noexcept {
+    ++adds;
+    inserts += r.inserted ? 1 : 0;
+    probes += r.probes;
+    lock_waits += r.waited_on_lock ? 1 : 0;
+  }
+  void merge(const TableStats& other) noexcept {
+    adds += other.adds;
+    inserts += other.inserts;
+    probes += other.probes;
+    lock_waits += other.lock_waits;
+  }
+};
+
+template <int W>
+class ConcurrentKmerTable {
+ public:
+  enum State : std::uint8_t { kEmpty = 0, kLocked = 1, kOccupied = 2 };
+
+  struct Slot {
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::array<std::atomic<std::uint32_t>, 8> edges{};
+    std::atomic<std::uint32_t> coverage{0};
+    std::array<std::atomic<std::uint64_t>, W> key{};
+  };
+
+  /// Allocates a table with at least `min_slots` slots (rounded up to a
+  /// power of two) for kmers of length k.
+  ConcurrentKmerTable(std::uint64_t min_slots, int k)
+      : k_(k), slots_(next_pow2(min_slots < 2 ? 2 : min_slots)) {
+    PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
+                       "k out of range for this word count");
+    mask_ = slots_.size() - 1;
+  }
+
+  int k() const noexcept { return k_; }
+  std::uint64_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
+  /// Number of distinct vertices inserted so far.
+  std::uint64_t size() const noexcept {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  double load_factor() const noexcept {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+
+  /// Records one occurrence of canonical kmer `canon`, bumping the
+  /// outgoing edge counter `edge_out` and/or incoming counter `edge_in`
+  /// (base codes 0..3; pass -1 for none). Thread-safe; wait-free except
+  /// while another thread holds a slot in the `locked` state.
+  ///
+  /// Throws TableFullError when every slot is occupied by other keys.
+  AddResult add(const Kmer<W>& canon, int edge_out, int edge_in) {
+    AddResult result;
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      ++result.probes;
+
+      if (st == kEmpty) {
+        std::uint8_t expected = kEmpty;
+        if (slot.state.compare_exchange_strong(expected, kLocked,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          for (int w = 0; w < W; ++w) {
+            slot.key[w].store(words[w], std::memory_order_relaxed);
+          }
+          slot.state.store(kOccupied, std::memory_order_release);
+          distinct_.fetch_add(1, std::memory_order_relaxed);
+          bump(slot, edge_out, edge_in);
+          result.inserted = true;
+          return result;
+        }
+        st = expected;  // lost the race; fall through with the new state
+      }
+
+      if (st == kLocked) {
+        result.waited_on_lock = true;
+        do {
+          cpu_relax();
+          st = slot.state.load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+
+      // st == kOccupied: the key is immutable, compare lock-free.
+      if (key_equals(slot, words)) {
+        bump(slot, edge_out, edge_in);
+        return result;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("concurrent kmer table is full (capacity " +
+                         std::to_string(capacity()) + ")");
+  }
+
+  /// Result of one probe step (see probe_step).
+  enum class ProbeOutcome {
+    kDone,     ///< inserted or updated here
+    kAdvance,  ///< slot holds a different key: move to the next slot
+    kRetry,    ///< slot is locked by another thread: retry this slot
+  };
+
+  /// One step of add() at slot `index` — the building block of the
+  /// warp-synchronous SIMT kernel (device/simt_kernel.h), which needs
+  /// to interleave many probes in lockstep. Semantics match one
+  /// iteration of add()'s probe loop, except a locked slot returns
+  /// kRetry instead of spinning.
+  ProbeOutcome probe_step(std::uint64_t index, const Kmer<W>& canon,
+                          int edge_out, int edge_in) {
+    Slot& slot = slots_[index & mask_];
+    std::uint8_t st = slot.state.load(std::memory_order_acquire);
+    if (st == kEmpty) {
+      std::uint8_t expected = kEmpty;
+      if (slot.state.compare_exchange_strong(expected, kLocked,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        const auto words = canon.words();
+        for (int w = 0; w < W; ++w) {
+          slot.key[w].store(words[w], std::memory_order_relaxed);
+        }
+        slot.state.store(kOccupied, std::memory_order_release);
+        distinct_.fetch_add(1, std::memory_order_relaxed);
+        bump(slot, edge_out, edge_in);
+        return ProbeOutcome::kDone;
+      }
+      st = expected;
+    }
+    if (st == kLocked) return ProbeOutcome::kRetry;
+    if (key_equals(slot, canon.words())) {
+      bump(slot, edge_out, edge_in);
+      return ProbeOutcome::kDone;
+    }
+    return ProbeOutcome::kAdvance;
+  }
+
+  /// Looks up a canonical kmer. Thread-safe against concurrent adds; the
+  /// returned snapshot is a consistent-enough view for queries/tests.
+  std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      const Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      if (st == kEmpty) return std::nullopt;
+      if (st == kLocked) {
+        do {
+          cpu_relax();
+          st = slot.state.load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+      if (key_equals(slot, words)) return snapshot(slot);
+      idx = (idx + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  /// Visits every occupied slot. Call only after all writers finished.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kOccupied) {
+        fn(snapshot(slot));
+      }
+    }
+  }
+
+  /// Rebuilds this table's contents into a table twice the capacity and
+  /// returns it. Single-threaded; exists as the *fallback* path whose
+  /// cost the ablation bench measures — ParaHash's Property-1 sizing is
+  /// designed to make this never run. (Slots hold atomics, so the table
+  /// itself is neither copyable nor movable; hand back a unique_ptr.)
+  std::unique_ptr<ConcurrentKmerTable> grown() const {
+    auto bigger = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_);
+    for (const Slot& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) != kOccupied) continue;
+      VertexEntry<W> e = snapshot(slot);
+      Slot& dst = bigger->locate_for_insert(e.kmer);
+      for (int i = 0; i < 8; ++i) {
+        dst.edges[i].store(e.edges[i], std::memory_order_relaxed);
+      }
+      dst.coverage.store(e.coverage, std::memory_order_relaxed);
+    }
+    return bigger;
+  }
+
+ private:
+  static void bump(Slot& slot, int edge_out, int edge_in) noexcept {
+    slot.coverage.fetch_add(1, std::memory_order_relaxed);
+    if (edge_out >= 0) {
+      slot.edges[kEdgeOut + edge_out].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (edge_in >= 0) {
+      slot.edges[kEdgeIn + edge_in].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool key_equals(const Slot& slot,
+                  std::span<const std::uint64_t, W> words) const noexcept {
+    for (int w = 0; w < W; ++w) {
+      if (slot.key[w].load(std::memory_order_relaxed) != words[w]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  VertexEntry<W> snapshot(const Slot& slot) const {
+    VertexEntry<W> entry;
+    std::array<std::uint64_t, W> words;
+    for (int w = 0; w < W; ++w) {
+      words[w] = slot.key[w].load(std::memory_order_relaxed);
+    }
+    entry.kmer = Kmer<W>::from_words(words, k_);
+    entry.coverage = slot.coverage.load(std::memory_order_relaxed);
+    for (int i = 0; i < 8; ++i) {
+      entry.edges[i] = slot.edges[i].load(std::memory_order_relaxed);
+    }
+    return entry;
+  }
+
+  /// Insert-only probe used by grown(); the key must not exist yet.
+  Slot& locate_for_insert(const Kmer<W>& kmer) {
+    const auto words = kmer.words();
+    std::uint64_t idx = kmer.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      Slot& slot = slots_[idx];
+      if (slot.state.load(std::memory_order_relaxed) == kEmpty) {
+        for (int w = 0; w < W; ++w) {
+          slot.key[w].store(words[w], std::memory_order_relaxed);
+        }
+        slot.state.store(kOccupied, std::memory_order_relaxed);
+        distinct_.fetch_add(1, std::memory_order_relaxed);
+        return slot;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("grown table full — should be unreachable");
+  }
+
+  int k_;
+  std::uint64_t mask_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> distinct_{0};
+};
+
+}  // namespace parahash::concurrent

@@ -1,0 +1,126 @@
+// Lock-per-access baseline table (ablation for the state-transfer design).
+//
+// The paper motivates the state-transfer protocol by contrast with the
+// naive scheme where "the memory should be locked each time a read or
+// write occurs" on a multi-word entry (Sec. III-C3). MutexShardTable is
+// that scheme: every slot visit — probe reads, key compares, counter
+// updates — happens under the slot's stripe mutex. Same layout, same
+// results; bench_ablation_locking measures what the paper's protocol
+// saves.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+
+namespace parahash::concurrent {
+
+template <int W>
+class MutexShardTable {
+ public:
+  struct Slot {
+    bool occupied = false;
+    std::array<std::uint64_t, W> key{};
+    std::uint32_t coverage = 0;
+    std::array<std::uint32_t, 8> edges{};
+  };
+
+  MutexShardTable(std::uint64_t min_slots, int k, int stripes = 1024)
+      : k_(k),
+        slots_(next_pow2(min_slots < 2 ? 2 : min_slots)),
+        mutexes_(next_pow2(static_cast<std::uint64_t>(stripes))) {
+    mask_ = slots_.size() - 1;
+    stripe_mask_ = mutexes_.size() - 1;
+  }
+
+  int k() const noexcept { return k_; }
+  std::uint64_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t size() const noexcept {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  AddResult add(const Kmer<W>& canon, int edge_out, int edge_in) {
+    AddResult result;
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      ++result.probes;
+      Slot& slot = slots_[idx];
+      std::lock_guard<std::mutex> lock(mutexes_[idx & stripe_mask_]);
+      if (!slot.occupied) {
+        for (int w = 0; w < W; ++w) slot.key[w] = words[w];
+        slot.occupied = true;
+        bump(slot, edge_out, edge_in);
+        distinct_.fetch_add(1, std::memory_order_relaxed);
+        result.inserted = true;
+        return result;
+      }
+      if (key_equals(slot, words)) {
+        bump(slot, edge_out, edge_in);
+        return result;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("mutex shard table is full");
+  }
+
+  std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      const Slot& slot = slots_[idx];
+      std::lock_guard<std::mutex> lock(mutexes_[idx & stripe_mask_]);
+      if (!slot.occupied) return std::nullopt;
+      if (key_equals(slot, words)) return snapshot(slot);
+      idx = (idx + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(snapshot(slot));
+    }
+  }
+
+ private:
+  static void bump(Slot& slot, int edge_out, int edge_in) noexcept {
+    ++slot.coverage;
+    if (edge_out >= 0) ++slot.edges[kEdgeOut + edge_out];
+    if (edge_in >= 0) ++slot.edges[kEdgeIn + edge_in];
+  }
+
+  bool key_equals(const Slot& slot,
+                  std::span<const std::uint64_t, W> words) const noexcept {
+    for (int w = 0; w < W; ++w) {
+      if (slot.key[w] != words[w]) return false;
+    }
+    return true;
+  }
+
+  VertexEntry<W> snapshot(const Slot& slot) const {
+    VertexEntry<W> entry;
+    entry.kmer = Kmer<W>::from_words(slot.key, k_);
+    entry.coverage = slot.coverage;
+    entry.edges = slot.edges;
+    return entry;
+  }
+
+  int k_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t stripe_mask_ = 0;
+  std::vector<Slot> slots_;
+  mutable std::vector<std::mutex> mutexes_;
+  std::atomic<std::uint64_t> distinct_{0};
+};
+
+}  // namespace parahash::concurrent

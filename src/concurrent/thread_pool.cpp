@@ -1,0 +1,88 @@
+#include "concurrent/thread_pool.h"
+
+#include <atomic>
+
+#include "util/error.h"
+
+namespace parahash::concurrent {
+
+ThreadPool::ThreadPool(int threads) {
+  PARAHASH_CHECK_MSG(threads >= 1, "pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t n, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) {
+    grain = n / (4 * static_cast<std::uint64_t>(size()));
+    if (grain == 0) grain = 1;
+  }
+  const std::uint64_t chunks = (n + grain - 1) / grain;
+
+  std::atomic<std::uint64_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t begin = c * grain;
+    const std::uint64_t end = begin + grain < n ? begin + grain : n;
+    submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace parahash::concurrent

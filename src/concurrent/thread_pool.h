@@ -1,0 +1,52 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// Devices own a pool each (the CPU device a chunk-granular one, the
+// simulated GPU a warp-granular one), so "co-processing" really is two
+// independent executors pulling work concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parahash::concurrent {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not submit to the same pool and block on
+  /// the result (classic pool deadlock).
+  void submit(std::function<void()> task);
+
+  /// Runs body(begin, end) over chunks of [0, n) across the pool and
+  /// blocks until all chunks finished. The first exception thrown by any
+  /// chunk is rethrown here. `grain` bounds the chunk size; grain == 0
+  /// picks n / (4 * threads), clamped to >= 1.
+  void parallel_for(std::uint64_t n, std::uint64_t grain,
+                    const std::function<void(std::uint64_t, std::uint64_t)>&
+                        body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace parahash::concurrent

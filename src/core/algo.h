@@ -1,0 +1,120 @@
+// Graph traversal utilities over the constructed De Bruijn graph:
+// connected components and bounded neighbourhood exploration. These are
+// the queries downstream assembly / analysis steps run first, and they
+// double as integration checks that the recorded edge counters really
+// connect the graph.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/graph.h"
+#include "util/dna.h"
+
+namespace parahash::core {
+
+/// Undirected neighbours of a canonical vertex that pass the weight
+/// threshold: all vertices one overlap away on either side, in either
+/// orientation.
+template <int W>
+std::vector<Kmer<W>> neighbors(const DeBruijnGraph<W>& /*graph*/,
+                               const concurrent::VertexEntry<W>& entry,
+                               std::uint32_t min_edge_weight = 1) {
+  std::vector<Kmer<W>> out;
+  for (int b = 0; b < 4; ++b) {
+    if (entry.out_weight(b) >= min_edge_weight) {
+      out.push_back(
+          entry.kmer.successor(static_cast<std::uint8_t>(b)).canonical());
+    }
+    if (entry.in_weight(b) >= min_edge_weight) {
+      out.push_back(
+          entry.kmer.predecessor(static_cast<std::uint8_t>(b)).canonical());
+    }
+  }
+  // A vertex can reach the same neighbour through two counters.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct ComponentSummary {
+  std::uint64_t count = 0;
+  std::vector<std::uint64_t> sizes;  ///< descending
+
+  std::uint64_t largest() const { return sizes.empty() ? 0 : sizes[0]; }
+};
+
+/// Connected components of the undirected graph induced by vertices with
+/// coverage >= min_coverage and edges with weight >= min_edge_weight.
+template <int W>
+ComponentSummary connected_components(const DeBruijnGraph<W>& graph,
+                                      std::uint32_t min_coverage = 0,
+                                      std::uint32_t min_edge_weight = 1) {
+  ComponentSummary summary;
+  std::unordered_set<std::string> visited;
+
+  graph.for_each_vertex([&](const concurrent::VertexEntry<W>& seed) {
+    if (seed.coverage < min_coverage) return;
+    if (visited.contains(seed.kmer.to_string())) return;
+
+    std::uint64_t size = 0;
+    std::deque<Kmer<W>> frontier{seed.kmer};
+    visited.insert(seed.kmer.to_string());
+    while (!frontier.empty()) {
+      const Kmer<W> current = frontier.front();
+      frontier.pop_front();
+      ++size;
+      const auto* entry = graph.find(current);
+      if (entry == nullptr) continue;
+      for (const auto& next : neighbors(graph, *entry, min_edge_weight)) {
+        const auto* next_entry = graph.find(next);
+        if (next_entry == nullptr || next_entry->coverage < min_coverage) {
+          continue;
+        }
+        if (visited.insert(next.to_string()).second) {
+          frontier.push_back(next);
+        }
+      }
+    }
+    summary.sizes.push_back(size);
+  });
+
+  std::sort(summary.sizes.rbegin(), summary.sizes.rend());
+  summary.count = summary.sizes.size();
+  return summary;
+}
+
+/// Vertices within `radius` overlap-steps of `start` (canonicalised),
+/// including the start itself. Returns canonical kmers.
+template <int W>
+std::vector<Kmer<W>> neighborhood(const DeBruijnGraph<W>& graph,
+                                  const Kmer<W>& start, int radius,
+                                  std::uint32_t min_edge_weight = 1) {
+  std::vector<Kmer<W>> out;
+  const Kmer<W> origin = start.canonical();
+  if (graph.find(origin) == nullptr) return out;
+
+  std::unordered_set<std::string> visited{origin.to_string()};
+  std::deque<std::pair<Kmer<W>, int>> frontier{{origin, 0}};
+  while (!frontier.empty()) {
+    const auto [current, depth] = frontier.front();
+    frontier.pop_front();
+    out.push_back(current);
+    if (depth == radius) continue;
+    const auto* entry = graph.find(current);
+    if (entry == nullptr) continue;
+    for (const auto& next : neighbors(graph, *entry, min_edge_weight)) {
+      if (graph.find(next) == nullptr) continue;
+      if (visited.insert(next.to_string()).second) {
+        frontier.emplace_back(next, depth + 1);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace parahash::core

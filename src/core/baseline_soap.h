@@ -1,0 +1,216 @@
+// SOAP-style baseline builder (paper Sec. II-C, Fig. 2, Fig. 10,
+// Table III).
+//
+// SOAPdenovo's De Bruijn construction architecture, reproduced for
+// comparison (see DESIGN.md substitution table):
+//   * the ENTIRE input's kmers are materialised in main memory first
+//     (this is why SOAP "cannot run" on big genomes — Table III's NA);
+//   * T threads each own a private hash table and each scan ALL kmers,
+//     keeping only those their table owns (ownership = hash % T), so the
+//     degree of parallelism is capped by the number of tables and every
+//     thread pays the full scan ("Read data" in Fig. 10).
+//
+// The output graph is identical to ParaHash's (tests check this); only
+// the cost structure differs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "concurrent/thread_pool.h"
+#include "core/graph.h"
+#include "io/fastx.h"
+#include "util/dna.h"
+#include "util/error.h"
+#include "util/kmer.h"
+#include "util/timer.h"
+
+namespace parahash::core {
+
+/// The whole-input kmer array would not fit in the configured memory
+/// budget (Table III's "NA" condition).
+class MemoryBudgetError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct SoapConfig {
+  int k = 27;
+  int threads = 4;  ///< == number of local hash tables
+  double alpha = 0.7;
+  /// 0 = unlimited. Checked against the in-memory kmer tuple array, the
+  /// component that forces SOAP to hold the whole graph in RAM.
+  std::uint64_t memory_budget_bytes = 0;
+};
+
+template <int W>
+struct SoapResult {
+  std::vector<concurrent::VertexEntry<W>> vertices;  ///< merged, unsorted
+  std::uint64_t total_kmers = 0;
+  std::uint64_t distinct_vertices = 0;
+  double generate_seconds = 0;  ///< read parsing + kmer materialisation
+  double read_seconds = 0;      ///< threads scanning the shared kmer array
+  double insert_seconds = 0;    ///< local-table insert/update time
+  std::uint64_t kmer_array_bytes = 0;
+};
+
+template <int W>
+class SoapStyleBuilder {
+ public:
+  explicit SoapStyleBuilder(const SoapConfig& config) : config_(config) {
+    PARAHASH_CHECK_MSG(config.k >= 1 && config.k <= Kmer<W>::kMaxK,
+                       "k out of range");
+    PARAHASH_CHECK_MSG(config.threads >= 1, "need at least one thread");
+  }
+
+  /// Builds from a FASTA/FASTQ file.
+  SoapResult<W> build_file(const std::string& path) {
+    io::FastxFileReader reader(path);
+    return build([&](io::Read& read) { return reader.next(read); });
+  }
+
+  /// Builds from in-memory reads.
+  SoapResult<W> build_reads(const std::vector<io::Read>& reads) {
+    std::size_t next = 0;
+    return build([&](io::Read& read) {
+      if (next >= reads.size()) return false;
+      read = reads[next++];
+      return true;
+    });
+  }
+
+ private:
+  /// One <canonical kmer, edge increments> tuple; the unit SOAP holds in
+  /// memory for the entire input.
+  struct Tuple {
+    Kmer<W> canon;
+    std::int8_t edge_out;
+    std::int8_t edge_in;
+  };
+
+  template <typename NextRead>
+  SoapResult<W> build(NextRead&& next_read) {
+    SoapResult<W> result;
+    const int k = config_.k;
+
+    // Phase A (SOAP: "gets reads from disk and generates all kmers in
+    // main memory").
+    WallTimer generate_timer;
+    std::vector<Tuple> tuples;
+    io::Read read;
+    while (next_read(read)) {
+      const int L = static_cast<int>(read.bases.size());
+      if (L < k) continue;
+      if (config_.memory_budget_bytes != 0) {
+        const std::uint64_t projected =
+            (tuples.size() + static_cast<std::uint64_t>(L - k + 1)) *
+            sizeof(Tuple);
+        if (projected > config_.memory_budget_bytes) {
+          throw MemoryBudgetError(
+              "SOAP-style builder: in-memory kmer array exceeds budget (" +
+              std::to_string(projected) + " bytes projected)");
+        }
+      }
+      append_read_tuples(read.bases, tuples);
+    }
+    result.generate_seconds = generate_timer.seconds();
+    result.total_kmers = tuples.size();
+    result.kmer_array_bytes = tuples.size() * sizeof(Tuple);
+
+    // Phase B: per-thread local tables; EVERY thread scans ALL tuples.
+    const int T = config_.threads;
+    const std::uint64_t slots_per_table =
+        static_cast<std::uint64_t>(static_cast<double>(tuples.size()) /
+                                   (config_.alpha * T)) +
+        64;
+    std::vector<std::unique_ptr<concurrent::ConcurrentKmerTable<W>>> tables;
+    tables.reserve(T);
+    for (int t = 0; t < T; ++t) {
+      tables.push_back(
+          std::make_unique<concurrent::ConcurrentKmerTable<W>>(
+              slots_per_table, k));
+    }
+
+    std::vector<double> read_seconds(T, 0.0);
+    std::vector<double> insert_seconds(T, 0.0);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(T);
+      for (int t = 0; t < T; ++t) {
+        threads.emplace_back([&, t] {
+          // Scan all tuples, copying owned ones to local storage
+          // ("Read data" of Fig. 10)...
+          WallTimer read_timer;
+          std::vector<Tuple> mine;
+          mine.reserve(tuples.size() / T + 1);
+          for (const Tuple& tuple : tuples) {
+            if (tuple.canon.hash() % T == static_cast<std::uint64_t>(t)) {
+              mine.push_back(tuple);
+            }
+          }
+          read_seconds[t] = read_timer.seconds();
+
+          // ...then insert/update into the thread's own table.
+          WallTimer insert_timer;
+          for (const Tuple& tuple : mine) {
+            tables[t]->add(tuple.canon, tuple.edge_out, tuple.edge_in);
+          }
+          insert_seconds[t] = insert_timer.seconds();
+        });
+      }
+      for (auto& th : threads) th.join();
+    }
+
+    for (int t = 0; t < T; ++t) {
+      result.read_seconds += read_seconds[t];
+      result.insert_seconds += insert_seconds[t];
+      tables[t]->for_each([&](const concurrent::VertexEntry<W>& e) {
+        result.vertices.push_back(e);
+      });
+      result.distinct_vertices += tables[t]->size();
+    }
+    return result;
+  }
+
+  void append_read_tuples(const std::string& bases,
+                          std::vector<Tuple>& tuples) const {
+    const int k = config_.k;
+    const int L = static_cast<int>(bases.size());
+
+    Kmer<W> fwd(k);
+    for (int i = 0; i < k; ++i) fwd.roll_append(encode_base(bases[i]));
+    Kmer<W> rc = fwd.reverse_complement();
+
+    for (int pos = 0; pos + k <= L; ++pos) {
+      if (pos > 0) {
+        const std::uint8_t b = encode_base(bases[pos + k - 1]);
+        fwd.roll_append(b);
+        rc.roll_prepend(complement(b));
+      }
+      const int left = pos > 0 ? encode_base(bases[pos - 1]) : -1;
+      const int right =
+          pos + k < L ? encode_base(bases[pos + k]) : -1;
+
+      Tuple tuple;
+      const bool flipped = rc < fwd;
+      tuple.canon = flipped ? rc : fwd;
+      if (!flipped) {
+        tuple.edge_out = static_cast<std::int8_t>(right);
+        tuple.edge_in = static_cast<std::int8_t>(left);
+      } else {
+        tuple.edge_out = static_cast<std::int8_t>(
+            left >= 0 ? complement(static_cast<std::uint8_t>(left)) : -1);
+        tuple.edge_in = static_cast<std::int8_t>(
+            right >= 0 ? complement(static_cast<std::uint8_t>(right)) : -1);
+      }
+      tuples.push_back(tuple);
+    }
+  }
+
+  SoapConfig config_;
+};
+
+}  // namespace parahash::core

@@ -1,0 +1,163 @@
+// Partition / sort / merge baseline (the bcalm2-class comparator and the
+// strategy GPU De Bruijn tools adopt — paper Sec. II-B/II-C).
+//
+// Works over the SAME superkmer partitions as ParaHash's Step 2, but
+// instead of concurrent hashing it expands every <canonical kmer, edge>
+// pair into an array, sorts by kmer, and merges equal-kmer runs. This is
+// the "sort-merge" duplicate-detection alternative of Sec. II-B; with a
+// byte-per-base (kByte) partition encoding it also models the fat
+// intermediates the paper's encoding ablation measures.
+//
+// Output is bit-identical to the hash-based subgraph builder (tests
+// check this); only the cost structure differs — O(n log n) comparisons
+// on multi-word keys vs O(n) expected hashing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "core/subgraph.h"
+#include "io/partition_file.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+#include "util/timer.h"
+
+namespace parahash::core {
+
+template <int W>
+struct SortMergeResult {
+  std::vector<concurrent::VertexEntry<W>> vertices;  ///< sorted by kmer
+  std::uint64_t pairs = 0;
+  std::uint64_t junctions = 0;  ///< branching vertices (classify pass)
+  double expand_seconds = 0;
+  double sort_seconds = 0;
+  double merge_seconds = 0;
+  double classify_seconds = 0;
+};
+
+template <int W>
+class SortMergeBuilder {
+ public:
+  /// Builds one partition's subgraph by expand + sort + merge. When
+  /// `classify_junctions` is set, a further pass resolves each vertex's
+  /// neighbours by binary search and classifies junction vs simple-path
+  /// vertices — the neighbour-query workload bcalm2's compaction (and
+  /// its MPHF over junction kmers) performs after counting.
+  static SortMergeResult<W> build_partition(const io::PartitionBlob& blob,
+                                            bool classify_junctions =
+                                                false) {
+    SortMergeResult<W> result;
+    const int k = static_cast<int>(blob.header().k);
+
+    struct Pair {
+      Kmer<W> canon;
+      std::int8_t edge_out;
+      std::int8_t edge_in;
+    };
+
+    WallTimer expand_timer;
+    std::vector<Pair> pairs;
+    pairs.reserve(blob.header().kmer_count);
+    std::vector<std::uint8_t> seq;
+    for (const std::size_t offset : io::record_offsets(blob)) {
+      const io::SuperkmerView view = io::record_at(blob, offset);
+      const int n = view.n_bases;
+      seq.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) seq[i] = view.base(i);
+
+      const int core_begin = view.core_begin();
+      const int n_kmers = view.kmer_count(k);
+
+      Kmer<W> fwd(k);
+      for (int i = 0; i < k; ++i) fwd.roll_append(seq[core_begin + i]);
+      Kmer<W> rc = fwd.reverse_complement();
+
+      for (int j = 0; j < n_kmers; ++j) {
+        const int pos = core_begin + j;
+        if (j > 0) {
+          const std::uint8_t b = seq[pos + k - 1];
+          fwd.roll_append(b);
+          rc.roll_prepend(complement(b));
+        }
+        const int left = pos > 0 ? seq[pos - 1] : -1;
+        const int right = pos + k < n ? seq[pos + k] : -1;
+
+        Pair pair;
+        const bool flipped = rc < fwd;
+        pair.canon = flipped ? rc : fwd;
+        if (!flipped) {
+          pair.edge_out = static_cast<std::int8_t>(right);
+          pair.edge_in = static_cast<std::int8_t>(left);
+        } else {
+          pair.edge_out = static_cast<std::int8_t>(
+              left >= 0 ? complement(static_cast<std::uint8_t>(left)) : -1);
+          pair.edge_in = static_cast<std::int8_t>(
+              right >= 0 ? complement(static_cast<std::uint8_t>(right))
+                         : -1);
+        }
+        pairs.push_back(pair);
+      }
+    }
+    result.expand_seconds = expand_timer.seconds();
+    result.pairs = pairs.size();
+
+    WallTimer sort_timer;
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.canon < b.canon; });
+    result.sort_seconds = sort_timer.seconds();
+
+    WallTimer merge_timer;
+    result.vertices.reserve(pairs.size() / 4 + 1);
+    for (std::size_t i = 0; i < pairs.size();) {
+      concurrent::VertexEntry<W> entry;
+      entry.kmer = pairs[i].canon;
+      std::size_t j = i;
+      for (; j < pairs.size() && pairs[j].canon == entry.kmer; ++j) {
+        ++entry.coverage;
+        if (pairs[j].edge_out >= 0) {
+          ++entry.edges[concurrent::kEdgeOut + pairs[j].edge_out];
+        }
+        if (pairs[j].edge_in >= 0) {
+          ++entry.edges[concurrent::kEdgeIn + pairs[j].edge_in];
+        }
+      }
+      result.vertices.push_back(entry);
+      i = j;
+    }
+    result.merge_seconds = merge_timer.seconds();
+
+    if (classify_junctions) {
+      WallTimer classify_timer;
+      auto contains = [&](const Kmer<W>& canon) {
+        const auto it = std::lower_bound(
+            result.vertices.begin(), result.vertices.end(), canon,
+            [](const concurrent::VertexEntry<W>& e, const Kmer<W>& key) {
+              return e.kmer < key;
+            });
+        return it != result.vertices.end() && it->kmer == canon;
+      };
+      for (const auto& v : result.vertices) {
+        int degree = 0;
+        for (int b = 0; b < 4; ++b) {
+          if (v.edges[concurrent::kEdgeOut + b] > 0 &&
+              contains(v.kmer.successor(static_cast<std::uint8_t>(b))
+                           .canonical())) {
+            ++degree;
+          }
+          if (v.edges[concurrent::kEdgeIn + b] > 0 &&
+              contains(v.kmer.predecessor(static_cast<std::uint8_t>(b))
+                           .canonical())) {
+            ++degree;
+          }
+        }
+        if (degree > 2) ++result.junctions;
+      }
+      result.classify_seconds = classify_timer.seconds();
+    }
+    return result;
+  }
+};
+
+}  // namespace parahash::core

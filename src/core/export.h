@@ -1,0 +1,79 @@
+// Plain-text exports of the constructed graph for downstream tools:
+// a TSV adjacency-list dump and GraphViz DOT (small graphs only).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "core/graph.h"
+#include "util/error.h"
+
+namespace parahash::core {
+
+/// One line per vertex:
+///   kmer <tab> coverage <tab> out:A=w,C=w,... <tab> in:A=w,...
+/// Only counters > 0 are listed. Returns the number of vertices written.
+template <int W>
+std::uint64_t write_adjacency_tsv(const DeBruijnGraph<W>& graph,
+                                  const std::string& path,
+                                  std::uint32_t min_coverage = 0) {
+  std::ofstream file(path);
+  if (!file) throw IoError("export: cannot open " + path);
+  std::uint64_t written = 0;
+  graph.for_each_vertex([&](const concurrent::VertexEntry<W>& e) {
+    if (e.coverage < min_coverage) return;
+    file << e.kmer.to_string() << '\t' << e.coverage << '\t';
+    const char* bases = "ACGT";
+    file << "out:";
+    bool first = true;
+    for (int b = 0; b < 4; ++b) {
+      if (e.out_weight(b) == 0) continue;
+      if (!first) file << ',';
+      file << bases[b] << '=' << e.out_weight(b);
+      first = false;
+    }
+    file << "\tin:";
+    first = true;
+    for (int b = 0; b < 4; ++b) {
+      if (e.in_weight(b) == 0) continue;
+      if (!first) file << ',';
+      file << bases[b] << '=' << e.in_weight(b);
+      first = false;
+    }
+    file << '\n';
+    ++written;
+  });
+  file.close();
+  if (file.fail()) throw IoError("export: write failure on " + path);
+  return written;
+}
+
+/// GraphViz DOT with edge weights as labels. Refuses graphs above
+/// `max_vertices` (DOT rendering does not scale).
+template <int W>
+void write_dot(const DeBruijnGraph<W>& graph, const std::string& path,
+               std::uint64_t max_vertices = 10'000) {
+  PARAHASH_CHECK_MSG(graph.num_vertices() <= max_vertices,
+                     "graph too large for DOT export");
+  std::ofstream file(path);
+  if (!file) throw IoError("export: cannot open " + path);
+  file << "digraph dbg {\n  node [shape=box,fontname=monospace];\n";
+  graph.for_each_vertex([&](const concurrent::VertexEntry<W>& e) {
+    const std::string from = e.kmer.to_string();
+    file << "  \"" << from << "\" [label=\"" << from << "\\ncov "
+         << e.coverage << "\"];\n";
+    for (int b = 0; b < 4; ++b) {
+      const auto weight = e.out_weight(b);
+      if (weight == 0) continue;
+      const auto to =
+          e.kmer.successor(static_cast<std::uint8_t>(b)).canonical();
+      file << "  \"" << from << "\" -> \"" << to.to_string()
+           << "\" [label=" << weight << "];\n";
+    }
+  });
+  file << "}\n";
+  file.close();
+  if (file.fail()) throw IoError("export: write failure on " + path);
+}
+
+}  // namespace parahash::core

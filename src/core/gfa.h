@@ -1,0 +1,148 @@
+// GFA1 export: the assembly-graph interchange format downstream tools
+// (Bandage, vg, GFA-compatible assemblers) consume.
+//
+// Segments are unitigs (maximal non-branching paths); links are the
+// (k-1)-base overlaps between unitig ends, derived from the per-vertex
+// edge counters. Orientation follows GFA convention: `L a + b - 26M`
+// means walking a forward continues into b reversed with a 26-base
+// overlap.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/unitig.h"
+#include "util/dna.h"
+#include "util/error.h"
+
+namespace parahash::core {
+
+struct GfaLink {
+  std::size_t from = 0;
+  char from_orient = '+';
+  std::size_t to = 0;
+  char to_orient = '+';
+
+  friend auto operator<=>(const GfaLink&, const GfaLink&) = default;
+};
+
+template <int W>
+class GfaExporter {
+ public:
+  /// Uses the same filtering as the unitigs were built with so that the
+  /// links stay consistent with the segment set.
+  GfaExporter(const DeBruijnGraph<W>& graph, std::vector<Unitig> unitigs,
+              std::uint32_t min_coverage = 0,
+              std::uint32_t min_edge_weight = 1)
+      : graph_(graph),
+        unitigs_(std::move(unitigs)),
+        min_coverage_(min_coverage),
+        min_edge_weight_(min_edge_weight) {
+    index_ends();
+  }
+
+  /// Derives all links between unitig ends.
+  std::vector<GfaLink> links() const {
+    std::set<GfaLink> out;
+    const int k = graph_.k();
+    for (std::size_t u = 0; u < unitigs_.size(); ++u) {
+      for (const char orient : {'+', '-'}) {
+        // The last kmer of unitig u in this orientation.
+        const std::string& bases = unitigs_[u].bases;
+        std::string walk =
+            orient == '+' ? bases : reverse_complement_str(bases);
+        const Kmer<W> end =
+            Kmer<W>::from_string(walk.substr(walk.size() - k));
+        for (int b = 0; b < 4; ++b) {
+          if (edge_weight(end, static_cast<std::uint8_t>(b)) <
+              min_edge_weight_) {
+            continue;
+          }
+          const Kmer<W> next = end.successor(static_cast<std::uint8_t>(b));
+          const auto entry = starts_.find(next.to_string());
+          if (entry == starts_.end()) continue;
+          const auto [v, v_orient] = entry->second;
+          GfaLink link{u, orient, v, v_orient};
+          // Canonical direction so each link appears once: keep the
+          // lexicographically smaller of the link and its reverse.
+          const GfaLink reversed{v, flip(v_orient), u, flip(orient)};
+          out.insert(std::min(link, reversed));
+        }
+      }
+    }
+    return {out.begin(), out.end()};
+  }
+
+  /// Writes segments and links; returns (#segments, #links).
+  std::pair<std::size_t, std::size_t> write(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw IoError("gfa: cannot open " + path);
+    file << "H\tVN:Z:1.0\n";
+    for (std::size_t u = 0; u < unitigs_.size(); ++u) {
+      file << "S\tu" << u << '\t' << unitigs_[u].bases << "\tRC:i:"
+           << static_cast<std::uint64_t>(unitigs_[u].mean_coverage *
+                                         static_cast<double>(
+                                             unitigs_[u].kmers))
+           << '\n';
+    }
+    const auto all_links = links();
+    const int overlap = graph_.k() - 1;
+    for (const auto& link : all_links) {
+      file << "L\tu" << link.from << '\t' << link.from_orient << "\tu"
+           << link.to << '\t' << link.to_orient << '\t' << overlap
+           << "M\n";
+    }
+    file.close();
+    if (file.fail()) throw IoError("gfa: write failure on " + path);
+    return {unitigs_.size(), all_links.size()};
+  }
+
+  const std::vector<Unitig>& unitigs() const { return unitigs_; }
+
+ private:
+  static char flip(char orient) { return orient == '+' ? '-' : '+'; }
+
+  /// Oriented out-edge weight of a (possibly non-canonical) kmer.
+  std::uint32_t edge_weight(const Kmer<W>& kmer, std::uint8_t base) const {
+    const auto* entry = graph_.find(kmer);
+    if (entry == nullptr || entry->coverage < min_coverage_) return 0;
+    const bool flipped = !kmer.is_canonical();
+    const std::uint32_t weight =
+        flipped ? entry->in_weight(complement(base))
+                : entry->out_weight(base);
+    if (weight < min_edge_weight_) return 0;
+    // The target must also survive the coverage filter.
+    const auto* target = graph_.find(kmer.successor(base));
+    if (target == nullptr || target->coverage < min_coverage_) return 0;
+    return weight;
+  }
+
+  /// Indexes each unitig's entry kmers: walking INTO the unitig at this
+  /// exact (oriented) kmer traverses it with the stored orientation.
+  void index_ends() {
+    const int k = graph_.k();
+    for (std::size_t u = 0; u < unitigs_.size(); ++u) {
+      const std::string& bases = unitigs_[u].bases;
+      PARAHASH_CHECK(bases.size() >= static_cast<std::size_t>(k));
+      starts_.emplace(bases.substr(0, static_cast<std::size_t>(k)),
+                      std::pair{u, '+'});
+      const std::string rc = reverse_complement_str(bases);
+      starts_.emplace(rc.substr(0, static_cast<std::size_t>(k)),
+                      std::pair{u, '-'});
+    }
+  }
+
+  const DeBruijnGraph<W>& graph_;
+  std::vector<Unitig> unitigs_;
+  std::uint32_t min_coverage_;
+  std::uint32_t min_edge_weight_;
+  std::map<std::string, std::pair<std::size_t, char>> starts_;
+};
+
+}  // namespace parahash::core

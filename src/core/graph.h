@@ -1,0 +1,255 @@
+// The assembled De Bruijn graph: all subgraphs together (Definition 3).
+//
+// Subgraphs are stored as sorted vertex arrays per partition. Because the
+// MSP step routes every kmer by the hash of its canonical minimizer, a
+// query kmer's partition can be recomputed, so point lookups touch one
+// partition and one binary search. Vertices below a coverage threshold
+// ("invalid vertices", typically sequencing errors seen once) can be
+// filtered when writing the final graph, as the paper does for the
+// Bumblebee output.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "core/msp.h"
+#include "util/error.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+/// Summary counters over a graph (or one subgraph).
+struct GraphStats {
+  std::uint64_t vertices = 0;
+  std::uint64_t total_coverage = 0;       ///< sum of kmer occurrences
+  std::uint64_t edge_counter_total = 0;   ///< sum of all 8 counters
+  std::uint64_t distinct_edges = 0;       ///< counters > 0, out side only
+  std::uint64_t branching_vertices = 0;   ///< out-degree > 1 or in-degree > 1
+
+  /// Duplicate vertices in the paper's Table-I sense: occurrences beyond
+  /// the first of each distinct vertex.
+  std::uint64_t duplicate_vertices() const {
+    return total_coverage - vertices;
+  }
+};
+
+template <int W>
+class DeBruijnGraph {
+ public:
+  using Entry = concurrent::VertexEntry<W>;
+
+  DeBruijnGraph(int k, int p, std::uint32_t num_partitions)
+      : k_(k), p_(p), partitions_(num_partitions) {}
+
+  int k() const noexcept { return k_; }
+  int p() const noexcept { return p_; }
+  std::uint32_t num_partitions() const noexcept {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+
+  /// Installs one partition's vertices (sorted here; any input order).
+  void set_partition(std::uint32_t partition_id,
+                     std::vector<Entry> entries) {
+    PARAHASH_CHECK(partition_id < partitions_.size());
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.kmer < b.kmer; });
+    partitions_[partition_id] = std::move(entries);
+  }
+
+  /// Drains a finished hash table into partition `partition_id`,
+  /// dropping vertices with coverage below `min_coverage`.
+  void adopt_table(std::uint32_t partition_id,
+                   const concurrent::ConcurrentKmerTable<W>& table,
+                   std::uint32_t min_coverage = 0) {
+    std::vector<Entry> entries;
+    entries.reserve(table.size());
+    table.for_each([&](const Entry& e) {
+      if (e.coverage >= min_coverage) entries.push_back(e);
+    });
+    set_partition(partition_id, std::move(entries));
+  }
+
+  /// Finds a vertex by any kmer (canonicalised internally).
+  const Entry* find(const Kmer<W>& kmer) const {
+    const Kmer<W> canon = kmer.canonical();
+    const std::uint32_t part = partition_of(canon);
+    const auto& entries = partitions_[part];
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), canon,
+        [](const Entry& e, const Kmer<W>& key) { return e.kmer < key; });
+    if (it == entries.end() || !(it->kmer == canon)) return nullptr;
+    return &*it;
+  }
+
+  /// Which partition a canonical kmer's minimizer routes to. Exposed so
+  /// tests can check the MSP invariant.
+  std::uint32_t partition_of(const Kmer<W>& canon) const {
+    std::uint8_t codes[Kmer<W>::kMaxK];
+    for (int i = 0; i < canon.k(); ++i) codes[i] = canon.base(i);
+    const std::uint64_t minimizer =
+        kmer_minimizer_naive(codes, canon.k(), p_);
+    return minimizer_partition(minimizer,
+                               static_cast<std::uint32_t>(
+                                   partitions_.size()));
+  }
+
+  const std::vector<Entry>& partition(std::uint32_t id) const {
+    return partitions_[id];
+  }
+
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) const {
+    for (const auto& entries : partitions_) {
+      for (const Entry& e : entries) fn(e);
+    }
+  }
+
+  std::uint64_t num_vertices() const {
+    std::uint64_t n = 0;
+    for (const auto& entries : partitions_) n += entries.size();
+    return n;
+  }
+
+  GraphStats stats() const {
+    GraphStats s;
+    for_each_vertex([&](const Entry& e) {
+      ++s.vertices;
+      s.total_coverage += e.coverage;
+      for (int i = 0; i < 8; ++i) s.edge_counter_total += e.edges[i];
+      for (int b = 0; b < 4; ++b) {
+        s.distinct_edges += e.edges[concurrent::kEdgeOut + b] > 0;
+      }
+      if (e.out_degree() > 1 || e.in_degree() > 1) ++s.branching_vertices;
+    });
+    return s;
+  }
+
+  /// Removes vertices below a coverage threshold in place; returns the
+  /// number removed. (Erroneous kmers "can only be filtered by the number
+  /// of their occurrences after the graph is constructed", Sec. III-C1.)
+  std::uint64_t filter_min_coverage(std::uint32_t min_coverage) {
+    std::uint64_t removed = 0;
+    for (auto& entries : partitions_) {
+      const auto it = std::remove_if(
+          entries.begin(), entries.end(),
+          [&](const Entry& e) { return e.coverage < min_coverage; });
+      removed += static_cast<std::uint64_t>(entries.end() - it);
+      entries.erase(it, entries.end());
+    }
+    return removed;
+  }
+
+  /// Binary serialisation. Returns bytes written.
+  std::uint64_t write(const std::string& path) const;
+  static DeBruijnGraph load(const std::string& path);
+
+  friend bool operator==(const DeBruijnGraph& a, const DeBruijnGraph& b) {
+    if (a.k_ != b.k_ || a.partitions_.size() != b.partitions_.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.partitions_.size(); ++i) {
+      const auto& ea = a.partitions_[i];
+      const auto& eb = b.partitions_[i];
+      if (ea.size() != eb.size()) return false;
+      for (std::size_t j = 0; j < ea.size(); ++j) {
+        if (!(ea[j].kmer == eb[j].kmer) ||
+            ea[j].coverage != eb[j].coverage || ea[j].edges != eb[j].edges) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  int k_;
+  int p_;
+  std::vector<std::vector<Entry>> partitions_;
+};
+
+namespace internal {
+struct GraphFileHeader {
+  static constexpr std::uint32_t kMagic = 0x50484447u;  // "PHDG"
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::uint32_t k = 0;
+  std::uint32_t p = 0;
+  std::uint32_t num_partitions = 0;
+  std::uint32_t words = 0;
+  std::uint64_t vertex_count = 0;
+};
+}  // namespace internal
+
+template <int W>
+std::uint64_t DeBruijnGraph<W>::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw IoError("graph: cannot open " + path + " for write");
+
+  internal::GraphFileHeader header;
+  header.k = static_cast<std::uint32_t>(k_);
+  header.p = static_cast<std::uint32_t>(p_);
+  header.num_partitions = static_cast<std::uint32_t>(partitions_.size());
+  header.words = W;
+  header.vertex_count = num_vertices();
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  std::uint64_t bytes = sizeof(header);
+  for (std::uint32_t part = 0; part < partitions_.size(); ++part) {
+    const std::uint64_t count = partitions_[part].size();
+    file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    bytes += sizeof(count);
+    for (const Entry& e : partitions_[part]) {
+      const auto words = e.kmer.words();
+      file.write(reinterpret_cast<const char*>(words.data()),
+                 W * sizeof(std::uint64_t));
+      file.write(reinterpret_cast<const char*>(&e.coverage),
+                 sizeof(e.coverage));
+      file.write(reinterpret_cast<const char*>(e.edges.data()),
+                 8 * sizeof(std::uint32_t));
+      bytes += W * sizeof(std::uint64_t) + sizeof(std::uint32_t) * 9;
+    }
+  }
+  file.close();
+  if (file.fail()) throw IoError("graph: write failure on " + path);
+  return bytes;
+}
+
+template <int W>
+DeBruijnGraph<W> DeBruijnGraph<W>::load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("graph: cannot open " + path);
+
+  internal::GraphFileHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || header.magic != internal::GraphFileHeader::kMagic) {
+    throw IoError("graph: bad header in " + path);
+  }
+  PARAHASH_CHECK_MSG(header.words == W, "graph file has different kmer width");
+
+  DeBruijnGraph graph(static_cast<int>(header.k), static_cast<int>(header.p),
+                      header.num_partitions);
+  for (std::uint32_t part = 0; part < header.num_partitions; ++part) {
+    std::uint64_t count = 0;
+    file.read(reinterpret_cast<char*>(&count), sizeof(count));
+    std::vector<Entry> entries(count);
+    for (auto& e : entries) {
+      std::array<std::uint64_t, W> words{};
+      file.read(reinterpret_cast<char*>(words.data()),
+                W * sizeof(std::uint64_t));
+      e.kmer = Kmer<W>::from_words(words, static_cast<int>(header.k));
+      file.read(reinterpret_cast<char*>(&e.coverage), sizeof(e.coverage));
+      file.read(reinterpret_cast<char*>(e.edges.data()),
+                8 * sizeof(std::uint32_t));
+    }
+    if (!file) throw IoError("graph: truncated file " + path);
+    graph.partitions_[part] = std::move(entries);
+  }
+  return graph;
+}
+
+}  // namespace parahash::core

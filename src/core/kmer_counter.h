@@ -1,0 +1,101 @@
+// Kmer counting mode: the spectrum-only sibling of Step 2.
+//
+// Uses the same superkmer partitions and the same state-transfer
+// protocol, but counting-only slots (concurrent/counter_table.h) — for
+// workloads that need the kmer spectrum, not the graph. This is the mode
+// the paper's related-work comparison carves out: kmer counters (MSP
+// counter, Jellyfish, BFCounter) "do not generate the complete De Bruijn
+// graph in the output" (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "concurrent/counter_table.h"
+#include "concurrent/thread_pool.h"
+#include "core/properties.h"
+#include "core/subgraph.h"
+#include "io/partition_file.h"
+#include "util/dna.h"
+
+namespace parahash::core {
+
+template <int W>
+struct KmerCountResult {
+  std::unique_ptr<concurrent::ConcurrentCounterTable<W>> table;
+  concurrent::TableStats stats;
+  std::uint32_t partition_id = 0;
+};
+
+/// Counting kernel over records [begin, end); same rolling-canonical
+/// loop as the graph builder, minus the edge bookkeeping.
+template <int W>
+void count_process_records(const io::PartitionBlob& blob,
+                           const std::vector<std::size_t>& offsets,
+                           std::size_t begin, std::size_t end,
+                           concurrent::ConcurrentCounterTable<W>& table,
+                           concurrent::TableStats& stats) {
+  const int k = static_cast<int>(blob.header().k);
+  std::vector<std::uint8_t> seq;
+  for (std::size_t r = begin; r < end; ++r) {
+    const io::SuperkmerView view = io::record_at(blob, offsets[r]);
+    seq.resize(view.n_bases);
+    for (int i = 0; i < view.n_bases; ++i) seq[i] = view.base(i);
+    const int core_begin = view.core_begin();
+    Kmer<W> fwd(k);
+    for (int i = 0; i < k; ++i) fwd.roll_append(seq[core_begin + i]);
+    Kmer<W> rc = fwd.reverse_complement();
+    const int n_kmers = view.kmer_count(k);
+    for (int j = 0; j < n_kmers; ++j) {
+      if (j > 0) {
+        const std::uint8_t b = seq[core_begin + j + k - 1];
+        fwd.roll_append(b);
+        rc.roll_prepend(complement(b));
+      }
+      stats.absorb(table.add(rc < fwd ? rc : fwd));
+    }
+  }
+}
+
+/// Counts one partition's kmers. Table sizing follows the same
+/// Property-1 rule as the graph builder.
+template <int W>
+KmerCountResult<W> count_partition(const io::PartitionBlob& blob,
+                                   const HashConfig& config,
+                                   concurrent::ThreadPool* pool,
+                                   std::uint64_t grain = 0) {
+  const auto& header = blob.header();
+  const std::uint64_t slots =
+      config.slots_override != 0
+          ? config.slots_override
+          : hash_table_slots(header.kmer_count, config.lambda, config.alpha,
+                             0, config.min_slots);
+  const auto offsets = io::record_offsets(blob);
+
+  KmerCountResult<W> result;
+  result.partition_id = header.partition_id;
+  result.table = std::make_unique<concurrent::ConcurrentCounterTable<W>>(
+      slots, static_cast<int>(header.k));
+
+  if (pool == nullptr || offsets.empty()) {
+    count_process_records<W>(blob, offsets, 0, offsets.size(),
+                             *result.table, result.stats);
+  } else {
+    std::mutex merge_mutex;
+    concurrent::TableStats total;
+    pool->parallel_for(offsets.size(), grain,
+                       [&](std::uint64_t begin, std::uint64_t end) {
+                         concurrent::TableStats stats;
+                         count_process_records<W>(blob, offsets, begin, end,
+                                                  *result.table, stats);
+                         std::lock_guard<std::mutex> lock(merge_mutex);
+                         total.merge(stats);
+                       });
+    result.stats = total;
+  }
+  return result;
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,216 @@
+#include "core/msp.h"
+
+#include "util/dna.h"
+#include "util/hash.h"
+
+namespace parahash::core {
+
+std::uint64_t kmer_minimizer_naive(const std::uint8_t* codes, int k, int p) {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int j = 0; j + p <= k; ++j) {
+    std::uint64_t fwd = 0;
+    std::uint64_t rc = 0;
+    for (int t = 0; t < p; ++t) {
+      fwd = (fwd << 2) | codes[j + t];
+      rc = (rc << 2) | complement(codes[j + p - 1 - t]);
+    }
+    const std::uint64_t canon = fwd < rc ? fwd : rc;
+    if (canon < best) best = canon;
+  }
+  return best;
+}
+
+std::uint32_t minimizer_partition(std::uint64_t minimizer,
+                                  std::uint32_t num_partitions) {
+  return static_cast<std::uint32_t>(mix64(minimizer) % num_partitions);
+}
+
+MspScanner::MspScanner(const MspConfig& config) : config_(config) {
+  config_.validate();
+}
+
+std::uint64_t MspScanner::scan_read(std::span<const std::uint8_t> codes,
+                                    std::vector<SuperkmerSpan>& out) {
+  const int k = config_.k;
+  const int p = config_.p;
+  const std::size_t len = codes.size();
+  if (len < static_cast<std::size_t>(k)) return 0;
+
+  // 1. Canonical pmer at every position, computed with rolling updates.
+  const std::size_t n_pmers = len - p + 1;
+  canon_pmers_.resize(n_pmers);
+  const std::uint64_t mask =
+      p == 32 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * p)) - 1);
+  const int rc_shift = 2 * (p - 1);
+  std::uint64_t fwd = 0;
+  std::uint64_t rc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t c = codes[i];
+    fwd = ((fwd << 2) | c) & mask;
+    rc = (rc >> 2) |
+         (static_cast<std::uint64_t>(complement(c)) << rc_shift);
+    if (i + 1 >= static_cast<std::size_t>(p)) {
+      canon_pmers_[i + 1 - p] = fwd < rc ? fwd : rc;
+    }
+  }
+
+  // 2. Sliding-window minimum over windows of k - p + 1 pmers gives each
+  // kmer's minimizer. Monotonic queue of pmer indices; `window_` acts as
+  // a deque with an advancing head.
+  const std::size_t n_kmers = len - k + 1;
+  const std::size_t window = static_cast<std::size_t>(k - p + 1);
+  window_.clear();
+  std::size_t head = 0;
+
+  const std::size_t spans_before = out.size();
+  std::uint64_t run_min = 0;
+  std::size_t run_start = 0;
+  bool in_run = false;
+
+  auto emit = [&](std::size_t first_kmer, std::size_t last_kmer,
+                  std::uint64_t minimizer) {
+    SuperkmerSpan span;
+    span.begin = static_cast<std::uint32_t>(first_kmer);
+    span.end = static_cast<std::uint32_t>(last_kmer + k);
+    span.minimizer = minimizer;
+    span.partition = minimizer_partition(minimizer, config_.num_partitions);
+    span.has_left = span.begin > 0;
+    span.has_right = span.end < len;
+    out.push_back(span);
+  };
+
+  for (std::size_t j = 0; j < n_pmers; ++j) {
+    // Drop indices that leave the window of the kmer ending here.
+    const std::size_t kmer_i = j + 1 >= window ? j + 1 - window : 0;
+    while (head < window_.size() && window_[head] < kmer_i) ++head;
+    // Maintain increasing pmer values back-to-front.
+    while (head < window_.size() &&
+           canon_pmers_[window_.back()] >= canon_pmers_[j]) {
+      window_.pop_back();
+    }
+    window_.push_back(static_cast<std::uint32_t>(j));
+
+    if (j + 1 < window) continue;  // first full window not reached yet
+    const std::uint64_t minimizer = canon_pmers_[window_[head]];
+    if (!in_run) {
+      in_run = true;
+      run_min = minimizer;
+      run_start = kmer_i;
+    } else if (minimizer != run_min) {
+      emit(run_start, kmer_i - 1, run_min);
+      run_min = minimizer;
+      run_start = kmer_i;
+    }
+  }
+  if (in_run) emit(run_start, n_kmers - 1, run_min);
+
+  (void)spans_before;
+  return n_kmers;
+}
+
+std::uint64_t MspScanner::scan_read_naive(
+    std::span<const std::uint8_t> codes,
+    std::vector<SuperkmerSpan>& out) const {
+  const int k = config_.k;
+  const std::size_t len = codes.size();
+  if (len < static_cast<std::size_t>(k)) return 0;
+  const std::size_t n_kmers = len - k + 1;
+
+  std::vector<std::uint64_t> minimizers(n_kmers);
+  for (std::size_t i = 0; i < n_kmers; ++i) {
+    minimizers[i] = kmer_minimizer_naive(codes.data() + i, k, config_.p);
+  }
+
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= n_kmers; ++i) {
+    if (i == n_kmers || minimizers[i] != minimizers[start]) {
+      SuperkmerSpan span;
+      span.begin = static_cast<std::uint32_t>(start);
+      span.end = static_cast<std::uint32_t>(i - 1 + k);
+      span.minimizer = minimizers[start];
+      span.partition =
+          minimizer_partition(span.minimizer, config_.num_partitions);
+      span.has_left = span.begin > 0;
+      span.has_right = span.end < len;
+      out.push_back(span);
+      start = i;
+    }
+  }
+  return n_kmers;
+}
+
+void MspBatchOutput::merge(MspBatchOutput&& other) {
+  PARAHASH_CHECK(parts.size() == other.parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    auto& dst = parts[i];
+    auto& src = other.parts[i];
+    dst.bytes.insert(dst.bytes.end(), src.bytes.begin(), src.bytes.end());
+    dst.superkmers += src.superkmers;
+    dst.kmers += src.kmers;
+    dst.bases += src.bases;
+  }
+  reads_processed += other.reads_processed;
+  kmers_covered += other.kmers_covered;
+}
+
+void msp_process_range(const io::ReadBatch& batch, const MspConfig& config,
+                       std::size_t begin, std::size_t end,
+                       MspBatchOutput& out) {
+  PARAHASH_CHECK(out.parts.size() == config.num_partitions);
+  MspScanner scanner(config);
+  std::vector<std::uint8_t> read_codes;
+  std::vector<SuperkmerSpan> spans;
+
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t len = batch.read_length(r);
+    const std::uint64_t off = batch.offsets[r];
+    read_codes.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      read_codes[i] = batch.bases[off + i];
+    }
+
+    spans.clear();
+    const std::uint64_t covered = scanner.scan_read(read_codes, spans);
+    ++out.reads_processed;
+    out.kmers_covered += covered;
+
+    // Cap on the core bases of one record. Records carry a 16-bit
+    // length; long superkmers (whole-genome FASTA inputs produce them)
+    // are split at kmer boundaries. Consecutive pieces overlap by k-1
+    // bases and carry extension bases at the cut, so every kmer lands in
+    // exactly one piece and the cut adjacency stays recorded.
+    constexpr std::size_t kMaxCoreBases = 32768;
+
+    for (const SuperkmerSpan& span : spans) {
+      auto& part = out.parts[span.partition];
+      std::size_t core_begin = span.begin;
+      while (core_begin < span.end) {
+        const bool first_piece = core_begin == span.begin;
+        std::size_t core_end = span.end;
+        if (core_end - core_begin > kMaxCoreBases) {
+          // Cut after a whole number of kmers; the next piece's first
+          // kmer starts at cut_kmer = core_end - k + 1 of this piece.
+          core_end = core_begin + kMaxCoreBases;
+        }
+        const bool last_piece = core_end == span.end;
+        const bool has_left = first_piece ? span.has_left : true;
+        const bool has_right = last_piece ? span.has_right : true;
+        const std::size_t ext_begin = core_begin - (has_left ? 1 : 0);
+        const std::size_t ext_end = core_end + (has_right ? 1 : 0);
+        const std::size_t n_bases = ext_end - ext_begin;
+        io::encode_superkmer_record(part.bytes,
+                                    read_codes.data() + ext_begin, n_bases,
+                                    has_left, has_right, config.encoding);
+        ++part.superkmers;
+        part.kmers += (core_end - core_begin) - config.k + 1;
+        part.bases += n_bases;
+        if (last_piece) break;
+        // This piece's last kmer starts at core_end - k; the next piece
+        // begins with the kmer at core_end - k + 1 (k-1 bases overlap).
+        core_begin = core_end - config.k + 1;
+      }
+    }
+  }
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,131 @@
+// Minimum Substring Partitioning (Step 1).
+//
+// For every kmer of a read we find its *minimizer*: the lexicographically
+// minimum length-P substring (Definition 1), taken over the canonical
+// strand so that a kmer and its reverse complement always agree (graph
+// vertices are canonical kmers, and equal vertices must land in the same
+// partition). Maximal runs of consecutive kmers sharing a minimizer form
+// *superkmers* (Definition 2): M kmers compact from O(M*K) to O(M+K)
+// bases. Each superkmer goes to partition hash(minimizer) % #partitions.
+//
+// ParaHash's modification of Li et al.'s MSP (Sec. III-B): each emitted
+// superkmer carries up to two extra bases — the read bases immediately
+// left and right of it — so that the edges between a superkmer's boundary
+// kmers and their neighbours in adjacent superkmers survive partitioning,
+// and the *complete* De Bruijn graph (not just vertex counts) can be
+// built from the partitions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/fastx.h"
+#include "io/partition_file.h"
+#include "util/error.h"
+
+namespace parahash::core {
+
+/// Parameters of the MSP step (paper Sec. IV-A).
+struct MspConfig {
+  int k = 27;                       ///< kmer length (odd, <= 64)
+  int p = 11;                       ///< minimizer length (1 <= p <= min(k, 16))
+  std::uint32_t num_partitions = 64;
+  io::Encoding encoding = io::Encoding::kTwoBit;
+
+  void validate() const {
+    PARAHASH_CHECK_MSG(k >= 3 && k <= 64, "k must be in [3, 64]");
+    PARAHASH_CHECK_MSG(k % 2 == 1,
+                       "k must be odd so no kmer is its own reverse "
+                       "complement");
+    PARAHASH_CHECK_MSG(p >= 1 && p <= k, "need 1 <= P <= K (Definition 1)");
+    PARAHASH_CHECK_MSG(p <= 16, "minimizers are packed in 32 bits (P <= 16)");
+    PARAHASH_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  }
+};
+
+/// A superkmer located inside a read: core bases [begin, end), the
+/// partition its minimizer routes it to, and whether extension bases
+/// exist on either side.
+struct SuperkmerSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t partition = 0;
+  std::uint64_t minimizer = 0;
+  bool has_left = false;
+  bool has_right = false;
+
+  friend bool operator==(const SuperkmerSpan&,
+                         const SuperkmerSpan&) = default;
+};
+
+/// Canonical minimizer of the single kmer `codes[0..k)`: the minimum over
+/// all length-p substrings of the kmer and of its reverse complement.
+/// Reference implementation (O(K*P)); the scanner below is the fast path.
+std::uint64_t kmer_minimizer_naive(const std::uint8_t* codes, int k, int p);
+
+/// Routes a minimizer value to a partition.
+std::uint32_t minimizer_partition(std::uint64_t minimizer,
+                                  std::uint32_t num_partitions);
+
+/// Scans reads into superkmer spans.
+class MspScanner {
+ public:
+  explicit MspScanner(const MspConfig& config);
+
+  /// Appends the superkmer spans of one read (2-bit codes, one per byte)
+  /// to `out`. Reads shorter than k produce nothing. Returns the number
+  /// of kmers covered (read_len - k + 1, or 0).
+  std::uint64_t scan_read(std::span<const std::uint8_t> codes,
+                          std::vector<SuperkmerSpan>& out);
+
+  /// O(L*K*P) reference scan used to property-test the production scan.
+  std::uint64_t scan_read_naive(std::span<const std::uint8_t> codes,
+                                std::vector<SuperkmerSpan>& out) const;
+
+  const MspConfig& config() const { return config_; }
+
+ private:
+  MspConfig config_;
+  // Scratch reused across reads (cleared per call).
+  std::vector<std::uint64_t> canon_pmers_;
+  std::vector<std::uint32_t> window_;  // deque storage for sliding min
+};
+
+/// Superkmer records produced from one read batch, grouped by partition:
+/// the unit of Step-1 output a device hands to the writer stage.
+struct MspBatchOutput {
+  struct PerPartition {
+    std::vector<std::uint8_t> bytes;  // encode_superkmer_record format
+    std::uint64_t superkmers = 0;
+    std::uint64_t kmers = 0;
+    std::uint64_t bases = 0;
+  };
+
+  std::vector<PerPartition> parts;
+  std::uint64_t reads_processed = 0;
+  std::uint64_t kmers_covered = 0;
+
+  explicit MspBatchOutput(std::uint32_t num_partitions = 0)
+      : parts(num_partitions) {}
+
+  std::size_t byte_size() const {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.bytes.size();
+    return total;
+  }
+
+  /// Concatenates another batch output (same partition count).
+  void merge(MspBatchOutput&& other);
+};
+
+/// Scans reads [begin, end) of a batch into `out` (sized to
+/// config.num_partitions). This is the device-agnostic Step-1 kernel:
+/// the CPU device calls it with large ranges per thread, the simulated
+/// GPU with warp-sized ranges.
+void msp_process_range(const io::ReadBatch& batch, const MspConfig& config,
+                       std::size_t begin, std::size_t end,
+                       MspBatchOutput& out);
+
+}  // namespace parahash::core

@@ -1,0 +1,57 @@
+// The paper's analytic performance model (Sec. IV-B).
+//
+// Eq. (1): with pipelining, a step's elapsed time is the max of the CPU
+// compute, GPU compute (incl. host<->device transfer) and IO times, plus
+// one partition's worth of non-overlappable input+output (the pipeline
+// fill/drain).
+//
+// Eq. (2): when IO is negligible, co-processing ideally runs at the sum
+// of processing speeds: T = 1 / (1/T_cpu_only + N_gpu / T_single_gpu).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace parahash::core {
+
+/// Measured (or assumed) component times for one step, in seconds.
+struct StepTimes {
+  double cpu_compute = 0;     ///< T^i_CPU
+  double gpu_compute = 0;     ///< T^i_GPU_compute (all devices, max)
+  double dh_transfer = 0;     ///< T^i_DH_transfer (host<->device)
+  double input = 0;           ///< T^i_input (all partitions)
+  double output = 0;          ///< T^i_output (all partitions)
+  std::uint64_t partitions = 1;  ///< n_i
+};
+
+/// Eq. (1): estimated elapsed time of one pipelined step.
+inline double estimate_step_elapsed(const StepTimes& t) {
+  const double n = static_cast<double>(t.partitions < 1 ? 1 : t.partitions);
+  const double t_gpu = t.gpu_compute + t.dh_transfer;
+  const double t_io = (n - 1) / n * std::max(t.input, t.output);
+  const double overlapped = std::max({t.cpu_compute, t_gpu, t_io});
+  return overlapped + (t.input + t.output) / n;
+}
+
+/// Eq. (2): ideal co-processing time when T_io << min(T_cpu, T_gpu).
+/// `cpu_only_seconds` <= 0 means the CPU does not participate; likewise
+/// `single_gpu_seconds` <= 0 or num_gpus == 0 for the GPUs.
+inline double estimate_coprocessing(double cpu_only_seconds,
+                                    double single_gpu_seconds,
+                                    int num_gpus) {
+  double speed = 0;
+  if (cpu_only_seconds > 0) speed += 1.0 / cpu_only_seconds;
+  if (single_gpu_seconds > 0 && num_gpus > 0) {
+    speed += static_cast<double>(num_gpus) / single_gpu_seconds;
+  }
+  return speed > 0 ? 1.0 / speed : 0.0;
+}
+
+/// Case 2 of Sec. IV-B: elapsed time when IO dominates.
+inline double estimate_io_bound(const StepTimes& t) {
+  const double n = static_cast<double>(t.partitions < 1 ? 1 : t.partitions);
+  const double t_io = (n - 1) / n * std::max(t.input, t.output);
+  return t_io + (t.input + t.output) / n;
+}
+
+}  // namespace parahash::core

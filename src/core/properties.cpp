@@ -1,0 +1,56 @@
+#include "core/properties.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace parahash::core {
+
+double expected_erroneous_kmers_per_error(int read_length, int k) {
+  PARAHASH_CHECK_MSG(k >= 1 && read_length >= k,
+                     "need 1 <= k <= read length");
+  const double L = read_length;
+  const double K = k;
+  if (2 * k <= read_length + 1) {
+    // P(Y=K | one error) = (L - 2(K-1)) / L; P(Y=m) = 2/L for m < K.
+    // E(Y) = K(L-2K+2)/L + 2/L * sum_{m=1}^{K-1} m = K(L-2K+2)/L + K(K-1)/L
+    return K * (L - 2 * K + 2) / L + K * (K - 1) / L;
+  }
+  // Mirror case: the full-coverage count is L-K+1 kmers.
+  const double M = L - K + 1;
+  return M * (2 * K - L) / L + M * (M - 1) / L;
+}
+
+double expected_distinct_vertices(std::uint64_t genome_size,
+                                  std::uint64_t num_reads, int read_length,
+                                  int k, double lambda) {
+  const double erroneous =
+      lambda * static_cast<double>(num_reads) *
+      expected_erroneous_kmers_per_error(read_length, k);
+  const double total_kmers = static_cast<double>(num_reads) *
+                             static_cast<double>(read_length - k + 1);
+  // Can never exceed the number of generated kmers.
+  return std::min(static_cast<double>(genome_size) + erroneous, total_kmers);
+}
+
+std::uint64_t hash_table_slots(std::uint64_t partition_kmers, double lambda,
+                               double alpha,
+                               std::uint64_t genome_kmers_share,
+                               std::uint64_t min_slots) {
+  PARAHASH_CHECK_MSG(alpha > 0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  PARAHASH_CHECK_MSG(lambda >= 0, "lambda must be non-negative");
+  const double distinct_bound =
+      lambda / 4.0 * static_cast<double>(partition_kmers) +
+      static_cast<double>(genome_kmers_share);
+  // Never allocate more slots than there are kmers (worst case all
+  // distinct), never fewer than min_slots.
+  const double capped = std::min(
+      distinct_bound / alpha,
+      static_cast<double>(partition_kmers) / alpha);
+  const auto slots = static_cast<std::uint64_t>(std::ceil(capped));
+  return std::max(min_slots, next_pow2(slots));
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,38 @@
+// Property 1: expected De Bruijn graph size, and the hash-table sizing
+// rule built on it.
+//
+// The paper (Sec. III-C1 + Appendix) models sequencing errors as
+// Poisson(lambda) per read with uniform error positions. One error at
+// position i corrupts every kmer covering i, so the expected number of
+// erroneous kmers per read is bounded by Theta(L/4), giving an expected
+// graph size of Theta(lambda/4 * L * N + Ge). ParaHash uses this bound to
+// allocate each partition's hash table once, avoiding resizing: the table
+// for partition i gets lambda/(4*alpha) * Nkmer_i slots (Sec. IV-A).
+#pragma once
+
+#include <cstdint>
+
+namespace parahash::core {
+
+/// Exact expected number of erroneous kmers produced by ONE substitution
+/// error in a read of length L with kmer length k (the inner sum of the
+/// Appendix proof — both the k <= (L+1)/2 and the k > (L+1)/2 cases).
+double expected_erroneous_kmers_per_error(int read_length, int k);
+
+/// Expected number of distinct vertices for a dataset: genome_size plus
+/// lambda * num_reads * expected_erroneous_kmers_per_error (Property 1's
+/// Theta(lambda/4 * LN + Ge) with the exact per-error constant).
+double expected_distinct_vertices(std::uint64_t genome_size,
+                                  std::uint64_t num_reads, int read_length,
+                                  int k, double lambda);
+
+/// Paper's per-partition hash table sizing: lambda/(4*alpha) * kmers, the
+/// Sec. IV-A rule, clamped below by `min_slots`. `genome_kmers_share` adds
+/// the (usually smaller) error-free term for low-coverage inputs — pass 0
+/// to reproduce the paper's rule exactly.
+std::uint64_t hash_table_slots(std::uint64_t partition_kmers, double lambda,
+                               double alpha,
+                               std::uint64_t genome_kmers_share = 0,
+                               std::uint64_t min_slots = 1024);
+
+}  // namespace parahash::core

@@ -1,0 +1,52 @@
+#include "core/reference.h"
+
+#include "util/dna.h"
+#include "util/error.h"
+
+namespace parahash::core {
+
+ReferenceBuilder::ReferenceBuilder(int k) : k_(k) {
+  PARAHASH_CHECK_MSG(k >= 1, "k must be positive");
+}
+
+void ReferenceBuilder::add_read(std::string_view chars) {
+  const int L = static_cast<int>(chars.size());
+  if (L < k_) return;
+
+  // Normalise characters the way the pipeline's encoder does (N -> A).
+  std::string read(chars.size(), 'A');
+  for (std::size_t i = 0; i < chars.size(); ++i) {
+    read[i] = decode_base(encode_base(chars[i]));
+  }
+
+  for (int pos = 0; pos + k_ <= L; ++pos) {
+    const std::string fwd = read.substr(pos, k_);
+    const std::string rc = reverse_complement_str(fwd);
+    const bool flipped = rc < fwd;
+    const std::string& canon = flipped ? rc : fwd;
+
+    const int left = pos > 0 ? encode_base(read[pos - 1]) : -1;
+    const int right = pos + k_ < L ? encode_base(read[pos + k_]) : -1;
+
+    int edge_out;
+    int edge_in;
+    if (!flipped) {
+      edge_out = right;
+      edge_in = left;
+    } else {
+      edge_out =
+          left >= 0 ? complement(static_cast<std::uint8_t>(left)) : -1;
+      edge_in =
+          right >= 0 ? complement(static_cast<std::uint8_t>(right)) : -1;
+    }
+
+    RefEntry& entry = vertices_[canon];
+    ++entry.coverage;
+    if (edge_out >= 0) ++entry.edges[edge_out];
+    if (edge_in >= 0) ++entry.edges[4 + edge_in];
+    ++total_kmers_;
+    if (pos > 0) ++adjacencies_;
+  }
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,95 @@
+// Naive single-threaded De Bruijn graph oracle.
+//
+// An *independent* implementation path — plain strings and a std::
+// unordered_map, no packing, no minimizers, no concurrency — used as the
+// ground truth the whole ParaHash pipeline is tested against, and to
+// compute the dataset properties of Table I (distinct vs duplicate
+// vertices).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/graph.h"
+
+namespace parahash::core {
+
+struct RefEntry {
+  std::uint32_t coverage = 0;
+  std::array<std::uint32_t, 8> edges{};  // out[0..3], in[4..7]
+};
+
+class ReferenceBuilder {
+ public:
+  explicit ReferenceBuilder(int k);
+
+  /// Adds every kmer of one read (characters; N reads as A).
+  void add_read(std::string_view chars);
+
+  const std::unordered_map<std::string, RefEntry>& vertices() const {
+    return vertices_;
+  }
+
+  std::uint64_t distinct_vertices() const { return vertices_.size(); }
+  std::uint64_t total_kmers() const { return total_kmers_; }
+  std::uint64_t duplicate_vertices() const {
+    return total_kmers_ - vertices_.size();
+  }
+  std::uint64_t observed_adjacencies() const { return adjacencies_; }
+
+  /// Full equality check against a constructed graph; on mismatch, a
+  /// human-readable description is written to `*diff` if non-null.
+  template <int W>
+  bool matches(const DeBruijnGraph<W>& graph, std::string* diff) const;
+
+ private:
+  int k_;
+  std::unordered_map<std::string, RefEntry> vertices_;
+  std::uint64_t total_kmers_ = 0;
+  std::uint64_t adjacencies_ = 0;
+};
+
+template <int W>
+bool ReferenceBuilder::matches(const DeBruijnGraph<W>& graph,
+                               std::string* diff) const {
+  if (graph.num_vertices() != vertices_.size()) {
+    if (diff != nullptr) {
+      *diff = "vertex count mismatch: graph " +
+              std::to_string(graph.num_vertices()) + " vs reference " +
+              std::to_string(vertices_.size());
+    }
+    return false;
+  }
+  for (const auto& [kmer_str, ref] : vertices_) {
+    const auto kmer = Kmer<W>::from_string(kmer_str);
+    const auto* entry = graph.find(kmer);
+    if (entry == nullptr) {
+      if (diff != nullptr) *diff = "missing vertex " + kmer_str;
+      return false;
+    }
+    if (entry->coverage != ref.coverage) {
+      if (diff != nullptr) {
+        *diff = "coverage mismatch at " + kmer_str + ": graph " +
+                std::to_string(entry->coverage) + " vs reference " +
+                std::to_string(ref.coverage);
+      }
+      return false;
+    }
+    for (int i = 0; i < 8; ++i) {
+      if (entry->edges[i] != ref.edges[i]) {
+        if (diff != nullptr) {
+          *diff = "edge counter " + std::to_string(i) + " mismatch at " +
+                  kmer_str + ": graph " + std::to_string(entry->edges[i]) +
+                  " vs reference " + std::to_string(ref.edges[i]);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,86 @@
+// Graph-level statistics beyond the basic counters: coverage histogram
+// (the signal the error-filter threshold is chosen from) and degree
+// distribution (branchiness of the graph).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace parahash::core {
+
+/// Histogram of vertex coverages. Bucket i < size()-1 counts vertices
+/// with coverage exactly i; the last bucket counts everything >= that.
+struct CoverageHistogram {
+  std::vector<std::uint64_t> buckets;
+
+  std::uint64_t at_least(std::uint32_t coverage) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = coverage; i < buckets.size(); ++i) {
+      total += buckets[i];
+    }
+    return total;
+  }
+
+  /// The classic error-threshold heuristic: the first local minimum
+  /// after the coverage-1 error peak separates erroneous from genomic
+  /// vertices. Returns 2 if no interior minimum exists.
+  std::uint32_t suggested_min_coverage() const {
+    for (std::size_t c = 2; c + 1 < buckets.size(); ++c) {
+      if (buckets[c] <= buckets[c - 1] && buckets[c] <= buckets[c + 1]) {
+        return static_cast<std::uint32_t>(c);
+      }
+    }
+    return 2;
+  }
+};
+
+template <int W>
+CoverageHistogram coverage_histogram(const DeBruijnGraph<W>& graph,
+                                     std::uint32_t max_bucket = 64) {
+  CoverageHistogram histogram;
+  histogram.buckets.assign(max_bucket + 1, 0);
+  graph.for_each_vertex([&](const concurrent::VertexEntry<W>& e) {
+    const std::uint32_t c =
+        e.coverage < max_bucket ? e.coverage : max_bucket;
+    ++histogram.buckets[c];
+  });
+  return histogram;
+}
+
+/// Joint (in-degree, out-degree) counts; degrees are 0..4.
+struct DegreeDistribution {
+  std::array<std::array<std::uint64_t, 5>, 5> counts{};
+
+  std::uint64_t simple_path_vertices() const { return counts[1][1]; }
+  std::uint64_t tips() const {
+    // Dead ends in one direction.
+    std::uint64_t total = 0;
+    for (int d = 0; d < 5; ++d) {
+      total += counts[0][d] + counts[d][0];
+    }
+    return total - counts[0][0];  // counted twice
+  }
+  std::uint64_t branches() const {
+    std::uint64_t total = 0;
+    for (int i = 0; i < 5; ++i) {
+      for (int o = 0; o < 5; ++o) {
+        if (i > 1 || o > 1) total += counts[i][o];
+      }
+    }
+    return total;
+  }
+};
+
+template <int W>
+DegreeDistribution degree_distribution(const DeBruijnGraph<W>& graph) {
+  DegreeDistribution distribution;
+  graph.for_each_vertex([&](const concurrent::VertexEntry<W>& e) {
+    ++distribution.counts[e.in_degree()][e.out_degree()];
+  });
+  return distribution;
+}
+
+}  // namespace parahash::core

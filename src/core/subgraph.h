@@ -1,0 +1,191 @@
+// Step 2: hash-based subgraph construction from a superkmer partition.
+//
+// Every core kmer of every superkmer is rolled out, canonicalised, and
+// upserted into ONE concurrent hash table shared by all worker threads
+// (paper Sec. III-C). The superkmer's extension bases supply the left
+// neighbour of its first kmer and the right neighbour of its last kmer,
+// so edges that cross superkmer (and partition) boundaries are counted.
+//
+// Bidirected edge accounting: an observed kmer F with right-neighbour
+// base b is the edge F -> successor(F, b). At the canonical vertex
+// C = canonical(F) this is
+//   * C.out[b]              when C == F, or
+//   * C.in[complement(b)]   when C == reverse_complement(F),
+// and symmetrically for the left neighbour. Each observed adjacency
+// therefore bumps exactly one counter at each endpoint, which yields the
+// invariant  sum(all edge counters) == 2 * (number of observed
+// adjacencies)  that the tests check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "concurrent/bloom.h"
+#include "concurrent/kmer_table.h"
+#include "concurrent/thread_pool.h"
+#include "core/properties.h"
+#include "io/partition_file.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+/// Step-2 parameters (paper Sec. IV-A and V-A: lambda = 2,
+/// alpha in [0.5, 0.8]).
+struct HashConfig {
+  double lambda = 2.0;           ///< mean errors per read (Property 1)
+  double alpha = 0.7;            ///< hash table load ratio
+  std::uint64_t min_slots = 1024;
+  std::uint64_t slots_override = 0;  ///< exact slot count; 0 = use sizing rule
+  bool allow_resize = true;      ///< fallback when the estimate is exceeded
+  int max_resizes = 8;
+
+  /// BFCounter-style approximate mode (concurrent/bloom.h): kmers enter
+  /// the table only at their SECOND sighting, dropping most singleton
+  /// (erroneous) vertices up front. Approximate: Bloom false positives
+  /// admit a few singletons, and an admitted kmer's first occurrence is
+  /// absorbed by the filter (coverage and the first occurrence's edges
+  /// start one sighting late). Off in the exact pipeline.
+  bool singleton_prefilter = false;
+  double bloom_cells_per_kmer = 4.0;
+  int bloom_hashes = 3;
+};
+
+template <int W>
+struct SubgraphBuildResult {
+  std::unique_ptr<concurrent::ConcurrentKmerTable<W>> table;
+  concurrent::TableStats stats;
+  std::uint32_t partition_id = 0;
+  std::uint64_t kmers_processed = 0;
+  int resizes = 0;
+};
+
+/// Device-agnostic Step-2 kernel: rolls out and upserts the core kmers of
+/// records [begin, end) (indices into `offsets`). Safe to call from many
+/// threads on disjoint ranges over the same table.
+template <int W>
+void hash_process_records(const io::PartitionBlob& blob,
+                          const std::vector<std::size_t>& offsets,
+                          std::size_t begin, std::size_t end,
+                          concurrent::ConcurrentKmerTable<W>& table,
+                          concurrent::TableStats& stats,
+                          concurrent::CountingBloom* prefilter = nullptr) {
+  const int k = static_cast<int>(blob.header().k);
+  std::vector<std::uint8_t> seq;
+
+  for (std::size_t r = begin; r < end; ++r) {
+    const io::SuperkmerView view = io::record_at(blob, offsets[r]);
+    const int n = view.n_bases;
+    seq.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) seq[i] = view.base(i);
+
+    const int core_begin = view.core_begin();
+    const int n_kmers = view.kmer_count(k);
+    PARAHASH_DCHECK(n_kmers >= 1);
+
+    // Initial forward kmer and its reverse complement at core_begin.
+    Kmer<W> fwd(k);
+    for (int i = 0; i < k; ++i) fwd.roll_append(seq[core_begin + i]);
+    Kmer<W> rc = fwd.reverse_complement();
+
+    for (int j = 0; j < n_kmers; ++j) {
+      const int pos = core_begin + j;
+      if (j > 0) {
+        const std::uint8_t b = seq[pos + k - 1];
+        fwd.roll_append(b);
+        rc.roll_prepend(complement(b));
+      }
+      const int left = pos > 0 ? seq[pos - 1] : -1;
+      const int right = pos + k < n ? seq[pos + k] : -1;
+
+      const bool flipped = rc < fwd;
+      const Kmer<W>& canon = flipped ? rc : fwd;
+      if (prefilter != nullptr &&
+          prefilter->increment_and_count(canon.hash()) < 2) {
+        continue;  // first sighting: likely a singleton error kmer
+      }
+      int edge_out;
+      int edge_in;
+      if (!flipped) {
+        edge_out = right;
+        edge_in = left;
+      } else {
+        edge_out = left >= 0 ? complement(static_cast<std::uint8_t>(left))
+                             : -1;
+        edge_in = right >= 0 ? complement(static_cast<std::uint8_t>(right))
+                             : -1;
+      }
+      stats.absorb(table.add(canon, edge_out, edge_in));
+    }
+  }
+}
+
+/// Builds one partition's subgraph. Sizes the table by the paper's rule
+/// (Property 1: lambda/(4*alpha) * kmer_count), runs the kernel across
+/// `pool` (nullptr = caller's thread only), and — if the size estimate
+/// is ever exceeded — restarts with a doubled table, counting the
+/// resizes the sizing rule is designed to avoid.
+template <int W>
+SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
+                                      const HashConfig& config,
+                                      concurrent::ThreadPool* pool,
+                                      std::uint64_t grain = 0) {
+  const auto& header = blob.header();
+  PARAHASH_CHECK_MSG(static_cast<int>(header.k) <= Kmer<W>::kMaxK,
+                     "k too large for this kmer width");
+
+  std::uint64_t slots =
+      config.slots_override != 0
+          ? config.slots_override
+          : hash_table_slots(header.kmer_count, config.lambda, config.alpha,
+                             /*genome_kmers_share=*/0, config.min_slots);
+  const std::vector<std::size_t> offsets = io::record_offsets(blob);
+
+  SubgraphBuildResult<W> result;
+  result.partition_id = header.partition_id;
+  result.kmers_processed = header.kmer_count;
+
+  for (int attempt = 0;; ++attempt) {
+    auto table = std::make_unique<concurrent::ConcurrentKmerTable<W>>(
+        slots, static_cast<int>(header.k));
+    std::unique_ptr<concurrent::CountingBloom> prefilter;
+    if (config.singleton_prefilter) {
+      prefilter = std::make_unique<concurrent::CountingBloom>(
+          static_cast<std::uint64_t>(config.bloom_cells_per_kmer *
+                                     static_cast<double>(
+                                         header.kmer_count)),
+          config.bloom_hashes);
+    }
+    try {
+      if (pool == nullptr || offsets.empty()) {
+        concurrent::TableStats stats;
+        hash_process_records<W>(blob, offsets, 0, offsets.size(), *table,
+                                stats, prefilter.get());
+        result.stats = stats;
+      } else {
+        std::mutex chunk_mutex;
+        concurrent::TableStats total;
+        pool->parallel_for(
+            offsets.size(), grain,
+            [&](std::uint64_t begin, std::uint64_t end) {
+              concurrent::TableStats stats;
+              hash_process_records<W>(blob, offsets, begin, end, *table,
+                                      stats, prefilter.get());
+              std::lock_guard<std::mutex> lock(chunk_mutex);
+              total.merge(stats);
+            });
+        result.stats = total;
+      }
+      result.table = std::move(table);
+      return result;
+    } catch (const TableFullError&) {
+      if (!config.allow_resize || attempt >= config.max_resizes) throw;
+      ++result.resizes;
+      slots *= 2;  // restart from scratch with double the capacity
+    }
+  }
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,196 @@
+// Unitig compaction over the constructed De Bruijn graph.
+//
+// A unitig is a maximal non-branching path — the unit downstream
+// assembly steps (and bcalm2's output) work with. This module is the
+// "what you do with the graph" extension: it walks the bidirected graph
+// using the per-vertex edge counters ParaHash recorded and emits each
+// maximal simple path once, in canonical orientation.
+//
+// Orientation bookkeeping: a walk state is (canonical vertex, flip).
+// The out-edges of state (v, flip=false) are v's out counters; of
+// (v, flip=true) they are v's in counters with complemented bases —
+// the same mapping the subgraph builder used when recording edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/graph.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+struct Unitig {
+  std::string bases;          ///< canonical orientation (min of both)
+  std::uint64_t kmers = 0;    ///< number of graph vertices on the path
+  double mean_coverage = 0;   ///< average vertex coverage along the path
+
+  std::size_t length() const { return bases.size(); }
+};
+
+template <int W>
+class UnitigBuilder {
+ public:
+  /// Only edges with weight >= min_edge_weight are followed; vertices
+  /// below min_coverage are ignored entirely.
+  explicit UnitigBuilder(const DeBruijnGraph<W>& graph,
+                         std::uint32_t min_coverage = 0,
+                         std::uint32_t min_edge_weight = 1)
+      : graph_(graph),
+        min_coverage_(min_coverage),
+        min_edge_weight_(min_edge_weight) {}
+
+  std::vector<Unitig> build() {
+    std::vector<Unitig> unitigs;
+    visited_.clear();
+
+    graph_.for_each_vertex([&](const Entry& entry) {
+      if (entry.coverage < min_coverage_) return;
+      if (visited_.contains(key_of(entry.kmer))) return;
+      unitigs.push_back(trace_from(entry));
+    });
+    return unitigs;
+  }
+
+ private:
+  using Entry = concurrent::VertexEntry<W>;
+
+  struct State {
+    Kmer<W> canon;
+    bool flip = false;
+  };
+
+  static std::string key_of(const Kmer<W>& canon) {
+    return canon.to_string();
+  }
+
+  /// Out-edge weight of oriented state via appended base b.
+  std::uint32_t out_weight(const Entry& e, bool flip, int b) const {
+    return flip ? e.edges[concurrent::kEdgeIn +
+                          complement(static_cast<std::uint8_t>(b))]
+                : e.edges[concurrent::kEdgeOut + b];
+  }
+
+  int oriented_out_degree(const Entry& e, bool flip) const {
+    int d = 0;
+    for (int b = 0; b < 4; ++b) d += out_weight(e, flip, b) >= min_edge_weight_;
+    return d;
+  }
+
+  int oriented_in_degree(const Entry& e, bool flip) const {
+    return oriented_out_degree(e, !flip);
+  }
+
+  /// The unique out-base of a state, or -1 if out-degree != 1.
+  int unique_out_base(const Entry& e, bool flip) const {
+    int base = -1;
+    for (int b = 0; b < 4; ++b) {
+      if (out_weight(e, flip, b) >= min_edge_weight_) {
+        if (base >= 0) return -1;
+        base = b;
+      }
+    }
+    return base;
+  }
+
+  /// Follows the state's unique out-edge; returns false at a branch, a
+  /// dead end, a filtered vertex, or an already-visited vertex.
+  bool step(const State& from, const Entry& from_entry, State& to,
+            const Entry** to_entry) const {
+    const int b = unique_out_base(from_entry, from.flip);
+    if (b < 0) return false;
+
+    const Kmer<W> oriented =
+        from.flip ? from.canon.reverse_complement() : from.canon;
+    const Kmer<W> next = oriented.successor(static_cast<std::uint8_t>(b));
+    const Kmer<W> next_canon = next.canonical();
+    const Entry* entry = graph_.find(next_canon);
+    if (entry == nullptr || entry->coverage < min_coverage_) return false;
+
+    to.canon = next_canon;
+    to.flip = !(next == next_canon);
+    // Extension is only safe if we are the unique way into `to`.
+    if (oriented_in_degree(*entry, to.flip) != 1) return false;
+    *to_entry = entry;
+    return true;
+  }
+
+  Unitig trace_from(const Entry& seed) {
+    // Walk backward to the start of the simple path.
+    State state{seed.kmer, false};
+    const Entry* entry = &seed;
+    std::unordered_set<std::string> on_path;
+    on_path.insert(key_of(state.canon));
+
+    for (;;) {
+      // Step backward = step forward from the flipped state, then flip.
+      State back{state.canon, !state.flip};
+      State prev;
+      const Entry* prev_entry = nullptr;
+      if (!step(back, *entry, prev, &prev_entry)) break;
+      prev.flip = !prev.flip;  // undo the traversal flip
+      if (on_path.contains(key_of(prev.canon)) ||
+          visited_.contains(key_of(prev.canon))) {
+        break;  // cycle or merging into an already-emitted unitig
+      }
+      // The backward step must also be the unique forward continuation
+      // of prev; otherwise prev is a branch point and we start here.
+      State forward_check;
+      const Entry* fwd_entry = nullptr;
+      if (!step(prev, *prev_entry, forward_check, &fwd_entry) ||
+          !(forward_check.canon == state.canon) ||
+          forward_check.flip != state.flip) {
+        break;
+      }
+      state = prev;
+      entry = prev_entry;
+      on_path.insert(key_of(state.canon));
+    }
+
+    // Walk forward from the start, collecting bases.
+    const Kmer<W> first =
+        state.flip ? state.canon.reverse_complement() : state.canon;
+    std::string bases = first.to_string();
+    std::uint64_t kmers = 1;
+    double coverage_sum = entry->coverage;
+    visited_.insert(key_of(state.canon));
+    std::unordered_set<std::string> emitted;
+    emitted.insert(key_of(state.canon));
+
+    for (;;) {
+      State next;
+      const Entry* next_entry = nullptr;
+      if (!step(state, *entry, next, &next_entry)) break;
+      if (emitted.contains(key_of(next.canon)) ||
+          visited_.contains(key_of(next.canon))) {
+        break;
+      }
+      const Kmer<W> oriented =
+          next.flip ? next.canon.reverse_complement() : next.canon;
+      bases.push_back(decode_base(oriented.base(oriented.k() - 1)));
+      ++kmers;
+      coverage_sum += next_entry->coverage;
+      visited_.insert(key_of(next.canon));
+      emitted.insert(key_of(next.canon));
+      state = next;
+      entry = next_entry;
+    }
+
+    Unitig unitig;
+    const std::string rc = reverse_complement_str(bases);
+    unitig.bases = bases <= rc ? bases : rc;
+    unitig.kmers = kmers;
+    unitig.mean_coverage = coverage_sum / static_cast<double>(kmers);
+    return unitig;
+  }
+
+  const DeBruijnGraph<W>& graph_;
+  std::uint32_t min_coverage_;
+  std::uint32_t min_edge_weight_;
+  std::unordered_set<std::string> visited_;
+};
+
+}  // namespace parahash::core

@@ -1,0 +1,19 @@
+#include "device/device.h"
+
+namespace parahash::device {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "CPU";
+    case DeviceKind::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+// Anchor the common instantiations in one translation unit.
+template class CpuDevice<1>;
+template class CpuDevice<2>;
+template class SimGpuDevice<1>;
+template class SimGpuDevice<2>;
+
+}  // namespace parahash::device

@@ -1,0 +1,263 @@
+// Heterogeneous processor abstraction.
+//
+// ParaHash co-processes both steps on CPUs and GPUs (paper Sec. III-D/E).
+// A Device executes the two step kernels — MSP scanning and hash-based
+// subgraph construction — and keeps per-device statistics (items, compute
+// seconds, transfer seconds) that the workload-distribution experiments
+// (Fig. 11) read.
+//
+// Two implementations:
+//  * CpuDevice — a thread pool over large contiguous chunks ("one CPU
+//    thread accesses a group of data elements located nearby in memory").
+//  * SimGpuDevice — the CUDA substitution (see DESIGN.md): its own
+//    bounded pool dispatching warp-sized item groups, an explicit device
+//    memory capacity that the staged partition plus its hash table must
+//    fit in, and a metered host<->device transfer channel. It produces
+//    bit-identical results; what it simulates is the *cost structure*
+//    (transfer time proportional to bytes moved, fixed launch latency,
+//    capacity rejection) that drives the paper's scheduling results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "concurrent/thread_pool.h"
+#include "core/msp.h"
+#include "core/subgraph.h"
+#include "io/fastx.h"
+#include "io/partition_file.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace parahash::device {
+
+enum class DeviceKind { kCpu, kGpu };
+
+const char* device_kind_name(DeviceKind kind);
+
+/// Cumulative per-device counters. Readable while idle; updated by the
+/// device's worker between items.
+struct DeviceStats {
+  std::uint64_t msp_batches = 0;
+  std::uint64_t msp_reads = 0;        ///< Fig. 11's Step-1 workload unit
+  std::uint64_t hash_partitions = 0;
+  std::uint64_t hash_kmers = 0;
+  std::uint64_t hash_vertices = 0;    ///< Fig. 11's Step-2 workload unit
+  double msp_compute_seconds = 0;
+  double hash_compute_seconds = 0;
+  double transfer_seconds = 0;        ///< simulated host<->device time
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+
+  /// Counter-wise difference (for per-step deltas of cumulative stats).
+  friend DeviceStats operator-(DeviceStats a, const DeviceStats& b) {
+    a.msp_batches -= b.msp_batches;
+    a.msp_reads -= b.msp_reads;
+    a.hash_partitions -= b.hash_partitions;
+    a.hash_kmers -= b.hash_kmers;
+    a.hash_vertices -= b.hash_vertices;
+    a.msp_compute_seconds -= b.msp_compute_seconds;
+    a.hash_compute_seconds -= b.hash_compute_seconds;
+    a.transfer_seconds -= b.transfer_seconds;
+    a.bytes_h2d -= b.bytes_h2d;
+    a.bytes_d2h -= b.bytes_d2h;
+    return a;
+  }
+};
+
+template <int W>
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual DeviceKind kind() const = 0;
+
+  /// Step-1 kernel: scan a read batch into per-partition superkmers.
+  virtual core::MspBatchOutput run_msp(const io::ReadBatch& batch,
+                                       const core::MspConfig& config) = 0;
+
+  /// Step-2 kernel: build one partition's subgraph.
+  /// Throws DeviceCapacityError if the device cannot hold the partition
+  /// plus its hash table (simulated GPUs only).
+  virtual core::SubgraphBuildResult<W> run_hash(
+      const io::PartitionBlob& blob, const core::HashConfig& config) = 0;
+
+  virtual DeviceStats stats() const = 0;
+};
+
+template <int W>
+class CpuDevice final : public Device<W> {
+ public:
+  explicit CpuDevice(int threads, std::string name = "cpu")
+      : name_(std::move(name)), pool_(threads) {}
+
+  const std::string& name() const override { return name_; }
+  DeviceKind kind() const override { return DeviceKind::kCpu; }
+  int threads() const { return pool_.size(); }
+
+  core::MspBatchOutput run_msp(const io::ReadBatch& batch,
+                               const core::MspConfig& config) override {
+    WallTimer timer;
+    core::MspBatchOutput merged(config.num_partitions);
+    if (pool_.size() == 1) {
+      core::msp_process_range(batch, config, 0, batch.size(), merged);
+    } else {
+      std::mutex merge_mutex;
+      pool_.parallel_for(
+          batch.size(), /*grain=*/0,
+          [&](std::uint64_t begin, std::uint64_t end) {
+            core::MspBatchOutput local(config.num_partitions);
+            core::msp_process_range(batch, config, begin, end, local);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            merged.merge(std::move(local));
+          });
+    }
+    stats_.msp_compute_seconds += timer.seconds();
+    ++stats_.msp_batches;
+    stats_.msp_reads += merged.reads_processed;
+    return merged;
+  }
+
+  core::SubgraphBuildResult<W> run_hash(
+      const io::PartitionBlob& blob,
+      const core::HashConfig& config) override {
+    WallTimer timer;
+    auto result = core::build_subgraph<W>(
+        blob, config, pool_.size() == 1 ? nullptr : &pool_);
+    stats_.hash_compute_seconds += timer.seconds();
+    ++stats_.hash_partitions;
+    stats_.hash_kmers += result.kmers_processed;
+    stats_.hash_vertices += result.table->size();
+    return result;
+  }
+
+  DeviceStats stats() const override { return stats_; }
+
+ private:
+  std::string name_;
+  concurrent::ThreadPool pool_;
+  DeviceStats stats_;
+};
+
+/// Simulated GPU parameters (defaults loosely shaped on a K40m-class
+/// part scaled to this host; see DESIGN.md substitution table).
+struct SimGpuConfig {
+  int threads = 2;            ///< SM-pool width of the simulated device
+  int warp = 32;              ///< SIMT work-item granularity
+  double h2d_bytes_per_sec = 6e9;
+  double d2h_bytes_per_sec = 6e9;
+  double launch_latency_seconds = 20e-6;
+  std::uint64_t device_memory_bytes = 2ull << 30;
+  std::string name = "sim-gpu";
+};
+
+template <int W>
+class SimGpuDevice final : public Device<W> {
+ public:
+  explicit SimGpuDevice(const SimGpuConfig& config)
+      : config_(config), pool_(config.threads) {
+    PARAHASH_CHECK_MSG(config.warp >= 1, "warp must be >= 1");
+  }
+
+  const std::string& name() const override { return config_.name; }
+  DeviceKind kind() const override { return DeviceKind::kGpu; }
+  const SimGpuConfig& config() const { return config_; }
+
+  core::MspBatchOutput run_msp(const io::ReadBatch& batch,
+                               const core::MspConfig& config) override {
+    // MSP on the GPU works on encoded reads (Sec. III-D); the staged
+    // input is the packed batch. Output superkmers come back encoded.
+    require_memory(batch.byte_size() * 4, "read batch");
+    transfer(batch.byte_size(), config_.h2d_bytes_per_sec,
+             stats_.bytes_h2d);
+
+    WallTimer timer;
+    core::MspBatchOutput merged(config.num_partitions);
+    std::mutex merge_mutex;
+    pool_.parallel_for(
+        batch.size(), static_cast<std::uint64_t>(config_.warp),
+        [&](std::uint64_t begin, std::uint64_t end) {
+          core::MspBatchOutput local(config.num_partitions);
+          core::msp_process_range(batch, config, begin, end, local);
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          merged.merge(std::move(local));
+        });
+    stats_.msp_compute_seconds += timer.seconds();
+
+    transfer(merged.byte_size(), config_.d2h_bytes_per_sec,
+             stats_.bytes_d2h);
+    ++stats_.msp_batches;
+    stats_.msp_reads += merged.reads_processed;
+    return merged;
+  }
+
+  core::SubgraphBuildResult<W> run_hash(
+      const io::PartitionBlob& blob,
+      const core::HashConfig& config) override {
+    // The partition and its full hash table live in device memory for
+    // the whole build (the paper does not page tables in and out).
+    const std::uint64_t slots =
+        config.slots_override != 0
+            ? config.slots_override
+            : core::hash_table_slots(blob.header().kmer_count,
+                                     config.lambda, config.alpha, 0,
+                                     config.min_slots);
+    const std::uint64_t table_bytes =
+        slots * sizeof(typename concurrent::ConcurrentKmerTable<W>::Slot);
+    require_memory(blob.byte_size() + table_bytes, "partition + hash table");
+
+    transfer(blob.byte_size(), config_.h2d_bytes_per_sec, stats_.bytes_h2d);
+
+    WallTimer timer;
+    auto result = core::build_subgraph<W>(blob, config, &pool_,
+                                          static_cast<std::uint64_t>(
+                                              config_.warp));
+    stats_.hash_compute_seconds += timer.seconds();
+
+    // Result transfer: the distinct vertices (32 bytes per entry, the
+    // figure the paper uses for <vertex, list of edges>).
+    const std::uint64_t out_bytes = result.table->size() * 32;
+    transfer(out_bytes, config_.d2h_bytes_per_sec, stats_.bytes_d2h);
+
+    ++stats_.hash_partitions;
+    stats_.hash_kmers += result.kmers_processed;
+    stats_.hash_vertices += result.table->size();
+    return result;
+  }
+
+  DeviceStats stats() const override { return stats_; }
+
+ private:
+  void require_memory(std::uint64_t bytes, const char* what) const {
+    if (bytes > config_.device_memory_bytes) {
+      throw DeviceCapacityError(
+          config_.name + ": " + what + " needs " + std::to_string(bytes) +
+          " bytes, device memory is " +
+          std::to_string(config_.device_memory_bytes));
+    }
+  }
+
+  /// Charges a host<->device transfer: launch latency plus bytes over
+  /// the channel bandwidth, spent as real wall-clock time.
+  void transfer(std::uint64_t bytes, double bytes_per_sec,
+                std::uint64_t& byte_counter) {
+    const double seconds =
+        config_.launch_latency_seconds +
+        (bytes_per_sec > 0 ? static_cast<double>(bytes) / bytes_per_sec
+                           : 0.0);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stats_.transfer_seconds += seconds;
+    byte_counter += bytes;
+  }
+
+  SimGpuConfig config_;
+  concurrent::ThreadPool pool_;
+  DeviceStats stats_;
+};
+
+}  // namespace parahash::device

@@ -1,0 +1,175 @@
+// Warp-synchronous (SIMT-style) Step-2 kernel, with divergence
+// accounting.
+//
+// The paper's GPU analysis (Sec. III-D) observes that hashing suffers on
+// SIMT hardware because "different threads assigned with different kmers
+// within a warp diverge to different walk length when visiting the hash
+// table slots", and the scattered slots cannot be coalesced. This kernel
+// reproduces that execution model in software: a warp of W_SIZE lanes
+// holds one kmer each and probes in lockstep rounds — every round, all
+// still-active lanes take exactly one probe step; the warp retires only
+// when its slowest lane finishes. The number of rounds a warp executes
+// is therefore max(lane probe counts), and
+//
+//     divergence factor = sum over warps of (rounds * active lanes)
+//                         / total useful probes
+//
+// directly measures the SIMT penalty the paper describes (1.0 = no
+// divergence). Results are bit-identical to the scalar kernel; only the
+// execution order and the accounting differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "io/partition_file.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+
+namespace parahash::device {
+
+struct SimtStats {
+  std::uint64_t warps = 0;
+  std::uint64_t rounds = 0;         ///< lockstep probe rounds executed
+  std::uint64_t lane_slots = 0;     ///< rounds * lanes (work issued)
+  std::uint64_t useful_probes = 0;  ///< probes lanes actually needed
+  std::uint64_t kmers = 0;
+
+  /// SIMT penalty: issued lane-slots per useful probe (>= 1).
+  double divergence_factor() const {
+    return useful_probes == 0
+               ? 1.0
+               : static_cast<double>(lane_slots) /
+                     static_cast<double>(useful_probes);
+  }
+
+  void merge(const SimtStats& other) {
+    warps += other.warps;
+    rounds += other.rounds;
+    lane_slots += other.lane_slots;
+    useful_probes += other.useful_probes;
+    kmers += other.kmers;
+  }
+};
+
+/// One lane's pending upsert.
+template <int W>
+struct SimtWorkItem {
+  Kmer<W> canon;
+  std::int8_t edge_out = -1;
+  std::int8_t edge_in = -1;
+};
+
+/// Executes a warp of upserts in lockstep rounds against the shared
+/// table. Each round every unfinished lane advances its own probe by
+/// one slot (CAS-insert / wait / compare, same protocol as
+/// ConcurrentKmerTable::add applied stepwise).
+template <int W>
+void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
+                      const std::vector<SimtWorkItem<W>>& warp,
+                      SimtStats& stats) {
+  using Table = concurrent::ConcurrentKmerTable<W>;
+  const std::size_t lanes = warp.size();
+  if (lanes == 0) return;
+
+  struct Lane {
+    std::uint64_t index = 0;   // current probe slot
+    std::uint64_t probes = 0;  // advances so far (full-table guard)
+    bool done = false;
+  };
+  std::vector<Lane> state(lanes);
+  const std::uint64_t mask = table.capacity() - 1;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    state[l].index = warp[l].canon.hash() & mask;
+  }
+
+  std::size_t remaining = lanes;
+  ++stats.warps;
+  stats.kmers += lanes;
+
+  while (remaining > 0) {
+    ++stats.rounds;
+    stats.lane_slots += lanes;  // SIMT: the whole warp issues the round
+    for (std::size_t l = 0; l < lanes; ++l) {
+      Lane& lane = state[l];
+      if (lane.done) continue;
+      ++stats.useful_probes;
+      // One probe step of the state-transfer protocol.
+      const auto outcome = table.probe_step(
+          lane.index, warp[l].canon, warp[l].edge_out, warp[l].edge_in);
+      if (outcome == Table::ProbeOutcome::kDone) {
+        lane.done = true;
+        --remaining;
+      } else if (outcome == Table::ProbeOutcome::kAdvance) {
+        lane.index = (lane.index + 1) & mask;
+        if (++lane.probes > mask) {
+          throw TableFullError(
+              "SIMT kernel: table full (lane walked every slot)");
+        }
+      }
+      // kRetry: same slot again next round (slot was locked).
+    }
+  }
+}
+
+/// Step-2 over a whole partition with warp-synchronous execution.
+/// Produces exactly the same table contents as the scalar kernel.
+template <int W>
+SimtStats simt_process_partition(const io::PartitionBlob& blob,
+                                 concurrent::ConcurrentKmerTable<W>& table,
+                                 int warp_size = 32) {
+  const int k = static_cast<int>(blob.header().k);
+  SimtStats stats;
+  std::vector<SimtWorkItem<W>> warp;
+  warp.reserve(static_cast<std::size_t>(warp_size));
+  std::vector<std::uint8_t> seq;
+
+  auto flush = [&] {
+    simt_warp_upsert(table, warp, stats);
+    warp.clear();
+  };
+
+  for (const auto offset : io::record_offsets(blob)) {
+    const auto view = io::record_at(blob, offset);
+    const int n = view.n_bases;
+    seq.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) seq[i] = view.base(i);
+
+    const int core_begin = view.core_begin();
+    Kmer<W> fwd(k);
+    for (int i = 0; i < k; ++i) fwd.roll_append(seq[core_begin + i]);
+    Kmer<W> rc = fwd.reverse_complement();
+
+    const int n_kmers = view.kmer_count(k);
+    for (int j = 0; j < n_kmers; ++j) {
+      const int pos = core_begin + j;
+      if (j > 0) {
+        const std::uint8_t b = seq[pos + k - 1];
+        fwd.roll_append(b);
+        rc.roll_prepend(complement(b));
+      }
+      const int left = pos > 0 ? seq[pos - 1] : -1;
+      const int right = pos + k < n ? seq[pos + k] : -1;
+
+      SimtWorkItem<W> item;
+      const bool flipped = rc < fwd;
+      item.canon = flipped ? rc : fwd;
+      if (!flipped) {
+        item.edge_out = static_cast<std::int8_t>(right);
+        item.edge_in = static_cast<std::int8_t>(left);
+      } else {
+        item.edge_out = static_cast<std::int8_t>(
+            left >= 0 ? complement(static_cast<std::uint8_t>(left)) : -1);
+        item.edge_in = static_cast<std::int8_t>(
+            right >= 0 ? complement(static_cast<std::uint8_t>(right)) : -1);
+      }
+      warp.push_back(item);
+      if (warp.size() == static_cast<std::size_t>(warp_size)) flush();
+    }
+  }
+  flush();
+  return stats;
+}
+
+}  // namespace parahash::device

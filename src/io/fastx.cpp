@@ -1,0 +1,241 @@
+#include "io/fastx.h"
+
+#include "io/gzip.h"
+
+namespace parahash::io {
+
+FastxReader::FastxReader(std::istream& in) : in_(in) {}
+
+bool FastxReader::getline(std::string& line) {
+  if (!std::getline(in_, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+bool FastxReader::next(Read& out) {
+  if (format_ == Format::kUnknown) {
+    std::string line;
+    // Skip blank leading lines, then sniff the record marker.
+    do {
+      if (!getline(line)) return false;
+    } while (line.empty());
+    if (line[0] == '>') {
+      format_ = Format::kFasta;
+      pending_header_ = line;
+      have_pending_ = true;
+    } else if (line[0] == '@') {
+      format_ = Format::kFastq;
+      pending_header_ = line;
+      have_pending_ = true;
+    } else {
+      throw IoError("fastx: input does not start with '>' or '@'");
+    }
+  }
+  return format_ == Format::kFasta ? next_fasta(out) : next_fastq(out);
+}
+
+bool FastxReader::next_fasta(Read& out) {
+  std::string line;
+  if (have_pending_) {
+    line = pending_header_;
+    have_pending_ = false;
+  } else {
+    do {
+      if (!getline(line)) return false;
+    } while (line.empty());
+  }
+  if (line.empty() || line[0] != '>') {
+    throw IoError("fastx: expected FASTA header, got: " + line);
+  }
+  out.id = line.substr(1);
+  out.bases.clear();
+  out.quality.clear();
+  while (getline(line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      pending_header_ = line;
+      have_pending_ = true;
+      break;
+    }
+    out.bases += line;
+  }
+  ++record_index_;
+  return true;
+}
+
+bool FastxReader::next_fastq(Read& out) {
+  std::string line;
+  if (have_pending_) {
+    line = pending_header_;
+    have_pending_ = false;
+  } else {
+    do {
+      if (!getline(line)) return false;
+    } while (line.empty());
+  }
+  if (line.empty() || line[0] != '@') {
+    throw IoError("fastx: expected FASTQ header at record " +
+                  std::to_string(record_index_) + ", got: " + line);
+  }
+  out.id = line.substr(1);
+  if (!getline(out.bases)) {
+    throw IoError("fastx: truncated FASTQ record (missing sequence)");
+  }
+  std::string plus;
+  if (!getline(plus) || plus.empty() || plus[0] != '+') {
+    throw IoError("fastx: truncated FASTQ record (missing '+')");
+  }
+  if (!getline(out.quality)) {
+    throw IoError("fastx: truncated FASTQ record (missing quality)");
+  }
+  if (out.quality.size() != out.bases.size()) {
+    throw IoError("fastx: quality length mismatch at record " +
+                  std::to_string(record_index_));
+  }
+  ++record_index_;
+  return true;
+}
+
+std::size_t quality_trim_3prime(Read& read, int min_phred) {
+  if (min_phred <= 0 || read.quality.size() != read.bases.size()) return 0;
+  std::size_t keep = read.bases.size();
+  while (keep > 0 && read.quality[keep - 1] - 33 < min_phred) --keep;
+  const std::size_t removed = read.bases.size() - keep;
+  read.bases.resize(keep);
+  read.quality.resize(keep);
+  return removed;
+}
+
+FastxFileReader::FastxFileReader(const std::string& path) : path_(path) {
+  if (is_gzip_file(path)) {
+    stream_ = std::make_unique<GzipInputStream>(path);
+  } else {
+    auto file = std::make_unique<std::ifstream>(path);
+    if (!*file) throw IoError("fastx: cannot open " + path);
+    stream_ = std::move(file);
+  }
+  reader_ = std::make_unique<FastxReader>(*stream_);
+}
+
+FastxFileReader::~FastxFileReader() = default;
+
+std::vector<Read> read_fastx_file(const std::string& path) {
+  FastxFileReader reader(path);
+  std::vector<Read> reads;
+  Read r;
+  while (reader.next(r)) reads.push_back(r);
+  return reads;
+}
+
+FastxWriter::FastxWriter(const std::string& path, Format format)
+    : format_(format) {
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0) {
+    gzip_ = std::make_unique<GzipWriter>(path);
+  } else {
+    file_.open(path);
+    if (!file_) throw IoError("fastx: cannot open " + path + " for write");
+  }
+}
+
+FastxWriter::~FastxWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; call close() directly to observe
+    // write failures.
+  }
+}
+
+void FastxWriter::sink(const std::string& text) {
+  if (gzip_ != nullptr) {
+    gzip_->write(text);
+  } else {
+    file_ << text;
+  }
+}
+
+void FastxWriter::write(const Read& read) {
+  std::string record;
+  if (format_ == Format::kFasta) {
+    record.reserve(read.id.size() + read.bases.size() + 3);
+    record += '>';
+    record += read.id;
+    record += '\n';
+    record += read.bases;
+    record += '\n';
+  } else {
+    record.reserve(read.id.size() + 2 * read.bases.size() + 6);
+    record += '@';
+    record += read.id;
+    record += '\n';
+    record += read.bases;
+    record += "\n+\n";
+    if (read.quality.size() == read.bases.size()) {
+      record += read.quality;
+    } else {
+      record.append(read.bases.size(), 'I');
+    }
+    record += '\n';
+  }
+  sink(record);
+  ++count_;
+}
+
+void FastxWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (gzip_ != nullptr) {
+    gzip_->close();
+  } else if (file_.is_open()) {
+    file_.close();
+    if (file_.fail()) throw IoError("fastx: write failure on close");
+  }
+}
+
+FastxChunker::FastxChunker(const std::string& path,
+                           std::size_t max_batch_bases,
+                           int quality_trim_phred)
+    : FastxChunker(std::vector<std::string>{path}, max_batch_bases,
+                   quality_trim_phred) {}
+
+FastxChunker::FastxChunker(std::vector<std::string> paths,
+                           std::size_t max_batch_bases,
+                           int quality_trim_phred)
+    : paths_(std::move(paths)),
+      max_batch_bases_(max_batch_bases),
+      quality_trim_phred_(quality_trim_phred) {
+  PARAHASH_CHECK_MSG(max_batch_bases > 0, "batch size must be positive");
+  PARAHASH_CHECK_MSG(!paths_.empty(), "need at least one input file");
+  reader_ = std::make_unique<FastxFileReader>(paths_[next_path_++]);
+}
+
+bool FastxChunker::next_read(Read& out) {
+  for (;;) {
+    if (reader_->next(out)) return true;
+    if (next_path_ >= paths_.size()) return false;
+    reader_ = std::make_unique<FastxFileReader>(paths_[next_path_++]);
+  }
+}
+
+bool FastxChunker::next(ReadBatch& out) {
+  out.clear();
+  if (have_carry_) {
+    out.add(carry_.bases);
+    have_carry_ = false;
+  }
+  Read r;
+  while (out.total_bases() < max_batch_bases_ && next_read(r)) {
+    quality_trim_3prime(r, quality_trim_phred_);
+    if (r.bases.empty()) continue;
+    if (out.size() > 0 &&
+        out.total_bases() + r.bases.size() > max_batch_bases_) {
+      carry_ = std::move(r);
+      have_carry_ = true;
+      break;
+    }
+    out.add(r.bases);
+  }
+  return out.size() > 0;
+}
+
+}  // namespace parahash::io

@@ -1,0 +1,164 @@
+// FASTA / FASTQ input and output.
+//
+// Assembly inputs are plain-text read files (paper Sec. II-A). The reader
+// auto-detects the format from the first record marker ('>' FASTA,
+// '@' FASTQ), tolerates multi-line FASTA sequences and CRLF endings, and
+// maps unknown bases (N etc.) to 'A' downstream via encode_base.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/packed_seq.h"
+
+namespace parahash::io {
+
+/// One sequencing read. Bases are kept as characters here; encoding to
+/// 2-bit codes happens when reads are batched for processing. `quality`
+/// holds the FASTQ quality string (empty for FASTA records).
+struct Read {
+  std::string id;
+  std::string bases;
+  std::string quality = {};
+};
+
+/// Trims low-quality 3' tails in place: drops trailing bases whose
+/// Phred+33 quality is below `min_phred`. No-op for reads without
+/// quality strings. Returns the number of bases removed.
+std::size_t quality_trim_3prime(Read& read, int min_phred);
+
+/// Streaming FASTA/FASTQ parser over any std::istream.
+class FastxReader {
+ public:
+  explicit FastxReader(std::istream& in);
+
+  /// Reads the next record into `out`. Returns false at end of input.
+  /// Throws IoError on malformed records.
+  bool next(Read& out);
+
+ private:
+  enum class Format { kUnknown, kFasta, kFastq };
+
+  bool next_fasta(Read& out);
+  bool next_fastq(Read& out);
+  bool getline(std::string& line);
+
+  std::istream& in_;
+  Format format_ = Format::kUnknown;
+  std::string pending_header_;  // FASTA header lookahead
+  bool have_pending_ = false;
+  std::uint64_t record_index_ = 0;
+};
+
+/// FastxReader over a file, owning the stream. Transparently reads
+/// gzip-compressed files (detected by content, not extension).
+class FastxFileReader {
+ public:
+  explicit FastxFileReader(const std::string& path);
+  ~FastxFileReader();
+
+  FastxFileReader(const FastxFileReader&) = delete;
+  FastxFileReader& operator=(const FastxFileReader&) = delete;
+
+  bool next(Read& out) { return reader_->next(out); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<std::istream> stream_;
+  std::unique_ptr<FastxReader> reader_;
+};
+
+/// Reads every record of a FASTA/FASTQ file (test/tool convenience).
+std::vector<Read> read_fastx_file(const std::string& path);
+
+/// Writes reads as FASTQ or FASTA; paths ending in ".gz" are gzip-
+/// compressed. FASTQ quality comes from Read.quality when its length
+/// matches, otherwise a constant high quality is emitted.
+class FastxWriter {
+ public:
+  enum class Format { kFasta, kFastq };
+
+  FastxWriter(const std::string& path, Format format);
+  ~FastxWriter();
+
+  FastxWriter(const FastxWriter&) = delete;
+  FastxWriter& operator=(const FastxWriter&) = delete;
+
+  void write(const Read& read);
+  void close();
+  std::uint64_t records_written() const { return count_; }
+
+ private:
+  void sink(const std::string& text);
+
+  std::ofstream file_;
+  std::unique_ptr<class GzipWriter> gzip_;  // set for .gz paths
+  Format format_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// A batch of reads encoded into one contiguous 2-bit buffer, the unit of
+/// work for Step 1. Offsets are in bases; byte_size() is the amount of
+/// data a device must stage to process the batch.
+struct ReadBatch {
+  std::vector<std::uint64_t> offsets{0};  // size() + 1 entries
+  PackedSeq bases;
+
+  std::size_t size() const noexcept { return offsets.size() - 1; }
+  std::size_t read_length(std::size_t i) const noexcept {
+    return offsets[i + 1] - offsets[i];
+  }
+  std::size_t total_bases() const noexcept { return bases.size(); }
+  std::size_t byte_size() const noexcept {
+    return PackedSeq::packed_bytes(bases.size()) +
+           offsets.size() * sizeof(std::uint64_t);
+  }
+
+  void add(std::string_view read_chars) {
+    for (char c : read_chars) bases.push_back(encode_base(c));
+    offsets.push_back(bases.size());
+  }
+
+  void clear() {
+    offsets.assign(1, 0);
+    bases.clear();
+  }
+};
+
+/// Splits a FASTA/FASTQ file into ReadBatches of bounded size: the
+/// "partition the input file to equal size" part of Step 1. When
+/// `quality_trim_phred` > 0, low-quality 3' tails are trimmed before
+/// batching (standard assembler preprocessing).
+class FastxChunker {
+ public:
+  FastxChunker(const std::string& path, std::size_t max_batch_bases,
+               int quality_trim_phred = 0);
+
+  /// Reads several files back to back (sequencing runs ship as many
+  /// FASTQ files; lanes/mates simply concatenate for construction).
+  FastxChunker(std::vector<std::string> paths, std::size_t max_batch_bases,
+               int quality_trim_phred = 0);
+
+  /// Fills `out` with the next batch. Returns false when input is done.
+  bool next(ReadBatch& out);
+
+ private:
+  bool next_read(Read& out);
+
+  std::vector<std::string> paths_;
+  std::size_t next_path_ = 0;
+  std::unique_ptr<FastxFileReader> reader_;
+  std::size_t max_batch_bases_;
+  int quality_trim_phred_;
+  Read carry_;
+  bool have_carry_ = false;
+};
+
+}  // namespace parahash::io

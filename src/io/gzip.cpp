@@ -1,0 +1,17 @@
+#include "io/gzip.h"
+
+#include <cstdio>
+
+namespace parahash::io {
+
+bool is_gzip_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  unsigned char magic[2] = {0, 0};
+  const bool gz = std::fread(magic, 1, 2, f) == 2 && magic[0] == 0x1f &&
+                  magic[1] == 0x8b;
+  std::fclose(f);
+  return gz;
+}
+
+}  // namespace parahash::io

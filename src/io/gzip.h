@@ -1,0 +1,110 @@
+// Gzip-compressed text input/output via zlib.
+//
+// Sequencing reads ship as .fastq.gz; GzipStreambuf adapts a gzFile to
+// std::istream so the FASTX parser reads compressed and plain files
+// through one code path. Compression detection is by content (the
+// 0x1f 0x8b magic), not file name.
+#pragma once
+
+#include <zlib.h>
+
+#include <array>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+#include "util/error.h"
+
+namespace parahash::io {
+
+/// True if the file starts with the gzip magic bytes.
+bool is_gzip_file(const std::string& path);
+
+/// Read-side streambuf over a gzFile.
+class GzipStreambuf : public std::streambuf {
+ public:
+  explicit GzipStreambuf(const std::string& path)
+      : file_(gzopen(path.c_str(), "rb")) {
+    if (file_ == nullptr) {
+      throw IoError("gzip: cannot open " + path);
+    }
+    gzbuffer(file_, 1 << 16);
+  }
+
+  ~GzipStreambuf() override {
+    if (file_ != nullptr) gzclose(file_);
+  }
+
+  GzipStreambuf(const GzipStreambuf&) = delete;
+  GzipStreambuf& operator=(const GzipStreambuf&) = delete;
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const int n = gzread(file_, buffer_.data(),
+                         static_cast<unsigned>(buffer_.size()));
+    if (n < 0) throw IoError("gzip: read error");
+    if (n == 0) return traits_type::eof();
+    setg(buffer_.data(), buffer_.data(), buffer_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  gzFile file_;
+  std::array<char, 1 << 16> buffer_;
+};
+
+/// std::istream over a gzip file.
+class GzipInputStream : public std::istream {
+ public:
+  explicit GzipInputStream(const std::string& path)
+      : std::istream(nullptr), streambuf_(path) {
+    rdbuf(&streambuf_);
+  }
+
+ private:
+  GzipStreambuf streambuf_;
+};
+
+/// Write-side: a minimal gzip text writer (line-oriented appends).
+class GzipWriter {
+ public:
+  explicit GzipWriter(const std::string& path)
+      : path_(path), file_(gzopen(path.c_str(), "wb")) {
+    if (file_ == nullptr) {
+      throw IoError("gzip: cannot open " + path + " for write");
+    }
+  }
+
+  ~GzipWriter() {
+    if (file_ != nullptr) gzclose(file_);
+  }
+
+  GzipWriter(const GzipWriter&) = delete;
+  GzipWriter& operator=(const GzipWriter&) = delete;
+
+  void write(const std::string& text) {
+    if (gzwrite(file_, text.data(), static_cast<unsigned>(text.size())) !=
+        static_cast<int>(text.size())) {
+      throw IoError("gzip: write error on " + path_);
+    }
+  }
+
+  void close() {
+    if (file_ != nullptr) {
+      if (gzclose(file_) != Z_OK) {
+        file_ = nullptr;
+        throw IoError("gzip: close failure on " + path_);
+      }
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  std::string path_;
+  gzFile file_;
+};
+
+}  // namespace parahash::io

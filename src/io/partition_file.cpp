@@ -1,0 +1,230 @@
+#include "io/partition_file.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/dna.h"
+
+namespace parahash::io {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 1 << 20;  // 1 MiB
+
+std::size_t payload_bytes(Encoding enc, std::size_t n_bases) {
+  return enc == Encoding::kTwoBit ? PackedSeq::packed_bytes(n_bases)
+                                  : n_bases;
+}
+}  // namespace
+
+void encode_superkmer_record(std::vector<std::uint8_t>& out,
+                             const std::uint8_t* codes, std::size_t n_bases,
+                             bool has_left, bool has_right,
+                             Encoding encoding) {
+  PARAHASH_DCHECK(n_bases <= 0xFFFF);
+  const std::uint16_t len = static_cast<std::uint16_t>(n_bases);
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>((has_left ? 1u : 0u) |
+                                          (has_right ? 2u : 0u)));
+  const std::size_t nbytes = payload_bytes(encoding, n_bases);
+  const std::size_t at = out.size();
+  out.resize(at + nbytes, 0);
+  if (encoding == Encoding::kTwoBit) {
+    for (std::size_t i = 0; i < n_bases; ++i) {
+      out[at + i / 4] |=
+          static_cast<std::uint8_t>((codes[i] & 3u) << ((i % 4) * 2));
+    }
+  } else {
+    std::memcpy(out.data() + at, codes, n_bases);
+  }
+}
+
+std::string SuperkmerView::to_string() const {
+  std::string s(n_bases, 'A');
+  for (int i = 0; i < n_bases; ++i) s[i] = decode_base(base(i));
+  return s;
+}
+
+PartitionWriter::PartitionWriter(const std::string& path, std::uint32_t k,
+                                 std::uint32_t p, std::uint32_t partition_id,
+                                 Encoding encoding)
+    : path_(path), file_(path, std::ios::binary) {
+  if (!file_) throw IoError("partition: cannot open " + path + " for write");
+  header_.k = k;
+  header_.p = p;
+  header_.partition_id = partition_id;
+  header_.encoding = static_cast<std::uint8_t>(encoding);
+  // Placeholder header; patched with real counts in close().
+  file_.write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+  bytes_written_ = sizeof(header_);
+  buffer_.reserve(kFlushThreshold + 4096);
+}
+
+PartitionWriter::~PartitionWriter() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructors must not throw (CppCoreGuidelines C.36).
+    }
+  }
+}
+
+void PartitionWriter::add(const std::uint8_t* codes, std::size_t n_bases,
+                          bool has_left, bool has_right) {
+  encode_superkmer_record(buffer_, codes, n_bases, has_left, has_right,
+                          static_cast<Encoding>(header_.encoding));
+
+  const int core =
+      static_cast<int>(n_bases) - (has_left ? 1 : 0) - (has_right ? 1 : 0);
+  ++header_.superkmer_count;
+  header_.base_count += n_bases;
+  header_.kmer_count +=
+      static_cast<std::uint64_t>(core - static_cast<int>(header_.k) + 1);
+
+  if (buffer_.size() >= kFlushThreshold) flush_buffer();
+}
+
+void PartitionWriter::append_raw(const std::uint8_t* bytes, std::size_t size,
+                                 std::uint64_t superkmers,
+                                 std::uint64_t kmers, std::uint64_t bases) {
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+  header_.superkmer_count += superkmers;
+  header_.kmer_count += kmers;
+  header_.base_count += bases;
+  if (buffer_.size() >= kFlushThreshold) flush_buffer();
+}
+
+void PartitionWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  file_.write(reinterpret_cast<const char*>(buffer_.data()),
+              static_cast<std::streamsize>(buffer_.size()));
+  bytes_written_ += buffer_.size();
+  buffer_.clear();
+}
+
+void PartitionWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  flush_buffer();
+  file_.seekp(0);
+  file_.write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+  file_.close();
+  if (file_.fail()) throw IoError("partition: write failure on " + path_);
+}
+
+PartitionBlob PartitionBlob::read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw IoError("partition: cannot open " + path);
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) throw IoError("partition: short read on " + path);
+  return from_bytes(std::move(bytes));
+}
+
+PartitionBlob PartitionBlob::from_bytes(std::vector<std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(PartitionHeader)) {
+    throw IoError("partition: file shorter than header");
+  }
+  PartitionBlob blob;
+  std::memcpy(&blob.header_, bytes.data(), sizeof(PartitionHeader));
+  if (blob.header_.magic != PartitionHeader::kMagic) {
+    throw IoError("partition: bad magic");
+  }
+  if (blob.header_.version != PartitionHeader::kVersion) {
+    throw IoError("partition: unsupported version");
+  }
+  blob.bytes_ = std::move(bytes);
+  return blob;
+}
+
+SuperkmerView PartitionBlob::Iterator::operator*() const {
+  const std::uint8_t* p = blob_->bytes_.data() + offset_;
+  SuperkmerView view;
+  view.n_bases = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  view.has_left = (p[2] & 1u) != 0;
+  view.has_right = (p[2] & 2u) != 0;
+  view.encoding = static_cast<Encoding>(blob_->header_.encoding);
+  view.payload = p + 3;
+  return view;
+}
+
+PartitionBlob::Iterator& PartitionBlob::Iterator::operator++() {
+  const std::uint8_t* p = blob_->bytes_.data() + offset_;
+  const std::uint16_t n = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  offset_ += 3 + payload_bytes(
+                     static_cast<Encoding>(blob_->header_.encoding), n);
+  return *this;
+}
+
+std::vector<std::size_t> record_offsets(const PartitionBlob& blob) {
+  std::vector<std::size_t> offsets;
+  offsets.reserve(blob.header().superkmer_count);
+  const auto enc = static_cast<Encoding>(blob.header().encoding);
+  const auto& bytes = blob.bytes();
+  std::size_t at = sizeof(PartitionHeader);
+  while (at < bytes.size()) {
+    offsets.push_back(at);
+    const std::uint16_t n =
+        static_cast<std::uint16_t>(bytes[at] | (bytes[at + 1] << 8));
+    at += 3 + payload_bytes(enc, n);
+  }
+  if (at != bytes.size()) throw IoError("partition: truncated record");
+  return offsets;
+}
+
+SuperkmerView record_at(const PartitionBlob& blob, std::size_t offset) {
+  const std::uint8_t* p = blob.bytes().data() + offset;
+  SuperkmerView view;
+  view.n_bases = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  view.has_left = (p[2] & 1u) != 0;
+  view.has_right = (p[2] & 2u) != 0;
+  view.encoding = static_cast<Encoding>(blob.header().encoding);
+  view.payload = p + 3;
+  return view;
+}
+
+PartitionSet::PartitionSet(const std::string& dir, std::uint32_t k,
+                           std::uint32_t p, std::uint32_t num_partitions,
+                           Encoding encoding, std::uint32_t first_id)
+    : dir_(dir), first_id_(first_id) {
+  PARAHASH_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  std::filesystem::create_directories(dir_);
+  writers_.reserve(num_partitions);
+  for (std::uint32_t i = 0; i < num_partitions; ++i) {
+    const std::uint32_t id = first_id + i;
+    writers_.push_back(std::make_unique<PartitionWriter>(
+        partition_path(id), k, p, id, encoding));
+  }
+}
+
+std::string PartitionSet::partition_path(std::uint32_t partition_id) const {
+  return dir_ + "/part_" + std::to_string(partition_id) + ".phsk";
+}
+
+std::vector<std::string> PartitionSet::close_all() {
+  std::vector<std::string> paths;
+  paths.reserve(writers_.size());
+  for (std::uint32_t i = 0; i < writers_.size(); ++i) {
+    writers_[i]->close();
+    paths.push_back(partition_path(first_id_ + i));
+  }
+  return paths;
+}
+
+std::uint64_t PartitionSet::total_bytes_written() const {
+  std::uint64_t total = 0;
+  for (const auto& w : writers_) total += w->bytes_written();
+  return total;
+}
+
+std::uint64_t PartitionSet::total_kmers() const {
+  std::uint64_t total = 0;
+  for (const auto& w : writers_) total += w->header().kmer_count;
+  return total;
+}
+
+}  // namespace parahash::io

@@ -1,0 +1,219 @@
+// Superkmer partition files — the intermediate data between Step 1 (MSP
+// graph partitioning) and Step 2 (hash-based subgraph construction).
+//
+// Each record is one superkmer extended with up to two extra bases (the
+// read bases immediately before and after it), ParaHash's fix that keeps
+// cross-superkmer adjacencies recoverable (paper Sec. III-B):
+//
+//   [u16 n_bases][u8 flags][ceil(n_bases/4) bytes of 2-bit codes]
+//
+// flags bit0 = first stored base is a left extension, bit1 = last stored
+// base is a right extension. The file header records k, P, the partition
+// id and aggregate counts, so Step 2 can size its hash table before
+// reading any record (Property 1 sizing).
+//
+// Encoding::kTwoBit is the production format; Encoding::kByte stores one
+// byte per base and exists to measure what the paper's 2-bit encoding
+// saves (ablation bench) and to model fat intermediates of the sort-merge
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/packed_seq.h"
+
+namespace parahash::io {
+
+enum class Encoding : std::uint8_t { kTwoBit = 0, kByte = 1 };
+
+/// Fixed-size partition file header.
+struct PartitionHeader {
+  static constexpr std::uint32_t kMagic = 0x5048534Bu;  // "PHSK"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t k = 0;
+  std::uint32_t p = 0;
+  std::uint32_t partition_id = 0;
+  std::uint8_t encoding = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+  std::uint64_t superkmer_count = 0;
+  std::uint64_t kmer_count = 0;    // total core kmers in the file
+  std::uint64_t base_count = 0;    // total stored bases (incl. extensions)
+};
+static_assert(sizeof(PartitionHeader) == 48);
+
+/// One decoded superkmer. `seq` holds left-ext + core + right-ext bases.
+struct SuperkmerView {
+  const std::uint8_t* payload = nullptr;  // raw record payload
+  std::uint16_t n_bases = 0;
+  bool has_left = false;
+  bool has_right = false;
+  Encoding encoding = Encoding::kTwoBit;
+
+  /// Base i of the stored (extended) sequence.
+  std::uint8_t base(int i) const noexcept {
+    if (encoding == Encoding::kTwoBit) {
+      return static_cast<std::uint8_t>((payload[i / 4] >> ((i % 4) * 2)) & 3u);
+    }
+    return static_cast<std::uint8_t>(payload[i] & 3u);
+  }
+
+  /// Number of core bases (the superkmer itself, without extensions).
+  int core_len() const noexcept {
+    return n_bases - (has_left ? 1 : 0) - (has_right ? 1 : 0);
+  }
+  /// Index of the first core base within the stored sequence.
+  int core_begin() const noexcept { return has_left ? 1 : 0; }
+  /// Number of kmers the core expands to.
+  int kmer_count(int k) const noexcept { return core_len() - k + 1; }
+
+  std::string to_string() const;
+};
+
+/// Serialises one superkmer record (length, flags, payload) onto `out`.
+/// `codes` are 2-bit codes, one per byte, already including the extension
+/// bases. This is the wire format PartitionWriter and PartitionBlob agree
+/// on; devices use it to produce record bytes off the writer thread.
+void encode_superkmer_record(std::vector<std::uint8_t>& out,
+                             const std::uint8_t* codes, std::size_t n_bases,
+                             bool has_left, bool has_right,
+                             Encoding encoding);
+
+/// Appends superkmer records to one partition file. Counts are patched
+/// into the header on close(). Writes are buffered; `bytes_written()`
+/// reports the final file size for IO accounting.
+class PartitionWriter {
+ public:
+  PartitionWriter(const std::string& path, std::uint32_t k, std::uint32_t p,
+                  std::uint32_t partition_id,
+                  Encoding encoding = Encoding::kTwoBit);
+  ~PartitionWriter();
+
+  PartitionWriter(const PartitionWriter&) = delete;
+  PartitionWriter& operator=(const PartitionWriter&) = delete;
+
+  /// Adds the superkmer covering `codes[begin, end)` (2-bit codes, one
+  /// per byte). The stored sequence must already include the extension
+  /// bases; flags say whether the first/last stored base is an extension.
+  void add(const std::uint8_t* codes, std::size_t n_bases, bool has_left,
+           bool has_right);
+
+  /// Bulk-appends pre-encoded record bytes (encode_superkmer_record
+  /// output, same encoding) together with their aggregate counts.
+  void append_raw(const std::uint8_t* bytes, std::size_t size,
+                  std::uint64_t superkmers, std::uint64_t kmers,
+                  std::uint64_t bases);
+
+  void close();
+
+  const PartitionHeader& header() const { return header_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::ofstream file_;
+  PartitionHeader header_;
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+/// A whole partition file loaded into one contiguous blob, iterable as
+/// SuperkmerViews. Loading the blob (not a record-by-record stream) is
+/// deliberate: it is the unit that gets staged onto a device.
+class PartitionBlob {
+ public:
+  /// Reads `path` fully. If `throttle_bytes_per_sec > 0` the read is
+  /// metered through that budget (see io::Throttle).
+  static PartitionBlob read_file(const std::string& path);
+
+  /// Builds a blob from raw bytes (header + records); used by tests and
+  /// by in-memory pipelines.
+  static PartitionBlob from_bytes(std::vector<std::uint8_t> bytes);
+
+  const PartitionHeader& header() const { return header_; }
+  std::size_t byte_size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  class Iterator {
+   public:
+    Iterator(const PartitionBlob* blob, std::size_t offset)
+        : blob_(blob), offset_(offset) {}
+
+    SuperkmerView operator*() const;
+    Iterator& operator++();
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.offset_ == b.offset_;
+    }
+
+   private:
+    const PartitionBlob* blob_;
+    std::size_t offset_;
+  };
+
+  Iterator begin() const { return Iterator(this, sizeof(PartitionHeader)); }
+  Iterator end() const { return Iterator(this, bytes_.size()); }
+
+ private:
+  PartitionHeader header_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Byte offsets of every record in a blob (one scan). Builders index
+/// records so that worker threads can process disjoint record ranges.
+std::vector<std::size_t> record_offsets(const PartitionBlob& blob);
+
+/// Decodes the record at `offset` (must come from record_offsets).
+SuperkmerView record_at(const PartitionBlob& blob, std::size_t offset);
+
+/// Writers for a contiguous range of partition ids [first_id,
+/// first_id + count). Most runs cover all partitions in one set; when
+/// the partition count exceeds the open-file-handle budget (the paper
+/// caps at 1000 handles), Step 1 makes multiple passes over the input,
+/// each with a PartitionSet covering one id range.
+class PartitionSet {
+ public:
+  PartitionSet(const std::string& dir, std::uint32_t k, std::uint32_t p,
+               std::uint32_t num_partitions,
+               Encoding encoding = Encoding::kTwoBit,
+               std::uint32_t first_id = 0);
+
+  /// True if this set owns the given (global) partition id.
+  bool covers(std::uint32_t partition_id) const {
+    return partition_id >= first_id_ &&
+           partition_id < first_id_ + size();
+  }
+
+  /// Writer for a GLOBAL partition id (must be covered).
+  PartitionWriter& writer(std::uint32_t partition_id) {
+    return *writers_[partition_id - first_id_];
+  }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(writers_.size());
+  }
+  std::uint32_t first_id() const { return first_id_; }
+
+  /// Closes all writers and returns the path of each partition file in
+  /// this set (ordered by id).
+  std::vector<std::string> close_all();
+
+  std::string partition_path(std::uint32_t partition_id) const;
+  std::uint64_t total_bytes_written() const;
+  std::uint64_t total_kmers() const;
+
+ private:
+  std::string dir_;
+  std::uint32_t first_id_ = 0;
+  std::vector<std::unique_ptr<PartitionWriter>> writers_;
+};
+
+}  // namespace parahash::io

@@ -1,0 +1,54 @@
+// RAII scratch directories for partitions, simulated datasets and tests.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace parahash::io {
+
+/// Creates a unique directory on construction, removes it (recursively)
+/// on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "parahash") {
+    namespace fs = std::filesystem;
+    const fs::path base = fs::temp_directory_path();
+    Rng rng(std::hash<std::string>{}(prefix) ^
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      fs::path candidate =
+          base / (prefix + "." + std::to_string(rng.next() & 0xFFFFFFFFull));
+      std::error_code ec;
+      if (fs::create_directory(candidate, ec)) {
+        path_ = candidate.string();
+        return;
+      }
+    }
+    throw IoError("tmpdir: could not create a unique scratch directory");
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);  // best effort
+    }
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace parahash::io

@@ -1,0 +1,219 @@
+// Three-stage work-stealing pipeline executor (paper Sec. III-E, Fig. 5).
+//
+// Stage 1 (input) runs on its own thread and fills the ticket queue;
+// stage 2 (consume-and-produce) runs one worker thread per device, each
+// pulling the next queuing id as soon as it is idle — faster processors
+// naturally take more partitions, which is the work-stealing workload
+// balance of Fig. 11; stage 3 (output) drains the output queue on the
+// caller's thread.
+//
+// run_sequential() is the non-pipelined baseline of Fig. 12: the same
+// stages executed back-to-back, one item at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "device/device.h"
+#include "pipeline/queue.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace parahash::pipeline {
+
+/// Per-step timing and accounting returned by the executors.
+struct StageTimes {
+  double elapsed_seconds = 0;
+  double input_seconds = 0;    ///< producing (read + parse) time
+  double compute_seconds = 0;  ///< sum of device compute call time
+  double output_seconds = 0;   ///< consuming (serialise + write) time
+  std::uint64_t items = 0;
+};
+
+/// Callbacks defining one step of the system. `produce` fills an In and
+/// returns false when the input is exhausted; `compute` maps an In to an
+/// Out on a given device; `consume` writes an Out.
+template <typename In, typename Out, int W>
+struct StepCallbacks {
+  std::function<bool(In&)> produce;
+  std::function<Out(device::Device<W>&, const In&)> compute;
+  std::function<void(Out)> consume;
+};
+
+template <typename In, typename Out, int W>
+StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
+                         const StepCallbacks<In, Out, W>& callbacks,
+                         std::size_t queue_depth) {
+  PARAHASH_CHECK_MSG(!devices.empty(), "need at least one device");
+  WallTimer total_timer;
+  StageTimes times;
+
+  TicketQueue<In> input_queue(queue_depth);
+  OutputQueue<Out> output_queue(queue_depth);
+  output_queue.set_expected_producers(static_cast<int>(devices.size()));
+
+  // Items a device rejected for capacity; drained by CPU devices after
+  // the main queue closes.
+  std::vector<In> overflow;
+  std::mutex overflow_mutex;
+
+  AtomicSeconds input_seconds;
+  AtomicSeconds compute_seconds;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  std::thread input_thread([&] {
+    try {
+      for (;;) {
+        In item;
+        bool more;
+        {
+          ScopedAtomicTimer timer(input_seconds);
+          more = callbacks.produce(item);
+        }
+        if (!more) break;
+        if (!input_queue.push(std::move(item))) break;  // aborted
+      }
+    } catch (...) {
+      record_error();
+    }
+    input_queue.close();
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(devices.size());
+  for (device::Device<W>* dev : devices) {
+    workers.emplace_back([&, dev] {
+      try {
+        while (auto ticket = input_queue.pop()) {
+          try {
+            WallTimer timer;
+            Out out = callbacks.compute(*dev, ticket->second);
+            compute_seconds.add(timer.seconds());
+            output_queue.push(std::move(out));
+          } catch (const DeviceCapacityError&) {
+            std::lock_guard<std::mutex> lock(overflow_mutex);
+            overflow.push_back(std::move(ticket->second));
+          }
+        }
+        // Drain capacity-overflow items on CPU devices.
+        if (dev->kind() == device::DeviceKind::kCpu) {
+          for (;;) {
+            In item;
+            {
+              std::lock_guard<std::mutex> lock(overflow_mutex);
+              if (overflow.empty()) break;
+              item = std::move(overflow.back());
+              overflow.pop_back();
+            }
+            WallTimer timer;
+            Out out = callbacks.compute(*dev, item);
+            compute_seconds.add(timer.seconds());
+            output_queue.push(std::move(out));
+          }
+        }
+      } catch (...) {
+        record_error();
+        // Unblock the producer: with this worker gone the ring could
+        // stay full forever.
+        input_queue.abort();
+      }
+      output_queue.producer_done();
+    });
+  }
+
+  // Stage 3 on the caller's thread.
+  WallTimer output_wall;
+  double output_busy = 0;
+  std::uint64_t items = 0;
+  try {
+    while (auto out = output_queue.pop()) {
+      ScopedTimer timer(output_busy);
+      callbacks.consume(std::move(*out));
+      ++items;
+    }
+  } catch (...) {
+    record_error();
+    input_queue.abort();  // fail fast: stop feeding the workers
+    // Keep draining so workers do not block on a full output queue.
+    while (output_queue.pop()) {
+    }
+  }
+
+  input_thread.join();
+  for (auto& w : workers) w.join();
+
+  {
+    std::lock_guard<std::mutex> lock(overflow_mutex);
+    if (!overflow.empty() && !first_error) {
+      first_error = std::make_exception_ptr(DeviceCapacityError(
+          "no CPU device available to absorb items rejected for device "
+          "capacity"));
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  times.elapsed_seconds = total_timer.seconds();
+  times.input_seconds = input_seconds.seconds();
+  times.compute_seconds = compute_seconds.seconds();
+  times.output_seconds = output_busy;
+  times.items = items;
+  return times;
+}
+
+template <typename In, typename Out, int W>
+StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
+                          const StepCallbacks<In, Out, W>& callbacks) {
+  PARAHASH_CHECK_MSG(!devices.empty(), "need at least one device");
+  WallTimer total_timer;
+  StageTimes times;
+
+  std::size_t next_device = 0;
+  for (;;) {
+    In item;
+    bool more;
+    {
+      ScopedTimer timer(times.input_seconds);
+      more = callbacks.produce(item);
+    }
+    if (!more) break;
+
+    Out out;
+    bool computed = false;
+    // Round-robin, skipping devices that reject the item for capacity.
+    for (std::size_t tried = 0; tried < devices.size(); ++tried) {
+      device::Device<W>* dev = devices[(next_device + tried) %
+                                       devices.size()];
+      try {
+        ScopedTimer timer(times.compute_seconds);
+        out = callbacks.compute(*dev, item);
+        computed = true;
+        next_device = (next_device + tried + 1) % devices.size();
+        break;
+      } catch (const DeviceCapacityError&) {
+        continue;  // item not consumed on capacity rejection
+      }
+    }
+    if (!computed) {
+      throw DeviceCapacityError("no device can hold this work item");
+    }
+
+    {
+      ScopedTimer timer(times.output_seconds);
+      callbacks.consume(std::move(out));
+    }
+    ++times.items;
+  }
+
+  times.elapsed_seconds = total_timer.seconds();
+  return times;
+}
+
+}  // namespace parahash::pipeline

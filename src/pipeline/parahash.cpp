@@ -1,0 +1,333 @@
+#include "pipeline/parahash.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "io/fastx.h"
+#include "io/partition_file.h"
+#include "util/rng.h"
+#include "util/log.h"
+#include "util/mem.h"
+
+namespace parahash::pipeline {
+
+namespace {
+
+std::string make_partition_dir(const std::string& requested, bool* owned) {
+  namespace fs = std::filesystem;
+  if (!requested.empty()) {
+    fs::create_directories(requested);
+    *owned = false;
+    return requested;
+  }
+  // A uniquely named directory we own and remove in the destructor.
+  Rng rng(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate =
+        fs::temp_directory_path() /
+        ("parahash_parts." + std::to_string(rng.next() & 0xFFFFFFFFull));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec)) {
+      *owned = true;
+      return candidate.string();
+    }
+  }
+  throw IoError("parahash: could not create a partition directory");
+}
+
+}  // namespace
+
+template <int W>
+ParaHash<W>::ParaHash(Options options)
+    : options_(std::move(options)),
+      input_throttle_(options_.input_bytes_per_sec),
+      output_throttle_(options_.output_bytes_per_sec) {
+  options_.msp.validate();
+  PARAHASH_CHECK_MSG(options_.msp.k <= Kmer<W>::kMaxK,
+                     "k too large for this kmer word count");
+  PARAHASH_CHECK_MSG(options_.use_cpu || options_.num_gpus > 0,
+                     "at least one device required");
+
+  partition_dir_ = make_partition_dir(options_.work_dir,
+                                      &own_partition_dir_);
+
+  if (options_.use_cpu) {
+    int threads = options_.cpu_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    cpu_ = std::make_unique<device::CpuDevice<W>>(threads);
+  }
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    device::SimGpuConfig config = options_.gpu;
+    config.name = config.name + "-" + std::to_string(g);
+    gpus_.push_back(std::make_unique<device::SimGpuDevice<W>>(config));
+  }
+}
+
+template <int W>
+ParaHash<W>::~ParaHash() {
+  if (own_partition_dir_ && !options_.keep_partitions) {
+    std::error_code ec;
+    std::filesystem::remove_all(partition_dir_, ec);  // best effort
+  }
+}
+
+template <int W>
+std::vector<device::Device<W>*> ParaHash<W>::devices() {
+  std::vector<device::Device<W>*> devs;
+  if (cpu_) devs.push_back(cpu_.get());
+  for (auto& g : gpus_) devs.push_back(g.get());
+  return devs;
+}
+
+template <int W>
+std::vector<std::string> ParaHash<W>::run_partitioning(
+    const std::string& input_path, StepReport& report) {
+  return run_partitioning(std::vector<std::string>{input_path}, report);
+}
+
+template <int W>
+std::vector<std::string> ParaHash<W>::run_partitioning(
+    const std::vector<std::string>& input_paths, StepReport& report) {
+  const std::uint32_t total_partitions = options_.msp.num_partitions;
+  const std::uint32_t per_pass =
+      options_.max_open_partitions == 0
+          ? total_partitions
+          : std::min(options_.max_open_partitions, total_partitions);
+
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::vector<std::string> all_paths;
+  all_paths.reserve(total_partitions);
+
+  const auto devs = devices();
+  std::vector<device::DeviceStats> before;
+  for (auto* dev : devs) before.push_back(dev->stats());
+  report.times = StageTimes{};
+
+  // One pass per id range; multiple passes re-read the input (bounded
+  // open file handles, the multi-pass MSP trade).
+  for (std::uint32_t first = 0; first < total_partitions;
+       first += per_pass) {
+    const std::uint32_t count =
+        std::min(per_pass, total_partitions - first);
+    io::FastxChunker chunker(input_paths, options_.batch_bases,
+                             options_.quality_trim_phred);
+    io::PartitionSet partitions(
+        partition_dir_, static_cast<std::uint32_t>(options_.msp.k),
+        static_cast<std::uint32_t>(options_.msp.p), count,
+        options_.msp.encoding, first);
+
+    StepCallbacks<io::ReadBatch, core::MspBatchOutput, W> callbacks;
+    callbacks.produce = [&](io::ReadBatch& batch) {
+      if (!chunker.next(batch)) return false;
+      // Charge the input channel with the batch's share of the file.
+      const std::uint64_t bytes = batch.total_bases();
+      input_throttle_.consume(bytes);
+      bytes_in += bytes;
+      return true;
+    };
+    callbacks.compute = [&](device::Device<W>& dev,
+                            const io::ReadBatch& batch) {
+      return dev.run_msp(batch, options_.msp);
+    };
+    callbacks.consume = [&](core::MspBatchOutput out) {
+      for (std::uint32_t part = first; part < first + count; ++part) {
+        const auto& p = out.parts[part];
+        if (p.bytes.empty()) continue;
+        partitions.writer(part).append_raw(p.bytes.data(), p.bytes.size(),
+                                           p.superkmers, p.kmers, p.bases);
+        output_throttle_.consume(p.bytes.size());
+        bytes_out += p.bytes.size();
+      }
+    };
+
+    const StageTimes pass_times =
+        options_.pipelined
+            ? run_pipelined(devs, callbacks, options_.queue_depth)
+            : run_sequential(devs, callbacks);
+    report.times.elapsed_seconds += pass_times.elapsed_seconds;
+    report.times.input_seconds += pass_times.input_seconds;
+    report.times.compute_seconds += pass_times.compute_seconds;
+    report.times.output_seconds += pass_times.output_seconds;
+    report.times.items += pass_times.items;
+
+    for (auto& path : partitions.close_all()) {
+      all_paths.push_back(std::move(path));
+    }
+  }
+
+  report.bytes_in = bytes_in;
+  report.bytes_out = bytes_out;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    report.devices.push_back(DeviceReport{
+        devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
+  }
+  return all_paths;
+}
+
+template <int W>
+core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
+    const std::vector<std::string>& partition_paths, StepReport& report) {
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+  PARAHASH_CHECK(partition_paths.size() == options_.msp.num_partitions);
+
+  std::size_t next_path = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  resizes_ = 0;
+  streamed_filtered_ = 0;
+  streamed_stats_ = core::GraphStats{};
+
+  StepCallbacks<io::PartitionBlob, core::SubgraphBuildResult<W>, W>
+      callbacks;
+  callbacks.produce = [&](io::PartitionBlob& blob) {
+    if (next_path >= partition_paths.size()) return false;
+    blob = io::PartitionBlob::read_file(partition_paths[next_path++]);
+    input_throttle_.consume(blob.byte_size());
+    bytes_in += blob.byte_size();
+    return true;
+  };
+  callbacks.compute = [&](device::Device<W>& dev,
+                          const io::PartitionBlob& blob) {
+    return dev.run_hash(blob, options_.hash);
+  };
+  callbacks.consume = [&](core::SubgraphBuildResult<W> result) {
+    resizes_ += result.resizes;
+    if (options_.accumulate_graph) {
+      graph.adopt_table(result.partition_id, *result.table,
+                        /*min_coverage=*/0);
+    } else {
+      // Streamed mode: fold this subgraph into the aggregate statistics
+      // and let the table go (the paper's big-genome protocol).
+      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
+        if (options_.min_coverage > 1 &&
+            e.coverage < options_.min_coverage) {
+          ++streamed_filtered_;
+          return;
+        }
+        ++streamed_stats_.vertices;
+        streamed_stats_.total_coverage += e.coverage;
+        for (int i = 0; i < 8; ++i) {
+          streamed_stats_.edge_counter_total += e.edges[i];
+        }
+        for (int b = 0; b < 4; ++b) {
+          streamed_stats_.distinct_edges +=
+              e.edges[concurrent::kEdgeOut + b] > 0;
+        }
+        if (e.out_degree() > 1 || e.in_degree() > 1) {
+          ++streamed_stats_.branching_vertices;
+        }
+      });
+    }
+    if (options_.write_subgraphs) {
+      // The Step-2 output stage: serialise this subgraph to disk
+      // (~32 bytes per vertex, the paper's <vertex, list of edges>
+      // sizing) and charge the output channel.
+      const std::string path = partition_dir_ + "/subgraph_" +
+                               std::to_string(result.partition_id) +
+                               ".bin";
+      std::ofstream file(path, std::ios::binary);
+      if (!file) throw IoError("parahash: cannot open " + path);
+      const std::uint32_t k32 = static_cast<std::uint32_t>(options_.msp.k);
+      const std::uint64_t count = result.table->size();
+      file.write(reinterpret_cast<const char*>(&k32), sizeof(k32));
+      file.write(reinterpret_cast<const char*>(&result.partition_id),
+                 sizeof(result.partition_id));
+      file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+      std::uint64_t bytes = sizeof(k32) + sizeof(result.partition_id) +
+                            sizeof(count);
+      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
+        const auto words = e.kmer.words();
+        file.write(reinterpret_cast<const char*>(words.data()),
+                   W * sizeof(std::uint64_t));
+        file.write(reinterpret_cast<const char*>(&e.coverage),
+                   sizeof(e.coverage));
+        file.write(reinterpret_cast<const char*>(e.edges.data()),
+                   8 * sizeof(std::uint32_t));
+        bytes += W * sizeof(std::uint64_t) + 9 * sizeof(std::uint32_t);
+      });
+      file.close();
+      if (file.fail()) throw IoError("parahash: write failure on " + path);
+      output_throttle_.consume(bytes);
+      bytes_out += bytes;
+    }
+  };
+
+  const auto devs = devices();
+  std::vector<device::DeviceStats> before;
+  for (auto* dev : devs) before.push_back(dev->stats());
+  report.times = options_.pipelined
+                     ? run_pipelined(devs, callbacks, options_.queue_depth)
+                     : run_sequential(devs, callbacks);
+  report.bytes_in = bytes_in;
+  report.bytes_out = bytes_out;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    report.devices.push_back(DeviceReport{
+        devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
+  }
+  return graph;
+}
+
+template <int W>
+std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
+    const std::string& input_path) {
+  return construct(std::vector<std::string>{input_path});
+}
+
+template <int W>
+std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
+    const std::vector<std::string>& input_paths) {
+  RunReport report;
+  WallTimer total;
+
+  const std::vector<std::string> paths =
+      run_partitioning(input_paths, report.step1);
+  report.partition_bytes = report.step1.bytes_out;
+
+  core::DeBruijnGraph<W> graph = run_hashing(paths, report.step2);
+  report.total_elapsed_seconds = total.seconds();
+
+  report.resizes = resizes_;
+  if (options_.accumulate_graph) {
+    if (options_.min_coverage > 1) {
+      report.filtered_vertices =
+          graph.filter_min_coverage(options_.min_coverage);
+    }
+    report.graph = graph.stats();
+  } else {
+    report.filtered_vertices = streamed_filtered_;
+    report.graph = streamed_stats_;
+  }
+  report.peak_rss_bytes = peak_rss_bytes();
+
+  if (own_partition_dir_ && !options_.keep_partitions) {
+    std::error_code ec;
+    std::filesystem::remove_all(partition_dir_, ec);
+    std::filesystem::create_directories(partition_dir_, ec);
+  }
+  return {std::move(graph), std::move(report)};
+}
+
+template class ParaHash<1>;
+template class ParaHash<2>;
+
+RunReport construct_graph(const Options& options,
+                          const std::string& input_path,
+                          const std::string& graph_path) {
+  return with_kmer_words(options.msp.k, [&]<int W>() {
+    ParaHash<W> system(options);
+    auto [graph, report] = system.construct(input_path);
+    if (!graph_path.empty()) graph.write(graph_path);
+    return report;
+  });
+}
+
+}  // namespace parahash::pipeline

@@ -1,0 +1,182 @@
+// ParaHash — the end-to-end De Bruijn graph construction system.
+//
+// Step 1 (MSP graph partitioning) and Step 2 (hash-based subgraph
+// construction), each executed as a three-stage pipeline over a set of
+// heterogeneous devices, with metered input/output channels to model the
+// paper's fast-IO and disk-bound regimes. This is the public entry point
+// a downstream user calls:
+//
+//   pipeline::Options options;
+//   options.msp.k = 27;
+//   options.msp.p = 11;
+//   options.msp.num_partitions = 64;
+//   auto [graph, report] = pipeline::ParaHash<1>(options).construct(fastq);
+//
+// Measurement protocol follows Sec. V-A: a run's reported time starts at
+// reading the input file and ends when all subgraphs are constructed in
+// main memory; it includes writing and re-reading the superkmer
+// partitions, and excludes writing the final graph to disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/msp.h"
+#include "core/perf_model.h"
+#include "core/subgraph.h"
+#include "device/device.h"
+#include "io/throttle.h"
+#include "pipeline/executor.h"
+
+namespace parahash::pipeline {
+
+/// Full system configuration.
+struct Options {
+  core::MspConfig msp;    ///< k, P, number of superkmer partitions
+  core::HashConfig hash;  ///< lambda, alpha, resize policy
+
+  /// Directory for superkmer partition files. Empty = a fresh temp dir
+  /// removed after the run.
+  std::string work_dir;
+  bool keep_partitions = false;
+
+  // --- Devices -----------------------------------------------------
+  bool use_cpu = true;
+  int cpu_threads = 0;  ///< 0 = hardware concurrency
+  int num_gpus = 0;     ///< simulated GPUs (see DESIGN.md substitution)
+  device::SimGpuConfig gpu;
+
+  // --- Pipeline ----------------------------------------------------
+  bool pipelined = true;
+  std::size_t queue_depth = 3;
+  std::size_t batch_bases = 4u << 20;  ///< Step-1 input batch size
+
+  /// Phred threshold for 3'-tail quality trimming at input (0 = off).
+  int quality_trim_phred = 0;
+
+  /// Maximum partition files open at once in Step 1 (0 = no limit).
+  /// When the partition count exceeds this budget — the paper's platform
+  /// capped it at 1000 file handles — Step 1 re-reads the input once per
+  /// id range, the classic multi-pass MSP trade of extra input scans for
+  /// bounded file handles.
+  std::uint32_t max_open_partitions = 0;
+
+  // --- IO regime ---------------------------------------------------
+  double input_bytes_per_sec = 0;   ///< 0 = memory-cached file (Case 1)
+  double output_bytes_per_sec = 0;  ///< 0 = unmetered
+  bool write_subgraphs = false;     ///< Step-2 output stage writes to disk
+
+  // --- Result ------------------------------------------------------
+  std::uint32_t min_coverage = 0;  ///< filter threshold for final graph
+
+  /// When false, subgraphs are NOT retained in memory after the Step-2
+  /// output stage: the returned graph is empty and only the run report
+  /// (with aggregate graph statistics) is populated. This matches the
+  /// paper's measurement protocol for big genomes — a 5-billion-vertex
+  /// graph is streamed to disk, never held whole — and keeps peak RSS
+  /// at a few in-flight hash tables.
+  bool accumulate_graph = true;
+};
+
+struct DeviceReport {
+  std::string name;
+  device::DeviceKind kind = device::DeviceKind::kCpu;
+  device::DeviceStats stats;
+};
+
+struct StepReport {
+  StageTimes times;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::vector<DeviceReport> devices;
+
+  /// Plugs the measured components into the paper's Eq. (1) inputs.
+  core::StepTimes model_times() const {
+    core::StepTimes t;
+    for (const auto& d : devices) {
+      if (d.kind == device::DeviceKind::kCpu) {
+        t.cpu_compute += d.stats.msp_compute_seconds +
+                         d.stats.hash_compute_seconds;
+      } else {
+        t.gpu_compute = std::max(t.gpu_compute,
+                                 d.stats.msp_compute_seconds +
+                                     d.stats.hash_compute_seconds);
+        t.dh_transfer =
+            std::max(t.dh_transfer, d.stats.transfer_seconds);
+      }
+    }
+    t.input = times.input_seconds;
+    t.output = times.output_seconds;
+    t.partitions = times.items < 1 ? 1 : times.items;
+    return t;
+  }
+};
+
+struct RunReport {
+  StepReport step1;
+  StepReport step2;
+  core::GraphStats graph;
+  std::uint64_t filtered_vertices = 0;
+  std::uint64_t partition_bytes = 0;  ///< total superkmer partition size
+  int resizes = 0;
+  double total_elapsed_seconds = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// The system, fixed to kmers of W 64-bit words (W=1 covers k <= 32).
+template <int W>
+class ParaHash {
+ public:
+  explicit ParaHash(Options options);
+  ~ParaHash();
+
+  ParaHash(const ParaHash&) = delete;
+  ParaHash& operator=(const ParaHash&) = delete;
+
+  /// Runs both steps on one or several FASTA/FASTQ(.gz) files and
+  /// returns the graph plus the run report.
+  std::pair<core::DeBruijnGraph<W>, RunReport> construct(
+      const std::string& input_path);
+  std::pair<core::DeBruijnGraph<W>, RunReport> construct(
+      const std::vector<std::string>& input_paths);
+
+  /// Step 1 only: writes superkmer partitions, returns their paths.
+  std::vector<std::string> run_partitioning(const std::string& input_path,
+                                            StepReport& report);
+  std::vector<std::string> run_partitioning(
+      const std::vector<std::string>& input_paths, StepReport& report);
+
+  /// Step 2 only: builds the graph from existing partition files.
+  core::DeBruijnGraph<W> run_hashing(
+      const std::vector<std::string>& partition_paths, StepReport& report);
+
+  const Options& options() const { return options_; }
+
+  /// The devices, in scheduling order (for tests and benches).
+  std::vector<device::Device<W>*> devices();
+
+ private:
+  Options options_;
+  std::string partition_dir_;
+  bool own_partition_dir_ = false;
+  std::unique_ptr<device::CpuDevice<W>> cpu_;
+  std::vector<std::unique_ptr<device::SimGpuDevice<W>>> gpus_;
+  io::Throttle input_throttle_;
+  io::Throttle output_throttle_;
+  int resizes_ = 0;
+  core::GraphStats streamed_stats_;      // accumulate_graph == false
+  std::uint64_t streamed_filtered_ = 0;  // accumulate_graph == false
+};
+
+/// Convenience: build with runtime k dispatch (k <= 32 uses one-word
+/// kmers, k <= 64 two words), write the graph if `graph_path` non-empty,
+/// and return the report.
+RunReport construct_graph(const Options& options,
+                          const std::string& input_path,
+                          const std::string& graph_path = "");
+
+}  // namespace parahash::pipeline

@@ -1,0 +1,156 @@
+// The paper's queue discipline (Sec. III-E), as two bounded queues.
+//
+// TicketQueue is the input queue: a single producer (the partition
+// loader) advances `srv`; consumers (one worker per processor) claim
+// strictly increasing queuing ids by advancing `cns` and block until
+// srv > cns — exactly the shared-variable protocol the paper describes.
+// OutputQueue is the output side: producers advance `prd`; the single
+// writer drains while prd > wrt.
+//
+// Both queues are bounded so that only a few partitions are in flight,
+// which is what keeps ParaHash's memory footprint at a few gigabytes
+// regardless of genome size.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace parahash::pipeline {
+
+template <typename T>
+class TicketQueue {
+ public:
+  explicit TicketQueue(std::size_t capacity) : ring_(capacity) {
+    PARAHASH_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Producer side: appends an item, blocking while the ring is full.
+  /// Returns false (dropping the item) if the queue was aborted.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PARAHASH_CHECK_MSG(!closed_, "push after close");
+    not_full_.wait(lock, [this] {
+      return aborted_ || srv_ - cns_ < ring_.size();
+    });
+    if (aborted_) return false;
+    ring_[srv_ % ring_.size()] = std::move(item);
+    ++srv_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Producer side: no more items will arrive.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Emergency stop (a consumer failed): unblocks the producer and makes
+  /// all further pushes no-ops and all pops return nullopt. Without this
+  /// a dead consumer would leave the producer waiting on a full ring.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Consumer side: claims the next queuing id and takes its item.
+  /// Blocks until an item is available; returns nullopt once the queue
+  /// is closed and drained.
+  std::optional<std::pair<std::uint64_t, T>> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock,
+                    [this] { return srv_ > cns_ || closed_ || aborted_; });
+    if (aborted_ || srv_ == cns_) return std::nullopt;
+    const std::uint64_t id = cns_++;
+    std::optional<T>& slot = ring_[id % ring_.size()];
+    T item = std::move(*slot);
+    slot.reset();
+    not_full_.notify_one();
+    return std::make_pair(id, std::move(item));
+  }
+
+  std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return srv_;
+  }
+
+ private:
+  std::vector<std::optional<T>> ring_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::uint64_t srv_ = 0;  ///< items pushed (paper: srv)
+  std::uint64_t cns_ = 0;  ///< queuing ids claimed (paper: cns)
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+template <typename T>
+class OutputQueue {
+ public:
+  explicit OutputQueue(std::size_t capacity) : capacity_(capacity) {
+    PARAHASH_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Any worker: enqueues a produced partition (advances prd).
+  void push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return prd_ - wrt_ < capacity_; });
+    items_.push_back(std::move(item));
+    ++prd_;
+    not_empty_.notify_one();
+  }
+
+  /// Closes when `producers` workers have all finished.
+  void producer_done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_producers_;
+    if (done_producers_ == expected_producers_) not_empty_.notify_all();
+  }
+
+  void set_expected_producers(int n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    expected_producers_ = n;
+  }
+
+  /// The single writer: dequeues in arrival order (advances wrt), or
+  /// nullopt once all producers finished and the queue is empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || done_producers_ == expected_producers_;
+    });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.erase(items_.begin());
+    ++wrt_;
+    not_full_.notify_all();
+    return item;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> items_;
+  std::uint64_t prd_ = 0;  ///< outputs produced (paper: prd)
+  std::uint64_t wrt_ = 0;  ///< outputs written (paper: wrt)
+  int expected_producers_ = 1;
+  int done_producers_ = 0;
+};
+
+}  // namespace parahash::pipeline

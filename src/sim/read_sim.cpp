@@ -1,0 +1,139 @@
+#include "sim/read_sim.h"
+
+#include "util/dna.h"
+#include "util/error.h"
+
+namespace parahash::sim {
+
+DatasetSpec human_chr14_like(double scale) {
+  DatasetSpec spec;
+  spec.name = "human_chr14_like";
+  spec.genome_size = static_cast<std::uint64_t>(1'000'000 * scale);
+  spec.read_length = 101;
+  spec.coverage = 42.0;  // 37M reads * 101 bp / 88 Mbp
+  spec.lambda = 1.0;
+  spec.seed = 140;
+  return spec;
+}
+
+DatasetSpec bumblebee_like(double scale) {
+  DatasetSpec spec;
+  spec.name = "bumblebee_like";
+  // 250/88 ~ 2.84x the chr14 genome at equal scale.
+  spec.genome_size = static_cast<std::uint64_t>(2'840'000 * scale);
+  spec.read_length = 124;
+  spec.coverage = 150.0;  // 303M reads * 124 bp / 250 Mbp
+  spec.lambda = 2.0;
+  spec.seed = 250;
+  return spec;
+}
+
+std::string simulate_genome(std::uint64_t size, std::uint64_t seed) {
+  Rng rng(seed ^ 0x67656e6f6d65ull);  // "genome"
+  std::string genome(size, 'A');
+  for (auto& c : genome) c = decode_base(rng.base());
+  return genome;
+}
+
+ReadSimulator::ReadSimulator(std::string genome, const DatasetSpec& spec)
+    : genome_(std::move(genome)), spec_(spec), rng_(spec.seed) {
+  PARAHASH_CHECK_MSG(
+      genome_.size() >= static_cast<std::size_t>(spec_.read_length),
+      "genome shorter than one read");
+}
+
+std::string ReadSimulator::sample_bases(std::uint64_t pos, bool reverse) {
+  const std::uint64_t L = static_cast<std::uint64_t>(spec_.read_length);
+  std::string bases = genome_.substr(pos, L);
+  if (reverse) bases = reverse_complement_str(bases);
+
+  // Substitution errors: Poisson(lambda) per read, uniform positions,
+  // substitute with one of the three other bases.
+  const int errors = rng_.poisson(spec_.lambda);
+  for (int e = 0; e < errors; ++e) {
+    const std::uint64_t at = rng_.below(L);
+    const std::uint8_t old = encode_base(bases[at]);
+    const std::uint8_t sub =
+        static_cast<std::uint8_t>((old + 1 + rng_.below(3)) & 3u);
+    bases[at] = decode_base(sub);
+  }
+  return bases;
+}
+
+io::Read ReadSimulator::next() {
+  const std::uint64_t L = static_cast<std::uint64_t>(spec_.read_length);
+  const std::uint64_t pos = rng_.below(genome_.size() - L + 1);
+  io::Read read;
+  read.id = spec_.name + "." + std::to_string(emitted_++);
+  read.bases =
+      sample_bases(pos, rng_.chance(spec_.reverse_strand_fraction));
+  return read;
+}
+
+std::pair<io::Read, io::Read> ReadSimulator::next_pair() {
+  const std::uint64_t L = static_cast<std::uint64_t>(spec_.read_length);
+  // Fragment length ~ N(insert_mean, insert_sd), clamped so both mates
+  // fit in the fragment and the fragment fits in the genome.
+  const double raw =
+      spec_.insert_mean + spec_.insert_sd * rng_.normal();
+  std::uint64_t fragment = static_cast<std::uint64_t>(
+      raw < static_cast<double>(L) ? static_cast<double>(L) : raw);
+  if (fragment > genome_.size()) fragment = genome_.size();
+
+  const std::uint64_t start = rng_.below(genome_.size() - fragment + 1);
+  const bool flip = rng_.chance(spec_.reverse_strand_fraction);
+
+  // FR layout: /1 forward at the fragment start, /2 reverse-complement
+  // at the fragment end. `flip` exchanges the roles (fragment sampled
+  // from the other strand).
+  const std::uint64_t id = emitted_;
+  emitted_ += 2;
+  io::Read first;
+  io::Read second;
+  first.id = spec_.name + "." + std::to_string(id) + "/1";
+  second.id = spec_.name + "." + std::to_string(id) + "/2";
+  first.bases = sample_bases(start, flip);
+  second.bases = sample_bases(start + fragment - L, !flip);
+  return {std::move(first), std::move(second)};
+}
+
+std::uint64_t ReadSimulator::write_fastq(const std::string& path) {
+  io::FastxWriter writer(path, io::FastxWriter::Format::kFastq);
+  const std::uint64_t n = spec_.num_reads();
+  if (spec_.paired) {
+    for (std::uint64_t i = 0; i + 1 < n; i += 2) {
+      auto [first, second] = next_pair();
+      writer.write(first);
+      writer.write(second);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) writer.write(next());
+  }
+  writer.close();
+  return writer.records_written();
+}
+
+std::vector<io::Read> ReadSimulator::all_reads() {
+  std::vector<io::Read> reads;
+  const std::uint64_t n = spec_.num_reads();
+  reads.reserve(n);
+  if (spec_.paired) {
+    while (reads.size() + 1 < n) {
+      auto [first, second] = next_pair();
+      reads.push_back(std::move(first));
+      reads.push_back(std::move(second));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) reads.push_back(next());
+  }
+  return reads;
+}
+
+std::string write_dataset(const DatasetSpec& spec, const std::string& path) {
+  std::string genome = simulate_genome(spec.genome_size, spec.seed);
+  ReadSimulator simulator(genome, spec);
+  simulator.write_fastq(path);
+  return genome;
+}
+
+}  // namespace parahash::sim

@@ -1,0 +1,96 @@
+// Synthetic genome and read simulation.
+//
+// The paper evaluates on GAGE's Human Chr14 (9.4 GB fastq, L=101) and
+// Bumblebee (92 GB, L=124) datasets, which are neither redistributable
+// nor tractable here. The simulator generates datasets with the same
+// generative parameters the paper's analysis depends on:
+//   * genome size Ge, read length L, number of reads N (from coverage),
+//   * reads drawn from both strands (so canonical-kmer handling matters),
+//   * sequencing errors: each read carries Poisson(lambda) substitution
+//     errors at uniform positions — exactly the model behind Property 1's
+//     expected-graph-size bound Theta(lambda/4 * LN + Ge).
+// Presets scale the two GAGE datasets down while preserving the ratios
+// that drive the experiments (coverage, L, lambda, relative graph size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/fastx.h"
+#include "util/rng.h"
+
+namespace parahash::sim {
+
+/// Generative parameters of a synthetic dataset.
+struct DatasetSpec {
+  std::string name = "synthetic";
+  std::uint64_t genome_size = 1'000'000;  ///< Ge, in base pairs
+  int read_length = 101;                  ///< L
+  double coverage = 20.0;                 ///< N = coverage * Ge / L
+  double lambda = 1.0;                    ///< mean substitution errors/read
+  double reverse_strand_fraction = 0.5;   ///< reads sampled from RC strand
+  std::uint64_t seed = 42;
+
+  /// Paired-end mode: reads come in mate pairs from opposite strands of
+  /// the same fragment (GAGE datasets are paired-end libraries). The
+  /// graph construction treats mates as independent reads; pairing only
+  /// affects where reads are sampled.
+  bool paired = false;
+  double insert_mean = 300.0;  ///< fragment length mean (bp)
+  double insert_sd = 30.0;     ///< fragment length std deviation
+
+  std::uint64_t num_reads() const {
+    return static_cast<std::uint64_t>(coverage * static_cast<double>(
+                                          genome_size) /
+                                      read_length);
+  }
+};
+
+/// Scaled-down analogue of GAGE Human Chr14 (88 Mbp genome, L=101,
+/// 37 M reads ~ 42x coverage). scale = 1 gives a 1 Mbp genome.
+DatasetSpec human_chr14_like(double scale = 1.0);
+
+/// Scaled-down analogue of GAGE Bumblebee (250 Mbp genome, L=124,
+/// 303 M reads ~ 150x coverage). scale = 1 gives a ~2.8 Mbp genome,
+/// keeping Bumblebee's ~10x graph-size ratio over the chr14 preset.
+DatasetSpec bumblebee_like(double scale = 1.0);
+
+/// Generates a uniform random genome of `size` bases (characters ACGT).
+std::string simulate_genome(std::uint64_t size, std::uint64_t seed);
+
+/// Draws shotgun reads from a genome per the spec's model.
+class ReadSimulator {
+ public:
+  ReadSimulator(std::string genome, const DatasetSpec& spec);
+
+  /// Generates the next read (deterministic given the spec's seed).
+  io::Read next();
+
+  /// Generates one mate pair: /1 from the fragment's forward strand,
+  /// /2 from the reverse strand of the other end (Illumina FR layout).
+  std::pair<io::Read, io::Read> next_pair();
+
+  /// Generates all spec.num_reads() reads into a FASTQ file (interleaved
+  /// mate pairs when spec.paired); returns the number of reads written.
+  std::uint64_t write_fastq(const std::string& path);
+
+  /// Generates all reads in memory (small datasets / tests).
+  std::vector<io::Read> all_reads();
+
+  const std::string& genome() const { return genome_; }
+
+ private:
+  std::string sample_bases(std::uint64_t pos, bool reverse);
+
+  std::string genome_;
+  DatasetSpec spec_;
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Convenience: simulate the spec's genome and write its reads to `path`.
+/// Returns the genome so callers can validate the graph against it.
+std::string write_dataset(const DatasetSpec& spec, const std::string& path);
+
+}  // namespace parahash::sim

@@ -1,0 +1,30 @@
+#include "util/dna.h"
+
+namespace parahash {
+
+std::string encode_bases(std::string_view chars) {
+  std::string out(chars.size(), '\0');
+  for (std::size_t i = 0; i < chars.size(); ++i) {
+    out[i] = static_cast<char>(encode_base(chars[i]));
+  }
+  return out;
+}
+
+std::string decode_bases(std::string_view codes) {
+  std::string out(codes.size(), '\0');
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = decode_base(static_cast<std::uint8_t>(codes[i]));
+  }
+  return out;
+}
+
+std::string reverse_complement_str(std::string_view chars) {
+  std::string out(chars.size(), '\0');
+  for (std::size_t i = 0; i < chars.size(); ++i) {
+    const std::uint8_t b = encode_base(chars[chars.size() - 1 - i]);
+    out[i] = decode_base(complement(b));
+  }
+  return out;
+}
+
+}  // namespace parahash

@@ -1,0 +1,62 @@
+// DNA alphabet: 2-bit base codes, complements, and character conversion.
+//
+// The De Bruijn graph alphabet is Sigma = {A, C, G, T}, encoded as
+// A=0, C=1, G=2, T=3. The encoding is chosen so that
+//   * integer order equals lexicographic order of the characters, and
+//   * complement(b) == b ^ 3 (A<->T, C<->G).
+// Unknown input characters (e.g. 'N') map to 'A', matching the convention
+// used by most assemblers and by the ParaHash paper (Sec. II-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parahash {
+
+/// Number of symbols in the DNA alphabet.
+inline constexpr int kAlphabetSize = 4;
+
+/// Decoding table from 2-bit code to character.
+inline constexpr std::array<char, 4> kBaseChars = {'A', 'C', 'G', 'T'};
+
+/// Encodes one character to its 2-bit base code; unknown characters
+/// (including 'N') become A (code 0).
+constexpr std::uint8_t encode_base(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return 0;
+  }
+}
+
+/// Returns true iff `c` is one of ACGT (either case).
+constexpr bool is_acgt(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': case 'C': case 'c':
+    case 'G': case 'g': case 'T': case 't': return true;
+    default: return false;
+  }
+}
+
+/// Decodes a 2-bit base code to its uppercase character.
+constexpr char decode_base(std::uint8_t b) noexcept { return kBaseChars[b & 3u]; }
+
+/// Watson-Crick complement of a 2-bit base code (A<->T, C<->G).
+constexpr std::uint8_t complement(std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(b ^ 3u);
+}
+
+/// Encodes a string of base characters into a vector of 2-bit codes.
+std::string encode_bases(std::string_view chars);
+
+/// Decodes a string of 2-bit codes (one per byte) back to characters.
+std::string decode_bases(std::string_view codes);
+
+/// Reverse complement of a character sequence (ACGT; others read as A).
+std::string reverse_complement_str(std::string_view chars);
+
+}  // namespace parahash

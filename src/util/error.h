@@ -1,0 +1,72 @@
+// Error types and checking macros for the parahash library.
+//
+// The library reports unrecoverable misuse and environment failures with
+// exceptions derived from parahash::Error; hot paths use PARAHASH_DCHECK
+// (compiled out in release builds) for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parahash {
+
+/// Base class of all parahash exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid configuration or argument (e.g. even k, P > K).
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Filesystem / stream failure.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A fixed-capacity concurrent hash table ran out of slots and resizing
+/// was disabled (ParaHash sizes tables up front to avoid resizing).
+class TableFullError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A device could not accept a work item (e.g. the simulated GPU's device
+/// memory cannot hold the partition plus its hash table).
+class DeviceCapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw Error(std::string("check failed: ") + expr + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace internal
+
+}  // namespace parahash
+
+/// Always-on invariant check; throws parahash::Error on failure.
+#define PARAHASH_CHECK(expr)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::parahash::internal::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define PARAHASH_CHECK_MSG(expr, msg)                                      \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::parahash::internal::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARAHASH_DCHECK(expr) ((void)0)
+#else
+#define PARAHASH_DCHECK(expr) PARAHASH_CHECK(expr)
+#endif

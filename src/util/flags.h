@@ -1,0 +1,96 @@
+// Minimal command-line flag parsing for the tools and examples.
+//
+// Supports --name=value, --name value, and bare --bool flags, plus
+// positional arguments. No global state: a Flags object is built from
+// argv and queried.
+//
+// Ambiguity rule: in the `--name value` form the next token is consumed
+// as the value whenever it does not itself start with `--`. Boolean
+// flags followed by a positional argument must therefore use the
+// `--name=true` spelling (or come after the positionals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace parahash {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
+                                     0) {
+        values_[body] = argv[++i];
+      } else {
+        values_[body] = "";  // bare boolean flag
+      }
+    }
+  }
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const { return values_.contains(name); }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      throw InvalidArgumentError("flag --" + name +
+                                 " expects an integer, got '" + it->second +
+                                 "'");
+    }
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      throw InvalidArgumentError("flag --" + name +
+                                 " expects a number, got '" + it->second +
+                                 "'");
+    }
+  }
+
+  bool get_bool(const std::string& name, bool fallback = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+    if (v == "false" || v == "0" || v == "no") return false;
+    throw InvalidArgumentError("flag --" + name +
+                               " expects a boolean, got '" + v + "'");
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parahash

@@ -1,0 +1,42 @@
+// Non-cryptographic mixing hashes used for kmer hashing, minimizer routing
+// and the concurrent hash tables.
+#pragma once
+
+#include <cstdint>
+
+namespace parahash {
+
+/// SplitMix64 finaliser: a strong 64-bit bit mixer. Cheap, statistically
+/// well distributed, and invertible (so it never loses entropy).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines a running hash with the next 64-bit lane.
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hashes an array of 64-bit words (e.g. a multi-word kmer).
+constexpr std::uint64_t hash_words(const std::uint64_t* words,
+                                   int count) noexcept {
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < count; ++i) h = hash_combine(h, words[i]);
+  return h;
+}
+
+/// Rounds `x` up to the next power of two (returns 1 for x == 0).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;  x |= x >> 2;  x |= x >> 4;
+  x |= x >> 8;  x |= x >> 16; x |= x >> 32;
+  return x + 1;
+}
+
+}  // namespace parahash

@@ -1,0 +1,202 @@
+// Fixed-capacity, multi-word kmer values.
+//
+// A Kmer<W> stores up to 32*W bases in W 64-bit words, packed so that the
+// kmer's bases form one big-endian 2k-bit integer: the leftmost (first)
+// base occupies the most significant 2 bits of the used range. With that
+// layout, integer comparison of two equal-length kmers equals
+// lexicographic comparison of their strings, which is what minimizers and
+// canonical kmers are defined on (paper Sec. II-A).
+//
+// The ParaHash paper stresses that hash entries must support keys wider
+// than one machine word (Sec. II, "multi-words hashing"); Kmer<2> covers
+// k up to 64 and the concurrent table (concurrent/kmer_table.h) stores the
+// raw words of any W.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/dna.h"
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace parahash {
+
+template <int W>
+class Kmer {
+  static_assert(W >= 1 && W <= 8, "1..8 words supported");
+
+ public:
+  static constexpr int kWords = W;
+  static constexpr int kMaxK = 32 * W;
+
+  /// Empty kmer (k == 0).
+  constexpr Kmer() noexcept : words_{}, k_(0) {}
+
+  /// All-A kmer of length k.
+  constexpr explicit Kmer(int k) : words_{}, k_(k) {
+    PARAHASH_CHECK_MSG(k >= 0 && k <= kMaxK, "kmer length out of range");
+  }
+
+  /// Parses a kmer from base characters; unknown characters read as 'A'.
+  static Kmer from_string(std::string_view s) {
+    PARAHASH_CHECK_MSG(static_cast<int>(s.size()) <= kMaxK,
+                       "string longer than kmer capacity");
+    Kmer out;
+    for (char c : s) out.push_back(encode_base(c));
+    return out;
+  }
+
+  /// Reconstructs a kmer from raw words (as stored in a hash table slot).
+  static Kmer from_words(std::span<const std::uint64_t> w, int k) {
+    PARAHASH_CHECK(static_cast<int>(w.size()) == W && k >= 0 && k <= kMaxK);
+    Kmer out;
+    out.k_ = k;
+    for (int i = 0; i < W; ++i) out.words_[i] = w[i];
+    return out;
+  }
+
+  constexpr int k() const noexcept { return k_; }
+  constexpr bool empty() const noexcept { return k_ == 0; }
+
+  /// Raw packed words; valid bits are the low 2k bits, higher bits zero.
+  constexpr std::span<const std::uint64_t, W> words() const noexcept {
+    return std::span<const std::uint64_t, W>(words_);
+  }
+
+  /// Returns base i, where i == 0 is the leftmost base.
+  constexpr std::uint8_t base(int i) const noexcept {
+    const int pos = 2 * (k_ - 1 - i);
+    return static_cast<std::uint8_t>((words_[pos >> 6] >> (pos & 63)) & 3u);
+  }
+
+  /// Appends a base on the right, growing the kmer by one (k < kMaxK).
+  constexpr void push_back(std::uint8_t b) {
+    PARAHASH_DCHECK(k_ < kMaxK);
+    shift_left2();
+    words_[0] |= (b & 3u);
+    ++k_;
+  }
+
+  /// Slides the window right: drops the leftmost base, appends `b`.
+  /// The length k stays fixed. This is the rolling-kmer step used when
+  /// scanning reads and superkmers.
+  constexpr void roll_append(std::uint8_t b) noexcept {
+    shift_left2();
+    words_[0] |= (b & 3u);
+    mask_top();
+  }
+
+  /// Slides the window left: drops the rightmost base, prepends `b`.
+  /// Used to roll the reverse complement in lockstep with roll_append.
+  constexpr void roll_prepend(std::uint8_t b) noexcept {
+    shift_right2();
+    const int pos = 2 * (k_ - 1);
+    words_[pos >> 6] |= static_cast<std::uint64_t>(b & 3u) << (pos & 63);
+  }
+
+  /// The kmer one step to the right in the graph: suffix(k-1) + b.
+  constexpr Kmer successor(std::uint8_t b) const noexcept {
+    Kmer out = *this;
+    out.roll_append(b);
+    return out;
+  }
+
+  /// The kmer one step to the left in the graph: b + prefix(k-1).
+  constexpr Kmer predecessor(std::uint8_t b) const noexcept {
+    Kmer out = *this;
+    out.roll_prepend(b);
+    return out;
+  }
+
+  /// Reverse complement (same k).
+  Kmer reverse_complement() const {
+    Kmer out;
+    for (int i = k_ - 1; i >= 0; --i) out.push_back(complement(base(i)));
+    return out;
+  }
+
+  /// Canonical form: the lexicographically smaller of the kmer and its
+  /// reverse complement. Graph vertices are canonical kmers (Sec. II-A).
+  Kmer canonical() const {
+    Kmer rc = reverse_complement();
+    return (*this <= rc) ? *this : rc;
+  }
+
+  /// True iff the kmer is its own canonical form.
+  bool is_canonical() const { return *this <= reverse_complement(); }
+
+  std::string to_string() const {
+    std::string s(static_cast<std::size_t>(k_), 'A');
+    for (int i = 0; i < k_; ++i) s[i] = decode_base(base(i));
+    return s;
+  }
+
+  /// Mixing hash over all words (used for table placement).
+  constexpr std::uint64_t hash() const noexcept {
+    return hash_words(words_.data(), W);
+  }
+
+  friend constexpr bool operator==(const Kmer& a, const Kmer& b) noexcept {
+    return a.k_ == b.k_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic order; only meaningful for kmers of equal length.
+  friend constexpr std::strong_ordering operator<=>(const Kmer& a,
+                                                    const Kmer& b) noexcept {
+    for (int i = W - 1; i >= 0; --i) {
+      if (a.words_[i] != b.words_[i])
+        return a.words_[i] <=> b.words_[i];
+    }
+    return a.k_ <=> b.k_;
+  }
+
+ private:
+  constexpr void shift_left2() noexcept {
+    for (int i = W - 1; i > 0; --i) {
+      words_[i] = (words_[i] << 2) | (words_[i - 1] >> 62);
+    }
+    words_[0] <<= 2;
+  }
+
+  constexpr void shift_right2() noexcept {
+    for (int i = 0; i < W - 1; ++i) {
+      words_[i] = (words_[i] >> 2) | (words_[i + 1] << 62);
+    }
+    words_[W - 1] >>= 2;
+  }
+
+  /// Clears bits above the used 2k range.
+  constexpr void mask_top() noexcept {
+    const int used = 2 * k_;
+    for (int i = 0; i < W; ++i) {
+      const int lo = 64 * i;
+      if (used <= lo) {
+        words_[i] = 0;
+      } else if (used - lo < 64) {
+        words_[i] &= (std::uint64_t{1} << (used - lo)) - 1;
+      }
+    }
+  }
+
+  std::array<std::uint64_t, W> words_;
+  std::int32_t k_;
+};
+
+using Kmer32 = Kmer<1>;  ///< k <= 32 (covers the paper's k = 27)
+using Kmer64 = Kmer<2>;  ///< k <= 64 (multi-word keys)
+
+/// Runs `fn.template operator()<W>()` with the smallest word count that
+/// fits kmers of length k. Lets runtime code pick Kmer32 vs Kmer64.
+template <typename Fn>
+decltype(auto) with_kmer_words(int k, Fn&& fn) {
+  PARAHASH_CHECK_MSG(k >= 1 && k <= 64, "k must be in [1, 64]");
+  if (k <= 32) return fn.template operator()<1>();
+  return fn.template operator()<2>();
+}
+
+}  // namespace parahash

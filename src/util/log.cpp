@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace parahash {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+namespace internal {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[parahash %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace parahash

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Serialised to stderr; off by default above INFO.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace parahash {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that gets printed (default: kWarn, so library
+/// code is quiet unless something is wrong; tools raise it to kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: PARAHASH_LOG(kInfo) << "built " << n;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    if (level_ >= log_level()) internal::log_line(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace parahash
+
+#define PARAHASH_LOG(level) \
+  ::parahash::LogMessage(::parahash::LogLevel::level)

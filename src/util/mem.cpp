@@ -1,0 +1,34 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace parahash {
+namespace {
+
+std::uint64_t read_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len, " %llu", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM:") * 1024; }
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS:") * 1024; }
+
+}  // namespace parahash

@@ -1,0 +1,15 @@
+// Process memory probes (used for the peak-memory columns of Table III).
+#pragma once
+
+#include <cstdint>
+
+namespace parahash {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 if the
+/// platform does not expose it.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+std::uint64_t current_rss_bytes();
+
+}  // namespace parahash

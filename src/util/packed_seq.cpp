@@ -1,0 +1,22 @@
+#include "util/packed_seq.h"
+
+namespace parahash {
+
+void PackedSeq::write_bytes(std::uint8_t* out) const {
+  const std::size_t nbytes = packed_bytes(size_);
+  std::memset(out, 0, nbytes);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i / 4] |= static_cast<std::uint8_t>((*this)[i] << ((i % 4) * 2));
+  }
+}
+
+PackedSeq PackedSeq::from_bytes(const std::uint8_t* in, std::size_t bases) {
+  PackedSeq s;
+  s.reserve(bases);
+  for (std::size_t i = 0; i < bases; ++i) {
+    s.push_back(static_cast<std::uint8_t>((in[i / 4] >> ((i % 4) * 2)) & 3u));
+  }
+  return s;
+}
+
+}  // namespace parahash

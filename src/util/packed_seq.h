@@ -1,0 +1,115 @@
+// 2-bit packed DNA sequences of arbitrary length.
+//
+// ParaHash encodes reads and superkmers with 2 bits per base to cut the
+// partition files (and host<->device transfers) to ~1/4 of a byte-per-base
+// encoding (paper Sec. III-B). PackedSeq is that container: an appendable
+// 2-bit vector with random access, slicing, kmer extraction and a compact
+// byte serialisation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/dna.h"
+#include "util/error.h"
+#include "util/kmer.h"
+
+namespace parahash {
+
+class PackedSeq {
+ public:
+  PackedSeq() = default;
+
+  /// Builds from base characters; unknown characters read as 'A'.
+  static PackedSeq from_string(std::string_view chars) {
+    PackedSeq s;
+    s.reserve(chars.size());
+    for (char c : chars) s.push_back(encode_base(c));
+    return s;
+  }
+
+  /// Builds from 2-bit codes (one code per byte).
+  static PackedSeq from_codes(std::span<const std::uint8_t> codes) {
+    PackedSeq s;
+    s.reserve(codes.size());
+    for (std::uint8_t b : codes) s.push_back(b);
+    return s;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t bases) { words_.reserve((bases + 31) / 32); }
+
+  /// Appends one 2-bit base code.
+  void push_back(std::uint8_t b) {
+    const std::size_t word = size_ / 32;
+    const int off = static_cast<int>(size_ % 32) * 2;
+    if (word == words_.size()) words_.push_back(0);
+    words_[word] |= static_cast<std::uint64_t>(b & 3u) << off;
+    ++size_;
+  }
+
+  /// Base code at position i (0-based, left to right).
+  std::uint8_t operator[](std::size_t i) const noexcept {
+    return static_cast<std::uint8_t>(
+        (words_[i / 32] >> ((i % 32) * 2)) & 3u);
+  }
+
+  /// Extracts the length-k kmer starting at position `pos`.
+  template <int W>
+  Kmer<W> kmer_at(std::size_t pos, int k) const {
+    PARAHASH_DCHECK(pos + static_cast<std::size_t>(k) <= size_);
+    Kmer<W> out;
+    for (int i = 0; i < k; ++i) out.push_back((*this)[pos + i]);
+    return out;
+  }
+
+  /// Copies bases [pos, pos+len) into a new sequence.
+  PackedSeq substr(std::size_t pos, std::size_t len) const {
+    PARAHASH_DCHECK(pos + len <= size_);
+    PackedSeq out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) out.push_back((*this)[pos + i]);
+    return out;
+  }
+
+  std::string to_string() const {
+    std::string s(size_, 'A');
+    for (std::size_t i = 0; i < size_; ++i) s[i] = decode_base((*this)[i]);
+    return s;
+  }
+
+  /// Number of bytes `write_bytes` produces for `bases` bases.
+  static std::size_t packed_bytes(std::size_t bases) noexcept {
+    return (bases + 3) / 4;
+  }
+
+  /// Serialises the bases into `out` (must hold packed_bytes(size())).
+  void write_bytes(std::uint8_t* out) const;
+
+  /// Deserialises `bases` bases from a packed byte buffer.
+  static PackedSeq from_bytes(const std::uint8_t* in, std::size_t bases);
+
+  friend bool operator==(const PackedSeq& a, const PackedSeq& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.words_.size(); ++i)
+      if (a.words_[i] != b.words_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parahash

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for simulators and tests.
+//
+// Xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 with std::distributions — bit-reproducible across standard
+// library implementations, so synthetic datasets are stable everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace parahash {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    // SplitMix64 stream to fill the state; never all-zero.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// One random DNA base code.
+  std::uint8_t base() noexcept {
+    return static_cast<std::uint8_t>(next() >> 62);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal sample (Marsaglia polar method).
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Poisson sample with mean lambda (Knuth's method; lambda is small in
+  /// sequencing models, typically 1-2 errors per read).
+  int poisson(double lambda) noexcept {
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    int n = -1;
+    do {
+      ++n;
+      prod *= uniform();
+    } while (prod > limit);
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+  double spare_ = 0;
+  bool have_spare_ = false;
+};
+
+}  // namespace parahash

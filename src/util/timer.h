@@ -1,0 +1,68 @@
+// Wall-clock timers and per-stage time accounting.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parahash {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds its lifetime (in seconds) to a double on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) noexcept : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+/// Thread-safe accumulator of seconds, usable from many workers at once.
+class AtomicSeconds {
+ public:
+  void add(double s) noexcept {
+    ns_.fetch_add(static_cast<std::int64_t>(s * 1e9),
+                  std::memory_order_relaxed);
+  }
+  double seconds() const noexcept {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// Adds its lifetime to an AtomicSeconds on destruction.
+class ScopedAtomicTimer {
+ public:
+  explicit ScopedAtomicTimer(AtomicSeconds& sink) noexcept : sink_(sink) {}
+  ScopedAtomicTimer(const ScopedAtomicTimer&) = delete;
+  ScopedAtomicTimer& operator=(const ScopedAtomicTimer&) = delete;
+  ~ScopedAtomicTimer() { sink_.add(timer_.seconds()); }
+
+ private:
+  AtomicSeconds& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace parahash

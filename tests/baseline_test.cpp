@@ -1,0 +1,188 @@
+// Tests for the comparison baselines: the SOAP-style per-thread-table
+// builder and the partition/sort/merge builder must produce exactly the
+// graph the reference oracle (and ParaHash) produce.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/baseline_soap.h"
+#include "core/baseline_sortmerge.h"
+#include "core/msp.h"
+#include "core/reference.h"
+#include "core/subgraph.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+
+namespace parahash::core {
+namespace {
+
+std::vector<io::Read> simulate(std::uint64_t genome_size, double coverage,
+                               double lambda, std::uint64_t seed) {
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = 80;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  return simulator.all_reads();
+}
+
+template <int W>
+void expect_matches_reference(
+    const std::vector<concurrent::VertexEntry<W>>& vertices,
+    const ReferenceBuilder& reference) {
+  ASSERT_EQ(vertices.size(), reference.distinct_vertices());
+  for (const auto& v : vertices) {
+    const auto it = reference.vertices().find(v.kmer.to_string());
+    ASSERT_NE(it, reference.vertices().end()) << v.kmer.to_string();
+    EXPECT_EQ(v.coverage, it->second.coverage);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(v.edges[i], it->second.edges[i]) << v.kmer.to_string();
+    }
+  }
+}
+
+TEST(SoapBaseline, MatchesReference) {
+  const auto reads = simulate(2000, 8.0, 1.0, 42);
+  ReferenceBuilder reference(27);
+  for (const auto& r : reads) reference.add_read(r.bases);
+
+  SoapConfig config;
+  config.k = 27;
+  config.threads = 4;
+  SoapStyleBuilder<1> builder(config);
+  const auto result = builder.build_reads(reads);
+
+  EXPECT_EQ(result.distinct_vertices, reference.distinct_vertices());
+  EXPECT_EQ(result.total_kmers, reference.total_kmers());
+  expect_matches_reference<1>(result.vertices, reference);
+  EXPECT_GT(result.kmer_array_bytes, 0u);
+}
+
+TEST(SoapBaseline, ThreadCountDoesNotChangeResult) {
+  const auto reads = simulate(1000, 6.0, 1.5, 43);
+  SoapConfig one;
+  one.k = 21;
+  one.threads = 1;
+  SoapConfig eight = one;
+  eight.threads = 8;
+
+  auto a = SoapStyleBuilder<1>(one).build_reads(reads);
+  auto b = SoapStyleBuilder<1>(eight).build_reads(reads);
+  EXPECT_EQ(a.distinct_vertices, b.distinct_vertices);
+
+  std::map<std::string, std::uint32_t> cov_a;
+  for (const auto& v : a.vertices) cov_a[v.kmer.to_string()] = v.coverage;
+  for (const auto& v : b.vertices) {
+    EXPECT_EQ(cov_a.at(v.kmer.to_string()), v.coverage);
+  }
+}
+
+TEST(SoapBaseline, MemoryBudgetTriggersNa) {
+  // Table III: "SOAP cannot run" when the in-memory kmer array exceeds
+  // the machine's memory. Reproduce with a small budget.
+  const auto reads = simulate(2000, 8.0, 1.0, 44);
+  SoapConfig config;
+  config.k = 27;
+  config.memory_budget_bytes = 4096;
+  SoapStyleBuilder<1> builder(config);
+  EXPECT_THROW(builder.build_reads(reads), MemoryBudgetError);
+}
+
+TEST(SoapBaseline, ReportsTimeBreakdown) {
+  const auto reads = simulate(2000, 10.0, 1.0, 45);
+  SoapConfig config;
+  config.k = 27;
+  config.threads = 4;
+  const auto result = SoapStyleBuilder<1>(config).build_reads(reads);
+  // Fig. 10's two components must both be observable.
+  EXPECT_GT(result.read_seconds, 0.0);
+  EXPECT_GT(result.insert_seconds, 0.0);
+}
+
+TEST(SortMergeBaseline, MatchesHashBuilderPerPartition) {
+  const auto reads = simulate(2000, 8.0, 1.0, 46);
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 8;
+
+  io::TempDir dir("sortmerge_test");
+  io::PartitionSet partitions(dir.file("parts"), config.k, config.p,
+                              config.num_partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r.bases);
+  MspBatchOutput out(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    partitions.writer(p).append_raw(
+        out.parts[p].bytes.data(), out.parts[p].bytes.size(),
+        out.parts[p].superkmers, out.parts[p].kmers, out.parts[p].bases);
+  }
+
+  HashConfig hash_config;
+  for (const auto& path : partitions.close_all()) {
+    const auto blob = io::PartitionBlob::read_file(path);
+    const auto sorted = SortMergeBuilder<1>::build_partition(blob);
+    auto hashed = build_subgraph<1>(blob, hash_config, nullptr);
+
+    EXPECT_EQ(sorted.vertices.size(), hashed.table->size());
+    EXPECT_EQ(sorted.pairs, blob.header().kmer_count);
+    for (const auto& v : sorted.vertices) {
+      const auto found = hashed.table->find(v.kmer);
+      ASSERT_TRUE(found.has_value()) << v.kmer.to_string();
+      EXPECT_EQ(found->coverage, v.coverage);
+      EXPECT_EQ(found->edges, v.edges);
+    }
+    // Sorted output is sorted.
+    for (std::size_t i = 1; i < sorted.vertices.size(); ++i) {
+      EXPECT_TRUE(sorted.vertices[i - 1].kmer < sorted.vertices[i].kmer);
+    }
+  }
+}
+
+TEST(SortMergeBaseline, WholeGraphMatchesReference) {
+  const auto reads = simulate(1500, 6.0, 1.0, 47);
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 4;
+
+  io::TempDir dir("sortmerge_test");
+  io::PartitionSet partitions(dir.file("parts"), config.k, config.p,
+                              config.num_partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r.bases);
+  MspBatchOutput out(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  std::vector<concurrent::VertexEntry<1>> all;
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    partitions.writer(p).append_raw(
+        out.parts[p].bytes.data(), out.parts[p].bytes.size(),
+        out.parts[p].superkmers, out.parts[p].kmers, out.parts[p].bases);
+  }
+  for (const auto& path : partitions.close_all()) {
+    const auto blob = io::PartitionBlob::read_file(path);
+    const auto result = SortMergeBuilder<1>::build_partition(blob);
+    all.insert(all.end(), result.vertices.begin(), result.vertices.end());
+  }
+
+  ReferenceBuilder reference(config.k);
+  for (const auto& r : reads) reference.add_read(r.bases);
+  expect_matches_reference<1>(all, reference);
+}
+
+TEST(SortMergeBaseline, EmptyPartitionYieldsNothing) {
+  io::TempDir dir("sortmerge_test");
+  io::PartitionWriter writer(dir.file("empty.phsk"), 27, 11, 0);
+  writer.close();
+  const auto blob = io::PartitionBlob::read_file(dir.file("empty.phsk"));
+  const auto result = SortMergeBuilder<1>::build_partition(blob);
+  EXPECT_TRUE(result.vertices.empty());
+  EXPECT_EQ(result.pairs, 0u);
+}
+
+}  // namespace
+}  // namespace parahash::core

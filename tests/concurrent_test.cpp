@@ -1,0 +1,371 @@
+// Tests for the concurrent substrate: the state-transfer hash table (the
+// paper's core data structure), the lock-per-access ablation table, and
+// the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "concurrent/mutex_table.h"
+#include "concurrent/thread_pool.h"
+#include "util/rng.h"
+
+namespace parahash::concurrent {
+namespace {
+
+template <int W>
+Kmer<W> random_kmer(Rng& rng, int k) {
+  Kmer<W> kmer;
+  for (int i = 0; i < k; ++i) kmer.push_back(rng.base());
+  return kmer;
+}
+
+struct Op {
+  std::string kmer;
+  int edge_out;
+  int edge_in;
+};
+
+/// Sequential reference accumulation of the same operations.
+struct Expected {
+  std::uint32_t coverage = 0;
+  std::array<std::uint32_t, 8> edges{};
+};
+
+template <typename Table, int W>
+void check_against_reference(Table& table, const std::vector<Op>& ops) {
+  std::map<std::string, Expected> expected;
+  for (const auto& op : ops) {
+    auto& e = expected[op.kmer];
+    ++e.coverage;
+    if (op.edge_out >= 0) ++e.edges[kEdgeOut + op.edge_out];
+    if (op.edge_in >= 0) ++e.edges[kEdgeIn + op.edge_in];
+  }
+  EXPECT_EQ(table.size(), expected.size());
+  for (const auto& [kmer_str, e] : expected) {
+    const auto found = table.find(Kmer<W>::from_string(kmer_str));
+    ASSERT_TRUE(found.has_value()) << kmer_str;
+    EXPECT_EQ(found->coverage, e.coverage) << kmer_str;
+    EXPECT_EQ(found->edges, e.edges) << kmer_str;
+  }
+}
+
+template <int W>
+std::vector<Op> make_ops(int distinct, int total, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(distinct);
+  for (int i = 0; i < distinct; ++i) {
+    keys.push_back(random_kmer<W>(rng, k).to_string());
+  }
+  std::vector<Op> ops;
+  ops.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    Op op;
+    op.kmer = keys[rng.below(keys.size())];
+    op.edge_out = static_cast<int>(rng.below(5)) - 1;  // -1..3
+    op.edge_in = static_cast<int>(rng.below(5)) - 1;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// --------------------------------------------- ConcurrentKmerTable
+
+TEST(KmerTable, InsertAndFindSingle) {
+  ConcurrentKmerTable<1> table(64, 27);
+  const auto kmer = Kmer<1>::from_string("ACGTACGTACGTACGTACGTACGTACG");
+  const auto r = table.add(kmer, 2, -1);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(table.size(), 1u);
+  const auto found = table.find(kmer);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->coverage, 1u);
+  EXPECT_EQ(found->out_weight(2), 1u);
+  EXPECT_EQ(found->in_weight(2), 0u);
+  EXPECT_EQ(found->kmer, kmer);
+}
+
+TEST(KmerTable, DuplicateAddsMergeIntoOneSlot) {
+  ConcurrentKmerTable<1> table(64, 21);
+  const auto kmer = Kmer<1>::from_string("ACGTACGTACGTACGTACGTA");
+  for (int i = 0; i < 10; ++i) {
+    const auto r = table.add(kmer, 1, 3);
+    EXPECT_EQ(r.inserted, i == 0);
+  }
+  EXPECT_EQ(table.size(), 1u);
+  const auto found = table.find(kmer);
+  EXPECT_EQ(found->coverage, 10u);
+  EXPECT_EQ(found->out_weight(1), 10u);
+  EXPECT_EQ(found->in_weight(3), 10u);
+}
+
+TEST(KmerTable, FindMissingReturnsNullopt) {
+  ConcurrentKmerTable<1> table(64, 21);
+  table.add(Kmer<1>::from_string("ACGTACGTACGTACGTACGTA"), -1, -1);
+  EXPECT_FALSE(
+      table.find(Kmer<1>::from_string("TTTTTTTTTTTTTTTTTTTTT")).has_value());
+}
+
+TEST(KmerTable, SequentialMatchesReference) {
+  const auto ops = make_ops<1>(200, 3000, 27, 1234);
+  ConcurrentKmerTable<1> table(512, 27);
+  TableStats stats;
+  for (const auto& op : ops) {
+    stats.absorb(
+        table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in));
+  }
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+  EXPECT_EQ(stats.adds, 3000u);
+  EXPECT_EQ(stats.inserts, 200u);
+  EXPECT_GE(stats.probes, stats.adds);
+}
+
+TEST(KmerTable, MultiWordKeysWork) {
+  const int k = 45;  // needs 2 words
+  const auto ops = make_ops<2>(100, 1000, k, 99);
+  ConcurrentKmerTable<2> table(256, k);
+  for (const auto& op : ops) {
+    table.add(Kmer<2>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  check_against_reference<ConcurrentKmerTable<2>, 2>(table, ops);
+}
+
+TEST(KmerTable, ConcurrentAddsMatchReference) {
+  // Many threads hammer a small keyset to force CAS races and lock
+  // waits; totals must still be exact.
+  const int k = 27;
+  const int threads = 8;
+  const int per_thread = 5000;
+  const auto ops = make_ops<1>(50, threads * per_thread, k, 777);
+
+  ConcurrentKmerTable<1> table(256, k);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        table.add(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
+                  ops[i].edge_in);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
+TEST(KmerTable, ConcurrentDistinctInsertsAllLand) {
+  // All-distinct keys: every add must insert exactly once even when
+  // threads collide on neighbouring slots.
+  const int k = 31;
+  const int threads = 8;
+  const int per_thread = 2000;
+  Rng rng(4242);
+  std::vector<std::string> keys;
+  std::set<std::string> unique;
+  while (unique.size() < static_cast<std::size_t>(threads * per_thread)) {
+    unique.insert(random_kmer<1>(rng, k).to_string());
+  }
+  keys.assign(unique.begin(), unique.end());
+
+  ConcurrentKmerTable<1> table(threads * per_thread * 2, k);
+  std::atomic<std::uint64_t> inserted{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t mine = 0;
+      for (int i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        mine += table.add(Kmer<1>::from_string(keys[i]), 0, 0).inserted;
+      }
+      inserted.fetch_add(mine);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(inserted.load(), static_cast<std::uint64_t>(threads) * per_thread);
+  EXPECT_EQ(table.size(), static_cast<std::uint64_t>(threads) * per_thread);
+}
+
+TEST(KmerTable, ThrowsWhenFull) {
+  ConcurrentKmerTable<1> table(4, 15);  // capacity rounds to 4
+  Rng rng(5);
+  std::set<std::string> keys;
+  while (keys.size() < 5) keys.insert(random_kmer<1>(rng, 15).to_string());
+  auto it = keys.begin();
+  for (int i = 0; i < 4; ++i, ++it) {
+    table.add(Kmer<1>::from_string(*it), -1, -1);
+  }
+  EXPECT_THROW(table.add(Kmer<1>::from_string(*it), -1, -1),
+               TableFullError);
+  // Existing keys still update fine.
+  EXPECT_NO_THROW(table.add(Kmer<1>::from_string(*keys.begin()), 1, 1));
+}
+
+TEST(KmerTable, GrownPreservesContents) {
+  const auto ops = make_ops<1>(100, 1000, 27, 31);
+  ConcurrentKmerTable<1> table(256, 27);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  auto bigger = table.grown();
+  EXPECT_EQ(bigger->capacity(), table.capacity() * 2);
+  EXPECT_EQ(bigger->size(), table.size());
+  check_against_reference<ConcurrentKmerTable<1>, 1>(*bigger, ops);
+}
+
+TEST(KmerTable, ForEachVisitsEverything) {
+  const auto ops = make_ops<1>(77, 500, 27, 17);
+  ConcurrentKmerTable<1> table(256, 27);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  std::uint64_t visited = 0;
+  std::uint64_t coverage = 0;
+  table.for_each([&](const VertexEntry<1>& e) {
+    ++visited;
+    coverage += e.coverage;
+  });
+  EXPECT_EQ(visited, table.size());
+  EXPECT_EQ(coverage, ops.size());
+}
+
+TEST(KmerTable, CapacityRoundsToPow2AndReportsMemory) {
+  ConcurrentKmerTable<1> table(1000, 27);
+  EXPECT_EQ(table.capacity(), 1024u);
+  EXPECT_EQ(table.memory_bytes(),
+            1024 * sizeof(ConcurrentKmerTable<1>::Slot));
+  EXPECT_EQ(table.load_factor(), 0.0);
+}
+
+TEST(KmerTable, LockWaitStatisticsStayRare) {
+  // The state-transfer design claim: lock waits happen at most once per
+  // distinct vertex (during its one insertion), so over a duplicate-
+  // heavy workload waits << adds.
+  const int threads = 8;
+  const auto ops = make_ops<1>(20, threads * 4000, 27, 555);
+  ConcurrentKmerTable<1> table(128, 27);
+  std::vector<TableStats> stats(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * 4000; i < (t + 1) * 4000; ++i) {
+        stats[t].absorb(table.add(Kmer<1>::from_string(ops[i].kmer),
+                                  ops[i].edge_out, ops[i].edge_in));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  TableStats total;
+  for (const auto& s : stats) total.merge(s);
+  EXPECT_EQ(total.adds, static_cast<std::uint64_t>(threads) * 4000);
+  // Waits can only happen while one of the 20 keys is mid-insertion.
+  EXPECT_LT(total.lock_waits, total.adds / 100);
+}
+
+// --------------------------------------------------- MutexShardTable
+
+TEST(MutexTable, SequentialMatchesReference) {
+  const auto ops = make_ops<1>(200, 3000, 27, 4321);
+  MutexShardTable<1> table(512, 27);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  check_against_reference<MutexShardTable<1>, 1>(table, ops);
+}
+
+TEST(MutexTable, ConcurrentAddsMatchReference) {
+  const int threads = 8;
+  const auto ops = make_ops<1>(50, threads * 3000, 27, 888);
+  MutexShardTable<1> table(256, 27);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * 3000; i < (t + 1) * 3000; ++i) {
+        table.add(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
+                  ops[i].edge_in);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  check_against_reference<MutexShardTable<1>, 1>(table, ops);
+}
+
+TEST(MutexTable, AgreesWithStateTransferTable) {
+  const auto ops = make_ops<1>(150, 2000, 27, 2468);
+  ConcurrentKmerTable<1> a(512, 27);
+  MutexShardTable<1> b(512, 27);
+  for (const auto& op : ops) {
+    const auto kmer = Kmer<1>::from_string(op.kmer);
+    a.add(kmer, op.edge_out, op.edge_in);
+    b.add(kmer, op.edge_out, op.edge_in);
+  }
+  EXPECT_EQ(a.size(), b.size());
+  a.for_each([&](const VertexEntry<1>& e) {
+    const auto found = b.find(e.kmer);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
+// --------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      if (counter.fetch_add(1) + 1 == 100) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return counter.load() == 100; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [&](std::uint64_t b, std::uint64_t) {
+                          if (b == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 0, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForDefaultGrain) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(1001, 0, [&](std::uint64_t b, std::uint64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 1001u);
+}
+
+}  // namespace
+}  // namespace parahash::concurrent

@@ -1,0 +1,189 @@
+// Tests for the device abstraction: CPU device, simulated GPU (result
+// equivalence, transfer accounting, capacity rejection).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/reference.h"
+#include "device/device.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+#include "util/rng.h"
+
+namespace parahash::device {
+namespace {
+
+struct Workload {
+  io::ReadBatch batch;
+  std::vector<std::string> reads;
+  core::MspConfig config;
+};
+
+Workload make_workload(std::uint32_t partitions = 8) {
+  Workload w;
+  w.config.k = 27;
+  w.config.p = 11;
+  w.config.num_partitions = partitions;
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 90;
+  spec.coverage = 8.0;
+  spec.lambda = 1.0;
+  spec.seed = 99;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  for (auto& r : simulator.all_reads()) {
+    w.batch.add(r.bases);
+    w.reads.push_back(std::move(r.bases));
+  }
+  return w;
+}
+
+io::PartitionBlob partition_blob_for(const Workload& w,
+                                     io::TempDir& dir,
+                                     std::uint32_t part = 0) {
+  io::PartitionSet partitions(dir.file("parts"), w.config.k, w.config.p,
+                              w.config.num_partitions);
+  core::MspBatchOutput out(w.config.num_partitions);
+  core::msp_process_range(w.batch, w.config, 0, w.batch.size(), out);
+  for (std::uint32_t p = 0; p < w.config.num_partitions; ++p) {
+    partitions.writer(p).append_raw(
+        out.parts[p].bytes.data(), out.parts[p].bytes.size(),
+        out.parts[p].superkmers, out.parts[p].kmers, out.parts[p].bases);
+  }
+  const auto paths = partitions.close_all();
+  return io::PartitionBlob::read_file(paths[part]);
+}
+
+TEST(CpuDevice, RunsMspAndTracksStats) {
+  const auto w = make_workload();
+  CpuDevice<1> cpu(2);
+  const auto out = cpu.run_msp(w.batch, w.config);
+  EXPECT_EQ(out.reads_processed, w.batch.size());
+  const auto stats = cpu.stats();
+  EXPECT_EQ(stats.msp_batches, 1u);
+  EXPECT_EQ(stats.msp_reads, w.batch.size());
+  EXPECT_GT(stats.msp_compute_seconds, 0.0);
+  EXPECT_EQ(stats.transfer_seconds, 0.0);  // CPUs do not stage
+}
+
+TEST(CpuDevice, MultiThreadMatchesSingleThreadCounts) {
+  const auto w = make_workload();
+  CpuDevice<1> one(1);
+  CpuDevice<1> four(4);
+  const auto a = one.run_msp(w.batch, w.config);
+  const auto b = four.run_msp(w.batch, w.config);
+  EXPECT_EQ(a.reads_processed, b.reads_processed);
+  EXPECT_EQ(a.kmers_covered, b.kmers_covered);
+  for (std::uint32_t p = 0; p < w.config.num_partitions; ++p) {
+    // Thread merge order may differ, so compare counts, not byte order.
+    EXPECT_EQ(a.parts[p].kmers, b.parts[p].kmers) << p;
+    EXPECT_EQ(a.parts[p].superkmers, b.parts[p].superkmers);
+    EXPECT_EQ(a.parts[p].bases, b.parts[p].bases);
+    EXPECT_EQ(a.parts[p].bytes.size(), b.parts[p].bytes.size());
+  }
+}
+
+TEST(SimGpuDevice, MspResultsMatchCpuCounts) {
+  const auto w = make_workload();
+  CpuDevice<1> cpu(1);
+  SimGpuConfig config;
+  config.threads = 2;
+  config.launch_latency_seconds = 0;
+  config.h2d_bytes_per_sec = 0;  // unmetered for this test
+  config.d2h_bytes_per_sec = 0;
+  SimGpuDevice<1> gpu(config);
+
+  const auto a = cpu.run_msp(w.batch, w.config);
+  const auto b = gpu.run_msp(w.batch, w.config);
+  EXPECT_EQ(a.kmers_covered, b.kmers_covered);
+  for (std::uint32_t p = 0; p < w.config.num_partitions; ++p) {
+    EXPECT_EQ(a.parts[p].kmers, b.parts[p].kmers);
+    EXPECT_EQ(a.parts[p].superkmers, b.parts[p].superkmers);
+  }
+}
+
+TEST(SimGpuDevice, HashResultMatchesCpuAndReference) {
+  const auto w = make_workload(4);
+  io::TempDir dir("device_test");
+  const auto blob = partition_blob_for(w, dir, 2);
+
+  core::HashConfig hash_config;
+  CpuDevice<1> cpu(2);
+  SimGpuConfig config;
+  config.launch_latency_seconds = 0;
+  config.h2d_bytes_per_sec = 0;
+  config.d2h_bytes_per_sec = 0;
+  SimGpuDevice<1> gpu(config);
+
+  auto a = cpu.run_hash(blob, hash_config);
+  auto b = gpu.run_hash(blob, hash_config);
+  EXPECT_EQ(a.table->size(), b.table->size());
+  a.table->for_each([&](const concurrent::VertexEntry<1>& e) {
+    const auto found = b.table->find(e.kmer);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
+TEST(SimGpuDevice, TransferTimeScalesWithBytes) {
+  const auto w = make_workload();
+  SimGpuConfig config;
+  config.threads = 1;
+  config.launch_latency_seconds = 0;
+  config.h2d_bytes_per_sec = 50e6;  // 50 MB/s: slow enough to observe
+  config.d2h_bytes_per_sec = 50e6;
+  SimGpuDevice<1> gpu(config);
+
+  gpu.run_msp(w.batch, w.config);
+  const auto stats = gpu.stats();
+  EXPECT_GT(stats.bytes_h2d, 0u);
+  EXPECT_GT(stats.bytes_d2h, 0u);
+  const double expected =
+      static_cast<double>(stats.bytes_h2d) / 50e6 +
+      static_cast<double>(stats.bytes_d2h) / 50e6;
+  EXPECT_NEAR(stats.transfer_seconds, expected, expected * 0.25 + 0.01);
+}
+
+TEST(SimGpuDevice, RejectsOversizedWork) {
+  const auto w = make_workload(2);
+  io::TempDir dir("device_test");
+  const auto blob = partition_blob_for(w, dir, 0);
+
+  SimGpuConfig config;
+  config.device_memory_bytes = 1024;  // tiny device
+  config.launch_latency_seconds = 0;
+  config.h2d_bytes_per_sec = 0;
+  config.d2h_bytes_per_sec = 0;
+  SimGpuDevice<1> gpu(config);
+
+  core::HashConfig hash_config;
+  EXPECT_THROW(gpu.run_hash(blob, hash_config), DeviceCapacityError);
+  EXPECT_THROW(gpu.run_msp(w.batch, w.config), DeviceCapacityError);
+}
+
+TEST(Device, KindNames) {
+  EXPECT_STREQ(device_kind_name(DeviceKind::kCpu), "CPU");
+  EXPECT_STREQ(device_kind_name(DeviceKind::kGpu), "GPU");
+  CpuDevice<1> cpu(1, "my-cpu");
+  EXPECT_EQ(cpu.name(), "my-cpu");
+  EXPECT_EQ(cpu.kind(), DeviceKind::kCpu);
+  SimGpuDevice<1> gpu(SimGpuConfig{});
+  EXPECT_EQ(gpu.kind(), DeviceKind::kGpu);
+}
+
+TEST(DeviceStats, DeltaSubtraction) {
+  DeviceStats a;
+  a.msp_reads = 100;
+  a.transfer_seconds = 2.5;
+  DeviceStats b;
+  b.msp_reads = 40;
+  b.transfer_seconds = 1.0;
+  const auto d = a - b;
+  EXPECT_EQ(d.msp_reads, 60u);
+  EXPECT_NEAR(d.transfer_seconds, 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace parahash::device

@@ -1,0 +1,430 @@
+// Tests for the extension modules: flag parsing, GFA export, graph
+// algorithms (components, neighbourhoods), counting-only tables, and
+// the Bloom singleton pre-filter.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "concurrent/bloom.h"
+#include "concurrent/counter_table.h"
+#include "core/algo.h"
+#include "core/gfa.h"
+#include "core/kmer_counter.h"
+#include "core/msp.h"
+#include "core/reference.h"
+#include "core/subgraph.h"
+#include "core/unitig.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace parahash {
+namespace {
+
+// ---------------------------------------------------------------- Flags
+
+TEST(Flags, ParsesAllStyles) {
+  const char* argv[] = {"prog",        "--k=27",     "--p",
+                        "11",          "input.fastq", "--alpha=0.7",
+                        "--pipelined"};
+  Flags flags(7, argv);
+  EXPECT_EQ(flags.program(), "prog");
+  EXPECT_EQ(flags.get_int("k", 0), 27);
+  EXPECT_EQ(flags.get_int("p", 0), 11);
+  EXPECT_TRUE(flags.get_bool("pipelined"));
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0), 0.7);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.fastq");
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=no"};
+  Flags flags(5, argv);
+  EXPECT_TRUE(flags.get_bool("a"));
+  EXPECT_FALSE(flags.get_bool("b"));
+  EXPECT_TRUE(flags.get_bool("c"));
+  EXPECT_FALSE(flags.get_bool("d"));
+}
+
+TEST(Flags, BadValuesThrow) {
+  const char* argv[] = {"prog", "--k=abc", "--x=maybe"};
+  Flags flags(3, argv);
+  EXPECT_THROW(flags.get_int("k", 0), InvalidArgumentError);
+  EXPECT_THROW(flags.get_bool("x"), InvalidArgumentError);
+}
+
+// ------------------------------------------------------- shared helpers
+
+template <int W>
+core::DeBruijnGraph<W> graph_of(const std::vector<std::string>& reads,
+                                int k, int p, std::uint32_t partitions,
+                                const core::HashConfig& hash_config = {}) {
+  core::MspConfig config;
+  config.k = k;
+  config.p = p;
+  config.num_partitions = partitions;
+  io::TempDir dir("ext_test");
+  io::PartitionSet set(dir.file("parts"), k, p, partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  core::MspBatchOutput out(partitions);
+  core::msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    set.writer(i).append_raw(out.parts[i].bytes.data(),
+                             out.parts[i].bytes.size(),
+                             out.parts[i].superkmers, out.parts[i].kmers,
+                             out.parts[i].bases);
+  }
+  core::DeBruijnGraph<W> graph(k, p, partitions);
+  const auto paths = set.close_all();
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    auto result = core::build_subgraph<W>(
+        io::PartitionBlob::read_file(paths[i]), hash_config, nullptr);
+    graph.adopt_table(i, *result.table);
+  }
+  return graph;
+}
+
+std::string random_bases(Rng& rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(decode_base(rng.base()));
+  return s;
+}
+
+std::string repeat_free_genome(int length, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string genome;
+    for (int i = 0; i < length; ++i) genome.push_back(decode_base(rng.base()));
+    std::set<std::string> seen;
+    bool ok = true;
+    for (int i = 0; i + k - 1 <= length && ok; ++i) {
+      const std::string sub = genome.substr(i, k - 1);
+      ok = seen.insert(std::min(sub, reverse_complement_str(sub))).second;
+    }
+    if (ok) return genome;
+  }
+  throw Error("no repeat-free genome found");
+}
+
+std::vector<std::string> tiling_reads(const std::string& genome, int L,
+                                      int stride) {
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0; pos + L <= genome.size(); pos += stride) {
+    reads.push_back(genome.substr(pos, L));
+  }
+  reads.push_back(genome.substr(genome.size() - L));
+  return reads;
+}
+
+// ------------------------------------------------------------------ GFA
+
+TEST(Gfa, LinearGenomeIsOneSegmentNoLinks) {
+  const int k = 21;
+  const std::string genome = repeat_free_genome(250, k, 7);
+  const auto graph = graph_of<1>(tiling_reads(genome, 60, 20), k, 9, 4);
+  core::UnitigBuilder<1> builder(graph);
+  core::GfaExporter<1> exporter(graph, builder.build());
+
+  io::TempDir dir("gfa_test");
+  const auto [segments, links] = exporter.write(dir.file("graph.gfa"));
+  EXPECT_EQ(segments, 1u);
+  EXPECT_EQ(links, 0u);
+
+  std::ifstream file(dir.file("graph.gfa"));
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_EQ(line.rfind("H\t", 0), 0u);
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_EQ(line.rfind("S\tu0\t", 0), 0u);
+}
+
+TEST(Gfa, BranchProducesLinkedSegments) {
+  const int k = 11;
+  const std::string prefix = repeat_free_genome(40, k, 19);
+  const std::string x = prefix + "AACCAGTTGCAATTGGACTACTTGAGC";
+  const std::string y = prefix + "CGTTAGGCATTACGTAACCCTGATTAC";
+  const auto graph = graph_of<1>({x, y}, k, 5, 2);
+  core::UnitigBuilder<1> builder(graph);
+  core::GfaExporter<1> exporter(graph, builder.build());
+
+  const auto links = exporter.links();
+  // The shared prefix connects to both branch segments.
+  EXPECT_GE(exporter.unitigs().size(), 3u);
+  EXPECT_GE(links.size(), 2u);
+
+  // Every link endpoint must reference a real segment.
+  for (const auto& link : links) {
+    EXPECT_LT(link.from, exporter.unitigs().size());
+    EXPECT_LT(link.to, exporter.unitigs().size());
+  }
+}
+
+TEST(Gfa, LinksConsistentWithKminus1Overlap) {
+  Rng rng(11);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 30; ++i) reads.push_back(random_bases(rng, 60));
+  const int k = 15;
+  const auto graph = graph_of<1>(reads, k, 7, 4);
+  core::UnitigBuilder<1> builder(graph);
+  core::GfaExporter<1> exporter(graph, builder.build());
+
+  const auto& unitigs = exporter.unitigs();
+  for (const auto& link : exporter.links()) {
+    std::string a = unitigs[link.from].bases;
+    if (link.from_orient == '-') a = reverse_complement_str(a);
+    std::string b = unitigs[link.to].bases;
+    if (link.to_orient == '-') b = reverse_complement_str(b);
+    // GFA overlap semantics: a's suffix (k-1) == b's prefix (k-1).
+    EXPECT_EQ(a.substr(a.size() - (k - 1)), b.substr(0, k - 1))
+        << "link u" << link.from << link.from_orient << " -> u" << link.to
+        << link.to_orient;
+  }
+}
+
+// ----------------------------------------------------------- algorithms
+
+TEST(Algo, TwoGenomesTwoComponents) {
+  const int k = 21;
+  const std::string g1 = repeat_free_genome(200, k, 23);
+  const std::string g2 = repeat_free_genome(200, k, 29);
+  auto reads = tiling_reads(g1, 60, 20);
+  for (auto& r : tiling_reads(g2, 60, 20)) reads.push_back(r);
+  const auto graph = graph_of<1>(reads, k, 9, 4);
+
+  const auto summary = core::connected_components(graph);
+  // g1 and g2 might share a kmer by chance, but at 200 bp each it is
+  // essentially impossible; expect exactly two components covering all.
+  EXPECT_EQ(summary.count, 2u);
+  std::uint64_t total = 0;
+  for (const auto s : summary.sizes) total += s;
+  EXPECT_EQ(total, graph.num_vertices());
+  EXPECT_EQ(summary.largest(), summary.sizes[0]);
+}
+
+TEST(Algo, SingleGenomeOneComponent) {
+  const int k = 21;
+  const std::string genome = repeat_free_genome(300, k, 31);
+  const auto graph = graph_of<1>(tiling_reads(genome, 60, 10), k, 9, 4);
+  const auto summary = core::connected_components(graph);
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_EQ(summary.largest(), graph.num_vertices());
+}
+
+TEST(Algo, NeighborhoodRadius) {
+  const int k = 15;
+  const std::string genome = repeat_free_genome(120, k, 37);
+  const auto graph = graph_of<1>(tiling_reads(genome, 50, 5), k, 7, 2);
+
+  // Pick the kmer in the middle of the genome.
+  const auto mid = Kmer<1>::from_string(genome.substr(50, k));
+  ASSERT_NE(graph.find(mid), nullptr);
+
+  const auto r0 = core::neighborhood(graph, mid, 0);
+  EXPECT_EQ(r0.size(), 1u);
+  const auto r1 = core::neighborhood(graph, mid, 1);
+  EXPECT_EQ(r1.size(), 3u);  // linear graph: self + both sides
+  const auto r3 = core::neighborhood(graph, mid, 3);
+  EXPECT_EQ(r3.size(), 7u);
+  // Missing start -> empty.
+  EXPECT_TRUE(core::neighborhood(graph,
+                                 Kmer<1>::from_string(std::string(k, 'A')),
+                                 2)
+                  .empty());
+}
+
+// -------------------------------------------------------- counter table
+
+TEST(CounterTable, CountsMatchMap) {
+  Rng rng(41);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(random_bases(rng, 27));
+  std::map<std::string, std::uint32_t> expected;
+  concurrent::ConcurrentCounterTable<1> table(512, 27);
+  for (int i = 0; i < 5000; ++i) {
+    const auto& key = keys[rng.below(keys.size())];
+    ++expected[key];
+    table.add(Kmer<1>::from_string(key));
+  }
+  EXPECT_EQ(table.size(), expected.size());
+  for (const auto& [key, count] : expected) {
+    const auto found = table.find(Kmer<1>::from_string(key));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->count, count);
+  }
+}
+
+TEST(CounterTable, ConcurrentCountsExact) {
+  const int threads = 8;
+  const int per_thread = 5000;
+  Rng rng(43);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 30; ++i) keys.push_back(random_bases(rng, 27));
+  concurrent::ConcurrentCounterTable<1> table(128, 27);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng local(static_cast<std::uint64_t>(t) + 100);
+      for (int i = 0; i < per_thread; ++i) {
+        table.add(Kmer<1>::from_string(keys[local.below(keys.size())]));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  table.for_each([&](const concurrent::ConcurrentCounterTable<1>::Entry& e) {
+    total += e.count;
+  });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(threads) * per_thread);
+}
+
+TEST(CounterTable, SlotSmallerThanGraphSlot) {
+  EXPECT_LT(sizeof(concurrent::ConcurrentCounterTable<1>::Slot),
+            sizeof(concurrent::ConcurrentKmerTable<1>::Slot));
+}
+
+TEST(KmerCounter, MatchesGraphCoverage) {
+  sim::DatasetSpec spec;
+  spec.genome_size = 1500;
+  spec.read_length = 80;
+  spec.coverage = 8.0;
+  spec.lambda = 1.0;
+  spec.seed = 47;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  std::vector<std::string> reads;
+  for (auto& r : simulator.all_reads()) reads.push_back(std::move(r.bases));
+
+  const int k = 27;
+  core::MspConfig config;
+  config.k = k;
+  config.p = 11;
+  config.num_partitions = 4;
+  io::TempDir dir("counter_test");
+  io::PartitionSet set(dir.file("parts"), k, 11, 4);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  core::MspBatchOutput out(4);
+  core::msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    set.writer(i).append_raw(out.parts[i].bytes.data(),
+                             out.parts[i].bytes.size(),
+                             out.parts[i].superkmers, out.parts[i].kmers,
+                             out.parts[i].bases);
+  }
+  const auto paths = set.close_all();
+
+  core::HashConfig hash_config;
+  std::uint64_t counter_distinct = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto blob = io::PartitionBlob::read_file(paths[i]);
+    auto counted = core::count_partition<1>(blob, hash_config, nullptr);
+    auto graphed = core::build_subgraph<1>(blob, hash_config, nullptr);
+    EXPECT_EQ(counted.table->size(), graphed.table->size());
+    counter_distinct += counted.table->size();
+    counted.table->for_each(
+        [&](const concurrent::ConcurrentCounterTable<1>::Entry& e) {
+          const auto entry = graphed.table->find(e.kmer);
+          ASSERT_TRUE(entry.has_value());
+          EXPECT_EQ(entry->coverage, e.count);
+        });
+  }
+  core::ReferenceBuilder reference(k);
+  for (const auto& r : reads) reference.add_read(r);
+  EXPECT_EQ(counter_distinct, reference.distinct_vertices());
+}
+
+// ---------------------------------------------------------------- bloom
+
+TEST(Bloom, CountsAreNeverUnderestimates) {
+  concurrent::CountingBloom bloom(1 << 14, 3);
+  Rng rng(53);
+  std::map<std::uint64_t, int> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t item = rng.below(500);
+    const int count = ++truth[mix64(item)];
+    const int estimate = bloom.increment_and_count(mix64(item));
+    EXPECT_GE(estimate, std::min(count, 15));
+  }
+  for (const auto& [hash, count] : truth) {
+    EXPECT_GE(bloom.count(hash), std::min(count, 15));
+  }
+}
+
+TEST(Bloom, SaturatesAtFifteen) {
+  concurrent::CountingBloom bloom(1024, 2);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_LE(bloom.increment_and_count(12345), 15);
+  }
+  EXPECT_EQ(bloom.count(12345), 15);
+}
+
+TEST(Bloom, ConcurrentIncrementsDoNotLoseCounts) {
+  concurrent::CountingBloom bloom(1 << 16, 1);
+  const std::uint64_t item = 777;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) bloom.increment_and_count(item);
+    });
+  }
+  for (auto& w : workers) w.join();
+  // 32 increments saturate the 4-bit cell exactly (no lost updates up
+  // to the cap): the count must read 15.
+  EXPECT_EQ(bloom.count(item), 15);
+}
+
+TEST(BloomPrefilter, DropsSingletonsKeepsRepeats) {
+  // High-error dataset: plenty of singletons.
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 80;
+  spec.coverage = 12.0;
+  spec.lambda = 2.0;
+  spec.seed = 59;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  std::vector<std::string> reads;
+  for (auto& r : simulator.all_reads()) reads.push_back(std::move(r.bases));
+
+  core::HashConfig exact;
+  auto full = graph_of<1>(reads, 27, 11, 4, exact);
+
+  core::HashConfig filtered = exact;
+  filtered.singleton_prefilter = true;
+  filtered.bloom_cells_per_kmer = 8.0;
+  auto pre = graph_of<1>(reads, 27, 11, 4, filtered);
+
+  // The prefiltered vertex set sits between coverage>=2 (exact filter)
+  // and everything: false positives only ADD singleton vertices.
+  auto exact_filtered = full;
+  exact_filtered.filter_min_coverage(2);
+  EXPECT_LE(pre.num_vertices(), full.num_vertices());
+  EXPECT_GE(pre.num_vertices(), exact_filtered.num_vertices());
+  // It must remove the bulk of the singletons.
+  const auto dropped = full.num_vertices() - pre.num_vertices();
+  const auto singletons =
+      full.num_vertices() - exact_filtered.num_vertices();
+  EXPECT_GT(dropped, singletons * 8 / 10);
+
+  // Every repeated kmer must be present, with coverage one below true
+  // (the first sighting is absorbed by the filter).
+  std::uint64_t checked = 0;
+  exact_filtered.for_each_vertex([&](const concurrent::VertexEntry<1>& e) {
+    const auto* entry = pre.find(e.kmer);
+    ASSERT_NE(entry, nullptr) << e.kmer.to_string();
+    EXPECT_EQ(entry->coverage, e.coverage - 1);
+    ++checked;
+  });
+  EXPECT_GT(checked, 1000u);
+}
+
+}  // namespace
+}  // namespace parahash

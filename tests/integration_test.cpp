@@ -1,0 +1,177 @@
+// Cross-module integration scenarios that mirror how a downstream user
+// strings the library together: end-to-end with two-word kmers through
+// filtering, unitigs and GFA; counting mode consistency with the driver;
+// the perf-model report plumbed from a real throttled run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/algo.h"
+#include "core/gfa.h"
+#include "core/kmer_counter.h"
+#include "core/stats.h"
+#include "core/unitig.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+
+namespace parahash {
+namespace {
+
+struct Scenario {
+  io::TempDir dir{"integration"};
+  std::string fastq;
+  std::string genome;
+};
+
+std::unique_ptr<Scenario> make_scenario(std::uint64_t genome_size,
+                                        double coverage, double lambda,
+                                        std::uint64_t seed) {
+  auto s = std::make_unique<Scenario>();
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = 100;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  s->fastq = s->dir.file("reads.fastq");
+  s->genome = sim::write_dataset(spec, s->fastq);
+  return s;
+}
+
+TEST(Integration, WideKmersFilterUnitigsGfa) {
+  // The denovo flow at k=41 (two-word keys) end to end.
+  const auto s = make_scenario(8000, 20.0, 1.0, 321);
+
+  pipeline::Options options;
+  options.msp.k = 41;
+  options.msp.p = 13;
+  options.msp.num_partitions = 16;
+  options.cpu_threads = 2;
+  pipeline::ParaHash<2> system(options);
+  auto [graph, report] = system.construct(s->fastq);
+
+  const auto histogram = core::coverage_histogram(graph);
+  const auto threshold =
+      std::max<std::uint32_t>(2, histogram.suggested_min_coverage());
+  graph.filter_min_coverage(threshold);
+  EXPECT_GT(graph.num_vertices(), 6000u);  // genome core survives
+
+  core::UnitigBuilder<2> builder(graph, threshold, 2);
+  const auto unitigs = builder.build();
+  ASSERT_FALSE(unitigs.empty());
+
+  // Unitigs must cover the surviving vertices exactly once.
+  std::uint64_t covered = 0;
+  for (const auto& u : unitigs) covered += u.kmers;
+  EXPECT_EQ(covered, graph.num_vertices());
+
+  // Most assembled bases align to the genome.
+  std::uint64_t aligned = 0;
+  std::uint64_t total = 0;
+  for (const auto& u : unitigs) {
+    total += u.length();
+    if (s->genome.find(u.bases) != std::string::npos ||
+        s->genome.find(reverse_complement_str(u.bases)) !=
+            std::string::npos) {
+      aligned += u.length();
+    }
+  }
+  EXPECT_GT(aligned * 10, total * 9);  // >= 90%
+
+  core::GfaExporter<2> exporter(graph, unitigs, threshold, 2);
+  const auto [segments, links] = exporter.write(s->dir.file("a.gfa"));
+  EXPECT_EQ(segments, unitigs.size());
+  // Every link must connect segments with a real (k-1) overlap.
+  const int k = options.msp.k;
+  for (const auto& link : exporter.links()) {
+    std::string a = exporter.unitigs()[link.from].bases;
+    if (link.from_orient == '-') a = reverse_complement_str(a);
+    std::string b = exporter.unitigs()[link.to].bases;
+    if (link.to_orient == '-') b = reverse_complement_str(b);
+    EXPECT_EQ(a.substr(a.size() - (k - 1)), b.substr(0, k - 1));
+  }
+}
+
+TEST(Integration, CountingModeAgreesWithDriverGraph) {
+  const auto s = make_scenario(3000, 8.0, 1.0, 654);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.work_dir = s->dir.file("work");
+  options.keep_partitions = true;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(s->fastq);
+
+  // Re-count the kept partitions in counting-only mode.
+  std::uint64_t distinct = 0;
+  std::uint64_t total = 0;
+  core::HashConfig hash_config;
+  for (std::uint32_t i = 0; i < options.msp.num_partitions; ++i) {
+    const auto blob = io::PartitionBlob::read_file(
+        options.work_dir + "/part_" + std::to_string(i) + ".phsk");
+    auto counted = core::count_partition<1>(blob, hash_config, nullptr);
+    distinct += counted.table->size();
+    counted.table->for_each(
+        [&](const concurrent::ConcurrentCounterTable<1>::Entry& e) {
+          total += e.count;
+          const auto* entry = graph.find(e.kmer);
+          ASSERT_NE(entry, nullptr);
+          EXPECT_EQ(entry->coverage, e.count);
+        });
+  }
+  EXPECT_EQ(distinct, report.graph.vertices);
+  EXPECT_EQ(total, report.graph.total_coverage);
+}
+
+TEST(Integration, ThrottledRunFeedsPerfModel) {
+  const auto s = make_scenario(2000, 6.0, 1.0, 987);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 1;
+  options.input_bytes_per_sec = 3e6;
+  options.output_bytes_per_sec = 3e6;
+  options.write_subgraphs = true;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(s->fastq);
+
+  // Eq. (1) from the measured components must land near the measured
+  // elapsed time in the IO-dominated regime.
+  const auto t2 = report.step2.model_times();
+  const double estimate = core::estimate_step_elapsed(t2);
+  const double real = report.step2.times.elapsed_seconds;
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_NEAR(estimate / real, 1.0, 0.35);
+}
+
+TEST(Integration, ComponentsSurviveSerialisationRoundTrip) {
+  const auto s = make_scenario(4000, 10.0, 0.0, 111);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(s->fastq);
+
+  const std::string path = s->dir.file("graph.phdg");
+  graph.write(path);
+  const auto loaded = core::DeBruijnGraph<1>::load(path);
+
+  const auto before = core::connected_components(graph);
+  const auto after = core::connected_components(loaded);
+  EXPECT_EQ(before.count, after.count);
+  EXPECT_EQ(before.sizes, after.sizes);
+  const auto d1 = core::degree_distribution(graph);
+  const auto d2 = core::degree_distribution(loaded);
+  EXPECT_EQ(d1.counts, d2.counts);
+}
+
+}  // namespace
+}  // namespace parahash

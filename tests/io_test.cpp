@@ -1,0 +1,509 @@
+// Tests for the io substrate: FASTA/FASTQ parsing, read batching,
+// superkmer partition files, throttled channels, temp dirs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/fastx.h"
+#include "io/gzip.h"
+#include "io/partition_file.h"
+#include "io/throttle.h"
+#include "io/tmpdir.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace parahash::io {
+namespace {
+
+// --------------------------------------------------------------- fastx
+
+TEST(Fastx, ParsesFasta) {
+  std::istringstream in(">r1 desc\nACGT\n>r2\nGG\nTT\n>r3\nA\n");
+  FastxReader reader(in);
+  Read r;
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.id, "r1 desc");
+  EXPECT_EQ(r.bases, "ACGT");
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.id, "r2");
+  EXPECT_EQ(r.bases, "GGTT");  // multi-line sequence
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.bases, "A");
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(Fastx, ParsesFastq) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nTTGCA\n+anything\nJJJJJ\n");
+  FastxReader reader(in);
+  Read r;
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.bases, "ACGT");
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.bases, "TTGCA");
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(Fastx, HandlesCrlfAndBlankLines) {
+  std::istringstream in("\n>r1\r\nAC\r\nGT\r\n\n>r2\nTT\n");
+  FastxReader reader(in);
+  Read r;
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.bases, "ACGT");
+  ASSERT_TRUE(reader.next(r));
+  EXPECT_EQ(r.bases, "TT");
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(Fastx, EmptyInputYieldsNothing) {
+  std::istringstream in("");
+  FastxReader reader(in);
+  Read r;
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(Fastx, RejectsGarbage) {
+  std::istringstream in("not a fastx file\n");
+  FastxReader reader(in);
+  Read r;
+  EXPECT_THROW(reader.next(r), IoError);
+}
+
+TEST(Fastx, RejectsTruncatedFastq) {
+  std::istringstream in("@r1\nACGT\n+\n");
+  FastxReader reader(in);
+  Read r;
+  EXPECT_THROW(reader.next(r), IoError);
+}
+
+TEST(Fastx, RejectsQualityLengthMismatch) {
+  std::istringstream in("@r1\nACGT\n+\nII\n");
+  FastxReader reader(in);
+  Read r;
+  EXPECT_THROW(reader.next(r), IoError);
+}
+
+TEST(Fastx, WriterReaderRoundTripFastq) {
+  TempDir dir("fastx_test");
+  const std::string path = dir.file("reads.fastq");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    writer.write({"a", "ACGTACGT"});
+    writer.write({"b", "TTTT"});
+    writer.close();
+    EXPECT_EQ(writer.records_written(), 2u);
+  }
+  const auto reads = read_fastx_file(path);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].id, "a");
+  EXPECT_EQ(reads[0].bases, "ACGTACGT");
+  EXPECT_EQ(reads[1].bases, "TTTT");
+}
+
+TEST(Fastx, WriterReaderRoundTripFasta) {
+  TempDir dir("fastx_test");
+  const std::string path = dir.file("reads.fasta");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFasta);
+    writer.write({"x", "GATTACA"});
+    writer.close();
+  }
+  const auto reads = read_fastx_file(path);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].bases, "GATTACA");
+}
+
+TEST(Fastx, QualityStringRoundTrips) {
+  TempDir dir("fastx_test");
+  const std::string path = dir.file("q.fastq");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    writer.write({"a", "ACGT", "!I#J"});
+    writer.write({"b", "GG", ""});  // no quality: constant filler
+    writer.close();
+  }
+  const auto reads = read_fastx_file(path);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].quality, "!I#J");
+  EXPECT_EQ(reads[1].quality, "II");
+}
+
+TEST(Fastx, MissingFileThrows) {
+  EXPECT_THROW(FastxFileReader("/nonexistent/path.fq"), IoError);
+}
+
+// ----------------------------------------------------------- ReadBatch
+
+TEST(ReadBatch, AddAndAccess) {
+  ReadBatch batch;
+  batch.add("ACGT");
+  batch.add("TTGCATT");
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.read_length(0), 4u);
+  EXPECT_EQ(batch.read_length(1), 7u);
+  EXPECT_EQ(batch.total_bases(), 11u);
+  EXPECT_EQ(batch.bases.to_string(), "ACGTTTGCATT");
+}
+
+TEST(ReadBatch, UnknownBasesBecomeA) {
+  ReadBatch batch;
+  batch.add("ANNT");
+  EXPECT_EQ(batch.bases.to_string(), "AAAT");
+}
+
+TEST(FastxChunker, SplitsIntoBoundedBatches) {
+  TempDir dir("chunker_test");
+  const std::string path = dir.file("reads.fastq");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    for (int i = 0; i < 10; ++i) {
+      writer.write({"r" + std::to_string(i), std::string(100, 'A')});
+    }
+    writer.close();
+  }
+  FastxChunker chunker(path, /*max_batch_bases=*/250);
+  ReadBatch batch;
+  std::size_t total_reads = 0;
+  std::size_t batches = 0;
+  while (chunker.next(batch)) {
+    ++batches;
+    total_reads += batch.size();
+    EXPECT_LE(batch.size(), 3u);  // 2 full reads fit, 3rd spills over
+  }
+  EXPECT_EQ(total_reads, 10u);
+  EXPECT_GE(batches, 4u);
+}
+
+TEST(FastxChunker, OversizedReadStillEmitted) {
+  TempDir dir("chunker_test");
+  const std::string path = dir.file("reads.fastq");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    writer.write({"big", std::string(1000, 'C')});
+    writer.close();
+  }
+  FastxChunker chunker(path, /*max_batch_bases=*/100);
+  ReadBatch batch;
+  ASSERT_TRUE(chunker.next(batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.read_length(0), 1000u);
+  EXPECT_FALSE(chunker.next(batch));
+}
+
+// ------------------------------------------------------ partition file
+
+std::vector<std::uint8_t> codes_of(const std::string& s) {
+  std::vector<std::uint8_t> codes;
+  for (char c : s) codes.push_back(encode_base(c));
+  return codes;
+}
+
+class PartitionFileTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(PartitionFileTest, WriteReadRoundTrip) {
+  TempDir dir("partition_test");
+  const std::string path = dir.file("part.phsk");
+  const auto s1 = codes_of("ACGTACGTACGTACGTACGTACGTACGTA");  // 29 bases
+  const auto s2 = codes_of("TTTTGGGGCCCCAAAATTTTGGGGCCC");    // 27
+  {
+    PartitionWriter writer(path, /*k=*/27, /*p=*/11, /*id=*/5, GetParam());
+    writer.add(s1.data(), s1.size(), true, true);
+    writer.add(s2.data(), s2.size(), false, false);
+    writer.close();
+    EXPECT_EQ(writer.header().superkmer_count, 2u);
+    // record 1: core 27 -> 1 kmer; record 2: core 27 -> 1 kmer.
+    EXPECT_EQ(writer.header().kmer_count, 2u);
+    EXPECT_EQ(writer.header().base_count, 56u);
+  }
+
+  const PartitionBlob blob = PartitionBlob::read_file(path);
+  EXPECT_EQ(blob.header().partition_id, 5u);
+  EXPECT_EQ(blob.header().k, 27u);
+  EXPECT_EQ(blob.header().superkmer_count, 2u);
+
+  auto it = blob.begin();
+  SuperkmerView v1 = *it;
+  EXPECT_EQ(v1.n_bases, 29);
+  EXPECT_TRUE(v1.has_left);
+  EXPECT_TRUE(v1.has_right);
+  EXPECT_EQ(v1.core_len(), 27);
+  EXPECT_EQ(v1.core_begin(), 1);
+  EXPECT_EQ(v1.kmer_count(27), 1);
+  EXPECT_EQ(v1.to_string(), "ACGTACGTACGTACGTACGTACGTACGTA");
+
+  ++it;
+  SuperkmerView v2 = *it;
+  EXPECT_EQ(v2.n_bases, 27);
+  EXPECT_FALSE(v2.has_left);
+  EXPECT_FALSE(v2.has_right);
+  EXPECT_EQ(v2.core_begin(), 0);
+  EXPECT_EQ(v2.to_string(), "TTTTGGGGCCCCAAAATTTTGGGGCCC");
+
+  ++it;
+  EXPECT_TRUE(it == blob.end());
+}
+
+TEST_P(PartitionFileTest, RecordOffsetsIndexEveryRecord) {
+  TempDir dir("partition_test");
+  const std::string path = dir.file("part.phsk");
+  Rng rng(3);
+  std::vector<std::string> originals;
+  {
+    PartitionWriter writer(path, 5, 3, 0, GetParam());
+    for (int i = 0; i < 50; ++i) {
+      std::string s;
+      const int len = 5 + static_cast<int>(rng.below(60));
+      for (int j = 0; j < len; ++j) s.push_back(decode_base(rng.base()));
+      originals.push_back(s);
+      const auto codes = codes_of(s);
+      writer.add(codes.data(), codes.size(), false, false);
+    }
+    writer.close();
+  }
+  const PartitionBlob blob = PartitionBlob::read_file(path);
+  const auto offsets = record_offsets(blob);
+  ASSERT_EQ(offsets.size(), originals.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(record_at(blob, offsets[i]).to_string(), originals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, PartitionFileTest,
+                         ::testing::Values(Encoding::kTwoBit,
+                                           Encoding::kByte),
+                         [](const auto& info) {
+                           return info.param == Encoding::kTwoBit ? "TwoBit"
+                                                                  : "Byte";
+                         });
+
+TEST(PartitionFile, TwoBitEncodingIsQuarterSize) {
+  TempDir dir("partition_test");
+  const auto codes = codes_of(std::string(400, 'G'));
+  std::uint64_t two_bit_size = 0;
+  std::uint64_t byte_size = 0;
+  for (auto [enc, out] :
+       {std::pair{Encoding::kTwoBit, &two_bit_size},
+        std::pair{Encoding::kByte, &byte_size}}) {
+    const std::string path = dir.file(enc == Encoding::kTwoBit ? "a" : "b");
+    PartitionWriter writer(path, 27, 11, 0, enc);
+    for (int i = 0; i < 100; ++i) {
+      writer.add(codes.data(), codes.size(), false, false);
+    }
+    writer.close();
+    *out = writer.bytes_written();
+  }
+  // Payload shrinks 4x; headers/record framing add a little.
+  EXPECT_LT(two_bit_size, byte_size / 3);
+}
+
+TEST(PartitionFile, AppendRawMatchesAdd) {
+  TempDir dir("partition_test");
+  const auto s = codes_of("ACGTACGTTTGCAGCATATTACCGGAT");
+  const std::string direct_path = dir.file("direct");
+  const std::string raw_path = dir.file("raw");
+  {
+    PartitionWriter writer(direct_path, 5, 3, 0);
+    writer.add(s.data(), s.size(), true, false);
+    writer.close();
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_superkmer_record(bytes, s.data(), s.size(), true, false,
+                            Encoding::kTwoBit);
+    PartitionWriter writer(raw_path, 5, 3, 0);
+    writer.append_raw(bytes.data(), bytes.size(), 1,
+                      s.size() - 1 - 5 + 1, s.size());
+    writer.close();
+  }
+  const auto direct = PartitionBlob::read_file(direct_path);
+  const auto raw = PartitionBlob::read_file(raw_path);
+  EXPECT_EQ(direct.bytes(), raw.bytes());
+}
+
+TEST(PartitionFile, RejectsCorruptHeader) {
+  TempDir dir("partition_test");
+  const std::string path = dir.file("bad.phsk");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a partition file at all, but long enough to read";
+  }
+  EXPECT_THROW(PartitionBlob::read_file(path), IoError);
+}
+
+TEST(PartitionFile, RejectsTooShortFile) {
+  TempDir dir("partition_test");
+  const std::string path = dir.file("short.phsk");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "abc";
+  }
+  EXPECT_THROW(PartitionBlob::read_file(path), IoError);
+}
+
+TEST(PartitionSet, RoutesAndCloses) {
+  TempDir dir("partition_test");
+  PartitionSet set(dir.file("parts"), 27, 11, 8);
+  EXPECT_EQ(set.size(), 8u);
+  const auto s = codes_of(std::string(30, 'T'));
+  set.writer(3).add(s.data(), s.size(), false, false);
+  const auto paths = set.close_all();
+  ASSERT_EQ(paths.size(), 8u);
+  const auto blob3 = PartitionBlob::read_file(paths[3]);
+  EXPECT_EQ(blob3.header().superkmer_count, 1u);
+  const auto blob0 = PartitionBlob::read_file(paths[0]);
+  EXPECT_EQ(blob0.header().superkmer_count, 0u);
+  EXPECT_EQ(set.total_kmers(), blob3.header().kmer_count);
+}
+
+// ------------------------------------------------------------ throttle
+
+TEST(Throttle, UnlimitedDoesNotBlock) {
+  Throttle throttle(0);
+  WallTimer timer;
+  throttle.consume(100'000'000);
+  EXPECT_LT(timer.seconds(), 0.05);
+}
+
+TEST(Throttle, EnforcesBandwidth) {
+  Throttle throttle(1'000'000);  // 1 MB/s
+  WallTimer timer;
+  throttle.consume(50'000);
+  throttle.consume(50'000);  // 100 KB total -> >= 0.1 s
+  EXPECT_GE(timer.seconds(), 0.08);
+  EXPECT_EQ(throttle.total_bytes(), 100'000u);
+}
+
+// ------------------------------------------------------ quality trimming
+
+TEST(QualityTrim, DropsLowQualityTail) {
+  Read read{"r", "ACGTACGT", "IIIII##!"};  // last 3 below phred 20
+  EXPECT_EQ(quality_trim_3prime(read, 20), 3u);
+  EXPECT_EQ(read.bases, "ACGTA");
+  EXPECT_EQ(read.quality, "IIIII");
+}
+
+TEST(QualityTrim, KeepsInteriorLowQuality) {
+  // Only the 3' tail is trimmed; interior dips stay.
+  Read read{"r", "ACGTACGT", "II!IIIII"};
+  EXPECT_EQ(quality_trim_3prime(read, 20), 0u);
+  EXPECT_EQ(read.bases.size(), 8u);
+}
+
+TEST(QualityTrim, NoQualityIsNoop) {
+  Read read{"r", "ACGT", ""};
+  EXPECT_EQ(quality_trim_3prime(read, 20), 0u);
+  EXPECT_EQ(read.bases, "ACGT");
+}
+
+TEST(QualityTrim, CanConsumeWholeRead) {
+  Read read{"r", "ACGT", "!!!!"};
+  EXPECT_EQ(quality_trim_3prime(read, 20), 4u);
+  EXPECT_TRUE(read.bases.empty());
+}
+
+TEST(QualityTrim, ChunkerAppliesTrim) {
+  TempDir dir("trim_test");
+  const std::string path = dir.file("reads.fastq");
+  {
+    std::ofstream f(path);
+    f << "@good\n" << std::string(60, 'A') << "\n+\n"
+      << std::string(60, 'I') << "\n";
+    f << "@tail\n" << std::string(60, 'C') << "\n+\n"
+      << std::string(40, 'I') << std::string(20, '!') << "\n";
+    f << "@junk\n" << std::string(60, 'G') << "\n+\n"
+      << std::string(60, '!') << "\n";
+  }
+  FastxChunker chunker(path, 1 << 20, /*quality_trim_phred=*/20);
+  ReadBatch batch;
+  ASSERT_TRUE(chunker.next(batch));
+  ASSERT_EQ(batch.size(), 2u);  // fully-junk read dropped
+  EXPECT_EQ(batch.read_length(0), 60u);
+  EXPECT_EQ(batch.read_length(1), 40u);
+  EXPECT_FALSE(chunker.next(batch));
+}
+
+// ---------------------------------------------------------------- gzip
+
+TEST(Gzip, WriterReaderRoundTrip) {
+  TempDir dir("gzip_test");
+  const std::string path = dir.file("reads.fastq.gz");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    writer.write({"a", "ACGTACGTACGT"});
+    writer.write({"b", "TTTTGGGG"});
+    writer.close();
+  }
+  EXPECT_TRUE(is_gzip_file(path));
+  const auto reads = read_fastx_file(path);  // content-sniffed, not by name
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].bases, "ACGTACGTACGT");
+  EXPECT_EQ(reads[1].bases, "TTTTGGGG");
+}
+
+TEST(Gzip, PlainFileIsNotDetectedAsGzip) {
+  TempDir dir("gzip_test");
+  const std::string path = dir.file("plain.fastq");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    writer.write({"a", "ACGT"});
+    writer.close();
+  }
+  EXPECT_FALSE(is_gzip_file(path));
+  EXPECT_EQ(read_fastx_file(path).size(), 1u);
+}
+
+TEST(Gzip, CompressionActuallyShrinks) {
+  TempDir dir("gzip_test");
+  const std::string gz_path = dir.file("big.fastq.gz");
+  const std::string plain_path = dir.file("big.fastq");
+  const std::string bases(1000, 'A');
+  for (const auto& path : {gz_path, plain_path}) {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    for (int i = 0; i < 100; ++i) writer.write({"r", bases});
+    writer.close();
+  }
+  EXPECT_LT(std::filesystem::file_size(gz_path),
+            std::filesystem::file_size(plain_path) / 10);
+}
+
+TEST(Gzip, ChunkerReadsCompressedInput) {
+  TempDir dir("gzip_test");
+  const std::string path = dir.file("reads.fastq.gz");
+  {
+    FastxWriter writer(path, FastxWriter::Format::kFastq);
+    for (int i = 0; i < 20; ++i) {
+      writer.write({"r" + std::to_string(i), std::string(50, 'C')});
+    }
+    writer.close();
+  }
+  FastxChunker chunker(path, 200);
+  ReadBatch batch;
+  std::size_t total = 0;
+  while (chunker.next(batch)) total += batch.size();
+  EXPECT_EQ(total, 20u);
+}
+
+// -------------------------------------------------------------- tmpdir
+
+TEST(TempDir, CreatesAndRemoves) {
+  std::string path;
+  {
+    TempDir dir("tmpdir_test");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::ofstream(dir.file("x.txt")) << "hello";
+    EXPECT_TRUE(std::filesystem::exists(dir.file("x.txt")));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDir, UniquePaths) {
+  TempDir a("tmpdir_test");
+  TempDir b("tmpdir_test");
+  EXPECT_NE(a.path(), b.path());
+}
+
+}  // namespace
+}  // namespace parahash::io

@@ -1,0 +1,177 @@
+// Tests for Property 1 (expected graph size), the hash-table sizing
+// rule, and the Sec. IV-B performance model equations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf_model.h"
+#include "core/properties.h"
+#include "core/reference.h"
+#include "sim/read_sim.h"
+#include "util/hash.h"
+
+namespace parahash::core {
+namespace {
+
+// ------------------------------------------------------------ Property 1
+
+TEST(Property1, PerErrorKmerCountSmallCases) {
+  // L=5, k=2 (case 2k <= L+1): an error at position i corrupts
+  // min(i+1, k, L-i, L-k+1) kmers; expectation over uniform i:
+  // positions 0..4 corrupt 1,2,2,2,1 kmers -> mean 8/5.
+  EXPECT_NEAR(expected_erroneous_kmers_per_error(5, 2), 8.0 / 5, 1e-12);
+  // L=5, k=4 (case 2k > L+1): positions corrupt 1,2,2,2,1 of the 2
+  // kmers? kmers at 0,1: position 0 -> 1, pos 1..3 -> 2, pos 4 -> 1,
+  // mean = (1+2+2+2+1)/5 = 8/5.
+  EXPECT_NEAR(expected_erroneous_kmers_per_error(5, 4), 8.0 / 5, 1e-12);
+}
+
+TEST(Property1, PerErrorMatchesDirectEnumeration) {
+  // Directly average the number of kmers covering each error position.
+  for (const auto [L, k] : {std::pair{101, 27}, std::pair{50, 31},
+                            std::pair{124, 27}, std::pair{30, 29}}) {
+    double direct = 0;
+    for (int i = 0; i < L; ++i) {
+      const int first = std::max(0, i - k + 1);
+      const int last = std::min(i, L - k);
+      direct += last >= first ? last - first + 1 : 0;
+    }
+    direct /= L;
+    EXPECT_NEAR(expected_erroneous_kmers_per_error(L, k), direct, 1e-9)
+        << "L=" << L << " k=" << k;
+  }
+}
+
+TEST(Property1, BoundIsThetaLOver4) {
+  // The paper's bound: E(Y | one error) <= Theta(L/4); the maximum over
+  // k is at k ~ L/2 where it approaches L/4 + O(1).
+  const int L = 100;
+  double max_value = 0;
+  for (int k = 1; k <= L; ++k) {
+    max_value = std::max(max_value, expected_erroneous_kmers_per_error(L, k));
+  }
+  EXPECT_GE(max_value, L / 4.0);
+  EXPECT_LE(max_value, L / 4.0 + 2.0);
+}
+
+TEST(Property1, PredictsSimulatedGraphSize) {
+  // The estimate Ge + lambda*N*E1 should be within ~20% of the real
+  // distinct-vertex count of a simulated dataset (errors can collide
+  // with genome kmers or each other, so it overestimates slightly).
+  sim::DatasetSpec spec;
+  spec.genome_size = 20'000;
+  spec.read_length = 101;
+  spec.coverage = 30.0;
+  spec.lambda = 1.0;
+  spec.seed = 2030;
+  const int k = 27;
+
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  ReferenceBuilder reference(k);
+  for (const auto& r : simulator.all_reads()) reference.add_read(r.bases);
+
+  const double estimate = expected_distinct_vertices(
+      spec.genome_size, spec.num_reads(), spec.read_length, k, spec.lambda);
+  const double actual = static_cast<double>(reference.distinct_vertices());
+  EXPECT_NEAR(estimate / actual, 1.0, 0.2)
+      << "estimate " << estimate << " vs actual " << actual;
+}
+
+TEST(Property1, DistinctVerticesAreSmallFractionOfKmers) {
+  // The paper: distinct vertices ~ 1/5 of all kmers at deep coverage,
+  // which is what makes the state-transfer locking pay off.
+  sim::DatasetSpec spec;
+  spec.genome_size = 10'000;
+  spec.read_length = 101;
+  spec.coverage = 40.0;
+  spec.lambda = 1.0;
+  spec.seed = 11;
+  const int k = 27;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  ReferenceBuilder reference(k);
+  for (const auto& r : simulator.all_reads()) reference.add_read(r.bases);
+  const double ratio =
+      static_cast<double>(reference.distinct_vertices()) /
+      static_cast<double>(reference.total_kmers());
+  EXPECT_LT(ratio, 0.45);
+  EXPECT_GT(ratio, 0.02);
+}
+
+TEST(SizingRule, FollowsPaperFormula) {
+  // lambda/(4*alpha) * kmers, rounded up to a power of two.
+  const auto slots = hash_table_slots(1'000'000, 2.0, 0.7, 0, 1024);
+  const double raw = 2.0 / (4 * 0.7) * 1'000'000;
+  EXPECT_EQ(slots, next_pow2(static_cast<std::uint64_t>(std::ceil(raw))));
+}
+
+TEST(SizingRule, ClampsToMinAndToKmerCount) {
+  EXPECT_EQ(hash_table_slots(10, 2.0, 0.7, 0, 1024), 1024u);
+  // lambda huge: never more than kmers/alpha.
+  const auto slots = hash_table_slots(1000, 400.0, 0.5, 0, 16);
+  EXPECT_LE(slots, next_pow2(static_cast<std::uint64_t>(1000 / 0.5)) * 2);
+}
+
+TEST(SizingRule, RejectsBadParameters) {
+  EXPECT_THROW(hash_table_slots(1000, 2.0, 0.0), Error);
+  EXPECT_THROW(hash_table_slots(1000, 2.0, 1.5), Error);
+  EXPECT_THROW(hash_table_slots(1000, -1.0, 0.7), Error);
+}
+
+// ------------------------------------------------------------- Eq. (1)
+
+TEST(PerfModel, ComputeBoundStep) {
+  StepTimes t;
+  t.cpu_compute = 10.0;
+  t.gpu_compute = 4.0;
+  t.dh_transfer = 1.0;
+  t.input = 2.0;
+  t.output = 1.0;
+  t.partitions = 10;
+  // max(10, 5, 0.9*2) + 3/10 = 10.3
+  EXPECT_NEAR(estimate_step_elapsed(t), 10.3, 1e-9);
+}
+
+TEST(PerfModel, IoBoundStep) {
+  StepTimes t;
+  t.cpu_compute = 1.0;
+  t.gpu_compute = 0.5;
+  t.dh_transfer = 0.1;
+  t.input = 20.0;
+  t.output = 12.0;
+  t.partitions = 20;
+  // T_io = 19/20 * 20 = 19 -> max(1, 0.6, 19) + 32/20 = 20.6
+  EXPECT_NEAR(estimate_step_elapsed(t), 20.6, 1e-9);
+  EXPECT_NEAR(estimate_io_bound(t), 20.6, 1e-9);
+}
+
+TEST(PerfModel, SinglePartitionHasNoOverlap) {
+  StepTimes t;
+  t.cpu_compute = 5.0;
+  t.input = 2.0;
+  t.output = 1.0;
+  t.partitions = 1;
+  // No partition overlap possible: 5 + (2+1)/1 = 8.
+  EXPECT_NEAR(estimate_step_elapsed(t), 8.0, 1e-9);
+}
+
+// ------------------------------------------------------------- Eq. (2)
+
+TEST(PerfModel, CoprocessingAddsSpeeds) {
+  // CPU alone 10 s, one GPU alone 10 s -> together 5 s.
+  EXPECT_NEAR(estimate_coprocessing(10.0, 10.0, 1), 5.0, 1e-9);
+  // Two GPUs of speed 1/10 plus CPU of 1/10 -> 10/3 s.
+  EXPECT_NEAR(estimate_coprocessing(10.0, 10.0, 2), 10.0 / 3, 1e-9);
+  // GPU twice as fast as CPU.
+  EXPECT_NEAR(estimate_coprocessing(10.0, 5.0, 1), 1.0 / (0.1 + 0.2), 1e-9);
+}
+
+TEST(PerfModel, CoprocessingDegenerateCases) {
+  EXPECT_NEAR(estimate_coprocessing(10.0, 0.0, 0), 10.0, 1e-9);
+  EXPECT_NEAR(estimate_coprocessing(0.0, 8.0, 2), 4.0, 1e-9);
+  EXPECT_EQ(estimate_coprocessing(0.0, 0.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace parahash::core

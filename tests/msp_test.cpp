@@ -1,0 +1,351 @@
+// Tests for the MSP partitioner (Step 1): Definitions 1-2, the canonical
+// minimizer, superkmer decomposition invariants, and the paper's
+// two-extra-base adjacency fix.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/msp.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+#include "util/rng.h"
+
+namespace parahash::core {
+namespace {
+
+std::vector<std::uint8_t> codes_of(const std::string& s) {
+  std::vector<std::uint8_t> codes;
+  for (char c : s) codes.push_back(encode_base(c));
+  return codes;
+}
+
+std::string random_bases(Rng& rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(decode_base(rng.base()));
+  return s;
+}
+
+/// Brute-force canonical minimizer straight from Definition 1: minimum
+/// over all length-p substrings of the kmer AND of its reverse
+/// complement (strings compared lexicographically).
+std::string minimizer_by_definition(const std::string& kmer, int p) {
+  std::string best;
+  for (const std::string& strand : {kmer, reverse_complement_str(kmer)}) {
+    for (std::size_t j = 0; j + p <= strand.size(); ++j) {
+      const std::string sub = strand.substr(j, p);
+      if (best.empty() || sub < best) best = sub;
+    }
+  }
+  return best;
+}
+
+std::string minimizer_value_to_string(std::uint64_t value, int p) {
+  std::string s(p, 'A');
+  for (int i = 0; i < p; ++i) {
+    s[p - 1 - i] = decode_base(static_cast<std::uint8_t>(value & 3u));
+    value >>= 2;
+  }
+  return s;
+}
+
+TEST(Minimizer, NaiveMatchesStringDefinition) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 9 + 2 * static_cast<int>(rng.below(10));  // 9..27
+    const int p = 1 + static_cast<int>(rng.below(std::min(k, 16)));
+    const std::string kmer = random_bases(rng, k);
+    const auto codes = codes_of(kmer);
+    const std::uint64_t value = kmer_minimizer_naive(codes.data(), k, p);
+    EXPECT_EQ(minimizer_value_to_string(value, p),
+              minimizer_by_definition(kmer, p))
+        << "kmer " << kmer << " p " << p;
+  }
+}
+
+TEST(Minimizer, StrandSymmetric) {
+  // A kmer and its reverse complement must share a minimizer, otherwise
+  // duplicate vertices could land in different partitions.
+  Rng rng(73);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 27;
+    const int p = 11;
+    const std::string kmer = random_bases(rng, k);
+    const std::string rc = reverse_complement_str(kmer);
+    const auto a = codes_of(kmer);
+    const auto b = codes_of(rc);
+    EXPECT_EQ(kmer_minimizer_naive(a.data(), k, p),
+              kmer_minimizer_naive(b.data(), k, p))
+        << kmer;
+  }
+}
+
+TEST(MinimizerPartition, DeterministicAndInRange) {
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t m = rng.next();
+    const std::uint32_t parts = 1 + static_cast<std::uint32_t>(rng.below(999));
+    const auto id = minimizer_partition(m, parts);
+    EXPECT_LT(id, parts);
+    EXPECT_EQ(id, minimizer_partition(m, parts));
+  }
+}
+
+TEST(MspConfig, Validation) {
+  MspConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  MspConfig even = ok;
+  even.k = 28;
+  EXPECT_THROW(even.validate(), Error);
+
+  MspConfig p_too_big = ok;
+  p_too_big.p = ok.k + 1;
+  EXPECT_THROW(p_too_big.validate(), Error);
+
+  MspConfig p17 = ok;
+  p17.k = 35;
+  p17.p = 17;
+  EXPECT_THROW(p17.validate(), Error);  // 32-bit minimizer packing
+
+  MspConfig no_parts = ok;
+  no_parts.num_partitions = 0;
+  EXPECT_THROW(no_parts.validate(), Error);
+}
+
+class MspScanTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MspScanTest, FastScanMatchesNaiveScan) {
+  const auto [k, p] = GetParam();
+  MspConfig config;
+  config.k = k;
+  config.p = p;
+  config.num_partitions = 32;
+  MspScanner scanner(config);
+
+  Rng rng(83);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int len = k + static_cast<int>(rng.below(120));
+    const std::string read = random_bases(rng, len);
+    const auto codes = codes_of(read);
+
+    std::vector<SuperkmerSpan> fast;
+    std::vector<SuperkmerSpan> naive;
+    const auto n1 = scanner.scan_read(codes, fast);
+    const auto n2 = scanner.scan_read_naive(codes, naive);
+    EXPECT_EQ(n1, n2);
+    ASSERT_EQ(fast.size(), naive.size()) << "read " << read;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i], naive[i]) << "span " << i << " of " << read;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KandP, MspScanTest,
+    ::testing::Values(std::pair{27, 11}, std::pair{27, 5}, std::pair{27, 16},
+                      std::pair{15, 7}, std::pair{31, 1}, std::pair{9, 9},
+                      std::pair{63, 13}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.first) + "p" +
+             std::to_string(info.param.second);
+    });
+
+TEST(MspScan, SuperkmersPartitionTheKmers) {
+  // The spans must tile the read's kmers exactly: contiguous, in order,
+  // no overlap, covering kmers 0 .. L-k.
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  MspScanner scanner(config);
+  Rng rng(89);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int len = 27 + static_cast<int>(rng.below(200));
+    const auto codes = codes_of(random_bases(rng, len));
+    std::vector<SuperkmerSpan> spans;
+    scanner.scan_read(codes, spans);
+    ASSERT_FALSE(spans.empty());
+    EXPECT_EQ(spans.front().begin, 0u);
+    EXPECT_EQ(spans.back().end, static_cast<std::uint32_t>(len));
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      // Each span holds >= 1 kmer: end - begin >= k.
+      EXPECT_GE(spans[i].end - spans[i].begin, 27u);
+      if (i > 0) {
+        // Next superkmer starts at the kmer right after the previous
+        // one's last: begin_{i} = (end_{i-1} - k) + 1.
+        EXPECT_EQ(spans[i].begin, spans[i - 1].end - 27 + 1);
+        // Adjacent spans have different minimizers (maximality).
+        EXPECT_NE(spans[i].minimizer, spans[i - 1].minimizer);
+      }
+    }
+  }
+}
+
+TEST(MspScan, ExtensionFlagsMarkReadBoundaries) {
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  MspScanner scanner(config);
+  Rng rng(97);
+  const auto codes = codes_of(random_bases(rng, 150));
+  std::vector<SuperkmerSpan> spans;
+  scanner.scan_read(codes, spans);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_FALSE(spans.front().has_left);
+  EXPECT_FALSE(spans.back().has_right);
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_TRUE(spans[i].has_right);
+    EXPECT_TRUE(spans[i + 1].has_left);
+  }
+}
+
+TEST(MspScan, ShortReadsYieldNothing) {
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  MspScanner scanner(config);
+  std::vector<SuperkmerSpan> spans;
+  const auto codes = codes_of(std::string(26, 'A'));
+  EXPECT_EQ(scanner.scan_read(codes, spans), 0u);
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(MspScan, SingleKmerReadIsOneSuperkmer) {
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  MspScanner scanner(config);
+  Rng rng(101);
+  const auto codes = codes_of(random_bases(rng, 27));
+  std::vector<SuperkmerSpan> spans;
+  EXPECT_EQ(scanner.scan_read(codes, spans), 1u);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 0u);
+  EXPECT_EQ(spans[0].end, 27u);
+  EXPECT_FALSE(spans[0].has_left);
+  EXPECT_FALSE(spans[0].has_right);
+}
+
+TEST(MspScan, CompactionBeatsRawKmers) {
+  // A superkmer holding M kmers stores M + K - 1 bases instead of M*K:
+  // total superkmer bases should be far below the raw kmer expansion.
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  MspScanner scanner(config);
+  Rng rng(103);
+  std::uint64_t superkmer_bases = 0;
+  std::uint64_t raw_kmer_bases = 0;
+  for (int r = 0; r < 200; ++r) {
+    const auto codes = codes_of(random_bases(rng, 101));
+    std::vector<SuperkmerSpan> spans;
+    const auto kmers = scanner.scan_read(codes, spans);
+    raw_kmer_bases += kmers * config.k;
+    for (const auto& s : spans) superkmer_bases += s.end - s.begin;
+  }
+  EXPECT_LT(superkmer_bases, raw_kmer_bases / 4);
+}
+
+TEST(MspScan, EqualKmersShareAPartition) {
+  // The partitioning invariant: every occurrence of a canonical kmer —
+  // on either strand, in any read — routes to the same partition.
+  MspConfig config;
+  config.k = 15;
+  config.p = 7;
+  config.num_partitions = 13;
+  MspScanner scanner(config);
+
+  Rng rng(107);
+  const std::string genome = random_bases(rng, 300);
+  std::map<std::string, std::set<std::uint32_t>> partitions_of_kmer;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const int pos = static_cast<int>(rng.below(genome.size() - 60));
+    std::string read = genome.substr(pos, 60);
+    if (rng.chance(0.5)) read = reverse_complement_str(read);
+
+    const auto codes = codes_of(read);
+    std::vector<SuperkmerSpan> spans;
+    scanner.scan_read(codes, spans);
+    for (const auto& span : spans) {
+      for (std::uint32_t i = span.begin; i + config.k <= span.end; ++i) {
+        const std::string fwd = read.substr(i, config.k);
+        const std::string canon =
+            std::min(fwd, reverse_complement_str(fwd));
+        partitions_of_kmer[canon].insert(span.partition);
+      }
+    }
+  }
+  EXPECT_GT(partitions_of_kmer.size(), 100u);
+  for (const auto& [kmer, parts] : partitions_of_kmer) {
+    EXPECT_EQ(parts.size(), 1u) << "kmer " << kmer << " split across "
+                                << parts.size() << " partitions";
+  }
+}
+
+TEST(MspBatch, ProcessRangeCountsAndRecords) {
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 8;
+
+  io::ReadBatch batch;
+  Rng rng(109);
+  for (int i = 0; i < 20; ++i) batch.add(random_bases(rng, 101));
+  batch.add("ACGT");  // too short, must be counted but yield nothing
+
+  MspBatchOutput out(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  EXPECT_EQ(out.reads_processed, 21u);
+  EXPECT_EQ(out.kmers_covered, 20u * (101 - 27 + 1));
+
+  std::uint64_t kmers = 0;
+  std::uint64_t superkmers = 0;
+  for (const auto& p : out.parts) {
+    kmers += p.kmers;
+    superkmers += p.superkmers;
+  }
+  EXPECT_EQ(kmers, out.kmers_covered);
+  EXPECT_GT(superkmers, 0u);
+}
+
+TEST(MspBatch, RangesComposeLikeFullScan) {
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 4;
+
+  io::ReadBatch batch;
+  Rng rng(113);
+  for (int i = 0; i < 30; ++i) batch.add(random_bases(rng, 101));
+
+  MspBatchOutput whole(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), whole);
+
+  MspBatchOutput merged(config.num_partitions);
+  MspBatchOutput part1(config.num_partitions);
+  MspBatchOutput part2(config.num_partitions);
+  msp_process_range(batch, config, 0, 13, part1);
+  msp_process_range(batch, config, 13, batch.size(), part2);
+  merged.merge(std::move(part1));
+  merged.merge(std::move(part2));
+
+  EXPECT_EQ(merged.reads_processed, whole.reads_processed);
+  EXPECT_EQ(merged.kmers_covered, whole.kmers_covered);
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    EXPECT_EQ(merged.parts[p].bytes, whole.parts[p].bytes) << "part " << p;
+    EXPECT_EQ(merged.parts[p].kmers, whole.parts[p].kmers);
+    EXPECT_EQ(merged.parts[p].superkmers, whole.parts[p].superkmers);
+  }
+}
+
+TEST(MspBatch, ByteSizeSumsParts) {
+  MspBatchOutput out(3);
+  out.parts[0].bytes = {1, 2, 3};
+  out.parts[2].bytes = {4, 5};
+  EXPECT_EQ(out.byte_size(), 5u);
+}
+
+}  // namespace
+}  // namespace parahash::core

@@ -1,0 +1,451 @@
+// End-to-end tests of the ParaHash driver: full Step1+Step2 runs against
+// the naive reference, device mixes, pipelined vs sequential, throttled
+// IO, coverage filtering, partition reuse, and the report contents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/reference.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+
+namespace parahash::pipeline {
+namespace {
+
+struct Dataset {
+  io::TempDir dir{"parahash_test"};
+  std::string fastq;
+  std::string genome;
+  std::vector<io::Read> reads;
+};
+
+std::unique_ptr<Dataset> make_dataset(std::uint64_t genome_size = 3000,
+                                      double coverage = 8.0,
+                                      double lambda = 1.0,
+                                      int read_length = 90,
+                                      std::uint64_t seed = 7) {
+  auto d = std::make_unique<Dataset>();
+  d->fastq = d->dir.file("reads.fastq");
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = read_length;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  d->genome = sim::write_dataset(spec, d->fastq);
+  d->reads = io::read_fastx_file(d->fastq);
+  return d;
+}
+
+Options base_options() {
+  Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+  options.batch_bases = 16 << 10;
+  return options;
+}
+
+core::ReferenceBuilder reference_for(const Dataset& d, int k) {
+  core::ReferenceBuilder reference(k);
+  for (const auto& r : d.reads) reference.add_read(r.bases);
+  return reference;
+}
+
+TEST(ParaHash, CpuOnlyMatchesReference) {
+  const auto d = make_dataset();
+  const auto options = base_options();
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  auto reference = reference_for(*d, options.msp.k);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+
+  EXPECT_EQ(report.graph.vertices, reference.distinct_vertices());
+  EXPECT_EQ(report.graph.total_coverage, reference.total_kmers());
+  EXPECT_GT(report.step1.times.items, 0u);
+  EXPECT_EQ(report.step2.times.items, options.msp.num_partitions);
+  EXPECT_GT(report.partition_bytes, 0u);
+  EXPECT_GT(report.total_elapsed_seconds, 0.0);
+  EXPECT_GT(report.peak_rss_bytes, 0u);
+  EXPECT_EQ(report.resizes, 0);
+}
+
+TEST(ParaHash, GpuOnlyMatchesCpuOnly) {
+  const auto d = make_dataset(2000, 6.0, 1.0);
+  auto options = base_options();
+
+  ParaHash<1> cpu_system(options);
+  auto [cpu_graph, cpu_report] = cpu_system.construct(d->fastq);
+
+  options.use_cpu = false;
+  options.num_gpus = 1;
+  options.gpu.launch_latency_seconds = 0;
+  options.gpu.h2d_bytes_per_sec = 0;
+  options.gpu.d2h_bytes_per_sec = 0;
+  ParaHash<1> gpu_system(options);
+  auto [gpu_graph, gpu_report] = gpu_system.construct(d->fastq);
+
+  EXPECT_TRUE(cpu_graph == gpu_graph);
+  // All Step-2 work must have landed on the GPU.
+  ASSERT_EQ(gpu_report.step2.devices.size(), 1u);
+  EXPECT_EQ(gpu_report.step2.devices[0].kind, device::DeviceKind::kGpu);
+  EXPECT_EQ(gpu_report.step2.devices[0].stats.hash_partitions,
+            options.msp.num_partitions);
+  EXPECT_GT(gpu_report.step2.devices[0].stats.bytes_h2d, 0u);
+}
+
+TEST(ParaHash, CoProcessingMatchesAndSplitsWork) {
+  const auto d = make_dataset(4000, 10.0, 1.0);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+  options.num_gpus = 2;
+  options.gpu.launch_latency_seconds = 0;
+  options.gpu.h2d_bytes_per_sec = 0;
+  options.gpu.d2h_bytes_per_sec = 0;
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  auto reference = reference_for(*d, options.msp.k);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+
+  // Work-stealing should give every device a share of the partitions.
+  ASSERT_EQ(report.step2.devices.size(), 3u);
+  std::uint64_t total_partitions = 0;
+  for (const auto& dev : report.step2.devices) {
+    total_partitions += dev.stats.hash_partitions;
+  }
+  EXPECT_EQ(total_partitions, options.msp.num_partitions);
+}
+
+TEST(ParaHash, SequentialModeMatchesPipelined) {
+  const auto d = make_dataset(2000, 6.0, 2.0);
+  auto options = base_options();
+  ParaHash<1> pipelined(options);
+  auto [graph_a, report_a] = pipelined.construct(d->fastq);
+
+  options.pipelined = false;
+  ParaHash<1> sequential(options);
+  auto [graph_b, report_b] = sequential.construct(d->fastq);
+
+  EXPECT_TRUE(graph_a == graph_b);
+}
+
+TEST(ParaHash, ThrottledIoStillCorrect) {
+  const auto d = make_dataset(1500, 5.0, 1.0);
+  auto options = base_options();
+  options.input_bytes_per_sec = 2e6;
+  options.output_bytes_per_sec = 2e6;
+  options.write_subgraphs = true;
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  auto reference = reference_for(*d, options.msp.k);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+  EXPECT_GT(report.step2.bytes_out, 0u);  // subgraph output charged
+}
+
+TEST(ParaHash, MinCoverageFilterApplied) {
+  const auto d = make_dataset(3000, 12.0, 1.5);
+  auto options = base_options();
+  options.min_coverage = 3;
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  EXPECT_GT(report.filtered_vertices, 0u);
+  graph.for_each_vertex([](const concurrent::VertexEntry<1>& e) {
+    EXPECT_GE(e.coverage, 3u);
+  });
+  auto reference = reference_for(*d, options.msp.k);
+  EXPECT_EQ(report.graph.vertices + report.filtered_vertices,
+            reference.distinct_vertices());
+}
+
+TEST(ParaHash, TwoWordKmerRun) {
+  const auto d = make_dataset(1500, 5.0, 1.0);
+  auto options = base_options();
+  options.msp.k = 45;
+  options.msp.p = 13;
+  ParaHash<2> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  auto reference = reference_for(*d, options.msp.k);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(ParaHash, StepwiseApiAndPartitionReuse) {
+  const auto d = make_dataset(1500, 5.0, 1.0);
+  auto options = base_options();
+  options.work_dir = d->dir.file("work");
+  options.keep_partitions = true;
+
+  std::vector<std::string> paths;
+  {
+    ParaHash<1> system(options);
+    StepReport step1;
+    paths = system.run_partitioning(d->fastq, step1);
+    EXPECT_EQ(paths.size(), options.msp.num_partitions);
+    EXPECT_GT(step1.bytes_out, 0u);
+  }
+  // Partition files survive; a second system can hash them directly.
+  for (const auto& p : paths) {
+    EXPECT_TRUE(std::filesystem::exists(p)) << p;
+  }
+  ParaHash<1> system(options);
+  StepReport step2;
+  const auto graph = system.run_hashing(paths, step2);
+
+  auto reference = reference_for(*d, options.msp.k);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(ParaHash, TempPartitionDirIsCleanedUp) {
+  const auto d = make_dataset(1000, 4.0, 0.5);
+  auto options = base_options();
+  std::string partition_file;
+  {
+    ParaHash<1> system(options);
+    StepReport step1;
+    const auto paths = system.run_partitioning(d->fastq, step1);
+    partition_file = paths[0];
+    EXPECT_TRUE(std::filesystem::exists(partition_file));
+  }
+  EXPECT_FALSE(std::filesystem::exists(partition_file));
+}
+
+TEST(ParaHash, ConstructGraphDispatchesOnK) {
+  const auto d = make_dataset(1200, 4.0, 1.0);
+  auto options = base_options();
+  const std::string graph_path = d->dir.file("graph.phdg");
+  const auto report = construct_graph(options, d->fastq, graph_path);
+  EXPECT_GT(report.graph.vertices, 0u);
+  const auto loaded = core::DeBruijnGraph<1>::load(graph_path);
+  EXPECT_EQ(loaded.num_vertices(), report.graph.vertices);
+
+  auto wide = options;
+  wide.msp.k = 33;
+  const auto report2 = construct_graph(wide, d->fastq);
+  EXPECT_GT(report2.graph.vertices, 0u);
+}
+
+TEST(ParaHash, OptionValidation) {
+  Options options = base_options();
+  options.msp.k = 28;  // even
+  EXPECT_THROW(ParaHash<1>{options}, Error);
+
+  options = base_options();
+  options.use_cpu = false;
+  options.num_gpus = 0;
+  EXPECT_THROW(ParaHash<1>{options}, Error);
+
+  options = base_options();
+  options.msp.k = 45;  // too wide for one word
+  EXPECT_THROW(ParaHash<1>{options}, Error);
+}
+
+// ------------------------------------------------------------- sweep
+// Every configuration axis the system exposes must yield the exact
+// reference graph: device mixes x pipelining x encoding x (k, P) x
+// partition counts.
+struct SweepConfig {
+  const char* name;
+  int k;
+  int p;
+  std::uint32_t partitions;
+  bool use_cpu;
+  int gpus;
+  bool pipelined;
+  io::Encoding encoding;
+};
+
+class ParaHashSweep : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(ParaHashSweep, MatchesReference) {
+  const SweepConfig& config = GetParam();
+  const auto d = make_dataset(1500, 6.0, 1.0, 80,
+                              /*seed=*/1000 + config.partitions);
+
+  Options options;
+  options.msp.k = config.k;
+  options.msp.p = config.p;
+  options.msp.num_partitions = config.partitions;
+  options.msp.encoding = config.encoding;
+  options.use_cpu = config.use_cpu;
+  options.cpu_threads = 2;
+  options.num_gpus = config.gpus;
+  options.gpu.launch_latency_seconds = 0;
+  options.gpu.h2d_bytes_per_sec = 0;
+  options.gpu.d2h_bytes_per_sec = 0;
+  options.pipelined = config.pipelined;
+  options.batch_bases = 8 << 10;
+
+  core::ReferenceBuilder reference(config.k);
+  for (const auto& r : d->reads) reference.add_read(r.bases);
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << config.name << ": " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParaHashSweep,
+    ::testing::Values(
+        SweepConfig{"cpu_seq", 27, 11, 8, true, 0, false,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"cpu_pipe", 27, 11, 8, true, 0, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"gpu_pipe", 27, 11, 8, false, 1, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"mix_pipe", 27, 11, 16, true, 2, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"mix_seq", 27, 11, 16, true, 2, false,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"byte_enc", 27, 11, 8, true, 0, true,
+                    io::Encoding::kByte},
+        SweepConfig{"small_kp", 15, 7, 4, true, 1, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"p_equals_k", 15, 15, 32, true, 0, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"one_partition", 21, 9, 1, true, 0, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"many_partitions", 21, 9, 64, true, 1, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"p_one", 21, 1, 8, true, 0, true,
+                    io::Encoding::kTwoBit},
+        SweepConfig{"k31", 31, 13, 8, true, 0, true,
+                    io::Encoding::kTwoBit}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ParaHash, MultiPassPartitioningMatchesSinglePass) {
+  const auto d = make_dataset(2000, 6.0, 1.0);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+
+  ParaHash<1> single(options);
+  auto [graph_single, report_single] = single.construct(d->fastq);
+
+  options.max_open_partitions = 5;  // 4 passes over the input
+  ParaHash<1> multi(options);
+  auto [graph_multi, report_multi] = multi.construct(d->fastq);
+
+  EXPECT_TRUE(graph_single == graph_multi);
+  // Multi-pass re-reads the input once per pass.
+  EXPECT_EQ(report_multi.step1.bytes_in, 4 * report_single.step1.bytes_in);
+  EXPECT_EQ(report_multi.step1.bytes_out, report_single.step1.bytes_out);
+}
+
+TEST(ParaHash, MultiFileInputEqualsConcatenation) {
+  const auto d = make_dataset(2000, 6.0, 1.0);
+  // Split the dataset's reads across two files (one gzipped).
+  const std::string part1 = d->dir.file("lane1.fastq");
+  const std::string part2 = d->dir.file("lane2.fastq.gz");
+  {
+    io::FastxWriter w1(part1, io::FastxWriter::Format::kFastq);
+    io::FastxWriter w2(part2, io::FastxWriter::Format::kFastq);
+    for (std::size_t i = 0; i < d->reads.size(); ++i) {
+      (i % 2 == 0 ? w1 : w2).write(d->reads[i]);
+    }
+    w1.close();
+    w2.close();
+  }
+  const auto options = base_options();
+  ParaHash<1> whole(options);
+  auto [graph_whole, r1] = whole.construct(d->fastq);
+  ParaHash<1> split(options);
+  auto [graph_split, r2] = split.construct({part1, part2});
+  EXPECT_TRUE(graph_whole == graph_split);
+}
+
+TEST(ParaHash, GzipInputMatchesPlainInput) {
+  const auto d = make_dataset(1500, 5.0, 1.0);
+  // Re-compress the dataset.
+  const std::string gz_path = d->dir.file("reads.fastq.gz");
+  {
+    io::FastxWriter writer(gz_path, io::FastxWriter::Format::kFastq);
+    for (const auto& read : d->reads) writer.write(read);
+    writer.close();
+  }
+  const auto options = base_options();
+  ParaHash<1> plain(options);
+  auto [graph_plain, r1] = plain.construct(d->fastq);
+  ParaHash<1> gz(options);
+  auto [graph_gz, r2] = gz.construct(gz_path);
+  EXPECT_TRUE(graph_plain == graph_gz);
+}
+
+TEST(ParaHash, StreamedModeReportsSameStats) {
+  const auto d = make_dataset(2000, 8.0, 1.0);
+  auto options = base_options();
+
+  ParaHash<1> retained(options);
+  auto [graph, retained_report] = retained.construct(d->fastq);
+
+  options.accumulate_graph = false;
+  ParaHash<1> streamed(options);
+  auto [empty_graph, streamed_report] = streamed.construct(d->fastq);
+
+  EXPECT_EQ(empty_graph.num_vertices(), 0u);  // nothing retained
+  EXPECT_EQ(streamed_report.graph.vertices, retained_report.graph.vertices);
+  EXPECT_EQ(streamed_report.graph.total_coverage,
+            retained_report.graph.total_coverage);
+  EXPECT_EQ(streamed_report.graph.edge_counter_total,
+            retained_report.graph.edge_counter_total);
+  EXPECT_EQ(streamed_report.graph.distinct_edges,
+            retained_report.graph.distinct_edges);
+  EXPECT_EQ(streamed_report.graph.branching_vertices,
+            retained_report.graph.branching_vertices);
+}
+
+TEST(ParaHash, StreamedModeAppliesCoverageFilterToStats) {
+  const auto d = make_dataset(2000, 10.0, 1.5);
+  auto options = base_options();
+  options.min_coverage = 3;
+
+  ParaHash<1> retained(options);
+  auto [graph, retained_report] = retained.construct(d->fastq);
+
+  options.accumulate_graph = false;
+  ParaHash<1> streamed(options);
+  auto [empty_graph, streamed_report] = streamed.construct(d->fastq);
+
+  EXPECT_EQ(streamed_report.graph.vertices, retained_report.graph.vertices);
+  EXPECT_EQ(streamed_report.filtered_vertices,
+            retained_report.filtered_vertices);
+}
+
+TEST(ParaHash, DeterministicAcrossRuns) {
+  const auto d = make_dataset(1500, 6.0, 1.5);
+  const auto options = base_options();
+  ParaHash<1> a(options);
+  ParaHash<1> b(options);
+  auto [graph_a, ra] = a.construct(d->fastq);
+  auto [graph_b, rb] = b.construct(d->fastq);
+  EXPECT_TRUE(graph_a == graph_b);
+}
+
+TEST(ParaHash, ModelTimesExposedForEquationOne) {
+  const auto d = make_dataset(2000, 6.0, 1.0);
+  auto options = base_options();
+  options.num_gpus = 1;
+  options.gpu.launch_latency_seconds = 1e-5;
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  const auto t = report.step2.model_times();
+  EXPECT_GT(t.cpu_compute + t.gpu_compute, 0.0);
+  EXPECT_EQ(t.partitions, options.msp.num_partitions);
+  const double estimate = core::estimate_step_elapsed(t);
+  EXPECT_GT(estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace parahash::pipeline

@@ -1,0 +1,366 @@
+// Tests for the pipeline substrate: the srv/cns/prd/wrt queues and the
+// pipelined / sequential executors (ordering, completeness, work
+// stealing, capacity overflow, error propagation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "device/device.h"
+#include "pipeline/executor.h"
+#include "pipeline/queue.h"
+
+namespace parahash::pipeline {
+namespace {
+
+// ------------------------------------------------------------- queues
+
+TEST(TicketQueue, FifoTickets) {
+  TicketQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) queue.push(i * 10);
+  queue.close();
+  for (int i = 0; i < 4; ++i) {
+    const auto got = queue.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->first, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(got->second, i * 10);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(TicketQueue, BlocksProducerWhenFull) {
+  TicketQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(3);  // must block until a pop frees a slot
+    third_pushed.store(true);
+    queue.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_TRUE(queue.pop().has_value());
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(TicketQueue, ManyConsumersEachTicketOnce) {
+  TicketQueue<int> queue(8);
+  constexpr int kItems = 2000;
+  std::mutex seen_mutex;
+  std::set<std::uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      while (auto got = queue.pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(got->first).second) << "duplicate ticket";
+      }
+    });
+  }
+  for (int i = 0; i < kItems; ++i) queue.push(i);
+  queue.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+}
+
+TEST(TicketQueue, CloseWakesBlockedConsumers) {
+  TicketQueue<int> queue(2);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+TEST(OutputQueue, DrainsUntilAllProducersDone) {
+  OutputQueue<int> queue(4);
+  queue.set_expected_producers(2);
+  std::thread p1([&] {
+    for (int i = 0; i < 10; ++i) queue.push(i);
+    queue.producer_done();
+  });
+  std::thread p2([&] {
+    for (int i = 10; i < 20; ++i) queue.push(i);
+    queue.producer_done();
+  });
+  std::set<int> got;
+  while (auto item = queue.pop()) got.insert(*item);
+  p1.join();
+  p2.join();
+  EXPECT_EQ(got.size(), 20u);
+}
+
+// ---------------------------------------------------------- executors
+
+template <int W>
+StepCallbacks<int, int, W> doubling_callbacks(int total,
+                                              std::atomic<int>& produced,
+                                              std::vector<int>& consumed,
+                                              std::mutex& consumed_mutex) {
+  StepCallbacks<int, int, W> callbacks;
+  callbacks.produce = [&produced, total](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= total) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [](device::Device<W>&, const int& item) {
+    return item * 2;
+  };
+  callbacks.consume = [&consumed, &consumed_mutex](int item) {
+    std::lock_guard<std::mutex> lock(consumed_mutex);
+    consumed.push_back(item);
+  };
+  return callbacks;
+}
+
+TEST(Executor, PipelinedProcessesEverything) {
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  std::atomic<int> produced{0};
+  std::vector<int> consumed;
+  std::mutex consumed_mutex;
+  const auto callbacks =
+      doubling_callbacks<1>(100, produced, consumed, consumed_mutex);
+
+  const auto times = run_pipelined(devices, callbacks, 4);
+  EXPECT_EQ(times.items, 100u);
+  ASSERT_EQ(consumed.size(), 100u);
+  std::sort(consumed.begin(), consumed.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(consumed[i], 2 * i);
+}
+
+TEST(Executor, SequentialProcessesEverythingInOrder) {
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  std::atomic<int> produced{0};
+  std::vector<int> consumed;
+  std::mutex consumed_mutex;
+  const auto callbacks =
+      doubling_callbacks<1>(50, produced, consumed, consumed_mutex);
+
+  const auto times = run_sequential(devices, callbacks);
+  EXPECT_EQ(times.items, 50u);
+  ASSERT_EQ(consumed.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(consumed[i], 2 * i);  // in order
+}
+
+TEST(Executor, MultiDeviceSharesWork) {
+  device::CpuDevice<1> a(1, "cpu-a");
+  device::CpuDevice<1> b(1, "cpu-b");
+  std::vector<device::Device<1>*> devices{&a, &b};
+
+  std::atomic<int> produced{0};
+  std::atomic<int> computed{0};
+  std::atomic<int> consumed_count{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= 200) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>&, const int& item) {
+    computed.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return item;
+  };
+  callbacks.consume = [&](int) { consumed_count.fetch_add(1); };
+
+  const auto times = run_pipelined(devices, callbacks, 4);
+  EXPECT_EQ(times.items, 200u);
+  EXPECT_EQ(computed.load(), 200);
+  EXPECT_EQ(consumed_count.load(), 200);
+}
+
+TEST(Executor, PipelinedOverlapsStages) {
+  // Each stage takes ~1ms per item; pipelined wall time should be well
+  // under the sum of the stage busy times.
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  constexpr int kItems = 40;
+  constexpr auto kDelay = std::chrono::milliseconds(1);
+
+  std::atomic<int> produced{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= kItems) return false;
+    std::this_thread::sleep_for(kDelay);
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>&, const int& item) {
+    std::this_thread::sleep_for(kDelay);
+    return item;
+  };
+  callbacks.consume = [&](int) { std::this_thread::sleep_for(kDelay); };
+
+  const auto times = run_pipelined(devices, callbacks, 4);
+  const double busy =
+      times.input_seconds + times.compute_seconds + times.output_seconds;
+  EXPECT_EQ(times.items, static_cast<std::uint64_t>(kItems));
+  EXPECT_LT(times.elapsed_seconds, busy * 0.8)
+      << "pipeline failed to overlap stages";
+}
+
+struct CapacityFussyDevice final : device::Device<1> {
+  explicit CapacityFussyDevice(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  device::DeviceKind kind() const override {
+    return device::DeviceKind::kGpu;
+  }
+  core::MspBatchOutput run_msp(const io::ReadBatch&,
+                               const core::MspConfig&) override {
+    throw Error("unused");
+  }
+  core::SubgraphBuildResult<1> run_hash(
+      const io::PartitionBlob&, const core::HashConfig&) override {
+    throw Error("unused");
+  }
+  device::DeviceStats stats() const override { return {}; }
+  std::string name_;
+};
+
+TEST(Executor, CapacityRejectionsFallBackToCpu) {
+  device::CpuDevice<1> cpu(1);
+  CapacityFussyDevice gpu("fussy-gpu");
+  std::vector<device::Device<1>*> devices{&cpu, &gpu};
+
+  std::atomic<int> produced{0};
+  std::atomic<int> cpu_items{0};
+  std::atomic<int> consumed_count{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= 60) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>& dev, const int& item) {
+    if (dev.kind() == device::DeviceKind::kGpu) {
+      throw DeviceCapacityError("does not fit");
+    }
+    cpu_items.fetch_add(1);
+    return item;
+  };
+  callbacks.consume = [&](int) { consumed_count.fetch_add(1); };
+
+  const auto times = run_pipelined(devices, callbacks, 4);
+  EXPECT_EQ(times.items, 60u);
+  EXPECT_EQ(cpu_items.load(), 60);
+  EXPECT_EQ(consumed_count.load(), 60);
+}
+
+TEST(Executor, CapacityRejectionWithoutCpuThrows) {
+  CapacityFussyDevice gpu("fussy-gpu");
+  std::vector<device::Device<1>*> devices{&gpu};
+
+  std::atomic<int> produced{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= 3) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>&, const int& item) -> int {
+    throw DeviceCapacityError("does not fit");
+    return item;
+  };
+  callbacks.consume = [&](int) {};
+
+  EXPECT_THROW(run_pipelined(devices, callbacks, 2), DeviceCapacityError);
+  produced.store(0);  // fresh input for the second executor
+  EXPECT_THROW(run_sequential(devices, callbacks), DeviceCapacityError);
+}
+
+TEST(TicketQueue, AbortUnblocksProducer) {
+  TicketQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> unblocked{false};
+  std::thread producer([&] {
+    // Ring is full; this push must block until abort, then drop.
+    EXPECT_FALSE(queue.push(2));
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(unblocked.load());
+  queue.abort();
+  producer.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_FALSE(queue.pop().has_value());  // aborted queues yield nothing
+}
+
+TEST(Executor, ComputeErrorDoesNotDeadlockFullQueue) {
+  // Regression: worker dies on item 0 while the producer still has many
+  // items; without queue abort the producer blocks on the full ring and
+  // join() hangs forever.
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  std::atomic<int> produced{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= 1000) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>&, const int&) -> int {
+    throw std::runtime_error("dead on arrival");
+  };
+  callbacks.consume = [&](int) {};
+  EXPECT_THROW(run_pipelined(devices, callbacks, 2), std::runtime_error);
+}
+
+TEST(Executor, ComputeErrorsPropagate) {
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  std::atomic<int> produced{0};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [&](int& item) {
+    const int i = produced.fetch_add(1);
+    if (i >= 10) return false;
+    item = i;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<1>&, const int& item) -> int {
+    if (item == 5) throw std::runtime_error("kernel failed");
+    return item;
+  };
+  callbacks.consume = [&](int) {};
+  EXPECT_THROW(run_pipelined(devices, callbacks, 2), std::runtime_error);
+}
+
+TEST(Executor, ProduceErrorsPropagate) {
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [](int&) -> bool {
+    throw IoError("disk on fire");
+  };
+  callbacks.compute = [](device::Device<1>&, const int& item) {
+    return item;
+  };
+  callbacks.consume = [](int) {};
+  EXPECT_THROW(run_pipelined(devices, callbacks, 2), IoError);
+}
+
+TEST(Executor, EmptyInputCompletesImmediately) {
+  device::CpuDevice<1> cpu(1);
+  std::vector<device::Device<1>*> devices{&cpu};
+  StepCallbacks<int, int, 1> callbacks;
+  callbacks.produce = [](int&) { return false; };
+  callbacks.compute = [](device::Device<1>&, const int& item) {
+    return item;
+  };
+  callbacks.consume = [](int) {};
+  EXPECT_EQ(run_pipelined(devices, callbacks, 2).items, 0u);
+  EXPECT_EQ(run_sequential(devices, callbacks).items, 0u);
+}
+
+}  // namespace
+}  // namespace parahash::pipeline

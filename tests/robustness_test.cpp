@@ -1,0 +1,292 @@
+// Robustness and edge-case tests: malformed inputs, degenerate
+// sequences, corrupted intermediate files, and concurrency edges the
+// main suites do not reach.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "core/msp.h"
+#include "core/reference.h"
+#include "core/subgraph.h"
+#include "io/fastx.h"
+#include "io/partition_file.h"
+#include "io/throttle.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "util/rng.h"
+
+namespace parahash {
+namespace {
+
+// ------------------------------------------------- degenerate sequences
+
+TEST(Degenerate, HomopolymerReadIsOneSuperkmer) {
+  core::MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  core::MspScanner scanner(config);
+  std::vector<std::uint8_t> codes(101, 0);  // AAAA...
+  std::vector<core::SuperkmerSpan> spans;
+  EXPECT_EQ(scanner.scan_read(codes, spans), 75u);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 0u);
+  EXPECT_EQ(spans[0].end, 101u);
+}
+
+TEST(Degenerate, HomopolymerGraphIsOneSelfLoopVertex) {
+  // AAA...A: every kmer is the same canonical vertex with an A self-edge.
+  std::vector<io::Read> reads = {{"r", std::string(60, 'A')}};
+  core::ReferenceBuilder reference(21);
+  reference.add_read(reads[0].bases);
+  EXPECT_EQ(reference.distinct_vertices(), 1u);
+
+  io::TempDir dir("degen");
+  io::PartitionSet set(dir.file("p"), 21, 9, 2);
+  io::ReadBatch batch;
+  batch.add(reads[0].bases);
+  core::MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 2;
+  core::MspBatchOutput out(2);
+  core::msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    set.writer(i).append_raw(out.parts[i].bytes.data(),
+                             out.parts[i].bytes.size(),
+                             out.parts[i].superkmers, out.parts[i].kmers,
+                             out.parts[i].bases);
+  }
+  core::DeBruijnGraph<1> graph(21, 9, 2);
+  core::HashConfig hash_config;
+  const auto paths = set.close_all();
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto result = core::build_subgraph<1>(
+        io::PartitionBlob::read_file(paths[i]), hash_config, nullptr);
+    graph.adopt_table(i, *result.table);
+  }
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(Degenerate, AlternatingPatternMatchesReference) {
+  // ACACAC... and its RC TGTGTG... stress canonical tie handling.
+  std::string read;
+  for (int i = 0; i < 50; ++i) read += (i % 2 == 0) ? 'A' : 'C';
+  core::ReferenceBuilder reference(21);
+  reference.add_read(read);
+  EXPECT_EQ(reference.distinct_vertices(), 2u);  // ACAC.., CACA..
+}
+
+TEST(Degenerate, ReadsWithNsMatchReference) {
+  Rng rng(17);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 20; ++i) {
+    std::string r;
+    for (int j = 0; j < 70; ++j) {
+      const double roll = rng.uniform();
+      if (roll < 0.1) {
+        r.push_back('N');
+      } else if (roll < 0.15) {
+        r.push_back('n');
+      } else {
+        r.push_back(decode_base(rng.base()));
+      }
+    }
+    reads.push_back(r);
+  }
+
+  io::TempDir dir("ns_test");
+  const std::string fastq = dir.file("reads.fastq");
+  {
+    io::FastxWriter writer(fastq, io::FastxWriter::Format::kFastq);
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      writer.write({"r" + std::to_string(i), reads[i]});
+    }
+    writer.close();
+  }
+
+  pipeline::Options options;
+  options.msp.k = 21;
+  options.msp.p = 9;
+  options.msp.num_partitions = 4;
+  options.cpu_threads = 2;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+
+  core::ReferenceBuilder reference(21);
+  for (const auto& r : reads) reference.add_read(r);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(Degenerate, EmptyInputProducesEmptyGraph) {
+  io::TempDir dir("empty_test");
+  const std::string fastq = dir.file("empty.fastq");
+  std::ofstream(fastq).close();
+
+  pipeline::Options options;
+  options.msp.k = 21;
+  options.msp.p = 9;
+  options.msp.num_partitions = 4;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  EXPECT_EQ(graph.num_vertices(), 0u);
+  EXPECT_EQ(report.graph.vertices, 0u);
+}
+
+TEST(Degenerate, AllReadsTooShortProducesEmptyGraph) {
+  io::TempDir dir("short_test");
+  const std::string fastq = dir.file("short.fastq");
+  {
+    io::FastxWriter writer(fastq, io::FastxWriter::Format::kFastq);
+    for (int i = 0; i < 5; ++i) writer.write({"r", "ACGTACGT"});
+    writer.close();
+  }
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 2;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  EXPECT_EQ(graph.num_vertices(), 0u);
+}
+
+TEST(Degenerate, WholeGenomeFastaInputSplitsLongSuperkmers) {
+  // A single 70 kbp "read" (whole-genome FASTA): homopolymer stretches
+  // force superkmers beyond the 16-bit record length, which must be
+  // split without losing kmers or adjacencies.
+  Rng rng(29);
+  std::string genome;
+  genome.reserve(70'000);
+  // Long A-runs interleaved with random stretches produce both huge and
+  // ordinary superkmers.
+  while (genome.size() < 70'000) {
+    genome.append(40'000, 'A');
+    for (int i = 0; i < 10'000; ++i) {
+      genome.push_back(decode_base(rng.base()));
+    }
+  }
+
+  io::TempDir dir("genome_input");
+  const std::string fasta = dir.file("genome.fasta");
+  {
+    io::FastxWriter writer(fasta, io::FastxWriter::Format::kFasta);
+    writer.write({"chr1", genome});
+    writer.close();
+  }
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fasta);
+
+  core::ReferenceBuilder reference(27);
+  reference.add_read(genome);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+// ------------------------------------------------------ corrupted files
+
+TEST(Corruption, TruncatedPartitionRecordDetected) {
+  io::TempDir dir("corrupt");
+  const std::string path = dir.file("part.phsk");
+  {
+    io::PartitionWriter writer(path, 21, 9, 0);
+    std::vector<std::uint8_t> codes(30, 2);
+    writer.add(codes.data(), codes.size(), false, false);
+    writer.close();
+  }
+  // Chop bytes off the end: record_offsets must notice.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  std::filesystem::resize_file(path, size - 3, ec);
+  const auto blob = io::PartitionBlob::read_file(path);
+  EXPECT_THROW(io::record_offsets(blob), IoError);
+}
+
+TEST(Corruption, TruncatedGraphFileDetected) {
+  io::TempDir dir("corrupt");
+  core::DeBruijnGraph<1> graph(21, 9, 2);
+  std::vector<concurrent::VertexEntry<1>> entries(3);
+  entries[0].kmer = Kmer<1>::from_string("ACGTACGTACGTACGTACGTA");
+  entries[1].kmer = Kmer<1>::from_string("CCGTACGTACGTACGTACGTA");
+  entries[2].kmer = Kmer<1>::from_string("GCGTACGTACGTACGTACGTA");
+  graph.set_partition(0, entries);
+  const std::string path = dir.file("graph.phdg");
+  graph.write(path);
+
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  std::filesystem::resize_file(path, size - 10, ec);
+  EXPECT_THROW(core::DeBruijnGraph<1>::load(path), Error);
+}
+
+TEST(Corruption, GarbageGraphFileDetected) {
+  io::TempDir dir("corrupt");
+  const std::string path = dir.file("garbage.phdg");
+  std::ofstream(path) << "not a graph file, definitely long enough header";
+  EXPECT_THROW(core::DeBruijnGraph<1>::load(path), Error);
+}
+
+// --------------------------------------------------------- concurrency
+
+TEST(ThrottleConcurrent, SharedChannelSerialises) {
+  io::Throttle throttle(2'000'000);  // 2 MB/s
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) throttle.consume(10'000);
+    });
+  }
+  for (auto& w : workers) w.join();
+  // 200 KB over a shared 2 MB/s channel >= ~0.1 s regardless of threads.
+  EXPECT_GE(timer.seconds(), 0.08);
+  EXPECT_EQ(throttle.total_bytes(), 200'000u);
+}
+
+TEST(Robustness, ManySmallBatchesStillExact) {
+  // Tiny batch size forces many pipeline items (stress srv/cns churn).
+  io::TempDir dir("small_batches");
+  const std::string fastq = dir.file("reads.fastq");
+  Rng rng(23);
+  std::vector<std::string> reads;
+  {
+    io::FastxWriter writer(fastq, io::FastxWriter::Format::kFastq);
+    for (int i = 0; i < 200; ++i) {
+      std::string r;
+      for (int j = 0; j < 60; ++j) r.push_back(decode_base(rng.base()));
+      reads.push_back(r);
+      writer.write({"r" + std::to_string(i), r});
+    }
+    writer.close();
+  }
+
+  pipeline::Options options;
+  options.msp.k = 21;
+  options.msp.p = 9;
+  options.msp.num_partitions = 4;
+  options.batch_bases = 64;  // one read per batch
+  options.queue_depth = 2;
+  options.cpu_threads = 2;
+  options.num_gpus = 1;
+  options.gpu.launch_latency_seconds = 0;
+  options.gpu.h2d_bytes_per_sec = 0;
+  options.gpu.d2h_bytes_per_sec = 0;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  EXPECT_EQ(report.step1.times.items, 200u);
+
+  core::ReferenceBuilder reference(21);
+  for (const auto& r : reads) reference.add_read(r);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+}  // namespace
+}  // namespace parahash

@@ -1,0 +1,158 @@
+// Tests for the warp-synchronous SIMT hashing kernel: bit-identical
+// results to the scalar kernel, correct lockstep accounting, and the
+// divergence metric's basic properties.
+#include <gtest/gtest.h>
+
+#include "core/msp.h"
+#include "core/reference.h"
+#include "core/subgraph.h"
+#include "device/simt_kernel.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+
+namespace parahash::device {
+namespace {
+
+io::PartitionBlob one_partition(std::uint64_t genome_size, double coverage,
+                                double lambda, std::uint64_t seed,
+                                std::vector<std::string>* reads_out) {
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = 80;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+
+  core::MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 1;
+
+  io::ReadBatch batch;
+  for (auto& r : simulator.all_reads()) {
+    if (reads_out != nullptr) reads_out->push_back(r.bases);
+    batch.add(r.bases);
+  }
+  core::MspBatchOutput out(1);
+  core::msp_process_range(batch, config, 0, batch.size(), out);
+
+  io::TempDir dir("simt_test");
+  io::PartitionSet set(dir.file("p"), config.k, config.p, 1);
+  set.writer(0).append_raw(out.parts[0].bytes.data(),
+                           out.parts[0].bytes.size(),
+                           out.parts[0].superkmers, out.parts[0].kmers,
+                           out.parts[0].bases);
+  const auto paths = set.close_all();
+  return io::PartitionBlob::read_file(paths[0]);
+}
+
+TEST(Simt, MatchesScalarKernelExactly) {
+  std::vector<std::string> reads;
+  const auto blob = one_partition(2000, 8.0, 1.0, 66, &reads);
+
+  core::HashConfig hash_config;
+  auto scalar = core::build_subgraph<1>(blob, hash_config, nullptr);
+
+  concurrent::ConcurrentKmerTable<1> simt_table(scalar.table->capacity(),
+                                                27);
+  const auto stats = simt_process_partition<1>(blob, simt_table, 32);
+
+  EXPECT_EQ(simt_table.size(), scalar.table->size());
+  EXPECT_EQ(stats.kmers, blob.header().kmer_count);
+  scalar.table->for_each([&](const concurrent::VertexEntry<1>& e) {
+    const auto found = simt_table.find(e.kmer);
+    ASSERT_TRUE(found.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+
+  // Cross-check against the reference oracle too.
+  core::ReferenceBuilder reference(27);
+  for (const auto& r : reads) reference.add_read(r);
+  EXPECT_EQ(simt_table.size(), reference.distinct_vertices());
+}
+
+TEST(Simt, DivergenceFactorAtLeastOne) {
+  const auto blob = one_partition(1500, 6.0, 1.0, 67, nullptr);
+  concurrent::ConcurrentKmerTable<1> table(
+      core::hash_table_slots(blob.header().kmer_count, 2.0, 0.7), 27);
+  const auto stats = simt_process_partition<1>(blob, table, 32);
+  EXPECT_GE(stats.divergence_factor(), 1.0);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_GE(stats.lane_slots, stats.useful_probes);
+  EXPECT_LE(stats.lane_slots, stats.rounds * 32);
+}
+
+TEST(Simt, DivergenceGrowsWithLoadFactor) {
+  const auto blob = one_partition(3000, 10.0, 2.0, 68, nullptr);
+  // Size the tight table from the TRUE distinct count so it is nearly
+  // full but never overflows (a full table throws, see below).
+  core::HashConfig hash_config;
+  auto sized = core::build_subgraph<1>(blob, hash_config, nullptr);
+  const std::uint64_t distinct = sized.table->size();
+
+  // Roomy table: short probes, low divergence. Tight table: long,
+  // varied probes, higher divergence.
+  concurrent::ConcurrentKmerTable<1> roomy(distinct * 8, 27);
+  concurrent::ConcurrentKmerTable<1> tight(distinct + distinct / 16, 27);
+  const auto low = simt_process_partition<1>(blob, roomy, 32);
+  const auto high = simt_process_partition<1>(blob, tight, 32);
+  EXPECT_GT(high.divergence_factor(), low.divergence_factor());
+}
+
+TEST(Simt, FullTableThrowsInsteadOfSpinning) {
+  const auto blob = one_partition(1000, 4.0, 2.0, 70, nullptr);
+  concurrent::ConcurrentKmerTable<1> tiny(16, 27);  // far too small
+  EXPECT_THROW(simt_process_partition<1>(blob, tiny, 32), TableFullError);
+}
+
+TEST(Simt, WarpSizeOneHasNoDivergence) {
+  const auto blob = one_partition(1000, 5.0, 1.0, 69, nullptr);
+  concurrent::ConcurrentKmerTable<1> table(
+      core::hash_table_slots(blob.header().kmer_count, 2.0, 0.7), 27);
+  const auto stats = simt_process_partition<1>(blob, table, 1);
+  // A 1-lane warp never waits for other lanes (no kRetry possible
+  // single-threaded): every issued slot is useful.
+  EXPECT_DOUBLE_EQ(stats.divergence_factor(), 1.0);
+}
+
+TEST(Simt, EmptyPartition) {
+  io::TempDir dir("simt_empty");
+  io::PartitionWriter writer(dir.file("e.phsk"), 27, 11, 0);
+  writer.close();
+  const auto blob = io::PartitionBlob::read_file(dir.file("e.phsk"));
+  concurrent::ConcurrentKmerTable<1> table(64, 27);
+  const auto stats = simt_process_partition<1>(blob, table, 32);
+  EXPECT_EQ(stats.kmers, 0u);
+  EXPECT_EQ(stats.warps, 0u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ProbeStep, MatchesAddSemantics) {
+  concurrent::ConcurrentKmerTable<1> table(64, 21);
+  const auto a = Kmer<1>::from_string("ACGTACGTACGTACGTACGTA");
+
+  // Fresh key: first probe at its home slot inserts.
+  const std::uint64_t home = a.hash() & (table.capacity() - 1);
+  EXPECT_EQ(table.probe_step(home, a, 1, 2),
+            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kDone);
+  EXPECT_EQ(table.size(), 1u);
+
+  // Same key again: update at the same slot.
+  EXPECT_EQ(table.probe_step(home, a, 1, -1),
+            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kDone);
+  const auto found = table.find(a);
+  EXPECT_EQ(found->coverage, 2u);
+  EXPECT_EQ(found->out_weight(1), 2u);
+  EXPECT_EQ(found->in_weight(2), 1u);
+
+  // Different key probing the occupied slot must advance.
+  const auto b = Kmer<1>::from_string("TTTTTTTTTTTTTTTTTTTTG");
+  EXPECT_EQ(table.probe_step(home, b, -1, -1),
+            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kAdvance);
+}
+
+}  // namespace
+}  // namespace parahash::device

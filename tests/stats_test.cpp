@@ -1,0 +1,155 @@
+// Tests for graph statistics (coverage histogram, degree distribution)
+// and the text exporters.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/export.h"
+#include "core/msp.h"
+#include "core/stats.h"
+#include "core/subgraph.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+
+namespace parahash::core {
+namespace {
+
+template <int W>
+DeBruijnGraph<W> build_graph(const std::vector<io::Read>& reads, int k,
+                             int p, std::uint32_t partitions) {
+  MspConfig config;
+  config.k = k;
+  config.p = p;
+  config.num_partitions = partitions;
+  io::TempDir dir("stats_test");
+  io::PartitionSet set(dir.file("parts"), k, p, partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r.bases);
+  MspBatchOutput out(partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    set.writer(i).append_raw(out.parts[i].bytes.data(),
+                             out.parts[i].bytes.size(),
+                             out.parts[i].superkmers, out.parts[i].kmers,
+                             out.parts[i].bases);
+  }
+  DeBruijnGraph<W> graph(k, p, partitions);
+  HashConfig hash_config;
+  const auto paths = set.close_all();
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    auto result = build_subgraph<W>(io::PartitionBlob::read_file(paths[i]),
+                                    hash_config, nullptr);
+    graph.adopt_table(i, *result.table);
+  }
+  return graph;
+}
+
+std::vector<io::Read> deep_coverage_reads() {
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 80;
+  spec.coverage = 15.0;
+  spec.lambda = 1.0;
+  spec.seed = 77;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  return simulator.all_reads();
+}
+
+TEST(Stats, CoverageHistogramSumsToVertices) {
+  const auto graph = build_graph<1>(deep_coverage_reads(), 27, 11, 8);
+  const auto histogram = coverage_histogram(graph, 32);
+  std::uint64_t total = 0;
+  for (const auto b : histogram.buckets) total += b;
+  EXPECT_EQ(total, graph.num_vertices());
+  EXPECT_EQ(histogram.at_least(0), graph.num_vertices());
+  EXPECT_EQ(histogram.buckets[0], 0u);  // coverage 0 cannot exist
+}
+
+TEST(Stats, HistogramSeparatesErrorPeakFromGenomePeak) {
+  const auto graph = build_graph<1>(deep_coverage_reads(), 27, 11, 8);
+  const auto histogram = coverage_histogram(graph, 40);
+  // Errors pile up at coverage 1, genome around 12-15: the suggested
+  // threshold should sit between them.
+  const auto threshold = histogram.suggested_min_coverage();
+  EXPECT_GE(threshold, 2u);
+  EXPECT_LE(threshold, 8u);
+  EXPECT_GT(histogram.buckets[1], 0u);
+  // at_least(threshold) keeps most of the ~2000 genomic kmers.
+  EXPECT_GT(histogram.at_least(threshold), 1500u);
+}
+
+TEST(Stats, DegreeDistributionCountsAllVertices) {
+  const auto graph = build_graph<1>(deep_coverage_reads(), 27, 11, 8);
+  const auto distribution = degree_distribution(graph);
+  std::uint64_t total = 0;
+  for (const auto& row : distribution.counts) {
+    for (const auto c : row) total += c;
+  }
+  EXPECT_EQ(total, graph.num_vertices());
+  // A mostly-linear genome graph is dominated by (1,1) vertices.
+  EXPECT_GT(distribution.simple_path_vertices(), total / 2);
+}
+
+TEST(Export, TsvContainsEveryVertex) {
+  const auto graph = build_graph<1>(deep_coverage_reads(), 21, 9, 4);
+  io::TempDir dir("export_test");
+  const std::string path = dir.file("graph.tsv");
+  const auto written = write_adjacency_tsv(graph, path);
+  EXPECT_EQ(written, graph.num_vertices());
+
+  std::ifstream file(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(file, line)) {
+    ++lines;
+    // kmer <tab> coverage <tab> out:... <tab> in:...
+    std::istringstream ss(line);
+    std::string kmer;
+    std::string coverage;
+    std::string out;
+    std::string in;
+    ASSERT_TRUE(std::getline(ss, kmer, '\t'));
+    ASSERT_TRUE(std::getline(ss, coverage, '\t'));
+    ASSERT_TRUE(std::getline(ss, out, '\t'));
+    ASSERT_TRUE(std::getline(ss, in, '\t'));
+    EXPECT_EQ(kmer.size(), 21u);
+    EXPECT_NE(graph.find(Kmer<1>::from_string(kmer)), nullptr);
+    EXPECT_EQ(out.rfind("out:", 0), 0u);
+    EXPECT_EQ(in.rfind("in:", 0), 0u);
+  }
+  EXPECT_EQ(lines, written);
+}
+
+TEST(Export, TsvRespectsMinCoverage) {
+  const auto graph = build_graph<1>(deep_coverage_reads(), 21, 9, 4);
+  io::TempDir dir("export_test");
+  const auto all = write_adjacency_tsv(graph, dir.file("all.tsv"), 0);
+  const auto filtered =
+      write_adjacency_tsv(graph, dir.file("filtered.tsv"), 3);
+  EXPECT_LT(filtered, all);
+  EXPECT_GT(filtered, 0u);
+}
+
+TEST(Export, DotExportsSmallGraph) {
+  std::vector<io::Read> reads = {{"r", "ACGTACGTTTGCAGCATATTACC"}};
+  const auto graph = build_graph<1>(reads, 11, 5, 2);
+  io::TempDir dir("export_test");
+  const std::string path = dir.file("graph.dot");
+  write_dot(graph, path);
+
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  const std::string dot = content.str();
+  EXPECT_NE(dot.find("digraph dbg"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+
+  // Refuses big graphs.
+  const auto big = build_graph<1>(deep_coverage_reads(), 21, 9, 4);
+  EXPECT_THROW(write_dot(big, dir.file("big.dot"), 100), Error);
+}
+
+}  // namespace
+}  // namespace parahash::core

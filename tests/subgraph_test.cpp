@@ -1,0 +1,384 @@
+// Tests for Step 2 (hash-based subgraph construction) and the full
+// MSP -> partitions -> subgraphs -> graph path against the naive
+// reference oracle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "concurrent/thread_pool.h"
+#include "core/graph.h"
+#include "core/msp.h"
+#include "core/reference.h"
+#include "core/subgraph.h"
+#include "io/tmpdir.h"
+#include "sim/read_sim.h"
+#include "util/rng.h"
+
+namespace parahash::core {
+namespace {
+
+std::string random_bases(Rng& rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(decode_base(rng.base()));
+  return s;
+}
+
+/// Runs the real Step1 + Step2 path in-process: scan reads, write
+/// partition files, build each subgraph, assemble the graph.
+template <int W>
+DeBruijnGraph<W> build_via_partitions(const std::vector<std::string>& reads,
+                                      const MspConfig& config,
+                                      const HashConfig& hash_config,
+                                      concurrent::ThreadPool* pool,
+                                      std::uint64_t* kmer_total = nullptr) {
+  io::TempDir dir("subgraph_test");
+  io::PartitionSet partitions(dir.file("parts"),
+                              static_cast<std::uint32_t>(config.k),
+                              static_cast<std::uint32_t>(config.p),
+                              config.num_partitions, config.encoding);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  MspBatchOutput out(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    const auto& part = out.parts[p];
+    partitions.writer(p).append_raw(part.bytes.data(), part.bytes.size(),
+                                    part.superkmers, part.kmers, part.bases);
+  }
+  const auto paths = partitions.close_all();
+  if (kmer_total != nullptr) *kmer_total = partitions.total_kmers();
+
+  DeBruijnGraph<W> graph(config.k, config.p, config.num_partitions);
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    const auto blob = io::PartitionBlob::read_file(paths[p]);
+    auto result = build_subgraph<W>(blob, hash_config, pool);
+    graph.adopt_table(p, *result.table);
+  }
+  return graph;
+}
+
+std::vector<std::string> simulate_reads(std::uint64_t genome_size,
+                                        int read_length, double coverage,
+                                        double lambda, std::uint64_t seed) {
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = read_length;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  sim::ReadSimulator simulator(
+      sim::simulate_genome(spec.genome_size, spec.seed), spec);
+  std::vector<std::string> reads;
+  for (auto& r : simulator.all_reads()) reads.push_back(std::move(r.bases));
+  return reads;
+}
+
+TEST(Subgraph, SingleReadMatchesReference) {
+  Rng rng(211);
+  const std::string read = random_bases(rng, 80);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 4;
+  HashConfig hash_config;
+
+  const auto graph = build_via_partitions<1>({read}, config, hash_config,
+                                             nullptr);
+  ReferenceBuilder reference(config.k);
+  reference.add_read(read);
+
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(Subgraph, SimulatedDatasetMatchesReference) {
+  const auto reads = simulate_reads(3000, 80, 8.0, 1.0, 2025);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 9;
+  config.num_partitions = 16;
+  HashConfig hash_config;
+
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+  ReferenceBuilder reference(config.k);
+  for (const auto& r : reads) reference.add_read(r);
+
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+  EXPECT_EQ(graph.num_vertices(), reference.distinct_vertices());
+}
+
+TEST(Subgraph, MultiWordKmersMatchReference) {
+  const auto reads = simulate_reads(1500, 90, 6.0, 1.0, 31337);
+
+  MspConfig config;
+  config.k = 41;  // two words
+  config.p = 13;
+  config.num_partitions = 8;
+  HashConfig hash_config;
+
+  const auto graph = build_via_partitions<2>(reads, config, hash_config,
+                                             nullptr);
+  ReferenceBuilder reference(config.k);
+  for (const auto& r : reads) reference.add_read(r);
+
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+}
+
+TEST(Subgraph, ParallelBuildMatchesSerial) {
+  const auto reads = simulate_reads(2000, 70, 10.0, 2.0, 555);
+
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 4;
+  HashConfig hash_config;
+
+  concurrent::ThreadPool pool(4);
+  const auto serial = build_via_partitions<1>(reads, config, hash_config,
+                                              nullptr);
+  const auto parallel = build_via_partitions<1>(reads, config, hash_config,
+                                                &pool);
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST(Subgraph, ByteEncodedPartitionsGiveSameGraph) {
+  const auto reads = simulate_reads(1000, 60, 6.0, 1.0, 808);
+
+  MspConfig two_bit;
+  two_bit.k = 21;
+  two_bit.p = 9;
+  two_bit.num_partitions = 4;
+  MspConfig byte = two_bit;
+  byte.encoding = io::Encoding::kByte;
+  HashConfig hash_config;
+
+  const auto a = build_via_partitions<1>(reads, two_bit, hash_config,
+                                         nullptr);
+  const auto b = build_via_partitions<1>(reads, byte, hash_config, nullptr);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Subgraph, EdgeCounterGlobalInvariant) {
+  // Every observed adjacency bumps exactly one counter at each endpoint:
+  // sum(all 8 counters over all vertices) == 2 * observed adjacencies.
+  const auto reads = simulate_reads(2000, 75, 8.0, 1.5, 919);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 8;
+  HashConfig hash_config;
+
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+  ReferenceBuilder reference(config.k);
+  for (const auto& r : reads) reference.add_read(r);
+
+  const auto stats = graph.stats();
+  EXPECT_EQ(stats.edge_counter_total, 2 * reference.observed_adjacencies());
+  EXPECT_EQ(stats.total_coverage, reference.total_kmers());
+}
+
+TEST(Subgraph, EdgeWeightsSymmetricAcrossEndpoints) {
+  // For every out-edge u --b--> v, v's corresponding in-counter holds
+  // the same weight (both endpoints observed each occurrence once).
+  const auto reads = simulate_reads(1200, 70, 6.0, 1.0, 333);
+
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 4;
+  HashConfig hash_config;
+
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+  std::uint64_t checked = 0;
+  graph.for_each_vertex([&](const concurrent::VertexEntry<1>& u) {
+    for (int b = 0; b < 4; ++b) {
+      const std::uint32_t weight = u.out_weight(b);
+      if (weight == 0) continue;
+      const auto next = u.kmer.successor(static_cast<std::uint8_t>(b));
+      const auto* v = graph.find(next);
+      ASSERT_NE(v, nullptr);
+      const bool flipped = !next.is_canonical();
+      const std::uint8_t incoming_base = u.kmer.base(0);
+      const std::uint32_t counterpart =
+          flipped ? v->out_weight(complement(incoming_base))
+                  : v->in_weight(incoming_base);
+      EXPECT_EQ(counterpart, weight);
+      ++checked;
+    }
+  });
+  EXPECT_GT(checked, 500u);
+}
+
+TEST(Subgraph, SizingRuleAvoidsResizes) {
+  // With lambda=2 (the paper's setting) the Property-1 rule should size
+  // tables large enough that no resize happens on error-bearing data.
+  const auto reads = simulate_reads(2000, 80, 20.0, 2.0, 2026);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 8;
+
+  io::TempDir dir("sizing_test");
+  io::PartitionSet partitions(dir.file("parts"), config.k, config.p,
+                              config.num_partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  MspBatchOutput out(config.num_partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t p = 0; p < config.num_partitions; ++p) {
+    partitions.writer(p).append_raw(
+        out.parts[p].bytes.data(), out.parts[p].bytes.size(),
+        out.parts[p].superkmers, out.parts[p].kmers, out.parts[p].bases);
+  }
+  HashConfig hash_config;  // lambda = 2, alpha = 0.7
+  hash_config.allow_resize = true;
+  for (const auto& path : partitions.close_all()) {
+    const auto blob = io::PartitionBlob::read_file(path);
+    auto result = build_subgraph<1>(blob, hash_config, nullptr);
+    EXPECT_EQ(result.resizes, 0) << "partition " << path;
+    EXPECT_LE(result.table->load_factor(), 0.85);
+  }
+}
+
+TEST(Subgraph, ResizeFallbackRecoversFromUndersizedTable) {
+  const auto reads = simulate_reads(1500, 70, 4.0, 1.0, 404);
+
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 1;
+
+  io::TempDir dir("resize_test");
+  io::PartitionSet partitions(dir.file("parts"), config.k, config.p, 1);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  MspBatchOutput out(1);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  partitions.writer(0).append_raw(out.parts[0].bytes.data(),
+                                  out.parts[0].bytes.size(),
+                                  out.parts[0].superkmers,
+                                  out.parts[0].kmers, out.parts[0].bases);
+  const auto paths = partitions.close_all();
+  const auto blob = io::PartitionBlob::read_file(paths[0]);
+
+  HashConfig undersized;
+  undersized.slots_override = 64;  // way too small
+  undersized.allow_resize = true;
+  undersized.max_resizes = 20;
+  auto result = build_subgraph<1>(blob, undersized, nullptr);
+  EXPECT_GT(result.resizes, 0);
+
+  ReferenceBuilder reference(config.k);
+  for (const auto& r : reads) reference.add_read(r);
+  EXPECT_EQ(result.table->size(), reference.distinct_vertices());
+
+  HashConfig no_resize = undersized;
+  no_resize.allow_resize = false;
+  EXPECT_THROW(build_subgraph<1>(blob, no_resize, nullptr), TableFullError);
+}
+
+// ------------------------------------------------------------- graph
+
+TEST(Graph, FindCanonicalisesQueries) {
+  const auto reads = simulate_reads(800, 60, 5.0, 0.0, 111);
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 4;
+  HashConfig hash_config;
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+
+  std::uint64_t found = 0;
+  graph.for_each_vertex([&](const concurrent::VertexEntry<1>& e) {
+    // Query by the canonical kmer and by its reverse complement.
+    EXPECT_NE(graph.find(e.kmer), nullptr);
+    const auto* via_rc = graph.find(e.kmer.reverse_complement());
+    ASSERT_NE(via_rc, nullptr);
+    EXPECT_EQ(via_rc->kmer, e.kmer);
+    ++found;
+  });
+  EXPECT_EQ(found, graph.num_vertices());
+  EXPECT_EQ(graph.find(Kmer<1>::from_string("CCCCCCCCCCCCCCCCCCCCC")),
+            nullptr);
+}
+
+TEST(Graph, FilterMinCoverageDropsErrors) {
+  // Error kmers are mostly coverage-1; genome kmers at coverage ~10.
+  const auto reads = simulate_reads(2000, 80, 12.0, 1.0, 777);
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 8;
+  HashConfig hash_config;
+  auto graph = build_via_partitions<1>(reads, config, hash_config, nullptr);
+
+  const auto before = graph.stats();
+  const std::uint64_t removed = graph.filter_min_coverage(3);
+  const auto after = graph.stats();
+  EXPECT_EQ(after.vertices + removed, before.vertices);
+  EXPECT_GT(removed, 0u);
+  // The erroneous fraction is large (lambda=1 on L=80 reads); filtering
+  // should remove a sizeable share but keep the genome's core.
+  EXPECT_LT(after.vertices, before.vertices);
+  EXPECT_GT(after.vertices, 1500u);
+  graph.for_each_vertex([&](const concurrent::VertexEntry<1>& e) {
+    EXPECT_GE(e.coverage, 3u);
+  });
+}
+
+TEST(Graph, WriteLoadRoundTrip) {
+  const auto reads = simulate_reads(1000, 70, 6.0, 1.0, 999);
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 4;
+  HashConfig hash_config;
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+
+  io::TempDir dir("graph_test");
+  const std::string path = dir.file("graph.phdg");
+  const auto bytes = graph.write(path);
+  EXPECT_GT(bytes, 0u);
+
+  const auto loaded = DeBruijnGraph<1>::load(path);
+  EXPECT_TRUE(graph == loaded);
+  EXPECT_EQ(loaded.k(), config.k);
+  EXPECT_EQ(loaded.num_partitions(), config.num_partitions);
+}
+
+TEST(Graph, LoadRejectsWrongWidth) {
+  const auto reads = simulate_reads(500, 60, 4.0, 0.0, 123);
+  MspConfig config;
+  config.k = 21;
+  config.p = 9;
+  config.num_partitions = 2;
+  HashConfig hash_config;
+  const auto graph = build_via_partitions<1>(reads, config, hash_config,
+                                             nullptr);
+  io::TempDir dir("graph_test");
+  const std::string path = dir.file("graph.phdg");
+  graph.write(path);
+  EXPECT_THROW(DeBruijnGraph<2>::load(path), Error);
+}
+
+TEST(Graph, StatsDuplicateVertices) {
+  GraphStats stats;
+  stats.vertices = 10;
+  stats.total_coverage = 55;
+  EXPECT_EQ(stats.duplicate_vertices(), 45u);
+}
+
+}  // namespace
+}  // namespace parahash::core

@@ -1,0 +1,168 @@
+// Parameterized property sweeps: the concurrent table across capacity /
+// thread / duplication regimes, and the MSP scanner across the full
+// (k, P) envelope including the multi-word boundary.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "core/msp.h"
+#include "util/rng.h"
+
+namespace parahash {
+namespace {
+
+// ----------------------------------------------------- table sweep
+
+struct TableSweepConfig {
+  const char* name;
+  int threads;
+  int distinct;
+  int total;
+  double load_factor;  // capacity = distinct / load_factor
+};
+
+class TableSweep : public ::testing::TestWithParam<TableSweepConfig> {};
+
+TEST_P(TableSweep, ExactCountsUnderContention) {
+  const auto& config = GetParam();
+  const int k = 27;
+  Rng rng(static_cast<std::uint64_t>(config.distinct) * 31 +
+          config.threads);
+
+  // Distinct keys.
+  std::vector<Kmer<1>> keys;
+  std::set<std::string> unique;
+  while (unique.size() < static_cast<std::size_t>(config.distinct)) {
+    Kmer<1> kmer;
+    for (int i = 0; i < k; ++i) kmer.push_back(rng.base());
+    if (unique.insert(kmer.to_string()).second) keys.push_back(kmer);
+  }
+
+  // Pre-draw the whole operation stream, then split across threads.
+  struct Op {
+    std::uint32_t key;
+    std::int8_t edge_out;
+    std::int8_t edge_in;
+  };
+  std::vector<Op> ops(static_cast<std::size_t>(config.total));
+  for (auto& op : ops) {
+    op.key = static_cast<std::uint32_t>(rng.below(keys.size()));
+    op.edge_out = static_cast<std::int8_t>(rng.below(5)) - 1;
+    op.edge_in = static_cast<std::int8_t>(rng.below(5)) - 1;
+  }
+
+  concurrent::ConcurrentKmerTable<1> table(
+      static_cast<std::uint64_t>(config.distinct / config.load_factor) + 8,
+      k);
+
+  std::vector<std::thread> workers;
+  const std::size_t per_thread = ops.size() / config.threads;
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::size_t begin = t * per_thread;
+      const std::size_t end =
+          t + 1 == config.threads ? ops.size() : begin + per_thread;
+      for (std::size_t i = begin; i < end; ++i) {
+        table.add(keys[ops[i].key], ops[i].edge_out, ops[i].edge_in);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Exact reference accumulation.
+  std::map<std::uint32_t, std::array<std::uint64_t, 9>> expected;
+  for (const auto& op : ops) {
+    auto& e = expected[op.key];
+    ++e[8];
+    if (op.edge_out >= 0) ++e[op.edge_out];
+    if (op.edge_in >= 0) ++e[4 + op.edge_in];
+  }
+  EXPECT_EQ(table.size(), expected.size());
+  for (const auto& [key, e] : expected) {
+    const auto found = table.find(keys[key]);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->coverage, e[8]);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(found->edges[i], e[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, TableSweep,
+    ::testing::Values(
+        TableSweepConfig{"serial_sparse", 1, 500, 2000, 0.25},
+        TableSweepConfig{"serial_dense", 1, 500, 2000, 0.95},
+        TableSweepConfig{"hot_keys", 8, 8, 40000, 0.5},
+        TableSweepConfig{"mostly_distinct", 8, 5000, 10000, 0.7},
+        TableSweepConfig{"paper_ratio", 8, 4000, 20000, 0.7},
+        TableSweepConfig{"near_full", 4, 2000, 8000, 0.98},
+        TableSweepConfig{"two_threads", 2, 1000, 10000, 0.6},
+        TableSweepConfig{"many_threads", 16, 100, 32000, 0.5}),
+    [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------------------- msp sweep
+
+struct MspSweepConfig {
+  const char* name;
+  int k;
+  int p;
+  int read_len;
+};
+
+class MspSweep : public ::testing::TestWithParam<MspSweepConfig> {};
+
+TEST_P(MspSweep, ScannerInvariantsHold) {
+  const auto& config = GetParam();
+  core::MspConfig msp;
+  msp.k = config.k;
+  msp.p = config.p;
+  msp.num_partitions = 17;
+  core::MspScanner scanner(msp);
+
+  Rng rng(static_cast<std::uint64_t>(config.k) * 1000 + config.p);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> codes(
+        static_cast<std::size_t>(config.read_len));
+    for (auto& c : codes) c = rng.base();
+
+    std::vector<core::SuperkmerSpan> fast;
+    std::vector<core::SuperkmerSpan> naive;
+    const auto n1 = scanner.scan_read(codes, fast);
+    const auto n2 = scanner.scan_read_naive(codes, naive);
+    ASSERT_EQ(n1, n2);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i], naive[i]);
+    }
+
+    // Tiling invariant.
+    if (!fast.empty()) {
+      EXPECT_EQ(fast.front().begin, 0u);
+      EXPECT_EQ(fast.back().end, codes.size());
+      std::uint64_t kmers = 0;
+      for (const auto& span : fast) {
+        kmers += (span.end - span.begin) - config.k + 1;
+      }
+      EXPECT_EQ(kmers, n1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KP, MspSweep,
+    ::testing::Values(MspSweepConfig{"k63_p16", 63, 16, 150},
+                      MspSweepConfig{"k63_p3", 63, 3, 200},
+                      MspSweepConfig{"k33_p11", 33, 11, 101},
+                      MspSweepConfig{"k5_p2", 5, 2, 40},
+                      MspSweepConfig{"k3_p1", 3, 1, 24},
+                      MspSweepConfig{"k27_p14", 27, 14, 124},
+                      MspSweepConfig{"k45_p9", 45, 9, 90},
+                      MspSweepConfig{"read_eq_k", 31, 9, 31}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace parahash

@@ -1,0 +1,183 @@
+// Tests for unitig compaction over the constructed graph.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/msp.h"
+#include "core/subgraph.h"
+#include "core/unitig.h"
+#include "io/tmpdir.h"
+#include "util/rng.h"
+
+namespace parahash::core {
+namespace {
+
+/// Builds a graph straight from a list of reads through the real
+/// partition path.
+template <int W>
+DeBruijnGraph<W> graph_of(const std::vector<std::string>& reads, int k,
+                          int p, std::uint32_t partitions) {
+  MspConfig config;
+  config.k = k;
+  config.p = p;
+  config.num_partitions = partitions;
+  io::TempDir dir("unitig_test");
+  io::PartitionSet set(dir.file("parts"), k, p, partitions);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  MspBatchOutput out(partitions);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    set.writer(i).append_raw(out.parts[i].bytes.data(),
+                             out.parts[i].bytes.size(),
+                             out.parts[i].superkmers, out.parts[i].kmers,
+                             out.parts[i].bases);
+  }
+  DeBruijnGraph<W> graph(k, p, partitions);
+  HashConfig hash_config;
+  const auto paths = set.close_all();
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    auto result =
+        build_subgraph<W>(io::PartitionBlob::read_file(paths[i]),
+                          hash_config, nullptr);
+    graph.adopt_table(i, *result.table);
+  }
+  return graph;
+}
+
+/// A genome whose (k-1)-mers are all distinct compacts to ONE unitig.
+std::string repeat_free_genome(int length, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string genome;
+    for (int i = 0; i < length; ++i) genome.push_back(decode_base(rng.base()));
+    std::set<std::string> seen;
+    bool ok = true;
+    for (int i = 0; i + k - 1 <= length && ok; ++i) {
+      const std::string sub = genome.substr(i, k - 1);
+      const std::string canon =
+          std::min(sub, reverse_complement_str(sub));
+      ok = seen.insert(canon).second;
+    }
+    if (ok) return genome;
+  }
+  throw Error("could not generate a repeat-free genome");
+}
+
+/// Tiling reads covering every adjacency of the genome.
+std::vector<std::string> tiling_reads(const std::string& genome, int L,
+                                      int stride) {
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0; pos + L <= genome.size();
+       pos += static_cast<std::size_t>(stride)) {
+    reads.push_back(genome.substr(pos, L));
+  }
+  reads.push_back(genome.substr(genome.size() - L));
+  return reads;
+}
+
+TEST(Unitig, LinearGenomeCompactsToOnePath) {
+  const int k = 21;
+  const std::string genome = repeat_free_genome(300, k, 5);
+  const auto reads = tiling_reads(genome, 60, 20);
+  const auto graph = graph_of<1>(reads, k, 9, 4);
+
+  UnitigBuilder<1> builder(graph);
+  const auto unitigs = builder.build();
+  ASSERT_EQ(unitigs.size(), 1u);
+  const std::string expected =
+      std::min(genome, reverse_complement_str(genome));
+  EXPECT_EQ(unitigs[0].bases, expected);
+  EXPECT_EQ(unitigs[0].kmers, genome.size() - k + 1);
+  EXPECT_EQ(unitigs[0].length(), genome.size());
+}
+
+TEST(Unitig, CoversEveryVertexExactlyOnce) {
+  Rng rng(99);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 40; ++i) {
+    std::string r;
+    for (int j = 0; j < 70; ++j) r.push_back(decode_base(rng.base()));
+    reads.push_back(r);
+  }
+  const int k = 15;
+  const auto graph = graph_of<1>(reads, k, 7, 4);
+
+  UnitigBuilder<1> builder(graph);
+  const auto unitigs = builder.build();
+
+  // Expand each unitig back into canonical kmers; the multiset must be
+  // exactly the vertex set.
+  std::set<std::string> covered;
+  std::uint64_t total = 0;
+  for (const auto& u : unitigs) {
+    ASSERT_GE(u.bases.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(u.kmers, u.bases.size() - k + 1);
+    for (std::size_t i = 0; i + k <= u.bases.size(); ++i) {
+      const std::string sub = u.bases.substr(i, k);
+      const std::string canon = std::min(sub, reverse_complement_str(sub));
+      EXPECT_TRUE(covered.insert(canon).second)
+          << "kmer appears in two unitigs: " << canon;
+      EXPECT_NE(graph.find(Kmer<1>::from_string(canon)), nullptr);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, graph.num_vertices());
+}
+
+TEST(Unitig, BranchSplitsPath) {
+  // Two reads sharing a prefix then diverging: the shared prefix must end
+  // at the branch.  prefix A + suffixes X/Y.
+  const int k = 11;
+  const std::string prefix = repeat_free_genome(40, k, 17);
+  std::string x = prefix + "AACCAGTTGCAATTGGACTACTTGAGC";
+  std::string y = prefix + "CGTTAGGCATTACGTAACCCTGATTAC";
+  const auto graph = graph_of<1>({x, y}, k, 5, 2);
+
+  UnitigBuilder<1> builder(graph);
+  const auto unitigs = builder.build();
+  // At least three unitigs (shared prefix + two branches); every vertex
+  // covered exactly once.
+  EXPECT_GE(unitigs.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& u : unitigs) total += u.kmers;
+  EXPECT_EQ(total, graph.num_vertices());
+}
+
+TEST(Unitig, MeanCoverageReflectsReadDepth) {
+  const int k = 21;
+  const std::string genome = repeat_free_genome(200, k, 23);
+  // Each adjacent pair covered ~3x by dense tiling.
+  const auto reads = tiling_reads(genome, 60, 1);
+  const auto graph = graph_of<1>(reads, k, 9, 2);
+  UnitigBuilder<1> builder(graph);
+  const auto unitigs = builder.build();
+  ASSERT_EQ(unitigs.size(), 1u);
+  EXPECT_GT(unitigs[0].mean_coverage, 10.0);
+}
+
+TEST(Unitig, MinCoverageFiltersErrorBranches) {
+  const int k = 15;
+  const std::string genome = repeat_free_genome(150, k, 31);
+  auto reads = tiling_reads(genome, 50, 5);
+  // One erroneous read: creates a low-coverage bubble.
+  std::string bad = genome.substr(20, 50);
+  bad[25] = bad[25] == 'A' ? 'C' : 'A';
+  reads.push_back(bad);
+  const auto graph = graph_of<1>(reads, k, 7, 2);
+
+  UnitigBuilder<1> strict(graph, /*min_coverage=*/2);
+  const auto unitigs = strict.build();
+  // With the error path filtered the clean genome reassembles into few
+  // long unitigs covering the genome length.
+  std::uint64_t total_kmers = 0;
+  for (const auto& u : unitigs) total_kmers += u.kmers;
+  EXPECT_LE(unitigs.size(), 4u);
+  // The first few genome kmers are covered by only one tiling read and
+  // are filtered along with the error branch; allow that fringe.
+  EXPECT_GE(total_kmers + k, genome.size() - k);
+}
+
+}  // namespace
+}  // namespace parahash::core

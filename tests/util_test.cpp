@@ -1,0 +1,358 @@
+// Unit and property tests for the util substrate: DNA alphabet, multi-word
+// kmers, packed sequences, hashing, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/dna.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+#include "util/mem.h"
+#include "util/packed_seq.h"
+#include "util/rng.h"
+
+namespace parahash {
+namespace {
+
+// ---------------------------------------------------------------- dna
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('C'), 1);
+  EXPECT_EQ(encode_base('G'), 2);
+  EXPECT_EQ(encode_base('T'), 3);
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(encode_base(decode_base(b)), b);
+  }
+}
+
+TEST(Dna, LowercaseAccepted) {
+  EXPECT_EQ(encode_base('a'), encode_base('A'));
+  EXPECT_EQ(encode_base('c'), encode_base('C'));
+  EXPECT_EQ(encode_base('g'), encode_base('G'));
+  EXPECT_EQ(encode_base('t'), encode_base('T'));
+}
+
+TEST(Dna, UnknownBasesReadAsA) {
+  EXPECT_EQ(encode_base('N'), 0);
+  EXPECT_EQ(encode_base('n'), 0);
+  EXPECT_EQ(encode_base('X'), 0);
+  EXPECT_EQ(encode_base('-'), 0);
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(complement(encode_base('A')), encode_base('T'));
+  EXPECT_EQ(complement(encode_base('C')), encode_base('G'));
+  for (std::uint8_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(complement(complement(b)), b);
+  }
+}
+
+TEST(Dna, EncodingPreservesLexOrder) {
+  const std::string chars = "ACGT";
+  for (char a : chars) {
+    for (char b : chars) {
+      EXPECT_EQ(a < b, encode_base(a) < encode_base(b));
+    }
+  }
+}
+
+TEST(Dna, ReverseComplementString) {
+  EXPECT_EQ(reverse_complement_str("ACGT"), "ACGT");
+  EXPECT_EQ(reverse_complement_str("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement_str("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement_str(""), "");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    for (int i = 0; i < 50; ++i) s.push_back(decode_base(rng.base()));
+    EXPECT_EQ(reverse_complement_str(reverse_complement_str(s)), s);
+  }
+}
+
+// ---------------------------------------------------------------- kmer
+
+template <typename T>
+class KmerTypedTest : public ::testing::Test {};
+
+using KmerTypes = ::testing::Types<Kmer<1>, Kmer<2>, Kmer<3>>;
+TYPED_TEST_SUITE(KmerTypedTest, KmerTypes);
+
+TYPED_TEST(KmerTypedTest, FromStringToStringRoundTrip) {
+  const std::string s = "ACGTTGCAACGTTGCAACGTTGCAACGTT";
+  const int max_k = std::min<int>(TypeParam::kMaxK, s.size());
+  for (int k = 1; k <= max_k; ++k) {
+    auto kmer = TypeParam::from_string(s.substr(0, k));
+    EXPECT_EQ(kmer.k(), k);
+    EXPECT_EQ(kmer.to_string(), s.substr(0, k));
+  }
+}
+
+TYPED_TEST(KmerTypedTest, BaseAccess) {
+  const std::string s = "GATTACAGATTACAGATTACAGATTACAGATT";
+  const int k = std::min<int>(TypeParam::kMaxK, s.size());
+  auto kmer = TypeParam::from_string(s.substr(0, k));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(decode_base(kmer.base(i)), s[i]) << "at " << i;
+  }
+}
+
+TYPED_TEST(KmerTypedTest, RollAppendSlidesWindow) {
+  Rng rng(11);
+  std::string s;
+  for (int i = 0; i < 2 * TypeParam::kMaxK; ++i) {
+    s.push_back(decode_base(rng.base()));
+  }
+  for (int k : {1, 3, TypeParam::kMaxK / 2, TypeParam::kMaxK}) {
+    if (k < 1) continue;
+    auto kmer = TypeParam::from_string(s.substr(0, k));
+    for (std::size_t pos = 1; pos + k <= s.size(); ++pos) {
+      kmer.roll_append(encode_base(s[pos + k - 1]));
+      EXPECT_EQ(kmer.to_string(), s.substr(pos, k));
+    }
+  }
+}
+
+TYPED_TEST(KmerTypedTest, RollPrependSlidesWindowLeft) {
+  Rng rng(13);
+  std::string s;
+  for (int i = 0; i < 2 * TypeParam::kMaxK; ++i) {
+    s.push_back(decode_base(rng.base()));
+  }
+  const int k = TypeParam::kMaxK;
+  auto kmer = TypeParam::from_string(s.substr(s.size() - k));
+  for (int pos = static_cast<int>(s.size()) - k - 1; pos >= 0; --pos) {
+    kmer.roll_prepend(encode_base(s[pos]));
+    EXPECT_EQ(kmer.to_string(), s.substr(pos, k));
+  }
+}
+
+TYPED_TEST(KmerTypedTest, ReverseComplementMatchesStringVersion) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string s;
+    const int k = 1 + static_cast<int>(rng.below(TypeParam::kMaxK));
+    for (int i = 0; i < k; ++i) s.push_back(decode_base(rng.base()));
+    auto kmer = TypeParam::from_string(s);
+    EXPECT_EQ(kmer.reverse_complement().to_string(),
+              reverse_complement_str(s));
+  }
+}
+
+TYPED_TEST(KmerTypedTest, ReverseComplementInvolution) {
+  Rng rng(19);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string s;
+    const int k = 1 + static_cast<int>(rng.below(TypeParam::kMaxK));
+    for (int i = 0; i < k; ++i) s.push_back(decode_base(rng.base()));
+    auto kmer = TypeParam::from_string(s);
+    EXPECT_EQ(kmer.reverse_complement().reverse_complement(), kmer);
+  }
+}
+
+TYPED_TEST(KmerTypedTest, ComparisonIsLexicographic) {
+  Rng rng(23);
+  const int k = std::min(TypeParam::kMaxK, 37);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a;
+    std::string b;
+    for (int i = 0; i < k; ++i) {
+      a.push_back(decode_base(rng.base()));
+      b.push_back(decode_base(rng.base()));
+    }
+    const auto ka = TypeParam::from_string(a);
+    const auto kb = TypeParam::from_string(b);
+    EXPECT_EQ(a < b, ka < kb);
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TYPED_TEST(KmerTypedTest, CanonicalIsMinOfStrandPair) {
+  Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int k = 1 + static_cast<int>(rng.below(TypeParam::kMaxK));
+    std::string s;
+    for (int i = 0; i < k; ++i) s.push_back(decode_base(rng.base()));
+    auto kmer = TypeParam::from_string(s);
+    const std::string rc = reverse_complement_str(s);
+    EXPECT_EQ(kmer.canonical().to_string(), std::min(s, rc));
+    // A kmer and its RC share a canonical form.
+    EXPECT_EQ(kmer.canonical(), kmer.reverse_complement().canonical());
+  }
+}
+
+TYPED_TEST(KmerTypedTest, SuccessorPredecessorInverse) {
+  Rng rng(31);
+  const int k = std::min(TypeParam::kMaxK, 27);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    for (int i = 0; i < k; ++i) s.push_back(decode_base(rng.base()));
+    auto kmer = TypeParam::from_string(s);
+    const std::uint8_t b = rng.base();
+    const auto succ = kmer.successor(b);
+    EXPECT_EQ(succ.to_string(), s.substr(1) + decode_base(b));
+    // Walking back with the dropped base restores the original.
+    EXPECT_EQ(succ.predecessor(encode_base(s[0])), kmer);
+  }
+}
+
+TYPED_TEST(KmerTypedTest, WordsRoundTrip) {
+  Rng rng(37);
+  const int k = TypeParam::kMaxK;
+  std::string s;
+  for (int i = 0; i < k; ++i) s.push_back(decode_base(rng.base()));
+  const auto kmer = TypeParam::from_string(s);
+  const auto rebuilt = TypeParam::from_words(kmer.words(), k);
+  EXPECT_EQ(rebuilt, kmer);
+}
+
+TEST(Kmer, HashSpreadsValues) {
+  std::set<std::uint64_t> hashes;
+  Rng rng(41);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string s;
+    for (int i = 0; i < 27; ++i) s.push_back(decode_base(rng.base()));
+    hashes.insert(Kmer<1>::from_string(s).hash());
+  }
+  // Essentially no collisions expected among 1000 random 27-mers.
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(Kmer, WithKmerWordsDispatch) {
+  EXPECT_EQ(with_kmer_words(27, []<int W>() { return W; }), 1);
+  EXPECT_EQ(with_kmer_words(32, []<int W>() { return W; }), 1);
+  EXPECT_EQ(with_kmer_words(33, []<int W>() { return W; }), 2);
+  EXPECT_EQ(with_kmer_words(63, []<int W>() { return W; }), 2);
+  EXPECT_THROW(with_kmer_words(65, []<int W>() { return W; }), Error);
+  EXPECT_THROW(with_kmer_words(0, []<int W>() { return W; }), Error);
+}
+
+TEST(Kmer, LengthOutOfRangeThrows) {
+  EXPECT_THROW(Kmer<1>(33), Error);
+  EXPECT_NO_THROW(Kmer<1>(32));
+  EXPECT_THROW(Kmer<1>::from_string(std::string(33, 'A')), Error);
+}
+
+// ---------------------------------------------------------- packed_seq
+
+TEST(PackedSeq, FromStringRoundTrip) {
+  const std::string s = "ACGTACGTTTGCAGCATATTA";
+  const auto seq = PackedSeq::from_string(s);
+  EXPECT_EQ(seq.size(), s.size());
+  EXPECT_EQ(seq.to_string(), s);
+}
+
+TEST(PackedSeq, RandomAccessMatchesString) {
+  Rng rng(43);
+  std::string s;
+  for (int i = 0; i < 301; ++i) s.push_back(decode_base(rng.base()));
+  const auto seq = PackedSeq::from_string(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(decode_base(seq[i]), s[i]);
+  }
+}
+
+TEST(PackedSeq, BytesRoundTrip) {
+  Rng rng(47);
+  for (int len : {0, 1, 3, 4, 5, 31, 32, 33, 64, 257}) {
+    std::string s;
+    for (int i = 0; i < len; ++i) s.push_back(decode_base(rng.base()));
+    const auto seq = PackedSeq::from_string(s);
+    std::vector<std::uint8_t> bytes(PackedSeq::packed_bytes(seq.size()));
+    seq.write_bytes(bytes.data());
+    const auto back = PackedSeq::from_bytes(bytes.data(), seq.size());
+    EXPECT_EQ(back, seq) << "len " << len;
+    EXPECT_EQ(back.to_string(), s);
+  }
+}
+
+TEST(PackedSeq, PackedBytesIsQuarterOfBases) {
+  EXPECT_EQ(PackedSeq::packed_bytes(0), 0u);
+  EXPECT_EQ(PackedSeq::packed_bytes(1), 1u);
+  EXPECT_EQ(PackedSeq::packed_bytes(4), 1u);
+  EXPECT_EQ(PackedSeq::packed_bytes(5), 2u);
+  EXPECT_EQ(PackedSeq::packed_bytes(100), 25u);
+}
+
+TEST(PackedSeq, KmerAtMatchesSubstring) {
+  Rng rng(53);
+  std::string s;
+  for (int i = 0; i < 120; ++i) s.push_back(decode_base(rng.base()));
+  const auto seq = PackedSeq::from_string(s);
+  for (std::size_t pos = 0; pos + 27 <= s.size(); pos += 7) {
+    EXPECT_EQ((seq.kmer_at<1>(pos, 27)).to_string(), s.substr(pos, 27));
+  }
+}
+
+TEST(PackedSeq, SubstrMatches) {
+  const std::string s = "ACGTACGTTTGCAGCATATTACCGGA";
+  const auto seq = PackedSeq::from_string(s);
+  EXPECT_EQ(seq.substr(3, 10).to_string(), s.substr(3, 10));
+  EXPECT_EQ(seq.substr(0, 0).to_string(), "");
+}
+
+// ---------------------------------------------------------------- hash
+
+TEST(Hash, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) values.insert(mix64(i));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(Hash, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(next_pow2((1ull << 40) + 1), 1ull << 41);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(101);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(103);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMeanApproximatesLambda) {
+  Rng rng(107);
+  const double lambda = 2.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(lambda);
+  EXPECT_NEAR(sum / n, lambda, 0.05);
+}
+
+TEST(Mem, RssProbesReportSomething) {
+  // On Linux both probes should report a positive resident size.
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+}
+
+}  // namespace
+}  // namespace parahash
