@@ -36,7 +36,9 @@ int main() {
     const auto slots = core::hash_table_slots(max_kmers, 2.0, 0.7);
     const double mb =
         static_cast<double>(slots) *
-        sizeof(concurrent::ConcurrentKmerTable<1>::Slot) / 1e6;
+        static_cast<double>(
+            concurrent::ConcurrentKmerTable<1>::bytes_per_slot()) /
+        1e6;
     std::printf("%6u %20.1f %24.1f\n", parts,
                 static_cast<double>(max_kmers) / 1e3, mb);
   }

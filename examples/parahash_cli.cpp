@@ -80,6 +80,17 @@ int cmd_build(const Flags& flags) {
               static_cast<unsigned long long>(report.filtered_vertices),
               static_cast<unsigned long long>(report.partition_bytes),
               static_cast<double>(report.peak_rss_bytes) / 1e6);
+  const auto& ht = report.step2_table;
+  if (ht.adds > 0) {
+    std::printf("upserts %llu, probes/upsert %.2f, tag-rejected %llu, "
+                "full key compares %llu (tag filter %.1f%%)\n",
+                static_cast<unsigned long long>(ht.adds),
+                static_cast<double>(ht.probes) /
+                    static_cast<double>(ht.adds),
+                static_cast<unsigned long long>(ht.tag_rejects),
+                static_cast<unsigned long long>(ht.key_compares),
+                100.0 * ht.tag_filter_rate());
+  }
   std::printf("graph written to %s\n", graph_path.c_str());
   return 0;
 }

@@ -1,0 +1,172 @@
+// Ablation baseline: the fat-slot variant of the state-transfer table.
+//
+// This is the ORIGINAL single-array layout of ConcurrentKmerTable, kept
+// verbatim so the layout ablation (bench_micro_concurrent,
+// bench_ablation_locking) measures what the split metadata/payload
+// redesign in concurrent/kmer_table.h buys, instead of asserting it.
+// One slot bundles the state byte, the 9 counters and the key words
+// (~48 bytes for W=1), so every probe step — even one that immediately
+// moves on — pulls a full cache line of payload. The concurrency
+// protocol (3-state transfer, release/acquire publication of the key)
+// is identical to the production table; only the memory layout differs.
+// Like mutex_table.h, this exists for measurement, not production use.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+
+namespace parahash::concurrent {
+
+template <int W>
+class FatSlotKmerTable {
+ public:
+  enum State : std::uint8_t { kEmpty = 0, kLocked = 1, kOccupied = 2 };
+
+  struct Slot {
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::array<std::atomic<std::uint32_t>, 8> edges{};
+    std::atomic<std::uint32_t> coverage{0};
+    std::array<std::atomic<std::uint64_t>, W> key{};
+  };
+
+  FatSlotKmerTable(std::uint64_t min_slots, int k)
+      : k_(k), slots_(next_pow2(min_slots < 2 ? 2 : min_slots)) {
+    PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
+                       "k out of range for this word count");
+    mask_ = slots_.size() - 1;
+  }
+
+  int k() const noexcept { return k_; }
+  std::uint64_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+  std::uint64_t size() const noexcept {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  AddResult add(const Kmer<W>& canon, int edge_out, int edge_in) {
+    AddResult result;
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      ++result.probes;
+
+      if (st == kEmpty) {
+        std::uint8_t expected = kEmpty;
+        if (slot.state.compare_exchange_strong(expected, kLocked,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          for (int w = 0; w < W; ++w) {
+            slot.key[w].store(words[w], std::memory_order_relaxed);
+          }
+          slot.state.store(kOccupied, std::memory_order_release);
+          distinct_.fetch_add(1, std::memory_order_relaxed);
+          bump(slot, edge_out, edge_in);
+          result.inserted = true;
+          return result;
+        }
+        st = expected;
+      }
+
+      if (st == kLocked) {
+        result.waited_on_lock = true;
+        do {
+          cpu_relax();
+          st = slot.state.load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+
+      // st == kOccupied: no fingerprint here — every foreign slot costs
+      // a full multi-word key compare (and its payload cache line).
+      ++result.key_compares;
+      if (key_equals(slot, words)) {
+        bump(slot, edge_out, edge_in);
+        return result;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("fat-slot kmer table is full (capacity " +
+                         std::to_string(capacity()) + ")");
+  }
+
+  std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
+    const auto words = canon.words();
+    std::uint64_t idx = canon.hash() & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      const Slot& slot = slots_[idx];
+      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      if (st == kEmpty) return std::nullopt;
+      if (st == kLocked) {
+        do {
+          cpu_relax();
+          st = slot.state.load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+      if (key_equals(slot, words)) return snapshot(slot);
+      idx = (idx + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kOccupied) {
+        fn(snapshot(slot));
+      }
+    }
+  }
+
+ private:
+  static void bump(Slot& slot, int edge_out, int edge_in) noexcept {
+    slot.coverage.fetch_add(1, std::memory_order_relaxed);
+    if (edge_out >= 0) {
+      slot.edges[kEdgeOut + edge_out].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (edge_in >= 0) {
+      slot.edges[kEdgeIn + edge_in].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool key_equals(const Slot& slot,
+                  std::span<const std::uint64_t, W> words) const noexcept {
+    for (int w = 0; w < W; ++w) {
+      if (slot.key[w].load(std::memory_order_relaxed) != words[w]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  VertexEntry<W> snapshot(const Slot& slot) const {
+    VertexEntry<W> entry;
+    std::array<std::uint64_t, W> words;
+    for (int w = 0; w < W; ++w) {
+      words[w] = slot.key[w].load(std::memory_order_relaxed);
+    }
+    entry.kmer = Kmer<W>::from_words(words, k_);
+    entry.coverage = slot.coverage.load(std::memory_order_relaxed);
+    for (int i = 0; i < 8; ++i) {
+      entry.edges[i] = slot.edges[i].load(std::memory_order_relaxed);
+    }
+    return entry;
+  }
+
+  int k_;
+  std::uint64_t mask_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> distinct_{0};
+};
+
+}  // namespace parahash::concurrent

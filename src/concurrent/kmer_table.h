@@ -20,10 +20,28 @@
 //     distinct vertex — with ~5x duplication that removes ~80% of the
 //     key locking a lock-per-access scheme would do (paper Sec. III-A).
 //
+// Cache-conscious layout: the state byte doubles as a key fingerprint
+// and lives in its own dense metadata array, separate from the fat
+// payload (key words + 9 counters):
+//
+//     metadata byte     0x00 = empty
+//                       0x01 = locked (key words being written)
+//                       0b10tttttt = occupied, t = 6-bit key tag
+//
+// A probe that walks over slots held by OTHER keys usually resolves from
+// the metadata byte alone: an occupied byte whose tag differs from the
+// probing key's tag cannot hold that key, so the probe advances without
+// touching the payload. With one byte per slot, a 64-byte cache line
+// answers 64 probe steps, versus ~1 for the fat-slot layout
+// (concurrent/fatslot_table.h keeps the old layout for the ablation
+// bench). Tag collisions between distinct keys are resolved by the full
+// key compare, so the table stays exact.
+//
 // Memory ordering: the key words are stored relaxed *before* the release
-// store of `occupied`; readers acquire-load the state before touching the
-// key, which transfers visibility of the key words (happens-before via
-// the state flag).
+// store of `occupied|tag` on the metadata byte; readers acquire-load the
+// metadata before touching the key, which transfers visibility of the
+// key words (happens-before via the metadata byte). Tag-mismatch skips
+// never read the payload, so they need no ordering at all.
 #pragma once
 
 #include <array>
@@ -76,11 +94,15 @@ struct VertexEntry {
   }
 };
 
-/// Result of a single add(): number of slots probed and whether the call
-/// inserted a new vertex. Callers accumulate these into build statistics
-/// without putting extra atomics on the hot path.
+/// Result of a single add(): probe counts and whether the call inserted
+/// a new vertex. Callers accumulate these into build statistics without
+/// putting extra atomics on the hot path. Probes over foreign slots
+/// split into tag rejects (resolved from the metadata byte alone) and
+/// full multi-word key compares (tag matched, payload read).
 struct AddResult {
   std::uint32_t probes = 0;
+  std::uint32_t tag_rejects = 0;   ///< occupied slots skipped by tag alone
+  std::uint32_t key_compares = 0;  ///< full key compares (incl. final hit)
   bool inserted = false;
   bool waited_on_lock = false;
 };
@@ -90,47 +112,87 @@ struct TableStats {
   std::uint64_t adds = 0;
   std::uint64_t inserts = 0;
   std::uint64_t probes = 0;
+  std::uint64_t tag_rejects = 0;
+  std::uint64_t key_compares = 0;
   std::uint64_t lock_waits = 0;
 
   void absorb(const AddResult& r) noexcept {
     ++adds;
     inserts += r.inserted ? 1 : 0;
     probes += r.probes;
+    tag_rejects += r.tag_rejects;
+    key_compares += r.key_compares;
     lock_waits += r.waited_on_lock ? 1 : 0;
   }
   void merge(const TableStats& other) noexcept {
     adds += other.adds;
     inserts += other.inserts;
     probes += other.probes;
+    tag_rejects += other.tag_rejects;
+    key_compares += other.key_compares;
     lock_waits += other.lock_waits;
+  }
+
+  /// Share of foreign-slot probes the 6-bit tag resolved without a
+  /// payload read. The denominator is every probe step that had to
+  /// disambiguate an occupied slot (tag reject or full compare).
+  double tag_filter_rate() const noexcept {
+    const std::uint64_t decided = tag_rejects + key_compares;
+    return decided == 0
+               ? 0.0
+               : static_cast<double>(tag_rejects) /
+                     static_cast<double>(decided);
   }
 };
 
 template <int W>
 class ConcurrentKmerTable {
  public:
-  enum State : std::uint8_t { kEmpty = 0, kLocked = 1, kOccupied = 2 };
+  /// Metadata byte states; any byte with kOccupiedBit set is occupied
+  /// and carries the 6-bit tag in its low bits.
+  static constexpr std::uint8_t kEmpty = 0x00;
+  static constexpr std::uint8_t kLocked = 0x01;
+  static constexpr std::uint8_t kOccupiedBit = 0x80;
+  static constexpr std::uint8_t kTagMask = 0x3F;
 
-  struct Slot {
-    std::atomic<std::uint8_t> state{kEmpty};
+  /// The fat per-slot payload, touched only when the metadata byte says
+  /// this slot may hold the probing key.
+  struct Payload {
+    std::array<std::atomic<std::uint64_t>, W> key{};
     std::array<std::atomic<std::uint32_t>, 8> edges{};
     std::atomic<std::uint32_t> coverage{0};
-    std::array<std::atomic<std::uint64_t>, W> key{};
   };
+
+  /// Bytes one slot occupies across both arrays (metadata + payload);
+  /// device-memory sizing and the Table-II bench use this.
+  static constexpr std::uint64_t bytes_per_slot() noexcept {
+    return sizeof(Payload) + sizeof(std::atomic<std::uint8_t>);
+  }
+
+  /// The occupied metadata byte for a key with this hash. The tag comes
+  /// from the hash's TOP bits so it stays independent of the slot index
+  /// (low bits) at any realistic capacity.
+  static constexpr std::uint8_t occupied_byte(std::uint64_t hash) noexcept {
+    return static_cast<std::uint8_t>(kOccupiedBit |
+                                     ((hash >> 58) & kTagMask));
+  }
 
   /// Allocates a table with at least `min_slots` slots (rounded up to a
   /// power of two) for kmers of length k.
   ConcurrentKmerTable(std::uint64_t min_slots, int k)
-      : k_(k), slots_(next_pow2(min_slots < 2 ? 2 : min_slots)) {
+      : k_(k),
+        meta_(next_pow2(min_slots < 2 ? 2 : min_slots)),
+        payload_(meta_.size()) {
     PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
                        "k out of range for this word count");
-    mask_ = slots_.size() - 1;
+    mask_ = meta_.size() - 1;
   }
 
   int k() const noexcept { return k_; }
-  std::uint64_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t capacity() const noexcept { return meta_.size(); }
   std::uint64_t memory_bytes() const noexcept {
-    return slots_.size() * sizeof(Slot);
+    return meta_.size() * sizeof(std::atomic<std::uint8_t>) +
+           payload_.size() * sizeof(Payload);
   }
 
   /// Number of distinct vertices inserted so far.
@@ -142,6 +204,17 @@ class ConcurrentKmerTable {
     return static_cast<double>(size()) / static_cast<double>(capacity());
   }
 
+  /// Prefetches the home slot (metadata byte and payload) for a key with
+  /// this hash. The batched upsert front-end issues these a window ahead
+  /// of the matching add_hashed() calls so the dependent loads overlap.
+  void prefetch(std::uint64_t hash) const noexcept {
+    const std::uint64_t idx = hash & mask_;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&meta_[idx], 1, 3);
+    __builtin_prefetch(&payload_[idx], 1, 3);
+#endif
+  }
+
   /// Records one occurrence of canonical kmer `canon`, bumping the
   /// outgoing edge counter `edge_out` and/or incoming counter `edge_in`
   /// (base codes 0..3; pass -1 for none). Thread-safe; wait-free except
@@ -149,23 +222,32 @@ class ConcurrentKmerTable {
   ///
   /// Throws TableFullError when every slot is occupied by other keys.
   AddResult add(const Kmer<W>& canon, int edge_out, int edge_in) {
+    return add_hashed(canon, canon.hash(), edge_out, edge_in);
+  }
+
+  /// add() with the key hash precomputed (the batched front-end hashes
+  /// at prefetch time and reuses the value here).
+  AddResult add_hashed(const Kmer<W>& canon, std::uint64_t hash,
+                       int edge_out, int edge_in) {
     AddResult result;
     const auto words = canon.words();
-    std::uint64_t idx = canon.hash() & mask_;
+    const std::uint8_t occupied = occupied_byte(hash);
+    std::uint64_t idx = hash & mask_;
     for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
-      Slot& slot = slots_[idx];
-      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      std::atomic<std::uint8_t>& meta = meta_[idx];
+      std::uint8_t st = meta.load(std::memory_order_acquire);
       ++result.probes;
 
       if (st == kEmpty) {
         std::uint8_t expected = kEmpty;
-        if (slot.state.compare_exchange_strong(expected, kLocked,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire)) {
+        if (meta.compare_exchange_strong(expected, kLocked,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          Payload& slot = payload_[idx];
           for (int w = 0; w < W; ++w) {
             slot.key[w].store(words[w], std::memory_order_relaxed);
           }
-          slot.state.store(kOccupied, std::memory_order_release);
+          meta.store(occupied, std::memory_order_release);
           distinct_.fetch_add(1, std::memory_order_relaxed);
           bump(slot, edge_out, edge_in);
           result.inserted = true;
@@ -178,14 +260,20 @@ class ConcurrentKmerTable {
         result.waited_on_lock = true;
         do {
           cpu_relax();
-          st = slot.state.load(std::memory_order_acquire);
+          st = meta.load(std::memory_order_acquire);
         } while (st == kLocked);
       }
 
-      // st == kOccupied: the key is immutable, compare lock-free.
-      if (key_equals(slot, words)) {
-        bump(slot, edge_out, edge_in);
-        return result;
+      // st is occupied: a tag mismatch proves a different key without
+      // reading the payload; a tag match falls back to the full compare.
+      if (st != occupied) {
+        ++result.tag_rejects;
+      } else {
+        ++result.key_compares;
+        if (key_equals(payload_[idx], words)) {
+          bump(payload_[idx], edge_out, edge_in);
+          return result;
+        }
       }
       idx = (idx + 1) & mask_;
     }
@@ -204,21 +292,24 @@ class ConcurrentKmerTable {
   /// warp-synchronous SIMT kernel (device/simt_kernel.h), which needs
   /// to interleave many probes in lockstep. Semantics match one
   /// iteration of add()'s probe loop, except a locked slot returns
-  /// kRetry instead of spinning.
+  /// kRetry instead of spinning. A tag mismatch advances without a
+  /// payload read, exactly like the scalar path.
   ProbeOutcome probe_step(std::uint64_t index, const Kmer<W>& canon,
                           int edge_out, int edge_in) {
-    Slot& slot = slots_[index & mask_];
-    std::uint8_t st = slot.state.load(std::memory_order_acquire);
+    const std::uint64_t idx = index & mask_;
+    std::atomic<std::uint8_t>& meta = meta_[idx];
+    std::uint8_t st = meta.load(std::memory_order_acquire);
     if (st == kEmpty) {
       std::uint8_t expected = kEmpty;
-      if (slot.state.compare_exchange_strong(expected, kLocked,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+      if (meta.compare_exchange_strong(expected, kLocked,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        Payload& slot = payload_[idx];
         const auto words = canon.words();
         for (int w = 0; w < W; ++w) {
           slot.key[w].store(words[w], std::memory_order_relaxed);
         }
-        slot.state.store(kOccupied, std::memory_order_release);
+        meta.store(occupied_byte(canon.hash()), std::memory_order_release);
         distinct_.fetch_add(1, std::memory_order_relaxed);
         bump(slot, edge_out, edge_in);
         return ProbeOutcome::kDone;
@@ -226,8 +317,9 @@ class ConcurrentKmerTable {
       st = expected;
     }
     if (st == kLocked) return ProbeOutcome::kRetry;
-    if (key_equals(slot, canon.words())) {
-      bump(slot, edge_out, edge_in);
+    if (st == occupied_byte(canon.hash()) &&
+        key_equals(payload_[idx], canon.words())) {
+      bump(payload_[idx], edge_out, edge_in);
       return ProbeOutcome::kDone;
     }
     return ProbeOutcome::kAdvance;
@@ -237,18 +329,21 @@ class ConcurrentKmerTable {
   /// returned snapshot is a consistent-enough view for queries/tests.
   std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
     const auto words = canon.words();
-    std::uint64_t idx = canon.hash() & mask_;
+    const std::uint64_t hash = canon.hash();
+    const std::uint8_t occupied = occupied_byte(hash);
+    std::uint64_t idx = hash & mask_;
     for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
-      const Slot& slot = slots_[idx];
-      std::uint8_t st = slot.state.load(std::memory_order_acquire);
+      std::uint8_t st = meta_[idx].load(std::memory_order_acquire);
       if (st == kEmpty) return std::nullopt;
       if (st == kLocked) {
         do {
           cpu_relax();
-          st = slot.state.load(std::memory_order_acquire);
+          st = meta_[idx].load(std::memory_order_acquire);
         } while (st == kLocked);
       }
-      if (key_equals(slot, words)) return snapshot(slot);
+      if (st == occupied && key_equals(payload_[idx], words)) {
+        return snapshot(idx);
+      }
       idx = (idx + 1) & mask_;
     }
     return std::nullopt;
@@ -257,9 +352,10 @@ class ConcurrentKmerTable {
   /// Visits every occupied slot. Call only after all writers finished.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Slot& slot : slots_) {
-      if (slot.state.load(std::memory_order_acquire) == kOccupied) {
-        fn(snapshot(slot));
+    for (std::uint64_t idx = 0; idx < meta_.size(); ++idx) {
+      if ((meta_[idx].load(std::memory_order_acquire) & kOccupiedBit) !=
+          0) {
+        fn(snapshot(idx));
       }
     }
   }
@@ -271,10 +367,13 @@ class ConcurrentKmerTable {
   /// itself is neither copyable nor movable; hand back a unique_ptr.)
   std::unique_ptr<ConcurrentKmerTable> grown() const {
     auto bigger = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_);
-    for (const Slot& slot : slots_) {
-      if (slot.state.load(std::memory_order_acquire) != kOccupied) continue;
-      VertexEntry<W> e = snapshot(slot);
-      Slot& dst = bigger->locate_for_insert(e.kmer);
+    for (std::uint64_t idx = 0; idx < meta_.size(); ++idx) {
+      if ((meta_[idx].load(std::memory_order_acquire) & kOccupiedBit) ==
+          0) {
+        continue;
+      }
+      VertexEntry<W> e = snapshot(idx);
+      Payload& dst = bigger->locate_for_insert(e.kmer);
       for (int i = 0; i < 8; ++i) {
         dst.edges[i].store(e.edges[i], std::memory_order_relaxed);
       }
@@ -284,7 +383,7 @@ class ConcurrentKmerTable {
   }
 
  private:
-  static void bump(Slot& slot, int edge_out, int edge_in) noexcept {
+  static void bump(Payload& slot, int edge_out, int edge_in) noexcept {
     slot.coverage.fetch_add(1, std::memory_order_relaxed);
     if (edge_out >= 0) {
       slot.edges[kEdgeOut + edge_out].fetch_add(1, std::memory_order_relaxed);
@@ -294,7 +393,7 @@ class ConcurrentKmerTable {
     }
   }
 
-  bool key_equals(const Slot& slot,
+  bool key_equals(const Payload& slot,
                   std::span<const std::uint64_t, W> words) const noexcept {
     for (int w = 0; w < W; ++w) {
       if (slot.key[w].load(std::memory_order_relaxed) != words[w]) {
@@ -304,7 +403,8 @@ class ConcurrentKmerTable {
     return true;
   }
 
-  VertexEntry<W> snapshot(const Slot& slot) const {
+  VertexEntry<W> snapshot(std::uint64_t idx) const {
+    const Payload& slot = payload_[idx];
     VertexEntry<W> entry;
     std::array<std::uint64_t, W> words;
     for (int w = 0; w < W; ++w) {
@@ -319,16 +419,17 @@ class ConcurrentKmerTable {
   }
 
   /// Insert-only probe used by grown(); the key must not exist yet.
-  Slot& locate_for_insert(const Kmer<W>& kmer) {
+  Payload& locate_for_insert(const Kmer<W>& kmer) {
     const auto words = kmer.words();
-    std::uint64_t idx = kmer.hash() & mask_;
+    const std::uint64_t hash = kmer.hash();
+    std::uint64_t idx = hash & mask_;
     for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
-      Slot& slot = slots_[idx];
-      if (slot.state.load(std::memory_order_relaxed) == kEmpty) {
+      if (meta_[idx].load(std::memory_order_relaxed) == kEmpty) {
+        Payload& slot = payload_[idx];
         for (int w = 0; w < W; ++w) {
           slot.key[w].store(words[w], std::memory_order_relaxed);
         }
-        slot.state.store(kOccupied, std::memory_order_relaxed);
+        meta_[idx].store(occupied_byte(hash), std::memory_order_relaxed);
         distinct_.fetch_add(1, std::memory_order_relaxed);
         return slot;
       }
@@ -339,7 +440,8 @@ class ConcurrentKmerTable {
 
   int k_;
   std::uint64_t mask_;
-  std::vector<Slot> slots_;
+  std::vector<std::atomic<std::uint8_t>> meta_;
+  std::vector<Payload> payload_;
   std::atomic<std::uint64_t> distinct_{0};
 };
 

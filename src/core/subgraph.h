@@ -20,8 +20,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "concurrent/batched_upsert.h"
 #include "concurrent/bloom.h"
 #include "concurrent/kmer_table.h"
 #include "concurrent/thread_pool.h"
@@ -51,6 +53,13 @@ struct HashConfig {
   bool singleton_prefilter = false;
   double bloom_cells_per_kmer = 4.0;
   int bloom_hashes = 3;
+
+  /// Upsert window for the group-prefetch front-end
+  /// (concurrent/batched_upsert.h): canonical kmers are rolled out a
+  /// window at a time, their home slots prefetched, then the window is
+  /// drained through the table. <= 1 disables batching (the scalar
+  /// oracle path the exactness tests compare against).
+  int upsert_batch = concurrent::BatchedUpserter<1>::kDefaultWindow;
 };
 
 template <int W>
@@ -64,22 +73,27 @@ struct SubgraphBuildResult {
 
 /// Device-agnostic Step-2 kernel: rolls out and upserts the core kmers of
 /// records [begin, end) (indices into `offsets`). Safe to call from many
-/// threads on disjoint ranges over the same table.
+/// threads on disjoint ranges over the same table. `upsert_batch` > 1
+/// routes upserts through the group-prefetch window; <= 1 is the scalar
+/// add() path (the oracle the batched path must match bit-for-bit).
 template <int W>
 void hash_process_records(const io::PartitionBlob& blob,
                           const std::vector<std::size_t>& offsets,
                           std::size_t begin, std::size_t end,
                           concurrent::ConcurrentKmerTable<W>& table,
                           concurrent::TableStats& stats,
-                          concurrent::CountingBloom* prefilter = nullptr) {
+                          concurrent::CountingBloom* prefilter = nullptr,
+                          int upsert_batch =
+                              concurrent::BatchedUpserter<W>::kDefaultWindow) {
   const int k = static_cast<int>(blob.header().k);
   std::vector<std::uint8_t> seq;
+  std::optional<concurrent::BatchedUpserter<W>> batcher;
+  if (upsert_batch > 1) batcher.emplace(table, stats, upsert_batch);
 
   for (std::size_t r = begin; r < end; ++r) {
     const io::SuperkmerView view = io::record_at(blob, offsets[r]);
     const int n = view.n_bases;
-    seq.resize(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) seq[i] = view.base(i);
+    view.decode_bases(seq);
 
     const int core_begin = view.core_begin();
     const int n_kmers = view.kmer_count(k);
@@ -117,9 +131,14 @@ void hash_process_records(const io::PartitionBlob& blob,
         edge_in = right >= 0 ? complement(static_cast<std::uint8_t>(right))
                              : -1;
       }
-      stats.absorb(table.add(canon, edge_out, edge_in));
+      if (batcher) {
+        batcher->push(canon, edge_out, edge_in);
+      } else {
+        stats.absorb(table.add(canon, edge_out, edge_in));
+      }
     }
   }
+  if (batcher) batcher->flush();
 }
 
 /// Builds one partition's subgraph. Sizes the table by the paper's rule
@@ -162,7 +181,8 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
       if (pool == nullptr || offsets.empty()) {
         concurrent::TableStats stats;
         hash_process_records<W>(blob, offsets, 0, offsets.size(), *table,
-                                stats, prefilter.get());
+                                stats, prefilter.get(),
+                                config.upsert_batch);
         result.stats = stats;
       } else {
         std::mutex chunk_mutex;
@@ -172,7 +192,8 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
             [&](std::uint64_t begin, std::uint64_t end) {
               concurrent::TableStats stats;
               hash_process_records<W>(blob, offsets, begin, end, *table,
-                                      stats, prefilter.get());
+                                      stats, prefilter.get(),
+                                      config.upsert_batch);
               std::lock_guard<std::mutex> lock(chunk_mutex);
               total.merge(stats);
             });

@@ -208,7 +208,7 @@ class SimGpuDevice final : public Device<W> {
                                      config.lambda, config.alpha, 0,
                                      config.min_slots);
     const std::uint64_t table_bytes =
-        slots * sizeof(typename concurrent::ConcurrentKmerTable<W>::Slot);
+        slots * concurrent::ConcurrentKmerTable<W>::bytes_per_slot();
     require_memory(blob.byte_size() + table_bytes, "partition + hash table");
 
     transfer(blob.byte_size(), config_.h2d_bytes_per_sec, stats_.bytes_h2d);

@@ -133,8 +133,7 @@ SimtStats simt_process_partition(const io::PartitionBlob& blob,
   for (const auto offset : io::record_offsets(blob)) {
     const auto view = io::record_at(blob, offset);
     const int n = view.n_bases;
-    seq.resize(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) seq[i] = view.base(i);
+    view.decode_bases(seq);
 
     const int core_begin = view.core_begin();
     Kmer<W> fwd(k);

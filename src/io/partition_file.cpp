@@ -39,9 +39,37 @@ void encode_superkmer_record(std::vector<std::uint8_t>& out,
   }
 }
 
+void SuperkmerView::decode_bases(std::uint8_t* out) const noexcept {
+  const int n = n_bases;
+  if (encoding != Encoding::kTwoBit) {
+    for (int i = 0; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(payload[i] & 3u);
+    }
+    return;
+  }
+  int i = 0;
+  const int full_bytes = n / 4;
+  for (int b = 0; b < full_bytes; ++b) {
+    const std::uint8_t packed = payload[b];
+    out[i++] = static_cast<std::uint8_t>(packed & 3u);
+    out[i++] = static_cast<std::uint8_t>((packed >> 2) & 3u);
+    out[i++] = static_cast<std::uint8_t>((packed >> 4) & 3u);
+    out[i++] = static_cast<std::uint8_t>((packed >> 6) & 3u);
+  }
+  if (i < n) {
+    std::uint8_t packed = payload[full_bytes];
+    for (; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(packed & 3u);
+      packed >>= 2;
+    }
+  }
+}
+
 std::string SuperkmerView::to_string() const {
+  std::vector<std::uint8_t> codes;
+  decode_bases(codes);
   std::string s(n_bases, 'A');
-  for (int i = 0; i < n_bases; ++i) s[i] = decode_base(base(i));
+  for (int i = 0; i < n_bases; ++i) s[i] = decode_base(codes[i]);
   return s;
 }
 

@@ -65,6 +65,19 @@ struct SuperkmerView {
     return static_cast<std::uint8_t>(payload[i] & 3u);
   }
 
+  /// Bulk-decodes all n_bases stored bases into `out[0, n_bases)`, one
+  /// 2-bit code per byte. Equivalent to base(i) for every i, but unpacks
+  /// four bases per payload byte instead of re-reading and re-shifting
+  /// the byte per base — the hot Step-2 kernels and the SIMT kernel use
+  /// this instead of a per-base copy loop. `out` must hold n_bases.
+  void decode_bases(std::uint8_t* out) const noexcept;
+
+  /// decode_bases into a reusable buffer (resized to n_bases).
+  void decode_bases(std::vector<std::uint8_t>& out) const {
+    out.resize(n_bases);
+    if (n_bases > 0) decode_bases(out.data());
+  }
+
   /// Number of core bases (the superkmer itself, without extensions).
   int core_len() const noexcept {
     return n_bases - (has_left ? 1 : 0) - (has_right ? 1 : 0);

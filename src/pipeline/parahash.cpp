@@ -183,6 +183,7 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   resizes_ = 0;
+  table_stats_ = concurrent::TableStats{};
   streamed_filtered_ = 0;
   streamed_stats_ = core::GraphStats{};
 
@@ -201,6 +202,7 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
   };
   callbacks.consume = [&](core::SubgraphBuildResult<W> result) {
     resizes_ += result.resizes;
+    table_stats_.merge(result.stats);
     if (options_.accumulate_graph) {
       graph.adopt_table(result.partition_id, *result.table,
                         /*min_coverage=*/0);
@@ -296,6 +298,7 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
   report.total_elapsed_seconds = total.seconds();
 
   report.resizes = resizes_;
+  report.step2_table = table_stats_;
   if (options_.accumulate_graph) {
     if (options_.min_coverage > 1) {
       report.filtered_vertices =

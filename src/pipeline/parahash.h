@@ -119,6 +119,10 @@ struct StepReport {
 struct RunReport {
   StepReport step1;
   StepReport step2;
+  /// Aggregate hash-table upsert statistics across every Step-2
+  /// partition build (probe counts, tag-reject vs full-key-compare
+  /// split, lock waits).
+  concurrent::TableStats step2_table;
   core::GraphStats graph;
   std::uint64_t filtered_vertices = 0;
   std::uint64_t partition_bytes = 0;  ///< total superkmer partition size
@@ -168,6 +172,7 @@ class ParaHash {
   io::Throttle input_throttle_;
   io::Throttle output_throttle_;
   int resizes_ = 0;
+  concurrent::TableStats table_stats_;   // aggregated over Step-2 builds
   core::GraphStats streamed_stats_;      // accumulate_graph == false
   std::uint64_t streamed_filtered_ = 0;  // accumulate_graph == false
 };

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "concurrent/batched_upsert.h"
+#include "concurrent/fatslot_table.h"
 #include "concurrent/kmer_table.h"
 #include "concurrent/mutex_table.h"
 #include "concurrent/thread_pool.h"
@@ -125,6 +127,10 @@ TEST(KmerTable, SequentialMatchesReference) {
   EXPECT_EQ(stats.adds, 3000u);
   EXPECT_EQ(stats.inserts, 200u);
   EXPECT_GE(stats.probes, stats.adds);
+  // Sequentially every probe step resolves as exactly one of: the
+  // empty-slot insertion, a tag-only reject, or a full key compare.
+  EXPECT_EQ(stats.probes,
+            stats.inserts + stats.tag_rejects + stats.key_compares);
 }
 
 TEST(KmerTable, MultiWordKeysWork) {
@@ -237,8 +243,190 @@ TEST(KmerTable, CapacityRoundsToPow2AndReportsMemory) {
   ConcurrentKmerTable<1> table(1000, 27);
   EXPECT_EQ(table.capacity(), 1024u);
   EXPECT_EQ(table.memory_bytes(),
-            1024 * sizeof(ConcurrentKmerTable<1>::Slot));
+            1024 * ConcurrentKmerTable<1>::bytes_per_slot());
   EXPECT_EQ(table.load_factor(), 0.0);
+}
+
+TEST(KmerTable, TagFiltersMostForeignProbes) {
+  // At a realistic load factor, probes that walk over foreign slots
+  // should resolve from the 6-bit tag alone almost always (~63/64);
+  // full key compares on foreign slots are the rare tag collisions.
+  const int k = 27;
+  const auto ops = make_ops<1>(1400, 20000, k, 90210);  // alpha ~ 0.68
+  ConcurrentKmerTable<1> table(2048, k);
+  TableStats stats;
+  for (const auto& op : ops) {
+    stats.absorb(
+        table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in));
+  }
+  // Every update ends in one successful full compare; compares beyond
+  // that are fingerprint collisions.
+  const std::uint64_t hits = stats.adds - stats.inserts;
+  ASSERT_GE(stats.key_compares, hits);
+  const std::uint64_t collisions = stats.key_compares - hits;
+  EXPECT_GT(stats.tag_rejects, 0u);
+  EXPECT_GT(stats.tag_filter_rate(), 0.0);
+  // Expected collision share is 1/64 of tag-decided probes; allow 8x.
+  EXPECT_LT(collisions, (stats.tag_rejects + collisions) / 8 + 1);
+}
+
+TEST(KmerTable, TagCollisionsFallBackToFullKeyCompare) {
+  // Brute-force distinct kmers that share BOTH the 6-bit tag and the
+  // home bucket of a small table: the fingerprint cannot tell them
+  // apart, so probing past each other's slots must run the full
+  // multi-word compare — and the table must stay exact.
+  const int k = 27;
+  const std::uint64_t capacity = 256;
+  const std::uint64_t mask = capacity - 1;
+  const int n_colliders = 8;
+
+  Rng rng(20260806);
+  std::vector<Kmer<1>> colliders;
+  std::set<std::string> unique;
+  std::uint64_t bucket0 = 0;
+  std::uint8_t meta0 = 0;
+  while (colliders.size() < n_colliders) {
+    const auto kmer = random_kmer<1>(rng, k);
+    const std::uint64_t h = kmer.hash();
+    const std::uint64_t bucket = h & mask;
+    const std::uint8_t meta = ConcurrentKmerTable<1>::occupied_byte(h);
+    if (colliders.empty()) {
+      bucket0 = bucket;
+      meta0 = meta;
+    } else if (bucket != bucket0 || meta != meta0) {
+      continue;
+    }
+    if (!unique.insert(kmer.to_string()).second) continue;
+    colliders.push_back(kmer);
+  }
+
+  ConcurrentKmerTable<1> table(capacity, k);
+  TableStats stats;
+  const int rounds = 3;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& kmer : colliders) {
+      stats.absorb(table.add(kmer, r & 3, -1));
+    }
+  }
+
+  EXPECT_EQ(table.size(), static_cast<std::uint64_t>(n_colliders));
+  for (const auto& kmer : colliders) {
+    const auto found = table.find(kmer);
+    ASSERT_TRUE(found.has_value()) << kmer.to_string();
+    EXPECT_EQ(found->coverage, static_cast<std::uint32_t>(rounds));
+    EXPECT_EQ(found->kmer, kmer);
+  }
+  // All keys share one tag and chain behind one bucket, so no probe is
+  // ever tag-rejected and later keys full-compare over earlier ones.
+  EXPECT_EQ(stats.tag_rejects, 0u);
+  EXPECT_GT(stats.key_compares, stats.adds);
+  EXPECT_EQ(stats.probes, stats.inserts + stats.key_compares);
+}
+
+TEST(KmerTable, BatchedUpserterMatchesScalarOracleUnderContention) {
+  // Exactness invariant 4 at the table level: 8 threads draining the
+  // group-prefetch window produce a table bit-identical to a
+  // single-threaded scalar add() oracle over the same operations.
+  const int k = 27;
+  const int threads = 8;
+  const int per_thread = 5000;
+  const auto ops = make_ops<1>(120, threads * per_thread, k, 99177);
+
+  ConcurrentKmerTable<1> oracle(1024, k);
+  for (const auto& op : ops) {
+    oracle.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+
+  ConcurrentKmerTable<1> table(1024, k);
+  std::vector<TableStats> stats(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      BatchedUpserter<1> batcher(table, stats[t]);
+      for (int i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        batcher.push(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
+                     ops[i].edge_in);
+      }
+    });  // destructor flushes the partial window
+  }
+  for (auto& w : workers) w.join();
+
+  TableStats total;
+  for (const auto& s : stats) total.merge(s);
+  EXPECT_EQ(total.adds, static_cast<std::uint64_t>(threads) * per_thread);
+  EXPECT_EQ(table.size(), oracle.size());
+  oracle.for_each([&](const VertexEntry<1>& e) {
+    const auto found = table.find(e.kmer);
+    ASSERT_TRUE(found.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
+TEST(KmerTable, BatchedUpserterFlushesPartialWindows) {
+  ConcurrentKmerTable<1> table(64, 21);
+  TableStats stats;
+  const auto kmer = Kmer<1>::from_string("ACGTACGTACGTACGTACGTA");
+  {
+    BatchedUpserter<1> batcher(table, stats, /*window=*/16);
+    for (int i = 0; i < 5; ++i) batcher.push(kmer, 1, 2);
+    batcher.flush();
+    EXPECT_EQ(stats.adds, 5u);  // explicit flush drains a partial window
+    for (int i = 0; i < 3; ++i) batcher.push(kmer, 1, 2);
+  }  // destructor drains the rest
+  EXPECT_EQ(stats.adds, 8u);
+  const auto found = table.find(kmer);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->coverage, 8u);
+  EXPECT_EQ(found->out_weight(1), 8u);
+}
+
+TEST(KmerTable, BatchedUpserterClampsWindow) {
+  ConcurrentKmerTable<1> table(64, 21);
+  TableStats stats;
+  BatchedUpserter<1> tiny(table, stats, 0);
+  EXPECT_EQ(tiny.window(), 1);
+  BatchedUpserter<1> huge(table, stats, 1 << 20);
+  EXPECT_EQ(huge.window(), BatchedUpserter<1>::kMaxWindow);
+}
+
+// ----------------------------------------------- FatSlotKmerTable
+
+TEST(FatSlotTable, AgreesWithSplitLayoutTable) {
+  // The ablation baseline (seed fat-slot layout) and the production
+  // split-layout table must accumulate identical contents.
+  const auto ops = make_ops<1>(150, 2000, 27, 13579);
+  ConcurrentKmerTable<1> split(512, 27);
+  FatSlotKmerTable<1> fat(512, 27);
+  for (const auto& op : ops) {
+    const auto kmer = Kmer<1>::from_string(op.kmer);
+    split.add(kmer, op.edge_out, op.edge_in);
+    fat.add(kmer, op.edge_out, op.edge_in);
+  }
+  EXPECT_EQ(split.size(), fat.size());
+  split.for_each([&](const VertexEntry<1>& e) {
+    const auto found = fat.find(e.kmer);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
+TEST(FatSlotTable, ConcurrentAddsMatchReference) {
+  const int threads = 8;
+  const auto ops = make_ops<1>(50, threads * 2000, 27, 8642);
+  FatSlotKmerTable<1> table(256, 27);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * 2000; i < (t + 1) * 2000; ++i) {
+        table.add(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
+                  ops[i].edge_in);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  check_against_reference<FatSlotKmerTable<1>, 1>(table, ops);
 }
 
 TEST(KmerTable, LockWaitStatisticsStayRare) {

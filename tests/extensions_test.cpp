@@ -287,7 +287,7 @@ TEST(CounterTable, ConcurrentCountsExact) {
 
 TEST(CounterTable, SlotSmallerThanGraphSlot) {
   EXPECT_LT(sizeof(concurrent::ConcurrentCounterTable<1>::Slot),
-            sizeof(concurrent::ConcurrentKmerTable<1>::Slot));
+            concurrent::ConcurrentKmerTable<1>::bytes_per_slot());
 }
 
 TEST(KmerCounter, MatchesGraphCoverage) {

@@ -147,6 +147,67 @@ TEST(Subgraph, ParallelBuildMatchesSerial) {
   EXPECT_TRUE(serial == parallel);
 }
 
+TEST(Subgraph, BatchedPrefetchPathMatchesScalarOracle) {
+  // Exactness invariant 4 for the group-prefetch front-end: the batched
+  // path under 8-thread contention must produce a graph bit-identical
+  // to the scalar add() oracle path built single-threaded.
+  const auto reads = simulate_reads(3000, 80, 12.0, 2.0, 4242);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 4;
+
+  HashConfig scalar_config;
+  scalar_config.upsert_batch = 1;  // scalar oracle
+  HashConfig batched_config;
+  batched_config.upsert_batch = 16;
+
+  concurrent::ThreadPool pool(8);
+  const auto oracle = build_via_partitions<1>(reads, config, scalar_config,
+                                              nullptr);
+  const auto batched = build_via_partitions<1>(reads, config,
+                                               batched_config, &pool);
+  EXPECT_TRUE(oracle == batched);
+}
+
+TEST(Subgraph, UpsertStatsReportTagFiltering) {
+  // The build result's table stats must carry the tag-reject /
+  // full-compare split and satisfy the per-probe accounting identity.
+  const auto reads = simulate_reads(2000, 80, 10.0, 2.0, 777);
+
+  MspConfig config;
+  config.k = 27;
+  config.p = 11;
+  config.num_partitions = 1;
+  HashConfig hash_config;
+  hash_config.alpha = 0.7;
+
+  io::TempDir dir("subgraph_stats");
+  io::PartitionSet partitions(dir.file("parts"),
+                              static_cast<std::uint32_t>(config.k),
+                              static_cast<std::uint32_t>(config.p), 1,
+                              config.encoding);
+  io::ReadBatch batch;
+  for (const auto& r : reads) batch.add(r);
+  MspBatchOutput out(1);
+  msp_process_range(batch, config, 0, batch.size(), out);
+  partitions.writer(0).append_raw(out.parts[0].bytes.data(),
+                                  out.parts[0].bytes.size(),
+                                  out.parts[0].superkmers,
+                                  out.parts[0].kmers, out.parts[0].bases);
+  const auto paths = partitions.close_all();
+  const auto blob = io::PartitionBlob::read_file(paths[0]);
+  const auto result = build_subgraph<1>(blob, hash_config, nullptr);
+
+  const auto& s = result.stats;
+  EXPECT_EQ(s.adds, blob.header().kmer_count);
+  EXPECT_EQ(s.inserts, result.table->size());
+  EXPECT_EQ(s.probes, s.inserts + s.tag_rejects + s.key_compares);
+  EXPECT_GE(s.tag_filter_rate(), 0.0);
+  EXPECT_LE(s.tag_filter_rate(), 1.0);
+}
+
 TEST(Subgraph, ByteEncodedPartitionsGiveSameGraph) {
   const auto reads = simulate_reads(1000, 60, 6.0, 1.0, 808);
 
