@@ -3,7 +3,8 @@
 //   parahash_cli build  <reads.fastq...> --graph=out.phdg [--k=27 --p=11
 //        --partitions=512 --gpus=0 --threads=N --min-coverage=0
 //        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
-//        --quality-trim=0 --max-open-files=0]
+//        --quality-trim=0 --max-open-files=0 --fuse-steps
+//        --inflight-table-budget=MB]
 //        (several input files — plain or .gz — concatenate)
 //   parahash_cli stats  <graph.phdg>
 //   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
@@ -58,6 +59,9 @@ int cmd_build(const Flags& flags) {
       static_cast<int>(flags.get_int("quality-trim", 0));
   options.max_open_partitions =
       static_cast<std::uint32_t>(flags.get_int("max-open-files", 0));
+  options.fuse_steps = flags.get_bool("fuse-steps");
+  options.inflight_table_budget_bytes = static_cast<std::uint64_t>(
+      flags.get_double("inflight-table-budget", 0) * 1e6);
 
   const std::string graph_path = flags.get("graph", "graph.phdg");
   const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
@@ -74,6 +78,15 @@ int cmd_build(const Flags& flags) {
               report.step2.times.elapsed_seconds,
               static_cast<unsigned long long>(report.step2.times.items),
               report.total_elapsed_seconds);
+  if (options.fuse_steps) {
+    std::printf("fused steps: overlap %.3f s", report.step_overlap_seconds);
+    if (options.inflight_table_budget_bytes > 0) {
+      std::printf(" (table budget %.1f MB)",
+                  static_cast<double>(options.inflight_table_budget_bytes) /
+                      1e6);
+    }
+    std::printf("\n");
+  }
   std::printf("vertices %llu (filtered %llu), partition bytes %llu, "
               "peak RSS %.1f MB\n",
               static_cast<unsigned long long>(report.graph.vertices),

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI entry point: the two workflow presets back to back — a Release
+# build running the full suite, then a ThreadSanitizer build running
+# the tsan-labelled concurrency tests (concurrent tables, SIMT kernel,
+# subgraph builds, partition-lifecycle scheduler).
+#
+#   scripts/ci.sh            both workflows
+#   scripts/ci.sh default    Release + full suite only
+#   scripts/ci.sh tsan       ThreadSanitizer subset only
+set -eu
+cd "$(dirname "$0")/.."
+
+run_default=1
+run_tsan=1
+case "${1:-all}" in
+  all) ;;
+  default) run_tsan=0 ;;
+  tsan) run_default=0 ;;
+  *) echo "usage: $0 [all|default|tsan]" >&2; exit 2 ;;
+esac
+
+[ "$run_default" -eq 1 ] && cmake --workflow --preset ci-default
+[ "$run_tsan" -eq 1 ] && cmake --workflow --preset ci-tsan

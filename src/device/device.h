@@ -77,6 +77,14 @@ class Device {
   virtual const std::string& name() const = 0;
   virtual DeviceKind kind() const = 0;
 
+  /// Exclusive-use lease for fused runs. When the Step-1 and Step-2
+  /// executors share one device set, each worker locks the lease around
+  /// a kernel call, so a device only serves the other step while it is
+  /// idle in this one (the fused scheduler's idle-handoff). Also makes
+  /// the device's stats counters safe to update from both steps'
+  /// workers. Uncontended (single-executor runs) it costs one atomic op.
+  std::mutex& lease() { return lease_mutex_; }
+
   /// Step-1 kernel: scan a read batch into per-partition superkmers.
   virtual core::MspBatchOutput run_msp(const io::ReadBatch& batch,
                                        const core::MspConfig& config) = 0;
@@ -88,6 +96,9 @@ class Device {
       const io::PartitionBlob& blob, const core::HashConfig& config) = 0;
 
   virtual DeviceStats stats() const = 0;
+
+ private:
+  std::mutex lease_mutex_;
 };
 
 template <int W>

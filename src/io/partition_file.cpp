@@ -218,7 +218,7 @@ SuperkmerView record_at(const PartitionBlob& blob, std::size_t offset) {
 PartitionSet::PartitionSet(const std::string& dir, std::uint32_t k,
                            std::uint32_t p, std::uint32_t num_partitions,
                            Encoding encoding, std::uint32_t first_id)
-    : dir_(dir), first_id_(first_id) {
+    : dir_(dir), first_id_(first_id), sealed_(num_partitions, false) {
   PARAHASH_CHECK_MSG(num_partitions >= 1, "need at least one partition");
   std::filesystem::create_directories(dir_);
   writers_.reserve(num_partitions);
@@ -233,12 +233,30 @@ std::string PartitionSet::partition_path(std::uint32_t partition_id) const {
   return dir_ + "/part_" + std::to_string(partition_id) + ".phsk";
 }
 
+SealedPartition PartitionSet::seal(std::uint32_t partition_id) {
+  PARAHASH_CHECK_MSG(covers(partition_id),
+                     "seal: partition id not covered by this set");
+  const std::uint32_t index = partition_id - first_id_;
+  PartitionWriter& w = *writers_[index];
+  w.close();
+  SealedPartition part;
+  part.id = partition_id;
+  part.path = partition_path(partition_id);
+  part.bytes = w.bytes_written();
+  part.superkmers = w.header().superkmer_count;
+  part.kmers = w.header().kmer_count;
+  if (!sealed_[index]) {
+    sealed_[index] = true;
+    if (seal_hook_) seal_hook_(part);
+  }
+  return part;
+}
+
 std::vector<std::string> PartitionSet::close_all() {
   std::vector<std::string> paths;
   paths.reserve(writers_.size());
   for (std::uint32_t i = 0; i < writers_.size(); ++i) {
-    writers_[i]->close();
-    paths.push_back(partition_path(first_id_ + i));
+    paths.push_back(seal(first_id_ + i).path);
   }
   return paths;
 }

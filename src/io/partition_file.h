@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -188,6 +189,17 @@ std::vector<std::size_t> record_offsets(const PartitionBlob& blob);
 /// Decodes the record at `offset` (must come from record_offsets).
 SuperkmerView record_at(const PartitionBlob& blob, std::size_t offset);
 
+/// A partition file Step 1 has finished writing: everything a Step-2
+/// scheduler needs to plan hashing it (table sizing included) without
+/// reopening the file header.
+struct SealedPartition {
+  std::uint32_t id = 0;          ///< global partition id
+  std::string path;              ///< final on-disk location
+  std::uint64_t bytes = 0;       ///< file size, for IO accounting
+  std::uint64_t superkmers = 0;  ///< record count
+  std::uint64_t kmers = 0;       ///< Property-1 table sizing input
+};
+
 /// Writers for a contiguous range of partition ids [first_id,
 /// first_id + count). Most runs cover all partitions in one set; when
 /// the partition count exceeds the open-file-handle budget (the paper
@@ -195,6 +207,12 @@ SuperkmerView record_at(const PartitionBlob& blob, std::size_t offset);
 /// each with a PartitionSet covering one id range.
 class PartitionSet {
  public:
+  /// Fired once per partition the moment its file is sealed (counts
+  /// patched, stream closed). A fused pipeline publishes the sealed
+  /// partition to the Step-2 scheduler from here, so hashing can start
+  /// while later partitions (or later passes) are still being written.
+  using SealHook = std::function<void(const SealedPartition&)>;
+
   PartitionSet(const std::string& dir, std::uint32_t k, std::uint32_t p,
                std::uint32_t num_partitions,
                Encoding encoding = Encoding::kTwoBit,
@@ -215,8 +233,15 @@ class PartitionSet {
   }
   std::uint32_t first_id() const { return first_id_; }
 
-  /// Closes all writers and returns the path of each partition file in
-  /// this set (ordered by id).
+  void set_seal_hook(SealHook hook) { seal_hook_ = std::move(hook); }
+
+  /// Closes one partition's writer, fires the seal hook, and returns the
+  /// sealed-file description. Idempotent per id (later calls re-return
+  /// the description without re-firing the hook).
+  SealedPartition seal(std::uint32_t partition_id);
+
+  /// Seals all remaining writers in id order and returns the path of
+  /// each partition file in this set (ordered by id).
   std::vector<std::string> close_all();
 
   std::string partition_path(std::uint32_t partition_id) const;
@@ -227,6 +252,8 @@ class PartitionSet {
   std::string dir_;
   std::uint32_t first_id_ = 0;
   std::vector<std::unique_ptr<PartitionWriter>> writers_;
+  std::vector<bool> sealed_;
+  SealHook seal_hook_;
 };
 
 }  // namespace parahash::io

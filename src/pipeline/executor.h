@@ -31,11 +31,26 @@ struct StageTimes {
   double compute_seconds = 0;  ///< sum of device compute call time
   double output_seconds = 0;   ///< consuming (serialise + write) time
   std::uint64_t items = 0;
+
+  /// Field-wise accumulation (multi-pass Step 1, fused-run merging).
+  StageTimes& operator+=(const StageTimes& other) {
+    elapsed_seconds += other.elapsed_seconds;
+    input_seconds += other.input_seconds;
+    compute_seconds += other.compute_seconds;
+    output_seconds += other.output_seconds;
+    items += other.items;
+    return *this;
+  }
 };
 
 /// Callbacks defining one step of the system. `produce` fills an In and
 /// returns false when the input is exhausted; `compute` maps an In to an
 /// Out on a given device; `consume` writes an Out.
+///
+/// Steps compose into a fused pipeline through their callbacks: one
+/// step's consume stage can publish finished units into a
+/// PartitionLedger, and the next step's produce stage claims from that
+/// same ledger — no executor-level coupling required.
 template <typename In, typename Out, int W>
 struct StepCallbacks {
   std::function<bool(In&)> produce;
@@ -43,16 +58,28 @@ struct StepCallbacks {
   std::function<void(Out)> consume;
 };
 
+/// Knobs common to both executors.
+struct ExecutorOptions {
+  std::size_t queue_depth = 3;
+
+  /// Fused runs drive TWO executors (one per step) over the SAME device
+  /// set. Setting this makes each worker hold its device's lease for
+  /// the duration of a compute call, so a device serves the other step
+  /// exactly while it is idle in this one — the idle-handoff that lets
+  /// Step 2 start hashing sealed partitions during Step 1's tail.
+  bool exclusive_devices = false;
+};
+
 template <typename In, typename Out, int W>
 StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
                          const StepCallbacks<In, Out, W>& callbacks,
-                         std::size_t queue_depth) {
+                         const ExecutorOptions& options) {
   PARAHASH_CHECK_MSG(!devices.empty(), "need at least one device");
   WallTimer total_timer;
   StageTimes times;
 
-  TicketQueue<In> input_queue(queue_depth);
-  OutputQueue<Out> output_queue(queue_depth);
+  TicketQueue<In> input_queue(options.queue_depth);
+  OutputQueue<Out> output_queue(options.queue_depth);
   output_queue.set_expected_producers(static_cast<int>(devices.size()));
 
   // Items a device rejected for capacity; drained by CPU devices after
@@ -94,9 +121,16 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
       try {
         while (auto ticket = input_queue.pop()) {
           try {
+            std::unique_lock<std::mutex> lease;
+            if (options.exclusive_devices) {
+              lease = std::unique_lock<std::mutex>(dev->lease());
+            }
             WallTimer timer;
             Out out = callbacks.compute(*dev, ticket->second);
             compute_seconds.add(timer.seconds());
+            // Release the device before a potentially blocking push so
+            // the other step can take it while our output queue is full.
+            if (lease.owns_lock()) lease.unlock();
             output_queue.push(std::move(out));
           } catch (const DeviceCapacityError&) {
             std::lock_guard<std::mutex> lock(overflow_mutex);
@@ -113,9 +147,14 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
               item = std::move(overflow.back());
               overflow.pop_back();
             }
+            std::unique_lock<std::mutex> lease;
+            if (options.exclusive_devices) {
+              lease = std::unique_lock<std::mutex>(dev->lease());
+            }
             WallTimer timer;
             Out out = callbacks.compute(*dev, item);
             compute_seconds.add(timer.seconds());
+            if (lease.owns_lock()) lease.unlock();
             output_queue.push(std::move(out));
           }
         }
@@ -169,8 +208,18 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
 }
 
 template <typename In, typename Out, int W>
+StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
+                         const StepCallbacks<In, Out, W>& callbacks,
+                         std::size_t queue_depth) {
+  ExecutorOptions options;
+  options.queue_depth = queue_depth;
+  return run_pipelined(devices, callbacks, options);
+}
+
+template <typename In, typename Out, int W>
 StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
-                          const StepCallbacks<In, Out, W>& callbacks) {
+                          const StepCallbacks<In, Out, W>& callbacks,
+                          const ExecutorOptions& options = {}) {
   PARAHASH_CHECK_MSG(!devices.empty(), "need at least one device");
   WallTimer total_timer;
   StageTimes times;
@@ -192,6 +241,10 @@ StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
       device::Device<W>* dev = devices[(next_device + tried) %
                                        devices.size()];
       try {
+        std::unique_lock<std::mutex> lease;
+        if (options.exclusive_devices) {
+          lease = std::unique_lock<std::mutex>(dev->lease());
+        }
         ScopedTimer timer(times.compute_seconds);
         out = callbacks.compute(*dev, item);
         computed = true;

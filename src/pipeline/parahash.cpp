@@ -1,16 +1,19 @@
+// ParaHash driver: construction of the device set, the unfused
+// (Step 1 then Step 2) and fused (Step 1 ∥ Step 2 through the partition
+// ledger) orchestration, and report finalisation. The step bodies live
+// in step1_partition.cpp and step2_hash.cpp.
 #include "pipeline/parahash.h"
 
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <thread>
 
-#include "io/fastx.h"
-#include "io/partition_file.h"
-#include "util/rng.h"
+#include "core/properties.h"
+#include "pipeline/partition_ledger.h"
 #include "util/log.h"
 #include "util/mem.h"
+#include "util/rng.h"
 
 namespace parahash::pipeline {
 
@@ -39,6 +42,29 @@ std::string make_partition_dir(const std::string& requested, bool* owned) {
   throw IoError("parahash: could not create a partition directory");
 }
 
+/// Splits a fused run's whole-run device-stat delta into per-step
+/// shares: the MSP counters can only have moved in Step 1, the hashing
+/// counters only in Step 2. Transfer time and bytes are charged to the
+/// Step-2 share (hash staging dominates them; with both steps live on
+/// the device concurrently a finer split would be fiction).
+device::DeviceStats msp_share(device::DeviceStats d) {
+  d.hash_partitions = 0;
+  d.hash_kmers = 0;
+  d.hash_vertices = 0;
+  d.hash_compute_seconds = 0;
+  d.transfer_seconds = 0;
+  d.bytes_h2d = 0;
+  d.bytes_d2h = 0;
+  return d;
+}
+
+device::DeviceStats hash_share(device::DeviceStats d) {
+  d.msp_batches = 0;
+  d.msp_reads = 0;
+  d.msp_compute_seconds = 0;
+  return d;
+}
+
 }  // namespace
 
 template <int W>
@@ -54,6 +80,9 @@ ParaHash<W>::ParaHash(Options options)
 
   partition_dir_ = make_partition_dir(options_.work_dir,
                                       &own_partition_dir_);
+  if (!options_.subgraph_dir.empty()) {
+    std::filesystem::create_directories(options_.subgraph_dir);
+  }
 
   if (options_.use_cpu) {
     int threads = options_.cpu_threads;
@@ -73,9 +102,38 @@ ParaHash<W>::ParaHash(Options options)
 template <int W>
 ParaHash<W>::~ParaHash() {
   if (own_partition_dir_ && !options_.keep_partitions) {
-    std::error_code ec;
-    std::filesystem::remove_all(partition_dir_, ec);  // best effort
+    if (subgraphs_in_partition_dir()) {
+      // The directory now holds the run's subgraph outputs; remove only
+      // our partition files and leave the outputs for the caller
+      // (regression: remove_all here used to delete the subgraphs the
+      // run had just written).
+      cleanup_partition_files();
+    } else {
+      std::error_code ec;
+      std::filesystem::remove_all(partition_dir_, ec);  // best effort
+    }
   }
+}
+
+template <int W>
+void ParaHash<W>::cleanup_partition_files() noexcept {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::directory_iterator it(partition_dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".phsk") {
+      std::error_code remove_ec;
+      fs::remove(it->path(), remove_ec);
+    }
+  }
+}
+
+template <int W>
+std::string ParaHash<W>::subgraph_path(std::uint32_t partition_id) const {
+  const std::string& dir = options_.subgraph_dir.empty()
+                               ? partition_dir_
+                               : options_.subgraph_dir;
+  return dir + "/subgraph_" + std::to_string(partition_id) + ".bin";
 }
 
 template <int W>
@@ -87,216 +145,9 @@ std::vector<device::Device<W>*> ParaHash<W>::devices() {
 }
 
 template <int W>
-std::vector<std::string> ParaHash<W>::run_partitioning(
-    const std::string& input_path, StepReport& report) {
-  return run_partitioning(std::vector<std::string>{input_path}, report);
-}
-
-template <int W>
-std::vector<std::string> ParaHash<W>::run_partitioning(
-    const std::vector<std::string>& input_paths, StepReport& report) {
-  const std::uint32_t total_partitions = options_.msp.num_partitions;
-  const std::uint32_t per_pass =
-      options_.max_open_partitions == 0
-          ? total_partitions
-          : std::min(options_.max_open_partitions, total_partitions);
-
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-  std::vector<std::string> all_paths;
-  all_paths.reserve(total_partitions);
-
-  const auto devs = devices();
-  std::vector<device::DeviceStats> before;
-  for (auto* dev : devs) before.push_back(dev->stats());
-  report.times = StageTimes{};
-
-  // One pass per id range; multiple passes re-read the input (bounded
-  // open file handles, the multi-pass MSP trade).
-  for (std::uint32_t first = 0; first < total_partitions;
-       first += per_pass) {
-    const std::uint32_t count =
-        std::min(per_pass, total_partitions - first);
-    io::FastxChunker chunker(input_paths, options_.batch_bases,
-                             options_.quality_trim_phred);
-    io::PartitionSet partitions(
-        partition_dir_, static_cast<std::uint32_t>(options_.msp.k),
-        static_cast<std::uint32_t>(options_.msp.p), count,
-        options_.msp.encoding, first);
-
-    StepCallbacks<io::ReadBatch, core::MspBatchOutput, W> callbacks;
-    callbacks.produce = [&](io::ReadBatch& batch) {
-      if (!chunker.next(batch)) return false;
-      // Charge the input channel with the batch's share of the file.
-      const std::uint64_t bytes = batch.total_bases();
-      input_throttle_.consume(bytes);
-      bytes_in += bytes;
-      return true;
-    };
-    callbacks.compute = [&](device::Device<W>& dev,
-                            const io::ReadBatch& batch) {
-      return dev.run_msp(batch, options_.msp);
-    };
-    callbacks.consume = [&](core::MspBatchOutput out) {
-      for (std::uint32_t part = first; part < first + count; ++part) {
-        const auto& p = out.parts[part];
-        if (p.bytes.empty()) continue;
-        partitions.writer(part).append_raw(p.bytes.data(), p.bytes.size(),
-                                           p.superkmers, p.kmers, p.bases);
-        output_throttle_.consume(p.bytes.size());
-        bytes_out += p.bytes.size();
-      }
-    };
-
-    const StageTimes pass_times =
-        options_.pipelined
-            ? run_pipelined(devs, callbacks, options_.queue_depth)
-            : run_sequential(devs, callbacks);
-    report.times.elapsed_seconds += pass_times.elapsed_seconds;
-    report.times.input_seconds += pass_times.input_seconds;
-    report.times.compute_seconds += pass_times.compute_seconds;
-    report.times.output_seconds += pass_times.output_seconds;
-    report.times.items += pass_times.items;
-
-    for (auto& path : partitions.close_all()) {
-      all_paths.push_back(std::move(path));
-    }
-  }
-
-  report.bytes_in = bytes_in;
-  report.bytes_out = bytes_out;
-  for (std::size_t i = 0; i < devs.size(); ++i) {
-    report.devices.push_back(DeviceReport{
-        devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
-  }
-  return all_paths;
-}
-
-template <int W>
-core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
-    const std::vector<std::string>& partition_paths, StepReport& report) {
-  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
-                               options_.msp.num_partitions);
-  PARAHASH_CHECK(partition_paths.size() == options_.msp.num_partitions);
-
-  std::size_t next_path = 0;
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-  resizes_ = 0;
-  table_stats_ = concurrent::TableStats{};
-  streamed_filtered_ = 0;
-  streamed_stats_ = core::GraphStats{};
-
-  StepCallbacks<io::PartitionBlob, core::SubgraphBuildResult<W>, W>
-      callbacks;
-  callbacks.produce = [&](io::PartitionBlob& blob) {
-    if (next_path >= partition_paths.size()) return false;
-    blob = io::PartitionBlob::read_file(partition_paths[next_path++]);
-    input_throttle_.consume(blob.byte_size());
-    bytes_in += blob.byte_size();
-    return true;
-  };
-  callbacks.compute = [&](device::Device<W>& dev,
-                          const io::PartitionBlob& blob) {
-    return dev.run_hash(blob, options_.hash);
-  };
-  callbacks.consume = [&](core::SubgraphBuildResult<W> result) {
-    resizes_ += result.resizes;
-    table_stats_.merge(result.stats);
-    if (options_.accumulate_graph) {
-      graph.adopt_table(result.partition_id, *result.table,
-                        /*min_coverage=*/0);
-    } else {
-      // Streamed mode: fold this subgraph into the aggregate statistics
-      // and let the table go (the paper's big-genome protocol).
-      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
-        if (options_.min_coverage > 1 &&
-            e.coverage < options_.min_coverage) {
-          ++streamed_filtered_;
-          return;
-        }
-        ++streamed_stats_.vertices;
-        streamed_stats_.total_coverage += e.coverage;
-        for (int i = 0; i < 8; ++i) {
-          streamed_stats_.edge_counter_total += e.edges[i];
-        }
-        for (int b = 0; b < 4; ++b) {
-          streamed_stats_.distinct_edges +=
-              e.edges[concurrent::kEdgeOut + b] > 0;
-        }
-        if (e.out_degree() > 1 || e.in_degree() > 1) {
-          ++streamed_stats_.branching_vertices;
-        }
-      });
-    }
-    if (options_.write_subgraphs) {
-      // The Step-2 output stage: serialise this subgraph to disk
-      // (~32 bytes per vertex, the paper's <vertex, list of edges>
-      // sizing) and charge the output channel.
-      const std::string path = partition_dir_ + "/subgraph_" +
-                               std::to_string(result.partition_id) +
-                               ".bin";
-      std::ofstream file(path, std::ios::binary);
-      if (!file) throw IoError("parahash: cannot open " + path);
-      const std::uint32_t k32 = static_cast<std::uint32_t>(options_.msp.k);
-      const std::uint64_t count = result.table->size();
-      file.write(reinterpret_cast<const char*>(&k32), sizeof(k32));
-      file.write(reinterpret_cast<const char*>(&result.partition_id),
-                 sizeof(result.partition_id));
-      file.write(reinterpret_cast<const char*>(&count), sizeof(count));
-      std::uint64_t bytes = sizeof(k32) + sizeof(result.partition_id) +
-                            sizeof(count);
-      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
-        const auto words = e.kmer.words();
-        file.write(reinterpret_cast<const char*>(words.data()),
-                   W * sizeof(std::uint64_t));
-        file.write(reinterpret_cast<const char*>(&e.coverage),
-                   sizeof(e.coverage));
-        file.write(reinterpret_cast<const char*>(e.edges.data()),
-                   8 * sizeof(std::uint32_t));
-        bytes += W * sizeof(std::uint64_t) + 9 * sizeof(std::uint32_t);
-      });
-      file.close();
-      if (file.fail()) throw IoError("parahash: write failure on " + path);
-      output_throttle_.consume(bytes);
-      bytes_out += bytes;
-    }
-  };
-
-  const auto devs = devices();
-  std::vector<device::DeviceStats> before;
-  for (auto* dev : devs) before.push_back(dev->stats());
-  report.times = options_.pipelined
-                     ? run_pipelined(devs, callbacks, options_.queue_depth)
-                     : run_sequential(devs, callbacks);
-  report.bytes_in = bytes_in;
-  report.bytes_out = bytes_out;
-  for (std::size_t i = 0; i < devs.size(); ++i) {
-    report.devices.push_back(DeviceReport{
-        devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
-  }
-  return graph;
-}
-
-template <int W>
-std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
-    const std::string& input_path) {
-  return construct(std::vector<std::string>{input_path});
-}
-
-template <int W>
-std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
-    const std::vector<std::string>& input_paths) {
-  RunReport report;
-  WallTimer total;
-
-  const std::vector<std::string> paths =
-      run_partitioning(input_paths, report.step1);
+void ParaHash<W>::finalize_report(core::DeBruijnGraph<W>& graph,
+                                  RunReport& report) {
   report.partition_bytes = report.step1.bytes_out;
-
-  core::DeBruijnGraph<W> graph = run_hashing(paths, report.step2);
-  report.total_elapsed_seconds = total.seconds();
-
   report.resizes = resizes_;
   report.step2_table = table_stats_;
   if (options_.accumulate_graph) {
@@ -312,10 +163,114 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
   report.peak_rss_bytes = peak_rss_bytes();
 
   if (own_partition_dir_ && !options_.keep_partitions) {
-    std::error_code ec;
-    std::filesystem::remove_all(partition_dir_, ec);
-    std::filesystem::create_directories(partition_dir_, ec);
+    cleanup_partition_files();
   }
+}
+
+template <int W>
+std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
+    const std::string& input_path) {
+  return construct(std::vector<std::string>{input_path});
+}
+
+template <int W>
+std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
+    const std::vector<std::string>& input_paths) {
+  if (options_.fuse_steps) return construct_fused(input_paths);
+
+  RunReport report;
+  WallTimer total;
+
+  const std::vector<std::string> paths = run_partitioning_impl(
+      input_paths, report.step1, /*ledger=*/nullptr,
+      /*device_reports=*/true, /*exclusive_devices=*/false);
+
+  VectorPartitionStream stream(paths);
+  core::DeBruijnGraph<W> graph = run_hashing_impl(
+      stream, report.step2, /*device_reports=*/true,
+      /*exclusive_devices=*/false);
+  report.total_elapsed_seconds = total.seconds();
+
+  finalize_report(graph, report);
+  return {std::move(graph), std::move(report)};
+}
+
+template <int W>
+std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
+    const std::vector<std::string>& input_paths) {
+  RunReport report;
+  WallTimer total;
+
+  // Both steps run concurrently on a shared device set, so per-step
+  // device deltas are taken around the whole fused run and split by
+  // counter family afterwards.
+  const auto devs = devices();
+  std::vector<device::DeviceStats> before;
+  before.reserve(devs.size());
+  for (auto* dev : devs) before.push_back(dev->stats());
+
+  PartitionLedger ledger(
+      options_.inflight_table_budget_bytes,
+      [this](const io::SealedPartition& part) {
+        const std::uint64_t slots =
+            options_.hash.slots_override != 0
+                ? options_.hash.slots_override
+                : core::hash_table_slots(part.kmers, options_.hash.lambda,
+                                         options_.hash.alpha,
+                                         /*genome_kmers_share=*/0,
+                                         options_.hash.min_slots);
+        return slots *
+               concurrent::ConcurrentKmerTable<W>::bytes_per_slot();
+      });
+
+  std::exception_ptr step1_error;
+  double step1_end_seconds = 0;
+  std::thread step1_thread([&] {
+    try {
+      run_partitioning_impl(input_paths, report.step1, &ledger,
+                            /*device_reports=*/false,
+                            /*exclusive_devices=*/true);
+    } catch (...) {
+      step1_error = std::current_exception();
+      ledger.abort();  // unblock Step-2 claims; partial run ends fast
+    }
+    step1_end_seconds = total.seconds();
+    ledger.close();
+  });
+
+  LedgerPartitionStream stream(ledger);
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+  std::exception_ptr step2_error;
+  try {
+    graph = run_hashing_impl(stream, report.step2,
+                             /*device_reports=*/false,
+                             /*exclusive_devices=*/true);
+  } catch (...) {
+    step2_error = std::current_exception();
+    ledger.abort();  // drop unclaimed partitions; Step 1 publishes no-op
+  }
+  const double step2_end_seconds = total.seconds();
+  step1_thread.join();
+
+  if (step1_error) std::rethrow_exception(step1_error);
+  if (step2_error) std::rethrow_exception(step2_error);
+
+  report.total_elapsed_seconds = total.seconds();
+  // Both steps went active at ~t=0 (thread launch); the concurrently
+  // active window therefore ends when the first of them finishes.
+  report.step_overlap_seconds =
+      std::min(step1_end_seconds, step2_end_seconds);
+
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    const device::DeviceStats delta = devs[i]->stats() - before[i];
+    report.step1.devices.push_back(DeviceReport{
+        devs[i]->name(), devs[i]->kind(), msp_share(delta)});
+    report.step2.devices.push_back(DeviceReport{
+        devs[i]->name(), devs[i]->kind(), hash_share(delta)});
+  }
+
+  finalize_report(graph, report);
   return {std::move(graph), std::move(report)};
 }
 

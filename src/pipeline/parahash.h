@@ -31,8 +31,11 @@
 #include "device/device.h"
 #include "io/throttle.h"
 #include "pipeline/executor.h"
+#include "pipeline/partition_stream.h"
 
 namespace parahash::pipeline {
+
+class PartitionLedger;
 
 /// Full system configuration.
 struct Options {
@@ -65,10 +68,32 @@ struct Options {
   /// bounded file handles.
   std::uint32_t max_open_partitions = 0;
 
+  // --- Step fusion -------------------------------------------------
+  /// Overlap Step 2 with Step 1 through the partition ledger: as soon
+  /// as Step 1 seals a partition file, an idle device may start hashing
+  /// it while Step 1 is still writing later partitions or later
+  /// multi-pass id ranges. Fused and unfused runs produce bit-identical
+  /// graphs; the win is wall-clock in disk-bound regimes, reported as
+  /// RunReport::step_overlap_seconds.
+  bool fuse_steps = false;
+
+  /// Upper bound (bytes) on the estimated size of all Step-2 hash
+  /// tables in flight at once during a fused run; claims past the
+  /// budget wait until earlier subgraphs retire, so peak RSS stays at a
+  /// few tables however far Step 1 runs ahead. 0 = no explicit budget
+  /// (the executor's queue depth still bounds the count).
+  std::uint64_t inflight_table_budget_bytes = 0;
+
   // --- IO regime ---------------------------------------------------
   double input_bytes_per_sec = 0;   ///< 0 = memory-cached file (Case 1)
   double output_bytes_per_sec = 0;  ///< 0 = unmetered
   bool write_subgraphs = false;     ///< Step-2 output stage writes to disk
+
+  /// Directory for Step-2 subgraph files (write_subgraphs). Empty = the
+  /// partition directory; an owned temp partition directory then
+  /// survives the run so the subgraph outputs do too (only the
+  /// superkmer partition files are cleaned up).
+  std::string subgraph_dir;
 
   // --- Result ------------------------------------------------------
   std::uint32_t min_coverage = 0;  ///< filter threshold for final graph
@@ -129,6 +154,11 @@ struct RunReport {
   int resizes = 0;
   double total_elapsed_seconds = 0;
   std::uint64_t peak_rss_bytes = 0;
+
+  /// Seconds Step 1 and Step 2 were concurrently active. Zero for
+  /// unfused runs (the steps execute back-to-back); for fused runs this
+  /// is the wall-clock the fusion reclaimed from the hard barrier.
+  double step_overlap_seconds = 0;
 };
 
 /// The system, fixed to kmers of W 64-bit words (W=1 covers k <= 32).
@@ -158,12 +188,48 @@ class ParaHash {
   core::DeBruijnGraph<W> run_hashing(
       const std::vector<std::string>& partition_paths, StepReport& report);
 
+  /// Step 2 over a stream of sealed partitions (possibly still growing
+  /// — this is the fused scheduler's entry point, but any
+  /// PartitionStream works).
+  core::DeBruijnGraph<W> run_hashing(PartitionStream& stream,
+                                     StepReport& report);
+
   const Options& options() const { return options_; }
+
+  /// Where partition files (and, by default, subgraph files) live.
+  const std::string& partition_dir() const { return partition_dir_; }
 
   /// The devices, in scheduling order (for tests and benches).
   std::vector<device::Device<W>*> devices();
 
  private:
+  // Step implementations shared by the fused and unfused drivers. A
+  // non-null `ledger` publishes each partition into it the moment the
+  // partition seals; `device_reports=false` skips per-step device stat
+  // deltas (the fused driver snapshots devices around both steps,
+  // since they run concurrently); `exclusive_devices` routes through
+  // the per-device lease (see ExecutorOptions).
+  std::vector<std::string> run_partitioning_impl(
+      const std::vector<std::string>& input_paths, StepReport& report,
+      PartitionLedger* ledger, bool device_reports,
+      bool exclusive_devices);
+  core::DeBruijnGraph<W> run_hashing_impl(PartitionStream& stream,
+                                          StepReport& report,
+                                          bool device_reports,
+                                          bool exclusive_devices);
+  std::pair<core::DeBruijnGraph<W>, RunReport> construct_fused(
+      const std::vector<std::string>& input_paths);
+  void finalize_report(core::DeBruijnGraph<W>& graph, RunReport& report);
+  std::string subgraph_path(std::uint32_t partition_id) const;
+  /// True when subgraph outputs live inside the partition directory and
+  /// must survive partition cleanup.
+  bool subgraphs_in_partition_dir() const {
+    return options_.write_subgraphs && options_.subgraph_dir.empty();
+  }
+  /// Removes the run's superkmer partition files but never the subgraph
+  /// outputs that may share the directory.
+  void cleanup_partition_files() noexcept;
+
   Options options_;
   std::string partition_dir_;
   bool own_partition_dir_ = false;

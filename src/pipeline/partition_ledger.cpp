@@ -1,0 +1,125 @@
+#include "pipeline/partition_ledger.h"
+
+#include "util/error.h"
+
+namespace parahash::pipeline {
+
+const char* partition_state_name(PartitionState state) {
+  switch (state) {
+    case PartitionState::kWriting: return "writing";
+    case PartitionState::kSealed: return "sealed";
+    case PartitionState::kClaimed: return "claimed";
+    case PartitionState::kBuilt: return "built";
+    case PartitionState::kRetired: return "retired";
+  }
+  return "?";
+}
+
+PartitionLedger::PartitionLedger(std::uint64_t inflight_budget_bytes,
+                                 CostFn cost)
+    : budget_(inflight_budget_bytes), cost_(std::move(cost)) {}
+
+void PartitionLedger::publish(io::SealedPartition part) {
+  // The cost estimate can be arbitrarily expensive (table sizing);
+  // compute it before taking the lock.
+  const std::uint64_t cost = cost_ ? cost_(part) : 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_) return;  // consumer died; drop quietly
+    PARAHASH_CHECK_MSG(!closed_, "ledger: publish after close");
+    PARAHASH_CHECK_MSG(tracked_.find(part.id) == tracked_.end(),
+                       "ledger: partition sealed twice");
+    tracked_[part.id] = Tracked{PartitionState::kSealed, cost};
+    sealed_queue_.push_back(Entry{std::move(part), cost});
+    ++counters_.srv;
+  }
+  cv_.notify_all();
+}
+
+void PartitionLedger::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void PartitionLedger::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::optional<io::SealedPartition> PartitionLedger::claim() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Admit the head of the seal queue once it exists and its table fits
+  // the in-flight budget. With nothing currently in flight the head is
+  // admitted regardless of cost: one oversized partition must not
+  // deadlock the pipeline, it just runs alone.
+  cv_.wait(lock, [this] {
+    if (aborted_) return true;
+    if (sealed_queue_.empty()) return closed_;
+    if (budget_ == 0 || inflight_bytes_ == 0) return true;
+    return inflight_bytes_ + sealed_queue_.front().cost <= budget_;
+  });
+  if (aborted_ || sealed_queue_.empty()) return std::nullopt;
+
+  Entry entry = std::move(sealed_queue_.front());
+  sealed_queue_.pop_front();
+  tracked_[entry.part.id].state = PartitionState::kClaimed;
+  inflight_bytes_ += entry.cost;
+  ++counters_.cns;
+  return std::move(entry.part);
+}
+
+void PartitionLedger::mark_built(std::uint32_t partition_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(partition_id);
+  PARAHASH_CHECK_MSG(it != tracked_.end() &&
+                         it->second.state == PartitionState::kClaimed,
+                     "ledger: mark_built on a partition not claimed");
+  it->second.state = PartitionState::kBuilt;
+  ++counters_.prd;
+}
+
+void PartitionLedger::retire(std::uint32_t partition_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tracked_.find(partition_id);
+    PARAHASH_CHECK_MSG(it != tracked_.end() &&
+                           (it->second.state == PartitionState::kBuilt ||
+                            it->second.state == PartitionState::kClaimed),
+                       "ledger: retire on a partition not in flight");
+    it->second.state = PartitionState::kRetired;
+    PARAHASH_DCHECK(inflight_bytes_ >= it->second.cost);
+    inflight_bytes_ -= it->second.cost;
+    ++counters_.wrt;
+  }
+  cv_.notify_all();  // budget freed: blocked claims may now proceed
+}
+
+PartitionLedger::Counters PartitionLedger::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+PartitionState PartitionLedger::state(std::uint32_t partition_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tracked_.find(partition_id);
+  return it == tracked_.end() ? PartitionState::kWriting
+                              : it->second.state;
+}
+
+std::uint64_t PartitionLedger::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_bytes_;
+}
+
+bool PartitionLedger::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+}  // namespace parahash::pipeline

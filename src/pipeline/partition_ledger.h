@@ -1,0 +1,158 @@
+// The partition-lifecycle ledger — the paper's Sec. III-E dispatch
+// protocol (four shared counters) as a first-class, test-able type.
+//
+// Every partition moves through the same life:
+//
+//   writing --seal--> sealed --claim--> claimed --build--> built
+//                                                  --retire--> retired
+//
+// and the ledger's counters are exactly the paper's shared variables:
+//
+//   srv  partitions Step 1 has sealed and served to the scheduler
+//   cns  partitions a Step-2 device has claimed for hashing
+//   prd  subgraphs produced (hash table fully populated)
+//   wrt  subgraphs written/consumed and their tables released
+//
+// with the standing invariant srv >= cns >= prd >= wrt.
+//
+// The ledger is the hand-off point of the fused Step-1 → Step-2
+// pipeline: Step 1 publishes sealed partitions as it finishes them
+// (including mid-run, between multi-pass id ranges) and Step-2 workers
+// claim them immediately instead of waiting for the whole partitioning
+// step. Claims are additionally gated by an in-flight table memory
+// budget: a claim waits until the estimated bytes of all
+// claimed-but-not-retired hash tables fit the budget (at least one
+// claim is always admitted so progress is guaranteed), which keeps a
+// fused run's peak RSS at a few tables no matter how far Step 1 runs
+// ahead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <unordered_map>
+
+#include "pipeline/partition_stream.h"
+
+namespace parahash::pipeline {
+
+/// Lifecycle states a partition id can be in (kWriting is implicit: a
+/// partition the ledger has not heard of yet is still being written).
+enum class PartitionState : std::uint8_t {
+  kWriting = 0,  ///< not yet published
+  kSealed,       ///< published by Step 1, waiting for a device
+  kClaimed,      ///< a Step-2 device is hashing it
+  kBuilt,        ///< subgraph produced, not yet consumed
+  kRetired,      ///< consumed; table memory released
+};
+
+const char* partition_state_name(PartitionState state);
+
+class PartitionLedger {
+ public:
+  /// Snapshot of the four shared counters.
+  struct Counters {
+    std::uint64_t srv = 0;
+    std::uint64_t cns = 0;
+    std::uint64_t prd = 0;
+    std::uint64_t wrt = 0;
+  };
+
+  /// Estimates the Step-2 memory cost (bytes) of a sealed partition —
+  /// in practice its hash table, sized by the Property-1 rule from
+  /// `kmers`. Unset (or returning 0) means the partition is free.
+  using CostFn = std::function<std::uint64_t(const io::SealedPartition&)>;
+
+  /// `inflight_budget_bytes` == 0 disables the budget gate (claims are
+  /// then bounded only by the executor's queue depth).
+  explicit PartitionLedger(std::uint64_t inflight_budget_bytes = 0,
+                           CostFn cost = {});
+
+  // --- Step-1 (producer) side --------------------------------------
+
+  /// Serves a sealed partition to the scheduler (advances srv). A
+  /// publish after abort() is dropped silently so a failing consumer
+  /// does not take the producer down with it.
+  void publish(io::SealedPartition part);
+
+  /// No more partitions will be published.
+  void close();
+
+  /// Emergency stop: unblocks every waiter; claims return nullopt and
+  /// publishes become no-ops.
+  void abort();
+
+  // --- Step-2 (consumer) side --------------------------------------
+
+  /// Claims the next sealed partition in seal order (advances cns),
+  /// blocking until one is available AND the in-flight budget admits
+  /// it. Returns nullopt once the ledger is closed and drained, or
+  /// aborted.
+  std::optional<io::SealedPartition> claim();
+
+  /// The claimed partition's subgraph is fully built (advances prd).
+  void mark_built(std::uint32_t partition_id);
+
+  /// The subgraph has been consumed and its table released (advances
+  /// wrt and returns the partition's bytes to the budget).
+  void retire(std::uint32_t partition_id);
+
+  // --- Introspection -----------------------------------------------
+
+  Counters counters() const;
+  PartitionState state(std::uint32_t partition_id) const;
+  std::uint64_t inflight_bytes() const;
+  bool aborted() const;
+
+ private:
+  struct Entry {
+    io::SealedPartition part;
+    std::uint64_t cost = 0;
+  };
+  struct Tracked {
+    PartitionState state = PartitionState::kSealed;
+    std::uint64_t cost = 0;
+  };
+
+  std::uint64_t budget_;
+  CostFn cost_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Entry> sealed_queue_;
+  std::unordered_map<std::uint32_t, Tracked> tracked_;
+  Counters counters_;
+  std::uint64_t inflight_bytes_ = 0;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+/// Stream view of a ledger: the produce stage of the Step-2 executor
+/// pulls from here, which is how one step's consume stage publishes
+/// into the next step's produce stage.
+class LedgerPartitionStream final : public PartitionStream {
+ public:
+  explicit LedgerPartitionStream(PartitionLedger& ledger)
+      : ledger_(ledger) {}
+
+  bool next(io::SealedPartition& out) override {
+    auto part = ledger_.claim();
+    if (!part) return false;
+    out = std::move(*part);
+    return true;
+  }
+  void built(std::uint32_t partition_id) override {
+    ledger_.mark_built(partition_id);
+  }
+  void retire(std::uint32_t partition_id) override {
+    ledger_.retire(partition_id);
+  }
+  void abort() override { ledger_.abort(); }
+
+ private:
+  PartitionLedger& ledger_;
+};
+
+}  // namespace parahash::pipeline

@@ -1,0 +1,63 @@
+// The Step-2 input abstraction: a (possibly still growing) stream of
+// sealed superkmer partitions.
+//
+// run_hashing() consumes one of these instead of a completed
+// vector<string>, which is what lets the fused scheduler start hashing a
+// partition the moment Step 1 seals it. Two sources exist: a plain
+// vector of already-written paths (the Step-2-only API) and the
+// PartitionLedger (the fused Step-1 → Step-2 hand-off).
+//
+// The built()/retire() hooks let the source track the downstream
+// lifecycle of each claimed partition — the ledger uses them to advance
+// its prd/wrt counters and release the in-flight table memory budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/partition_file.h"
+
+namespace parahash::pipeline {
+
+class PartitionStream {
+ public:
+  virtual ~PartitionStream() = default;
+
+  /// Blocks until the next sealed partition is available. Returns false
+  /// once the stream is exhausted (or aborted).
+  virtual bool next(io::SealedPartition& out) = 0;
+
+  /// The partition's subgraph has been built (hash table populated).
+  virtual void built(std::uint32_t partition_id) { (void)partition_id; }
+
+  /// The partition's subgraph has been consumed and its hash table
+  /// released; any memory budget held for it can be freed.
+  virtual void retire(std::uint32_t partition_id) { (void)partition_id; }
+
+  /// The consumer failed: unblock any pending next() calls.
+  virtual void abort() {}
+};
+
+/// Adapts a completed list of partition file paths (the classic Step-2
+/// API) to the stream interface. Only `path` is filled in — callers
+/// read the authoritative header from the file itself.
+class VectorPartitionStream final : public PartitionStream {
+ public:
+  explicit VectorPartitionStream(std::vector<std::string> paths)
+      : paths_(std::move(paths)) {}
+
+  bool next(io::SealedPartition& out) override {
+    if (next_ >= paths_.size()) return false;
+    out = io::SealedPartition{};
+    out.path = paths_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace parahash::pipeline

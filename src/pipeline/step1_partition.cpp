@@ -1,0 +1,139 @@
+// Step 1 — MSP graph partitioning: a three-stage pipeline (read
+// batches → device MSP scan → partition writers), one pass per id
+// range when the open-file-handle budget forces multi-pass. With a
+// ledger attached, every partition is published to the Step-2
+// scheduler the moment its file seals, so a fused run starts hashing
+// it while this step is still writing later partitions.
+#include "pipeline/parahash.h"
+
+#include <algorithm>
+
+#include "io/fastx.h"
+#include "io/partition_file.h"
+#include "pipeline/partition_ledger.h"
+
+namespace parahash::pipeline {
+
+template <int W>
+std::vector<std::string> ParaHash<W>::run_partitioning(
+    const std::string& input_path, StepReport& report) {
+  return run_partitioning(std::vector<std::string>{input_path}, report);
+}
+
+template <int W>
+std::vector<std::string> ParaHash<W>::run_partitioning(
+    const std::vector<std::string>& input_paths, StepReport& report) {
+  return run_partitioning_impl(input_paths, report, /*ledger=*/nullptr,
+                               /*device_reports=*/true,
+                               /*exclusive_devices=*/false);
+}
+
+template <int W>
+std::vector<std::string> ParaHash<W>::run_partitioning_impl(
+    const std::vector<std::string>& input_paths, StepReport& report,
+    PartitionLedger* ledger, bool device_reports,
+    bool exclusive_devices) {
+  const std::uint32_t total_partitions = options_.msp.num_partitions;
+  const std::uint32_t per_pass =
+      options_.max_open_partitions == 0
+          ? total_partitions
+          : std::min(options_.max_open_partitions, total_partitions);
+
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::vector<std::string> all_paths;
+  all_paths.reserve(total_partitions);
+
+  const auto devs = devices();
+  std::vector<device::DeviceStats> before;
+  if (device_reports) {
+    for (auto* dev : devs) before.push_back(dev->stats());
+  }
+  report.times = StageTimes{};
+
+  ExecutorOptions exec;
+  exec.queue_depth = options_.queue_depth;
+  exec.exclusive_devices = exclusive_devices;
+
+  // One pass per id range; multiple passes re-read the input (bounded
+  // open file handles, the multi-pass MSP trade).
+  for (std::uint32_t first = 0; first < total_partitions;
+       first += per_pass) {
+    const std::uint32_t count =
+        std::min(per_pass, total_partitions - first);
+    io::FastxChunker chunker(input_paths, options_.batch_bases,
+                             options_.quality_trim_phred);
+    io::PartitionSet partitions(
+        partition_dir_, static_cast<std::uint32_t>(options_.msp.k),
+        static_cast<std::uint32_t>(options_.msp.p), count,
+        options_.msp.encoding, first);
+    if (ledger != nullptr) {
+      partitions.set_seal_hook([ledger](const io::SealedPartition& part) {
+        ledger->publish(part);
+      });
+    }
+
+    StepCallbacks<io::ReadBatch, core::MspBatchOutput, W> callbacks;
+    callbacks.produce = [&](io::ReadBatch& batch) {
+      if (!chunker.next(batch)) return false;
+      // Charge the input channel with the batch's share of the file.
+      const std::uint64_t bytes = batch.total_bases();
+      input_throttle_.consume(bytes);
+      bytes_in += bytes;
+      return true;
+    };
+    callbacks.compute = [&](device::Device<W>& dev,
+                            const io::ReadBatch& batch) {
+      return dev.run_msp(batch, options_.msp);
+    };
+    callbacks.consume = [&](core::MspBatchOutput out) {
+      for (std::uint32_t part = first; part < first + count; ++part) {
+        const auto& p = out.parts[part];
+        if (p.bytes.empty()) continue;
+        partitions.writer(part).append_raw(p.bytes.data(), p.bytes.size(),
+                                           p.superkmers, p.kmers, p.bases);
+        output_throttle_.consume(p.bytes.size());
+        bytes_out += p.bytes.size();
+      }
+    };
+
+    report.times += options_.pipelined
+                        ? run_pipelined(devs, callbacks, exec)
+                        : run_sequential(devs, callbacks, exec);
+
+    // Seals every partition of this pass in id order, firing the
+    // ledger publish hook per partition — the fused hand-off.
+    for (auto& path : partitions.close_all()) {
+      all_paths.push_back(std::move(path));
+    }
+  }
+
+  report.bytes_in = bytes_in;
+  report.bytes_out = bytes_out;
+  if (device_reports) {
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      report.devices.push_back(DeviceReport{
+          devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
+    }
+  }
+  return all_paths;
+}
+
+// Member-level explicit instantiations: the class-level instantiation
+// lives in parahash.cpp and covers only the members defined there.
+template std::vector<std::string> ParaHash<1>::run_partitioning(
+    const std::string&, StepReport&);
+template std::vector<std::string> ParaHash<2>::run_partitioning(
+    const std::string&, StepReport&);
+template std::vector<std::string> ParaHash<1>::run_partitioning(
+    const std::vector<std::string>&, StepReport&);
+template std::vector<std::string> ParaHash<2>::run_partitioning(
+    const std::vector<std::string>&, StepReport&);
+template std::vector<std::string> ParaHash<1>::run_partitioning_impl(
+    const std::vector<std::string>&, StepReport&, PartitionLedger*, bool,
+    bool);
+template std::vector<std::string> ParaHash<2>::run_partitioning_impl(
+    const std::vector<std::string>&, StepReport&, PartitionLedger*, bool,
+    bool);
+
+}  // namespace parahash::pipeline

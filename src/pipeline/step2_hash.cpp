@@ -1,0 +1,170 @@
+// Step 2 — hash-based subgraph construction over a stream of sealed
+// partitions: a three-stage pipeline (partition blob load → device hash
+// build → adopt/serialise). The stream may still be growing (fused
+// runs claim from the partition ledger while Step 1 writes); the
+// classic path-vector API wraps its completed list in a
+// VectorPartitionStream.
+#include "pipeline/parahash.h"
+
+#include <fstream>
+
+#include "io/partition_file.h"
+#include "pipeline/partition_ledger.h"
+
+namespace parahash::pipeline {
+
+template <int W>
+core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
+    const std::vector<std::string>& partition_paths, StepReport& report) {
+  PARAHASH_CHECK(partition_paths.size() == options_.msp.num_partitions);
+  VectorPartitionStream stream(partition_paths);
+  return run_hashing_impl(stream, report, /*device_reports=*/true,
+                          /*exclusive_devices=*/false);
+}
+
+template <int W>
+core::DeBruijnGraph<W> ParaHash<W>::run_hashing(PartitionStream& stream,
+                                                StepReport& report) {
+  return run_hashing_impl(stream, report, /*device_reports=*/true,
+                          /*exclusive_devices=*/false);
+}
+
+template <int W>
+core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
+    PartitionStream& stream, StepReport& report, bool device_reports,
+    bool exclusive_devices) {
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  resizes_ = 0;
+  table_stats_ = concurrent::TableStats{};
+  streamed_filtered_ = 0;
+  streamed_stats_ = core::GraphStats{};
+
+  StepCallbacks<io::PartitionBlob, core::SubgraphBuildResult<W>, W>
+      callbacks;
+  callbacks.produce = [&](io::PartitionBlob& blob) {
+    io::SealedPartition part;
+    if (!stream.next(part)) return false;
+    blob = io::PartitionBlob::read_file(part.path);
+    input_throttle_.consume(blob.byte_size());
+    bytes_in += blob.byte_size();
+    return true;
+  };
+  callbacks.compute = [&](device::Device<W>& dev,
+                          const io::PartitionBlob& blob) {
+    auto result = dev.run_hash(blob, options_.hash);
+    stream.built(result.partition_id);  // ledger: advance prd
+    return result;
+  };
+  callbacks.consume = [&](core::SubgraphBuildResult<W> result) {
+    const std::uint32_t partition_id = result.partition_id;
+    resizes_ += result.resizes;
+    table_stats_.merge(result.stats);
+    if (options_.accumulate_graph) {
+      graph.adopt_table(partition_id, *result.table,
+                        /*min_coverage=*/0);
+    } else {
+      // Streamed mode: fold this subgraph into the aggregate statistics
+      // and let the table go (the paper's big-genome protocol).
+      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
+        if (options_.min_coverage > 1 &&
+            e.coverage < options_.min_coverage) {
+          ++streamed_filtered_;
+          return;
+        }
+        ++streamed_stats_.vertices;
+        streamed_stats_.total_coverage += e.coverage;
+        for (int i = 0; i < 8; ++i) {
+          streamed_stats_.edge_counter_total += e.edges[i];
+        }
+        for (int b = 0; b < 4; ++b) {
+          streamed_stats_.distinct_edges +=
+              e.edges[concurrent::kEdgeOut + b] > 0;
+        }
+        if (e.out_degree() > 1 || e.in_degree() > 1) {
+          ++streamed_stats_.branching_vertices;
+        }
+      });
+    }
+    if (options_.write_subgraphs) {
+      // The Step-2 output stage: serialise this subgraph to disk
+      // (~32 bytes per vertex, the paper's <vertex, list of edges>
+      // sizing) and charge the output channel.
+      const std::string path = subgraph_path(partition_id);
+      std::ofstream file(path, std::ios::binary);
+      if (!file) throw IoError("parahash: cannot open " + path);
+      const std::uint32_t k32 = static_cast<std::uint32_t>(options_.msp.k);
+      const std::uint64_t count = result.table->size();
+      file.write(reinterpret_cast<const char*>(&k32), sizeof(k32));
+      file.write(reinterpret_cast<const char*>(&partition_id),
+                 sizeof(partition_id));
+      file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+      std::uint64_t bytes = sizeof(k32) + sizeof(partition_id) +
+                            sizeof(count);
+      result.table->for_each([&](const concurrent::VertexEntry<W>& e) {
+        const auto words = e.kmer.words();
+        file.write(reinterpret_cast<const char*>(words.data()),
+                   W * sizeof(std::uint64_t));
+        file.write(reinterpret_cast<const char*>(&e.coverage),
+                   sizeof(e.coverage));
+        file.write(reinterpret_cast<const char*>(e.edges.data()),
+                   8 * sizeof(std::uint32_t));
+        bytes += W * sizeof(std::uint64_t) + 9 * sizeof(std::uint32_t);
+      });
+      file.close();
+      if (file.fail()) throw IoError("parahash: write failure on " + path);
+      output_throttle_.consume(bytes);
+      bytes_out += bytes;
+    }
+    // Drop the table before retiring so the ledger's in-flight memory
+    // budget reflects what is actually resident.
+    result.table.reset();
+    stream.retire(partition_id);  // ledger: advance wrt, free budget
+  };
+
+  const auto devs = devices();
+  std::vector<device::DeviceStats> before;
+  if (device_reports) {
+    for (auto* dev : devs) before.push_back(dev->stats());
+  }
+  ExecutorOptions exec;
+  exec.queue_depth = options_.queue_depth;
+  exec.exclusive_devices = exclusive_devices;
+  try {
+    report.times = options_.pipelined
+                       ? run_pipelined(devs, callbacks, exec)
+                       : run_sequential(devs, callbacks, exec);
+  } catch (...) {
+    // A dead consumer must not leave the upstream publisher feeding a
+    // stream nobody drains.
+    stream.abort();
+    throw;
+  }
+  report.bytes_in = bytes_in;
+  report.bytes_out = bytes_out;
+  if (device_reports) {
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      report.devices.push_back(DeviceReport{
+          devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
+    }
+  }
+  return graph;
+}
+
+template core::DeBruijnGraph<1> ParaHash<1>::run_hashing(
+    const std::vector<std::string>&, StepReport&);
+template core::DeBruijnGraph<2> ParaHash<2>::run_hashing(
+    const std::vector<std::string>&, StepReport&);
+template core::DeBruijnGraph<1> ParaHash<1>::run_hashing(PartitionStream&,
+                                                         StepReport&);
+template core::DeBruijnGraph<2> ParaHash<2>::run_hashing(PartitionStream&,
+                                                         StepReport&);
+template core::DeBruijnGraph<1> ParaHash<1>::run_hashing_impl(
+    PartitionStream&, StepReport&, bool, bool);
+template core::DeBruijnGraph<2> ParaHash<2>::run_hashing_impl(
+    PartitionStream&, StepReport&, bool, bool);
+
+}  // namespace parahash::pipeline

@@ -221,6 +221,59 @@ TEST(ParaHash, TempPartitionDirIsCleanedUp) {
   EXPECT_FALSE(std::filesystem::exists(partition_file));
 }
 
+TEST(ParaHash, SubgraphOutputsSurviveTempDirCleanup) {
+  // Regression: construct() used to remove_all the owned temp partition
+  // directory at end of run even with write_subgraphs=true, destroying
+  // the subgraph files it had just written there.
+  const auto d = make_dataset(1200, 4.0, 1.0);
+  auto options = base_options();
+  options.write_subgraphs = true;
+
+  std::string dir;
+  {
+    ParaHash<1> system(options);
+    dir = system.partition_dir();
+    auto [graph, report] = system.construct(d->fastq);
+    EXPECT_GT(report.step2.bytes_out, 0u);
+    // After the run: subgraph outputs present, superkmer partition
+    // files already cleaned up.
+    for (std::uint32_t id = 0; id < options.msp.num_partitions; ++id) {
+      EXPECT_TRUE(std::filesystem::exists(
+          dir + "/subgraph_" + std::to_string(id) + ".bin"));
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      EXPECT_NE(entry.path().extension(), ".phsk") << entry.path();
+    }
+  }
+  // The outputs must outlive the system itself.
+  for (std::uint32_t id = 0; id < options.msp.num_partitions; ++id) {
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/subgraph_" + std::to_string(id) + ".bin"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParaHash, SubgraphDirRoutesOutputsElsewhere) {
+  const auto d = make_dataset(1200, 4.0, 1.0);
+  auto options = base_options();
+  options.write_subgraphs = true;
+  options.subgraph_dir = d->dir.file("subgraphs");
+
+  std::string partition_dir;
+  {
+    ParaHash<1> system(options);
+    partition_dir = system.partition_dir();
+    auto [graph, report] = system.construct(d->fastq);
+  }
+  // Outputs land in the requested directory; with nothing left to
+  // protect, the owned temp partition dir is removed entirely.
+  for (std::uint32_t id = 0; id < options.msp.num_partitions; ++id) {
+    EXPECT_TRUE(std::filesystem::exists(
+        options.subgraph_dir + "/subgraph_" + std::to_string(id) + ".bin"));
+  }
+  EXPECT_FALSE(std::filesystem::exists(partition_dir));
+}
+
 TEST(ParaHash, ConstructGraphDispatchesOnK) {
   const auto d = make_dataset(1200, 4.0, 1.0);
   auto options = base_options();

@@ -1,0 +1,398 @@
+// Partition-lifecycle scheduler tests: the PartitionLedger's counter
+// protocol (paper Sec. III-E: srv >= cns >= prd >= wrt), its in-flight
+// memory budget, and the fused Step-1 → Step-2 runs built on it —
+// which must produce bit-identical graphs to unfused runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "core/reference.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "pipeline/partition_ledger.h"
+#include "sim/read_sim.h"
+
+namespace parahash::pipeline {
+namespace {
+
+io::SealedPartition make_part(std::uint32_t id, std::uint64_t bytes = 0,
+                              std::uint64_t kmers = 0) {
+  io::SealedPartition part;
+  part.id = id;
+  part.path = "partition_" + std::to_string(id) + ".phsk";
+  part.bytes = bytes;
+  part.kmers = kmers;
+  return part;
+}
+
+// ------------------------------------------------------ ledger units
+
+TEST(PartitionLedger, PublishClaimFifoAndCounters) {
+  PartitionLedger ledger;
+  EXPECT_EQ(ledger.state(3), PartitionState::kWriting);
+
+  ledger.publish(make_part(3));
+  ledger.publish(make_part(1));
+  ledger.publish(make_part(2));
+  auto c = ledger.counters();
+  EXPECT_EQ(c.srv, 3u);
+  EXPECT_EQ(c.cns, 0u);
+  EXPECT_EQ(ledger.state(3), PartitionState::kSealed);
+
+  // Claims come back in seal order, not id order.
+  auto first = ledger.claim();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 3u);
+  EXPECT_EQ(ledger.state(3), PartitionState::kClaimed);
+
+  ledger.mark_built(3);
+  EXPECT_EQ(ledger.state(3), PartitionState::kBuilt);
+  ledger.retire(3);
+  EXPECT_EQ(ledger.state(3), PartitionState::kRetired);
+
+  EXPECT_EQ(ledger.claim()->id, 1u);
+  EXPECT_EQ(ledger.claim()->id, 2u);
+  c = ledger.counters();
+  EXPECT_EQ(c.srv, 3u);
+  EXPECT_EQ(c.cns, 3u);
+  EXPECT_EQ(c.prd, 1u);
+  EXPECT_EQ(c.wrt, 1u);
+}
+
+TEST(PartitionLedger, CloseDrainsThenEndsStream) {
+  PartitionLedger ledger;
+  ledger.publish(make_part(0));
+  ledger.publish(make_part(1));
+  ledger.close();
+  EXPECT_TRUE(ledger.claim().has_value());
+  EXPECT_TRUE(ledger.claim().has_value());
+  EXPECT_FALSE(ledger.claim().has_value());  // closed and drained
+}
+
+TEST(PartitionLedger, ClaimBlocksUntilPublish) {
+  PartitionLedger ledger;
+  std::atomic<bool> claimed{false};
+  std::thread consumer([&] {
+    auto part = ledger.claim();
+    ASSERT_TRUE(part.has_value());
+    EXPECT_EQ(part->id, 7u);
+    claimed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(claimed);  // nothing sealed yet
+  ledger.publish(make_part(7));
+  consumer.join();
+  EXPECT_TRUE(claimed);
+}
+
+TEST(PartitionLedger, BudgetBlocksClaimUntilRetire) {
+  // Cost = the partition's byte size; budget fits one 80-byte table.
+  PartitionLedger ledger(100, [](const io::SealedPartition& p) {
+    return p.bytes;
+  });
+  ledger.publish(make_part(0, /*bytes=*/80));
+  ledger.publish(make_part(1, /*bytes=*/80));
+
+  ASSERT_TRUE(ledger.claim().has_value());
+  EXPECT_EQ(ledger.inflight_bytes(), 80u);
+
+  std::atomic<bool> second_claimed{false};
+  std::thread consumer([&] {
+    auto part = ledger.claim();
+    ASSERT_TRUE(part.has_value());
+    second_claimed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_claimed);  // 80 + 80 > 100: must wait
+
+  ledger.retire(0);  // frees the budget
+  consumer.join();
+  EXPECT_TRUE(second_claimed);
+  EXPECT_EQ(ledger.inflight_bytes(), 80u);
+}
+
+TEST(PartitionLedger, OversizedPartitionAdmittedWhenNothingInFlight) {
+  PartitionLedger ledger(10, [](const io::SealedPartition& p) {
+    return p.bytes;
+  });
+  ledger.publish(make_part(0, /*bytes=*/500));  // 50x the budget
+  // Progress guarantee: with nothing in flight the head is admitted
+  // regardless of cost — it just runs alone.
+  EXPECT_TRUE(ledger.claim().has_value());
+  EXPECT_EQ(ledger.inflight_bytes(), 500u);
+}
+
+TEST(PartitionLedger, AbortUnblocksClaimAndDropsLatePublishes) {
+  PartitionLedger ledger;
+  std::thread consumer([&] {
+    EXPECT_FALSE(ledger.claim().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ledger.abort();
+  consumer.join();
+
+  // Publishes after abort are silent no-ops (a dead consumer must not
+  // throw into the Step-1 writer path).
+  ledger.publish(make_part(0));
+  EXPECT_EQ(ledger.counters().srv, 0u);
+  EXPECT_TRUE(ledger.aborted());
+}
+
+TEST(PartitionLedger, ProtocolViolationsAreChecked) {
+  PartitionLedger ledger;
+  ledger.publish(make_part(0));
+  EXPECT_THROW(ledger.publish(make_part(0)), Error);  // sealed twice
+  EXPECT_THROW(ledger.mark_built(0), Error);          // not claimed yet
+  EXPECT_THROW(ledger.retire(0), Error);              // not in flight
+  ledger.close();
+  EXPECT_THROW(ledger.publish(make_part(1)), Error);  // publish after close
+}
+
+TEST(PartitionLedger, StateNames) {
+  EXPECT_STREQ(partition_state_name(PartitionState::kWriting), "writing");
+  EXPECT_STREQ(partition_state_name(PartitionState::kSealed), "sealed");
+  EXPECT_STREQ(partition_state_name(PartitionState::kClaimed), "claimed");
+  EXPECT_STREQ(partition_state_name(PartitionState::kBuilt), "built");
+  EXPECT_STREQ(partition_state_name(PartitionState::kRetired), "retired");
+}
+
+TEST(PartitionLedger, ConcurrentStressHoldsCounterInvariant) {
+  constexpr std::uint32_t kPartitions = 64;
+  constexpr int kConsumers = 4;
+  PartitionLedger ledger(256, [](const io::SealedPartition& p) {
+    return p.bytes;
+  });
+
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    // The standing invariant of the paper's shared counters, sampled
+    // while the pipeline runs: srv >= cns >= prd >= wrt.
+    while (!done) {
+      const auto c = ledger.counters();
+      EXPECT_GE(c.srv, c.cns);
+      EXPECT_GE(c.cns, c.prd);
+      EXPECT_GE(c.prd, c.wrt);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> consumers;
+  std::atomic<std::uint32_t> retired{0};
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      while (auto part = ledger.claim()) {
+        ledger.mark_built(part->id);
+        ledger.retire(part->id);
+        ++retired;
+      }
+    });
+  }
+
+  for (std::uint32_t id = 0; id < kPartitions; ++id) {
+    ledger.publish(make_part(id, /*bytes=*/64));
+  }
+  ledger.close();
+  for (auto& t : consumers) t.join();
+  done = true;
+  watcher.join();
+
+  EXPECT_EQ(retired, kPartitions);
+  EXPECT_EQ(ledger.inflight_bytes(), 0u);
+  const auto c = ledger.counters();
+  EXPECT_EQ(c.srv, kPartitions);
+  EXPECT_EQ(c.cns, kPartitions);
+  EXPECT_EQ(c.prd, kPartitions);
+  EXPECT_EQ(c.wrt, kPartitions);
+  for (std::uint32_t id = 0; id < kPartitions; ++id) {
+    EXPECT_EQ(ledger.state(id), PartitionState::kRetired);
+  }
+}
+
+// ------------------------------------------------- fused integration
+
+struct Dataset {
+  io::TempDir dir{"scheduler_test"};
+  std::string fastq;
+  std::vector<io::Read> reads;
+};
+
+std::unique_ptr<Dataset> make_dataset(std::uint64_t genome_size = 2000,
+                                      double coverage = 6.0,
+                                      std::uint64_t seed = 21) {
+  auto d = std::make_unique<Dataset>();
+  d->fastq = d->dir.file("reads.fastq");
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = 90;
+  spec.coverage = coverage;
+  spec.lambda = 1.0;
+  spec.seed = seed;
+  sim::write_dataset(spec, d->fastq);
+  d->reads = io::read_fastx_file(d->fastq);
+  return d;
+}
+
+Options base_options() {
+  Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+  options.batch_bases = 16 << 10;
+  return options;
+}
+
+TEST(FusedPipeline, MatchesUnfusedBitIdentical) {
+  const auto d = make_dataset();
+  auto options = base_options();
+
+  ParaHash<1> unfused(options);
+  auto [graph_a, report_a] = unfused.construct(d->fastq);
+  EXPECT_EQ(report_a.step_overlap_seconds, 0.0);
+
+  options.fuse_steps = true;
+  ParaHash<1> fused(options);
+  auto [graph_b, report_b] = fused.construct(d->fastq);
+
+  EXPECT_TRUE(graph_a == graph_b);
+  EXPECT_GT(report_b.step_overlap_seconds, 0.0);
+  EXPECT_LE(report_b.step_overlap_seconds, report_b.total_elapsed_seconds);
+  // All partitions flowed through both steps.
+  EXPECT_EQ(report_b.step2.times.items, options.msp.num_partitions);
+  EXPECT_GT(report_b.step1.bytes_out, 0u);
+
+  core::ReferenceBuilder reference(options.msp.k);
+  for (const auto& r : d->reads) reference.add_read(r.bases);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph_b, &diff)) << diff;
+}
+
+TEST(FusedPipeline, MultiPassMatchesUnfused) {
+  const auto d = make_dataset(2500, 6.0, 33);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+  options.max_open_partitions = 5;  // 4 passes over the input
+
+  ParaHash<1> unfused(options);
+  auto [graph_a, report_a] = unfused.construct(d->fastq);
+
+  options.fuse_steps = true;
+  ParaHash<1> fused(options);
+  auto [graph_b, report_b] = fused.construct(d->fastq);
+
+  EXPECT_TRUE(graph_a == graph_b);
+  // Fusion changes scheduling, never the Step-1 IO volume.
+  EXPECT_EQ(report_b.step1.bytes_in, report_a.step1.bytes_in);
+  EXPECT_EQ(report_b.step1.bytes_out, report_a.step1.bytes_out);
+}
+
+TEST(FusedPipeline, CoProcessingDeviceMixMatchesReference) {
+  const auto d = make_dataset(3000, 8.0, 44);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+  options.num_gpus = 2;
+  options.gpu.launch_latency_seconds = 0;
+  options.gpu.h2d_bytes_per_sec = 0;
+  options.gpu.d2h_bytes_per_sec = 0;
+  options.fuse_steps = true;
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  core::ReferenceBuilder reference(options.msp.k);
+  for (const auto& r : d->reads) reference.add_read(r.bases);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph, &diff)) << diff;
+
+  // The fused report splits whole-run device deltas by counter family:
+  // every partition's hash build must be attributed in step2, and the
+  // step1 shares must carry no hashing counters (and vice versa).
+  std::uint64_t hashed = 0;
+  for (const auto& dev : report.step2.devices) {
+    hashed += dev.stats.hash_partitions;
+    EXPECT_EQ(dev.stats.msp_batches, 0u);
+  }
+  EXPECT_EQ(hashed, options.msp.num_partitions);
+  for (const auto& dev : report.step1.devices) {
+    EXPECT_EQ(dev.stats.hash_partitions, 0u);
+    EXPECT_EQ(dev.stats.transfer_seconds, 0.0);
+  }
+}
+
+TEST(FusedPipeline, TightTableBudgetStillExact) {
+  const auto d = make_dataset(2000, 6.0, 55);
+  auto options = base_options();
+
+  ParaHash<1> unfused(options);
+  auto [graph_a, report_a] = unfused.construct(d->fastq);
+
+  options.fuse_steps = true;
+  // A budget below any single table's estimate: the always-admit-one
+  // rule serialises Step-2 claims without deadlocking.
+  options.inflight_table_budget_bytes = 1;
+  ParaHash<1> fused(options);
+  auto [graph_b, report_b] = fused.construct(d->fastq);
+  EXPECT_TRUE(graph_a == graph_b);
+}
+
+TEST(FusedPipeline, StreamedModeReportsSameStats) {
+  const auto d = make_dataset(2000, 8.0, 66);
+  auto options = base_options();
+
+  ParaHash<1> retained(options);
+  auto [graph, retained_report] = retained.construct(d->fastq);
+
+  options.fuse_steps = true;
+  options.accumulate_graph = false;
+  ParaHash<1> streamed(options);
+  auto [empty_graph, streamed_report] = streamed.construct(d->fastq);
+
+  EXPECT_EQ(empty_graph.num_vertices(), 0u);
+  EXPECT_EQ(streamed_report.graph.vertices, retained_report.graph.vertices);
+  EXPECT_EQ(streamed_report.graph.total_coverage,
+            retained_report.graph.total_coverage);
+  EXPECT_EQ(streamed_report.graph.distinct_edges,
+            retained_report.graph.distinct_edges);
+}
+
+TEST(FusedPipeline, WorkerExceptionAbortsCleanly) {
+  const auto d = make_dataset(2000, 6.0, 77);
+  auto options = base_options();
+  options.fuse_steps = true;
+  options.max_open_partitions = 3;  // keep Step 1 streaming mid-failure
+  // Force a mid-stream Step-2 failure: a 16-slot table that may not
+  // resize overflows on the first real partition.
+  options.hash.slots_override = 16;
+  options.hash.allow_resize = false;
+
+  std::string partition_dir;
+  {
+    ParaHash<1> system(options);
+    partition_dir = system.partition_dir();
+    EXPECT_THROW(system.construct(d->fastq), TableFullError);
+    EXPECT_TRUE(std::filesystem::exists(partition_dir));
+  }
+  // Clean abort: the owned partition directory (and every partition
+  // file Step 1 managed to write) is gone after destruction.
+  EXPECT_FALSE(std::filesystem::exists(partition_dir));
+}
+
+TEST(FusedPipeline, SequentialExecutorModeAlsoFuses) {
+  const auto d = make_dataset(1500, 5.0, 88);
+  auto options = base_options();
+  options.pipelined = false;  // per-step sequential executor, still fused
+
+  ParaHash<1> unfused(options);
+  auto [graph_a, report_a] = unfused.construct(d->fastq);
+
+  options.fuse_steps = true;
+  ParaHash<1> fused(options);
+  auto [graph_b, report_b] = fused.construct(d->fastq);
+  EXPECT_TRUE(graph_a == graph_b);
+}
+
+}  // namespace
+}  // namespace parahash::pipeline
