@@ -4,7 +4,7 @@
 //        --partitions=512 --gpus=0 --threads=N --min-coverage=0
 //        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
 //        --quality-trim=0 --max-open-files=0 --fuse-steps
-//        --inflight-table-budget=MB]
+//        --inflight-table-budget=MB --upsert-batch=N|auto]
 //        (several input files — plain or .gz — concatenate)
 //   parahash_cli stats  <graph.phdg>
 //   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
@@ -25,6 +25,7 @@
 #include "core/unitig.h"
 #include "pipeline/parahash.h"
 #include "util/flags.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -62,6 +63,9 @@ int cmd_build(const Flags& flags) {
   options.fuse_steps = flags.get_bool("fuse-steps");
   options.inflight_table_budget_bytes = static_cast<std::uint64_t>(
       flags.get_double("inflight-table-budget", 0) * 1e6);
+  options.hash.upsert_window = concurrent::UpsertWindow::parse(
+      flags.get("upsert-batch",
+                concurrent::UpsertWindow{}.to_string()));
 
   const std::string graph_path = flags.get("graph", "graph.phdg");
   const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
@@ -98,11 +102,16 @@ int cmd_build(const Flags& flags) {
     std::printf("upserts %llu, probes/upsert %.2f, tag-rejected %llu, "
                 "full key compares %llu (tag filter %.1f%%)\n",
                 static_cast<unsigned long long>(ht.adds),
-                static_cast<double>(ht.probes) /
-                    static_cast<double>(ht.adds),
+                ht.mean_probe_length(),
                 static_cast<unsigned long long>(ht.tag_rejects),
                 static_cast<unsigned long long>(ht.key_compares),
                 100.0 * ht.tag_filter_rate());
+    std::printf("group scans %llu (%s, window %s), lanes rejected "
+                "wholesale %llu\n",
+                static_cast<unsigned long long>(ht.group_scans),
+                simd::to_string(simd::active()),
+                options.hash.upsert_window.to_string().c_str(),
+                static_cast<unsigned long long>(ht.lanes_rejected));
   }
   std::printf("graph written to %s\n", graph_path.c_str());
   return 0;

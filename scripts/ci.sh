@@ -1,23 +1,29 @@
 #!/usr/bin/env sh
-# CI entry point: the two workflow presets back to back — a Release
-# build running the full suite, then a ThreadSanitizer build running
-# the tsan-labelled concurrency tests (concurrent tables, SIMT kernel,
-# subgraph builds, partition-lifecycle scheduler).
+# CI entry point: the three workflow presets back to back — a Release
+# build running the full suite, a ThreadSanitizer build running the
+# tsan-labelled concurrency tests (concurrent tables, group probing,
+# SIMT kernel, subgraph builds, partition-lifecycle scheduler), and a
+# scalar-fallback build (SIMD probe backends compiled out) re-running
+# the full suite the way a non-x86 target would.
 #
-#   scripts/ci.sh            both workflows
+#   scripts/ci.sh            all three workflows
 #   scripts/ci.sh default    Release + full suite only
 #   scripts/ci.sh tsan       ThreadSanitizer subset only
+#   scripts/ci.sh scalar     scalar-fallback build + full suite only
 set -eu
 cd "$(dirname "$0")/.."
 
 run_default=1
 run_tsan=1
+run_scalar=1
 case "${1:-all}" in
   all) ;;
-  default) run_tsan=0 ;;
-  tsan) run_default=0 ;;
-  *) echo "usage: $0 [all|default|tsan]" >&2; exit 2 ;;
+  default) run_tsan=0; run_scalar=0 ;;
+  tsan) run_default=0; run_scalar=0 ;;
+  scalar) run_default=0; run_tsan=0 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar]" >&2; exit 2 ;;
 esac
 
 [ "$run_default" -eq 1 ] && cmake --workflow --preset ci-default
 [ "$run_tsan" -eq 1 ] && cmake --workflow --preset ci-tsan
+[ "$run_scalar" -eq 1 ] && cmake --workflow --preset ci-scalar

@@ -1,42 +1,120 @@
 // Group-prefetched upsert front-end for ConcurrentKmerTable.
 //
 // A single table upsert is a chain of dependent random loads (hash ->
-// metadata byte -> payload), so a scalar upsert loop stalls on memory
+// metadata group -> payload), so a scalar upsert loop stalls on memory
 // latency — the very cost the paper hides with GPU thread parallelism
 // (Sec. III-D). On the CPU side the same latency can be overlapped in
 // software: buffer a window of pending upserts, issue a prefetch for
-// each one's home slot as it is enqueued, and only when the window is
-// full walk it and run the actual probes. By drain time the first
+// each one's home GROUP as it is enqueued (the whole metadata block a
+// scan will load, plus the home payload slot), and only when the window
+// is full walk it and run the actual probes. By drain time the first
 // window entries' cache lines are (usually) resident, in the style of
 // classic group-prefetching hash joins. Results are bit-identical to
 // calling add() directly — only the memory-access schedule changes;
 // per-thread upsert ORDER within a window does change, which is fine
 // because distinct-key upserts are independent and same-key updates are
 // commutative atomics.
+//
+// The window size is a POLICY, not a constant: UpsertWindow is either a
+// fixed N (the PR 1 behaviour; 1 = the scalar path) or `auto`, which
+// re-tunes the window at flush time from the measured mean probe length
+// of the partition so far — longer probe sequences mean more latency to
+// hide per upsert, so the window widens with load factor.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "concurrent/kmer_table.h"
 #include "util/kmer.h"
 
 namespace parahash::concurrent {
 
-/// Buffers up to `window` upserts, prefetching each home slot at push
+/// Upsert-window sizing policy for BatchedUpserter (and HashConfig).
+struct UpsertWindow {
+  static constexpr int kDefault = 16;
+  static constexpr int kMax = 64;
+  /// Auto mode never shrinks below this — even an empty table benefits
+  /// from a few overlapped group loads.
+  static constexpr int kAutoMin = 8;
+  /// Auto window = mean probe length x this factor (clamped). A probe
+  /// length of ~2 reproduces the default window of 16.
+  static constexpr int kAutoFactor = 8;
+  /// Auto mode holds the default until this many upserts are measured.
+  static constexpr std::uint64_t kAutoWarmup = 256;
+
+  enum class Mode { kFixed, kAuto };
+
+  Mode mode = Mode::kFixed;
+  int fixed = kDefault;
+
+  static constexpr UpsertWindow fixed_window(int n) noexcept {
+    return UpsertWindow{Mode::kFixed, clamp(n)};
+  }
+  static constexpr UpsertWindow auto_window() noexcept {
+    return UpsertWindow{Mode::kAuto, kDefault};
+  }
+  /// Parses a CLI-style spec: "auto", or an integer window size.
+  /// Anything unparseable falls back to the default fixed window.
+  static UpsertWindow parse(std::string_view text) noexcept {
+    if (text == "auto") return auto_window();
+    char* end = nullptr;
+    const std::string copy(text);
+    const long n = std::strtol(copy.c_str(), &end, 10);
+    if (end == copy.c_str() || *end != '\0') return UpsertWindow{};
+    return fixed_window(static_cast<int>(n));
+  }
+
+  static constexpr int clamp(int n) noexcept {
+    return n < 1 ? 1 : (n > kMax ? kMax : n);
+  }
+
+  bool is_auto() const noexcept { return mode == Mode::kAuto; }
+  /// True when this policy degenerates to the unbatched scalar path.
+  bool is_scalar() const noexcept {
+    return mode == Mode::kFixed && fixed <= 1;
+  }
+  /// The window to start a partition with.
+  int initial() const noexcept {
+    return mode == Mode::kAuto ? kDefault : fixed;
+  }
+  std::string to_string() const {
+    return mode == Mode::kAuto ? "auto" : std::to_string(fixed);
+  }
+
+  /// The tuning rule: pick a window for an observed mean probe length.
+  /// Pure and separate from the upserter so tests can pin its shape.
+  static int tuned_for(double mean_probe_length) noexcept {
+    const double target = mean_probe_length * kAutoFactor;
+    if (target <= kAutoMin) return kAutoMin;
+    if (target >= kMax) return kMax;
+    return static_cast<int>(target);
+  }
+};
+
+/// Buffers up to `window` upserts, prefetching each home group at push
 /// time and probing at flush time. window == 1 degenerates to the
 /// scalar path (prefetch immediately followed by the probe).
 template <int W>
 class BatchedUpserter {
  public:
-  static constexpr int kDefaultWindow = 16;
-  static constexpr int kMaxWindow = 64;
+  static constexpr int kDefaultWindow = UpsertWindow::kDefault;
+  static constexpr int kMaxWindow = UpsertWindow::kMax;
 
   BatchedUpserter(ConcurrentKmerTable<W>& table, TableStats& stats,
+                  UpsertWindow policy)
+      : table_(table),
+        stats_(stats),
+        policy_(policy),
+        window_(policy.initial()) {}
+
+  /// Fixed-N convenience constructor (the PR 1 interface).
+  BatchedUpserter(ConcurrentKmerTable<W>& table, TableStats& stats,
                   int window = kDefaultWindow)
-      : table_(table), stats_(stats),
-        window_(window < 1 ? 1 : (window > kMaxWindow ? kMaxWindow
-                                                      : window)) {}
+      : BatchedUpserter(table, stats, UpsertWindow::fixed_window(window)) {}
 
   BatchedUpserter(const BatchedUpserter&) = delete;
   BatchedUpserter& operator=(const BatchedUpserter&) = delete;
@@ -45,7 +123,7 @@ class BatchedUpserter {
 
   int window() const noexcept { return window_; }
 
-  /// Enqueues one upsert and prefetches its home slot. Flushes
+  /// Enqueues one upsert and prefetches its probe group. Flushes
   /// automatically when the window fills.
   void push(const Kmer<W>& canon, int edge_out, int edge_in) {
     Pending& p = items_[static_cast<std::size_t>(count_)];
@@ -53,15 +131,16 @@ class BatchedUpserter {
     p.hash = canon.hash();
     p.edge_out = static_cast<std::int8_t>(edge_out);
     p.edge_in = static_cast<std::int8_t>(edge_in);
-    table_.prefetch(p.hash);
-    if (++count_ == window_) flush();
+    table_.prefetch_group(p.hash);
+    if (++count_ >= window_) flush();
   }
 
   /// Drains every pending upsert through the table. Call after the last
   /// push (the destructor also flushes). If an add throws (TableFullError),
   /// the remaining window is abandoned — the caller's recovery path is a
   /// rebuild with a bigger table, and keeping stale entries queued would
-  /// make the destructor throw during unwinding.
+  /// make the destructor throw during unwinding. An `auto` policy
+  /// re-tunes the window here, from the stats measured so far.
   void flush() {
     int i = 0;
     try {
@@ -75,6 +154,9 @@ class BatchedUpserter {
       throw;
     }
     count_ = 0;
+    if (policy_.is_auto() && stats_.adds >= UpsertWindow::kAutoWarmup) {
+      window_ = UpsertWindow::tuned_for(stats_.mean_probe_length());
+    }
   }
 
  private:
@@ -87,6 +169,7 @@ class BatchedUpserter {
 
   ConcurrentKmerTable<W>& table_;
   TableStats& stats_;
+  UpsertWindow policy_;
   int window_;
   int count_ = 0;
   std::array<Pending, kMaxWindow> items_;

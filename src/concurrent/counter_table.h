@@ -96,6 +96,14 @@ class ConcurrentCounterTable {
     throw TableFullError("counter table is full");
   }
 
+  /// KmerTableLike-conforming add: counting tables have no edge
+  /// counters, so the edge arguments are accepted and dropped. This is
+  /// what lets the shared drive_ops() replay one workload through every
+  /// table variant, this one included.
+  AddResult add(const Kmer<W>& canon, int /*edge_out*/, int /*edge_in*/) {
+    return add(canon);
+  }
+
   std::optional<Entry> find(const Kmer<W>& canon) const {
     const auto words = canon.words();
     std::uint64_t idx = canon.hash() & mask_;
@@ -150,5 +158,8 @@ class ConcurrentCounterTable {
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> distinct_{0};
 };
+
+static_assert(KmerTableLike<ConcurrentCounterTable<1>>,
+              "the counting table must satisfy the shared concept");
 
 }  // namespace parahash::concurrent

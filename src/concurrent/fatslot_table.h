@@ -169,4 +169,7 @@ class FatSlotKmerTable {
   std::atomic<std::uint64_t> distinct_{0};
 };
 
+static_assert(GraphKmerTableLike<FatSlotKmerTable<1>>,
+              "the fat-slot baseline must satisfy the shared concept");
+
 }  // namespace parahash::concurrent

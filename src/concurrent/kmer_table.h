@@ -28,122 +28,44 @@
 //                       0x01 = locked (key words being written)
 //                       0b10tttttt = occupied, t = 6-bit key tag
 //
-// A probe that walks over slots held by OTHER keys usually resolves from
-// the metadata byte alone: an occupied byte whose tag differs from the
-// probing key's tag cannot hold that key, so the probe advances without
-// touching the payload. With one byte per slot, a 64-byte cache line
-// answers 64 probe steps, versus ~1 for the fat-slot layout
-// (concurrent/fatslot_table.h keeps the old layout for the ablation
-// bench). Tag collisions between distinct keys are resolved by the full
-// key compare, so the table stays exact.
+// Group probing: because the metadata bytes are dense, a probe cluster
+// is tested as a GROUP — one 16/32-byte SIMD compare classifies every
+// lane of the cluster against `occupied|tag`, `empty` and `locked` at
+// once (concurrent/probe_group.h; backend picked by runtime dispatch,
+// util/simd.h). The probe loop walks only the interesting lanes of each
+// scan, in probe order, so foreign slots are rejected wholesale without
+// per-byte loads or branches and the table contents stay bit-identical
+// to per-slot linear probing (kept as add_hashed_slotwise — the oracle
+// path the equivalence tests and the ablation bench compare against).
 //
 // Memory ordering: the key words are stored relaxed *before* the release
 // store of `occupied|tag` on the metadata byte; readers acquire-load the
 // metadata before touching the key, which transfers visibility of the
-// key words (happens-before via the metadata byte). Tag-mismatch skips
-// never read the payload, so they need no ordering at all.
+// key words (happens-before via the metadata byte). Group scans observe
+// the bytes through an acquire fence (or per-byte acquire loads in the
+// scalar backend) and re-validate every action through a real atomic —
+// the claim CAS, or the immutability of occupied bytes. Tag-mismatch
+// skips never read the payload, so they need no ordering at all.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "concurrent/probe_group.h"
+#include "concurrent/table_concept.h"
 #include "util/error.h"
 #include "util/hash.h"
 #include "util/kmer.h"
+#include "util/simd.h"
 
 namespace parahash::concurrent {
-
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
-
-/// Indices into a slot's 8 edge counters. Counters 0..3 are outgoing
-/// edges (next base, relative to the canonical orientation), 4..7 are
-/// incoming edges (previous base). With (K-1) bases shared between
-/// adjacent vertices, one base identifies the neighbour (Sec. III-C2).
-inline constexpr int kEdgeOut = 0;
-inline constexpr int kEdgeIn = 4;
-
-/// A decoded snapshot of one occupied slot.
-template <int W>
-struct VertexEntry {
-  Kmer<W> kmer;                        ///< canonical vertex
-  std::uint32_t coverage = 0;          ///< number of kmer occurrences
-  std::array<std::uint32_t, 8> edges{};  ///< out[0..3], in[4..7] weights
-
-  std::uint32_t out_weight(int base) const { return edges[kEdgeOut + base]; }
-  std::uint32_t in_weight(int base) const { return edges[kEdgeIn + base]; }
-  int out_degree() const {
-    int d = 0;
-    for (int b = 0; b < 4; ++b) d += edges[kEdgeOut + b] > 0;
-    return d;
-  }
-  int in_degree() const {
-    int d = 0;
-    for (int b = 0; b < 4; ++b) d += edges[kEdgeIn + b] > 0;
-    return d;
-  }
-};
-
-/// Result of a single add(): probe counts and whether the call inserted
-/// a new vertex. Callers accumulate these into build statistics without
-/// putting extra atomics on the hot path. Probes over foreign slots
-/// split into tag rejects (resolved from the metadata byte alone) and
-/// full multi-word key compares (tag matched, payload read).
-struct AddResult {
-  std::uint32_t probes = 0;
-  std::uint32_t tag_rejects = 0;   ///< occupied slots skipped by tag alone
-  std::uint32_t key_compares = 0;  ///< full key compares (incl. final hit)
-  bool inserted = false;
-  bool waited_on_lock = false;
-};
-
-/// Aggregate statistics a builder can accumulate from AddResults.
-struct TableStats {
-  std::uint64_t adds = 0;
-  std::uint64_t inserts = 0;
-  std::uint64_t probes = 0;
-  std::uint64_t tag_rejects = 0;
-  std::uint64_t key_compares = 0;
-  std::uint64_t lock_waits = 0;
-
-  void absorb(const AddResult& r) noexcept {
-    ++adds;
-    inserts += r.inserted ? 1 : 0;
-    probes += r.probes;
-    tag_rejects += r.tag_rejects;
-    key_compares += r.key_compares;
-    lock_waits += r.waited_on_lock ? 1 : 0;
-  }
-  void merge(const TableStats& other) noexcept {
-    adds += other.adds;
-    inserts += other.inserts;
-    probes += other.probes;
-    tag_rejects += other.tag_rejects;
-    key_compares += other.key_compares;
-    lock_waits += other.lock_waits;
-  }
-
-  /// Share of foreign-slot probes the 6-bit tag resolved without a
-  /// payload read. The denominator is every probe step that had to
-  /// disambiguate an occupied slot (tag reject or full compare).
-  double tag_filter_rate() const noexcept {
-    const std::uint64_t decided = tag_rejects + key_compares;
-    return decided == 0
-               ? 0.0
-               : static_cast<double>(tag_rejects) /
-                     static_cast<double>(decided);
-  }
-};
 
 template <int W>
 class ConcurrentKmerTable {
@@ -161,6 +83,12 @@ class ConcurrentKmerTable {
     std::array<std::atomic<std::uint64_t>, W> key{};
     std::array<std::atomic<std::uint32_t>, 8> edges{};
     std::atomic<std::uint32_t> coverage{0};
+  };
+
+  /// One group-granular probing step (see probe_group_step).
+  struct GroupStep {
+    ProbeOutcome outcome = ProbeOutcome::kAdvance;
+    int width = 0;  ///< lanes the scan covered; advance by this on kAdvance
   };
 
   /// Bytes one slot occupies across both arrays (metadata + payload);
@@ -181,6 +109,7 @@ class ConcurrentKmerTable {
   /// power of two) for kmers of length k.
   ConcurrentKmerTable(std::uint64_t min_slots, int k)
       : k_(k),
+        simd_level_(simd::active()),
         meta_(next_pow2(min_slots < 2 ? 2 : min_slots)),
         payload_(meta_.size()) {
     PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
@@ -204,13 +133,30 @@ class ConcurrentKmerTable {
     return static_cast<double>(size()) / static_cast<double>(capacity());
   }
 
-  /// Prefetches the home slot (metadata byte and payload) for a key with
-  /// this hash. The batched upsert front-end issues these a window ahead
-  /// of the matching add_hashed() calls so the dependent loads overlap.
-  void prefetch(std::uint64_t hash) const noexcept {
+  /// The scan backend this table probes with. Snapshotted from the
+  /// process-wide dispatch at construction; the setter (clamped to what
+  /// the build and CPU support) exists for the backend-equivalence
+  /// tests and the ablation benches.
+  simd::Level simd_level() const noexcept { return simd_level_; }
+  void set_simd_level(simd::Level level) noexcept {
+    const simd::Level ceiling = simd::detect();
+    simd_level_ = static_cast<int>(level) < static_cast<int>(ceiling)
+                      ? level
+                      : ceiling;
+  }
+
+  /// Prefetches the probe GROUP for a key with this hash: the metadata
+  /// block a scan will load (which may straddle two cache lines) plus
+  /// the home payload slot. The batched upsert front-end issues these a
+  /// window ahead of the matching add_hashed() calls so the dependent
+  /// loads overlap.
+  void prefetch_group(std::uint64_t hash) const noexcept {
     const std::uint64_t idx = hash & mask_;
 #if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t last_lane =
+        static_cast<std::uint64_t>(probe::group_width(simd_level_)) - 1;
     __builtin_prefetch(&meta_[idx], 1, 3);
+    __builtin_prefetch(&meta_[(idx + last_lane) & mask_], 1, 3);
     __builtin_prefetch(&payload_[idx], 1, 3);
 #endif
   }
@@ -226,9 +172,33 @@ class ConcurrentKmerTable {
   }
 
   /// add() with the key hash precomputed (the batched front-end hashes
-  /// at prefetch time and reuses the value here).
+  /// at prefetch time and reuses the value here). Group-probing engine:
+  /// each iteration scans one metadata block and resolves inside it or
+  /// advances a whole group.
   AddResult add_hashed(const Kmer<W>& canon, std::uint64_t hash,
                        int edge_out, int edge_in) {
+    AddResult result;
+    const auto words = canon.words();
+    const std::uint8_t occupied = occupied_byte(hash);
+    std::uint64_t base = hash & mask_;
+    std::uint64_t scanned = 0;
+    do {
+      const GroupStep step = walk_group</*kSpinOnLocked=*/true>(
+          base, words, occupied, edge_out, edge_in, result);
+      if (step.outcome == ProbeOutcome::kDone) return result;
+      base = (base + static_cast<std::uint64_t>(step.width)) & mask_;
+      scanned += static_cast<std::uint64_t>(step.width);
+    } while (scanned <= mask_);
+    throw TableFullError("concurrent kmer table is full (capacity " +
+                         std::to_string(capacity()) + ")");
+  }
+
+  /// The PR-1 per-slot probe loop, kept verbatim as the reference path:
+  /// the equivalence tests pit every scan backend against it, and the
+  /// group-scan microbench measures what block probing buys over it.
+  /// Identical results to add_hashed(); only the probing differs.
+  AddResult add_hashed_slotwise(const Kmer<W>& canon, std::uint64_t hash,
+                                int edge_out, int edge_in) {
     AddResult result;
     const auto words = canon.words();
     const std::uint8_t occupied = occupied_byte(hash);
@@ -243,13 +213,7 @@ class ConcurrentKmerTable {
         if (meta.compare_exchange_strong(expected, kLocked,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
-          Payload& slot = payload_[idx];
-          for (int w = 0; w < W; ++w) {
-            slot.key[w].store(words[w], std::memory_order_relaxed);
-          }
-          meta.store(occupied, std::memory_order_release);
-          distinct_.fetch_add(1, std::memory_order_relaxed);
-          bump(slot, edge_out, edge_in);
+          publish_claimed_words(idx, words, occupied, edge_out, edge_in);
           result.inserted = true;
           return result;
         }
@@ -281,48 +245,73 @@ class ConcurrentKmerTable {
                          std::to_string(capacity()) + ")");
   }
 
-  /// Result of one probe step (see probe_step).
-  enum class ProbeOutcome {
-    kDone,     ///< inserted or updated here
-    kAdvance,  ///< slot holds a different key: move to the next slot
-    kRetry,    ///< slot is locked by another thread: retry this slot
-  };
+  // ---- The group-oriented probe API ---------------------------------
+  //
+  // Three callers consume it: add_hashed() above, the BatchedUpserter
+  // prefetch window (whole-group prefetches), and the warp-synchronous
+  // SIMT kernel (device/simt_kernel.h), which takes one group scan per
+  // lane step via probe_group_step().
 
-  /// One step of add() at slot `index` — the building block of the
-  /// warp-synchronous SIMT kernel (device/simt_kernel.h), which needs
-  /// to interleave many probes in lockstep. Semantics match one
-  /// iteration of add()'s probe loop, except a locked slot returns
-  /// kRetry instead of spinning. A tag mismatch advances without a
-  /// payload read, exactly like the scalar path.
-  ProbeOutcome probe_step(std::uint64_t index, const Kmer<W>& canon,
-                          int edge_out, int edge_in) {
-    const std::uint64_t idx = index & mask_;
-    std::atomic<std::uint8_t>& meta = meta_[idx];
-    std::uint8_t st = meta.load(std::memory_order_acquire);
-    if (st == kEmpty) {
-      std::uint8_t expected = kEmpty;
-      if (meta.compare_exchange_strong(expected, kLocked,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_acquire)) {
-        Payload& slot = payload_[idx];
-        const auto words = canon.words();
-        for (int w = 0; w < W; ++w) {
-          slot.key[w].store(words[w], std::memory_order_relaxed);
-        }
-        meta.store(occupied_byte(canon.hash()), std::memory_order_release);
-        distinct_.fetch_add(1, std::memory_order_relaxed);
-        bump(slot, edge_out, edge_in);
-        return ProbeOutcome::kDone;
-      }
-      st = expected;
+  /// Scans the metadata group starting at probe index `index` and
+  /// classifies every lane against `occupied` (= occupied_byte(hash) of
+  /// the probing key). Lane 0 is the slot at `index`; bit order is
+  /// probe order.
+  probe::GroupScan probe_group(std::uint64_t index,
+                               std::uint8_t occupied) const noexcept {
+    return probe::scan_group(meta_.data(), mask_, index & mask_, occupied,
+                             simd_level_);
+  }
+
+  /// The CAS step of the state-transfer protocol: tries to move the
+  /// slot empty -> locked. On success the caller OWNS the slot and must
+  /// publish_claimed() it immediately — a locked slot blocks every
+  /// other prober walking past it.
+  bool claim_lane(std::uint64_t slot) noexcept {
+    std::uint8_t expected = kEmpty;
+    return meta_[slot & mask_].compare_exchange_strong(
+        expected, kLocked, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  /// Completes a successful claim_lane(): writes the key words while
+  /// the slot is locked, release-publishes `occupied|tag`, and records
+  /// the first occurrence.
+  void publish_claimed(std::uint64_t slot, const Kmer<W>& canon,
+                       std::uint64_t hash, int edge_out, int edge_in) {
+    publish_claimed_words(slot & mask_, canon.words(), occupied_byte(hash),
+                          edge_out, edge_in);
+  }
+
+  /// Acquire-loads one slot's metadata byte (for re-resolving a lane
+  /// whose scanned state went stale, e.g. after a lost claim race).
+  std::uint8_t lane_state(std::uint64_t slot) const noexcept {
+    return meta_[slot & mask_].load(std::memory_order_acquire);
+  }
+
+  /// One group-granular step of add() — the building block of the
+  /// warp-synchronous SIMT kernel, which interleaves many probes in
+  /// lockstep. Scans the group at `index` and tries to resolve the
+  /// upsert inside it; a locked lane (or a lost claim race) returns
+  /// kRetry instead of spinning, so the warp can advance its other
+  /// lanes and rescan this group next round. On kAdvance the caller
+  /// moves `index` forward by the returned width.
+  GroupStep probe_group_step(std::uint64_t index, const Kmer<W>& canon,
+                             int edge_out, int edge_in, AddResult& stats) {
+    const auto words = canon.words();
+    return walk_group</*kSpinOnLocked=*/false>(
+        index & mask_, words, occupied_byte(canon.hash()), edge_out,
+        edge_in, stats);
+  }
+
+  /// Number of slots currently in the transient `locked` state. Zero
+  /// whenever no insertion is mid-flight — in particular after any
+  /// kernel unwinds, even via TableFullError (regression-tested).
+  std::uint64_t locked_slots() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& m : meta_) {
+      n += m.load(std::memory_order_acquire) == kLocked;
     }
-    if (st == kLocked) return ProbeOutcome::kRetry;
-    if (st == occupied_byte(canon.hash()) &&
-        key_equals(payload_[idx], canon.words())) {
-      bump(payload_[idx], edge_out, edge_in);
-      return ProbeOutcome::kDone;
-    }
-    return ProbeOutcome::kAdvance;
+    return n;
   }
 
   /// Looks up a canonical kmer. Thread-safe against concurrent adds; the
@@ -393,6 +382,105 @@ class ConcurrentKmerTable {
     }
   }
 
+  void publish_claimed_words(std::uint64_t idx,
+                             std::span<const std::uint64_t, W> words,
+                             std::uint8_t occupied, int edge_out,
+                             int edge_in) {
+    Payload& slot = payload_[idx];
+    for (int w = 0; w < W; ++w) {
+      slot.key[w].store(words[w], std::memory_order_relaxed);
+    }
+    meta_[idx].store(occupied, std::memory_order_release);
+    distinct_.fetch_add(1, std::memory_order_relaxed);
+    bump(slot, edge_out, edge_in);
+  }
+
+  /// The heart of the engine: scan one group, then walk only its
+  /// interesting lanes in probe order. Mismatched occupied lanes are
+  /// never touched individually — they are counted wholesale from the
+  /// scan mask when the walk resolves or exhausts the group. Probe
+  /// order is preserved exactly (first empty-or-matching lane wins), so
+  /// contents match the slotwise path bit for bit; an empty lane
+  /// observed mid-group proves the key lives at no later lane, because
+  /// slots never return to empty.
+  template <bool kSpinOnLocked>
+  GroupStep walk_group(std::uint64_t base,
+                       std::span<const std::uint64_t, W> words,
+                       std::uint8_t occupied, int edge_out, int edge_in,
+                       AddResult& r) {
+    const probe::GroupScan g = probe_group(base, occupied);
+    ++r.group_scans;
+    const std::uint32_t mismatch = g.mismatch();
+    std::uint32_t interesting = g.interesting();
+
+    // Counts the mismatch lanes the walk skipped over before resolving
+    // at `lane` (or the whole group on exhaustion).
+    const auto skip_mismatches = [&](std::uint32_t upto_mask) {
+      const int skipped =
+          std::popcount(mismatch & upto_mask);
+      r.tag_rejects += static_cast<std::uint32_t>(skipped);
+      r.lanes_rejected += static_cast<std::uint32_t>(skipped);
+      r.probes += static_cast<std::uint32_t>(skipped);
+    };
+    const auto below = [](int lane) -> std::uint32_t {
+      return lane >= 32 ? 0xffffffffu : ((1u << lane) - 1u);
+    };
+
+    while (interesting != 0) {
+      const int lane = std::countr_zero(interesting);
+      interesting &= interesting - 1;
+      const std::uint64_t slot =
+          (base + static_cast<std::uint64_t>(lane)) & mask_;
+      std::uint8_t st;
+      if ((g.empty >> lane) & 1u) {
+        if (claim_lane(slot)) {
+          publish_claimed_words(slot, words, occupied, edge_out, edge_in);
+          ++r.probes;
+          r.inserted = true;
+          skip_mismatches(below(lane));
+          return {ProbeOutcome::kDone, g.width};
+        }
+        // Lost the claim race: the lane changed under us; re-read it.
+        st = lane_state(slot);
+      } else if ((g.locked >> lane) & 1u) {
+        st = kLocked;
+      } else {
+        // Match lane. Occupied bytes are immutable, so the scanned
+        // value needs no re-read before the payload compare.
+        st = occupied;
+      }
+
+      if (st == kLocked) {
+        if constexpr (!kSpinOnLocked) {
+          // SIMT semantics: never stall the warp on one lane. Stats for
+          // the skipped prefix are deferred to the resolving rescan.
+          return {ProbeOutcome::kRetry, g.width};
+        }
+        r.waited_on_lock = true;
+        do {
+          cpu_relax();
+          st = lane_state(slot);
+        } while (st == kLocked);
+      }
+
+      // st is occupied here (locked only resolves forward).
+      if (st != occupied) {
+        ++r.tag_rejects;
+        ++r.probes;
+        continue;
+      }
+      ++r.key_compares;
+      ++r.probes;
+      if (key_equals(payload_[slot], words)) {
+        bump(payload_[slot], edge_out, edge_in);
+        skip_mismatches(below(lane));
+        return {ProbeOutcome::kDone, g.width};
+      }
+    }
+    skip_mismatches(g.lane_mask());
+    return {ProbeOutcome::kAdvance, g.width};
+  }
+
   bool key_equals(const Payload& slot,
                   std::span<const std::uint64_t, W> words) const noexcept {
     for (int w = 0; w < W; ++w) {
@@ -440,9 +528,13 @@ class ConcurrentKmerTable {
 
   int k_;
   std::uint64_t mask_;
+  simd::Level simd_level_;
   std::vector<std::atomic<std::uint8_t>> meta_;
   std::vector<Payload> payload_;
   std::atomic<std::uint64_t> distinct_{0};
 };
+
+static_assert(GraphKmerTableLike<ConcurrentKmerTable<1>>,
+              "the production table must satisfy the shared concept");
 
 }  // namespace parahash::concurrent

@@ -123,4 +123,7 @@ class MutexShardTable {
   std::atomic<std::uint64_t> distinct_{0};
 };
 
+static_assert(GraphKmerTableLike<MutexShardTable<1>>,
+              "the lock-per-access baseline must satisfy the shared concept");
+
 }  // namespace parahash::concurrent

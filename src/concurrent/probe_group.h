@@ -1,0 +1,180 @@
+// Group-probing primitives: wide scans over the table's metadata bytes.
+//
+// The split-layout table (concurrent/kmer_table.h) keeps one byte per
+// slot — state + 6-bit key fingerprint — in a dense array precisely so
+// that a probe cluster can be tested in ONE compare: load 16 (SSE2) or
+// 32 (AVX2) consecutive metadata bytes and match them against
+// `occupied|tag`, `empty` and `locked` simultaneously, the F14 /
+// Swiss-table trick applied to a concurrent table. A GroupScan answers
+// "which lanes may hold my key, which are claimable, which are mid-
+// insertion" as bitmasks; the caller then touches only the interesting
+// lanes, in probe order, so results stay bit-identical to per-slot
+// linear probing — the scan changes how slots are *examined*, never
+// which slot a key lands in.
+//
+// Memory-model note. The SIMD backends read the atomic metadata bytes
+// with one plain vector load followed by an acquire fence. A plain load
+// racing atomic stores is formally undefined in the C++ model, but it
+// is the established practice for concurrent SIMD probing on x86
+// (byte-sized loads cannot tear, and the fence orders the subsequent
+// payload reads after the scan). Two guards keep the formal protocol
+// honest: ThreadSanitizer builds and PARAHASH_FORCE_SCALAR builds
+// compile the vector backends out entirely (util/simd.h), so the
+// machine-checked and fallback configurations use only the scalar
+// backend's per-byte acquire loads — and every value a scan reports is
+// a *hint* that the acting code re-validates through a real atomic
+// (the claim CAS, or the immutability of occupied bytes).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "util/simd.h"
+
+#if PARAHASH_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace parahash::concurrent::probe {
+
+/// Lanes a single scan covers, per backend. The scalar backend uses the
+/// SSE2 width so a forced-scalar run probes in the same group strides
+/// as the production path (and the oracle tests compare like for like).
+inline constexpr int kGroupWidth = 16;
+inline constexpr int kAvx2GroupWidth = 32;
+inline constexpr int kMaxGroupWidth = kAvx2GroupWidth;
+
+inline constexpr int group_width(simd::Level level) noexcept {
+  return level == simd::Level::kAvx2 ? kAvx2GroupWidth : kGroupWidth;
+}
+
+/// One metadata-block scan: per-lane classification of `width`
+/// consecutive slots starting at the probed base index. Lane i is bit i
+/// (lane 0 = the base slot, i.e. probe order == bit order).
+struct GroupScan {
+  std::uint32_t match = 0;   ///< byte == occupied|tag of the probing key
+  std::uint32_t empty = 0;   ///< byte == kEmpty (claimable)
+  std::uint32_t locked = 0;  ///< byte == kLocked (insertion in flight)
+  int width = 0;             ///< lanes scanned (16/32, clamped to capacity)
+
+  std::uint32_t lane_mask() const noexcept {
+    return width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+  }
+  /// Occupied lanes whose fingerprint differs from the probing key's —
+  /// rejected wholesale, without a payload read.
+  std::uint32_t mismatch() const noexcept {
+    return lane_mask() & ~(match | empty | locked);
+  }
+  /// Lanes that need per-lane work, in probe (bit) order.
+  std::uint32_t interesting() const noexcept {
+    return match | empty | locked;
+  }
+};
+
+namespace detail {
+
+// Metadata byte states, mirrored from ConcurrentKmerTable (probe_group
+// is the lower layer, so the constants live here too).
+inline constexpr std::uint8_t kEmptyByte = 0x00;
+inline constexpr std::uint8_t kLockedByte = 0x01;
+
+inline GroupScan scan_scalar(const std::atomic<std::uint8_t>* meta,
+                             std::uint64_t mask, std::uint64_t base,
+                             std::uint8_t occupied, int width) noexcept {
+  GroupScan scan;
+  scan.width = width;
+  for (int lane = 0; lane < width; ++lane) {
+    const std::uint8_t st =
+        meta[(base + static_cast<std::uint64_t>(lane)) & mask].load(
+            std::memory_order_acquire);
+    const std::uint32_t bit = 1u << lane;
+    if (st == occupied) {
+      scan.match |= bit;
+    } else if (st == kEmptyByte) {
+      scan.empty |= bit;
+    } else if (st == kLockedByte) {
+      scan.locked |= bit;
+    }
+  }
+  return scan;
+}
+
+#if PARAHASH_SIMD_X86
+
+static_assert(sizeof(std::atomic<std::uint8_t>) == 1,
+              "SIMD metadata scans assume a packed byte array");
+
+inline GroupScan scan_sse2(const std::atomic<std::uint8_t>* meta,
+                           std::uint64_t base,
+                           std::uint8_t occupied) noexcept {
+  const __m128i block = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(meta + base));
+  // Order every later payload read after this scan (see header note).
+  std::atomic_thread_fence(std::memory_order_acquire);
+  GroupScan scan;
+  scan.width = kGroupWidth;
+  scan.match = static_cast<std::uint32_t>(_mm_movemask_epi8(
+      _mm_cmpeq_epi8(block, _mm_set1_epi8(static_cast<char>(occupied)))));
+  scan.empty = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(block, _mm_setzero_si128())));
+  // The occupied flag is the byte's sign bit, so movemask(block) IS the
+  // occupied-lane mask: locked = not occupied, not empty.
+  const auto occupied_lanes =
+      static_cast<std::uint32_t>(_mm_movemask_epi8(block));
+  scan.locked = 0xffffu & ~occupied_lanes & ~scan.empty;
+  return scan;
+}
+
+__attribute__((target("avx2"))) inline GroupScan scan_avx2(
+    const std::atomic<std::uint8_t>* meta, std::uint64_t base,
+    std::uint8_t occupied) noexcept {
+  const __m256i block = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(meta + base));
+  std::atomic_thread_fence(std::memory_order_acquire);
+  GroupScan scan;
+  scan.width = kAvx2GroupWidth;
+  scan.match = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+      _mm256_cmpeq_epi8(block,
+                        _mm256_set1_epi8(static_cast<char>(occupied)))));
+  scan.empty = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+      _mm256_cmpeq_epi8(block, _mm256_setzero_si256())));
+  const auto occupied_lanes =
+      static_cast<std::uint32_t>(_mm256_movemask_epi8(block));
+  scan.locked = ~occupied_lanes & ~scan.empty;
+  return scan;
+}
+
+#endif  // PARAHASH_SIMD_X86
+
+}  // namespace detail
+
+/// Scans the group of slots starting at `base` (0 <= base <= mask) in a
+/// metadata array of `mask + 1` slots. The group width is the backend's
+/// (16/32), clamped to the capacity for tiny tables; a group that would
+/// run past the array end wraps to slot 0 and is gathered by the scalar
+/// path (vector loads need the block contiguous). All three backends
+/// classify identically — the oracle test checks them lane for lane.
+inline GroupScan scan_group(const std::atomic<std::uint8_t>* meta,
+                            std::uint64_t mask, std::uint64_t base,
+                            std::uint8_t occupied,
+                            simd::Level level) noexcept {
+  const std::uint64_t capacity = mask + 1;
+  int width = group_width(level);
+  if (static_cast<std::uint64_t>(width) > capacity) {
+    width = static_cast<int>(capacity);
+  }
+#if PARAHASH_SIMD_X86
+  if (base + static_cast<std::uint64_t>(width) <= capacity) {
+    if (level == simd::Level::kAvx2 && width == kAvx2GroupWidth) {
+      return detail::scan_avx2(meta, base, occupied);
+    }
+    if (level >= simd::Level::kSse2 && width == kGroupWidth) {
+      return detail::scan_sse2(meta, base, occupied);
+    }
+  }
+#endif
+  return detail::scan_scalar(meta, mask, base, occupied, width);
+}
+
+}  // namespace parahash::concurrent::probe

@@ -1,0 +1,201 @@
+// The shared vocabulary of the four concurrent k-mer table variants.
+//
+// Four tables implement the same upsert contract with different
+// trade-offs: the production split-layout table (kmer_table.h), the
+// seed fat-slot layout (fatslot_table.h), the lock-per-access ablation
+// baseline (mutex_table.h) and the counting-only table
+// (counter_table.h). This header is the one place their common surface
+// is defined, so the ablation benches and the conformance tests can
+// iterate over implementations through a single template driver instead
+// of copy-pasting a loop per table:
+//
+//   * ProbeOutcome — the result of one probing step, shared by every
+//     stepwise prober (the group-probing engine and the SIMT kernel);
+//   * AddResult / TableStats — per-upsert and aggregate probe
+//     accounting, including the group-scan counters;
+//   * VertexEntry — the decoded snapshot of one occupied slot;
+//   * the KmerTableLike / GraphKmerTableLike concepts, the `upsert`
+//     adapter (counting tables ignore the edge arguments) and the
+//     `drive_ops` workload driver.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <thread>
+
+#include "util/kmer.h"
+
+namespace parahash::concurrent {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Result of one probing step against a slot or a slot group.
+enum class ProbeOutcome {
+  kDone,     ///< inserted or updated
+  kAdvance,  ///< examined slots hold other keys: move along the probe
+             ///< sequence (by one slot, or by the scanned group width)
+  kRetry,    ///< a locked slot (insertion in flight elsewhere) blocks
+             ///< resolution: probe the same position again
+};
+
+/// Indices into a slot's 8 edge counters. Counters 0..3 are outgoing
+/// edges (next base, relative to the canonical orientation), 4..7 are
+/// incoming edges (previous base). With (K-1) bases shared between
+/// adjacent vertices, one base identifies the neighbour (Sec. III-C2).
+inline constexpr int kEdgeOut = 0;
+inline constexpr int kEdgeIn = 4;
+
+/// A decoded snapshot of one occupied slot.
+template <int W>
+struct VertexEntry {
+  Kmer<W> kmer;                        ///< canonical vertex
+  std::uint32_t coverage = 0;          ///< number of kmer occurrences
+  std::array<std::uint32_t, 8> edges{};  ///< out[0..3], in[4..7] weights
+
+  std::uint32_t out_weight(int base) const { return edges[kEdgeOut + base]; }
+  std::uint32_t in_weight(int base) const { return edges[kEdgeIn + base]; }
+  int out_degree() const {
+    int d = 0;
+    for (int b = 0; b < 4; ++b) d += edges[kEdgeOut + b] > 0;
+    return d;
+  }
+  int in_degree() const {
+    int d = 0;
+    for (int b = 0; b < 4; ++b) d += edges[kEdgeIn + b] > 0;
+    return d;
+  }
+};
+
+/// Result of a single add(): probe counts and whether the call inserted
+/// a new vertex. Callers accumulate these into build statistics without
+/// putting extra atomics on the hot path. Probes over foreign slots
+/// split into tag rejects (resolved from the metadata byte alone) and
+/// full multi-word key compares (tag matched, payload read); the
+/// group-probing engine additionally reports how many metadata-block
+/// scans it issued and how many lanes those scans rejected wholesale.
+struct AddResult {
+  std::uint32_t probes = 0;
+  std::uint32_t tag_rejects = 0;   ///< occupied slots skipped by tag alone
+  std::uint32_t key_compares = 0;  ///< full key compares (incl. final hit)
+  std::uint32_t group_scans = 0;   ///< metadata-block scans issued
+  std::uint32_t lanes_rejected = 0;  ///< lanes filtered by group scans
+  bool inserted = false;
+  bool waited_on_lock = false;
+};
+
+/// Aggregate statistics a builder can accumulate from AddResults.
+struct TableStats {
+  std::uint64_t adds = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t tag_rejects = 0;
+  std::uint64_t key_compares = 0;
+  std::uint64_t group_scans = 0;
+  std::uint64_t lanes_rejected = 0;
+  std::uint64_t lock_waits = 0;
+
+  void absorb(const AddResult& r) noexcept {
+    ++adds;
+    inserts += r.inserted ? 1 : 0;
+    probes += r.probes;
+    tag_rejects += r.tag_rejects;
+    key_compares += r.key_compares;
+    group_scans += r.group_scans;
+    lanes_rejected += r.lanes_rejected;
+    lock_waits += r.waited_on_lock ? 1 : 0;
+  }
+  void merge(const TableStats& other) noexcept {
+    adds += other.adds;
+    inserts += other.inserts;
+    probes += other.probes;
+    tag_rejects += other.tag_rejects;
+    key_compares += other.key_compares;
+    group_scans += other.group_scans;
+    lanes_rejected += other.lanes_rejected;
+    lock_waits += other.lock_waits;
+  }
+
+  /// Share of foreign-slot probes the 6-bit tag resolved without a
+  /// payload read. The denominator is every probe step that had to
+  /// disambiguate an occupied slot (tag reject or full compare).
+  double tag_filter_rate() const noexcept {
+    const std::uint64_t decided = tag_rejects + key_compares;
+    return decided == 0
+               ? 0.0
+               : static_cast<double>(tag_rejects) /
+                     static_cast<double>(decided);
+  }
+
+  /// Mean probe length per upsert — what the adaptive upsert window
+  /// tunes from (longer probes = more latency to hide per upsert).
+  double mean_probe_length() const noexcept {
+    return adds == 0 ? 0.0
+                     : static_cast<double>(probes) /
+                           static_cast<double>(adds);
+  }
+};
+
+/// The common surface every table variant exposes: capacity/size
+/// introspection, an occurrence-recording add, point lookup and a full
+/// scan. `find` and `for_each` traffic in entry types that carry at
+/// least the canonical kmer and a coverage/count field.
+template <typename T, int W = 1>
+concept KmerTableLike = requires(T table, const T const_table,
+                                 const Kmer<W>& kmer) {
+  { const_table.k() } -> std::convertible_to<int>;
+  { const_table.capacity() } -> std::convertible_to<std::uint64_t>;
+  { const_table.size() } -> std::convertible_to<std::uint64_t>;
+  { table.add(kmer, -1, -1) } -> std::same_as<AddResult>;
+  { const_table.find(kmer).has_value() } -> std::convertible_to<bool>;
+  const_table.for_each([](const auto&) {});
+};
+
+/// A table whose entries carry the 8 bidirected edge counters (every
+/// variant except the counting-only table).
+template <typename T, int W = 1>
+concept GraphKmerTableLike =
+    KmerTableLike<T, W> && requires(const T table, const Kmer<W>& kmer) {
+      { table.find(kmer)->edges } -> std::convertible_to<
+          std::array<std::uint32_t, 8>>;
+    };
+
+/// One upsert of a canonical-kmer workload (the unit the shared driver
+/// and the conformance tests replay against every table variant).
+template <int W>
+struct UpsertOp {
+  Kmer<W> canon;
+  std::int8_t edge_out = -1;
+  std::int8_t edge_in = -1;
+};
+
+/// Records one kmer occurrence in any table variant. Graph tables take
+/// the edge pair; counting-only tables drop it (their add ignores the
+/// edge arguments — see counter_table.h).
+template <typename Table, int W>
+AddResult upsert(Table& table, const Kmer<W>& canon, int edge_out,
+                 int edge_in) {
+  return table.add(canon, edge_out, edge_in);
+}
+
+/// Replays a workload through a table and returns the aggregate stats —
+/// the single driver the ablation bench and the conformance tests use
+/// for every variant.
+template <typename Table, int W>
+TableStats drive_ops(Table& table, std::span<const UpsertOp<W>> ops) {
+  TableStats stats;
+  for (const auto& op : ops) {
+    stats.absorb(upsert<Table, W>(table, op.canon, op.edge_out, op.edge_in));
+  }
+  return stats;
+}
+
+}  // namespace parahash::concurrent

@@ -54,12 +54,14 @@ struct HashConfig {
   double bloom_cells_per_kmer = 4.0;
   int bloom_hashes = 3;
 
-  /// Upsert window for the group-prefetch front-end
+  /// Upsert-window policy for the group-prefetch front-end
   /// (concurrent/batched_upsert.h): canonical kmers are rolled out a
-  /// window at a time, their home slots prefetched, then the window is
-  /// drained through the table. <= 1 disables batching (the scalar
-  /// oracle path the exactness tests compare against).
-  int upsert_batch = concurrent::BatchedUpserter<1>::kDefaultWindow;
+  /// window at a time, their probe groups prefetched, then the window is
+  /// drained through the table. fixed_window(1) disables batching (the
+  /// scalar oracle path the exactness tests compare against);
+  /// auto_window() re-tunes the window per partition from the measured
+  /// mean probe length.
+  concurrent::UpsertWindow upsert_window{};
 };
 
 template <int W>
@@ -73,9 +75,10 @@ struct SubgraphBuildResult {
 
 /// Device-agnostic Step-2 kernel: rolls out and upserts the core kmers of
 /// records [begin, end) (indices into `offsets`). Safe to call from many
-/// threads on disjoint ranges over the same table. `upsert_batch` > 1
-/// routes upserts through the group-prefetch window; <= 1 is the scalar
-/// add() path (the oracle the batched path must match bit-for-bit).
+/// threads on disjoint ranges over the same table. A non-scalar window
+/// policy routes upserts through the group-prefetch window; fixed(1) is
+/// the scalar add() path (the oracle the batched path must match
+/// bit-for-bit).
 template <int W>
 void hash_process_records(const io::PartitionBlob& blob,
                           const std::vector<std::size_t>& offsets,
@@ -83,12 +86,11 @@ void hash_process_records(const io::PartitionBlob& blob,
                           concurrent::ConcurrentKmerTable<W>& table,
                           concurrent::TableStats& stats,
                           concurrent::CountingBloom* prefilter = nullptr,
-                          int upsert_batch =
-                              concurrent::BatchedUpserter<W>::kDefaultWindow) {
+                          concurrent::UpsertWindow upsert_window = {}) {
   const int k = static_cast<int>(blob.header().k);
   std::vector<std::uint8_t> seq;
   std::optional<concurrent::BatchedUpserter<W>> batcher;
-  if (upsert_batch > 1) batcher.emplace(table, stats, upsert_batch);
+  if (!upsert_window.is_scalar()) batcher.emplace(table, stats, upsert_window);
 
   for (std::size_t r = begin; r < end; ++r) {
     const io::SuperkmerView view = io::record_at(blob, offsets[r]);
@@ -182,7 +184,7 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
         concurrent::TableStats stats;
         hash_process_records<W>(blob, offsets, 0, offsets.size(), *table,
                                 stats, prefilter.get(),
-                                config.upsert_batch);
+                                config.upsert_window);
         result.stats = stats;
       } else {
         std::mutex chunk_mutex;
@@ -193,7 +195,7 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
               concurrent::TableStats stats;
               hash_process_records<W>(blob, offsets, begin, end, *table,
                                       stats, prefilter.get(),
-                                      config.upsert_batch);
+                                      config.upsert_window);
               std::lock_guard<std::mutex> lock(chunk_mutex);
               total.merge(stats);
             });

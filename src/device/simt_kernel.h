@@ -7,16 +7,26 @@
 // table slots", and the scattered slots cannot be coalesced. This kernel
 // reproduces that execution model in software: a warp of W_SIZE lanes
 // holds one kmer each and probes in lockstep rounds — every round, all
-// still-active lanes take exactly one probe step; the warp retires only
-// when its slowest lane finishes. The number of rounds a warp executes
-// is therefore max(lane probe counts), and
+// still-active lanes take exactly one GROUP step (one metadata-block
+// scan via ConcurrentKmerTable::probe_group_step, resolving inside the
+// group or advancing a whole group); the warp retires only when its
+// slowest lane finishes. The number of rounds a warp executes is
+// therefore max(lane step counts), and
 //
 //     divergence factor = sum over warps of (rounds * active lanes)
 //                         / total useful probes
 //
 // directly measures the SIMT penalty the paper describes (1.0 = no
-// divergence). Results are bit-identical to the scalar kernel; only the
-// execution order and the accounting differ.
+// divergence; `useful_probes` counts group scans, the unit of probing
+// work a lane issues per round). Results are bit-identical to the
+// scalar kernel; only the execution order and the accounting differ.
+//
+// Unwind guarantee: a lane that exhausts the table marks itself failed
+// and the warp DRAINS its sibling lanes to done-or-failed before
+// TableFullError propagates. Claims are published within the same group
+// step that wins them, so no slot is ever left in the transient
+// `locked` state by a kernel unwind (regression-tested via
+// ConcurrentKmerTable::locked_slots()).
 #pragma once
 
 #include <cstdint>
@@ -33,7 +43,7 @@ struct SimtStats {
   std::uint64_t warps = 0;
   std::uint64_t rounds = 0;         ///< lockstep probe rounds executed
   std::uint64_t lane_slots = 0;     ///< rounds * lanes (work issued)
-  std::uint64_t useful_probes = 0;  ///< probes lanes actually needed
+  std::uint64_t useful_probes = 0;  ///< group scans lanes actually needed
   std::uint64_t kmers = 0;
 
   /// SIMT penalty: issued lane-slots per useful probe (>= 1).
@@ -62,21 +72,29 @@ struct SimtWorkItem {
 };
 
 /// Executes a warp of upserts in lockstep rounds against the shared
-/// table. Each round every unfinished lane advances its own probe by
-/// one slot (CAS-insert / wait / compare, same protocol as
-/// ConcurrentKmerTable::add applied stepwise).
+/// table. Each round every unfinished lane takes one GROUP step: one
+/// metadata-block scan that either resolves the upsert inside the group
+/// (CAS-claim + publish, or counter bump — the same state-transfer
+/// protocol as ConcurrentKmerTable::add) or advances the lane by the
+/// scanned group width. A lane blocked on a locked slot retries the
+/// same group next round instead of stalling the warp.
+///
+/// A lane that scans the whole table without resolving marks itself
+/// failed; the warp keeps stepping its sibling lanes until every lane
+/// is done or failed, and only then throws TableFullError — the unwind
+/// abandons no sibling mid-flight and leaves no slot `locked`.
 template <int W>
 void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
                       const std::vector<SimtWorkItem<W>>& warp,
                       SimtStats& stats) {
-  using Table = concurrent::ConcurrentKmerTable<W>;
   const std::size_t lanes = warp.size();
   if (lanes == 0) return;
 
   struct Lane {
-    std::uint64_t index = 0;   // current probe slot
-    std::uint64_t probes = 0;  // advances so far (full-table guard)
+    std::uint64_t index = 0;    // current probe group base
+    std::uint64_t scanned = 0;  // slots covered so far (full-table guard)
     bool done = false;
+    bool failed = false;
   };
   std::vector<Lane> state(lanes);
   const std::uint64_t mask = table.capacity() - 1;
@@ -85,6 +103,7 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
   }
 
   std::size_t remaining = lanes;
+  bool table_full = false;
   ++stats.warps;
   stats.kmers += lanes;
 
@@ -93,23 +112,34 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
     stats.lane_slots += lanes;  // SIMT: the whole warp issues the round
     for (std::size_t l = 0; l < lanes; ++l) {
       Lane& lane = state[l];
-      if (lane.done) continue;
-      ++stats.useful_probes;
-      // One probe step of the state-transfer protocol.
-      const auto outcome = table.probe_step(
-          lane.index, warp[l].canon, warp[l].edge_out, warp[l].edge_in);
-      if (outcome == Table::ProbeOutcome::kDone) {
+      if (lane.done || lane.failed) continue;
+      ++stats.useful_probes;  // one group scan of probing work
+      concurrent::AddResult lane_result;
+      const auto step = table.probe_group_step(
+          lane.index, warp[l].canon, warp[l].edge_out, warp[l].edge_in,
+          lane_result);
+      if (step.outcome == concurrent::ProbeOutcome::kDone) {
         lane.done = true;
         --remaining;
-      } else if (outcome == Table::ProbeOutcome::kAdvance) {
-        lane.index = (lane.index + 1) & mask;
-        if (++lane.probes > mask) {
-          throw TableFullError(
-              "SIMT kernel: table full (lane walked every slot)");
+      } else if (step.outcome == concurrent::ProbeOutcome::kAdvance) {
+        lane.index =
+            (lane.index + static_cast<std::uint64_t>(step.width)) & mask;
+        lane.scanned += static_cast<std::uint64_t>(step.width);
+        if (lane.scanned > mask) {
+          // Every slot scanned, no home found. Defer the throw: sibling
+          // lanes still in flight must resolve first.
+          lane.failed = true;
+          table_full = true;
+          --remaining;
         }
       }
-      // kRetry: same slot again next round (slot was locked).
+      // kRetry: rescan the same group next round (a lane was locked or
+      // a claim race was lost).
     }
+  }
+  if (table_full) {
+    throw TableFullError(
+        "SIMT kernel: table full (a lane scanned every slot)");
   }
 }
 

@@ -1,0 +1,127 @@
+// Runtime CPU dispatch for the SIMD metadata-scan backends.
+//
+// The group-probing engine (concurrent/probe_group.h) has three
+// implementations of the same scan — portable scalar, SSE2 (16 lanes)
+// and AVX2 (32 lanes) — and picks one per process at runtime:
+//
+//     level = min(compiled ceiling, CPU capability, env override)
+//
+// The compiled ceiling exists so a build can guarantee the scalar
+// fallback stays exercised: configuring with -DPARAHASH_FORCE_SCALAR=ON
+// defines the PARAHASH_FORCE_SCALAR macro and no intrinsic code is even
+// compiled (the `ci-scalar` workflow preset builds and tests this leg).
+// ThreadSanitizer builds also pin the ceiling to scalar: the wide loads
+// the SIMD backends issue over the atomic metadata bytes are exactly
+// the kind of access tsan must flag, while the scalar backend's
+// per-byte acquire loads are the formally correct protocol the
+// sanitizer verifies.
+//
+// Environment overrides (read once, first use):
+//     PARAHASH_FORCE_SCALAR=1   force the scalar backend
+//     PARAHASH_SIMD=scalar|sse2|avx2
+//                               cap the level (never raises it above
+//                               what the build/CPU supports)
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace parahash::simd {
+
+enum class Level : int {
+  kScalar = 0,  ///< per-byte atomic loads, no vector instructions
+  kSse2 = 1,    ///< 16-byte pcmpeqb metadata scan
+  kAvx2 = 2,    ///< 32-byte vpcmpeqb metadata scan
+};
+
+inline const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+// True when this build contains the x86 intrinsic backends at all.
+#if (defined(__x86_64__) || defined(__i386__)) &&       \
+    !defined(PARAHASH_FORCE_SCALAR) &&                  \
+    !defined(__SANITIZE_THREAD__) && !defined(PARAHASH_HAS_TSAN_FEATURE)
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARAHASH_SIMD_X86 0
+#else
+#define PARAHASH_SIMD_X86 1
+#endif
+#else
+#define PARAHASH_SIMD_X86 1
+#endif
+#else
+#define PARAHASH_SIMD_X86 0
+#endif
+
+/// Highest level this binary could ever run (macro / sanitizer gate).
+inline constexpr Level compiled_ceiling() noexcept {
+#if PARAHASH_SIMD_X86
+  return Level::kAvx2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// Highest level the build AND the executing CPU support. SSE2 is
+/// architectural on x86-64, so only AVX2 needs a CPUID probe.
+inline Level detect() noexcept {
+#if PARAHASH_SIMD_X86
+  return __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// Applies the override strings to a detected level. Pure (testable
+/// without mutating the process environment): `force_scalar` and
+/// `simd_name` are the raw values of PARAHASH_FORCE_SCALAR and
+/// PARAHASH_SIMD (nullptr = unset). An override can only lower the
+/// level — asking for avx2 on an sse2-only build/CPU stays at sse2 —
+/// and unknown names are ignored.
+inline Level resolve(const char* force_scalar, const char* simd_name,
+                     Level detected) noexcept {
+  if (force_scalar != nullptr && force_scalar[0] != '\0' &&
+      std::strcmp(force_scalar, "0") != 0) {
+    return Level::kScalar;
+  }
+  if (simd_name == nullptr) return detected;
+  Level requested = detected;
+  if (std::strcmp(simd_name, "scalar") == 0 ||
+      std::strcmp(simd_name, "off") == 0 ||
+      std::strcmp(simd_name, "0") == 0) {
+    requested = Level::kScalar;
+  } else if (std::strcmp(simd_name, "sse2") == 0) {
+    requested = Level::kSse2;
+  } else if (std::strcmp(simd_name, "avx2") == 0) {
+    requested = Level::kAvx2;
+  }
+  return static_cast<int>(requested) < static_cast<int>(detected)
+             ? requested
+             : detected;
+}
+
+/// Reads the environment and resolves the level to use right now.
+/// Uncached — the dispatch unit test calls this around setenv().
+inline Level level_from_environment() noexcept {
+  return resolve(std::getenv("PARAHASH_FORCE_SCALAR"),
+                 std::getenv("PARAHASH_SIMD"), detect());
+}
+
+/// The process-wide dispatch decision, made once on first use. Tables
+/// snapshot this at construction (and tests may override per table).
+inline Level active() noexcept {
+  static const Level level = level_from_environment();
+  return level;
+}
+
+}  // namespace parahash::simd

@@ -1,6 +1,8 @@
 // Tests for the concurrent substrate: the state-transfer hash table (the
-// paper's core data structure), the lock-per-access ablation table, and
-// the thread pool.
+// paper's core data structure), the ablation tables behind the shared
+// table concept, and the thread pool. The per-variant conformance tests
+// run as ONE typed suite over every table satisfying KmerTableLike,
+// driven through the shared drive_ops() helper.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,13 +10,16 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "concurrent/batched_upsert.h"
+#include "concurrent/counter_table.h"
 #include "concurrent/fatslot_table.h"
 #include "concurrent/kmer_table.h"
 #include "concurrent/mutex_table.h"
+#include "concurrent/table_concept.h"
 #include "concurrent/thread_pool.h"
 #include "util/rng.h"
 
@@ -78,6 +83,43 @@ std::vector<Op> make_ops(int distinct, int total, int k, std::uint64_t seed) {
   return ops;
 }
 
+std::vector<UpsertOp<1>> to_upserts(const std::vector<Op>& ops) {
+  std::vector<UpsertOp<1>> upserts;
+  upserts.reserve(ops.size());
+  for (const auto& op : ops) {
+    UpsertOp<1> u;
+    u.canon = Kmer<1>::from_string(op.kmer);
+    u.edge_out = static_cast<std::int8_t>(op.edge_out);
+    u.edge_in = static_cast<std::int8_t>(op.edge_in);
+    upserts.push_back(u);
+  }
+  return upserts;
+}
+
+/// Concept-level reference check: coverage (or count) per distinct key,
+/// plus the edge counters on variants that carry them.
+template <typename Table>
+void check_any_table(Table& table, const std::vector<Op>& ops) {
+  std::map<std::string, Expected> expected;
+  for (const auto& op : ops) {
+    auto& e = expected[op.kmer];
+    ++e.coverage;
+    if (op.edge_out >= 0) ++e.edges[kEdgeOut + op.edge_out];
+    if (op.edge_in >= 0) ++e.edges[kEdgeIn + op.edge_in];
+  }
+  EXPECT_EQ(table.size(), expected.size());
+  for (const auto& [kmer_str, e] : expected) {
+    const auto found = table.find(Kmer<1>::from_string(kmer_str));
+    ASSERT_TRUE(found.has_value()) << kmer_str;
+    if constexpr (GraphKmerTableLike<Table>) {
+      EXPECT_EQ(found->coverage, e.coverage) << kmer_str;
+      EXPECT_EQ(found->edges, e.edges) << kmer_str;
+    } else {
+      EXPECT_EQ(found->count, e.coverage) << kmer_str;
+    }
+  }
+}
+
 // --------------------------------------------- ConcurrentKmerTable
 
 TEST(KmerTable, InsertAndFindSingle) {
@@ -128,9 +170,46 @@ TEST(KmerTable, SequentialMatchesReference) {
   EXPECT_EQ(stats.inserts, 200u);
   EXPECT_GE(stats.probes, stats.adds);
   // Sequentially every probe step resolves as exactly one of: the
-  // empty-slot insertion, a tag-only reject, or a full key compare.
+  // empty-slot insertion, a tag-only reject, or a full key compare —
+  // the identity group probing must preserve exactly.
   EXPECT_EQ(stats.probes,
             stats.inserts + stats.tag_rejects + stats.key_compares);
+  // Group accounting: every add issues at least one metadata scan, and
+  // on the group path every tag reject is a wholesale lane rejection.
+  EXPECT_GE(stats.group_scans, stats.adds);
+  EXPECT_EQ(stats.lanes_rejected, stats.tag_rejects);
+}
+
+TEST(KmerTable, SlotwisePathMatchesGroupPathExactly) {
+  // The preserved per-slot loop (the oracle) and the group engine must
+  // agree on contents AND on the probe-resolution statistics.
+  const auto ops = make_ops<1>(300, 4000, 27, 2026);
+  ConcurrentKmerTable<1> group_table(512, 27);
+  ConcurrentKmerTable<1> slot_table(512, 27);
+  TableStats group_stats;
+  TableStats slot_stats;
+  for (const auto& op : ops) {
+    const auto kmer = Kmer<1>::from_string(op.kmer);
+    const std::uint64_t hash = kmer.hash();
+    group_stats.absorb(
+        group_table.add_hashed(kmer, hash, op.edge_out, op.edge_in));
+    slot_stats.absorb(
+        slot_table.add_hashed_slotwise(kmer, hash, op.edge_out, op.edge_in));
+  }
+  EXPECT_EQ(group_table.size(), slot_table.size());
+  group_table.for_each([&](const VertexEntry<1>& e) {
+    const auto found = slot_table.find(e.kmer);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+  // Same placement => same per-step resolution counts.
+  EXPECT_EQ(group_stats.inserts, slot_stats.inserts);
+  EXPECT_EQ(group_stats.probes, slot_stats.probes);
+  EXPECT_EQ(group_stats.tag_rejects, slot_stats.tag_rejects);
+  EXPECT_EQ(group_stats.key_compares, slot_stats.key_compares);
+  EXPECT_GT(group_stats.group_scans, 0u);
+  EXPECT_EQ(slot_stats.group_scans, 0u);
 }
 
 TEST(KmerTable, MultiWordKeysWork) {
@@ -390,43 +469,114 @@ TEST(KmerTable, BatchedUpserterClampsWindow) {
   EXPECT_EQ(huge.window(), BatchedUpserter<1>::kMaxWindow);
 }
 
-// ----------------------------------------------- FatSlotKmerTable
+// ------------------------------------------------------ UpsertWindow
 
-TEST(FatSlotTable, AgreesWithSplitLayoutTable) {
-  // The ablation baseline (seed fat-slot layout) and the production
-  // split-layout table must accumulate identical contents.
-  const auto ops = make_ops<1>(150, 2000, 27, 13579);
-  ConcurrentKmerTable<1> split(512, 27);
-  FatSlotKmerTable<1> fat(512, 27);
-  for (const auto& op : ops) {
-    const auto kmer = Kmer<1>::from_string(op.kmer);
-    split.add(kmer, op.edge_out, op.edge_in);
-    fat.add(kmer, op.edge_out, op.edge_in);
-  }
-  EXPECT_EQ(split.size(), fat.size());
-  split.for_each([&](const VertexEntry<1>& e) {
-    const auto found = fat.find(e.kmer);
-    ASSERT_TRUE(found.has_value());
-    EXPECT_EQ(found->coverage, e.coverage);
-    EXPECT_EQ(found->edges, e.edges);
-  });
+TEST(UpsertWindow, ParsesFixedAndAuto) {
+  EXPECT_TRUE(UpsertWindow::parse("auto").is_auto());
+  EXPECT_FALSE(UpsertWindow::parse("8").is_auto());
+  EXPECT_EQ(UpsertWindow::parse("8").fixed, 8);
+  EXPECT_TRUE(UpsertWindow::parse("1").is_scalar());
+  EXPECT_EQ(UpsertWindow::parse("0").fixed, 1);  // clamped
+  EXPECT_EQ(UpsertWindow::parse("99999").fixed, UpsertWindow::kMax);
+  // Garbage falls back to the default fixed window.
+  EXPECT_EQ(UpsertWindow::parse("bogus").fixed, UpsertWindow::kDefault);
+  EXPECT_FALSE(UpsertWindow::parse("bogus").is_auto());
+  EXPECT_EQ(UpsertWindow::auto_window().to_string(), "auto");
+  EXPECT_EQ(UpsertWindow::fixed_window(32).to_string(), "32");
 }
 
-TEST(FatSlotTable, ConcurrentAddsMatchReference) {
+TEST(UpsertWindow, TuningWidensWithProbeLength) {
+  EXPECT_EQ(UpsertWindow::tuned_for(0.0), UpsertWindow::kAutoMin);
+  EXPECT_EQ(UpsertWindow::tuned_for(1.0), UpsertWindow::kAutoMin);
+  EXPECT_EQ(UpsertWindow::tuned_for(2.0), UpsertWindow::kDefault);
+  EXPECT_EQ(UpsertWindow::tuned_for(100.0), UpsertWindow::kMax);
+  EXPECT_LE(UpsertWindow::tuned_for(3.0), UpsertWindow::tuned_for(5.0));
+}
+
+TEST(KmerTable, AutoWindowRetunesFromMeasuredProbeLength) {
+  const auto ops = make_ops<1>(400, 4000, 27, 60606);
+  ConcurrentKmerTable<1> table(1024, 27);
+  TableStats stats;
+  {
+    BatchedUpserter<1> batcher(table, stats, UpsertWindow::auto_window());
+    EXPECT_EQ(batcher.window(), UpsertWindow::kDefault);  // warmup
+    for (const auto& op : ops) {
+      batcher.push(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+    }
+    batcher.flush();
+    EXPECT_EQ(batcher.window(),
+              UpsertWindow::tuned_for(stats.mean_probe_length()));
+    EXPECT_GE(batcher.window(), UpsertWindow::kAutoMin);
+    EXPECT_LE(batcher.window(), UpsertWindow::kMax);
+  }
+  EXPECT_EQ(stats.adds, ops.size());
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
+// --------------------------------- shared concept over every variant
+//
+// One typed suite replaces the per-table copy-pasted drivers: every
+// variant satisfying KmerTableLike replays the same workload through
+// the shared drive_ops() helper and must agree with the reference (and,
+// for graph tables, with the production table's contents).
+
+template <typename Table>
+class AnyTableTest : public ::testing::Test {};
+
+using TableVariants =
+    ::testing::Types<ConcurrentKmerTable<1>, FatSlotKmerTable<1>,
+                     MutexShardTable<1>, ConcurrentCounterTable<1>>;
+TYPED_TEST_SUITE(AnyTableTest, TableVariants);
+
+TYPED_TEST(AnyTableTest, SequentialDriverMatchesReference) {
+  const auto ops = make_ops<1>(200, 3000, 27, 4321);
+  const auto upserts = to_upserts(ops);
+  TypeParam table(512, 27);
+  const TableStats stats = drive_ops<TypeParam, 1>(
+      table, std::span<const UpsertOp<1>>(upserts));
+  EXPECT_EQ(stats.adds, ops.size());
+  EXPECT_EQ(stats.inserts, table.size());
+  check_any_table(table, ops);
+}
+
+TYPED_TEST(AnyTableTest, ConcurrentDriverMatchesReference) {
   const int threads = 8;
-  const auto ops = make_ops<1>(50, threads * 2000, 27, 8642);
-  FatSlotKmerTable<1> table(256, 27);
+  const int per_thread = 2000;
+  const auto ops = make_ops<1>(50, threads * per_thread, 27, 8642);
+  const auto upserts = to_upserts(ops);
+  TypeParam table(256, 27);
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      for (int i = t * 2000; i < (t + 1) * 2000; ++i) {
-        table.add(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
-                  ops[i].edge_in);
-      }
+      drive_ops<TypeParam, 1>(
+          table, std::span<const UpsertOp<1>>(upserts).subspan(
+                     static_cast<std::size_t>(t) * per_thread, per_thread));
     });
   }
   for (auto& w : workers) w.join();
-  check_against_reference<FatSlotKmerTable<1>, 1>(table, ops);
+  check_any_table(table, ops);
+}
+
+TYPED_TEST(AnyTableTest, AgreesWithProductionTable) {
+  const auto ops = make_ops<1>(150, 2000, 27, 13579);
+  const auto upserts = to_upserts(ops);
+  ConcurrentKmerTable<1> production(512, 27);
+  TypeParam variant(512, 27);
+  drive_ops<ConcurrentKmerTable<1>, 1>(
+      production, std::span<const UpsertOp<1>>(upserts));
+  drive_ops<TypeParam, 1>(variant,
+                          std::span<const UpsertOp<1>>(upserts));
+  EXPECT_EQ(production.size(), variant.size());
+  production.for_each([&](const VertexEntry<1>& e) {
+    const auto found = variant.find(e.kmer);
+    ASSERT_TRUE(found.has_value()) << e.kmer.to_string();
+    if constexpr (GraphKmerTableLike<TypeParam>) {
+      EXPECT_EQ(found->coverage, e.coverage);
+      EXPECT_EQ(found->edges, e.edges);
+    } else {
+      EXPECT_EQ(found->count, e.coverage);
+    }
+  });
 }
 
 TEST(KmerTable, LockWaitStatisticsStayRare) {
@@ -452,52 +602,6 @@ TEST(KmerTable, LockWaitStatisticsStayRare) {
   EXPECT_EQ(total.adds, static_cast<std::uint64_t>(threads) * 4000);
   // Waits can only happen while one of the 20 keys is mid-insertion.
   EXPECT_LT(total.lock_waits, total.adds / 100);
-}
-
-// --------------------------------------------------- MutexShardTable
-
-TEST(MutexTable, SequentialMatchesReference) {
-  const auto ops = make_ops<1>(200, 3000, 27, 4321);
-  MutexShardTable<1> table(512, 27);
-  for (const auto& op : ops) {
-    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
-  }
-  check_against_reference<MutexShardTable<1>, 1>(table, ops);
-}
-
-TEST(MutexTable, ConcurrentAddsMatchReference) {
-  const int threads = 8;
-  const auto ops = make_ops<1>(50, threads * 3000, 27, 888);
-  MutexShardTable<1> table(256, 27);
-  std::vector<std::thread> workers;
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      for (int i = t * 3000; i < (t + 1) * 3000; ++i) {
-        table.add(Kmer<1>::from_string(ops[i].kmer), ops[i].edge_out,
-                  ops[i].edge_in);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  check_against_reference<MutexShardTable<1>, 1>(table, ops);
-}
-
-TEST(MutexTable, AgreesWithStateTransferTable) {
-  const auto ops = make_ops<1>(150, 2000, 27, 2468);
-  ConcurrentKmerTable<1> a(512, 27);
-  MutexShardTable<1> b(512, 27);
-  for (const auto& op : ops) {
-    const auto kmer = Kmer<1>::from_string(op.kmer);
-    a.add(kmer, op.edge_out, op.edge_in);
-    b.add(kmer, op.edge_out, op.edge_in);
-  }
-  EXPECT_EQ(a.size(), b.size());
-  a.for_each([&](const VertexEntry<1>& e) {
-    const auto found = b.find(e.kmer);
-    ASSERT_TRUE(found.has_value());
-    EXPECT_EQ(found->coverage, e.coverage);
-    EXPECT_EQ(found->edges, e.edges);
-  });
 }
 
 // --------------------------------------------------------- ThreadPool

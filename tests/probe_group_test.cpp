@@ -1,0 +1,360 @@
+// Tests for the group-probing engine: backend mask equivalence (scalar
+// vs SSE2 vs AVX2), group-boundary wraparound, tag collisions inside
+// one group, forced-backend oracle equivalence over random workloads,
+// and the runtime SIMD dispatch (environment overrides included).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrent/kmer_table.h"
+#include "concurrent/probe_group.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace parahash::concurrent {
+namespace {
+
+using probe::GroupScan;
+
+template <int W>
+Kmer<W> random_kmer(Rng& rng, int k) {
+  Kmer<W> kmer;
+  for (int i = 0; i < k; ++i) kmer.push_back(rng.base());
+  return kmer;
+}
+
+/// Backends the build AND this CPU can actually run; the others are
+/// covered by the scalar-vs-scalar trivial case (and the ci-scalar leg).
+std::vector<simd::Level> runnable_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (static_cast<int>(simd::detect()) >=
+      static_cast<int>(simd::Level::kSse2)) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::detect() == simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+// ------------------------------------------------- scan-mask oracles
+
+TEST(ProbeGroup, BackendsClassifyRandomMetadataIdentically) {
+  // Random metadata arrays (all four byte classes represented), random
+  // bases including ones that wrap past the array end: every backend
+  // must produce the scalar reference masks bit for bit.
+  constexpr std::uint64_t kCapacity = 128;
+  constexpr std::uint64_t kMask = kCapacity - 1;
+  std::vector<std::atomic<std::uint8_t>> meta(kCapacity);
+  Rng rng(424242);
+
+  for (int round = 0; round < 50; ++round) {
+    for (auto& m : meta) {
+      const auto roll = rng.below(8);
+      std::uint8_t byte = 0x00;
+      if (roll >= 4) {
+        byte = static_cast<std::uint8_t>(0x80 | rng.below(64));  // occupied
+      } else if (roll >= 2) {
+        byte = 0x01;  // locked
+      }
+      m.store(byte, std::memory_order_relaxed);
+    }
+    const std::uint8_t occupied =
+        static_cast<std::uint8_t>(0x80 | rng.below(64));
+
+    for (std::uint64_t base = 0; base < kCapacity; ++base) {
+      for (const auto level : runnable_levels()) {
+        const GroupScan got =
+            probe::scan_group(meta.data(), kMask, base, occupied, level);
+        const GroupScan want = probe::detail::scan_scalar(
+            meta.data(), kMask, base, occupied, got.width);
+        EXPECT_EQ(got.width, probe::group_width(level));
+        EXPECT_EQ(got.match, want.match)
+            << "level=" << simd::to_string(level) << " base=" << base;
+        EXPECT_EQ(got.empty, want.empty)
+            << "level=" << simd::to_string(level) << " base=" << base;
+        EXPECT_EQ(got.locked, want.locked)
+            << "level=" << simd::to_string(level) << " base=" << base;
+        // The derived masks partition the lanes.
+        EXPECT_EQ(got.lane_mask(),
+                  got.match | got.empty | got.locked | got.mismatch());
+      }
+    }
+  }
+}
+
+TEST(ProbeGroup, TinyCapacityClampsWidth) {
+  constexpr std::uint64_t kCapacity = 8;  // smaller than any SIMD width
+  std::vector<std::atomic<std::uint8_t>> meta(kCapacity);
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    meta[i].store(i % 2 == 0 ? 0x00 : 0x01, std::memory_order_relaxed);
+  }
+  for (const auto level : runnable_levels()) {
+    const GroupScan scan =
+        probe::scan_group(meta.data(), kCapacity - 1, 3, 0x80, level);
+    EXPECT_EQ(scan.width, static_cast<int>(kCapacity));
+    EXPECT_EQ(std::popcount(scan.empty | scan.locked), 8);
+    EXPECT_EQ(scan.match, 0u);
+  }
+}
+
+// ------------------------------------------------ table-level checks
+
+TEST(ProbeGroup, WraparoundProbeSequenceStaysExact) {
+  // A probe sequence that crosses the metadata array end: with a
+  // 32-slot table, keys whose home group straddles slot 31 -> 0 force
+  // the wrapped (gathered) scan path. Contents must match the slotwise
+  // oracle exactly under every backend.
+  const int k = 27;
+  const std::uint64_t capacity = 32;
+  Rng rng(555);
+  std::vector<Kmer<1>> keys;
+  std::set<std::string> unique;
+  int near_end = 0;
+  // Collect 24 distinct keys, at least 8 homed in the last group-width
+  // stretch so their groups wrap.
+  while (keys.size() < 24) {
+    const auto kmer = random_kmer<1>(rng, k);
+    const std::uint64_t home = kmer.hash() & (capacity - 1);
+    const bool wraps = home > capacity - probe::kGroupWidth;
+    if (keys.size() < 8 && !wraps) continue;
+    if (wraps) ++near_end;
+    if (!unique.insert(kmer.to_string()).second) continue;
+    keys.push_back(kmer);
+  }
+  ASSERT_GE(near_end, 8);
+
+  for (const auto level : runnable_levels()) {
+    ConcurrentKmerTable<1> table(capacity, k);
+    table.set_simd_level(level);
+    ConcurrentKmerTable<1> oracle(capacity, k);
+    for (int round = 0; round < 3; ++round) {
+      for (const auto& key : keys) {
+        table.add(key, round & 3, -1);
+        oracle.add_hashed_slotwise(key, key.hash(), round & 3, -1);
+      }
+    }
+    EXPECT_EQ(table.size(), oracle.size());
+    oracle.for_each([&](const VertexEntry<1>& e) {
+      const auto found = table.find(e.kmer);
+      ASSERT_TRUE(found.has_value())
+          << simd::to_string(level) << " " << e.kmer.to_string();
+      EXPECT_EQ(found->coverage, e.coverage);
+      EXPECT_EQ(found->edges, e.edges);
+    });
+  }
+}
+
+TEST(ProbeGroup, EqualTagsInOneGroupDisambiguateByKeyCompare) {
+  // Two distinct keys with the SAME 6-bit tag and the SAME home slot:
+  // the scan reports both slots as match lanes for either key's
+  // fingerprint, and only the full key compare tells them apart — the
+  // second key must be probed PAST the first's slot on every add.
+  using Table = ConcurrentKmerTable<1>;
+  const int k = 27;
+  const std::uint64_t capacity = 64;
+  const std::uint64_t mask = capacity - 1;
+
+  Rng rng(20260807);
+  const Kmer<1> first = random_kmer<1>(rng, k);
+  const std::uint64_t home0 = first.hash() & mask;
+  const std::uint8_t tag0 = Table::occupied_byte(first.hash());
+  Kmer<1> second;
+  for (;;) {
+    const auto kmer = random_kmer<1>(rng, k);
+    if ((kmer.hash() & mask) == home0 &&
+        Table::occupied_byte(kmer.hash()) == tag0 &&
+        kmer.to_string() != first.to_string()) {
+      second = kmer;
+      break;
+    }
+  }
+
+  for (const auto level : runnable_levels()) {
+    Table table(capacity, k);
+    table.set_simd_level(level);
+    TableStats stats;
+    stats.absorb(table.add(first, 1, -1));   // inserts at home0, lane 0
+    stats.absorb(table.add(second, 2, -1));  // compare-fails first, lane 1
+    stats.absorb(table.add(first, 1, -1));   // 1 compare (lane 0 hits)
+    stats.absorb(table.add(second, 2, -1));  // 2 compares (lane 0 misses)
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.find(first)->out_weight(1), 2u);
+    EXPECT_EQ(table.find(second)->out_weight(2), 2u);
+    // The equal tags can never be rejected by fingerprint alone: every
+    // foreign encounter is a full key compare, never a tag reject.
+    EXPECT_EQ(stats.tag_rejects, 0u);
+    EXPECT_EQ(stats.key_compares, 4u);
+
+    // One scan sees both keys as candidate match lanes.
+    const auto scan = table.probe_group(home0, tag0);
+    EXPECT_GE(std::popcount(scan.match), 2);
+  }
+}
+
+TEST(ProbeGroup, BackendsProduceIdenticalTablesSequentially) {
+  const int k = 27;
+  Rng rng(99);
+  std::vector<Kmer<1>> keys;
+  for (int i = 0; i < 400; ++i) keys.push_back(random_kmer<1>(rng, k));
+
+  // Drive the identical workload (with duplicates) under every backend
+  // and demand identical contents AND identical probe statistics.
+  std::vector<TableStats> all_stats;
+  std::vector<std::uint64_t> sizes;
+  ConcurrentKmerTable<1> reference(1024, k);
+  for (const auto level : runnable_levels()) {
+    ConcurrentKmerTable<1> table(1024, k);
+    table.set_simd_level(level);
+    TableStats stats;
+    Rng pick(7);
+    for (int i = 0; i < 6000; ++i) {
+      const auto& key = keys[pick.below(keys.size())];
+      stats.absorb(table.add(key, static_cast<int>(pick.below(4)),
+                             static_cast<int>(pick.below(4))));
+    }
+    if (all_stats.empty()) {
+      table.for_each([&](const VertexEntry<1>& e) {
+        reference.add(e.kmer, -1, -1);
+      });
+    } else {
+      // Same placement under every backend.
+      std::uint64_t matched = 0;
+      table.for_each([&](const VertexEntry<1>& e) {
+        matched += reference.find(e.kmer).has_value();
+      });
+      EXPECT_EQ(matched, table.size());
+    }
+    all_stats.push_back(stats);
+    sizes.push_back(table.size());
+  }
+  for (std::size_t i = 1; i < all_stats.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[0]);
+    EXPECT_EQ(all_stats[i].inserts, all_stats[0].inserts);
+    EXPECT_EQ(all_stats[i].probes, all_stats[0].probes);
+    EXPECT_EQ(all_stats[i].tag_rejects, all_stats[0].tag_rejects);
+    EXPECT_EQ(all_stats[i].key_compares, all_stats[0].key_compares);
+    EXPECT_EQ(all_stats[i].lanes_rejected, all_stats[0].lanes_rejected);
+  }
+}
+
+TEST(ProbeGroup, BackendsAgreeUnderContention) {
+  // 8 threads hammering a small keyset through each backend: totals
+  // must agree with the sequential scalar oracle.
+  const int k = 27;
+  const int threads = 8;
+  const int per_thread = 4000;
+  Rng rng(1212);
+  std::vector<Kmer<1>> keys;
+  for (int i = 0; i < 60; ++i) keys.push_back(random_kmer<1>(rng, k));
+
+  ConcurrentKmerTable<1> oracle(256, k);
+  {
+    Rng pick(3);
+    for (int i = 0; i < threads * per_thread; ++i) {
+      const auto& key = keys[pick.below(keys.size())];
+      oracle.add_hashed_slotwise(key, key.hash(),
+                                 static_cast<int>(pick.below(4)), -1);
+    }
+  }
+
+  for (const auto level : runnable_levels()) {
+    ConcurrentKmerTable<1> table(256, k);
+    table.set_simd_level(level);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng pick(3);
+        // Re-derive the full op stream; this thread executes its slice.
+        for (int i = 0; i < threads * per_thread; ++i) {
+          const auto& key = keys[pick.below(keys.size())];
+          const int eo = static_cast<int>(pick.below(4));
+          if (i % threads == t) table.add(key, eo, -1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(table.size(), oracle.size());
+    oracle.for_each([&](const VertexEntry<1>& e) {
+      const auto found = table.find(e.kmer);
+      ASSERT_TRUE(found.has_value()) << simd::to_string(level);
+      EXPECT_EQ(found->coverage, e.coverage);
+      EXPECT_EQ(found->edges, e.edges);
+    });
+  }
+}
+
+// -------------------------------------------------- runtime dispatch
+
+TEST(SimdDispatch, ResolveAppliesOverrides) {
+  using simd::Level;
+  // No overrides: detected level passes through.
+  EXPECT_EQ(simd::resolve(nullptr, nullptr, Level::kAvx2), Level::kAvx2);
+  // PARAHASH_FORCE_SCALAR wins over everything.
+  EXPECT_EQ(simd::resolve("1", nullptr, Level::kAvx2), Level::kScalar);
+  EXPECT_EQ(simd::resolve("1", "avx2", Level::kAvx2), Level::kScalar);
+  // "0" and empty mean unset.
+  EXPECT_EQ(simd::resolve("0", nullptr, Level::kSse2), Level::kSse2);
+  EXPECT_EQ(simd::resolve("", nullptr, Level::kSse2), Level::kSse2);
+  // PARAHASH_SIMD can lower ...
+  EXPECT_EQ(simd::resolve(nullptr, "scalar", Level::kAvx2), Level::kScalar);
+  EXPECT_EQ(simd::resolve(nullptr, "sse2", Level::kAvx2), Level::kSse2);
+  // ... but never raise above the detected ceiling.
+  EXPECT_EQ(simd::resolve(nullptr, "avx2", Level::kSse2), Level::kSse2);
+  // Unknown names are ignored.
+  EXPECT_EQ(simd::resolve(nullptr, "avx512", Level::kAvx2), Level::kAvx2);
+}
+
+TEST(SimdDispatch, EnvironmentOverrideIsHonoured) {
+  // The uncached resolver must see the live environment. (active() is
+  // deliberately cached, so the test drives level_from_environment.)
+  const char* const saved_force = std::getenv("PARAHASH_FORCE_SCALAR");
+  const char* const saved_simd = std::getenv("PARAHASH_SIMD");
+  const std::string saved_force_value = saved_force ? saved_force : "";
+  const std::string saved_simd_value = saved_simd ? saved_simd : "";
+
+  ::setenv("PARAHASH_FORCE_SCALAR", "1", 1);
+  EXPECT_EQ(simd::level_from_environment(), simd::Level::kScalar);
+  ::unsetenv("PARAHASH_FORCE_SCALAR");
+
+  ::setenv("PARAHASH_SIMD", "scalar", 1);
+  EXPECT_EQ(simd::level_from_environment(), simd::Level::kScalar);
+  ::unsetenv("PARAHASH_SIMD");
+
+  EXPECT_EQ(simd::level_from_environment(), simd::detect());
+
+  if (saved_force) {
+    ::setenv("PARAHASH_FORCE_SCALAR", saved_force_value.c_str(), 1);
+  }
+  if (saved_simd) ::setenv("PARAHASH_SIMD", saved_simd_value.c_str(), 1);
+}
+
+TEST(SimdDispatch, CompiledCeilingBoundsEverything) {
+  EXPECT_LE(static_cast<int>(simd::detect()),
+            static_cast<int>(simd::compiled_ceiling()));
+  EXPECT_LE(static_cast<int>(simd::active()),
+            static_cast<int>(simd::detect()));
+#if !PARAHASH_SIMD_X86
+  // Forced-scalar / sanitizer / non-x86 builds: everything is scalar.
+  EXPECT_EQ(simd::compiled_ceiling(), simd::Level::kScalar);
+  EXPECT_EQ(simd::detect(), simd::Level::kScalar);
+#endif
+}
+
+TEST(SimdDispatch, TableClampsRequestedLevel) {
+  ConcurrentKmerTable<1> table(64, 21);
+  table.set_simd_level(simd::Level::kAvx2);
+  EXPECT_LE(static_cast<int>(table.simd_level()),
+            static_cast<int>(simd::detect()));
+  table.set_simd_level(simd::Level::kScalar);
+  EXPECT_EQ(table.simd_level(), simd::Level::kScalar);
+}
+
+}  // namespace
+}  // namespace parahash::concurrent

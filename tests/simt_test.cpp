@@ -3,12 +3,17 @@
 // divergence metric's basic properties.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "core/msp.h"
 #include "core/reference.h"
 #include "core/subgraph.h"
 #include "device/simt_kernel.h"
 #include "io/tmpdir.h"
 #include "sim/read_sim.h"
+#include "util/rng.h"
 
 namespace parahash::device {
 namespace {
@@ -108,6 +113,29 @@ TEST(Simt, FullTableThrowsInsteadOfSpinning) {
   EXPECT_THROW(simt_process_partition<1>(blob, tiny, 32), TableFullError);
 }
 
+TEST(Simt, FullTableUnwindLeavesNoLockedSlots) {
+  // Regression: the kernel used to throw TableFullError from inside a
+  // lane step, abandoning sibling lanes mid-flight. The unwind must
+  // leave every slot empty or occupied — never `locked` — or any later
+  // prober (including the resize-and-retry recovery path walking the
+  // old table) would spin forever.
+  const auto blob = one_partition(1000, 4.0, 2.0, 70, nullptr);
+  concurrent::ConcurrentKmerTable<1> tiny(16, 27);
+  EXPECT_THROW(simt_process_partition<1>(blob, tiny, 32), TableFullError);
+  EXPECT_EQ(tiny.locked_slots(), 0u);
+  // Single-threaded, a lane only fails after seeing every slot occupied
+  // by foreign keys — and its drained siblings then resolve as updates
+  // or failures — so the unwound table is exactly full, and every
+  // occupied slot is still a readable, consistent vertex.
+  EXPECT_EQ(tiny.size(), tiny.capacity());
+  std::uint64_t visited = 0;
+  tiny.for_each([&](const concurrent::VertexEntry<1>& e) {
+    ++visited;
+    EXPECT_GE(e.coverage, 1u);
+  });
+  EXPECT_EQ(visited, tiny.size());
+}
+
 TEST(Simt, WarpSizeOneHasNoDivergence) {
   const auto blob = one_partition(1000, 5.0, 1.0, 69, nullptr);
   concurrent::ConcurrentKmerTable<1> table(
@@ -130,28 +158,81 @@ TEST(Simt, EmptyPartition) {
   EXPECT_EQ(table.size(), 0u);
 }
 
-TEST(ProbeStep, MatchesAddSemantics) {
-  concurrent::ConcurrentKmerTable<1> table(64, 21);
+TEST(ProbeGroupStep, MatchesAddSemantics) {
+  using Table = concurrent::ConcurrentKmerTable<1>;
+  Table table(64, 21);
   const auto a = Kmer<1>::from_string("ACGTACGTACGTACGTACGTA");
 
-  // Fresh key: first probe at its home slot inserts.
+  // Fresh key: the first group step at its home index inserts.
   const std::uint64_t home = a.hash() & (table.capacity() - 1);
-  EXPECT_EQ(table.probe_step(home, a, 1, 2),
-            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kDone);
+  concurrent::AddResult first;
+  const auto s1 = table.probe_group_step(home, a, 1, 2, first);
+  EXPECT_EQ(s1.outcome, concurrent::ProbeOutcome::kDone);
+  EXPECT_GT(s1.width, 0);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.group_scans, 1u);
   EXPECT_EQ(table.size(), 1u);
 
-  // Same key again: update at the same slot.
-  EXPECT_EQ(table.probe_step(home, a, 1, -1),
-            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kDone);
+  // Same key again: the step resolves as an update in the same group.
+  concurrent::AddResult second;
+  const auto s2 = table.probe_group_step(home, a, 1, -1, second);
+  EXPECT_EQ(s2.outcome, concurrent::ProbeOutcome::kDone);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.key_compares, 1u);
   const auto found = table.find(a);
   EXPECT_EQ(found->coverage, 2u);
   EXPECT_EQ(found->out_weight(1), 2u);
   EXPECT_EQ(found->in_weight(2), 1u);
 
-  // Different key probing the occupied slot must advance.
-  const auto b = Kmer<1>::from_string("TTTTTTTTTTTTTTTTTTTTG");
-  EXPECT_EQ(table.probe_step(home, b, -1, -1),
-            concurrent::ConcurrentKmerTable<1>::ProbeOutcome::kAdvance);
+  // The scan classifies a's slot as a match lane for a's fingerprint.
+  const auto scan = table.probe_group(home, Table::occupied_byte(a.hash()));
+  EXPECT_TRUE(scan.match & 1u) << "lane 0 must match the home slot";
+  EXPECT_EQ(scan.locked, 0u);
+
+  // claim_lane: an occupied slot is not claimable; an empty one is, and
+  // publish_claimed completes the empty -> locked -> occupied transfer.
+  EXPECT_FALSE(table.claim_lane(home));
+  Rng rng(7);
+  Kmer<1> b;
+  std::uint64_t b_home = home;
+  while (b_home == home) {
+    b = Kmer<1>();
+    for (int i = 0; i < 21; ++i) b.push_back(rng.base());
+    b_home = b.hash() & (table.capacity() - 1);
+  }
+  ASSERT_TRUE(table.claim_lane(b_home));
+  EXPECT_EQ(table.lane_state(b_home), Table::kLocked);
+  EXPECT_EQ(table.locked_slots(), 1u);
+  table.publish_claimed(b_home, b, b.hash(), 3, -1);
+  EXPECT_EQ(table.locked_slots(), 0u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.find(b)->out_weight(3), 1u);
+}
+
+TEST(ProbeGroupStep, AdvancesPastAFullyForeignGroup) {
+  // A 16-slot table is one probe group wide. Fill it with 15 keys, then
+  // step a 16th DISTINCT key whose home group is all foreign slots plus
+  // one empty: it must insert. A 17th key then sees a fully-occupied
+  // foreign group and must report kAdvance with the scanned width.
+  using Table = concurrent::ConcurrentKmerTable<1>;
+  Table table(16, 21);
+  Rng rng(31337);
+  std::vector<Kmer<1>> keys;
+  std::set<std::string> unique;
+  while (keys.size() < 17) {
+    Kmer<1> kmer;
+    for (int i = 0; i < 21; ++i) kmer.push_back(rng.base());
+    if (unique.insert(kmer.to_string()).second) keys.push_back(kmer);
+  }
+  for (std::size_t i = 0; i < 16; ++i) table.add(keys[i], -1, -1);
+  ASSERT_EQ(table.size(), 16u);
+
+  concurrent::AddResult r;
+  const auto step = table.probe_group_step(
+      keys[16].hash() & (table.capacity() - 1), keys[16], -1, -1, r);
+  EXPECT_EQ(step.outcome, concurrent::ProbeOutcome::kAdvance);
+  EXPECT_EQ(step.width, 16);
+  EXPECT_FALSE(r.inserted);
 }
 
 }  // namespace

@@ -159,9 +159,10 @@ TEST(Subgraph, BatchedPrefetchPathMatchesScalarOracle) {
   config.num_partitions = 4;
 
   HashConfig scalar_config;
-  scalar_config.upsert_batch = 1;  // scalar oracle
+  scalar_config.upsert_window =
+      concurrent::UpsertWindow::fixed_window(1);  // scalar oracle
   HashConfig batched_config;
-  batched_config.upsert_batch = 16;
+  batched_config.upsert_window = concurrent::UpsertWindow::fixed_window(16);
 
   concurrent::ThreadPool pool(8);
   const auto oracle = build_via_partitions<1>(reads, config, scalar_config,
