@@ -112,6 +112,13 @@ int cmd_build(const Flags& flags) {
                 simd::to_string(simd::active()),
                 options.hash.upsert_window.to_string().c_str(),
                 static_cast<unsigned long long>(ht.lanes_rejected));
+    if (ht.overflow_hits > 0 || ht.migrations > 0 || report.resizes > 0) {
+      std::printf("overflow hits %llu, table migrations %llu, "
+                  "restarts %d\n",
+                  static_cast<unsigned long long>(ht.overflow_hits),
+                  static_cast<unsigned long long>(ht.migrations),
+                  report.resizes);
+    }
   }
   std::printf("graph written to %s\n", graph_path.c_str());
   return 0;

@@ -4,26 +4,40 @@
 # tsan-labelled concurrency tests (concurrent tables, group probing,
 # SIMT kernel, subgraph builds, partition-lifecycle scheduler), and a
 # scalar-fallback build (SIMD probe backends compiled out) re-running
-# the full suite the way a non-x86 target would.
+# the full suite the way a non-x86 target would — plus a smalltable leg
+# that re-runs the Release suite with PARAHASH_SMALLTABLE=0.4, scaling
+# every Property-1 table estimate down so each partition build
+# exercises the overflow/migration machinery instead of the happy path.
 #
-#   scripts/ci.sh            all three workflows
-#   scripts/ci.sh default    Release + full suite only
-#   scripts/ci.sh tsan       ThreadSanitizer subset only
-#   scripts/ci.sh scalar     scalar-fallback build + full suite only
+#   scripts/ci.sh             all four legs
+#   scripts/ci.sh default     Release + full suite only
+#   scripts/ci.sh tsan        ThreadSanitizer subset only
+#   scripts/ci.sh scalar      scalar-fallback build + full suite only
+#   scripts/ci.sh smalltable  Release suite with undersized tables only
 set -eu
 cd "$(dirname "$0")/.."
 
 run_default=1
 run_tsan=1
 run_scalar=1
+run_smalltable=1
 case "${1:-all}" in
   all) ;;
-  default) run_tsan=0; run_scalar=0 ;;
-  tsan) run_default=0; run_scalar=0 ;;
-  scalar) run_default=0; run_tsan=0 ;;
-  *) echo "usage: $0 [all|default|tsan|scalar]" >&2; exit 2 ;;
+  default) run_tsan=0; run_scalar=0; run_smalltable=0 ;;
+  tsan) run_default=0; run_scalar=0; run_smalltable=0 ;;
+  scalar) run_default=0; run_tsan=0; run_smalltable=0 ;;
+  smalltable) run_default=0; run_tsan=0; run_scalar=0 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar|smalltable]" >&2; exit 2 ;;
 esac
 
 [ "$run_default" -eq 1 ] && cmake --workflow --preset ci-default
 [ "$run_tsan" -eq 1 ] && cmake --workflow --preset ci-tsan
 [ "$run_scalar" -eq 1 ] && cmake --workflow --preset ci-scalar
+if [ "$run_smalltable" -eq 1 ]; then
+  # Workflow presets cannot set environment variables, so this leg runs
+  # the configure/build/test steps explicitly. It reuses the default
+  # preset's build tree (same binaries — only the env knob differs).
+  cmake --preset default
+  cmake --build --preset default
+  PARAHASH_SMALLTABLE=0.4 ctest --preset default
+fi

@@ -136,11 +136,15 @@ class BatchedUpserter {
   }
 
   /// Drains every pending upsert through the table. Call after the last
-  /// push (the destructor also flushes). If an add throws (TableFullError),
-  /// the remaining window is abandoned — the caller's recovery path is a
-  /// rebuild with a bigger table, and keeping stale entries queued would
-  /// make the destructor throw during unwinding. An `auto` policy
-  /// re-tunes the window here, from the stats measured so far.
+  /// push (the destructor also flushes). On a growth table add_hashed
+  /// never throws — bounded probes resolve in the overflow region and
+  /// the table migrates itself (the prefetched group may go stale
+  /// across a migration; that costs the hint, nothing else). On a plain
+  /// table, if an add throws TableFullError the remaining window is
+  /// abandoned — the caller's recovery path (kRestart/kFail) discards
+  /// the whole attempt, and keeping stale entries queued would make the
+  /// destructor throw during unwinding. An `auto` policy re-tunes the
+  /// window here, from the stats measured so far.
   void flush() {
     int i = 0;
     try {

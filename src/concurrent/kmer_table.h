@@ -46,13 +46,25 @@
 // scalar backend) and re-validate every action through a real atomic —
 // the claim CAS, or the immutability of occupied bytes. Tag-mismatch
 // skips never read the payload, so they need no ordering at all.
+//
+// Bounded growth (GrowthConfig, off by default): when enabled, a probe
+// never walks more than `max_displacement` slots. Past that bound the
+// key goes to a small lock-protected OVERFLOW region, and when overflow
+// occupancy crosses `migration_threshold` the table migrates itself to
+// double the capacity — incrementally, with every inserting thread
+// claiming fixed-size slot chunks to copy — instead of throwing
+// TableFullError and forcing the builder to restart the partition. The
+// state machine and its invariants are documented above the migration
+// gate below and in docs/INTERNALS.md.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -66,6 +78,28 @@
 #include "util/simd.h"
 
 namespace parahash::concurrent {
+
+/// Bounded-growth policy for ConcurrentKmerTable. Disabled by default:
+/// a plain table probes the full capacity and throws TableFullError
+/// when exhausted (the paper's never-resize contract). Enabled, the
+/// table absorbs estimate misses itself: probes stop at the
+/// displacement bound, spill into the overflow region, and the table
+/// doubles in place (incremental, cooperative migration) when the
+/// overflow region fills past the threshold — so add() never throws and
+/// finished upsert work is never redone.
+struct GrowthConfig {
+  bool enabled = false;
+  /// Max slots one probe may walk in the main table before the key is
+  /// routed to the overflow region. A multiple of the widest group scan
+  /// (32) keeps the bound identical across SIMD backends; other values
+  /// are rounded up to whole groups per backend. 0 = full capacity.
+  std::uint32_t max_displacement = 128;
+  /// Overflow slots as a fraction of main capacity (floored at 16).
+  double overflow_fraction = 1.0 / 16;
+  /// Overflow occupancy (fraction of overflow slots) that triggers an
+  /// incremental doubling of the main table.
+  double migration_threshold = 0.5;
+};
 
 template <int W>
 class ConcurrentKmerTable {
@@ -105,23 +139,80 @@ class ConcurrentKmerTable {
                                      ((hash >> 58) & kTagMask));
   }
 
+  /// Sentinel for probe_group_step's expected-generation parameter:
+  /// skip the migration check (non-growth tables, or callers that
+  /// revalidate placement themselves).
+  static constexpr std::uint64_t kIgnoreGeneration = ~0ull;
+
   /// Allocates a table with at least `min_slots` slots (rounded up to a
-  /// power of two) for kmers of length k.
-  ConcurrentKmerTable(std::uint64_t min_slots, int k)
+  /// power of two) for kmers of length k. `growth` opts into the
+  /// bounded-displacement overflow region + incremental migration; the
+  /// default keeps the classic fixed-capacity table.
+  ConcurrentKmerTable(std::uint64_t min_slots, int k,
+                      GrowthConfig growth = {})
       : k_(k),
         simd_level_(simd::active()),
+        growth_(growth),
         meta_(next_pow2(min_slots < 2 ? 2 : min_slots)),
         payload_(meta_.size()) {
     PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
                        "k out of range for this word count");
     mask_ = meta_.size() - 1;
+    if (growth_.enabled) init_growth_arrays();
+    update_probe_shadow();
   }
 
   int k() const noexcept { return k_; }
   std::uint64_t capacity() const noexcept { return meta_.size(); }
   std::uint64_t memory_bytes() const noexcept {
     return meta_.size() * sizeof(std::atomic<std::uint8_t>) +
-           payload_.size() * sizeof(Payload);
+           payload_.size() * sizeof(Payload) +
+           ovf_meta_.size() * sizeof(std::atomic<std::uint8_t>) +
+           ovf_payload_.size() * sizeof(Payload);
+  }
+
+  bool growth_enabled() const noexcept { return growth_.enabled; }
+
+  /// Incremental doublings performed so far (0 for non-growth tables).
+  std::uint64_t migrations() const noexcept {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic geometry version: bumped by every migration. Lockstep
+  /// probers (the SIMT kernel) snapshot it with home_mask() and pass it
+  /// back to probe_group_step(), which answers kRestart if the table
+  /// moved under them.
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_seq_cst);
+  }
+
+  /// The current home-index mask (capacity - 1), readable concurrently
+  /// with a migration (unlike capacity(), which touches vector
+  /// internals the migration swaps).
+  std::uint64_t home_mask() const noexcept {
+    return shadow_mask_.load(std::memory_order_acquire);
+  }
+
+  /// Slots a probe walks in the main table before giving up on it: the
+  /// displacement bound rounded up to whole groups of this table's scan
+  /// backend (full capacity for non-growth tables). Insert and lookup
+  /// both stop exactly here, which is what confines a key to main XOR
+  /// overflow. Readable concurrently with a migration on growth tables
+  /// (plain atomic; no vector internals touched).
+  std::uint64_t displacement_bound() const noexcept {
+    if (!growth_.enabled) return capacity();
+    return bound_.load(std::memory_order_acquire);
+  }
+
+  /// Keys currently living in the overflow region / its slot count.
+  /// Quiescent introspection (post-build, tests).
+  std::uint64_t overflow_size() const {
+    if (!growth_.enabled) return 0;
+    std::lock_guard<std::mutex> lock(ovf_mutex_);
+    return ovf_size_;
+  }
+  std::uint64_t overflow_capacity() const noexcept {
+    return ovf_meta_.size();
   }
 
   /// Number of distinct vertices inserted so far.
@@ -143,21 +234,31 @@ class ConcurrentKmerTable {
     simd_level_ = static_cast<int>(level) < static_cast<int>(ceiling)
                       ? level
                       : ceiling;
+    // The effective displacement bound is rounded to this backend's
+    // group width; recompute it. (Quiescent, like the setter itself.)
+    if (growth_.enabled) bound_.store(effective_bound(),
+                                      std::memory_order_release);
   }
 
   /// Prefetches the probe GROUP for a key with this hash: the metadata
   /// block a scan will load (which may straddle two cache lines) plus
   /// the home payload slot. The batched upsert front-end issues these a
   /// window ahead of the matching add_hashed() calls so the dependent
-  /// loads overlap.
+  /// loads overlap. Reads the atomic shadow of the array pointers, not
+  /// the vectors, so it stays race-free against a concurrent migration;
+  /// a stale address only wastes the hint (prefetch never faults).
   void prefetch_group(std::uint64_t hash) const noexcept {
-    const std::uint64_t idx = hash & mask_;
 #if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t mask = shadow_mask_.load(std::memory_order_acquire);
+    const auto* meta = shadow_meta_.load(std::memory_order_acquire);
+    const auto* payload =
+        shadow_payload_.load(std::memory_order_acquire);
+    const std::uint64_t idx = hash & mask;
     const std::uint64_t last_lane =
         static_cast<std::uint64_t>(probe::group_width(simd_level_)) - 1;
-    __builtin_prefetch(&meta_[idx], 1, 3);
-    __builtin_prefetch(&meta_[(idx + last_lane) & mask_], 1, 3);
-    __builtin_prefetch(&payload_[idx], 1, 3);
+    __builtin_prefetch(meta + idx, 1, 3);
+    __builtin_prefetch(meta + ((idx + last_lane) & mask), 1, 3);
+    __builtin_prefetch(payload + idx, 1, 3);
 #endif
   }
 
@@ -166,7 +267,10 @@ class ConcurrentKmerTable {
   /// (base codes 0..3; pass -1 for none). Thread-safe; wait-free except
   /// while another thread holds a slot in the `locked` state.
   ///
-  /// Throws TableFullError when every slot is occupied by other keys.
+  /// Throws TableFullError when every slot is occupied by other keys —
+  /// unless growth is enabled, in which case the upsert always resolves
+  /// (overflow region, migrating the table to double capacity if need
+  /// be) and never throws.
   AddResult add(const Kmer<W>& canon, int edge_out, int edge_in) {
     return add_hashed(canon, canon.hash(), edge_out, edge_in);
   }
@@ -180,25 +284,66 @@ class ConcurrentKmerTable {
     AddResult result;
     const auto words = canon.words();
     const std::uint8_t occupied = occupied_byte(hash);
-    std::uint64_t base = hash & mask_;
-    std::uint64_t scanned = 0;
-    do {
-      const GroupStep step = walk_group</*kSpinOnLocked=*/true>(
-          base, words, occupied, edge_out, edge_in, result);
-      if (step.outcome == ProbeOutcome::kDone) return result;
-      base = (base + static_cast<std::uint64_t>(step.width)) & mask_;
-      scanned += static_cast<std::uint64_t>(step.width);
-    } while (scanned <= mask_);
-    throw TableFullError("concurrent kmer table is full (capacity " +
-                         std::to_string(capacity()) + ")");
+    if (!growth_.enabled) {
+      std::uint64_t base = hash & mask_;
+      std::uint64_t scanned = 0;
+      do {
+        const GroupStep step = walk_group</*kSpinOnLocked=*/true>(
+            base, words, occupied, edge_out, edge_in, result);
+        if (step.outcome == ProbeOutcome::kDone) return result;
+        base = (base + static_cast<std::uint64_t>(step.width)) & mask_;
+        scanned += static_cast<std::uint64_t>(step.width);
+      } while (scanned <= mask_);
+      throw TableFullError("concurrent kmer table is full (capacity " +
+                           std::to_string(capacity()) + ")");
+    }
+
+    // Bounded-displacement path. Each round holds one gate ticket: probe
+    // the main table for at most the displacement bound, else resolve in
+    // the overflow region. Migration (if the overflow threshold was
+    // crossed, or the overflow region itself is full) happens with the
+    // ticket RELEASED — the migrator waits for every ticket to drain, so
+    // initiating while holding one would deadlock on ourselves.
+    for (;;) {
+      enter_op();
+      const std::uint64_t gen =
+          generation_.load(std::memory_order_relaxed);
+      const std::uint64_t bound = displacement_bound();
+      std::uint64_t base = hash & mask_;
+      std::uint64_t scanned = 0;
+      bool resolved = false;
+      while (scanned < bound) {
+        const GroupStep step = walk_group</*kSpinOnLocked=*/true>(
+            base, words, occupied, edge_out, edge_in, result);
+        if (step.outcome == ProbeOutcome::kDone) {
+          resolved = true;
+          break;
+        }
+        base = (base + static_cast<std::uint64_t>(step.width)) & mask_;
+        scanned += static_cast<std::uint64_t>(step.width);
+      }
+      bool want_migration = false;
+      if (!resolved) {
+        std::lock_guard<std::mutex> lock(ovf_mutex_);
+        resolved = overflow_upsert_locked(words, occupied, hash, edge_out,
+                                          edge_in, result, want_migration);
+      }
+      exit_op();
+      if (want_migration) maybe_migrate(gen);
+      if (resolved) return result;
+      // Overflow was full of other keys: the table just doubled (here or
+      // on a sibling thread) — retry against the new geometry.
+    }
   }
 
   /// The PR-1 per-slot probe loop, kept verbatim as the reference path:
   /// the equivalence tests pit every scan backend against it, and the
   /// group-scan microbench measures what block probing buys over it.
   /// Identical results to add_hashed(); only the probing differs.
+  /// Growth-unaware (no bound, no overflow): valid on plain tables only.
   AddResult add_hashed_slotwise(const Kmer<W>& canon, std::uint64_t hash,
                                 int edge_out, int edge_in) {
+    PARAHASH_DCHECK(!growth_.enabled);
     AddResult result;
     const auto words = canon.words();
     const std::uint8_t occupied = occupied_byte(hash);
@@ -295,20 +440,75 @@ class ConcurrentKmerTable {
   /// kRetry instead of spinning, so the warp can advance its other
   /// lanes and rescan this group next round. On kAdvance the caller
   /// moves `index` forward by the returned width.
-  GroupStep probe_group_step(std::uint64_t index, const Kmer<W>& canon,
-                             int edge_out, int edge_in, AddResult& stats) {
+  ///
+  /// On a growth table the caller's `index` is only meaningful for the
+  /// geometry it was computed against, so it passes the generation it
+  /// snapshotted (via generation()/home_mask()); if the table migrated
+  /// since, the step answers kRestart and the caller re-homes. The
+  /// default sentinel skips the check (plain tables, probe unit tests).
+  GroupStep probe_group_step(
+      std::uint64_t index, const Kmer<W>& canon, int edge_out, int edge_in,
+      AddResult& stats,
+      std::uint64_t expected_generation = kIgnoreGeneration) {
+    enter_op();
+    if (growth_.enabled && expected_generation != kIgnoreGeneration &&
+        generation_.load(std::memory_order_relaxed) !=
+            expected_generation) {
+      exit_op();
+      return {ProbeOutcome::kRestart, 0};
+    }
     const auto words = canon.words();
-    return walk_group</*kSpinOnLocked=*/false>(
+    const GroupStep step = walk_group</*kSpinOnLocked=*/false>(
         index & mask_, words, occupied_byte(canon.hash()), edge_out,
         edge_in, stats);
+    exit_op();
+    return step;
+  }
+
+  /// SIMT hand-off: resolves an upsert in the overflow region after a
+  /// lane exhausted its displacement bound at generation
+  /// `expected_generation`. Returns true when resolved (the lane is
+  /// done; a threshold-triggered migration may still have run before
+  /// returning). Returns false when the table's generation no longer
+  /// matches — including the overflow-full case, where this call itself
+  /// migrates the table first — and the lane must re-home and re-probe
+  /// against the new geometry. Growth tables only.
+  bool overflow_upsert(const Kmer<W>& canon, int edge_out, int edge_in,
+                       AddResult& stats,
+                       std::uint64_t expected_generation) {
+    PARAHASH_DCHECK(growth_.enabled);
+    enter_op();
+    if (generation_.load(std::memory_order_relaxed) !=
+        expected_generation) {
+      exit_op();
+      return false;
+    }
+    const auto words = canon.words();
+    const std::uint64_t hash = canon.hash();
+    bool want_migration = false;
+    bool resolved;
+    {
+      std::lock_guard<std::mutex> lock(ovf_mutex_);
+      resolved =
+          overflow_upsert_locked(words, occupied_byte(hash), hash,
+                                 edge_out, edge_in, stats, want_migration);
+    }
+    exit_op();
+    if (want_migration) maybe_migrate(expected_generation);
+    return resolved;
   }
 
   /// Number of slots currently in the transient `locked` state. Zero
   /// whenever no insertion is mid-flight — in particular after any
   /// kernel unwinds, even via TableFullError (regression-tested).
+  /// Overflow slots are never locked (mutex-protected inserts) but are
+  /// scanned anyway so the invariant covers the whole table.
   std::uint64_t locked_slots() const noexcept {
     std::uint64_t n = 0;
     for (const auto& m : meta_) {
+      n += m.load(std::memory_order_acquire) == kLocked;
+    }
+    for (const auto& m : ovf_meta_) {
       n += m.load(std::memory_order_acquire) == kLocked;
     }
     return n;
@@ -316,29 +516,47 @@ class ConcurrentKmerTable {
 
   /// Looks up a canonical kmer. Thread-safe against concurrent adds; the
   /// returned snapshot is a consistent-enough view for queries/tests.
+  /// On a growth table the main-table probe stops at the displacement
+  /// bound (inserts do too, so a key past it can only be in overflow),
+  /// and the overflow region is checked under its lock.
   std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
     const auto words = canon.words();
     const std::uint64_t hash = canon.hash();
     const std::uint8_t occupied = occupied_byte(hash);
-    std::uint64_t idx = hash & mask_;
-    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
-      std::uint8_t st = meta_[idx].load(std::memory_order_acquire);
-      if (st == kEmpty) return std::nullopt;
-      if (st == kLocked) {
-        do {
-          cpu_relax();
-          st = meta_[idx].load(std::memory_order_acquire);
-        } while (st == kLocked);
-      }
-      if (st == occupied && key_equals(payload_[idx], words)) {
-        return snapshot(idx);
-      }
-      idx = (idx + 1) & mask_;
+    if (!growth_.enabled) {
+      bool hit_empty = false;
+      return find_in_main(words, hash, occupied, capacity(), hit_empty);
     }
-    return std::nullopt;
+    enter_op_reader();
+    bool hit_empty = false;
+    std::optional<VertexEntry<W>> found = find_in_main(
+        words, hash, occupied, displacement_bound(), hit_empty);
+    if (!found && !hit_empty) {
+      // The whole bound window is occupied by other keys — exactly the
+      // condition under which the insert went to overflow. (An empty
+      // slot inside the window proves the key was never displaced out:
+      // slots never return to empty within a generation, so the empty
+      // existed at insert time too and the insert would have used it.)
+      std::lock_guard<std::mutex> lock(ovf_mutex_);
+      std::uint64_t idx = hash & ovf_mask_;
+      for (std::uint64_t attempt = 0; attempt <= ovf_mask_; ++attempt) {
+        const std::uint8_t st =
+            ovf_meta_[idx].load(std::memory_order_acquire);
+        if (st == kEmpty) break;
+        if (st == occupied && key_equals(ovf_payload_[idx], words)) {
+          found = snapshot_payload(ovf_payload_[idx]);
+          break;
+        }
+        idx = (idx + 1) & ovf_mask_;
+      }
+    }
+    exit_op();
+    return found;
   }
 
-  /// Visits every occupied slot. Call only after all writers finished.
+  /// Visits every occupied slot — main table first, then the overflow
+  /// region, so growth tables present one unified view. Call only after
+  /// all writers finished.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::uint64_t idx = 0; idx < meta_.size(); ++idx) {
@@ -347,27 +565,24 @@ class ConcurrentKmerTable {
         fn(snapshot(idx));
       }
     }
+    for (std::uint64_t idx = 0; idx < ovf_meta_.size(); ++idx) {
+      if ((ovf_meta_[idx].load(std::memory_order_acquire) &
+           kOccupiedBit) != 0) {
+        fn(snapshot_payload(ovf_payload_[idx]));
+      }
+    }
   }
 
   /// Rebuilds this table's contents into a table twice the capacity and
   /// returns it. Single-threaded; exists as the *fallback* path whose
   /// cost the ablation bench measures — ParaHash's Property-1 sizing is
-  /// designed to make this never run. (Slots hold atomics, so the table
+  /// designed to make this never run, and growth tables replace it with
+  /// in-place incremental migration. (Slots hold atomics, so the table
   /// itself is neither copyable nor movable; hand back a unique_ptr.)
   std::unique_ptr<ConcurrentKmerTable> grown() const {
     auto bigger = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_);
-    for (std::uint64_t idx = 0; idx < meta_.size(); ++idx) {
-      if ((meta_[idx].load(std::memory_order_acquire) & kOccupiedBit) ==
-          0) {
-        continue;
-      }
-      VertexEntry<W> e = snapshot(idx);
-      Payload& dst = bigger->locate_for_insert(e.kmer);
-      for (int i = 0; i < 8; ++i) {
-        dst.edges[i].store(e.edges[i], std::memory_order_relaxed);
-      }
-      dst.coverage.store(e.coverage, std::memory_order_relaxed);
-    }
+    bigger->set_simd_level(simd_level_);
+    for_each([&](const VertexEntry<W>& e) { bigger->migrate_entry(e); });
     return bigger;
   }
 
@@ -491,8 +706,7 @@ class ConcurrentKmerTable {
     return true;
   }
 
-  VertexEntry<W> snapshot(std::uint64_t idx) const {
-    const Payload& slot = payload_[idx];
+  VertexEntry<W> snapshot_payload(const Payload& slot) const {
     VertexEntry<W> entry;
     std::array<std::uint64_t, W> words;
     for (int w = 0; w < W; ++w) {
@@ -505,33 +719,379 @@ class ConcurrentKmerTable {
     }
     return entry;
   }
+  VertexEntry<W> snapshot(std::uint64_t idx) const {
+    return snapshot_payload(payload_[idx]);
+  }
 
-  /// Insert-only probe used by grown(); the key must not exist yet.
-  Payload& locate_for_insert(const Kmer<W>& kmer) {
-    const auto words = kmer.words();
-    const std::uint64_t hash = kmer.hash();
+  /// Slotwise lookup in the main table, stopping after `limit` slots or
+  /// at the first empty (reported through `hit_empty`).
+  std::optional<VertexEntry<W>> find_in_main(
+      std::span<const std::uint64_t, W> words, std::uint64_t hash,
+      std::uint8_t occupied, std::uint64_t limit, bool& hit_empty) const {
     std::uint64_t idx = hash & mask_;
-    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
-      if (meta_[idx].load(std::memory_order_relaxed) == kEmpty) {
-        Payload& slot = payload_[idx];
-        for (int w = 0; w < W; ++w) {
-          slot.key[w].store(words[w], std::memory_order_relaxed);
-        }
-        meta_[idx].store(occupied_byte(hash), std::memory_order_relaxed);
-        distinct_.fetch_add(1, std::memory_order_relaxed);
-        return slot;
+    for (std::uint64_t attempt = 0; attempt < limit; ++attempt) {
+      std::uint8_t st = meta_[idx].load(std::memory_order_acquire);
+      if (st == kEmpty) {
+        hit_empty = true;
+        return std::nullopt;
+      }
+      if (st == kLocked) {
+        do {
+          cpu_relax();
+          st = meta_[idx].load(std::memory_order_acquire);
+        } while (st == kLocked);
+      }
+      if (st == occupied && key_equals(payload_[idx], words)) {
+        return snapshot(idx);
       }
       idx = (idx + 1) & mask_;
     }
-    throw TableFullError("grown table full — should be unreachable");
+    return std::nullopt;
+  }
+
+  /// Concurrent insert of a key known to be absent from this table —
+  /// the unit of work of migration (and of the single-threaded grown()
+  /// rebuild, which is why it replaces the old relaxed-store
+  /// locate_for_insert: this one uses the full claim/publish protocol,
+  /// so concurrent migrators are safe). Never waits on a locked slot:
+  /// during a migration a locked slot belongs to a sibling migrator
+  /// inserting a DIFFERENT key (source entries are distinct), so
+  /// probing past it is correct.
+  void migrate_entry(const VertexEntry<W>& e) {
+    const auto words = e.kmer.words();
+    const std::uint64_t hash = e.kmer.hash();
+    const std::uint8_t occupied = occupied_byte(hash);
+    std::uint64_t idx = hash & mask_;
+    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+      if (meta_[idx].load(std::memory_order_relaxed) == kEmpty) {
+        std::uint8_t expected = kEmpty;
+        if (meta_[idx].compare_exchange_strong(
+                expected, kLocked, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          Payload& slot = payload_[idx];
+          for (int w = 0; w < W; ++w) {
+            slot.key[w].store(words[w], std::memory_order_relaxed);
+          }
+          for (int i = 0; i < 8; ++i) {
+            slot.edges[i].store(e.edges[i], std::memory_order_relaxed);
+          }
+          slot.coverage.store(e.coverage, std::memory_order_relaxed);
+          meta_[idx].store(occupied, std::memory_order_release);
+          distinct_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      idx = (idx + 1) & mask_;
+    }
+    throw TableFullError("migration target table full — unreachable: the "
+                         "target has double the source capacity");
+  }
+
+  // ---- Migration gate ------------------------------------------------
+  //
+  // Growth tables guard every main-array access with a ticket (ops_):
+  //
+  //   Normal --CAS by initiator--> Draining --ops_ == 0--> Migrating
+  //     ^                                                       |
+  //     +---------------- last chunk copied, arrays swapped ----+
+  //
+  // Writers/readers: fetch_add ops_, THEN check state_ — back off (and
+  // help) unless Normal. Migrator: store Draining, THEN wait for
+  // ops_ == 0. Both orders are seq_cst: with anything weaker the
+  // store-buffer interleaving lets a writer read the stale Normal while
+  // the migrator reads a stale zero ticket count, and both proceed.
+  // With seq_cst one of the two observes the other in the single total
+  // order. x86 makes this free (atomic RMW is already a full barrier).
+  //
+  // During Migrating the arrays are read-only sources; every
+  // participating thread claims fixed-size slot chunks via
+  // migrate_cursor_ and copies occupied entries into next_ with
+  // migrate_entry(). The thread that completes the LAST chunk swaps the
+  // arrays in, bumps generation_, and reopens the gate. The migrators_
+  // count exists for one corner: a helper that observed Migrating and
+  // then stalled must not claim a chunk of a LATER migration while it
+  // drains — prepare_migration() waits for migrators_ to hit zero
+  // before resetting the cursor, and a stalled claimer can only see the
+  // exhausted old cursor until then.
+
+  static constexpr int kStateNormal = 0;
+  static constexpr int kStateDraining = 1;
+  static constexpr int kStateMigrating = 2;
+  static constexpr std::uint64_t kMigrateChunkSlots = 4096;
+
+  /// Takes a gate ticket for one mutating op; helps any in-flight
+  /// migration to completion before retrying.
+  void enter_op() {
+    if (!growth_.enabled) return;
+    for (;;) {
+      ops_.fetch_add(1, std::memory_order_seq_cst);
+      if (growth_state_.load(std::memory_order_seq_cst) == kStateNormal) {
+        return;
+      }
+      ops_.fetch_sub(1, std::memory_order_seq_cst);
+      help_copy();
+    }
+  }
+
+  /// Reader flavour (const paths): waits out a migration instead of
+  /// helping with it.
+  void enter_op_reader() const {
+    for (;;) {
+      ops_.fetch_add(1, std::memory_order_seq_cst);
+      if (growth_state_.load(std::memory_order_seq_cst) == kStateNormal) {
+        return;
+      }
+      ops_.fetch_sub(1, std::memory_order_seq_cst);
+      while (growth_state_.load(std::memory_order_seq_cst) !=
+             kStateNormal) {
+        cpu_relax();
+      }
+    }
+  }
+
+  void exit_op() const noexcept {
+    if (!growth_.enabled) return;
+    ops_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Initiates (or helps finish) a doubling decided while the table was
+  /// at `observed_generation`. A no-op if the table already moved past
+  /// that generation — this is what collapses a thundering herd of
+  /// threshold observers into one migration. Call WITHOUT a ticket.
+  void maybe_migrate(std::uint64_t observed_generation) {
+    for (;;) {
+      if (generation_.load(std::memory_order_seq_cst) !=
+          observed_generation) {
+        return;
+      }
+      int expected = kStateNormal;
+      if (growth_state_.compare_exchange_strong(
+              expected, kStateDraining, std::memory_order_seq_cst)) {
+        prepare_migration();
+        while (ops_.load(std::memory_order_seq_cst) != 0) cpu_relax();
+        growth_state_.store(kStateMigrating, std::memory_order_seq_cst);
+        help_copy();
+        return;
+      }
+      // A sibling holds the migration; chip in, then re-check whether it
+      // was the doubling we wanted.
+      help_copy();
+    }
+  }
+
+  /// Allocates the doubled table and resets the chunk cursor. Runs in
+  /// the Draining state, concurrently with the last ticketed ops.
+  void prepare_migration() {
+    while (migrators_.load(std::memory_order_seq_cst) != 0) cpu_relax();
+    next_ = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_);
+    next_->set_simd_level(simd_level_);
+    const std::uint64_t total_slots = meta_.size() + ovf_meta_.size();
+    chunks_total_ =
+        (total_slots + kMigrateChunkSlots - 1) / kMigrateChunkSlots;
+    migrate_cursor_.store(0, std::memory_order_seq_cst);
+    chunks_done_.store(0, std::memory_order_seq_cst);
+  }
+
+  /// Cooperates on the current migration until the gate reopens.
+  void help_copy() {
+    for (;;) {
+      const int state = growth_state_.load(std::memory_order_seq_cst);
+      if (state == kStateNormal) return;
+      if (state == kStateDraining) {
+        cpu_relax();
+        continue;
+      }
+      // Migrating: register, re-validate, then grab chunks. If the
+      // re-check fails (or this migration's cursor is already
+      // exhausted) the claim loop touches nothing — see the gate note.
+      migrators_.fetch_add(1, std::memory_order_seq_cst);
+      if (growth_state_.load(std::memory_order_seq_cst) !=
+          kStateMigrating) {
+        migrators_.fetch_sub(1, std::memory_order_seq_cst);
+        continue;
+      }
+      bool finalized = false;
+      for (;;) {
+        const std::uint64_t chunk =
+            migrate_cursor_.fetch_add(1, std::memory_order_seq_cst);
+        if (chunk >= chunks_total_) break;
+        copy_chunk(chunk);
+        if (chunks_done_.fetch_add(1, std::memory_order_seq_cst) + 1 ==
+            chunks_total_) {
+          finalize_migration();
+          finalized = true;
+          break;
+        }
+      }
+      migrators_.fetch_sub(1, std::memory_order_seq_cst);
+      if (finalized) return;
+      while (growth_state_.load(std::memory_order_seq_cst) ==
+             kStateMigrating) {
+        cpu_relax();
+      }
+    }
+  }
+
+  /// Copies one chunk of source slots (main array first, then the
+  /// overflow region) into next_.
+  void copy_chunk(std::uint64_t chunk) {
+    const std::uint64_t main_cap = meta_.size();
+    const std::uint64_t total = main_cap + ovf_meta_.size();
+    const std::uint64_t begin = chunk * kMigrateChunkSlots;
+    const std::uint64_t end =
+        std::min(begin + kMigrateChunkSlots, total);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const bool in_main = i < main_cap;
+      const std::uint64_t idx = in_main ? i : i - main_cap;
+      const auto& meta = in_main ? meta_[idx] : ovf_meta_[idx];
+      if ((meta.load(std::memory_order_acquire) & kOccupiedBit) == 0) {
+        continue;
+      }
+      next_->migrate_entry(in_main
+                               ? snapshot(idx)
+                               : snapshot_payload(ovf_payload_[idx]));
+    }
+  }
+
+  /// Last chunk done: steal the doubled table's arrays, retire the old
+  /// ones, publish the new geometry, reopen the gate (strictly last).
+  void finalize_migration() {
+    PARAHASH_DCHECK(distinct_.load(std::memory_order_relaxed) ==
+                    next_->distinct_.load(std::memory_order_relaxed));
+    meta_.swap(next_->meta_);
+    payload_.swap(next_->payload_);
+    mask_ = meta_.size() - 1;
+    next_.reset();
+    init_growth_arrays();
+    update_probe_shadow();
+    migrations_.fetch_add(1, std::memory_order_seq_cst);
+    generation_.fetch_add(1, std::memory_order_seq_cst);
+    growth_state_.store(kStateNormal, std::memory_order_seq_cst);
+  }
+
+  // ---- Overflow region -----------------------------------------------
+
+  /// Upserts into the overflow region. Pre: ovf_mutex_ held, gate
+  /// ticket held. Returns false when every overflow slot holds another
+  /// key — the caller must migrate and retry. Sets `want_migration`
+  /// when occupancy crossed the threshold (or on the full case). Probe
+  /// accounting mirrors the main path so the
+  /// probes == inserts + tag_rejects + key_compares identity holds.
+  bool overflow_upsert_locked(std::span<const std::uint64_t, W> words,
+                              std::uint8_t occupied, std::uint64_t hash,
+                              int edge_out, int edge_in, AddResult& r,
+                              bool& want_migration) {
+    std::uint64_t idx = hash & ovf_mask_;
+    for (std::uint64_t attempt = 0; attempt <= ovf_mask_; ++attempt) {
+      std::atomic<std::uint8_t>& meta = ovf_meta_[idx];
+      const std::uint8_t st = meta.load(std::memory_order_relaxed);
+      if (st == kEmpty) {
+        Payload& slot = ovf_payload_[idx];
+        for (int w = 0; w < W; ++w) {
+          slot.key[w].store(words[w], std::memory_order_relaxed);
+        }
+        meta.store(occupied, std::memory_order_release);
+        distinct_.fetch_add(1, std::memory_order_relaxed);
+        bump(slot, edge_out, edge_in);
+        ++r.probes;
+        r.inserted = true;
+        r.overflow_hit = true;
+        ++ovf_size_;
+        want_migration = ovf_size_ >= ovf_threshold_;
+        return true;
+      }
+      ++r.probes;
+      if (st != occupied) {
+        ++r.tag_rejects;
+      } else {
+        ++r.key_compares;
+        if (key_equals(ovf_payload_[idx], words)) {
+          bump(ovf_payload_[idx], edge_out, edge_in);
+          r.overflow_hit = true;
+          return true;
+        }
+      }
+      idx = (idx + 1) & ovf_mask_;
+    }
+    want_migration = true;
+    return false;
+  }
+
+  /// (Re)sizes the overflow region and displacement bound for the
+  /// current main capacity. Constructor and finalize_migration only.
+  void init_growth_arrays() {
+    bound_.store(effective_bound(), std::memory_order_release);
+    const auto want = static_cast<std::uint64_t>(
+        growth_.overflow_fraction * static_cast<double>(capacity()));
+    std::uint64_t ovf = next_pow2(want < 16 ? 16 : want);
+    if (ovf > capacity()) ovf = capacity();
+    ovf_meta_ = std::vector<std::atomic<std::uint8_t>>(ovf);
+    ovf_payload_ = std::vector<Payload>(ovf);
+    ovf_mask_ = ovf - 1;
+    ovf_size_ = 0;
+    ovf_threshold_ = static_cast<std::uint64_t>(
+        growth_.migration_threshold * static_cast<double>(ovf));
+    if (ovf_threshold_ < 1) ovf_threshold_ = 1;
+    if (ovf_threshold_ > ovf) ovf_threshold_ = ovf;
+  }
+
+  /// The configured displacement bound rounded up to whole groups of
+  /// the current backend and clamped to capacity. Insert, lookup and
+  /// the SIMT kernel all stop exactly here — the XOR invariant (a key
+  /// lives in main within the bound, or in overflow, never both) needs
+  /// the boundary to be the same for every prober of this table.
+  std::uint64_t effective_bound() const noexcept {
+    const std::uint64_t cap = capacity();
+    const std::uint64_t gw = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(probe::group_width(simd_level_)), cap);
+    const std::uint64_t raw =
+        growth_.max_displacement == 0
+            ? cap
+            : static_cast<std::uint64_t>(growth_.max_displacement);
+    return std::min(cap, (std::min(raw, cap) + gw - 1) / gw * gw);
+  }
+
+  /// Publishes the array pointers + mask for the ungated readers
+  /// (prefetch_group, home_mask) that must not touch vector internals
+  /// a migration swaps.
+  void update_probe_shadow() noexcept {
+    shadow_meta_.store(meta_.data(), std::memory_order_release);
+    shadow_payload_.store(payload_.data(), std::memory_order_release);
+    shadow_mask_.store(mask_, std::memory_order_release);
   }
 
   int k_;
   std::uint64_t mask_;
   simd::Level simd_level_;
+  GrowthConfig growth_;
   std::vector<std::atomic<std::uint8_t>> meta_;
   std::vector<Payload> payload_;
   std::atomic<std::uint64_t> distinct_{0};
+
+  // Race-free views of the main-array geometry for ungated readers.
+  std::atomic<const std::atomic<std::uint8_t>*> shadow_meta_{nullptr};
+  std::atomic<const Payload*> shadow_payload_{nullptr};
+  std::atomic<std::uint64_t> shadow_mask_{0};
+
+  // Bounded-growth state (growth_.enabled only).
+  std::atomic<std::uint64_t> bound_{0};
+  std::vector<std::atomic<std::uint8_t>> ovf_meta_;
+  std::vector<Payload> ovf_payload_;
+  std::uint64_t ovf_mask_ = 0;
+  std::uint64_t ovf_size_ = 0;       // guarded by ovf_mutex_
+  std::uint64_t ovf_threshold_ = 0;  // occupancy that triggers doubling
+  mutable std::mutex ovf_mutex_;
+
+  // Migration machinery (see the gate note above).
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<int> growth_state_{kStateNormal};
+  mutable std::atomic<std::int64_t> ops_{0};
+  std::atomic<int> migrators_{0};
+  std::unique_ptr<ConcurrentKmerTable> next_;
+  std::atomic<std::uint64_t> migrate_cursor_{0};
+  std::atomic<std::uint64_t> chunks_done_{0};
+  std::uint64_t chunks_total_ = 0;
 };
 
 static_assert(GraphKmerTableLike<ConcurrentKmerTable<1>>,

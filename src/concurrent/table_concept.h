@@ -45,6 +45,9 @@ enum class ProbeOutcome {
              ///< sequence (by one slot, or by the scanned group width)
   kRetry,    ///< a locked slot (insertion in flight elsewhere) blocks
              ///< resolution: probe the same position again
+  kRestart,  ///< the table migrated to a new capacity since the caller
+             ///< computed its probe position: recompute the home index
+             ///< against the current geometry and start over
 };
 
 /// Indices into a slot's 8 edge counters. Counters 0..3 are outgoing
@@ -90,6 +93,8 @@ struct AddResult {
   std::uint32_t lanes_rejected = 0;  ///< lanes filtered by group scans
   bool inserted = false;
   bool waited_on_lock = false;
+  bool overflow_hit = false;  ///< resolved in the overflow region (the
+                              ///< probe exceeded the displacement bound)
 };
 
 /// Aggregate statistics a builder can accumulate from AddResults.
@@ -102,6 +107,11 @@ struct TableStats {
   std::uint64_t group_scans = 0;
   std::uint64_t lanes_rejected = 0;
   std::uint64_t lock_waits = 0;
+  std::uint64_t overflow_hits = 0;  ///< upserts resolved in the overflow
+                                    ///< region past the displacement bound
+  std::uint64_t migrations = 0;  ///< incremental table doublings (a table-
+                                 ///< level event; builders stamp it from
+                                 ///< ConcurrentKmerTable::migrations())
 
   void absorb(const AddResult& r) noexcept {
     ++adds;
@@ -112,6 +122,7 @@ struct TableStats {
     group_scans += r.group_scans;
     lanes_rejected += r.lanes_rejected;
     lock_waits += r.waited_on_lock ? 1 : 0;
+    overflow_hits += r.overflow_hit ? 1 : 0;
   }
   void merge(const TableStats& other) noexcept {
     adds += other.adds;
@@ -122,6 +133,8 @@ struct TableStats {
     group_scans += other.group_scans;
     lanes_rejected += other.lanes_rejected;
     lock_waits += other.lock_waits;
+    overflow_hits += other.overflow_hits;
+    migrations += other.migrations;
   }
 
   /// Share of foreign-slot probes the 6-bit tag resolved without a

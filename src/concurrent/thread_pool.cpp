@@ -55,33 +55,41 @@ void ThreadPool::parallel_for(
   }
   const std::uint64_t chunks = (n + grain - 1) / grain;
 
-  std::atomic<std::uint64_t> remaining{chunks};
-  std::mutex done_mutex;
+  // Completion state lives on this stack frame and is shared with the
+  // chunk tasks, so the LAST access by any task must happen-before the
+  // waiter's return. Everything — the countdown AND the error slot — is
+  // therefore guarded by the one mutex, and a task decrements only
+  // while holding it. The previous scheme (atomic countdown outside the
+  // mutex, notify under it) let the waiter's predicate observe zero
+  // from a spurious wakeup and return, destroying the mutex and
+  // condition variable while the final task was still about to lock
+  // them: a use-after-scope on this frame. It also meant the rethrow
+  // below could race a still-draining task — callers destroy resources
+  // the body captured by reference (e.g. the hash table a failed
+  // subgraph attempt abandons) as soon as parallel_for throws.
+  std::mutex mutex;
   std::condition_variable done_cv;
+  std::uint64_t remaining = chunks;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
 
   for (std::uint64_t c = 0; c < chunks; ++c) {
     const std::uint64_t begin = c * grain;
     const std::uint64_t end = begin + grain < n ? begin + grain : n;
     submit([&, begin, end] {
+      std::exception_ptr error;
       try {
         body(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error && !first_error) first_error = std::move(error);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -32,9 +32,12 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Runs body(begin, end) over chunks of [0, n) across the pool and
-  /// blocks until all chunks finished. The first exception thrown by any
-  /// chunk is rethrown here. `grain` bounds the chunk size; grain == 0
-  /// picks n / (4 * threads), clamped to >= 1.
+  /// blocks until all chunks finished. The first exception thrown by
+  /// any chunk is rethrown here — but only after EVERY chunk has fully
+  /// completed (body returned or threw), so state the body captured by
+  /// reference is safe to destroy the moment this returns or throws.
+  /// `grain` bounds the chunk size; grain == 0 picks n / (4 * threads),
+  /// clamped to >= 1.
   void parallel_for(std::uint64_t n, std::uint64_t grain,
                     const std::function<void(std::uint64_t, std::uint64_t)>&
                         body);

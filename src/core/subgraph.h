@@ -17,7 +17,9 @@
 // adjacencies)  that the tests check.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -34,6 +36,24 @@
 
 namespace parahash::core {
 
+/// What happens when a partition's kmers exceed the Property-1 table
+/// estimate (skewed minimizer bins, wrong lambda, adversarial input).
+enum class GrowthMode {
+  /// Absorb the miss inside the live table: bounded-displacement probes
+  /// spill into an overflow region, and crossing the migration
+  /// threshold doubles the table in place (incremental, cooperative —
+  /// see concurrent::GrowthConfig). Finished upsert work is never
+  /// redone; the build is always a single pass.
+  kOverflow,
+  /// The pre-overflow behaviour, kept as an ablation mode
+  /// (bench_ablation_resizing): throw away the whole attempt on
+  /// TableFullError and restart with a doubled table, up to max_resizes
+  /// times.
+  kRestart,
+  /// Strict Property-1 mode: propagate TableFullError to the caller.
+  kFail,
+};
+
 /// Step-2 parameters (paper Sec. IV-A and V-A: lambda = 2,
 /// alpha in [0.5, 0.8]).
 struct HashConfig {
@@ -41,8 +61,13 @@ struct HashConfig {
   double alpha = 0.7;            ///< hash table load ratio
   std::uint64_t min_slots = 1024;
   std::uint64_t slots_override = 0;  ///< exact slot count; 0 = use sizing rule
-  bool allow_resize = true;      ///< fallback when the estimate is exceeded
-  int max_resizes = 8;
+
+  GrowthMode growth_mode = GrowthMode::kOverflow;
+  int max_resizes = 8;  ///< kRestart only: restarts before giving up
+  /// kOverflow knobs, forwarded to concurrent::GrowthConfig.
+  std::uint32_t max_displacement = 128;
+  double overflow_fraction = 1.0 / 16;
+  double migration_threshold = 0.5;
 
   /// BFCounter-style approximate mode (concurrent/bloom.h): kmers enter
   /// the table only at their SECOND sighting, dropping most singleton
@@ -67,11 +92,35 @@ struct HashConfig {
 template <int W>
 struct SubgraphBuildResult {
   std::unique_ptr<concurrent::ConcurrentKmerTable<W>> table;
+  /// Accounting for the successful pass only (includes overflow_hits
+  /// and the table's migration count in kOverflow mode).
   concurrent::TableStats stats;
+  /// kRestart only: probe accounting from attempts that died on
+  /// TableFullError. Their upsert work IS redone by the restart, so
+  /// these never mix into `stats` — but they are no longer silently
+  /// dropped either; the ablation bench charges them to the restart
+  /// strategy.
+  concurrent::TableStats discarded_stats;
   std::uint32_t partition_id = 0;
   std::uint64_t kmers_processed = 0;
   int resizes = 0;
 };
+
+/// CI hook: PARAHASH_SMALLTABLE=<fraction in (0,1]> scales the
+/// Property-1 slot estimate (never an explicit slots_override) so every
+/// partition build in the suite exercises the overflow/migration
+/// machinery. scripts/ci.sh's ci-smalltable leg sets it; unset or
+/// invalid values mean no scaling. Applied only in kOverflow mode —
+/// the restart/fail ablation modes keep the exact estimate.
+inline double small_table_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("PARAHASH_SMALLTABLE");
+    if (env == nullptr || env[0] == '\0') return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 && v <= 1.0 ? v : 1.0;
+  }();
+  return scale;
+}
 
 /// Device-agnostic Step-2 kernel: rolls out and upserts the core kmers of
 /// records [begin, end) (indices into `offsets`). Safe to call from many
@@ -144,10 +193,16 @@ void hash_process_records(const io::PartitionBlob& blob,
 }
 
 /// Builds one partition's subgraph. Sizes the table by the paper's rule
-/// (Property 1: lambda/(4*alpha) * kmer_count), runs the kernel across
-/// `pool` (nullptr = caller's thread only), and — if the size estimate
-/// is ever exceeded — restarts with a doubled table, counting the
-/// resizes the sizing rule is designed to avoid.
+/// (Property 1: lambda/(4*alpha) * kmer_count) and runs the kernel
+/// across `pool` (nullptr = caller's thread only).
+///
+/// In the default kOverflow mode this is a SINGLE pass no matter how
+/// wrong the estimate was: the table absorbs the miss with its overflow
+/// region and migrates itself to double capacity as needed
+/// (result.stats.migrations counts the doublings; resizes stays 0). The
+/// kRestart ablation mode keeps the old behaviour — on TableFullError,
+/// restart from scratch with a doubled table, counting the resizes the
+/// sizing rule is designed to avoid.
 template <int W>
 SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
                                       const HashConfig& config,
@@ -157,11 +212,26 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
   PARAHASH_CHECK_MSG(static_cast<int>(header.k) <= Kmer<W>::kMaxK,
                      "k too large for this kmer width");
 
+  const bool growing = config.growth_mode == GrowthMode::kOverflow;
   std::uint64_t slots =
       config.slots_override != 0
           ? config.slots_override
           : hash_table_slots(header.kmer_count, config.lambda, config.alpha,
                              /*genome_kmers_share=*/0, config.min_slots);
+  if (growing && config.slots_override == 0) {
+    const double scale = small_table_scale();
+    if (scale < 1.0) {
+      slots = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(static_cast<double>(slots) * scale),
+          16);
+    }
+  }
+  concurrent::GrowthConfig growth;
+  growth.enabled = growing;
+  growth.max_displacement = config.max_displacement;
+  growth.overflow_fraction = config.overflow_fraction;
+  growth.migration_threshold = config.migration_threshold;
+
   const std::vector<std::size_t> offsets = io::record_offsets(blob);
 
   SubgraphBuildResult<W> result;
@@ -170,7 +240,7 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
 
   for (int attempt = 0;; ++attempt) {
     auto table = std::make_unique<concurrent::ConcurrentKmerTable<W>>(
-        slots, static_cast<int>(header.k));
+        slots, static_cast<int>(header.k), growth);
     std::unique_ptr<concurrent::CountingBloom> prefilter;
     if (config.singleton_prefilter) {
       prefilter = std::make_unique<concurrent::CountingBloom>(
@@ -179,16 +249,16 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
                                          header.kmer_count)),
           config.bloom_hashes);
     }
+    // Accumulated outside the try so a failed kRestart attempt can hand
+    // its partial accounting to discarded_stats instead of dropping it.
+    concurrent::TableStats attempt_stats;
     try {
       if (pool == nullptr || offsets.empty()) {
-        concurrent::TableStats stats;
         hash_process_records<W>(blob, offsets, 0, offsets.size(), *table,
-                                stats, prefilter.get(),
+                                attempt_stats, prefilter.get(),
                                 config.upsert_window);
-        result.stats = stats;
       } else {
         std::mutex chunk_mutex;
-        concurrent::TableStats total;
         pool->parallel_for(
             offsets.size(), grain,
             [&](std::uint64_t begin, std::uint64_t end) {
@@ -197,15 +267,26 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
                                       stats, prefilter.get(),
                                       config.upsert_window);
               std::lock_guard<std::mutex> lock(chunk_mutex);
-              total.merge(stats);
+              attempt_stats.merge(stats);
             });
-        result.stats = total;
       }
+      result.stats = attempt_stats;
       result.table = std::move(table);
+      result.stats.migrations += result.table->migrations();
       return result;
     } catch (const TableFullError&) {
-      if (!config.allow_resize || attempt >= config.max_resizes) throw;
+      if (config.growth_mode != GrowthMode::kRestart ||
+          attempt >= config.max_resizes) {
+        throw;
+      }
       ++result.resizes;
+      // parallel_for quiesces every chunk before rethrowing, so the
+      // partial totals are complete and `table` is safe to destroy.
+      result.discarded_stats.merge(attempt_stats);
+      // The Bloom prefilter is rebuilt from scratch too — a correctness
+      // requirement, not an oversight: its counters absorbed the failed
+      // pass's sightings, and replaying every record through the stale
+      // filter would admit kmers one sighting early.
       slots *= 2;  // restart from scratch with double the capacity
     }
   }

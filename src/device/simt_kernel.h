@@ -27,6 +27,16 @@
 // step that wins them, so no slot is ever left in the transient
 // `locked` state by a kernel unwind (regression-tested via
 // ConcurrentKmerTable::locked_slots()).
+//
+// Growth tables: a lane that exhausts the DISPLACEMENT BOUND (rather
+// than the whole table) hands its upsert to the overflow region instead
+// of failing — the kernel never throws on a growth table. Because a
+// migration (triggered by any thread, including a sibling warp) moves
+// every key, the warp snapshots the table generation and passes it to
+// each probe_group_step; a step that answers kRestart, an
+// overflow_upsert that answers false, or a generation change observed
+// between rounds all mean the same thing: re-home the unfinished lanes
+// against the new geometry and keep going.
 #pragma once
 
 #include <cstdint>
@@ -97,7 +107,9 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
     bool failed = false;
   };
   std::vector<Lane> state(lanes);
-  const std::uint64_t mask = table.capacity() - 1;
+  std::uint64_t warp_gen = table.generation();
+  std::uint64_t mask = table.home_mask();
+  std::uint64_t bound = table.displacement_bound();
   for (std::size_t l = 0; l < lanes; ++l) {
     state[l].index = warp[l].canon.hash() & mask;
   }
@@ -108,6 +120,20 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
   stats.kmers += lanes;
 
   while (remaining > 0) {
+    const std::uint64_t gen = table.generation();
+    if (gen != warp_gen) {
+      // The table migrated under the warp: every unfinished lane's probe
+      // position is meaningless in the new geometry, so re-home them.
+      warp_gen = gen;
+      mask = table.home_mask();
+      bound = table.displacement_bound();
+      for (std::size_t l = 0; l < lanes; ++l) {
+        Lane& lane = state[l];
+        if (lane.done || lane.failed) continue;
+        lane.index = warp[l].canon.hash() & mask;
+        lane.scanned = 0;
+      }
+    }
     ++stats.rounds;
     stats.lane_slots += lanes;  // SIMT: the whole warp issues the round
     for (std::size_t l = 0; l < lanes; ++l) {
@@ -117,7 +143,7 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
       concurrent::AddResult lane_result;
       const auto step = table.probe_group_step(
           lane.index, warp[l].canon, warp[l].edge_out, warp[l].edge_in,
-          lane_result);
+          lane_result, warp_gen);
       if (step.outcome == concurrent::ProbeOutcome::kDone) {
         lane.done = true;
         --remaining;
@@ -125,16 +151,30 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
         lane.index =
             (lane.index + static_cast<std::uint64_t>(step.width)) & mask;
         lane.scanned += static_cast<std::uint64_t>(step.width);
-        if (lane.scanned > mask) {
-          // Every slot scanned, no home found. Defer the throw: sibling
-          // lanes still in flight must resolve first.
-          lane.failed = true;
-          table_full = true;
-          --remaining;
+        if (lane.scanned >= bound) {
+          // Displacement bound exhausted (= every slot, on a plain
+          // table): hand off to the overflow region, or defer the
+          // throw until sibling lanes in flight have resolved.
+          if (table.growth_enabled()) {
+            if (table.overflow_upsert(warp[l].canon, warp[l].edge_out,
+                                      warp[l].edge_in, lane_result,
+                                      warp_gen)) {
+              lane.done = true;
+              --remaining;
+            }
+            // else: a migration intervened (possibly performed by that
+            // very call) — the generation check at the top of the next
+            // round re-homes this lane.
+          } else {
+            lane.failed = true;
+            table_full = true;
+            --remaining;
+          }
         }
       }
       // kRetry: rescan the same group next round (a lane was locked or
-      // a claim race was lost).
+      // a claim race was lost). kRestart: the table migrated mid-round;
+      // the next round's generation check re-homes every live lane.
     }
   }
   if (table_full) {

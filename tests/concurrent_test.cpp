@@ -302,6 +302,115 @@ TEST(KmerTable, GrownPreservesContents) {
   check_against_reference<ConcurrentKmerTable<1>, 1>(*bigger, ops);
 }
 
+// ----------------------------------------- bounded growth (overflow +
+// incremental migration). These exercise the recoverable table-full
+// path: probes that exhaust the displacement bound land in the overflow
+// region, and overflow pressure triggers a cooperative in-place
+// doubling instead of TableFullError.
+
+TEST(GrowthTable, OverflowAbsorbsBoundOverrunsWithoutMigration) {
+  // A high migration threshold keeps the migration machinery out of the
+  // picture: every bound overrun must resolve in the overflow region,
+  // and lookups must see a unified main+overflow view.
+  GrowthConfig growth;
+  growth.enabled = true;
+  growth.max_displacement = 16;    // rounds up to one group per backend
+  growth.overflow_fraction = 1.0;  // plenty of overflow slots
+  growth.migration_threshold = 1.0;
+  // More distinct keys than main capacity: at least 16 MUST overflow.
+  const auto ops = make_ops<1>(80, 600, 27, 2024);
+  ConcurrentKmerTable<1> table(64, 27, growth);
+  TableStats stats;
+  for (const auto& op : ops) {
+    stats.absorb(table.add(Kmer<1>::from_string(op.kmer), op.edge_out,
+                           op.edge_in));
+  }
+  EXPECT_EQ(table.migrations(), 0u);
+  EXPECT_GT(stats.overflow_hits, 0u);  // alpha 0.875 with a 16-slot bound
+  EXPECT_GT(table.overflow_size(), 0u);
+  // The probe-accounting identity holds across both regions.
+  EXPECT_EQ(stats.probes,
+            stats.inserts + stats.tag_rejects + stats.key_compares);
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
+TEST(GrowthTable, MigrationPreservesContentsSequential) {
+  // Default growth knobs, a table ~30x too small: the build must ride
+  // through several incremental doublings and end bit-exact with the
+  // reference, with every entry reachable and no slot left locked.
+  GrowthConfig growth;
+  growth.enabled = true;
+  const auto ops = make_ops<1>(2000, 8000, 27, 99);
+  ConcurrentKmerTable<1> table(64, 27, growth);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  EXPECT_GE(table.migrations(), 1u);
+  EXPECT_EQ(table.locked_slots(), 0u);
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
+TEST(GrowthTable, ConcurrentMigrationUnderContentionMatchesReference) {
+  // The acceptance test for the migration gate: 8 threads hammer a tiny
+  // growth table hard enough to force multiple cooperative migrations
+  // mid-insert. Every upsert must land exactly once — a lost update,
+  // duplicate insert, or torn migration shows up as a reference
+  // mismatch (and as a tsan report under the tsan preset).
+  const int threads = 8;
+  const int per_thread = 4000;
+  GrowthConfig growth;
+  growth.enabled = true;
+  const auto ops = make_ops<1>(3000, threads * per_thread, 27, 31337);
+  ConcurrentKmerTable<1> table(64, 27, growth);
+  std::vector<TableStats> stats(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        stats[t].absorb(table.add(Kmer<1>::from_string(ops[i].kmer),
+                                  ops[i].edge_out, ops[i].edge_in));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  TableStats total;
+  for (const auto& s : stats) total.merge(s);
+  EXPECT_EQ(total.adds, static_cast<std::uint64_t>(threads) * per_thread);
+  EXPECT_GE(table.migrations(), 1u);
+  EXPECT_EQ(table.locked_slots(), 0u);
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
+TEST(GrowthTable, DriverAndBatchedUpserterAgreeWithPlainTable) {
+  // drive_ops + BatchedUpserter both route through add_hashed; a growth
+  // table that migrates underneath them must still produce the same
+  // contents as a right-sized plain table fed the same workload.
+  const auto ops = make_ops<1>(1500, 6000, 27, 8080);
+  const auto upserts = to_upserts(ops);
+  ConcurrentKmerTable<1> reference(4096, 27);
+  drive_ops<ConcurrentKmerTable<1>, 1>(
+      reference, std::span<const UpsertOp<1>>(upserts));
+
+  GrowthConfig growth;
+  growth.enabled = true;
+  ConcurrentKmerTable<1> growing(64, 27, growth);
+  TableStats stats;
+  {
+    BatchedUpserter<1> batcher(growing, stats);
+    for (const auto& u : upserts) {
+      batcher.push(u.canon, u.edge_out, u.edge_in);
+    }
+  }  // destructor flushes
+  EXPECT_GE(growing.migrations(), 1u);
+  EXPECT_EQ(growing.size(), reference.size());
+  reference.for_each([&](const VertexEntry<1>& e) {
+    const auto found = growing.find(e.kmer);
+    ASSERT_TRUE(found.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
 TEST(KmerTable, ForEachVisitsEverything) {
   const auto ops = make_ops<1>(77, 500, 27, 17);
   ConcurrentKmerTable<1> table(256, 27);
@@ -641,6 +750,33 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                           if (b == 57) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForQuiescesBeforeRethrow) {
+  // Regression: parallel_for used to rethrow as soon as the completion
+  // counter hit zero on the *failing* chunk's schedule, while sibling
+  // chunks could still be touching caller-frame state — a use-after-
+  // scope once the caller unwound. The fix joins every chunk before
+  // rethrowing, so frame-local state destroyed right after the catch
+  // must be safe. Run several rounds so a racy schedule has chances to
+  // bite (tsan flags the old behaviour deterministically).
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> frame_local(64, 0);
+    try {
+      pool.parallel_for(64, 1, [&](std::uint64_t b, std::uint64_t) {
+        if (b == 0) throw std::runtime_error("first chunk fails");
+        frame_local[b] = static_cast<int>(b);
+      });
+      FAIL() << "expected the chunk-0 exception to propagate";
+    } catch (const std::runtime_error&) {
+      // Every surviving chunk must have fully finished by now.
+      for (std::uint64_t i = 1; i < 64; ++i) {
+        EXPECT_EQ(frame_local[i], static_cast<int>(i));
+      }
+    }
+    // frame_local destroyed here; a straggler chunk would be a UAF.
+  }
 }
 
 TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {

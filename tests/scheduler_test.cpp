@@ -338,6 +338,33 @@ TEST(FusedPipeline, TightTableBudgetStillExact) {
   EXPECT_TRUE(graph_a == graph_b);
 }
 
+TEST(FusedPipeline, TinyTablesGrowIdenticallyFusedAndUnfused) {
+  // Force every partition's table far below its Property-1 estimate:
+  // the default kOverflow growth mode must absorb the undersizing
+  // in-place (migrations, not restarts) and the fused and unfused
+  // schedules must still produce identical graphs.
+  const auto d = make_dataset(2500, 8.0, 77);
+  auto options = base_options();
+  options.hash.slots_override = 64;  // ~every partition must migrate
+
+  ParaHash<1> unfused(options);
+  auto [graph_a, report_a] = unfused.construct(d->fastq);
+  EXPECT_EQ(report_a.resizes, 0);
+  EXPECT_GE(report_a.step2_table.migrations, 1u);
+
+  options.fuse_steps = true;
+  ParaHash<1> fused(options);
+  auto [graph_b, report_b] = fused.construct(d->fastq);
+  EXPECT_EQ(report_b.resizes, 0);
+  EXPECT_GE(report_b.step2_table.migrations, 1u);
+
+  EXPECT_TRUE(graph_a == graph_b);
+  core::ReferenceBuilder reference(options.msp.k);
+  for (const auto& r : d->reads) reference.add_read(r.bases);
+  std::string diff;
+  EXPECT_TRUE(reference.matches(graph_b, &diff)) << diff;
+}
+
 TEST(FusedPipeline, StreamedModeReportsSameStats) {
   const auto d = make_dataset(2000, 8.0, 66);
   auto options = base_options();
@@ -363,10 +390,11 @@ TEST(FusedPipeline, WorkerExceptionAbortsCleanly) {
   auto options = base_options();
   options.fuse_steps = true;
   options.max_open_partitions = 3;  // keep Step 1 streaming mid-failure
-  // Force a mid-stream Step-2 failure: a 16-slot table that may not
-  // resize overflows on the first real partition.
+  // Force a mid-stream Step-2 failure: a 16-slot table in strict
+  // Property-1 mode (no overflow, no restart) overflows on the first
+  // real partition.
   options.hash.slots_override = 16;
-  options.hash.allow_resize = false;
+  options.hash.growth_mode = core::GrowthMode::kFail;
 
   std::string partition_dir;
   {

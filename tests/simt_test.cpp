@@ -136,6 +136,35 @@ TEST(Simt, FullTableUnwindLeavesNoLockedSlots) {
   EXPECT_EQ(visited, tiny.size());
 }
 
+TEST(Simt, GrowthTableAbsorbsOverflowMidWarp) {
+  // The same far-too-small table that throws above, but with bounded
+  // growth enabled: lanes whose probes exhaust the displacement bound
+  // divert to the overflow region mid-warp, migrations re-home the
+  // surviving lanes, and the whole partition completes with contents
+  // identical to the scalar build — no TableFullError, no slot left
+  // locked by a diverted lane.
+  const auto blob = one_partition(1000, 4.0, 2.0, 70, nullptr);
+
+  core::HashConfig hash_config;
+  auto scalar = core::build_subgraph<1>(blob, hash_config, nullptr);
+
+  concurrent::GrowthConfig growth;
+  growth.enabled = true;
+  concurrent::ConcurrentKmerTable<1> tiny(16, 27, growth);
+  const auto stats = simt_process_partition<1>(blob, tiny, 32);
+
+  EXPECT_EQ(stats.kmers, blob.header().kmer_count);
+  EXPECT_GE(tiny.migrations(), 1u);
+  EXPECT_EQ(tiny.locked_slots(), 0u);
+  EXPECT_EQ(tiny.size(), scalar.table->size());
+  scalar.table->for_each([&](const concurrent::VertexEntry<1>& e) {
+    const auto found = tiny.find(e.kmer);
+    ASSERT_TRUE(found.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(found->coverage, e.coverage);
+    EXPECT_EQ(found->edges, e.edges);
+  });
+}
+
 TEST(Simt, WarpSizeOneHasNoDivergence) {
   const auto blob = one_partition(1000, 5.0, 1.0, 69, nullptr);
   concurrent::ConcurrentKmerTable<1> table(
