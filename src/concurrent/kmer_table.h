@@ -204,13 +204,15 @@ class ConcurrentKmerTable {
     return bound_.load(std::memory_order_acquire);
   }
 
-  /// Keys currently living in the overflow region / its slot count.
-  /// Quiescent introspection (post-build, tests).
+  /// Keys currently living in the overflow region. Safe against a
+  /// concurrent migration (the finalize swap holds ovf_mutex_ too).
   std::uint64_t overflow_size() const {
     if (!growth_.enabled) return 0;
     std::lock_guard<std::mutex> lock(ovf_mutex_);
     return ovf_size_;
   }
+  /// Overflow slot count. Quiescent introspection only on growth tables
+  /// (reads vector internals a migration swaps), like memory_bytes().
   std::uint64_t overflow_capacity() const noexcept {
     return ovf_meta_.size();
   }
@@ -502,7 +504,9 @@ class ConcurrentKmerTable {
   /// whenever no insertion is mid-flight — in particular after any
   /// kernel unwinds, even via TableFullError (regression-tested).
   /// Overflow slots are never locked (mutex-protected inserts) but are
-  /// scanned anyway so the invariant covers the whole table.
+  /// scanned anyway so the invariant covers the whole table. Quiescent
+  /// introspection only on growth tables (walks vector internals a
+  /// migration swaps).
   std::uint64_t locked_slots() const noexcept {
     std::uint64_t n = 0;
     for (const auto& m : meta_) {
@@ -757,12 +761,22 @@ class ConcurrentKmerTable {
   /// during a migration a locked slot belongs to a sibling migrator
   /// inserting a DIFFERENT key (source entries are distinct), so
   /// probing past it is correct.
+  ///
+  /// Honors this table's bounded-probe protocol: on a growth table the
+  /// main probe stops at the displacement bound and a key whose whole
+  /// bound window is taken goes to the overflow region — placing it
+  /// past the bound would make it invisible to every reader (they stop
+  /// at the bound and fall back to overflow only), breaking the
+  /// main-XOR-overflow invariant and splitting later upserts of the
+  /// same key into a silent duplicate. On a plain table the bound is
+  /// the full capacity, i.e. the classic unbounded probe.
   void migrate_entry(const VertexEntry<W>& e) {
     const auto words = e.kmer.words();
     const std::uint64_t hash = e.kmer.hash();
     const std::uint8_t occupied = occupied_byte(hash);
+    const std::uint64_t bound = displacement_bound();
     std::uint64_t idx = hash & mask_;
-    for (std::uint64_t attempt = 0; attempt <= mask_; ++attempt) {
+    for (std::uint64_t attempt = 0; attempt < bound; ++attempt) {
       if (meta_[idx].load(std::memory_order_relaxed) == kEmpty) {
         std::uint8_t expected = kEmpty;
         if (meta_[idx].compare_exchange_strong(
@@ -782,6 +796,17 @@ class ConcurrentKmerTable {
         }
       }
       idx = (idx + 1) & mask_;
+    }
+    if (growth_.enabled) {
+      std::lock_guard<std::mutex> lock(ovf_mutex_);
+      if (migrate_into_overflow_locked(e, words, occupied, hash)) return;
+      // The doubled table's overflow region filled during the copy —
+      // only reachable with an adversarial hash that saturates bound
+      // windows across a 2x-capacity table. Unwinding here is the safe
+      // failure: the gate never reopens on the torn target.
+      throw TableFullError(
+          "migration target overflow region full (capacity " +
+          std::to_string(ovf_meta_.size()) + ")");
     }
     throw TableFullError("migration target table full — unreachable: the "
                          "target has double the source capacity");
@@ -880,10 +905,16 @@ class ConcurrentKmerTable {
   }
 
   /// Allocates the doubled table and resets the chunk cursor. Runs in
-  /// the Draining state, concurrently with the last ticketed ops.
+  /// the Draining state, concurrently with the last ticketed ops. The
+  /// target carries the same GrowthConfig as this table: migrate_entry
+  /// must insert via the SAME bounded protocol live upserts use, so a
+  /// key whose bound window is saturated in the doubled table lands in
+  /// the target's overflow region (which finalize adopts), never past
+  /// the bound where no reader probes.
   void prepare_migration() {
     while (migrators_.load(std::memory_order_seq_cst) != 0) cpu_relax();
-    next_ = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_);
+    next_ = std::make_unique<ConcurrentKmerTable>(capacity() * 2, k_,
+                                                  growth_);
     next_->set_simd_level(simd_level_);
     const std::uint64_t total_slots = meta_.size() + ovf_meta_.size();
     chunks_total_ =
@@ -953,17 +984,31 @@ class ConcurrentKmerTable {
     }
   }
 
-  /// Last chunk done: steal the doubled table's arrays, retire the old
-  /// ones, publish the new geometry, reopen the gate (strictly last).
+  /// Last chunk done: steal the doubled table's arrays (main AND
+  /// overflow — bound-saturated keys migrated into the target's
+  /// overflow region, which stays live), publish the new geometry,
+  /// retire the old arrays, reopen the gate (strictly last). The
+  /// overflow swap holds ovf_mutex_ so the ungated overflow_size()
+  /// never races the vector swap, and the probe shadow is republished
+  /// BEFORE next_.reset() so an ungated prefetch_group can never read a
+  /// shadow pointer into just-freed memory.
   void finalize_migration() {
     PARAHASH_DCHECK(distinct_.load(std::memory_order_relaxed) ==
                     next_->distinct_.load(std::memory_order_relaxed));
     meta_.swap(next_->meta_);
     payload_.swap(next_->payload_);
     mask_ = meta_.size() - 1;
-    next_.reset();
-    init_growth_arrays();
+    {
+      std::lock_guard<std::mutex> lock(ovf_mutex_);
+      ovf_meta_.swap(next_->ovf_meta_);
+      ovf_payload_.swap(next_->ovf_payload_);
+      ovf_mask_ = next_->ovf_mask_;
+      ovf_size_ = next_->ovf_size_;
+      ovf_threshold_ = next_->ovf_threshold_;
+    }
+    bound_.store(effective_bound(), std::memory_order_release);
     update_probe_shadow();
+    next_.reset();
     migrations_.fetch_add(1, std::memory_order_seq_cst);
     generation_.fetch_add(1, std::memory_order_seq_cst);
     growth_state_.store(kStateNormal, std::memory_order_seq_cst);
@@ -1017,8 +1062,41 @@ class ConcurrentKmerTable {
     return false;
   }
 
+  /// Migration flavour of the overflow insert: places a full entry
+  /// (key + counters), known absent, into the overflow region. Pre:
+  /// ovf_mutex_ held. Returns false when every overflow slot holds
+  /// another key. No threshold accounting — the adopted ovf_size_ is
+  /// re-checked against the threshold by the first post-swap overflow
+  /// upsert, which re-triggers a doubling if migration left the region
+  /// past it.
+  bool migrate_into_overflow_locked(const VertexEntry<W>& e,
+                                    std::span<const std::uint64_t, W> words,
+                                    std::uint8_t occupied,
+                                    std::uint64_t hash) {
+    std::uint64_t idx = hash & ovf_mask_;
+    for (std::uint64_t attempt = 0; attempt <= ovf_mask_; ++attempt) {
+      if (ovf_meta_[idx].load(std::memory_order_relaxed) == kEmpty) {
+        Payload& slot = ovf_payload_[idx];
+        for (int w = 0; w < W; ++w) {
+          slot.key[w].store(words[w], std::memory_order_relaxed);
+        }
+        for (int i = 0; i < 8; ++i) {
+          slot.edges[i].store(e.edges[i], std::memory_order_relaxed);
+        }
+        slot.coverage.store(e.coverage, std::memory_order_relaxed);
+        ovf_meta_[idx].store(occupied, std::memory_order_release);
+        distinct_.fetch_add(1, std::memory_order_relaxed);
+        ++ovf_size_;
+        return true;
+      }
+      idx = (idx + 1) & ovf_mask_;
+    }
+    return false;
+  }
+
   /// (Re)sizes the overflow region and displacement bound for the
-  /// current main capacity. Constructor and finalize_migration only.
+  /// current main capacity. Constructor only — finalize_migration
+  /// adopts the target's already-populated overflow region instead.
   void init_growth_arrays() {
     bound_.store(effective_bound(), std::memory_order_release);
     const auto want = static_cast<std::uint64_t>(

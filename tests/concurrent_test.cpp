@@ -381,6 +381,46 @@ TEST(GrowthTable, ConcurrentMigrationUnderContentionMatchesReference) {
   check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
 }
 
+TEST(GrowthTable, MigrationDivertsBoundSaturatedKeysToOverflow) {
+  // Regression: migrate_entry used to probe the migration target with
+  // no displacement bound (and the target had no overflow region), so
+  // a migrated key whose whole bound window was occupied in the
+  // doubled table was placed PAST the bound — where find() and upserts
+  // never probe — making it invisible and letting a later add of the
+  // same key insert a silent duplicate. These knobs keep the table
+  // near-full at every doubling (overflow as large as main, migration
+  // only once overflow is full), so the target starts at ~95% load
+  // with a one-group bound and bound-window saturation during the copy
+  // is certain; any key dropped past the bound shows up as a reference
+  // mismatch or a size() inflation.
+  GrowthConfig growth;
+  growth.enabled = true;
+  growth.max_displacement = 16;  // rounds up to one group per backend
+  growth.overflow_fraction = 1.0;
+  growth.migration_threshold = 1.0;
+  const int threads = 4;
+  const int per_thread = 3000;
+  const auto ops = make_ops<1>(2000, threads * per_thread, 27, 777);
+  ConcurrentKmerTable<1> table(64, 27, growth);
+  std::vector<TableStats> stats(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        stats[t].absorb(table.add(Kmer<1>::from_string(ops[i].kmer),
+                                  ops[i].edge_out, ops[i].edge_in));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  TableStats total;
+  for (const auto& s : stats) total.merge(s);
+  EXPECT_GE(table.migrations(), 2u);
+  EXPECT_GT(total.overflow_hits, 0u);
+  EXPECT_EQ(table.locked_slots(), 0u);
+  check_against_reference<ConcurrentKmerTable<1>, 1>(table, ops);
+}
+
 TEST(GrowthTable, DriverAndBatchedUpserterAgreeWithPlainTable) {
   // drive_ops + BatchedUpserter both route through add_hashed; a growth
   // table that migrates underneath them must still produce the same
