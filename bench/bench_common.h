@@ -5,6 +5,7 @@
 // (default 1.0) to grow or shrink every dataset proportionally.
 #pragma once
 
+#include <errno.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,13 +14,17 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/tmpdir.h"
 #include "pipeline/parahash.h"
 #include "sim/read_sim.h"
+#include "util/json.h"
 #include "util/mem.h"
+#include "util/telemetry.h"
 
 namespace parahash::bench {
 
@@ -138,7 +143,87 @@ inline SubprocessResult run_isolated(
   return r;
 }
 
+// ---------------------------------------------------------------------
+// Machine-readable bench reports. Every bench binary emits
+// BENCH_<binary>.json at exit (into the working directory, or
+// $PARAHASH_BENCH_REPORT_DIR when set): run metadata, any metrics the
+// bench recorded via report_metric(), and the process-wide telemetry
+// snapshot. print_header() arms the reporter, so the table/figure
+// benches get it for free; the google-benchmark micro benches arm it
+// from their custom main().
+
+struct BenchReportState {
+  std::mutex mutex;
+  std::string title;
+  std::string paper_ref;
+  std::vector<std::pair<std::string, double>> metrics;
+  bool armed = false;
+};
+
+inline BenchReportState& bench_report_state() {
+  static BenchReportState state;
+  return state;
+}
+
+inline void write_bench_report() {
+  BenchReportState& state = bench_report_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.armed) return;
+  // glibc keeps the argv[0] basename here; no main() plumbing needed.
+  const char* binary = program_invocation_short_name;
+  const char* dir = std::getenv("PARAHASH_BENCH_REPORT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "BENCH_" + std::string(binary) + ".json";
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value(binary);
+  w.key("title");
+  w.value(state.title);
+  w.key("paper_ref");
+  w.value(state.paper_ref);
+  w.key("scale");
+  w.value(bench_scale());
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [name, value] : state.metrics) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("telemetry");
+  w.raw(telemetry::Registry::global().snapshot_json());
+  w.end_object();
+
+  std::ofstream out(path);
+  if (out) out << w.str() << '\n';
+}
+
+inline void bench_report_init(const char* title, const char* paper_ref) {
+  BenchReportState& state = bench_report_state();
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.title = title;
+    state.paper_ref = paper_ref;
+    arm = !state.armed;
+    state.armed = true;
+  }
+  if (arm) std::atexit(write_bench_report);
+}
+
+/// Records one named scalar into this binary's BENCH_*.json.
+inline void report_metric(const std::string& name, double value) {
+  BenchReportState& state = bench_report_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.metrics.emplace_back(name, value);
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
+  bench_report_init(title, paper_ref);
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);

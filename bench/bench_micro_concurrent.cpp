@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "bench_common.h"
 #include "concurrent/batched_upsert.h"
 #include "concurrent/bloom.h"
 #include "concurrent/counter_table.h"
@@ -251,4 +252,16 @@ BENCHMARK(BM_ParallelForOverhead);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the shared reporter can emit
+// BENCH_bench_micro_concurrent.json at exit alongside the usual
+// google-benchmark console output.
+int main(int argc, char** argv) {
+  parahash::bench::bench_report_init(
+      "micro: concurrency substrate",
+      "microbenchmarks (tables, queues, thread pool)");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

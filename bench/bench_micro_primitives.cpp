@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "concurrent/kmer_table.h"
 #include "core/msp.h"
 #include "io/partition_file.h"
@@ -176,4 +177,16 @@ BENCHMARK(BM_TableFind);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the shared reporter can emit
+// BENCH_bench_micro_primitives.json at exit alongside the usual
+// google-benchmark console output.
+int main(int argc, char** argv) {
+  parahash::bench::bench_report_init(
+      "micro: hot primitives",
+      "microbenchmarks (kmer ops, minimizers, records, upserts)");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,9 @@
 //        --partitions=512 --gpus=0 --threads=N --min-coverage=0
 //        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
 //        --quality-trim=0 --max-open-files=0 --fuse-steps
-//        --inflight-table-budget=MB --upsert-batch=N|auto]
+//        --inflight-table-budget=MB --upsert-batch=N|auto
+//        --trace-out=trace.json --metrics-out=metrics.json
+//        --report-json=report.json]
 //        (several input files — plain or .gz — concatenate)
 //   parahash_cli stats  <graph.phdg>
 //   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
@@ -24,8 +26,11 @@
 #include "core/stats.h"
 #include "core/unitig.h"
 #include "pipeline/parahash.h"
+#include "pipeline/report_json.h"
 #include "util/flags.h"
 #include "util/simd.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -68,6 +73,12 @@ int cmd_build(const Flags& flags) {
                 concurrent::UpsertWindow{}.to_string()));
 
   const std::string graph_path = flags.get("graph", "graph.phdg");
+  const std::string trace_path = flags.get("trace-out");
+  const std::string metrics_path = flags.get("metrics-out");
+  const std::string report_path = flags.get("report-json");
+  if (!metrics_path.empty()) telemetry::set_enabled(true);
+  if (!trace_path.empty()) trace::start();
+
   const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
     pipeline::ParaHash<W> system(options);
     auto [graph, run_report] = system.construct(inputs);
@@ -119,6 +130,27 @@ int cmd_build(const Flags& flags) {
                   static_cast<unsigned long long>(ht.migrations),
                   report.resizes);
     }
+  }
+  if (!trace_path.empty()) {
+    trace::stop();
+    trace::write(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw IoError("cannot open " + metrics_path);
+    out << telemetry::Registry::global().snapshot_json() << '\n';
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) throw IoError("cannot open " + report_path);
+    out << pipeline::run_report_json(
+               report, simd::to_string(simd::active()),
+               options.hash.upsert_window.to_string(),
+               options.inflight_table_budget_bytes)
+        << '\n';
+    std::printf("report written to %s\n", report_path.c_str());
   }
   std::printf("graph written to %s\n", graph_path.c_str());
   return 0;

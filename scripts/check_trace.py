@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""ci-trace leg: run a small fused construction with every telemetry
+output enabled and validate the three artefacts.
+
+Usage: scripts/check_trace.py <path/to/parahash_cli>
+
+Checks:
+  - trace.json, metrics.json, report.json all parse as JSON;
+  - the trace carries a thread-name track for every Step-2 device the
+    run report lists (plus the Step-2 input track);
+  - the report's ledger timeline has samples and caught Step 2
+    consuming (a sample with cns > 0);
+  - the metrics snapshot counted upserts.
+"""
+import json
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def write_fastq(path, genome_size=20000, read_len=90, coverage=6.0,
+                seed=11):
+    rng = random.Random(seed)
+    genome = "".join(rng.choice("ACGT") for _ in range(genome_size))
+    n_reads = int(genome_size * coverage / read_len)
+    with open(path, "w") as f:
+        for i in range(n_reads):
+            pos = rng.randrange(genome_size - read_len)
+            bases = genome[pos:pos + read_len]
+            f.write(f"@r{i}\n{bases}\n+\n{'I' * read_len}\n")
+
+
+def fail(msg):
+    print(f"ci-trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    cli = Path(sys.argv[1]).resolve()
+    if not cli.is_file():
+        fail(f"no such binary: {cli}")
+
+    with tempfile.TemporaryDirectory(prefix="parahash_ci_trace.") as tmp:
+        tmp = Path(tmp)
+        fastq = tmp / "reads.fastq"
+        write_fastq(fastq)
+        trace = tmp / "trace.json"
+        metrics = tmp / "metrics.json"
+        report = tmp / "report.json"
+        cmd = [
+            str(cli), "build", str(fastq),
+            f"--graph={tmp / 'graph.phdg'}",
+            f"--work-dir={tmp / 'work'}",
+            "--partitions=16",
+            # Multi-pass Step 1: first-pass partitions seal early, so
+            # Step 2 overlaps the later passes (a wide sampling window).
+            "--max-open-files=4",
+            "--fuse-steps",
+            f"--trace-out={trace}",
+            f"--metrics-out={metrics}",
+            f"--report-json={report}",
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"build failed ({proc.returncode}):\n{proc.stderr}")
+
+        for path in (trace, metrics, report):
+            if not path.is_file():
+                fail(f"missing artefact: {path.name}")
+
+        trace_doc = json.loads(trace.read_text())
+        metrics_doc = json.loads(metrics.read_text())
+        report_doc = json.loads(report.read_text())
+
+        # --- trace: one named track per Step-2 device worker ---------
+        events = trace_doc.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail("trace has no traceEvents")
+        track_names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        devices = [d["name"] for d in report_doc["step2"]["devices"]]
+        if not devices:
+            fail("report lists no Step-2 devices")
+        for dev in devices:
+            want = f"step2:{dev}"
+            if want not in track_names:
+                fail(f"trace is missing track {want!r} "
+                     f"(have {sorted(track_names)})")
+        if "step2:input" not in track_names:
+            fail("trace is missing the step2:input track")
+        if not any(e.get("ph") == "X" and e.get("name") == "compute"
+                   for e in events):
+            fail("trace has no compute spans")
+
+        # --- report: ledger timeline caught the overlap --------------
+        samples = report_doc.get("ledger_samples")
+        if not samples:
+            fail("report has no ledger_samples (fused run expected)")
+        if not any(s["cns"] > 0 for s in samples):
+            fail("no ledger sample has cns > 0")
+        for key in ("step1", "step2", "step2_table", "graph",
+                    "total_elapsed_seconds", "peak_rss_bytes",
+                    "step_overlap_seconds"):
+            if key not in report_doc:
+                fail(f"report is missing key {key!r}")
+        if report_doc["step2_table"]["adds"] == 0:
+            fail("report counted no upserts")
+
+        # --- metrics: the registry saw the run ------------------------
+        counters = metrics_doc.get("counters", {})
+        if counters.get("table.upserts", 0) == 0:
+            fail("metrics counted no table.upserts")
+        if "histograms" not in metrics_doc or "gauges" not in metrics_doc:
+            fail("metrics snapshot is missing a section")
+
+        print(f"ci-trace: OK ({len(events)} trace events, "
+              f"{len(samples)} ledger samples, "
+              f"{len(track_names)} named tracks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,23 @@
 #!/usr/bin/env sh
-# CI entry point: the three workflow presets back to back — a Release
-# build running the full suite, a ThreadSanitizer build running the
+# CI entry point: the workflow presets back to back — a Release build
+# running the full suite, a ThreadSanitizer build running the
 # tsan-labelled concurrency tests (concurrent tables, group probing,
-# SIMT kernel, subgraph builds, partition-lifecycle scheduler), and a
-# scalar-fallback build (SIMD probe backends compiled out) re-running
-# the full suite the way a non-x86 target would — plus a smalltable leg
-# that re-runs the Release suite with PARAHASH_SMALLTABLE=0.4, scaling
-# every Property-1 table estimate down so each partition build
-# exercises the overflow/migration machinery instead of the happy path.
+# SIMT kernel, subgraph builds, partition-lifecycle scheduler,
+# telemetry histograms), and a scalar-fallback build (SIMD probe
+# backends compiled out) re-running the full suite the way a non-x86
+# target would — plus a smalltable leg that re-runs the Release suite
+# with PARAHASH_SMALLTABLE=0.4, scaling every Property-1 table estimate
+# down so each partition build exercises the overflow/migration
+# machinery instead of the happy path, and a trace leg that runs a
+# small fused construction with --trace-out/--metrics-out/--report-json
+# and validates the three artefacts.
 #
-#   scripts/ci.sh             all four legs
+#   scripts/ci.sh             all five legs
 #   scripts/ci.sh default     Release + full suite only
 #   scripts/ci.sh tsan        ThreadSanitizer subset only
 #   scripts/ci.sh scalar      scalar-fallback build + full suite only
 #   scripts/ci.sh smalltable  Release suite with undersized tables only
+#   scripts/ci.sh trace       telemetry artefact validation only
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,13 +25,16 @@ run_default=1
 run_tsan=1
 run_scalar=1
 run_smalltable=1
+run_trace=1
 case "${1:-all}" in
   all) ;;
-  default) run_tsan=0; run_scalar=0; run_smalltable=0 ;;
-  tsan) run_default=0; run_scalar=0; run_smalltable=0 ;;
-  scalar) run_default=0; run_tsan=0; run_smalltable=0 ;;
-  smalltable) run_default=0; run_tsan=0; run_scalar=0 ;;
-  *) echo "usage: $0 [all|default|tsan|scalar|smalltable]" >&2; exit 2 ;;
+  default) run_tsan=0; run_scalar=0; run_smalltable=0; run_trace=0 ;;
+  tsan) run_default=0; run_scalar=0; run_smalltable=0; run_trace=0 ;;
+  scalar) run_default=0; run_tsan=0; run_smalltable=0; run_trace=0 ;;
+  smalltable) run_default=0; run_tsan=0; run_scalar=0; run_trace=0 ;;
+  trace) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace]" >&2
+     exit 2 ;;
 esac
 
 [ "$run_default" -eq 1 ] && cmake --workflow --preset ci-default
@@ -40,4 +47,14 @@ if [ "$run_smalltable" -eq 1 ]; then
   cmake --preset default
   cmake --build --preset default
   PARAHASH_SMALLTABLE=0.4 ctest --preset default
+fi
+if [ "$run_trace" -eq 1 ]; then
+  # ci-trace: a small fused construction with every telemetry output
+  # enabled, then validation that all three artefacts parse as JSON and
+  # carry their load-bearing content: a trace track per device worker,
+  # ledger samples that caught Step 2 consuming, and the table stats as
+  # report keys.
+  cmake --preset default
+  cmake --build --preset default --target parahash_cli
+  scripts/check_trace.py build/examples/parahash_cli
 fi

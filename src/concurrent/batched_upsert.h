@@ -150,8 +150,10 @@ class BatchedUpserter {
     try {
       for (; i < count_; ++i) {
         const Pending& p = items_[static_cast<std::size_t>(i)];
-        stats_.absorb(table_.add_hashed(p.canon, p.hash, p.edge_out,
-                                        p.edge_in));
+        const AddResult r = table_.add_hashed(p.canon, p.hash, p.edge_out,
+                                              p.edge_in);
+        stats_.absorb(r);
+        if (probe_hist_ != nullptr) probe_hist_->record(r.probes);
       }
     } catch (...) {
       count_ = 0;
@@ -176,6 +178,13 @@ class BatchedUpserter {
   UpsertWindow policy_;
   int window_;
   int count_ = 0;
+  /// Per-upsert probe-length distribution; sampled only when telemetry
+  /// was enabled at construction so the bare-throughput path stays an
+  /// untouched absorb loop (the upserter is built per work chunk, which
+  /// is a fine granularity for flipping the gate).
+  telemetry::Histogram* probe_hist_ =
+      telemetry::enabled() ? &telemetry::histogram("probe.length")
+                           : nullptr;
   std::array<Pending, kMaxWindow> items_;
 };
 

@@ -76,8 +76,35 @@
 #include "util/hash.h"
 #include "util/kmer.h"
 #include "util/simd.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace parahash::concurrent {
+
+namespace internal {
+
+/// Records how long the calling thread was stalled by a table
+/// migration (helping copy chunks or waiting out the gate) into the
+/// `table.migration_pause_ns` histogram. Instantiated only on the cold
+/// gate-closed paths; costs nothing when telemetry is off.
+class MigrationPauseTimer {
+ public:
+  MigrationPauseTimer() noexcept
+      : t0_ns_(telemetry::enabled() ? trace::now_ns() : 0) {}
+  MigrationPauseTimer(const MigrationPauseTimer&) = delete;
+  MigrationPauseTimer& operator=(const MigrationPauseTimer&) = delete;
+  ~MigrationPauseTimer() {
+    if (t0_ns_ == 0) return;
+    static telemetry::Histogram& pause_ns =
+        telemetry::histogram("table.migration_pause_ns");
+    pause_ns.record(trace::now_ns() - t0_ns_);
+  }
+
+ private:
+  std::uint64_t t0_ns_;
+};
+
+}  // namespace internal
 
 /// Bounded-growth policy for ConcurrentKmerTable. Disabled by default:
 /// a plain table probes the full capacity and throws TableFullError
@@ -867,6 +894,7 @@ class ConcurrentKmerTable {
         return;
       }
       ops_.fetch_sub(1, std::memory_order_seq_cst);
+      internal::MigrationPauseTimer pause;
       while (growth_state_.load(std::memory_order_seq_cst) !=
              kStateNormal) {
         cpu_relax();
@@ -892,9 +920,13 @@ class ConcurrentKmerTable {
       int expected = kStateNormal;
       if (growth_state_.compare_exchange_strong(
               expected, kStateDraining, std::memory_order_seq_cst)) {
+        PARAHASH_TRACE_INSTANT("table", "migration.drain", "generation",
+                               observed_generation);
         prepare_migration();
         while (ops_.load(std::memory_order_seq_cst) != 0) cpu_relax();
         growth_state_.store(kStateMigrating, std::memory_order_seq_cst);
+        PARAHASH_TRACE_INSTANT("table", "migration.copy", "generation",
+                               observed_generation);
         help_copy();
         return;
       }
@@ -925,6 +957,10 @@ class ConcurrentKmerTable {
 
   /// Cooperates on the current migration until the gate reopens.
   void help_copy() {
+    if (growth_state_.load(std::memory_order_seq_cst) == kStateNormal) {
+      return;
+    }
+    internal::MigrationPauseTimer pause;
     for (;;) {
       const int state = growth_state_.load(std::memory_order_seq_cst);
       if (state == kStateNormal) return;
@@ -1010,8 +1046,11 @@ class ConcurrentKmerTable {
     update_probe_shadow();
     next_.reset();
     migrations_.fetch_add(1, std::memory_order_seq_cst);
-    generation_.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint64_t new_generation =
+        generation_.fetch_add(1, std::memory_order_seq_cst) + 1;
     growth_state_.store(kStateNormal, std::memory_order_seq_cst);
+    PARAHASH_TRACE_INSTANT("table", "migration.finalize", "generation",
+                           new_generation);
   }
 
   // ---- Overflow region -----------------------------------------------

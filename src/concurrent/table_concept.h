@@ -155,6 +155,12 @@ struct TableStats {
                      : static_cast<double>(probes) /
                            static_cast<double>(adds);
   }
+
+  /// Adds this aggregate to the named telemetry instruments. Called at
+  /// merge points (one call per finished partition build, never inside
+  /// the probe loop), so the registry sees the same totals as the
+  /// threaded struct without hot-path atomics.
+  void publish_telemetry() const;
 };
 
 /// The common surface every table variant exposes: capacity/size

@@ -1,0 +1,41 @@
+#include "concurrent/table_concept.h"
+
+#include "util/telemetry.h"
+
+namespace parahash::concurrent {
+
+void TableStats::publish_telemetry() const {
+  // Static references: one registry lookup per process, then plain
+  // relaxed adds per published aggregate.
+  static telemetry::Counter& upserts = telemetry::counter("table.upserts");
+  static telemetry::Counter& inserts_c =
+      telemetry::counter("table.inserts");
+  static telemetry::Counter& probes_c = telemetry::counter("probe.probes");
+  static telemetry::Counter& tag_rejects_c =
+      telemetry::counter("probe.tag_rejects");
+  static telemetry::Counter& key_compares_c =
+      telemetry::counter("probe.key_compares");
+  static telemetry::Counter& group_scans_c =
+      telemetry::counter("probe.group_scans");
+  static telemetry::Counter& lanes_rejected_c =
+      telemetry::counter("probe.lanes_rejected");
+  static telemetry::Counter& lock_waits_c =
+      telemetry::counter("table.lock_waits");
+  static telemetry::Counter& overflow_hits_c =
+      telemetry::counter("table.overflow_hits");
+  static telemetry::Counter& migrations_c =
+      telemetry::counter("table.migrations");
+
+  upserts.add(adds);
+  inserts_c.add(inserts);
+  probes_c.add(probes);
+  tag_rejects_c.add(tag_rejects);
+  key_compares_c.add(key_compares);
+  group_scans_c.add(group_scans);
+  lanes_rejected_c.add(lanes_rejected);
+  lock_waits_c.add(lock_waits);
+  overflow_hits_c.add(overflow_hits);
+  migrations_c.add(migrations);
+}
+
+}  // namespace parahash::concurrent

@@ -1,8 +1,10 @@
 #include "concurrent/thread_pool.h"
 
 #include <atomic>
+#include <string>
 
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace parahash::concurrent {
 
@@ -10,7 +12,10 @@ ThreadPool::ThreadPool(int threads) {
   PARAHASH_CHECK_MSG(threads >= 1, "pool needs at least one thread");
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      trace::set_thread_name("pool#" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

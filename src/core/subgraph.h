@@ -140,6 +140,12 @@ void hash_process_records(const io::PartitionBlob& blob,
   std::vector<std::uint8_t> seq;
   std::optional<concurrent::BatchedUpserter<W>> batcher;
   if (!upsert_window.is_scalar()) batcher.emplace(table, stats, upsert_window);
+  // The batched path samples probe lengths in its flush loop; the
+  // scalar path samples here. Null unless telemetry is on.
+  telemetry::Histogram* probe_hist =
+      !batcher && telemetry::enabled()
+          ? &telemetry::histogram("probe.length")
+          : nullptr;
 
   for (std::size_t r = begin; r < end; ++r) {
     const io::SuperkmerView view = io::record_at(blob, offsets[r]);
@@ -185,7 +191,9 @@ void hash_process_records(const io::PartitionBlob& blob,
       if (batcher) {
         batcher->push(canon, edge_out, edge_in);
       } else {
-        stats.absorb(table.add(canon, edge_out, edge_in));
+        const concurrent::AddResult r = table.add(canon, edge_out, edge_in);
+        stats.absorb(r);
+        if (probe_hist != nullptr) probe_hist->record(r.probes);
       }
     }
   }

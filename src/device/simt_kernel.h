@@ -127,12 +127,18 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
       warp_gen = gen;
       mask = table.home_mask();
       bound = table.displacement_bound();
+      std::uint64_t restarted = 0;
       for (std::size_t l = 0; l < lanes; ++l) {
         Lane& lane = state[l];
         if (lane.done || lane.failed) continue;
         lane.index = warp[l].canon.hash() & mask;
         lane.scanned = 0;
+        ++restarted;
       }
+      static telemetry::Counter& lane_restarts =
+          telemetry::counter("simt.lane_restarts");
+      lane_restarts.add(restarted);
+      PARAHASH_TRACE_INSTANT("simt", "lane.restart", "lanes", restarted);
     }
     ++stats.rounds;
     stats.lane_slots += lanes;  // SIMT: the whole warp issues the round

@@ -21,6 +21,7 @@
 #include "pipeline/queue.h"
 #include "util/error.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace parahash::pipeline {
 
@@ -68,6 +69,12 @@ struct ExecutorOptions {
   /// exactly while it is idle in this one — the idle-handoff that lets
   /// Step 2 start hashing sealed partitions during Step 1's tail.
   bool exclusive_devices = false;
+
+  /// Step label for trace tracks and span names ("step1", "step2").
+  /// The input thread's track is "<label>:input" and each worker's is
+  /// "<label>:<device name>", so a fused run shows one track per
+  /// device per step and the overlap is visible directly.
+  const char* trace_label = "step";
 };
 
 template <typename In, typename Out, int W>
@@ -97,11 +104,13 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   };
 
   std::thread input_thread([&] {
+    trace::set_thread_name(std::string(options.trace_label) + ":input");
     try {
       for (;;) {
         In item;
         bool more;
         {
+          PARAHASH_TRACE_SCOPE(options.trace_label, "produce");
           ScopedAtomicTimer timer(input_seconds);
           more = callbacks.produce(item);
         }
@@ -118,6 +127,8 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   workers.reserve(devices.size());
   for (device::Device<W>* dev : devices) {
     workers.emplace_back([&, dev] {
+      trace::set_thread_name(std::string(options.trace_label) + ":" +
+                             dev->name());
       try {
         while (auto ticket = input_queue.pop()) {
           try {
@@ -125,9 +136,15 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
             if (options.exclusive_devices) {
               lease = std::unique_lock<std::mutex>(dev->lease());
             }
+            const std::uint64_t trace_t0 =
+                trace::enabled() ? trace::now_ns() : 0;
             WallTimer timer;
             Out out = callbacks.compute(*dev, ticket->second);
             compute_seconds.add(timer.seconds());
+            if (trace_t0 != 0) {
+              trace::emit_complete(options.trace_label, "compute",
+                                   trace_t0, trace::now_ns() - trace_t0);
+            }
             // Release the device before a potentially blocking push so
             // the other step can take it while our output queue is full.
             if (lease.owns_lock()) lease.unlock();
@@ -151,9 +168,15 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
             if (options.exclusive_devices) {
               lease = std::unique_lock<std::mutex>(dev->lease());
             }
+            const std::uint64_t trace_t0 =
+                trace::enabled() ? trace::now_ns() : 0;
             WallTimer timer;
             Out out = callbacks.compute(*dev, item);
             compute_seconds.add(timer.seconds());
+            if (trace_t0 != 0) {
+              trace::emit_complete(options.trace_label, "compute",
+                                   trace_t0, trace::now_ns() - trace_t0);
+            }
             if (lease.owns_lock()) lease.unlock();
             output_queue.push(std::move(out));
           }
@@ -174,6 +197,7 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   std::uint64_t items = 0;
   try {
     while (auto out = output_queue.pop()) {
+      PARAHASH_TRACE_SCOPE(options.trace_label, "consume");
       ScopedTimer timer(output_busy);
       callbacks.consume(std::move(*out));
       ++items;
@@ -229,6 +253,7 @@ StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
     In item;
     bool more;
     {
+      PARAHASH_TRACE_SCOPE(options.trace_label, "produce");
       ScopedTimer timer(times.input_seconds);
       more = callbacks.produce(item);
     }
@@ -245,6 +270,7 @@ StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
         if (options.exclusive_devices) {
           lease = std::unique_lock<std::mutex>(dev->lease());
         }
+        PARAHASH_TRACE_SCOPE(options.trace_label, "compute");
         ScopedTimer timer(times.compute_seconds);
         out = callbacks.compute(*dev, item);
         computed = true;
@@ -259,6 +285,7 @@ StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
     }
 
     {
+      PARAHASH_TRACE_SCOPE(options.trace_label, "consume");
       ScopedTimer timer(times.output_seconds);
       callbacks.consume(std::move(out));
     }

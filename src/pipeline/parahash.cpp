@@ -223,6 +223,12 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
                concurrent::ConcurrentKmerTable<W>::bytes_per_slot();
       });
 
+  std::unique_ptr<LedgerSampler> sampler;
+  if (options_.ledger_sample_period > 0) {
+    sampler = std::make_unique<LedgerSampler>(
+        ledger, options_.ledger_sample_period);
+  }
+
   std::exception_ptr step1_error;
   double step1_end_seconds = 0;
   std::thread step1_thread([&] {
@@ -252,6 +258,10 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
   }
   const double step2_end_seconds = total.seconds();
   step1_thread.join();
+  if (sampler) {
+    sampler->stop();
+    report.ledger_samples = sampler->samples();
+  }
 
   if (step1_error) std::rethrow_exception(step1_error);
   if (step2_error) std::rethrow_exception(step2_error);

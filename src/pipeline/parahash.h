@@ -31,11 +31,10 @@
 #include "device/device.h"
 #include "io/throttle.h"
 #include "pipeline/executor.h"
+#include "pipeline/partition_ledger.h"
 #include "pipeline/partition_stream.h"
 
 namespace parahash::pipeline {
-
-class PartitionLedger;
 
 /// Full system configuration.
 struct Options {
@@ -83,6 +82,13 @@ struct Options {
   /// few tables however far Step 1 runs ahead. 0 = no explicit budget
   /// (the executor's queue depth still bounds the count).
   std::uint64_t inflight_table_budget_bytes = 0;
+
+  /// Period (seconds) of the ledger sampler during fused runs: a
+  /// background thread snapshots the srv/cns/prd/wrt counters into
+  /// RunReport::ledger_samples (and, when tracing, into "ledger"
+  /// counter events) so pipeline occupancy over time can be
+  /// reconstructed. 0 disables sampling.
+  double ledger_sample_period = 1e-3;
 
   // --- IO regime ---------------------------------------------------
   double input_bytes_per_sec = 0;   ///< 0 = memory-cached file (Case 1)
@@ -159,6 +165,11 @@ struct RunReport {
   /// unfused runs (the steps execute back-to-back); for fused runs this
   /// is the wall-clock the fusion reclaimed from the hard barrier.
   double step_overlap_seconds = 0;
+
+  /// Ledger-counter timeline of a fused run (empty for unfused runs or
+  /// ledger_sample_period == 0): the direct evidence of Step 1 ∥ Step 2
+  /// overlap and the data behind the paper's Fig. 12 occupancy view.
+  std::vector<LedgerSample> ledger_samples;
 };
 
 /// The system, fixed to kmers of W 64-bit words (W=1 covers k <= 32).

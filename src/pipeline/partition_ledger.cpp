@@ -1,6 +1,9 @@
 #include "pipeline/partition_ledger.h"
 
 #include "util/error.h"
+#include "util/telemetry.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace parahash::pipeline {
 
@@ -23,6 +26,7 @@ void PartitionLedger::publish(io::SealedPartition part) {
   // The cost estimate can be arbitrarily expensive (table sizing);
   // compute it before taking the lock.
   const std::uint64_t cost = cost_ ? cost_(part) : 0;
+  const std::uint32_t id = part.id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (aborted_) return;  // consumer died; drop quietly
@@ -33,6 +37,7 @@ void PartitionLedger::publish(io::SealedPartition part) {
     sealed_queue_.push_back(Entry{std::move(part), cost});
     ++counters_.srv;
   }
+  PARAHASH_TRACE_INSTANT("ledger", "partition.publish", "id", id);
   cv_.notify_all();
 }
 
@@ -120,6 +125,63 @@ std::uint64_t PartitionLedger::inflight_bytes() const {
 bool PartitionLedger::aborted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return aborted_;
+}
+
+LedgerSampler::LedgerSampler(const PartitionLedger& ledger,
+                             double period_seconds)
+    : ledger_(ledger),
+      period_seconds_(period_seconds > 0 ? period_seconds : 1e-3) {
+  thread_ = std::thread([this] {
+    trace::set_thread_name("ledger sampler");
+    WallTimer timer;
+    const auto period = std::chrono::duration<double>(period_seconds_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      sample_once(timer.seconds());
+      if (stopping_) return;
+      cv_.wait_for(lock, period, [this] { return stopping_; });
+      if (stopping_) {
+        sample_once(timer.seconds());  // final sample: the end state
+        return;
+      }
+    }
+  });
+}
+
+LedgerSampler::~LedgerSampler() { stop(); }
+
+void LedgerSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void LedgerSampler::sample_once(double t_seconds) {
+  const PartitionLedger::Counters c = ledger_.counters();
+  samples_.push_back(LedgerSample{t_seconds, c});
+
+  static telemetry::Gauge& srv = telemetry::gauge("ledger.srv");
+  static telemetry::Gauge& cns = telemetry::gauge("ledger.cns");
+  static telemetry::Gauge& prd = telemetry::gauge("ledger.prd");
+  static telemetry::Gauge& wrt = telemetry::gauge("ledger.wrt");
+  srv.set(static_cast<std::int64_t>(c.srv));
+  cns.set(static_cast<std::int64_t>(c.cns));
+  prd.set(static_cast<std::int64_t>(c.prd));
+  wrt.set(static_cast<std::int64_t>(c.wrt));
+
+  if (trace::enabled()) {
+    trace::CounterSeries series;
+    series.push("srv", static_cast<double>(c.srv));
+    series.push("cns", static_cast<double>(c.cns));
+    series.push("prd", static_cast<double>(c.prd));
+    series.push("wrt", static_cast<double>(c.wrt));
+    trace::emit_counter("ledger", "ledger", series);
+  }
 }
 
 }  // namespace parahash::pipeline

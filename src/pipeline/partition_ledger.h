@@ -33,7 +33,9 @@
 #include <mutex>
 #include <condition_variable>
 #include <optional>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "pipeline/partition_stream.h"
 
@@ -127,6 +129,51 @@ class PartitionLedger {
   std::uint64_t inflight_bytes_ = 0;
   bool closed_ = false;
   bool aborted_ = false;
+};
+
+/// One timestamped snapshot of the four shared counters.
+struct LedgerSample {
+  double t_seconds = 0;  ///< since the sampler started
+  PartitionLedger::Counters counters;
+};
+
+/// Background thread that snapshots a ledger's counters at a fixed
+/// period — the paper's Fig. 12 occupancy data, reconstructed from the
+/// Sec. III-E shared variables instead of inferred from step end
+/// times. Each tick also refreshes the `ledger.{srv,cns,prd,wrt}`
+/// telemetry gauges and, when a trace session is live, emits a
+/// "ledger" counter event so pipeline occupancy renders as a stacked
+/// chart over the worker tracks.
+///
+/// The timeline is the direct evidence of Step 1 ∥ Step 2 overlap: a
+/// sample with cns > 0 while srv is still short of the partition count
+/// means a device was hashing while Step 1 was still serving.
+class LedgerSampler {
+ public:
+  LedgerSampler(const PartitionLedger& ledger, double period_seconds);
+  ~LedgerSampler();
+
+  LedgerSampler(const LedgerSampler&) = delete;
+  LedgerSampler& operator=(const LedgerSampler&) = delete;
+
+  /// Takes one final sample and joins the thread. Idempotent; called by
+  /// the destructor if not called explicitly.
+  void stop();
+
+  /// The recorded timeline (stable only after stop()).
+  const std::vector<LedgerSample>& samples() const { return samples_; }
+
+ private:
+  void sample_once(double t_seconds);
+
+  const PartitionLedger& ledger_;
+  double period_seconds_;
+  std::vector<LedgerSample> samples_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 /// Stream view of a ledger: the produce stage of the Step-2 executor

@@ -12,6 +12,7 @@
 // regardless of genome size.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -20,8 +21,36 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace parahash::pipeline {
+
+namespace internal {
+
+/// Waits on `cv` until `ready()` holds, recording the blocked time in
+/// the `queue.wait_ns` histogram when telemetry is on — the direct
+/// measure of pipeline stalls (producer ahead of consumers or vice
+/// versa). The happy path (already ready, telemetry off) costs one
+/// relaxed load and a predicate call.
+template <typename Pred>
+void timed_wait(std::condition_variable& cv,
+                std::unique_lock<std::mutex>& lock, Pred ready) {
+  if (ready()) return;
+  if (!telemetry::enabled()) {
+    cv.wait(lock, ready);
+    return;
+  }
+  static telemetry::Histogram& wait_ns =
+      telemetry::histogram("queue.wait_ns");
+  const auto t0 = std::chrono::steady_clock::now();
+  cv.wait(lock, ready);
+  wait_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+}
+
+}  // namespace internal
 
 template <typename T>
 class TicketQueue {
@@ -35,7 +64,7 @@ class TicketQueue {
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
     PARAHASH_CHECK_MSG(!closed_, "push after close");
-    not_full_.wait(lock, [this] {
+    internal::timed_wait(not_full_, lock, [this] {
       return aborted_ || srv_ - cns_ < ring_.size();
     });
     if (aborted_) return false;
@@ -71,8 +100,9 @@ class TicketQueue {
   /// is closed and drained.
   std::optional<std::pair<std::uint64_t, T>> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock,
-                    [this] { return srv_ > cns_ || closed_ || aborted_; });
+    internal::timed_wait(not_empty_, lock, [this] {
+      return srv_ > cns_ || closed_ || aborted_;
+    });
     if (aborted_ || srv_ == cns_) return std::nullopt;
     const std::uint64_t id = cns_++;
     std::optional<T>& slot = ring_[id % ring_.size()];
@@ -108,7 +138,8 @@ class OutputQueue {
   /// Any worker: enqueues a produced partition (advances prd).
   void push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return prd_ - wrt_ < capacity_; });
+    internal::timed_wait(not_full_, lock,
+                         [this] { return prd_ - wrt_ < capacity_; });
     items_.push_back(std::move(item));
     ++prd_;
     not_empty_.notify_one();
@@ -130,7 +161,7 @@ class OutputQueue {
   /// nullopt once all producers finished and the queue is empty.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] {
+    internal::timed_wait(not_empty_, lock, [this] {
       return !items_.empty() || done_producers_ == expected_producers_;
     });
     if (items_.empty()) return std::nullopt;

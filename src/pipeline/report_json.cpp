@@ -1,0 +1,170 @@
+#include "pipeline/report_json.h"
+
+#include "device/device.h"
+#include "util/json.h"
+
+namespace parahash::pipeline {
+
+namespace {
+
+void write_device(JsonWriter& w, const DeviceReport& d) {
+  w.begin_object();
+  w.key("name");
+  w.value(d.name);
+  w.key("kind");
+  w.value(device::device_kind_name(d.kind));
+  w.key("msp_batches");
+  w.value(d.stats.msp_batches);
+  w.key("msp_reads");
+  w.value(d.stats.msp_reads);
+  w.key("hash_partitions");
+  w.value(d.stats.hash_partitions);
+  w.key("hash_kmers");
+  w.value(d.stats.hash_kmers);
+  w.key("hash_vertices");
+  w.value(d.stats.hash_vertices);
+  w.key("msp_compute_seconds");
+  w.value(d.stats.msp_compute_seconds);
+  w.key("hash_compute_seconds");
+  w.value(d.stats.hash_compute_seconds);
+  w.key("transfer_seconds");
+  w.value(d.stats.transfer_seconds);
+  w.key("bytes_h2d");
+  w.value(d.stats.bytes_h2d);
+  w.key("bytes_d2h");
+  w.value(d.stats.bytes_d2h);
+  w.end_object();
+}
+
+void write_step(JsonWriter& w, const StepReport& step) {
+  w.begin_object();
+  w.key("elapsed_seconds");
+  w.value(step.times.elapsed_seconds);
+  w.key("input_seconds");
+  w.value(step.times.input_seconds);
+  w.key("compute_seconds");
+  w.value(step.times.compute_seconds);
+  w.key("output_seconds");
+  w.value(step.times.output_seconds);
+  w.key("items");
+  w.value(step.times.items);
+  w.key("bytes_in");
+  w.value(step.bytes_in);
+  w.key("bytes_out");
+  w.value(step.bytes_out);
+  w.key("devices");
+  w.begin_array();
+  for (const auto& d : step.devices) write_device(w, d);
+  w.end_array();
+  w.end_object();
+}
+
+void write_table(JsonWriter& w, const concurrent::TableStats& t) {
+  w.begin_object();
+  w.key("adds");
+  w.value(t.adds);
+  w.key("inserts");
+  w.value(t.inserts);
+  w.key("probes");
+  w.value(t.probes);
+  w.key("tag_rejects");
+  w.value(t.tag_rejects);
+  w.key("key_compares");
+  w.value(t.key_compares);
+  w.key("group_scans");
+  w.value(t.group_scans);
+  w.key("lanes_rejected");
+  w.value(t.lanes_rejected);
+  w.key("lock_waits");
+  w.value(t.lock_waits);
+  w.key("overflow_hits");
+  w.value(t.overflow_hits);
+  w.key("migrations");
+  w.value(t.migrations);
+  w.key("mean_probe_length");
+  w.value(t.adds == 0 ? 0.0
+                      : static_cast<double>(t.probes) /
+                            static_cast<double>(t.adds));
+  // Of the probes that did not match on the 8-bit tag, how many were
+  // rejected without touching the full key (the CLI's tag_filter_rate).
+  const std::uint64_t misses = t.tag_rejects + t.key_compares;
+  w.key("tag_filter_rate");
+  w.value(misses == 0 ? 0.0
+                      : static_cast<double>(t.tag_rejects) /
+                            static_cast<double>(misses));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string run_report_json(const RunReport& report,
+                            const std::string& simd_level,
+                            const std::string& upsert_window,
+                            std::uint64_t inflight_budget) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("step1");
+  write_step(w, report.step1);
+  w.key("step2");
+  write_step(w, report.step2);
+  w.key("step2_table");
+  write_table(w, report.step2_table);
+  w.key("graph");
+  w.begin_object();
+  w.key("vertices");
+  w.value(report.graph.vertices);
+  w.key("total_coverage");
+  w.value(report.graph.total_coverage);
+  w.key("edge_counter_total");
+  w.value(report.graph.edge_counter_total);
+  w.key("distinct_edges");
+  w.value(report.graph.distinct_edges);
+  w.key("branching_vertices");
+  w.value(report.graph.branching_vertices);
+  w.end_object();
+  w.key("filtered_vertices");
+  w.value(report.filtered_vertices);
+  w.key("partition_bytes");
+  w.value(report.partition_bytes);
+  w.key("resizes");
+  w.value(report.resizes);
+  w.key("total_elapsed_seconds");
+  w.value(report.total_elapsed_seconds);
+  w.key("peak_rss_bytes");
+  w.value(report.peak_rss_bytes);
+  w.key("step_overlap_seconds");
+  w.value(report.step_overlap_seconds);
+  if (!simd_level.empty()) {
+    w.key("simd_level");
+    w.value(simd_level);
+  }
+  if (!upsert_window.empty()) {
+    w.key("upsert_window");
+    w.value(upsert_window);
+  }
+  if (inflight_budget > 0) {
+    w.key("inflight_budget");
+    w.value(inflight_budget);
+  }
+  w.key("ledger_samples");
+  w.begin_array();
+  for (const auto& s : report.ledger_samples) {
+    w.begin_object();
+    w.key("t_seconds");
+    w.value(s.t_seconds);
+    w.key("srv");
+    w.value(s.counters.srv);
+    w.key("cns");
+    w.value(s.counters.cns);
+    w.key("prd");
+    w.value(s.counters.prd);
+    w.key("wrt");
+    w.value(s.counters.wrt);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace parahash::pipeline

@@ -1,0 +1,24 @@
+// Machine-readable run reports: serialises a RunReport to JSON so
+// scripted experiments (and the ci-trace leg) can consume the same
+// numbers `parahash build` prints, without scraping stdout. Every stat
+// the CLI report prints appears as a key here; derived ratios
+// (tag_filter_rate, mean_probe_length) are precomputed so downstream
+// tooling does not re-implement them.
+#pragma once
+
+#include <string>
+
+#include "pipeline/parahash.h"
+
+namespace parahash::pipeline {
+
+/// JSON object for one RunReport. `simd_level` / `upsert_window` /
+/// `inflight_budget` are run configuration the report struct does not
+/// carry; the CLI passes them so the JSON is self-describing. Pass
+/// empty / 0 when unknown.
+std::string run_report_json(const RunReport& report,
+                            const std::string& simd_level = "",
+                            const std::string& upsert_window = "",
+                            std::uint64_t inflight_budget = 0);
+
+}  // namespace parahash::pipeline

@@ -11,6 +11,7 @@
 #include "io/fastx.h"
 #include "io/partition_file.h"
 #include "pipeline/partition_ledger.h"
+#include "util/trace.h"
 
 namespace parahash::pipeline {
 
@@ -54,6 +55,7 @@ std::vector<std::string> ParaHash<W>::run_partitioning_impl(
   ExecutorOptions exec;
   exec.queue_depth = options_.queue_depth;
   exec.exclusive_devices = exclusive_devices;
+  exec.trace_label = "step1";
 
   // One pass per id range; multiple passes re-read the input (bounded
   // open file handles, the multi-pass MSP trade).
@@ -67,11 +69,10 @@ std::vector<std::string> ParaHash<W>::run_partitioning_impl(
         partition_dir_, static_cast<std::uint32_t>(options_.msp.k),
         static_cast<std::uint32_t>(options_.msp.p), count,
         options_.msp.encoding, first);
-    if (ledger != nullptr) {
-      partitions.set_seal_hook([ledger](const io::SealedPartition& part) {
-        ledger->publish(part);
-      });
-    }
+    partitions.set_seal_hook([ledger](const io::SealedPartition& part) {
+      PARAHASH_TRACE_INSTANT("pipeline", "partition.seal", "id", part.id);
+      if (ledger != nullptr) ledger->publish(part);
+    });
 
     StepCallbacks<io::ReadBatch, core::MspBatchOutput, W> callbacks;
     callbacks.produce = [&](io::ReadBatch& batch) {

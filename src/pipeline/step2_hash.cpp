@@ -63,6 +63,7 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
     const std::uint32_t partition_id = result.partition_id;
     resizes_ += result.resizes;
     table_stats_.merge(result.stats);
+    result.stats.publish_telemetry();
     if (options_.accumulate_graph) {
       graph.adopt_table(partition_id, *result.table,
                         /*min_coverage=*/0);
@@ -133,6 +134,7 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
   ExecutorOptions exec;
   exec.queue_depth = options_.queue_depth;
   exec.exclusive_devices = exclusive_devices;
+  exec.trace_label = "step2";
   try {
     report.times = options_.pipelined
                        ? run_pipelined(devs, callbacks, exec)

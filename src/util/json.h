@@ -1,0 +1,143 @@
+// Minimal JSON writer: enough to emit metrics snapshots, trace events
+// and run reports without a third-party dependency. Commas are managed
+// by a nesting stack; non-finite doubles are emitted as null so the
+// output always parses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parahash {
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes).
+inline void json_escape_to(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Streaming JSON builder. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("vertices").value(std::uint64_t{42});
+///   w.key("devices").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///   std::string json = std::move(w).str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, name);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, s);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.12g", d);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+
+  /// Splices a pre-rendered JSON fragment in value position.
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      // A key was just written; this token is its value.
+      pending_value_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
+}  // namespace parahash

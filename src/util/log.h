@@ -41,5 +41,12 @@ class LogMessage {
 
 }  // namespace parahash
 
-#define PARAHASH_LOG(level) \
-  ::parahash::LogMessage(::parahash::LogLevel::level)
+// The level check happens BEFORE the LogMessage temporary exists, so a
+// filtered statement never constructs the stream or formats its
+// operands — a disabled kDebug log in a probe loop costs one atomic
+// load and a branch. The if/else shape (rather than a bare if) keeps
+// the macro safe inside un-braced if/else chains at call sites.
+#define PARAHASH_LOG(level)                                          \
+  if (::parahash::LogLevel::level < ::parahash::log_level()) {       \
+  } else                                                             \
+    ::parahash::LogMessage(::parahash::LogLevel::level)

@@ -1,0 +1,122 @@
+#include "util/telemetry.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace parahash::telemetry {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Snapshot::quantile_bound(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target && buckets[b] != 0) {
+      return bucket_hi(b);
+    }
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: stable addresses across inserts, deterministic JSON order.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+namespace {
+template <typename Map, typename T>
+T& find_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  return find_or_create<decltype(i.counters), Counter>(i.mutex, i.counters,
+                                                       name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  return find_or_create<decltype(i.gauges), Gauge>(i.mutex, i.gauges, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  return find_or_create<decltype(i.histograms), Histogram>(
+      i.mutex, i.histograms, name);
+}
+
+std::string Registry::snapshot_json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : i.counters) {
+    w.key(name).value(c->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : i.gauges) {
+    w.key(name).value(g->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : i.histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(s.count);
+    w.key("sum").value(s.sum);
+    w.key("mean").value(s.mean());
+    w.key("p50").value(s.quantile_bound(0.50));
+    w.key("p99").value(s.quantile_bound(0.99));
+    w.key("buckets").begin_object();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      w.key(std::to_string(Histogram::bucket_lo(b))).value(s.buckets[b]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace parahash::telemetry

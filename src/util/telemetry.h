@@ -1,0 +1,188 @@
+// Runtime metrics: named counters, gauges and log2-bucketed histograms
+// behind a process-global registry.
+//
+// Counters and histograms are lock-free and sharded: each recording
+// thread lands on one of kShards cache-line-padded cells (stable
+// per-thread assignment), so hot-path recording is a TLS read plus a
+// relaxed fetch_add with no sharing between concurrent writers.
+// Snapshots merge the shards; because every cell is monotone, repeated
+// snapshots of a counter or histogram are monotone too, even while
+// other threads keep recording.
+//
+// Hot paths that would pay per-operation (the per-upsert probe-length
+// histogram) are gated on telemetry::enabled(), which the CLI flips on
+// when any of --trace-out/--metrics-out/--report-json is given.
+// Everything recorded at partition/batch granularity is always on —
+// a handful of relaxed adds per partition is free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parahash::telemetry {
+
+namespace internal {
+
+inline constexpr std::size_t kShards = 16;  // power of two
+
+/// Stable per-thread shard index in [0, kShards).
+inline std::size_t shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id & (kShards - 1);
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace internal
+
+/// Global cheap gate for per-operation instruments (see file comment).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[internal::shard_index()].v.fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<internal::PaddedU64, internal::kShards> cells_;
+};
+
+/// Last-write-wins instantaneous value (queue depths, ledger counters).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples (probe
+/// lengths, wait nanoseconds). Bucket 0 holds the value 0; bucket b>0
+/// holds [2^(b-1), 2^b - 1], i.e. boundaries at every power of two.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // 0 plus bit widths 1..64
+
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value bucket `b` counts.
+  static constexpr std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value bucket `b` counts (inclusive).
+  static constexpr std::uint64_t bucket_hi(std::size_t b) noexcept {
+    return b == 0 ? 0
+           : b >= 64
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Shard& s = shards_[internal::shard_index()];
+    s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
+    /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+    std::uint64_t quantile_bound(double p) const;
+  };
+
+  Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (const auto& shard : shards_) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n =
+            shard.buckets[b].load(std::memory_order_relaxed);
+        s.buckets[b] += n;
+        s.count += n;
+      }
+      s.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, internal::kShards> shards_;
+};
+
+/// Process-global instrument registry. Lookup by name takes a mutex;
+/// hot paths cache the returned reference (instrument addresses are
+/// stable for the process lifetime).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Merged snapshot of every instrument as a JSON object:
+  /// {"counters":{name:value,...},"gauges":{...},
+  ///  "histograms":{name:{"count":..,"sum":..,"mean":..,"p50":..,
+  ///                      "p99":..,"buckets":{"lo":count,...}},...}}
+  std::string snapshot_json() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Shorthands for call sites: cache the reference in a static local.
+inline Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::global().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace parahash::telemetry

@@ -40,7 +40,13 @@ class ScopedTimer {
 /// Thread-safe accumulator of seconds, usable from many workers at once.
 class AtomicSeconds {
  public:
+  /// Negative and NaN inputs (a misused sink, a clock that stepped
+  /// backwards) are clamped to zero instead of silently corrupting the
+  /// accumulator; casting NaN to an integer is UB, and a negative delta
+  /// would subtract time that other workers legitimately measured.
+  /// Written as !(s > 0) so NaN takes the clamp branch too.
   void add(double s) noexcept {
+    if (!(s > 0.0)) return;
     ns_.fetch_add(static_cast<std::int64_t>(s * 1e9),
                   std::memory_order_relaxed);
   }

@@ -1,0 +1,272 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.h"
+
+namespace parahash::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+struct Event {
+  enum class Type : std::uint8_t {
+    kComplete,
+    kInstant,
+    kCounter,
+    kThreadName,
+  };
+  Type type = Type::kInstant;
+  const char* cat = "";
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* arg_key = nullptr;
+  std::uint64_t arg_value = 0;
+  CounterSeries series;
+  int tid = 0;
+};
+
+/// Per-thread event buffer. Appends lock the buffer's own mutex (only
+/// ever contended against a concurrent to_json()); on thread exit the
+/// events move into the session's orphan store so nothing is lost.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct Session {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<Event> orphaned;
+  std::atomic<std::uint64_t> t0_ns{0};
+  std::atomic<int> next_tid{1};
+};
+
+Session& session() {
+  static Session* s = new Session;  // leaked: outlives exiting threads
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  struct Registration {
+    std::shared_ptr<ThreadBuffer> buffer;
+    Registration() : buffer(std::make_shared<ThreadBuffer>()) {
+      Session& s = session();
+      std::lock_guard<std::mutex> lock(s.mutex);
+      buffer->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+      s.buffers.push_back(buffer);
+    }
+    ~Registration() {
+      // Move this thread's events into the orphan store; the buffer
+      // object itself stays alive through the shared_ptr in `buffers`
+      // until the next start() prunes it.
+      Session& s = session();
+      std::lock_guard<std::mutex> session_lock(s.mutex);
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (Event& e : buffer->events) {
+        s.orphaned.push_back(std::move(e));
+      }
+      buffer->events.clear();
+      for (std::size_t i = 0; i < s.buffers.size(); ++i) {
+        if (s.buffers[i] == buffer) {
+          s.buffers.erase(s.buffers.begin() + i);
+          break;
+        }
+      }
+    }
+  };
+  thread_local Registration reg;
+  return *reg.buffer;
+}
+
+void push_event(Event e) {
+  ThreadBuffer& buf = thread_buffer();
+  e.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(e));
+}
+
+void append_json(JsonWriter& w, const Event& e, std::uint64_t t0) {
+  const double ts_us =
+      static_cast<double>(e.ts_ns - t0) / 1000.0;
+  w.begin_object();
+  switch (e.type) {
+    case Event::Type::kComplete:
+      w.key("ph").value("X");
+      w.key("name").value(e.name);
+      w.key("cat").value(e.cat);
+      w.key("ts").value(ts_us);
+      w.key("dur").value(static_cast<double>(e.dur_ns) / 1000.0);
+      break;
+    case Event::Type::kInstant:
+      w.key("ph").value("i");
+      w.key("s").value("t");
+      w.key("name").value(e.name);
+      w.key("cat").value(e.cat);
+      w.key("ts").value(ts_us);
+      if (e.arg_key != nullptr) {
+        w.key("args").begin_object();
+        w.key(e.arg_key).value(e.arg_value);
+        w.end_object();
+      }
+      break;
+    case Event::Type::kCounter:
+      w.key("ph").value("C");
+      w.key("name").value(e.name);
+      w.key("cat").value(e.cat);
+      w.key("ts").value(ts_us);
+      w.key("args").begin_object();
+      for (int i = 0; i < e.series.n; ++i) {
+        w.key(e.series.keys[i]).value(e.series.values[i]);
+      }
+      w.end_object();
+      break;
+    case Event::Type::kThreadName:
+      w.key("ph").value("M");
+      w.key("name").value("thread_name");
+      w.key("args").begin_object();
+      w.key("name").value(e.name);
+      w.end_object();
+      break;
+  }
+  w.key("pid").value(1);
+  w.key("tid").value(static_cast<std::int64_t>(e.tid));
+  w.end_object();
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void start() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // Drop timed events from any previous session but keep thread-name
+  // metadata: threads named before start() keep their track labels.
+  auto prune = [](std::vector<Event>& events) {
+    std::erase_if(events, [](const Event& e) {
+      return e.type != Event::Type::kThreadName;
+    });
+  };
+  prune(s.orphaned);
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buf->mutex);
+    prune(buf->events);
+  }
+  s.t0_ns.store(now_ns(), std::memory_order_relaxed);
+  internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() {
+  internal::g_enabled.store(false, std::memory_order_release);
+}
+
+void set_thread_name(std::string name) {
+  // Thread-name metadata is kept even while disabled so tracks are
+  // named no matter when the session starts relative to thread launch.
+  Event e;
+  e.type = Event::Type::kThreadName;
+  e.name = std::move(name);
+  e.ts_ns = now_ns();
+  push_event(std::move(e));
+}
+
+void emit_complete(const char* cat, std::string name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  Event e;
+  e.type = Event::Type::kComplete;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  push_event(std::move(e));
+}
+
+void emit_instant(const char* cat, std::string name) {
+  if (!enabled()) return;
+  Event e;
+  e.type = Event::Type::kInstant;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts_ns = now_ns();
+  push_event(std::move(e));
+}
+
+void emit_instant(const char* cat, std::string name, const char* arg_key,
+                  std::uint64_t arg_value) {
+  if (!enabled()) return;
+  Event e;
+  e.type = Event::Type::kInstant;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts_ns = now_ns();
+  e.arg_key = arg_key;
+  e.arg_value = arg_value;
+  push_event(std::move(e));
+}
+
+void emit_counter(const char* cat, const char* name,
+                  const CounterSeries& series) {
+  if (!enabled()) return;
+  Event e;
+  e.type = Event::Type::kCounter;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = now_ns();
+  e.series = series;
+  push_event(std::move(e));
+}
+
+std::string to_json() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::uint64_t t0 = s.t0_ns.load(std::memory_order_relaxed);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  auto emit_all = [&](const std::vector<Event>& events) {
+    for (const Event& e : events) {
+      // Thread-name metadata always passes; timed events from before
+      // start() (a previous session, or pre-start warmup) are dropped.
+      if (e.type != Event::Type::kThreadName && e.ts_ns < t0) continue;
+      append_json(w, e, t0);
+    }
+  };
+  emit_all(s.orphaned);
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buf->mutex);
+    emit_all(buf->events);
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool write(const std::string& path) {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace parahash::trace

@@ -1,0 +1,129 @@
+// Scoped event tracer emitting Chrome trace_event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Events buffer per thread (one mutex-protected vector per thread,
+// uncontended except while a snapshot is being written) and merge at
+// write time into one process-wide timeline: one track (tid) per
+// registered thread, named via set_thread_name() — the executor names
+// its input thread and one worker thread per device, which is what
+// makes pipeline occupancy visible.
+//
+// Cost model: every emit first checks trace::enabled() (one relaxed
+// atomic load); with tracing off an instant event is a test-and-branch
+// and a ScopedEvent is two of them. Compiling with
+// PARAHASH_NO_TRACING removes the macros entirely for zero-cost
+// builds. Events are coarse by design (per batch, per partition, per
+// migration) — nothing in a probe loop ever emits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace parahash::trace {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True between start() and stop().
+inline bool enabled() noexcept {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Begins a trace session: timestamps are reported relative to this
+/// call. Events emitted before start() (or after stop()) are dropped.
+void start();
+void stop();
+
+/// Steady-clock nanoseconds (the tracer's time base).
+std::uint64_t now_ns() noexcept;
+
+/// Names the calling thread's track in the trace viewer.
+void set_thread_name(std::string name);
+
+// --- Low-level emit API (no-ops unless enabled()) -------------------
+
+/// Complete event ("ph":"X"): a [ts, ts+dur] span on this thread's
+/// track. Prefer ScopedEvent / PARAHASH_TRACE_SCOPE.
+void emit_complete(const char* cat, std::string name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns);
+
+/// Instant event ("ph":"i"), optionally with one integer arg (e.g. a
+/// partition id).
+void emit_instant(const char* cat, std::string name);
+void emit_instant(const char* cat, std::string name, const char* arg_key,
+                  std::uint64_t arg_value);
+
+/// Counter event ("ph":"C"): up to four named series sampled at one
+/// instant — renders as a stacked area chart (ledger occupancy).
+struct CounterSeries {
+  const char* keys[4] = {nullptr, nullptr, nullptr, nullptr};
+  double values[4] = {0, 0, 0, 0};
+  int n = 0;
+  void push(const char* key, double value) {
+    if (n < 4) {
+      keys[n] = key;
+      values[n] = value;
+      ++n;
+    }
+  }
+};
+void emit_counter(const char* cat, const char* name,
+                  const CounterSeries& series);
+
+/// Serialises every event recorded since start() as
+/// {"traceEvents":[...]}. write() returns false on IO failure.
+std::string to_json();
+bool write(const std::string& path);
+
+/// RAII span: records construction..destruction as a complete event on
+/// the calling thread's track.
+class ScopedEvent {
+ public:
+  ScopedEvent(const char* cat, const char* name) noexcept
+      : active_(enabled()), cat_(cat), name_(name) {
+    if (active_) start_ns_ = now_ns();
+  }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+  ~ScopedEvent() {
+    if (active_) {
+      emit_complete(cat_, name_, start_ns_, now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  bool active_;
+  const char* cat_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace parahash::trace
+
+#if defined(PARAHASH_NO_TRACING)
+#define PARAHASH_TRACE_SCOPE(cat, name) \
+  do {                                  \
+  } while (0)
+#define PARAHASH_TRACE_INSTANT(cat, ...) \
+  do {                                   \
+  } while (0)
+#else
+#define PARAHASH_TRACE_CONCAT2(a, b) a##b
+#define PARAHASH_TRACE_CONCAT(a, b) PARAHASH_TRACE_CONCAT2(a, b)
+/// Traces the enclosing scope as a span named `name` in category `cat`
+/// (both string literals).
+#define PARAHASH_TRACE_SCOPE(cat, name)                    \
+  ::parahash::trace::ScopedEvent PARAHASH_TRACE_CONCAT(    \
+      parahash_trace_scope_, __LINE__)(cat, name)
+/// Emits an instant event; extra args forward to emit_instant
+/// (name [, arg_key, arg_value]).
+#define PARAHASH_TRACE_INSTANT(cat, ...)                   \
+  do {                                                     \
+    if (::parahash::trace::enabled()) {                    \
+      ::parahash::trace::emit_instant(cat, __VA_ARGS__);   \
+    }                                                      \
+  } while (0)
+#endif

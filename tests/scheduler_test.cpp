@@ -211,6 +211,56 @@ TEST(PartitionLedger, ConcurrentStressHoldsCounterInvariant) {
   }
 }
 
+// ---------------------------------------------------- ledger sampler
+
+TEST(LedgerSampler, CapturesCounterTimeline) {
+  PartitionLedger ledger;
+  constexpr double kPeriod = 1e-3;
+  LedgerSampler sampler(ledger, kPeriod);
+
+  ledger.publish(make_part(0));
+  auto claimed = ledger.claim();
+  ASSERT_TRUE(claimed.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ledger.publish(make_part(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sampler.stop();
+
+  const auto& samples = sampler.samples();
+  ASSERT_GE(samples.size(), 2u);  // periodic samples plus the final one
+  // Timestamps strictly ordered, counters monotone (each ledger counter
+  // only ever advances).
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+    EXPECT_GE(samples[i].counters.srv, samples[i - 1].counters.srv);
+    EXPECT_GE(samples[i].counters.cns, samples[i - 1].counters.cns);
+    EXPECT_GE(samples[i].counters.prd, samples[i - 1].counters.prd);
+    EXPECT_GE(samples[i].counters.wrt, samples[i - 1].counters.wrt);
+  }
+  // The final (stop-time) sample sees the end state: two published, one
+  // claimed.
+  EXPECT_EQ(samples.back().counters.srv, 2u);
+  EXPECT_EQ(samples.back().counters.cns, 1u);
+  // Some mid-run sample caught the consumer ahead of the second
+  // publish: cns >= 1 while srv == 1.
+  bool saw_midpoint = false;
+  for (const auto& s : samples) {
+    if (s.counters.cns >= 1 && s.counters.srv == 1) saw_midpoint = true;
+  }
+  EXPECT_TRUE(saw_midpoint);
+}
+
+TEST(LedgerSampler, StopIsIdempotentAndFinalSampleAlwaysTaken) {
+  PartitionLedger ledger;
+  // A period far longer than the test: only the stop-time sample fires.
+  LedgerSampler sampler(ledger, /*period_seconds=*/10.0);
+  ledger.publish(make_part(0));
+  sampler.stop();
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.samples().back().counters.srv, 1u);
+}
+
 // ------------------------------------------------- fused integration
 
 struct Dataset {
@@ -258,7 +308,21 @@ TEST(FusedPipeline, MatchesUnfusedBitIdentical) {
   auto [graph_b, report_b] = fused.construct(d->fastq);
 
   EXPECT_TRUE(graph_a == graph_b);
-  EXPECT_GT(report_b.step_overlap_seconds, 0.0);
+  // The fused run carries its ledger timeline: the direct record of the
+  // shared counters (srv >= cns >= prd >= wrt throughout), ending at
+  // the fully-drained state. Overlap itself is asserted in
+  // LedgerTimelineShowsStepOverlap, where multi-pass Step 1 keeps the
+  // window wide enough to sample reliably.
+  ASSERT_FALSE(report_b.ledger_samples.empty());
+  for (const auto& s : report_b.ledger_samples) {
+    EXPECT_GE(s.counters.srv, s.counters.cns);
+    EXPECT_GE(s.counters.cns, s.counters.prd);
+    EXPECT_GE(s.counters.prd, s.counters.wrt);
+  }
+  EXPECT_EQ(report_b.ledger_samples.back().counters.srv,
+            options.msp.num_partitions);
+  EXPECT_EQ(report_b.ledger_samples.back().counters.wrt,
+            options.msp.num_partitions);
   EXPECT_LE(report_b.step_overlap_seconds, report_b.total_elapsed_seconds);
   // All partitions flowed through both steps.
   EXPECT_EQ(report_b.step2.times.items, options.msp.num_partitions);
@@ -287,6 +351,42 @@ TEST(FusedPipeline, MultiPassMatchesUnfused) {
   // Fusion changes scheduling, never the Step-1 IO volume.
   EXPECT_EQ(report_b.step1.bytes_in, report_a.step1.bytes_in);
   EXPECT_EQ(report_b.step1.bytes_out, report_a.step1.bytes_out);
+}
+
+TEST(FusedPipeline, LedgerTimelineShowsStepOverlap) {
+  // Direct Step 1 ∥ Step 2 overlap evidence (the paper's Fig. 12 view):
+  // some ledger sample must show Step 2 consuming (cns > 0) while
+  // Step 1 is still publishing (srv < num_partitions). Multi-pass
+  // Step 1 seals the first pass's partitions early, so Step 2 builds
+  // them while the later passes are still scanning the input — the
+  // overlap window spans most of the run, not just its tail.
+  const auto d = make_dataset(3000, 8.0, 99);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+  options.max_open_partitions = 4;  // 4 passes over the input
+  options.fuse_steps = true;
+  options.ledger_sample_period = 1e-4;
+
+  ParaHash<1> fused(options);
+  auto [graph, report] = fused.construct(d->fastq);
+
+  ASSERT_GE(report.ledger_samples.size(), 2u);
+  bool overlapped = false;
+  for (const auto& s : report.ledger_samples) {
+    if (s.counters.cns > 0 &&
+        s.counters.srv < options.msp.num_partitions) {
+      overlapped = true;
+    }
+  }
+  EXPECT_TRUE(overlapped)
+      << "no sample caught Step 2 consuming while Step 1 was still "
+         "publishing ("
+      << report.ledger_samples.size() << " samples)";
+  // Timestamps cover the run: the last sample is at stop time, after
+  // every partition retired.
+  const auto& last = report.ledger_samples.back();
+  EXPECT_EQ(last.counters.wrt, options.msp.num_partitions);
+  EXPECT_GT(last.t_seconds, 0.0);
 }
 
 TEST(FusedPipeline, CoProcessingDeviceMixMatchesReference) {

@@ -1,9 +1,15 @@
-// Tests for graph statistics (coverage histogram, degree distribution)
-// and the text exporters.
+// Tests for graph statistics (coverage histogram, degree distribution),
+// the text exporters, and the telemetry histogram (whose log2 shard
+// merge the run reports depend on).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/export.h"
 #include "core/msp.h"
@@ -11,6 +17,8 @@
 #include "core/subgraph.h"
 #include "io/tmpdir.h"
 #include "sim/read_sim.h"
+#include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace parahash::core {
 namespace {
@@ -149,6 +157,131 @@ TEST(Export, DotExportsSmallGraph) {
   // Refuses big graphs.
   const auto big = build_graph<1>(deep_coverage_reads(), 21, 9, 4);
   EXPECT_THROW(write_dot(big, dir.file("big.dot"), 100), Error);
+}
+
+// ------------------------------------------------- telemetry histogram
+
+TEST(TelemetryHistogram, BucketBoundariesAtPowersOfTwo) {
+  using H = telemetry::Histogram;
+  // Bucket 0 is exactly the value 0; bucket b>0 covers [2^(b-1), 2^b-1].
+  EXPECT_EQ(H::bucket_index(0), 0u);
+  EXPECT_EQ(H::bucket_index(1), 1u);
+  EXPECT_EQ(H::bucket_index(2), 2u);
+  EXPECT_EQ(H::bucket_index(3), 2u);
+  EXPECT_EQ(H::bucket_index(4), 3u);
+  for (std::size_t b = 1; b < 64; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(H::bucket_index(lo), b) << "lo of bucket " << b;
+    EXPECT_EQ(H::bucket_index(hi), b) << "hi of bucket " << b;
+    EXPECT_EQ(H::bucket_lo(b), lo);
+    EXPECT_EQ(H::bucket_hi(b), hi);
+    if (b > 1) {
+      EXPECT_EQ(H::bucket_index(lo - 1), b - 1)
+          << "below lo of bucket " << b;
+    }
+  }
+  EXPECT_EQ(H::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(H::bucket_hi(64), ~std::uint64_t{0});
+  EXPECT_EQ(H::bucket_lo(0), 0u);
+  EXPECT_EQ(H::bucket_hi(0), 0u);
+}
+
+TEST(TelemetryHistogram, ShardMergeMatchesSingleThreadOracle) {
+  // Concurrent recording across every shard must merge to exactly the
+  // totals a single-threaded oracle computes from the same samples.
+  telemetry::Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+
+  std::vector<std::vector<std::uint64_t>> samples(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + static_cast<std::uint64_t>(t));
+    samples[t].reserve(kPerThread);
+    for (int i = 0; i < kPerThread; ++i) {
+      // Mix of tiny probe-length-like values and wide ns-scale values.
+      const std::uint64_t v = i % 3 == 0 ? rng.below(8)
+                                         : rng.below(1u << 20);
+      samples[t].push_back(v);
+    }
+  }
+
+  std::array<std::uint64_t, telemetry::Histogram::kBuckets> oracle{};
+  std::uint64_t oracle_sum = 0;
+  for (const auto& vec : samples) {
+    for (const std::uint64_t v : vec) {
+      ++oracle[telemetry::Histogram::bucket_index(v)];
+      oracle_sum += v;
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, &samples, t] {
+      for (const std::uint64_t v : samples[t]) hist.record(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.sum, oracle_sum);
+  for (std::size_t b = 0; b < telemetry::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(snap.buckets[b], oracle[b]) << "bucket " << b;
+  }
+}
+
+TEST(TelemetryHistogram, SnapshotWhileRecordingIsMonotone) {
+  // Every per-shard cell is monotone, so snapshots taken while writers
+  // are mid-flight must never lose counts between observations.
+  telemetry::Histogram hist;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&hist, &stop, t] {
+      Rng rng(77 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.record(rng.below(1u << 12));
+      }
+    });
+  }
+
+  std::uint64_t last_count = 0;
+  std::uint64_t last_sum = 0;
+  std::array<std::uint64_t, telemetry::Histogram::kBuckets> last{};
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = hist.snapshot();
+    EXPECT_GE(snap.count, last_count);
+    EXPECT_GE(snap.sum, last_sum);
+    for (std::size_t b = 0; b < telemetry::Histogram::kBuckets; ++b) {
+      EXPECT_GE(snap.buckets[b], last[b]) << "bucket " << b;
+    }
+    last_count = snap.count;
+    last_sum = snap.sum;
+    last = snap.buckets;
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+
+  // Quiesced: the final snapshot is exact and self-consistent.
+  const auto final_snap = hist.snapshot();
+  std::uint64_t bucket_total = 0;
+  for (const auto n : final_snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, final_snap.count);
+}
+
+TEST(TelemetryHistogram, QuantileBoundBracketsDistribution) {
+  telemetry::Histogram hist;
+  for (std::uint64_t v = 0; v < 1024; ++v) hist.record(v);
+  const auto snap = hist.snapshot();
+  // p=1 must bound the maximum; p=0.5 must be >= the true median's
+  // bucket floor and well below the max bucket's bound.
+  EXPECT_GE(snap.quantile_bound(1.0), 1023u);
+  const std::uint64_t p50 = snap.quantile_bound(0.5);
+  EXPECT_GE(p50, 511u);
+  EXPECT_LE(p50, 1023u);
+  EXPECT_EQ(snap.mean(), 511.5);
 }
 
 }  // namespace

@@ -3,15 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 
 #include "util/dna.h"
 #include "util/hash.h"
 #include "util/kmer.h"
+#include "util/log.h"
 #include "util/mem.h"
 #include "util/packed_seq.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace parahash {
 namespace {
@@ -352,6 +355,78 @@ TEST(Mem, RssProbesReportSomething) {
   // On Linux both probes should report a positive resident size.
   EXPECT_GT(current_rss_bytes(), 0u);
   EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+}
+
+// -------------------------------------------------------------- timer
+
+TEST(AtomicSeconds, AccumulatesPositiveDeltas) {
+  AtomicSeconds acc;
+  acc.add(0.5);
+  acc.add(1.25);
+  EXPECT_NEAR(acc.seconds(), 1.75, 1e-9);
+}
+
+TEST(AtomicSeconds, ClampsNegativeDeltas) {
+  // A clock that stepped backwards must not subtract time other
+  // workers measured.
+  AtomicSeconds acc;
+  acc.add(2.0);
+  acc.add(-1.0);
+  EXPECT_NEAR(acc.seconds(), 2.0, 1e-9);
+  AtomicSeconds fresh;
+  fresh.add(-5.0);
+  EXPECT_EQ(fresh.seconds(), 0.0);
+}
+
+TEST(AtomicSeconds, ClampsNaNAndInfinity) {
+  // Casting NaN to an integer is UB; the accumulator must ignore it
+  // rather than corrupt (or crash) — same for negative infinity. A
+  // positive infinity is also dropped: there is no meaningful finite
+  // nanosecond count for it.
+  AtomicSeconds acc;
+  acc.add(1.0);
+  acc.add(std::numeric_limits<double>::quiet_NaN());
+  acc.add(-std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(acc.seconds(), 1.0, 1e-9);
+}
+
+TEST(AtomicSeconds, ZeroIsANoOp) {
+  AtomicSeconds acc;
+  acc.add(0.0);
+  EXPECT_EQ(acc.seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------- log
+
+TEST(Log, FilteredLevelSkipsFormatting) {
+  // The macro must not evaluate its stream operands when the level is
+  // filtered out — formatting cost belongs only to emitted lines.
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("formatted");
+  };
+  PARAHASH_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kDebug);
+  PARAHASH_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(saved);
+}
+
+TEST(Log, MacroIsDanglingElseSafe) {
+  // The statement shape must bind cleanly inside an unbraced if/else.
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  bool else_taken = false;
+  if (false)
+    PARAHASH_LOG(kInfo) << "not reached";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+  set_log_level(saved);
 }
 
 }  // namespace
