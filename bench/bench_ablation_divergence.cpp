@@ -11,6 +11,7 @@
 #include "core/subgraph.h"
 #include "device/simt_kernel.h"
 #include "io/partition_file.h"
+#include "util/timer.h"
 
 int main() {
   using namespace parahash;
@@ -74,6 +75,37 @@ int main() {
                 load_sum / static_cast<double>(paths.size()),
                 static_cast<unsigned long long>(total.useful_probes),
                 total.divergence_factor());
+  }
+
+  // Software-prefetch ablation: the warp-synchronous kernel issues a
+  // prefetch for every lane's NEXT probe slot one step ahead of the
+  // group probe (the CPU-side analogue of the GPU hiding slot latency
+  // with warp parallelism). Same work either way — only the memory
+  // schedule changes — so the wall-clock delta is the datapoint.
+  std::printf("\n-- software prefetch ablation (warp = 32, alpha = 0.7) --\n");
+  std::printf("%10s %12s %14s\n", "prefetch", "seconds", "useful probes");
+  double prefetch_seconds[2] = {0, 0};
+  for (const bool prefetch : {false, true}) {
+    device::SimtStats total;
+    WallTimer timer;
+    for (const auto& path : paths) {
+      const auto blob = io::PartitionBlob::read_file(path);
+      concurrent::ConcurrentKmerTable<1> table(
+          core::hash_table_slots(blob.header().kmer_count, 2.0, 0.7),
+          msp.k);
+      total.merge(
+          device::simt_process_partition<1>(blob, table, 32, prefetch));
+    }
+    prefetch_seconds[prefetch ? 1 : 0] = timer.seconds();
+    std::printf("%10s %12.3f %14llu\n", prefetch ? "on" : "off",
+                prefetch_seconds[prefetch ? 1 : 0],
+                static_cast<unsigned long long>(total.useful_probes));
+  }
+  bench::report_metric("prefetch_off_seconds", prefetch_seconds[0]);
+  bench::report_metric("prefetch_on_seconds", prefetch_seconds[1]);
+  if (prefetch_seconds[1] > 0) {
+    bench::report_metric("prefetch_speedup",
+                         prefetch_seconds[0] / prefetch_seconds[1]);
   }
 
   std::printf("\nshape check (paper): wider warps waste more lane-slots "

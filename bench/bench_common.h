@@ -212,7 +212,14 @@ inline void bench_report_init(const char* title, const char* paper_ref) {
     arm = !state.armed;
     state.armed = true;
   }
-  if (arm) std::atexit(write_bench_report);
+  if (arm) {
+    // Construct the telemetry registry (function-local statics) BEFORE
+    // registering the atexit hook: destructors run in reverse order of
+    // registration, so a registry first touched mid-run would be torn
+    // down before write_bench_report reads it.
+    (void)telemetry::Registry::global().snapshot_json();
+    std::atexit(write_bench_report);
+  }
 }
 
 /// Records one named scalar into this binary's BENCH_*.json.

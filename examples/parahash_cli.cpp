@@ -4,8 +4,8 @@
 //        --partitions=512 --gpus=0 --threads=N --min-coverage=0
 //        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
 //        --quality-trim=0 --max-open-files=0 --fuse-steps
-//        --inflight-table-budget=MB --upsert-batch=N|auto
-//        --trace-out=trace.json --metrics-out=metrics.json
+//        --inflight-table-budget=MB --upsert-batch=N|auto|tuned
+//        --autotune --trace-out=trace.json --metrics-out=metrics.json
 //        --report-json=report.json]
 //        (several input files — plain or .gz — concatenate)
 //   parahash_cli stats  <graph.phdg>
@@ -72,6 +72,19 @@ int cmd_build(const Flags& flags) {
       flags.get("upsert-batch",
                 concurrent::UpsertWindow{}.to_string()));
 
+  // --autotune: calibration pre-pass + live control loop. Explicitly
+  // given flags are pinned — the tuner fills in only what the user
+  // left at defaults.
+  options.autotune.enabled = flags.get_bool("autotune");
+  if (options.autotune.enabled) {
+    options.autotune.pin_partitions = flags.has("partitions");
+    options.autotune.pin_inflight_budget =
+        flags.has("inflight-table-budget");
+    options.autotune.pin_upsert_window = flags.has("upsert-batch");
+    options.autotune.pin_fuse =
+        flags.has("fuse-steps") || flags.has("no-pipeline");
+  }
+
   const std::string graph_path = flags.get("graph", "graph.phdg");
   const std::string trace_path = flags.get("trace-out");
   const std::string metrics_path = flags.get("metrics-out");
@@ -101,6 +114,16 @@ int cmd_build(const Flags& flags) {
                       1e6);
     }
     std::printf("\n");
+  }
+  if (report.tuner.enabled) {
+    std::printf("autotune: partitions=%u, budget %.1f MB, window %d, "
+                "%zu decisions (see report tuner section)\n",
+                report.tuner.calibration.chosen_partitions,
+                static_cast<double>(
+                    report.tuner.calibration.chosen_inflight_budget) /
+                    1e6,
+                report.tuner.calibration.chosen_upsert_window,
+                report.tuner.decisions.size());
   }
   std::printf("vertices %llu (filtered %llu), partition bytes %llu, "
               "peak RSS %.1f MB\n",

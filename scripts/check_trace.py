@@ -2,7 +2,7 @@
 """ci-trace leg: run a small fused construction with every telemetry
 output enabled and validate the three artefacts.
 
-Usage: scripts/check_trace.py <path/to/parahash_cli>
+Usage: scripts/check_trace.py [--autotune] <path/to/parahash_cli>
 
 Checks:
   - trace.json, metrics.json, report.json all parse as JSON;
@@ -11,6 +11,14 @@ Checks:
   - the report's ledger timeline has samples and caught Step 2
     consuming (a sample with cns > 0);
   - the metrics snapshot counted upserts.
+
+With --autotune the run adds the --autotune flag and the checks extend
+to the tuner artefacts:
+  - the report has a `tuner` section with a calibration that ran and a
+    non-empty decision log (every decision carries knob/old/new/
+    t_seconds);
+  - the trace has at least one "tuner"-category instant event (the
+    decisions' timeline markers).
 """
 import json
 import random
@@ -38,10 +46,13 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    autotune = "--autotune" in args
+    args = [a for a in args if a != "--autotune"]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    cli = Path(sys.argv[1]).resolve()
+    cli = Path(args[0]).resolve()
     if not cli.is_file():
         fail(f"no such binary: {cli}")
 
@@ -65,6 +76,8 @@ def main():
             f"--metrics-out={metrics}",
             f"--report-json={report}",
         ]
+        if autotune:
+            cmd.append("--autotune")
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             fail(f"build failed ({proc.returncode}):\n{proc.stderr}")
@@ -121,9 +134,39 @@ def main():
         if "histograms" not in metrics_doc or "gauges" not in metrics_doc:
             fail("metrics snapshot is missing a section")
 
+        # --- autotune: every decision documented -----------------------
+        if autotune:
+            tuner = report_doc.get("tuner")
+            if not tuner:
+                fail("report has no tuner section (--autotune run)")
+            if not tuner.get("enabled"):
+                fail("tuner section is not enabled")
+            cal = tuner.get("calibration", {})
+            if not cal.get("ran"):
+                fail("tuner calibration did not run")
+            if cal.get("sampled_bases", 0) == 0:
+                fail("tuner calibration sampled no bases")
+            decisions = tuner.get("decisions")
+            if not decisions:
+                fail("tuner made no decisions")
+            for d in decisions:
+                for key in ("knob", "old", "new", "t_seconds"):
+                    if key not in d:
+                        fail(f"tuner decision is missing {key!r}: {d}")
+            tuner_instants = [
+                e for e in events
+                if e.get("ph") == "i" and e.get("cat") == "tuner"
+            ]
+            if not tuner_instants:
+                fail("trace has no tuner-category instant events")
+
+        extra = ""
+        if autotune:
+            extra = (f", {len(decisions)} tuner decisions, "
+                     f"{len(tuner_instants)} tuner instants")
         print(f"ci-trace: OK ({len(events)} trace events, "
               f"{len(samples)} ledger samples, "
-              f"{len(track_names)} named tracks)")
+              f"{len(track_names)} named tracks{extra})")
 
 
 if __name__ == "__main__":

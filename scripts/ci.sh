@@ -8,16 +8,25 @@
 # target would — plus a smalltable leg that re-runs the Release suite
 # with PARAHASH_SMALLTABLE=0.4, scaling every Property-1 table estimate
 # down so each partition build exercises the overflow/migration
-# machinery instead of the happy path, and a trace leg that runs a
+# machinery instead of the happy path, a trace leg that runs a
 # small fused construction with --trace-out/--metrics-out/--report-json
-# and validates the three artefacts.
+# and validates the three artefacts, and an autotune leg that re-runs
+# the trace scenario under --autotune and validates the tuner's report
+# section and decision instants.
 #
-#   scripts/ci.sh             all five legs
+# The `bench` leg (not part of `all` — it is a perf artefact refresh,
+# not a gate) runs the model benches (fig13/fig14) and the micro
+# benches at a small preset and copies their BENCH_<binary>.json
+# reports to the repository root.
+#
+#   scripts/ci.sh             all six gating legs
 #   scripts/ci.sh default     Release + full suite only
 #   scripts/ci.sh tsan        ThreadSanitizer subset only
 #   scripts/ci.sh scalar      scalar-fallback build + full suite only
 #   scripts/ci.sh smalltable  Release suite with undersized tables only
 #   scripts/ci.sh trace       telemetry artefact validation only
+#   scripts/ci.sh autotune    tuner artefact validation only
+#   scripts/ci.sh bench       refresh BENCH_*.json artefacts (standalone)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,14 +35,25 @@ run_tsan=1
 run_scalar=1
 run_smalltable=1
 run_trace=1
+run_autotune=1
+run_bench=0
 case "${1:-all}" in
   all) ;;
-  default) run_tsan=0; run_scalar=0; run_smalltable=0; run_trace=0 ;;
-  tsan) run_default=0; run_scalar=0; run_smalltable=0; run_trace=0 ;;
-  scalar) run_default=0; run_tsan=0; run_smalltable=0; run_trace=0 ;;
-  smalltable) run_default=0; run_tsan=0; run_scalar=0; run_trace=0 ;;
-  trace) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0 ;;
-  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace]" >&2
+  default) run_tsan=0; run_scalar=0; run_smalltable=0; run_trace=0
+           run_autotune=0 ;;
+  tsan) run_default=0; run_scalar=0; run_smalltable=0; run_trace=0
+        run_autotune=0 ;;
+  scalar) run_default=0; run_tsan=0; run_smalltable=0; run_trace=0
+          run_autotune=0 ;;
+  smalltable) run_default=0; run_tsan=0; run_scalar=0; run_trace=0
+              run_autotune=0 ;;
+  trace) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
+         run_autotune=0 ;;
+  autotune) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
+            run_trace=0 ;;
+  bench) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
+         run_trace=0; run_autotune=0; run_bench=1 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace|autotune|bench]" >&2
      exit 2 ;;
 esac
 
@@ -57,4 +77,31 @@ if [ "$run_trace" -eq 1 ]; then
   cmake --preset default
   cmake --build --preset default --target parahash_cli
   scripts/check_trace.py build/examples/parahash_cli
+fi
+if [ "$run_autotune" -eq 1 ]; then
+  # ci-autotune: the trace scenario again under --autotune; the checks
+  # extend to the report's tuner section (calibration ran, decision log
+  # non-empty and fully attributed) and the "tuner" trace instants.
+  cmake --preset default
+  cmake --build --preset default --target parahash_cli
+  scripts/check_trace.py --autotune build/examples/parahash_cli
+fi
+if [ "$run_bench" -eq 1 ]; then
+  # ci-bench: the perf-model benches (Fig. 13/14, including the
+  # autotuned-vs-sweep rows) and the micro benches at a small preset.
+  # Each binary writes BENCH_<binary>.json into the repo root via
+  # PARAHASH_BENCH_REPORT_DIR.
+  cmake --preset default
+  cmake --build --preset default --target bench_fig13_model_fast_io \
+      bench_fig14_model_slow_io bench_ablation_divergence \
+      bench_micro_concurrent
+  PARAHASH_BENCH_SCALE="${PARAHASH_BENCH_SCALE:-0.2}"
+  export PARAHASH_BENCH_SCALE
+  PARAHASH_BENCH_REPORT_DIR="$PWD"
+  export PARAHASH_BENCH_REPORT_DIR
+  build/bench/bench_fig13_model_fast_io
+  build/bench/bench_fig14_model_slow_io
+  build/bench/bench_ablation_divergence
+  build/bench/bench_micro_concurrent --benchmark_min_time=0.05
+  ls -l BENCH_*.json
 fi

@@ -46,7 +46,7 @@ struct UpsertWindow {
   /// Auto mode holds the default until this many upserts are measured.
   static constexpr std::uint64_t kAutoWarmup = 256;
 
-  enum class Mode { kFixed, kAuto };
+  enum class Mode { kFixed, kAuto, kTuned };
 
   Mode mode = Mode::kFixed;
   int fixed = kDefault;
@@ -57,10 +57,18 @@ struct UpsertWindow {
   static constexpr UpsertWindow auto_window() noexcept {
     return UpsertWindow{Mode::kAuto, kDefault};
   }
-  /// Parses a CLI-style spec: "auto", or an integer window size.
-  /// Anything unparseable falls back to the default fixed window.
+  /// Externally tuned mode: the window comes from the process-global
+  /// slot (set_tuned_window), which the pipeline autotuner refreshes
+  /// from the cross-partition probe-length telemetry — instead of each
+  /// upserter's local per-partition estimate (kAuto).
+  static constexpr UpsertWindow tuned_window() noexcept {
+    return UpsertWindow{Mode::kTuned, kDefault};
+  }
+  /// Parses a CLI-style spec: "auto", "tuned", or an integer window
+  /// size. Anything unparseable falls back to the default fixed window.
   static UpsertWindow parse(std::string_view text) noexcept {
     if (text == "auto") return auto_window();
+    if (text == "tuned") return tuned_window();
     char* end = nullptr;
     const std::string copy(text);
     const long n = std::strtol(copy.c_str(), &end, 10);
@@ -73,16 +81,17 @@ struct UpsertWindow {
   }
 
   bool is_auto() const noexcept { return mode == Mode::kAuto; }
+  bool is_tuned() const noexcept { return mode == Mode::kTuned; }
   /// True when this policy degenerates to the unbatched scalar path.
   bool is_scalar() const noexcept {
     return mode == Mode::kFixed && fixed <= 1;
   }
   /// The window to start a partition with.
-  int initial() const noexcept {
-    return mode == Mode::kAuto ? kDefault : fixed;
-  }
+  int initial() const noexcept;  // defined after the tuned-window slot
   std::string to_string() const {
-    return mode == Mode::kAuto ? "auto" : std::to_string(fixed);
+    if (mode == Mode::kAuto) return "auto";
+    if (mode == Mode::kTuned) return "tuned";
+    return std::to_string(fixed);
   }
 
   /// The tuning rule: pick a window for an observed mean probe length.
@@ -94,6 +103,29 @@ struct UpsertWindow {
     return static_cast<int>(target);
   }
 };
+
+/// The process-global window slot for UpsertWindow::Mode::kTuned.
+/// Written by the pipeline autotuner's control thread, read by every
+/// upserter at construction and at each flush (one relaxed load per
+/// window drain — noise next to the probes themselves).
+inline std::atomic<int>& tuned_window_slot() noexcept {
+  static std::atomic<int> slot{UpsertWindow::kDefault};
+  return slot;
+}
+
+inline void set_tuned_window(int window) noexcept {
+  tuned_window_slot().store(UpsertWindow::clamp(window),
+                            std::memory_order_relaxed);
+}
+
+inline int current_tuned_window() noexcept {
+  return tuned_window_slot().load(std::memory_order_relaxed);
+}
+
+inline int UpsertWindow::initial() const noexcept {
+  if (mode == Mode::kTuned) return current_tuned_window();
+  return mode == Mode::kAuto ? kDefault : fixed;
+}
 
 /// Buffers up to `window` upserts, prefetching each home group at push
 /// time and probing at flush time. window == 1 degenerates to the
@@ -162,6 +194,8 @@ class BatchedUpserter {
     count_ = 0;
     if (policy_.is_auto() && stats_.adds >= UpsertWindow::kAutoWarmup) {
       window_ = UpsertWindow::tuned_for(stats_.mean_probe_length());
+    } else if (policy_.is_tuned()) {
+      window_ = current_tuned_window();
     }
   }
 

@@ -1,0 +1,114 @@
+// First-touch-initialised flat array for hash-table backing storage.
+//
+// On NUMA systems (and, less visibly, under transparent huge pages)
+// physical pages are bound to the node of the thread that FIRST WRITES
+// them, not the thread that malloc'd them. std::vector value-constructs
+// its elements on the allocating thread, so a multi-gigabyte k-mer
+// table built on the orchestration thread lands every page on one node
+// and all other workers pay remote-access latency for the whole run.
+// FirstTouchArray zero-constructs its elements through the device's own
+// ThreadPool instead: each worker touches a contiguous chunk, spreading
+// pages across the nodes the probing threads actually run on — the CPU
+// analogue of the paper's device-local table placement.
+//
+// Only the operations the table needs are provided (sized construction,
+// data/size/index/iterate/swap); elements must be trivially
+// destructible because destruction is a single aligned deallocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "concurrent/thread_pool.h"
+
+namespace parahash::concurrent {
+
+template <typename T>
+class FirstTouchArray {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "FirstTouchArray skips element destructors");
+
+ public:
+  /// Arrays below this size are touched inline: the parallel_for
+  /// hand-off costs more than faulting a few pages.
+  static constexpr std::size_t kParallelMinBytes = std::size_t{4} << 20;
+  /// Chunk elements so each task is a few pages, not a few cache lines.
+  static constexpr std::size_t kInitGrainBytes = std::size_t{1} << 20;
+
+  FirstTouchArray() = default;
+
+  /// Allocates `n` value-initialised (zeroed) elements, touching them
+  /// through `init_pool` when one is given and the array is large
+  /// enough to matter. Must not be called FROM a worker of `init_pool`
+  /// (parallel_for would deadlock); pass nullptr there.
+  explicit FirstTouchArray(std::size_t n, ThreadPool* init_pool = nullptr)
+      : size_(n) {
+    if (n == 0) return;
+    data_ = static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+    const std::size_t bytes = n * sizeof(T);
+    if (init_pool != nullptr && init_pool->size() > 1 &&
+        bytes >= kParallelMinBytes) {
+      const std::size_t grain =
+          (kInitGrainBytes + sizeof(T) - 1) / sizeof(T);
+      T* base = data_;
+      init_pool->parallel_for(
+          n, grain, [base](std::uint64_t begin, std::uint64_t end) {
+            std::uninitialized_value_construct_n(base + begin,
+                                                 end - begin);
+          });
+    } else {
+      std::uninitialized_value_construct_n(data_, n);
+    }
+  }
+
+  FirstTouchArray(FirstTouchArray&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  FirstTouchArray& operator=(FirstTouchArray&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  FirstTouchArray(const FirstTouchArray&) = delete;
+  FirstTouchArray& operator=(const FirstTouchArray&) = delete;
+
+  ~FirstTouchArray() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  void swap(FirstTouchArray& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{64});
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parahash::concurrent

@@ -70,6 +70,7 @@
 #include <thread>
 #include <vector>
 
+#include "concurrent/first_touch.h"
 #include "concurrent/probe_group.h"
 #include "concurrent/table_concept.h"
 #include "util/error.h"
@@ -174,14 +175,19 @@ class ConcurrentKmerTable {
   /// Allocates a table with at least `min_slots` slots (rounded up to a
   /// power of two) for kmers of length k. `growth` opts into the
   /// bounded-displacement overflow region + incremental migration; the
-  /// default keeps the classic fixed-capacity table.
+  /// default keeps the classic fixed-capacity table. `init_pool`, when
+  /// given, first-touches the slot arrays across that pool's workers
+  /// (see first_touch.h) — pass the pool that will PROBE the table, and
+  /// never a pool this constructor itself runs on (parallel_for from a
+  /// worker deadlocks; mid-insert migrations therefore pass nullptr).
   ConcurrentKmerTable(std::uint64_t min_slots, int k,
-                      GrowthConfig growth = {})
+                      GrowthConfig growth = {},
+                      ThreadPool* init_pool = nullptr)
       : k_(k),
         simd_level_(simd::active()),
         growth_(growth),
-        meta_(next_pow2(min_slots < 2 ? 2 : min_slots)),
-        payload_(meta_.size()) {
+        meta_(next_pow2(min_slots < 2 ? 2 : min_slots), init_pool),
+        payload_(meta_.size(), init_pool) {
     PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
                        "k out of range for this word count");
     mask_ = meta_.size() - 1;
@@ -287,6 +293,24 @@ class ConcurrentKmerTable {
         static_cast<std::uint64_t>(probe::group_width(simd_level_)) - 1;
     __builtin_prefetch(meta + idx, 1, 3);
     __builtin_prefetch(meta + ((idx + last_lane) & mask), 1, 3);
+    __builtin_prefetch(payload + idx, 1, 3);
+#endif
+  }
+
+  /// Prefetches the metadata + payload at a known slot INDEX (already
+  /// masked). The SIMT kernel uses this to issue each lane's next probe
+  /// address one warp round ahead of the probe_group_step that reads
+  /// it, overlapping the lanes' independent cache misses the way a
+  /// GPU's warp scheduler overlaps its threads' loads. Same shadow
+  /// discipline as prefetch_group(): migration-safe, hint-only.
+  void prefetch_index(std::uint64_t index) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t mask = shadow_mask_.load(std::memory_order_acquire);
+    const auto* meta = shadow_meta_.load(std::memory_order_acquire);
+    const auto* payload =
+        shadow_payload_.load(std::memory_order_acquire);
+    const std::uint64_t idx = index & mask;
+    __builtin_prefetch(meta + idx, 1, 3);
     __builtin_prefetch(payload + idx, 1, 3);
 #endif
   }
@@ -1181,8 +1205,8 @@ class ConcurrentKmerTable {
   std::uint64_t mask_;
   simd::Level simd_level_;
   GrowthConfig growth_;
-  std::vector<std::atomic<std::uint8_t>> meta_;
-  std::vector<Payload> payload_;
+  FirstTouchArray<std::atomic<std::uint8_t>> meta_;
+  FirstTouchArray<Payload> payload_;
   std::atomic<std::uint64_t> distinct_{0};
 
   // Race-free views of the main-array geometry for ungated readers.

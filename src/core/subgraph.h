@@ -247,8 +247,11 @@ SubgraphBuildResult<W> build_subgraph(const io::PartitionBlob& blob,
   result.kmers_processed = header.kmer_count;
 
   for (int attempt = 0;; ++attempt) {
+    // First-touch the slot arrays across the pool that is about to
+    // probe them (build_subgraph always runs on the device's
+    // orchestration thread, never a pool worker, so this is safe).
     auto table = std::make_unique<concurrent::ConcurrentKmerTable<W>>(
-        slots, static_cast<int>(header.k), growth);
+        slots, static_cast<int>(header.k), growth, pool);
     std::unique_ptr<concurrent::CountingBloom> prefilter;
     if (config.singleton_prefilter) {
       prefilter = std::make_unique<concurrent::CountingBloom>(

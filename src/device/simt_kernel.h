@@ -93,10 +93,21 @@ struct SimtWorkItem {
 /// failed; the warp keeps stepping its sibling lanes until every lane
 /// is done or failed, and only then throws TableFullError — the unwind
 /// abandons no sibling mid-flight and leaves no slot `locked`.
+///
+/// Software prefetch (`prefetch_ahead`, on by default): whenever a
+/// lane's NEXT probe address becomes known — initial homing, a group
+/// advance, a post-migration re-home — its metadata/payload lines are
+/// prefetched immediately, a full warp round before the
+/// probe_group_step that reads them. The sibling lanes' scans are the
+/// independent work that overlaps the miss, which is exactly how a GPU
+/// warp scheduler hides its threads' scattered table loads; here the
+/// hardware prefetcher cannot help (the addresses are hash-scattered),
+/// so the kernel issues the hints itself. Off switches to the PR 3
+/// behaviour for the ablation bench.
 template <int W>
 void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
                       const std::vector<SimtWorkItem<W>>& warp,
-                      SimtStats& stats) {
+                      SimtStats& stats, bool prefetch_ahead = true) {
   const std::size_t lanes = warp.size();
   if (lanes == 0) return;
 
@@ -112,6 +123,7 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
   std::uint64_t bound = table.displacement_bound();
   for (std::size_t l = 0; l < lanes; ++l) {
     state[l].index = warp[l].canon.hash() & mask;
+    if (prefetch_ahead) table.prefetch_index(state[l].index);
   }
 
   std::size_t remaining = lanes;
@@ -133,6 +145,7 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
         if (lane.done || lane.failed) continue;
         lane.index = warp[l].canon.hash() & mask;
         lane.scanned = 0;
+        if (prefetch_ahead) table.prefetch_index(lane.index);
         ++restarted;
       }
       static telemetry::Counter& lane_restarts =
@@ -157,6 +170,9 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
         lane.index =
             (lane.index + static_cast<std::uint64_t>(step.width)) & mask;
         lane.scanned += static_cast<std::uint64_t>(step.width);
+        // Issue the next group's lines now; the remaining lanes of this
+        // round (and the round bookkeeping) overlap the miss.
+        if (prefetch_ahead) table.prefetch_index(lane.index);
         if (lane.scanned >= bound) {
           // Displacement bound exhausted (= every slot, on a plain
           // table): hand off to the overflow region, or defer the
@@ -194,7 +210,8 @@ void simt_warp_upsert(concurrent::ConcurrentKmerTable<W>& table,
 template <int W>
 SimtStats simt_process_partition(const io::PartitionBlob& blob,
                                  concurrent::ConcurrentKmerTable<W>& table,
-                                 int warp_size = 32) {
+                                 int warp_size = 32,
+                                 bool prefetch_ahead = true) {
   const int k = static_cast<int>(blob.header().k);
   SimtStats stats;
   std::vector<SimtWorkItem<W>> warp;
@@ -202,7 +219,7 @@ SimtStats simt_process_partition(const io::PartitionBlob& blob,
   std::vector<std::uint8_t> seq;
 
   auto flush = [&] {
-    simt_warp_upsert(table, warp, stats);
+    simt_warp_upsert(table, warp, stats, prefetch_ahead);
     warp.clear();
   };
 

@@ -1,0 +1,467 @@
+#include "pipeline/autotune.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "concurrent/batched_upsert.h"
+#include "concurrent/kmer_table.h"
+#include "core/properties.h"
+#include "io/fastx.h"
+#include "util/telemetry.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace parahash::pipeline {
+
+namespace {
+
+std::uint32_t next_pow2_u32(std::uint32_t v) {
+  std::uint32_t n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
+/// Property-1 table bytes for one of `n` equal partition shares.
+std::uint64_t table_bytes_at(double est_total_kmers, std::uint32_t n,
+                             const core::HashConfig& hash,
+                             std::uint64_t bytes_per_slot) {
+  const auto kmers = static_cast<std::uint64_t>(
+      est_total_kmers / static_cast<double>(n));
+  const std::uint64_t slots = core::hash_table_slots(
+      kmers, hash.lambda, hash.alpha, /*genome_kmers_share=*/0,
+      hash.min_slots);
+  return slots * bytes_per_slot;
+}
+
+/// Rough bases-per-byte of a sequence file, by extension. Only feeds
+/// the total-work extrapolation, so being 2x off costs nothing worse
+/// than a partition count one doubling away from ideal.
+double bases_per_byte(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return path.size() >= n &&
+           path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".gz")) return 1.0;  // ~2x compression on ~0.5 density
+  if (ends_with(".fq") || ends_with(".fastq")) return 0.45;
+  return 0.9;  // FASTA: headers + newlines only
+}
+
+}  // namespace
+
+Autotuner::Autotuner(AutotuneOptions options,
+                     std::uint64_t table_bytes_estimate)
+    : options_(std::move(options)),
+      table_bytes_estimate_(table_bytes_estimate),
+      memory_target_(options_.memory_target_bytes != 0
+                         ? options_.memory_target_bytes
+                         : default_memory_target()) {}
+
+Autotuner::~Autotuner() { stop(); }
+
+std::uint64_t Autotuner::default_memory_target() {
+  constexpr std::uint64_t kFallback = std::uint64_t{1} << 30;
+  std::FILE* f = std::fopen("/proc/meminfo", "r");
+  if (f == nullptr) return kFallback;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "MemAvailable: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib == 0 ? kFallback : (kib * 1024) / 2;
+}
+
+std::uint32_t Autotuner::pick_partition_count(
+    double est_total_kmers, const core::HashConfig& hash,
+    std::uint64_t bytes_per_slot, std::uint64_t memory_target_bytes,
+    std::uint64_t min_gpu_memory_bytes, std::size_t num_devices) {
+  constexpr std::uint32_t kMaxPartitions = 1u << 14;
+  const std::uint32_t floor_n = next_pow2_u32(
+      static_cast<std::uint32_t>(4 * std::max<std::size_t>(num_devices, 1)));
+  for (std::uint32_t n = std::max(4u, floor_n); n <= kMaxPartitions;
+       n <<= 1) {
+    const std::uint64_t table =
+        table_bytes_at(est_total_kmers, n, hash, bytes_per_slot);
+    // The partition blob rides along with the table on a device, hence
+    // the 2x margin against device memory; three tables in flight is
+    // the minimum for a pipelined host.
+    if (min_gpu_memory_bytes != 0 && table * 2 > min_gpu_memory_bytes) {
+      continue;
+    }
+    if (memory_target_bytes != 0 && table * 3 > memory_target_bytes) {
+      continue;
+    }
+    return n;
+  }
+  return kMaxPartitions;
+}
+
+std::uint64_t Autotuner::pick_inflight_budget(
+    std::uint64_t table_bytes, std::uint64_t memory_target_bytes) {
+  if (table_bytes == 0) return 0;
+  const std::uint64_t floor_b = 2 * table_bytes;
+  std::uint64_t cap = 6 * table_bytes;
+  if (memory_target_bytes != 0) {
+    cap = std::min(cap, memory_target_bytes / 2);
+  }
+  return std::max(floor_b, cap);
+}
+
+void Autotuner::record_decision(TunerDecision decision) {
+  static telemetry::Counter& n_decisions =
+      telemetry::counter("tuner.decisions");
+  n_decisions.add(1);
+  if (decision.knob == "upsert_window") {
+    telemetry::gauge("tuner.upsert_window")
+        .set(static_cast<std::int64_t>(decision.new_value));
+  } else if (decision.knob == "inflight_budget") {
+    telemetry::gauge("tuner.inflight_budget_bytes")
+        .set(static_cast<std::int64_t>(decision.new_value));
+  }
+  PARAHASH_TRACE_INSTANT("tuner", "decision:" + decision.knob, "new",
+                         static_cast<std::uint64_t>(decision.new_value));
+  std::lock_guard<std::mutex> lock(mutex_);
+  decisions_.push_back(std::move(decision));
+}
+
+std::vector<TunerDecision> Autotuner::decisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+void Autotuner::set_calibration(CalibrationReport calibration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  calibration_ = std::move(calibration);
+}
+
+CalibrationReport Autotuner::calibration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calibration_;
+}
+
+bool Autotuner::cooled(const std::string& knob) const {
+  auto it = cooldown_.find(knob);
+  return it == cooldown_.end() || it->second <= 0;
+}
+
+void Autotuner::touch(const std::string& knob) {
+  cooldown_[knob] = options_.cooldown_ticks;
+}
+
+void Autotuner::tick(const ControlSample& sample,
+                     const Actuators& actuators) {
+  ++tick_count_;
+  for (auto& [knob, left] : cooldown_) {
+    if (left > 0) --left;
+  }
+  if (parked_.size() < sample.devices.size()) {
+    parked_.resize(sample.devices.size(), false);
+  }
+  const CalibrationReport cal = calibration();
+
+  // --- Upsert window: follow the measured probe length ---------------
+  if (!options_.pin_upsert_window &&
+      sample.probe_samples >=
+          concurrent::UpsertWindow::kAutoWarmup &&
+      cooled("upsert_window")) {
+    const int current = concurrent::current_tuned_window();
+    const int target =
+        concurrent::UpsertWindow::tuned_for(sample.mean_probe_length);
+    if (target != current) {
+      TunerDecision d;
+      d.t_seconds = sample.t_seconds;
+      d.knob = "upsert_window";
+      d.old_value = current;
+      d.new_value = target;
+      // The sizing rule assumes probe length ~2 (alpha-sized tables).
+      d.model_value = concurrent::UpsertWindow::kDefault;
+      d.measured_value = sample.mean_probe_length;
+      d.reason = "measured probe length drifted from the sizing "
+                 "assumption; window follows tuned_for(mean)";
+      if (actuators.set_upsert_window) {
+        actuators.set_upsert_window(target);
+      }
+      record_decision(std::move(d));
+      touch("upsert_window");
+    }
+  }
+
+  // --- In-flight budget: backlog vs. memory headroom -----------------
+  const std::uint64_t table = table_bytes_estimate_;
+  const bool backlog = sample.ledger.srv > sample.ledger.cns;
+  if (!options_.pin_inflight_budget && table != 0 &&
+      sample.budget_bytes != 0 && cooled("inflight_budget")) {
+    const bool claims_blocked =
+        backlog && sample.inflight_bytes + table > sample.budget_bytes;
+    if (sample.rss_bytes > memory_target_ &&
+        sample.budget_bytes > 2 * table) {
+      const std::uint64_t target =
+          std::max(2 * table, sample.budget_bytes - table);
+      TunerDecision d;
+      d.t_seconds = sample.t_seconds;
+      d.knob = "inflight_budget";
+      d.old_value = static_cast<double>(sample.budget_bytes);
+      d.new_value = static_cast<double>(target);
+      d.model_value = static_cast<double>(memory_target_);
+      d.measured_value = static_cast<double>(sample.rss_bytes);
+      d.reason = "RSS above the memory target; shed one table";
+      if (actuators.set_inflight_budget) {
+        actuators.set_inflight_budget(target);
+      }
+      record_decision(std::move(d));
+      touch("inflight_budget");
+    } else if (claims_blocked &&
+               sample.rss_bytes + table < memory_target_) {
+      const std::uint64_t target = sample.budget_bytes + table;
+      TunerDecision d;
+      d.t_seconds = sample.t_seconds;
+      d.knob = "inflight_budget";
+      d.old_value = static_cast<double>(sample.budget_bytes);
+      d.new_value = static_cast<double>(target);
+      d.model_value = static_cast<double>(memory_target_);
+      d.measured_value = static_cast<double>(sample.rss_bytes);
+      d.reason = "claims blocked on the budget with memory headroom; "
+                 "admit one more table";
+      if (actuators.set_inflight_budget) {
+        actuators.set_inflight_budget(target);
+      }
+      record_decision(std::move(d));
+      touch("inflight_budget");
+    }
+  }
+
+  // --- Device leases -------------------------------------------------
+  // Park a GPU whose measured seconds-per-partition is far beyond the
+  // model's prediction relative to the CPU (a mis-modelled device slows
+  // the run: the work-stealing loop keeps feeding it partitions it
+  // finishes late). One-way: un-parking mid-run would re-pay the
+  // staging cost the parking just saved. The CPU is never parked.
+  double cpu_spp = 0;
+  std::uint64_t cpu_parts = 0;
+  for (const auto& dev : sample.devices) {
+    if (!dev.is_gpu && dev.hash_partitions > 0) {
+      cpu_spp = dev.hash_compute_seconds /
+                static_cast<double>(dev.hash_partitions);
+      cpu_parts = dev.hash_partitions;
+    }
+  }
+  // Model ratio: predicted GPU span over predicted CPU span (1 when
+  // calibration did not run — then only the absolute guard applies).
+  double model_ratio = 1.0;
+  {
+    double cal_cpu = 0, cal_gpu = 0;
+    for (const auto& dc : cal.devices) {
+      if (dc.is_gpu) {
+        cal_gpu = std::max(cal_gpu, dc.seconds_per_partition);
+      } else {
+        cal_cpu = dc.seconds_per_partition;
+      }
+    }
+    if (cal_cpu > 0 && cal_gpu > 0) model_ratio = cal_gpu / cal_cpu;
+  }
+  if (cpu_spp > 0 && cpu_parts >= 2) {
+    for (std::size_t i = 0; i < sample.devices.size(); ++i) {
+      const auto& dev = sample.devices[i];
+      if (!dev.is_gpu || parked_[i] || dev.lanes == 0) continue;
+      if (dev.hash_partitions < 2) continue;
+      const double spp =
+          (dev.hash_compute_seconds + dev.transfer_seconds) /
+          static_cast<double>(dev.hash_partitions);
+      const double ratio = spp / cpu_spp;
+      const double threshold = std::max(
+          3.0, model_ratio * (1.0 + options_.divergence_threshold));
+      if (ratio > threshold && cooled("lease." + dev.name)) {
+        TunerDecision d;
+        d.t_seconds = sample.t_seconds;
+        d.knob = "lease." + dev.name;
+        d.old_value = dev.lanes;
+        d.new_value = 0;
+        d.model_value = model_ratio;
+        d.measured_value = ratio;
+        d.reason = "measured span per partition diverged from the "
+                   "model; parking the device";
+        if (actuators.set_lease_lanes) actuators.set_lease_lanes(i, 0);
+        parked_[i] = true;
+        record_decision(std::move(d));
+        touch("lease." + dev.name);
+      }
+    }
+  }
+
+  // Widen the CPU lease under persistent backlog (spare queue work the
+  // single orchestration lane is not keeping up with), decay when the
+  // backlog clears — the executor spawned max_lanes workers up front,
+  // the lease just admits them.
+  backlog_ticks_ = backlog ? backlog_ticks_ + 1 : 0;
+  idle_ticks_ = backlog ? 0 : idle_ticks_ + 1;
+  for (std::size_t i = 0; i < sample.devices.size(); ++i) {
+    const auto& dev = sample.devices[i];
+    if (dev.is_gpu) continue;
+    const std::string knob = "lease." + dev.name;
+    if (!cooled(knob)) continue;
+    int target = dev.lanes;
+    const char* reason = nullptr;
+    if (backlog_ticks_ >= 3) {
+      target = dev.lanes + 1;
+      reason = "persistent sealed-partition backlog; widening the CPU "
+               "lease";
+    } else if (idle_ticks_ >= 6 && dev.lanes > 1) {
+      target = dev.lanes - 1;
+      reason = "backlog cleared; narrowing the CPU lease";
+    }
+    if (target != dev.lanes && reason != nullptr) {
+      TunerDecision d;
+      d.t_seconds = sample.t_seconds;
+      d.knob = knob;
+      d.old_value = dev.lanes;
+      d.new_value = target;
+      d.model_value = 1;
+      d.measured_value =
+          static_cast<double>(sample.ledger.srv - sample.ledger.cns);
+      d.reason = reason;
+      if (actuators.set_lease_lanes) {
+        actuators.set_lease_lanes(i, target);
+      }
+      record_decision(std::move(d));
+      touch(knob);
+      backlog_ticks_ = 0;
+    }
+  }
+}
+
+void Autotuner::start(std::function<ControlSample()> sampler,
+                      Actuators actuators) {
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  thread_ = std::thread([this, sampler = std::move(sampler),
+                         actuators = std::move(actuators)] {
+    trace::set_thread_name("autotuner");
+    const auto period =
+        std::chrono::duration<double>(options_.control_period_seconds);
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    while (!stopping_) {
+      lock.unlock();
+      tick(sampler(), actuators);
+      lock.lock();
+      cv_.wait_for(lock, period, [this] { return stopping_; });
+    }
+  });
+}
+
+void Autotuner::stop() {
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+template <int W>
+CalibrationReport run_calibration(
+    const std::vector<std::string>& input_paths, const core::MspConfig& msp,
+    const core::HashConfig& /*hash*/, const AutotuneOptions& options,
+    double configured_input_bytes_per_sec,
+    const std::vector<device::Device<W>*>& devices) {
+  CalibrationReport report;
+  for (const auto& path : input_paths) {
+    std::error_code ec;
+    const auto sz = std::filesystem::file_size(path, ec);
+    if (!ec) report.input_bytes += sz;
+  }
+
+  io::FastxChunker chunker(input_paths, options.calibration_batch_bases);
+  double read_seconds = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t total_kmers = 0;
+  std::uint64_t total_partition_bytes = 0;
+
+  struct PerDevice {
+    double seconds = 0;
+    std::uint64_t bases = 0;
+  };
+  std::vector<PerDevice> per_device(devices.size());
+
+  // Round-robin the sampled batches over the devices: every device
+  // processes `calibration_batches` batches (or fewer on tiny inputs).
+  const std::size_t want = options.calibration_batches * devices.size();
+  for (std::size_t b = 0; b < want; ++b) {
+    io::ReadBatch batch;
+    WallTimer read_timer;
+    if (!chunker.next(batch)) break;
+    read_seconds += read_timer.seconds();
+    read_bytes += batch.byte_size();
+
+    device::Device<W>* dev = devices[b % devices.size()];
+    WallTimer timer;
+    core::MspBatchOutput out = dev->run_msp(batch, msp);
+    const double seconds = timer.seconds();
+
+    PerDevice& pd = per_device[b % devices.size()];
+    pd.seconds += seconds;
+    pd.bases += batch.total_bases();
+    report.sampled_bases += batch.total_bases();
+    for (const auto& part : out.parts) {
+      total_kmers += part.kmers;
+      total_partition_bytes += part.bytes.size();
+    }
+  }
+  if (report.sampled_bases == 0) return report;  // ran stays false
+
+  report.ran = true;
+  report.kmers_per_base = static_cast<double>(total_kmers) /
+                          static_cast<double>(report.sampled_bases);
+  report.partition_bytes_per_base =
+      static_cast<double>(total_partition_bytes) /
+      static_cast<double>(report.sampled_bases);
+  // Extrapolate total work from the on-disk size (density by format).
+  double est_bases = 0;
+  for (const auto& path : input_paths) {
+    std::error_code ec;
+    const auto sz = std::filesystem::file_size(path, ec);
+    if (!ec) est_bases += static_cast<double>(sz) * bases_per_byte(path);
+  }
+  report.est_total_bases = std::max(
+      est_bases, static_cast<double>(report.sampled_bases));
+  report.est_total_kmers =
+      report.est_total_bases * report.kmers_per_base;
+  report.input_bytes_per_sec =
+      configured_input_bytes_per_sec > 0
+          ? configured_input_bytes_per_sec
+          : (read_seconds > 0
+                 ? static_cast<double>(read_bytes) / read_seconds
+                 : 0);
+
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    DeviceCalibration dc;
+    dc.name = devices[i]->name();
+    dc.is_gpu = devices[i]->kind() != device::DeviceKind::kCpu;
+    if (per_device[i].seconds > 0) {
+      dc.bases_per_second = static_cast<double>(per_device[i].bases) /
+                            per_device[i].seconds;
+    }
+    report.devices.push_back(std::move(dc));
+  }
+  return report;
+}
+
+template CalibrationReport run_calibration<1>(
+    const std::vector<std::string>&, const core::MspConfig&,
+    const core::HashConfig&, const AutotuneOptions&, double,
+    const std::vector<device::Device<1>*>&);
+template CalibrationReport run_calibration<2>(
+    const std::vector<std::string>&, const core::MspConfig&,
+    const core::HashConfig&, const AutotuneOptions&, double,
+    const std::vector<device::Device<2>*>&);
+
+}  // namespace parahash::pipeline

@@ -1,0 +1,261 @@
+// Model-driven autotuner for the fused pipeline (--autotune).
+//
+// The paper sizes its runs offline: Eq. (1)/(2) predict step times from
+// per-device throughputs and IO bandwidth, and the evaluation sweeps
+// partition counts and budgets to find the knee (Fig. 13/14). This
+// module closes that loop at runtime, in two phases:
+//
+//  1. CALIBRATION (run_calibration, before Step 1 commits): a short
+//     pre-pass feeds a few input batches through every device's MSP
+//     kernel, fitting per-device throughput (bases/s), the k-mer and
+//     partition-byte densities of THIS dataset, and the input
+//     bandwidth into the paper's model. From the fitted model the
+//     tuner picks the partition count (tables must fit device memory
+//     and the host memory target) and the initial in-flight table
+//     budget — the values the Fig. 13/14 sweeps find by hand.
+//
+//  2. CONTROL (Autotuner, while the fused run executes): a thread
+//     samples the ledger counters, RSS, the probe-length histogram and
+//     per-device spans at a fixed period and re-tunes whenever the
+//     measured spans diverge from the model's prediction: the upsert
+//     window follows the measured probe length, the in-flight budget
+//     follows backlog vs. memory headroom, and a device whose measured
+//     seconds-per-partition is far off its predicted share is parked
+//     (its executor lease drops to zero lanes) so the work-stealing
+//     loop stops feeding it.
+//
+// Every decision is recorded with the model state that motivated it
+// (TunerDecision) and surfaces in the run report's `tuner` section, as
+// `tuner.*` telemetry, and as "tuner"-category trace instants — a
+// single --autotune run documents the sweep it replaced.
+//
+// The policy core (pick_* and tick()) is pure/deterministic given a
+// sample, so the unit tests drive it with synthetic telemetry; only
+// start()/stop() touch threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/msp.h"
+#include "core/perf_model.h"
+#include "core/subgraph.h"
+#include "device/device.h"
+#include "pipeline/partition_ledger.h"
+
+namespace parahash::pipeline {
+
+/// --autotune configuration. The pin_* flags mark knobs the user set
+/// explicitly on the command line; the tuner never overrides those.
+struct AutotuneOptions {
+  bool enabled = false;
+
+  /// Control-loop sampling period.
+  double control_period_seconds = 0.02;
+
+  /// Host-memory ceiling the tuner steers under. 0 = autodetect (half
+  /// of MemAvailable, 1 GiB fallback).
+  std::uint64_t memory_target_bytes = 0;
+
+  /// Calibration pre-pass size: batches per device, bases per batch.
+  std::size_t calibration_batches = 2;
+  std::size_t calibration_batch_bases = std::size_t{1} << 20;
+
+  /// Relative measured-vs-model divergence that triggers a retune.
+  double divergence_threshold = 0.25;
+
+  /// Ticks a knob stays untouched after a change (oscillation damping).
+  int cooldown_ticks = 10;
+
+  // Explicit CLI flags win over the tuner.
+  bool pin_partitions = false;
+  bool pin_inflight_budget = false;
+  bool pin_upsert_window = false;
+  bool pin_fuse = false;
+};
+
+/// One knob change, with the model state that motivated it.
+struct TunerDecision {
+  double t_seconds = 0;    ///< since the run (or tuner) started
+  std::string knob;        ///< "partitions", "inflight_budget",
+                           ///< "upsert_window", "lease.<device>", ...
+  double old_value = 0;
+  double new_value = 0;
+  double model_value = 0;     ///< what the model predicted
+  double measured_value = 0;  ///< what was measured
+  std::string reason;
+};
+
+/// Per-device throughput fitted by the calibration pre-pass.
+struct DeviceCalibration {
+  std::string name;
+  bool is_gpu = false;
+  double bases_per_second = 0;
+  /// Model-predicted Step-2 span per partition at the chosen partition
+  /// count — the baseline the live controller compares spans against.
+  double seconds_per_partition = 0;
+};
+
+/// Everything the pre-pass fitted and chose.
+struct CalibrationReport {
+  bool ran = false;
+  std::uint64_t sampled_bases = 0;
+  std::uint64_t input_bytes = 0;     ///< total input size on disk
+  double est_total_bases = 0;
+  double est_total_kmers = 0;
+  double kmers_per_base = 0;
+  double partition_bytes_per_base = 0;
+  double input_bytes_per_sec = 0;
+  std::vector<DeviceCalibration> devices;
+
+  std::uint32_t chosen_partitions = 0;
+  std::uint64_t chosen_inflight_budget = 0;
+  int chosen_upsert_window = 0;
+  /// Eq. (1)/(2) predictions at the chosen configuration.
+  double predicted_step1_seconds = 0;
+  double predicted_step2_seconds = 0;
+};
+
+/// Autotuner state exported into RunReport (and report_json's `tuner`
+/// section).
+struct TunerReport {
+  bool enabled = false;
+  CalibrationReport calibration;
+  std::vector<TunerDecision> decisions;
+};
+
+/// One device's cumulative Step-2 span, as seen at sample time.
+struct DeviceControlSample {
+  std::string name;
+  bool is_gpu = false;
+  std::uint64_t hash_partitions = 0;
+  double hash_compute_seconds = 0;
+  double transfer_seconds = 0;
+  int lanes = 1;  ///< current lease
+};
+
+/// One control-loop observation (synthesised by tests, sampled from the
+/// live pipeline by ParaHash).
+struct ControlSample {
+  double t_seconds = 0;
+  PartitionLedger::Counters ledger;
+  std::uint64_t inflight_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t rss_bytes = 0;
+  double mean_probe_length = 0;
+  std::uint64_t probe_samples = 0;
+  std::vector<DeviceControlSample> devices;
+};
+
+/// The controller's write paths into the running pipeline. Tests plug
+/// in recorders; ParaHash wires ledger/window/lease setters.
+struct Actuators {
+  std::function<void(std::uint64_t)> set_inflight_budget;
+  std::function<void(int)> set_upsert_window;
+  std::function<void(std::size_t device_index, int lanes)> set_lease_lanes;
+};
+
+class Autotuner {
+ public:
+  /// `table_bytes_estimate` is the expected per-partition table size at
+  /// the chosen partition count — the unit the budget knob moves in.
+  Autotuner(AutotuneOptions options, std::uint64_t table_bytes_estimate);
+  ~Autotuner();
+
+  Autotuner(const Autotuner&) = delete;
+  Autotuner& operator=(const Autotuner&) = delete;
+
+  // --- Static policy rules (pure; unit-tested directly) -------------
+
+  /// Smallest power-of-two partition count whose per-partition table
+  /// (Property-1 sizing over `est_total_kmers / n`) satisfies: twice
+  /// the table fits the smallest GPU memory (when `min_gpu_memory` >
+  /// 0), three tables fit `memory_target`, and n >= 4 per device.
+  static std::uint32_t pick_partition_count(
+      double est_total_kmers, const core::HashConfig& hash,
+      std::uint64_t bytes_per_slot, std::uint64_t memory_target_bytes,
+      std::uint64_t min_gpu_memory_bytes, std::size_t num_devices);
+
+  /// Initial in-flight budget: enough for pipelining (>= 2 tables),
+  /// capped at half the memory target and at 6 tables.
+  static std::uint64_t pick_inflight_budget(
+      std::uint64_t table_bytes, std::uint64_t memory_target_bytes);
+
+  /// Half of /proc/meminfo MemAvailable; 1 GiB when unreadable.
+  static std::uint64_t default_memory_target();
+
+  // --- Control loop --------------------------------------------------
+
+  /// One controller step over an observation. Applies at most one
+  /// change per knob, respects pins and per-knob cooldowns, and
+  /// records every change as a TunerDecision.
+  void tick(const ControlSample& sample, const Actuators& actuators);
+
+  /// Spawns the control thread: `sampler()` then tick(), every
+  /// control_period_seconds until stop().
+  void start(std::function<ControlSample()> sampler, Actuators actuators);
+  void stop();
+
+  /// Records a decision made outside tick() (the calibration phase's
+  /// partition/budget/window choices route through here too, so the
+  /// report holds one unified decision log).
+  void record_decision(TunerDecision decision);
+
+  std::vector<TunerDecision> decisions() const;
+
+  void set_calibration(CalibrationReport calibration);
+  CalibrationReport calibration() const;
+
+  const AutotuneOptions& options() const { return options_; }
+  std::uint64_t table_bytes_estimate() const {
+    return table_bytes_estimate_;
+  }
+
+ private:
+  bool cooled(const std::string& knob) const;
+  void touch(const std::string& knob);
+
+  AutotuneOptions options_;
+  std::uint64_t table_bytes_estimate_;
+  std::uint64_t memory_target_;
+
+  mutable std::mutex mutex_;
+  std::vector<TunerDecision> decisions_;
+  CalibrationReport calibration_;
+
+  // Controller state (only touched from tick(), which callers
+  // serialise — the control thread is the sole live caller).
+  std::unordered_map<std::string, int> cooldown_;
+  std::vector<bool> parked_;
+  int backlog_ticks_ = 0;
+  int idle_ticks_ = 0;
+  int tick_count_ = 0;
+
+  // Control thread.
+  std::thread thread_;
+  std::mutex cv_mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+/// The calibration pre-pass: feeds `calibration_batches` batches of
+/// `calibration_batch_bases` bases through every device's MSP kernel
+/// and fits the model (see file comment). Reads only the head of the
+/// input; the run re-reads from the start afterwards. Never throws on
+/// an empty/tiny input — it returns ran=false and the caller keeps the
+/// configured defaults.
+template <int W>
+CalibrationReport run_calibration(
+    const std::vector<std::string>& input_paths, const core::MspConfig& msp,
+    const core::HashConfig& hash, const AutotuneOptions& options,
+    double configured_input_bytes_per_sec,
+    const std::vector<device::Device<W>*>& devices);
+
+}  // namespace parahash::pipeline

@@ -11,6 +11,8 @@
 // stages executed back-to-back, one item at a time.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -59,6 +61,27 @@ struct StepCallbacks {
   std::function<void(Out)> consume;
 };
 
+/// Atomically adjustable worker-lane count for one device — the
+/// autotuner's actuation point on the executor. A device with `lanes`
+/// of 0 is PARKED: its workers stop claiming queue items (they poll for
+/// re-admission until the queue drains), which takes a mis-modelled
+/// device off the critical path without tearing the pipeline down.
+/// Values above 1 admit that many concurrent workers when the executor
+/// was started with max_lanes > 1.
+class LaneLease {
+ public:
+  explicit LaneLease(int lanes = 1) : lanes_(lanes) {}
+  int lanes() const noexcept {
+    return lanes_.load(std::memory_order_relaxed);
+  }
+  void set_lanes(int n) noexcept {
+    lanes_.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> lanes_;
+};
+
 /// Knobs common to both executors.
 struct ExecutorOptions {
   std::size_t queue_depth = 3;
@@ -75,6 +98,18 @@ struct ExecutorOptions {
   /// "<label>:<device name>", so a fused run shows one track per
   /// device per step and the overlap is visible directly.
   const char* trace_label = "step";
+
+  /// Worker threads spawned per device. Lanes above a device's current
+  /// lease (see `lane_leases`) park instead of claiming work, so the
+  /// autotuner can widen a device mid-run without the executor having
+  /// to spawn threads on the fly. 1 reproduces the classic
+  /// one-worker-per-device executor exactly.
+  int max_lanes = 1;
+
+  /// Optional per-device lease table, parallel to the `devices` vector
+  /// passed to run_pipelined. Null (or a null entry) means the device
+  /// always runs all `max_lanes` lanes.
+  const std::vector<LaneLease*>* lane_leases = nullptr;
 };
 
 template <typename In, typename Out, int W>
@@ -85,9 +120,12 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   WallTimer total_timer;
   StageTimes times;
 
+  const int max_lanes = options.max_lanes < 1 ? 1 : options.max_lanes;
+
   TicketQueue<In> input_queue(options.queue_depth);
   OutputQueue<Out> output_queue(options.queue_depth);
-  output_queue.set_expected_producers(static_cast<int>(devices.size()));
+  output_queue.set_expected_producers(static_cast<int>(devices.size()) *
+                                      max_lanes);
 
   // Items a device rejected for capacity; drained by CPU devices after
   // the main queue closes.
@@ -124,13 +162,34 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   });
 
   std::vector<std::thread> workers;
-  workers.reserve(devices.size());
-  for (device::Device<W>* dev : devices) {
-    workers.emplace_back([&, dev] {
-      trace::set_thread_name(std::string(options.trace_label) + ":" +
-                             dev->name());
+  workers.reserve(devices.size() * static_cast<std::size_t>(max_lanes));
+  for (std::size_t di = 0; di < devices.size(); ++di) {
+    device::Device<W>* dev = devices[di];
+    LaneLease* lease_ctl =
+        options.lane_leases != nullptr && di < options.lane_leases->size()
+            ? (*options.lane_leases)[di]
+            : nullptr;
+    for (int lane = 0; lane < max_lanes; ++lane) {
+    workers.emplace_back([&, dev, lease_ctl, lane] {
+      // Lane 0 keeps the classic one-track-per-device name; extra lanes
+      // get a "#n" suffix so trace consumers keyed on "<label>:<device>"
+      // keep working with tuned runs.
+      trace::set_thread_name(
+          std::string(options.trace_label) + ":" + dev->name() +
+          (lane == 0 ? "" : "#" + std::to_string(lane)));
       try {
-        while (auto ticket = input_queue.pop()) {
+        for (;;) {
+          // A lane above its device's current lease parks: it must not
+          // claim work (the tuner benched this device), but it polls so
+          // a later lease raise re-admits it, and exits once the queue
+          // can never yield an item again.
+          if (lease_ctl != nullptr && lane >= lease_ctl->lanes()) {
+            if (input_queue.drained()) break;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+          }
+          auto ticket = input_queue.pop();
+          if (!ticket) break;
           try {
             std::unique_lock<std::mutex> lease;
             if (options.exclusive_devices) {
@@ -189,6 +248,7 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
       }
       output_queue.producer_done();
     });
+    }
   }
 
   // Stage 3 on the caller's thread.

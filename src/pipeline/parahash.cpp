@@ -9,11 +9,13 @@
 #include <filesystem>
 #include <thread>
 
+#include "concurrent/batched_upsert.h"
 #include "core/properties.h"
 #include "pipeline/partition_ledger.h"
 #include "util/log.h"
 #include "util/mem.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace parahash::pipeline {
 
@@ -161,6 +163,11 @@ void ParaHash<W>::finalize_report(core::DeBruijnGraph<W>& graph,
     report.graph = streamed_stats_;
   }
   report.peak_rss_bytes = peak_rss_bytes();
+  if (tuner_) {
+    report.tuner.enabled = true;
+    report.tuner.calibration = tuner_->calibration();
+    report.tuner.decisions = tuner_->decisions();
+  }
 
   if (own_partition_dir_ && !options_.keep_partitions) {
     cleanup_partition_files();
@@ -174,8 +181,166 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
 }
 
 template <int W>
+void ParaHash<W>::apply_autotune(
+    const std::vector<std::string>& input_paths) {
+  const AutotuneOptions& at = options_.autotune;
+  // The controller feeds on the probe-length histogram, which is gated.
+  telemetry::set_enabled(true);
+
+  const auto devs = devices();
+  CalibrationReport cal = run_calibration<W>(
+      input_paths, options_.msp, options_.hash, at,
+      options_.input_bytes_per_sec, devs);
+
+  const std::uint64_t memory_target =
+      at.memory_target_bytes != 0 ? at.memory_target_bytes
+                                  : Autotuner::default_memory_target();
+  std::uint64_t min_gpu_memory = 0;
+  for (const auto& g : gpus_) {
+    const std::uint64_t m = g->config().device_memory_bytes;
+    min_gpu_memory = min_gpu_memory == 0 ? m : std::min(min_gpu_memory, m);
+  }
+  const std::uint64_t bytes_per_slot =
+      concurrent::ConcurrentKmerTable<W>::bytes_per_slot();
+
+  auto table_bytes_at = [&](std::uint32_t n) {
+    const auto kmers = static_cast<std::uint64_t>(
+        cal.est_total_kmers / static_cast<double>(n < 1 ? 1 : n));
+    return core::hash_table_slots(kmers, options_.hash.lambda,
+                                  options_.hash.alpha,
+                                  /*genome_kmers_share=*/0,
+                                  options_.hash.min_slots) *
+           bytes_per_slot;
+  };
+
+  std::vector<TunerDecision> setup;
+  std::uint32_t partitions = options_.msp.num_partitions;
+  if (cal.ran && !at.pin_partitions) {
+    const std::uint32_t chosen = Autotuner::pick_partition_count(
+        cal.est_total_kmers, options_.hash, bytes_per_slot, memory_target,
+        min_gpu_memory, devs.size());
+    if (chosen != partitions) {
+      TunerDecision d;
+      d.knob = "partitions";
+      d.old_value = partitions;
+      d.new_value = chosen;
+      d.model_value = cal.est_total_kmers;
+      d.measured_value = cal.kmers_per_base;
+      d.reason = "calibration: smallest partition count whose table "
+                 "fits device memory and the host target";
+      setup.push_back(std::move(d));
+      partitions = chosen;
+      options_.msp.num_partitions = chosen;
+    }
+  }
+  cal.chosen_partitions = partitions;
+
+  const std::uint64_t table_estimate =
+      cal.ran ? table_bytes_at(partitions) : 0;
+  if (cal.ran && !at.pin_inflight_budget) {
+    const std::uint64_t budget =
+        Autotuner::pick_inflight_budget(table_estimate, memory_target);
+    if (budget != options_.inflight_table_budget_bytes) {
+      TunerDecision d;
+      d.knob = "inflight_budget";
+      d.old_value =
+          static_cast<double>(options_.inflight_table_budget_bytes);
+      d.new_value = static_cast<double>(budget);
+      d.model_value = static_cast<double>(table_estimate);
+      d.measured_value = static_cast<double>(memory_target);
+      d.reason = "calibration: >= 2 tables for pipelining, capped by "
+                 "the memory target";
+      setup.push_back(std::move(d));
+      options_.inflight_table_budget_bytes = budget;
+    }
+  }
+  cal.chosen_inflight_budget = options_.inflight_table_budget_bytes;
+
+  if (!at.pin_upsert_window &&
+      !options_.hash.upsert_window.is_tuned()) {
+    TunerDecision d;
+    d.knob = "upsert_window";
+    d.old_value = options_.hash.upsert_window.initial();
+    d.new_value = concurrent::current_tuned_window();
+    d.model_value = concurrent::UpsertWindow::kDefault;
+    d.measured_value = 0;
+    d.reason = "calibration: window handed to the control loop "
+               "(mode=tuned)";
+    setup.push_back(std::move(d));
+    options_.hash.upsert_window = concurrent::UpsertWindow::tuned_window();
+  }
+  cal.chosen_upsert_window = options_.hash.upsert_window.initial();
+
+  if (!at.pin_fuse && !options_.fuse_steps) {
+    TunerDecision d;
+    d.knob = "fuse_steps";
+    d.old_value = 0;
+    d.new_value = 1;
+    d.reason = "calibration: fusing overlaps Step 2 with Step 1's tail";
+    setup.push_back(std::move(d));
+    options_.fuse_steps = true;
+  }
+
+  // Eq. (1)/(2) predictions from the fitted throughputs.
+  if (cal.ran) {
+    double cpu_bps = 0, gpu_bps = 0;
+    int gpu_count = 0;
+    for (const auto& dc : cal.devices) {
+      if (dc.is_gpu) {
+        gpu_bps = std::max(gpu_bps, dc.bases_per_second);
+        ++gpu_count;
+      } else {
+        cpu_bps = dc.bases_per_second;
+      }
+    }
+    const double cpu_only =
+        cpu_bps > 0 ? cal.est_total_bases / cpu_bps : 0;
+    if (cpu_bps > 0 && gpu_bps > 0) {
+      cal.predicted_step1_seconds = core::estimate_coprocessing(
+          cpu_only, cal.est_total_bases / gpu_bps, gpu_count);
+    } else {
+      cal.predicted_step1_seconds = cpu_only;
+    }
+    // Step-2 proxy: hashing consumes the same kmer stream the MSP scan
+    // produced, so each device's span per partition is its calibrated
+    // kmer rate over a partition share — the baseline the controller
+    // compares live spans against.
+    const double kmers_per_part =
+        cal.est_total_kmers / static_cast<double>(partitions);
+    double total_kmer_rate = 0;
+    for (auto& dc : cal.devices) {
+      const double kmer_rate = dc.bases_per_second * cal.kmers_per_base;
+      if (kmer_rate > 0) {
+        dc.seconds_per_partition = kmers_per_part / kmer_rate;
+        total_kmer_rate += kmer_rate;
+      }
+    }
+    if (total_kmer_rate > 0) {
+      cal.predicted_step2_seconds =
+          cal.est_total_kmers / total_kmer_rate;
+    }
+  }
+
+  tuner_ = std::make_unique<Autotuner>(at, table_estimate);
+  tuner_->set_calibration(std::move(cal));
+  for (auto& d : setup) tuner_->record_decision(std::move(d));
+
+  // Adjustable leases for every device; the Step-2 executor spawns a
+  // second (initially parked) lane per device under these.
+  lane_leases_.clear();
+  lease_ptrs_.clear();
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    lane_leases_.push_back(std::make_unique<LaneLease>(1));
+    lease_ptrs_.push_back(lane_leases_.back().get());
+  }
+}
+
+template <int W>
 std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
     const std::vector<std::string>& input_paths) {
+  if (options_.autotune.enabled && tuner_ == nullptr) {
+    apply_autotune(input_paths);
+  }
   if (options_.fuse_steps) return construct_fused(input_paths);
 
   RunReport report;
@@ -229,6 +394,57 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
         ledger, options_.ledger_sample_period);
   }
 
+  // Live control loop: sample the ledger / RSS / probe histogram /
+  // device spans, let the tuner retune the budget, window and leases.
+  if (tuner_) {
+    WallTimer* run_timer = &total;
+    // Histogram deltas: the probe.length instrument is process-global
+    // and may carry samples from earlier runs in this process.
+    const auto probe_base =
+        telemetry::histogram("probe.length").snapshot();
+    auto sampler_fn = [this, run_timer, &ledger, devs, probe_base] {
+      ControlSample s;
+      s.t_seconds = run_timer->seconds();
+      s.ledger = ledger.counters();
+      s.inflight_bytes = ledger.inflight_bytes();
+      s.budget_bytes = ledger.budget();
+      s.rss_bytes = current_rss_bytes();
+      const auto probe = telemetry::histogram("probe.length").snapshot();
+      const std::uint64_t n =
+          probe.count > probe_base.count ? probe.count - probe_base.count
+                                         : 0;
+      s.probe_samples = n;
+      if (n > 0) {
+        s.mean_probe_length =
+            static_cast<double>(probe.sum - probe_base.sum) /
+            static_cast<double>(n);
+      }
+      for (std::size_t i = 0; i < devs.size(); ++i) {
+        DeviceControlSample d;
+        d.name = devs[i]->name();
+        d.is_gpu = devs[i]->kind() != device::DeviceKind::kCpu;
+        const auto st = devs[i]->stats();
+        d.hash_partitions = st.hash_partitions;
+        d.hash_compute_seconds = st.hash_compute_seconds;
+        d.transfer_seconds = st.transfer_seconds;
+        d.lanes = i < lease_ptrs_.size() ? lease_ptrs_[i]->lanes() : 1;
+        s.devices.push_back(std::move(d));
+      }
+      return s;
+    };
+    Actuators actuators;
+    actuators.set_inflight_budget = [&ledger](std::uint64_t b) {
+      ledger.set_budget(b);
+    };
+    actuators.set_upsert_window = [](int w) {
+      concurrent::set_tuned_window(w);
+    };
+    actuators.set_lease_lanes = [this](std::size_t i, int lanes) {
+      if (i < lease_ptrs_.size()) lease_ptrs_[i]->set_lanes(lanes);
+    };
+    tuner_->start(std::move(sampler_fn), std::move(actuators));
+  }
+
   std::exception_ptr step1_error;
   double step1_end_seconds = 0;
   std::thread step1_thread([&] {
@@ -258,6 +474,7 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
   }
   const double step2_end_seconds = total.seconds();
   step1_thread.join();
+  if (tuner_) tuner_->stop();  // before ledger/devs leave scope
   if (sampler) {
     sampler->stop();
     report.ledger_samples = sampler->samples();

@@ -30,6 +30,7 @@
 #include "core/subgraph.h"
 #include "device/device.h"
 #include "io/throttle.h"
+#include "pipeline/autotune.h"
 #include "pipeline/executor.h"
 #include "pipeline/partition_ledger.h"
 #include "pipeline/partition_stream.h"
@@ -89,6 +90,14 @@ struct Options {
   /// counter events) so pipeline occupancy over time can be
   /// reconstructed. 0 disables sampling.
   double ledger_sample_period = 1e-3;
+
+  // --- Autotuning --------------------------------------------------
+  /// Model-driven self-tuning (see pipeline/autotune.h): a calibration
+  /// pre-pass picks the partition count, in-flight budget and upsert
+  /// window before Step 1 commits, and a control thread keeps retuning
+  /// them (plus per-device leases) during the fused run. Knobs set
+  /// explicitly on the CLI are pinned and never overridden.
+  AutotuneOptions autotune;
 
   // --- IO regime ---------------------------------------------------
   double input_bytes_per_sec = 0;   ///< 0 = memory-cached file (Case 1)
@@ -170,6 +179,11 @@ struct RunReport {
   /// ledger_sample_period == 0): the direct evidence of Step 1 ∥ Step 2
   /// overlap and the data behind the paper's Fig. 12 occupancy view.
   std::vector<LedgerSample> ledger_samples;
+
+  /// Autotuner state: the fitted calibration model and every decision
+  /// the controller took, with the model inputs that motivated it
+  /// (enabled == false on runs without --autotune).
+  TunerReport tuner;
 };
 
 /// The system, fixed to kmers of W 64-bit words (W=1 covers k <= 32).
@@ -230,6 +244,9 @@ class ParaHash {
                                           bool exclusive_devices);
   std::pair<core::DeBruijnGraph<W>, RunReport> construct_fused(
       const std::vector<std::string>& input_paths);
+  /// Runs the calibration pre-pass and applies its choices to the
+  /// still-uncommitted options (respecting pins); creates tuner_.
+  void apply_autotune(const std::vector<std::string>& input_paths);
   void finalize_report(core::DeBruijnGraph<W>& graph, RunReport& report);
   std::string subgraph_path(std::uint32_t partition_id) const;
   /// True when subgraph outputs live inside the partition directory and
@@ -246,6 +263,11 @@ class ParaHash {
   bool own_partition_dir_ = false;
   std::unique_ptr<device::CpuDevice<W>> cpu_;
   std::vector<std::unique_ptr<device::SimGpuDevice<W>>> gpus_;
+  std::unique_ptr<Autotuner> tuner_;
+  /// Per-device adjustable leases, parallel to devices(); non-empty
+  /// only on autotuned runs (Step-2 executor runs max_lanes = 2 then).
+  std::vector<std::unique_ptr<LaneLease>> lane_leases_;
+  std::vector<LaneLease*> lease_ptrs_;
   io::Throttle input_throttle_;
   io::Throttle output_throttle_;
   int resizes_ = 0;

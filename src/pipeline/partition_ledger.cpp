@@ -105,6 +105,19 @@ void PartitionLedger::retire(std::uint32_t partition_id) {
   cv_.notify_all();  // budget freed: blocked claims may now proceed
 }
 
+void PartitionLedger::set_budget(std::uint64_t budget_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget_bytes;
+  }
+  cv_.notify_all();  // a raised budget may admit blocked claims
+}
+
+std::uint64_t PartitionLedger::budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_;
+}
+
 PartitionLedger::Counters PartitionLedger::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;

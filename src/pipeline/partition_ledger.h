@@ -102,6 +102,15 @@ class PartitionLedger {
   /// wrt and returns the partition's bytes to the budget).
   void retire(std::uint32_t partition_id);
 
+  // --- Budget re-negotiation (autotuner hook) ----------------------
+
+  /// Replaces the in-flight budget mid-run. Raising it wakes claims
+  /// blocked on the old bound; lowering it never evicts tables already
+  /// admitted — the tighter bound simply gates the NEXT claim. 0
+  /// disables the gate.
+  void set_budget(std::uint64_t budget_bytes);
+  std::uint64_t budget() const;
+
   // --- Introspection -----------------------------------------------
 
   Counters counters() const;

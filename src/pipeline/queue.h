@@ -117,6 +117,15 @@ class TicketQueue {
     return srv_;
   }
 
+  /// True once no pop() will ever return an item again (closed and every
+  /// pushed item claimed, or aborted). Parked executor lanes poll this to
+  /// know when to exit instead of blocking in pop() — a lane with zero
+  /// lease must not claim work, but it must still terminate.
+  bool drained() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_ || (closed_ && srv_ == cns_);
+  }
+
  private:
   std::vector<std::optional<T>> ring_;
   mutable std::mutex mutex_;

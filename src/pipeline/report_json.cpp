@@ -95,6 +95,78 @@ void write_table(JsonWriter& w, const concurrent::TableStats& t) {
   w.end_object();
 }
 
+void write_tuner(JsonWriter& w, const TunerReport& t) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(t.enabled);
+  w.key("calibration");
+  w.begin_object();
+  w.key("ran");
+  w.value(t.calibration.ran);
+  w.key("sampled_bases");
+  w.value(t.calibration.sampled_bases);
+  w.key("input_bytes");
+  w.value(t.calibration.input_bytes);
+  w.key("est_total_bases");
+  w.value(t.calibration.est_total_bases);
+  w.key("est_total_kmers");
+  w.value(t.calibration.est_total_kmers);
+  w.key("kmers_per_base");
+  w.value(t.calibration.kmers_per_base);
+  w.key("partition_bytes_per_base");
+  w.value(t.calibration.partition_bytes_per_base);
+  w.key("input_bytes_per_sec");
+  w.value(t.calibration.input_bytes_per_sec);
+  w.key("chosen_partitions");
+  w.value(t.calibration.chosen_partitions);
+  w.key("chosen_inflight_budget");
+  w.value(t.calibration.chosen_inflight_budget);
+  w.key("chosen_upsert_window");
+  w.value(static_cast<std::int64_t>(t.calibration.chosen_upsert_window));
+  w.key("predicted_step1_seconds");
+  w.value(t.calibration.predicted_step1_seconds);
+  w.key("predicted_step2_seconds");
+  w.value(t.calibration.predicted_step2_seconds);
+  w.key("devices");
+  w.begin_array();
+  for (const auto& d : t.calibration.devices) {
+    w.begin_object();
+    w.key("name");
+    w.value(d.name);
+    w.key("is_gpu");
+    w.value(d.is_gpu);
+    w.key("bases_per_second");
+    w.value(d.bases_per_second);
+    w.key("seconds_per_partition");
+    w.value(d.seconds_per_partition);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("decisions");
+  w.begin_array();
+  for (const auto& d : t.decisions) {
+    w.begin_object();
+    w.key("t_seconds");
+    w.value(d.t_seconds);
+    w.key("knob");
+    w.value(d.knob);
+    w.key("old");
+    w.value(d.old_value);
+    w.key("new");
+    w.value(d.new_value);
+    w.key("model");
+    w.value(d.model_value);
+    w.key("measured");
+    w.value(d.measured_value);
+    w.key("reason");
+    w.value(d.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 std::string run_report_json(const RunReport& report,
@@ -145,6 +217,10 @@ std::string run_report_json(const RunReport& report,
   if (inflight_budget > 0) {
     w.key("inflight_budget");
     w.value(inflight_budget);
+  }
+  if (report.tuner.enabled) {
+    w.key("tuner");
+    write_tuner(w, report.tuner);
   }
   w.key("ledger_samples");
   w.begin_array();

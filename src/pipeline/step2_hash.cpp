@@ -135,6 +135,13 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
   exec.queue_depth = options_.queue_depth;
   exec.exclusive_devices = exclusive_devices;
   exec.trace_label = "step2";
+  if (!lease_ptrs_.empty()) {
+    // Autotuned run: a second (initially parked) lane per device that
+    // the control thread can admit, and a lease it can zero to park a
+    // mis-modelled device.
+    exec.max_lanes = 2;
+    exec.lane_leases = &lease_ptrs_;
+  }
   try {
     report.times = options_.pipelined
                        ? run_pipelined(devs, callbacks, exec)

@@ -1,0 +1,476 @@
+// Autotuner policy and control-loop tests driven by synthetic
+// telemetry (the tick() core is pure given a ControlSample), plus an
+// end-to-end check that a --autotune run matches the default run's
+// graph and documents its decisions in the report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrent/batched_upsert.h"
+#include "concurrent/kmer_table.h"
+#include "core/properties.h"
+#include "io/tmpdir.h"
+#include "pipeline/autotune.h"
+#include "pipeline/parahash.h"
+#include "pipeline/partition_ledger.h"
+#include "sim/read_sim.h"
+
+namespace parahash {
+namespace {
+
+using pipeline::Actuators;
+using pipeline::AutotuneOptions;
+using pipeline::Autotuner;
+using pipeline::ControlSample;
+using pipeline::DeviceControlSample;
+
+constexpr std::uint64_t kMiB = std::uint64_t{1} << 20;
+
+// A recording actuator set: every change lands in plain variables the
+// test can assert on (and feed back into the next sample, closing the
+// loop the way the live pipeline does).
+struct Recorder {
+  std::uint64_t budget = 0;
+  int window = 0;
+  std::vector<std::pair<std::size_t, int>> lease_calls;
+
+  Actuators actuators() {
+    Actuators a;
+    a.set_inflight_budget = [this](std::uint64_t b) { budget = b; };
+    a.set_upsert_window = [this](int w) { window = w; };
+    a.set_lease_lanes = [this](std::size_t i, int lanes) {
+      lease_calls.emplace_back(i, lanes);
+    };
+    return a;
+  }
+};
+
+ControlSample base_sample() {
+  ControlSample s;
+  s.t_seconds = 1.0;
+  s.devices.push_back(DeviceControlSample{"cpu", false, 4, 0.04, 0, 1});
+  return s;
+}
+
+int count_knob(const std::vector<pipeline::TunerDecision>& decisions,
+               const std::string& knob) {
+  int n = 0;
+  for (const auto& d : decisions) n += d.knob == knob;
+  return n;
+}
+
+// --- Static policy rules --------------------------------------------
+
+TEST(AutotunePolicy, PartitionCountGrowsWithWork) {
+  core::HashConfig hash;
+  const std::uint64_t bps = 32;
+  const auto small = Autotuner::pick_partition_count(
+      1e6, hash, bps, /*memory_target=*/512 * kMiB, /*gpu_mem=*/0, 1);
+  const auto large = Autotuner::pick_partition_count(
+      1e9, hash, bps, /*memory_target=*/512 * kMiB, /*gpu_mem=*/0, 1);
+  EXPECT_GE(small, 4u);
+  EXPECT_GT(large, small);
+  // Powers of two (the MSP fingerprint router needs it).
+  EXPECT_EQ(large & (large - 1), 0u);
+}
+
+TEST(AutotunePolicy, PartitionCountRespectsDeviceMemory) {
+  core::HashConfig hash;
+  const std::uint64_t bps = 32;
+  const auto roomy = Autotuner::pick_partition_count(
+      1e9, hash, bps, /*memory_target=*/0, /*gpu_mem=*/8192 * kMiB, 2);
+  const auto tight = Autotuner::pick_partition_count(
+      1e9, hash, bps, /*memory_target=*/0, /*gpu_mem=*/64 * kMiB, 2);
+  // A smaller device memory forces more, smaller partitions: two
+  // tables (table + staged blob) must fit the 64 MiB device.
+  EXPECT_GT(tight, roomy);
+  const auto kmers_per_part = static_cast<std::uint64_t>(1e9) / tight;
+  const auto slots = core::hash_table_slots(kmers_per_part, hash.lambda,
+                                            hash.alpha, 0, hash.min_slots);
+  EXPECT_LE(2 * slots * bps, 64 * kMiB);
+}
+
+TEST(AutotunePolicy, PartitionCountFloorScalesWithDevices) {
+  core::HashConfig hash;
+  // Negligible work: the floor of 4 partitions per device (rounded up
+  // to a power of two) decides.
+  EXPECT_EQ(Autotuner::pick_partition_count(100, hash, 32, 0, 0, 1), 4u);
+  EXPECT_EQ(Autotuner::pick_partition_count(100, hash, 32, 0, 0, 3), 16u);
+}
+
+TEST(AutotunePolicy, InflightBudgetBounds) {
+  const std::uint64_t table = 10 * kMiB;
+  // Unconstrained: six tables.
+  EXPECT_EQ(Autotuner::pick_inflight_budget(table, 0), 6 * table);
+  // Half the memory target caps it...
+  EXPECT_EQ(Autotuner::pick_inflight_budget(table, 80 * kMiB), 4 * table);
+  // ...but never below the two tables pipelining needs.
+  EXPECT_EQ(Autotuner::pick_inflight_budget(table, 8 * kMiB), 2 * table);
+  EXPECT_EQ(Autotuner::pick_inflight_budget(0, 80 * kMiB), 0u);
+}
+
+TEST(AutotunePolicy, DefaultMemoryTargetIsPositive) {
+  EXPECT_GT(Autotuner::default_memory_target(), 0u);
+}
+
+// --- Upsert-window control ------------------------------------------
+
+TEST(AutotuneTick, UpsertWindowFollowsMeasuredProbeLength) {
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  Autotuner tuner(opt, /*table_bytes=*/0);
+  Recorder rec;
+
+  ControlSample s = base_sample();
+  s.mean_probe_length = 6.0;
+  s.probe_samples = concurrent::UpsertWindow::kAutoWarmup;
+  tuner.tick(s, rec.actuators());
+
+  EXPECT_EQ(rec.window, concurrent::UpsertWindow::tuned_for(6.0));
+  const auto decisions = tuner.decisions();
+  ASSERT_EQ(count_knob(decisions, "upsert_window"), 1);
+  EXPECT_EQ(decisions[0].new_value, rec.window);
+  EXPECT_EQ(decisions[0].measured_value, 6.0);
+}
+
+TEST(AutotuneTick, UpsertWindowWaitsForWarmup) {
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  Autotuner tuner(opt, 0);
+  Recorder rec;
+
+  ControlSample s = base_sample();
+  s.mean_probe_length = 6.0;
+  s.probe_samples = concurrent::UpsertWindow::kAutoWarmup - 1;
+  tuner.tick(s, rec.actuators());
+  EXPECT_TRUE(tuner.decisions().empty());
+}
+
+TEST(AutotuneTick, CooldownDampsOscillation) {
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  opt.cooldown_ticks = 5;
+  Autotuner tuner(opt, 0);
+  Recorder rec;
+  Actuators act = rec.actuators();
+  // Wire the loop closed: each change lands in the tuned-window slot
+  // the next tick reads, as in the live pipeline.
+  act.set_upsert_window = [&](int w) {
+    rec.window = w;
+    concurrent::set_tuned_window(w);
+  };
+
+  // A measured probe length that flip-flops every tick would retune
+  // every tick without damping; the cooldown bounds it.
+  for (int t = 0; t < 20; ++t) {
+    ControlSample s = base_sample();
+    s.mean_probe_length = (t % 2 == 0) ? 2.0 : 7.0;
+    s.probe_samples = concurrent::UpsertWindow::kAutoWarmup;
+    tuner.tick(s, act);
+  }
+  const int changes = count_knob(tuner.decisions(), "upsert_window");
+  EXPECT_GE(changes, 1);
+  EXPECT_LE(changes, 20 / opt.cooldown_ticks);
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+}
+
+TEST(AutotuneTick, PinnedWindowIsNeverTouched) {
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  opt.pin_upsert_window = true;
+  Autotuner tuner(opt, 0);
+  Recorder rec;
+
+  for (int t = 0; t < 5; ++t) {
+    ControlSample s = base_sample();
+    s.mean_probe_length = 7.0;
+    s.probe_samples = concurrent::UpsertWindow::kAutoWarmup;
+    tuner.tick(s, rec.actuators());
+  }
+  EXPECT_EQ(rec.window, 0);  // actuator never called
+  EXPECT_EQ(count_knob(tuner.decisions(), "upsert_window"), 0);
+}
+
+TEST(AutotuneTick, TunedWindowDrivesBatchedUpserter) {
+  concurrent::set_tuned_window(32);
+  concurrent::ConcurrentKmerTable<1> table(256, 15);
+  concurrent::TableStats stats;
+  concurrent::BatchedUpserter<1> up(
+      table, stats, concurrent::UpsertWindow::tuned_window());
+  EXPECT_EQ(up.window(), 32);
+  // A mid-run retune (the control thread writing the slot) takes
+  // effect at the next flush.
+  concurrent::set_tuned_window(8);
+  up.push(Kmer<1>::from_string("ACGTACGTACGTACG"), 0, 1);
+  up.flush();
+  EXPECT_EQ(up.window(), 8);
+  concurrent::set_tuned_window(concurrent::UpsertWindow::kDefault);
+}
+
+// --- In-flight budget control ---------------------------------------
+
+TEST(AutotuneTick, BudgetRaisedWhenClaimsBlockWithHeadroom) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 100 * kMiB;
+  const std::uint64_t table = 10 * kMiB;
+  Autotuner tuner(opt, table);
+  Recorder rec;
+
+  ControlSample s = base_sample();
+  s.ledger.srv = 6;
+  s.ledger.cns = 2;  // backlog: sealed partitions waiting
+  s.budget_bytes = 2 * table;
+  s.inflight_bytes = 2 * table;  // next claim would not fit
+  s.rss_bytes = 40 * kMiB;       // well under the target
+  tuner.tick(s, rec.actuators());
+
+  EXPECT_EQ(rec.budget, 3 * table);
+  ASSERT_EQ(count_knob(tuner.decisions(), "inflight_budget"), 1);
+}
+
+TEST(AutotuneTick, BudgetShedWhenRssExceedsTarget) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 100 * kMiB;
+  const std::uint64_t table = 10 * kMiB;
+  Autotuner tuner(opt, table);
+  Recorder rec;
+
+  ControlSample s = base_sample();
+  s.budget_bytes = 5 * table;
+  s.inflight_bytes = 4 * table;
+  s.rss_bytes = 120 * kMiB;  // over the target
+  tuner.tick(s, rec.actuators());
+
+  EXPECT_EQ(rec.budget, 4 * table);
+
+  // Never below the two tables pipelining needs, however long the
+  // pressure lasts.
+  opt.cooldown_ticks = 0;
+  Autotuner floor_tuner(opt, table);
+  Recorder floor_rec;
+  std::uint64_t budget = 5 * table;
+  for (int t = 0; t < 10; ++t) {
+    ControlSample p = base_sample();
+    p.budget_bytes = budget;
+    p.inflight_bytes = 2 * table;
+    p.rss_bytes = 120 * kMiB;
+    Actuators act = floor_rec.actuators();
+    act.set_inflight_budget = [&](std::uint64_t b) { budget = b; };
+    floor_tuner.tick(p, act);
+  }
+  EXPECT_EQ(budget, 2 * table);
+}
+
+TEST(AutotuneTick, PinnedBudgetIsNeverTouched) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 100 * kMiB;
+  opt.pin_inflight_budget = true;
+  const std::uint64_t table = 10 * kMiB;
+  Autotuner tuner(opt, table);
+  Recorder rec;
+
+  ControlSample s = base_sample();
+  s.ledger.srv = 6;
+  s.ledger.cns = 2;
+  s.budget_bytes = 2 * table;
+  s.inflight_bytes = 2 * table;
+  s.rss_bytes = 40 * kMiB;
+  tuner.tick(s, rec.actuators());
+  EXPECT_EQ(rec.budget, 0u);
+  EXPECT_EQ(count_knob(tuner.decisions(), "inflight_budget"), 0);
+}
+
+// --- Device leases ---------------------------------------------------
+
+TEST(AutotuneTick, DivergentGpuIsParkedOnce) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  Autotuner tuner(opt, 0);
+  Recorder rec;
+
+  // GPU measured 10x the CPU's span per partition — far beyond any
+  // modelled ratio; the tuner must stop feeding it.
+  ControlSample s;
+  s.t_seconds = 2.0;
+  s.devices.push_back(DeviceControlSample{"cpu", false, 8, 0.08, 0, 1});
+  s.devices.push_back(
+      DeviceControlSample{"sim-gpu", true, 4, 0.3, 0.1, 1});
+  tuner.tick(s, rec.actuators());
+
+  ASSERT_EQ(rec.lease_calls.size(), 1u);
+  EXPECT_EQ(rec.lease_calls[0], (std::pair<std::size_t, int>{1, 0}));
+  ASSERT_EQ(count_knob(tuner.decisions(), "lease.sim-gpu"), 1);
+
+  // Parking is one-way: further divergent samples change nothing.
+  ControlSample after = s;
+  after.devices[1].lanes = 0;
+  for (int t = 0; t < 20; ++t) tuner.tick(after, rec.actuators());
+  EXPECT_EQ(rec.lease_calls.size(), 1u);
+}
+
+TEST(AutotuneTick, GpuWithinModelRatioStaysLeased) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  opt.divergence_threshold = 0.25;
+  Autotuner tuner(opt, 0);
+  // Calibration predicted the GPU 4x slower per partition; a measured
+  // 4.5x is within the 25% divergence band (and the 3x absolute floor
+  // does not apply once a model ratio exists).
+  pipeline::CalibrationReport cal;
+  cal.ran = true;
+  cal.devices.push_back({"cpu", false, 1e8, 0.01});
+  cal.devices.push_back({"sim-gpu", true, 2.5e7, 0.04});
+  tuner.set_calibration(cal);
+  Recorder rec;
+
+  ControlSample s;
+  s.devices.push_back(DeviceControlSample{"cpu", false, 8, 0.08, 0, 1});
+  s.devices.push_back(
+      DeviceControlSample{"sim-gpu", true, 4, 0.15, 0.03, 1});
+  tuner.tick(s, rec.actuators());
+  EXPECT_TRUE(rec.lease_calls.empty());
+}
+
+TEST(AutotuneTick, CpuLeaseWidensUnderBacklogAndDecaysWhenClear) {
+  AutotuneOptions opt;
+  opt.memory_target_bytes = 1024 * kMiB;
+  opt.cooldown_ticks = 1;
+  Autotuner tuner(opt, 0);
+  int lanes = 1;
+  Recorder rec;
+  Actuators act = rec.actuators();
+  act.set_lease_lanes = [&](std::size_t, int n) { lanes = n; };
+
+  auto sample = [&](bool backlog) {
+    ControlSample s;
+    s.ledger.srv = backlog ? 8 : 4;
+    s.ledger.cns = 4;
+    s.devices.push_back(
+        DeviceControlSample{"cpu", false, 4, 0.04, 0, lanes});
+    return s;
+  };
+
+  // Three consecutive backlogged ticks admit the second lane.
+  for (int t = 0; t < 3; ++t) tuner.tick(sample(true), act);
+  EXPECT_EQ(lanes, 2);
+  // Once the backlog clears for long enough, the lease narrows again.
+  for (int t = 0; t < 10; ++t) tuner.tick(sample(false), act);
+  EXPECT_EQ(lanes, 1);
+}
+
+// --- Ledger re-negotiation (the budget actuator's target) ------------
+
+TEST(AutotuneLedger, RaisingBudgetUnblocksClaim) {
+  pipeline::PartitionLedger ledger(
+      /*inflight_budget_bytes=*/100,
+      [](const io::SealedPartition&) { return std::uint64_t{80}; });
+  io::SealedPartition a;
+  a.id = 0;
+  io::SealedPartition b;
+  b.id = 1;
+  ledger.publish(a);
+  ledger.publish(b);
+  ledger.close();
+
+  auto first = ledger.claim();  // always admitted
+  ASSERT_TRUE(first.has_value());
+
+  std::atomic<bool> claimed{false};
+  std::thread waiter([&] {
+    auto second = ledger.claim();  // blocked: 160 > 100
+    EXPECT_TRUE(second.has_value());
+    claimed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(claimed.load());
+  ledger.set_budget(200);  // the autotuner's raise path
+  waiter.join();
+  EXPECT_TRUE(claimed.load());
+  EXPECT_EQ(ledger.budget(), 200u);
+}
+
+// --- End to end ------------------------------------------------------
+
+TEST(AutotuneIntegration, SelfTunedRunMatchesDefaultGraph) {
+  io::TempDir dir("autotune");
+  sim::DatasetSpec spec;
+  spec.genome_size = 4000;
+  spec.read_length = 100;
+  spec.coverage = 10.0;
+  spec.lambda = 1.0;
+  spec.seed = 777;
+  const std::string fastq = dir.file("reads.fastq");
+  sim::write_dataset(spec, fastq);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+
+  pipeline::ParaHash<1> reference(options);
+  auto [ref_graph, ref_report] = reference.construct(fastq);
+
+  pipeline::Options tuned_options = options;
+  tuned_options.autotune.enabled = true;
+  tuned_options.autotune.memory_target_bytes = 512 * kMiB;
+  pipeline::ParaHash<1> tuned(tuned_options);
+  auto [graph, report] = tuned.construct(fastq);
+
+  // Identical graph whatever configuration the tuner picked.
+  EXPECT_EQ(report.graph.vertices, ref_report.graph.vertices);
+  EXPECT_EQ(report.graph.total_coverage, ref_report.graph.total_coverage);
+
+  // The report documents the tuner: calibration ran and fitted this
+  // dataset, and every choice is in the decision log.
+  ASSERT_TRUE(report.tuner.enabled);
+  const auto& cal = report.tuner.calibration;
+  ASSERT_TRUE(cal.ran);
+  EXPECT_GT(cal.sampled_bases, 0u);
+  EXPECT_GT(cal.kmers_per_base, 0.0);
+  EXPECT_GT(cal.chosen_partitions, 0u);
+  EXPECT_GT(cal.predicted_step2_seconds, 0.0);
+  ASSERT_FALSE(report.tuner.decisions.empty());
+  EXPECT_GE(count_knob(report.tuner.decisions, "partitions"), 1);
+  EXPECT_GE(count_knob(report.tuner.decisions, "inflight_budget"), 1);
+
+  // Self-tuned wall time stays within a (very loose — CI runs on one
+  // core) factor of the default run: the tuner must not wreck the run.
+  EXPECT_LT(report.total_elapsed_seconds,
+            10 * ref_report.total_elapsed_seconds + 5.0);
+}
+
+TEST(AutotuneIntegration, ExplicitFlagsPinTheTuner) {
+  io::TempDir dir("autotune_pin");
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 100;
+  spec.coverage = 6.0;
+  spec.seed = 42;
+  const std::string fastq = dir.file("reads.fastq");
+  sim::write_dataset(spec, fastq);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.autotune.enabled = true;
+  options.autotune.memory_target_bytes = 512 * kMiB;
+  options.autotune.pin_partitions = true;  // "--partitions 8" given
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+
+  ASSERT_TRUE(report.tuner.enabled);
+  // The pinned knob was honoured and never decided on.
+  EXPECT_EQ(count_knob(report.tuner.decisions, "partitions"), 0);
+  EXPECT_EQ(graph.num_partitions(), 8u);
+}
+
+}  // namespace
+}  // namespace parahash
