@@ -12,7 +12,9 @@
 // partition the moment Step 1 seals it (partition ledger hand-off), so
 // the hard barrier between the steps disappears as well. All modes run
 // multi-pass (max_open_partitions < num_partitions) so partitions seal
-// mid-run — that is where fusion finds overlap to reclaim.
+// mid-run — that is where fusion finds overlap to reclaim. The last
+// mode chains Step 3 (compact scans + contig stitch) behind Step 2 on
+// a second ledger boundary — a third stage riding the same schedule.
 #include "bench_common.h"
 #include "pipeline/parahash.h"
 
@@ -42,19 +44,22 @@ void run_case(const char* label, const parahash::sim::DatasetSpec& spec,
               "input(s)", "compute(s)", "output(s)", "stage sum", "",
               "elapsed(s)");
 
-  enum class Mode { kSequential, kPipelined, kFused };
-  for (const Mode mode : {Mode::kSequential, Mode::kPipelined,
-                          Mode::kFused}) {
+  enum class Mode { kSequential, kPipelined, kFused, kFusedStep3 };
+  for (const Mode mode : {Mode::kSequential, Mode::kPipelined, Mode::kFused,
+                          Mode::kFusedStep3}) {
     options.pipelined = mode != Mode::kSequential;
-    options.fuse_steps = mode == Mode::kFused;
+    options.fuse_steps = mode == Mode::kFused || mode == Mode::kFusedStep3;
+    options.step3 = mode == Mode::kFusedStep3;
     const char* mode_name = mode == Mode::kSequential ? "sequential"
                             : mode == Mode::kPipelined ? "pipelined"
-                                                       : "fused";
+                            : mode == Mode::kFused     ? "fused"
+                                                       : "fused+step3";
     pipeline::ParaHash<1> system(options);
     auto [graph, report] = system.construct(fastq);
-    for (const auto& [name, step] :
-         {std::pair{"step1", &report.step1}, std::pair{"step2",
-                                                       &report.step2}}) {
+    std::vector<std::pair<const char*, const pipeline::StepReport*>> steps{
+        {"step1", &report.step1}, {"step2", &report.step2}};
+    if (options.step3) steps.emplace_back("step3", &report.step3);
+    for (const auto& [name, step] : steps) {
       const auto& t = step->times;
       const double sum =
           t.input_seconds + t.compute_seconds + t.output_seconds;
@@ -66,6 +71,15 @@ void run_case(const char* label, const parahash::sim::DatasetSpec& spec,
                 "   (step overlap %.3f s)\n",
                 "total", "", "", "", "", mode_name,
                 report.total_elapsed_seconds, report.step_overlap_seconds);
+    if (options.step3) {
+      const auto& s3 = report.step3_stats;
+      std::printf("%-8s %10llu contigs %8llu bases %6llu cross-part | "
+                  "%12s %10s   (step2/3 overlap %.3f s)\n", "contigs",
+                  static_cast<unsigned long long>(s3.contigs),
+                  static_cast<unsigned long long>(s3.contig_bases),
+                  static_cast<unsigned long long>(s3.cross_partition_contigs),
+                  mode_name, "", report.step23_overlap_seconds);
+    }
   }
 }
 

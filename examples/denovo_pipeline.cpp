@@ -2,13 +2,15 @@
 //
 //   1. simulate a genome and error-bearing shotgun reads (Poisson(λ)
 //      substitution errors, both strands),
-//   2. construct the De Bruijn graph with ParaHash,
-//   3. filter low-coverage (erroneous) vertices by multiplicity,
-//   4. compact the surviving graph into unitigs,
-//   5. check how much of the true genome the unitigs recover.
+//   2. run the full three-stage ParaHash pipeline — partition, hash,
+//      and Step 3's simplification + contig extraction — fused, so the
+//      stages overlap partition-by-partition,
+//   3. check how much of the true genome the contigs recover.
 //
 // This is the workload the paper's introduction motivates: the graph
-// construction step feeding a de novo assembler.
+// construction step feeding a de novo assembler, with the assembler's
+// first pass (tip clipping, bubble popping, unitig compaction) now a
+// pipeline stage instead of a caller-side loop.
 //
 // Usage: denovo_pipeline [genome_size [coverage [lambda]]]
 #include <algorithm>
@@ -17,7 +19,6 @@
 #include <string>
 
 #include "core/algo.h"
-#include "core/gfa.h"
 #include "core/stats.h"
 #include "core/unitig.h"
 #include "io/tmpdir.h"
@@ -46,46 +47,55 @@ int main(int argc, char** argv) {
   options.msp.p = 11;
   options.msp.num_partitions = 32;
   options.cpu_threads = 4;
+  // Erroneous kmers can only be told apart by multiplicity after the
+  // graph is built (paper Sec. III-C1). At 25x coverage a Poisson(1)
+  // substitution error yields kmers seen once or twice, so coverage
+  // >= 2 with edge weight >= 2 strips almost all of them; what
+  // survives shows up as short tips and coverage-asymmetric bubbles,
+  // which Step 3's simplifier removes.
+  options.min_coverage = 2;
+  options.min_edge_weight = 2;
+  options.step3 = true;
+  options.min_tip_len = 0;     // auto: 2k
+  options.bubble_max_len = 0;  // auto: 2k
+  options.fuse_steps = true;   // three-band pipeline (Fig. 12 shape)
+  options.gfa_out = scratch.file("assembly.gfa");
 
   pipeline::ParaHash<1> system(options);
   auto [graph, report] = system.construct(fastq);
   std::printf("graph constructed in %.3f s: %llu distinct vertices "
-              "(%llu duplicates merged)\n",
+              "(%llu duplicates merged, %llu below coverage %u)\n",
               report.total_elapsed_seconds,
               static_cast<unsigned long long>(report.graph.vertices),
               static_cast<unsigned long long>(
-                  report.graph.duplicate_vertices()));
+                  report.graph.duplicate_vertices()),
+              static_cast<unsigned long long>(report.filtered_vertices),
+              options.min_coverage);
+  const auto& s3 = report.step3_stats;
+  std::printf("step3: %llu branch seeds, %llu boundary vertices, "
+              "%llu tips clipped (%llu kmers), %llu bubbles popped "
+              "(%llu kmers); step2/3 overlap %.3f s\n",
+              static_cast<unsigned long long>(s3.branch_seed_vertices),
+              static_cast<unsigned long long>(s3.boundary_vertices),
+              static_cast<unsigned long long>(s3.simplify.tips_clipped),
+              static_cast<unsigned long long>(s3.simplify.tip_kmers),
+              static_cast<unsigned long long>(s3.simplify.bubbles_popped),
+              static_cast<unsigned long long>(s3.simplify.bubble_kmers),
+              report.step23_overlap_seconds);
 
-  // Erroneous kmers can only be told apart by multiplicity after the
-  // graph is built (paper Sec. III-C1); pick the threshold from the
-  // coverage histogram's error valley.
-  const std::uint64_t before = graph.num_vertices();
-  const auto histogram = core::coverage_histogram(graph);
-  std::uint32_t min_coverage = histogram.suggested_min_coverage();
-  if (min_coverage < 2) min_coverage = 2;
-  std::printf("coverage histogram suggests min coverage %u\n", min_coverage);
-  const std::uint64_t removed = graph.filter_min_coverage(min_coverage);
-  std::printf("coverage filter (>= %u): removed %llu error vertices "
-              "(%.1f%% of the graph), kept %llu\n",
-              min_coverage, static_cast<unsigned long long>(removed),
-              100.0 * static_cast<double>(removed) /
-                  static_cast<double>(before),
-              static_cast<unsigned long long>(graph.num_vertices()));
-
-  core::UnitigBuilder<1> builder(graph, min_coverage,
-                                 /*min_edge_weight=*/2);
-  const auto unitigs = builder.build();
+  // The pipeline's Step 3 already extracted the contigs.
+  const auto& contigs = system.contigs();
 
   std::uint64_t total_length = 0;
   std::size_t longest = 0;
-  for (const auto& u : unitigs) {
+  for (const auto& u : contigs) {
     total_length += u.length();
     longest = std::max(longest, u.length());
   }
-  // N50: half the assembled bases live in unitigs at least this long.
+  // N50: half the assembled bases live in contigs at least this long.
   std::vector<std::size_t> lengths;
-  lengths.reserve(unitigs.size());
-  for (const auto& u : unitigs) lengths.push_back(u.length());
+  lengths.reserve(contigs.size());
+  for (const auto& u : contigs) lengths.push_back(u.length());
   std::sort(lengths.rbegin(), lengths.rend());
   std::uint64_t acc = 0;
   std::size_t n50 = 0;
@@ -98,38 +108,39 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n-- assembly summary --\n");
-  std::printf("unitigs:        %zu\n", unitigs.size());
+  std::printf("contigs:        %zu (%llu spanning partitions)\n",
+              contigs.size(),
+              static_cast<unsigned long long>(s3.cross_partition_contigs));
   std::printf("total length:   %llu bp (genome: %llu bp)\n",
               static_cast<unsigned long long>(total_length),
               static_cast<unsigned long long>(genome.size()));
-  std::printf("longest unitig: %zu bp\n", longest);
-  std::printf("unitig N50:     %zu bp\n", n50);
+  std::printf("longest contig: %zu bp\n", longest);
+  std::printf("contig N50:     %zu bp\n", n50);
 
   // Validation against the truth we happen to own: what fraction of
   // assembled bases align exactly to the genome (either strand)?
   std::uint64_t aligned = 0;
-  for (const auto& u : unitigs) {
+  for (const auto& u : contigs) {
     if (genome.find(u.bases) != std::string::npos ||
         genome.find(reverse_complement_str(u.bases)) != std::string::npos) {
       aligned += u.length();
     }
   }
-  std::printf("unitig bases exactly matching the genome: %.1f%%\n",
+  std::printf("contig bases exactly matching the genome: %.1f%%\n",
               total_length == 0
                   ? 0.0
                   : 100.0 * static_cast<double>(aligned) /
                         static_cast<double>(total_length));
 
-  // Connectivity of the filtered graph, and a GFA for Bandage & friends.
+  // Connectivity of the filtered graph, and the GFA Step 3 wrote for
+  // Bandage & friends.
   const auto components = core::connected_components(graph);
   std::printf("connected components: %llu (largest %llu vertices)\n",
               static_cast<unsigned long long>(components.count),
               static_cast<unsigned long long>(components.largest()));
-
-  core::GfaExporter<1> exporter(graph, unitigs);
-  const std::string gfa_path = scratch.file("assembly.gfa");
-  const auto [segments, links] = exporter.write(gfa_path);
-  std::printf("assembly graph: %zu segments, %zu links -> %s\n", segments,
-              links, gfa_path.c_str());
+  std::printf("assembly graph: %llu segments, %llu links -> %s\n",
+              static_cast<unsigned long long>(s3.gfa_segments),
+              static_cast<unsigned long long>(s3.gfa_links),
+              options.gfa_out.c_str());
   return 0;
 }

@@ -6,7 +6,9 @@
 //        --quality-trim=0 --max-open-files=0 --fuse-steps
 //        --inflight-table-budget=MB --upsert-batch=N|auto|tuned
 //        --autotune --trace-out=trace.json --metrics-out=metrics.json
-//        --report-json=report.json]
+//        --report-json=report.json
+//        --step3 --min-tip-len=N --bubble-max-len=N --min-edge-weight=N
+//        --contigs-out=contigs.fa --gfa-out=graph.gfa]
 //        (several input files — plain or .gz — concatenate)
 //   parahash_cli stats  <graph.phdg>
 //   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
@@ -72,6 +74,19 @@ int cmd_build(const Flags& flags) {
       flags.get("upsert-batch",
                 concurrent::UpsertWindow{}.to_string()));
 
+  // Step 3 — graph simplification + contig extraction. Implied by a
+  // contig/GFA output path; rides the fused chain under --fuse-steps.
+  options.contigs_out = flags.get("contigs-out");
+  options.gfa_out = flags.get("gfa-out");
+  options.step3 = flags.get_bool("step3") || !options.contigs_out.empty() ||
+                  !options.gfa_out.empty();
+  options.min_tip_len =
+      static_cast<std::uint32_t>(flags.get_int("min-tip-len", 0));
+  options.bubble_max_len =
+      static_cast<std::uint32_t>(flags.get_int("bubble-max-len", 0));
+  options.min_edge_weight =
+      static_cast<std::uint32_t>(flags.get_int("min-edge-weight", 1));
+
   // --autotune: calibration pre-pass + live control loop. Explicitly
   // given flags are pinned — the tuner fills in only what the user
   // left at defaults.
@@ -106,8 +121,34 @@ int cmd_build(const Flags& flags) {
               report.step2.times.elapsed_seconds,
               static_cast<unsigned long long>(report.step2.times.items),
               report.total_elapsed_seconds);
+  if (options.step3) {
+    const auto& s3 = report.step3_stats;
+    std::printf("step3 %.3f s (%llu partitions): %llu contigs "
+                "(%llu bases, %llu cross-partition), tips clipped %llu, "
+                "bubbles popped %llu\n",
+                report.step3.times.elapsed_seconds,
+                static_cast<unsigned long long>(report.step3.times.items),
+                static_cast<unsigned long long>(s3.contigs),
+                static_cast<unsigned long long>(s3.contig_bases),
+                static_cast<unsigned long long>(s3.cross_partition_contigs),
+                static_cast<unsigned long long>(s3.simplify.tips_clipped),
+                static_cast<unsigned long long>(s3.simplify.bubbles_popped));
+    if (!options.contigs_out.empty()) {
+      std::printf("contigs written to %s\n", options.contigs_out.c_str());
+    }
+    if (!options.gfa_out.empty()) {
+      std::printf("gfa written to %s (%llu segments, %llu links)\n",
+                  options.gfa_out.c_str(),
+                  static_cast<unsigned long long>(s3.gfa_segments),
+                  static_cast<unsigned long long>(s3.gfa_links));
+    }
+  }
   if (options.fuse_steps) {
     std::printf("fused steps: overlap %.3f s", report.step_overlap_seconds);
+    if (options.step3) {
+      std::printf(", step2/3 overlap %.3f s",
+                  report.step23_overlap_seconds);
+    }
     if (options.inflight_table_budget_bytes > 0) {
       std::printf(" (table budget %.1f MB)",
                   static_cast<double>(options.inflight_table_budget_bytes) /

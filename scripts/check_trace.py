@@ -2,7 +2,7 @@
 """ci-trace leg: run a small fused construction with every telemetry
 output enabled and validate the three artefacts.
 
-Usage: scripts/check_trace.py [--autotune] <path/to/parahash_cli>
+Usage: scripts/check_trace.py [--autotune] [--step3] <path/to/parahash_cli>
 
 Checks:
   - trace.json, metrics.json, report.json all parse as JSON;
@@ -19,6 +19,15 @@ to the tuner artefacts:
     t_seconds);
   - the trace has at least one "tuner"-category instant event (the
     decisions' timeline markers).
+
+With --step3 the run chains graph simplification + contig extraction
+into the fused pipeline and the checks extend to the third stage:
+  - step3:<device> trace tracks and a step3-category stitch span;
+  - the report's step3/step3_stats sections with contigs extracted;
+  - three-band ledger samples whose second boundary caught Step 3
+    consuming while Step 2 was still publishing, plus
+    step23_overlap_seconds > 0;
+  - the contigs FASTA and GFA artefacts exist and are well-formed.
 """
 import json
 import random
@@ -48,7 +57,8 @@ def fail(msg):
 def main():
     args = sys.argv[1:]
     autotune = "--autotune" in args
-    args = [a for a in args if a != "--autotune"]
+    step3 = "--step3" in args
+    args = [a for a in args if a not in ("--autotune", "--step3")]
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
@@ -78,6 +88,10 @@ def main():
         ]
         if autotune:
             cmd.append("--autotune")
+        contigs = tmp / "contigs.fa"
+        gfa = tmp / "assembly.gfa"
+        if step3:
+            cmd += [f"--contigs-out={contigs}", f"--gfa-out={gfa}"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             fail(f"build failed ({proc.returncode}):\n{proc.stderr}")
@@ -134,6 +148,44 @@ def main():
         if "histograms" not in metrics_doc or "gauges" not in metrics_doc:
             fail("metrics snapshot is missing a section")
 
+        # --- step3: three-band chain + contig artefacts ---------------
+        if step3:
+            for key in ("step3", "step3_stats", "step23_overlap_seconds"):
+                if key not in report_doc:
+                    fail(f"report is missing key {key!r} (--step3 run)")
+            s3 = report_doc["step3_stats"]
+            if s3["contigs"] == 0:
+                fail("step3 extracted no contigs")
+            if report_doc["step23_overlap_seconds"] <= 0:
+                fail("fused --step3 run shows no step2/3 overlap")
+            for dev in (d["name"] for d in report_doc["step3"]["devices"]):
+                want = f"step3:{dev}"
+                if want not in track_names:
+                    fail(f"trace is missing track {want!r} "
+                         f"(have {sorted(track_names)})")
+            if not any(e.get("ph") == "X" and e.get("name") == "stitch"
+                       and e.get("cat") == "step3" for e in events):
+                fail("trace has no step3 stitch span")
+            band2 = [s for s in samples if "srv2" in s]
+            if not band2:
+                fail("no ledger sample carries the step2-step3 band")
+            if not any(s["cns2"] > 0 and s["srv2"] < 16 for s in band2):
+                fail("no sample caught Step 3 consuming while Step 2 "
+                     "was still publishing")
+            if counters.get("step3.contigs", 0) == 0:
+                fail("metrics counted no step3.contigs")
+            fasta_text = contigs.read_text() if contigs.is_file() else ""
+            n_fasta = fasta_text.count(">contig_")
+            if n_fasta != s3["contigs"]:
+                fail(f"contigs FASTA has {n_fasta} records, report says "
+                     f"{s3['contigs']}")
+            gfa_text = gfa.read_text() if gfa.is_file() else ""
+            n_segments = sum(1 for line in gfa_text.splitlines()
+                             if line.startswith("S\t"))
+            if n_segments != s3["gfa_segments"]:
+                fail(f"GFA has {n_segments} segments, report says "
+                     f"{s3['gfa_segments']}")
+
         # --- autotune: every decision documented -----------------------
         if autotune:
             tuner = report_doc.get("tuner")
@@ -164,6 +216,9 @@ def main():
         if autotune:
             extra = (f", {len(decisions)} tuner decisions, "
                      f"{len(tuner_instants)} tuner instants")
+        if step3:
+            extra += (f", {s3['contigs']} contigs "
+                      f"({s3['cross_partition_contigs']} cross-partition)")
         print(f"ci-trace: OK ({len(events)} trace events, "
               f"{len(samples)} ledger samples, "
               f"{len(track_names)} named tracks{extra})")

@@ -10,22 +10,26 @@
 # down so each partition build exercises the overflow/migration
 # machinery instead of the happy path, a trace leg that runs a
 # small fused construction with --trace-out/--metrics-out/--report-json
-# and validates the three artefacts, and an autotune leg that re-runs
+# and validates the three artefacts, an autotune leg that re-runs
 # the trace scenario under --autotune and validates the tuner's report
-# section and decision instants.
+# section and decision instants, and a step3 leg that re-runs it with
+# the third pipeline stage chained in (--contigs-out/--gfa-out) and
+# validates the step3 tracks, the three-band ledger overlap, and the
+# contig artefacts.
 #
 # The `bench` leg (not part of `all` — it is a perf artefact refresh,
 # not a gate) runs the model benches (fig13/fig14) and the micro
 # benches at a small preset and copies their BENCH_<binary>.json
 # reports to the repository root.
 #
-#   scripts/ci.sh             all six gating legs
+#   scripts/ci.sh             all seven gating legs
 #   scripts/ci.sh default     Release + full suite only
 #   scripts/ci.sh tsan        ThreadSanitizer subset only
 #   scripts/ci.sh scalar      scalar-fallback build + full suite only
 #   scripts/ci.sh smalltable  Release suite with undersized tables only
 #   scripts/ci.sh trace       telemetry artefact validation only
 #   scripts/ci.sh autotune    tuner artefact validation only
+#   scripts/ci.sh step3       third-stage (contig) artefact validation only
 #   scripts/ci.sh bench       refresh BENCH_*.json artefacts (standalone)
 set -eu
 cd "$(dirname "$0")/.."
@@ -36,24 +40,27 @@ run_scalar=1
 run_smalltable=1
 run_trace=1
 run_autotune=1
+run_step3=1
 run_bench=0
 case "${1:-all}" in
   all) ;;
   default) run_tsan=0; run_scalar=0; run_smalltable=0; run_trace=0
-           run_autotune=0 ;;
+           run_autotune=0; run_step3=0 ;;
   tsan) run_default=0; run_scalar=0; run_smalltable=0; run_trace=0
-        run_autotune=0 ;;
+        run_autotune=0; run_step3=0 ;;
   scalar) run_default=0; run_tsan=0; run_smalltable=0; run_trace=0
-          run_autotune=0 ;;
+          run_autotune=0; run_step3=0 ;;
   smalltable) run_default=0; run_tsan=0; run_scalar=0; run_trace=0
-              run_autotune=0 ;;
+              run_autotune=0; run_step3=0 ;;
   trace) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-         run_autotune=0 ;;
+         run_autotune=0; run_step3=0 ;;
   autotune) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-            run_trace=0 ;;
+            run_trace=0; run_step3=0 ;;
+  step3) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
+         run_trace=0; run_autotune=0 ;;
   bench) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-         run_trace=0; run_autotune=0; run_bench=1 ;;
-  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace|autotune|bench]" >&2
+         run_trace=0; run_autotune=0; run_step3=0; run_bench=1 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace|autotune|step3|bench]" >&2
      exit 2 ;;
 esac
 
@@ -85,6 +92,16 @@ if [ "$run_autotune" -eq 1 ]; then
   cmake --preset default
   cmake --build --preset default --target parahash_cli
   scripts/check_trace.py --autotune build/examples/parahash_cli
+fi
+if [ "$run_step3" -eq 1 ]; then
+  # ci-step3: the trace scenario with graph simplification + contig
+  # extraction chained in as the third fused stage; the checks extend
+  # to the step3 trace tracks + stitch span, the report's step3/
+  # step3_stats sections, the second ledger band catching Step 2 ∥
+  # Step 3 overlap, and FASTA/GFA artefacts matching the report.
+  cmake --preset default
+  cmake --build --preset default --target parahash_cli
+  scripts/check_trace.py --step3 build/examples/parahash_cli
 fi
 if [ "$run_bench" -eq 1 ]; then
   # ci-bench: the perf-model benches (Fig. 13/14, including the

@@ -32,11 +32,32 @@ class FirstTouchArray {
                 "FirstTouchArray skips element destructors");
 
  public:
+  /// How the first-touch pass distributes pages across workers.
+  ///
+  /// kChunked gives each task ~1 MiB of CONTIGUOUS elements: a worker's
+  /// pages cluster, so an array probed mostly by the thread that built
+  /// its region (payloads, per-partition data) keeps its accesses
+  /// node-local.
+  ///
+  /// kInterleaved hands out small (~256 KiB) stripes instead, so
+  /// adjacent stripes fault on different workers and physical pages
+  /// alternate across the nodes the pool runs on. That is the right
+  /// placement for an array EVERY worker hammers uniformly at random —
+  /// the table's metadata bytes, where one probe touches one byte and
+  /// chunked placement would put half of all probes on a remote node
+  /// for every thread.
+  enum class Placement { kChunked, kInterleaved };
+
   /// Arrays below this size are touched inline: the parallel_for
   /// hand-off costs more than faulting a few pages.
   static constexpr std::size_t kParallelMinBytes = std::size_t{4} << 20;
   /// Chunk elements so each task is a few pages, not a few cache lines.
   static constexpr std::size_t kInitGrainBytes = std::size_t{1} << 20;
+  /// Interleave stripe: a handful of pages, small enough that the
+  /// pool's dynamic chunk pickup alternates neighbouring stripes
+  /// across workers.
+  static constexpr std::size_t kInterleaveStripeBytes =
+      std::size_t{256} << 10;
 
   FirstTouchArray() = default;
 
@@ -44,7 +65,8 @@ class FirstTouchArray {
   /// through `init_pool` when one is given and the array is large
   /// enough to matter. Must not be called FROM a worker of `init_pool`
   /// (parallel_for would deadlock); pass nullptr there.
-  explicit FirstTouchArray(std::size_t n, ThreadPool* init_pool = nullptr)
+  explicit FirstTouchArray(std::size_t n, ThreadPool* init_pool = nullptr,
+                           Placement placement = Placement::kChunked)
       : size_(n) {
     if (n == 0) return;
     data_ = static_cast<T*>(
@@ -52,8 +74,10 @@ class FirstTouchArray {
     const std::size_t bytes = n * sizeof(T);
     if (init_pool != nullptr && init_pool->size() > 1 &&
         bytes >= kParallelMinBytes) {
-      const std::size_t grain =
-          (kInitGrainBytes + sizeof(T) - 1) / sizeof(T);
+      const std::size_t grain_bytes = placement == Placement::kInterleaved
+                                          ? kInterleaveStripeBytes
+                                          : kInitGrainBytes;
+      const std::size_t grain = (grain_bytes + sizeof(T) - 1) / sizeof(T);
       T* base = data_;
       init_pool->parallel_for(
           n, grain, [base](std::uint64_t begin, std::uint64_t end) {

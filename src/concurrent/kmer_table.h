@@ -186,7 +186,13 @@ class ConcurrentKmerTable {
       : k_(k),
         simd_level_(simd::active()),
         growth_(growth),
-        meta_(next_pow2(min_slots < 2 ? 2 : min_slots), init_pool),
+        // The metadata bytes are probed uniformly by every worker, so
+        // their pages interleave across nodes; the payloads keep the
+        // chunked default (a probe only touches a payload on a tag
+        // match, and the SIMD group scan reads metadata exclusively).
+        meta_(next_pow2(min_slots < 2 ? 2 : min_slots), init_pool,
+              FirstTouchArray<std::atomic<std::uint8_t>>::Placement::
+                  kInterleaved),
         payload_(meta_.size(), init_pool) {
     PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
                        "k out of range for this word count");
@@ -1065,6 +1071,7 @@ class ConcurrentKmerTable {
       ovf_mask_ = next_->ovf_mask_;
       ovf_size_ = next_->ovf_size_;
       ovf_threshold_ = next_->ovf_threshold_;
+      shrink_overflow_locked();
     }
     bound_.store(effective_bound(), std::memory_order_release);
     update_probe_shadow();
@@ -1078,6 +1085,58 @@ class ConcurrentKmerTable {
   }
 
   // ---- Overflow region -----------------------------------------------
+
+  /// Right-sizes the just-adopted overflow region. The doubled main
+  /// array absorbs nearly every key the old overflow held, yet the
+  /// target's region was allocated at the NEW capacity's overflow
+  /// fraction — carrying those near-empty slots to the next doubling
+  /// wastes resident memory for no displacement headroom. Rehash the
+  /// survivors into a region a few times their population (floor 16
+  /// slots) whenever that halves the allocation or better. Pre:
+  /// ovf_mutex_ held and the growth gate still closed (migration
+  /// finalizing), so no other thread probes the region.
+  void shrink_overflow_locked() {
+    const std::uint64_t cap = ovf_meta_.size();
+    const std::uint64_t want = next_pow2(
+        ovf_size_ < 4 ? 16 : 4 * ovf_size_);
+    if (want >= cap) return;
+    std::vector<std::atomic<std::uint8_t>> meta(want);
+    std::vector<Payload> payload(want);
+    const std::uint64_t mask = want - 1;
+    for (std::uint64_t i = 0; i < cap; ++i) {
+      const std::uint8_t st = ovf_meta_[i].load(std::memory_order_relaxed);
+      if ((st & kOccupiedBit) == 0) continue;
+      std::array<std::uint64_t, W> words;
+      for (int w = 0; w < W; ++w) {
+        words[w] = ovf_payload_[i].key[w].load(std::memory_order_relaxed);
+      }
+      std::uint64_t idx = hash_words(words.data(), W) & mask;
+      while (meta[idx].load(std::memory_order_relaxed) != kEmpty) {
+        idx = (idx + 1) & mask;
+      }
+      Payload& dst = payload[idx];
+      for (int w = 0; w < W; ++w) {
+        dst.key[w].store(words[w], std::memory_order_relaxed);
+      }
+      for (int e = 0; e < 8; ++e) {
+        dst.edges[e].store(
+            ovf_payload_[i].edges[e].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      dst.coverage.store(
+          ovf_payload_[i].coverage.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      meta[idx].store(st, std::memory_order_relaxed);
+    }
+    ovf_meta_.swap(meta);
+    ovf_payload_.swap(payload);
+    ovf_mask_ = mask;
+    ovf_threshold_ = static_cast<std::uint64_t>(
+        growth_.migration_threshold * static_cast<double>(want));
+    if (ovf_threshold_ < 1) ovf_threshold_ = 1;
+    if (ovf_threshold_ > want) ovf_threshold_ = want;
+    PARAHASH_TRACE_INSTANT("table", "overflow.shrink", "slots", want);
+  }
 
   /// Upserts into the overflow region. Pre: ovf_mutex_ held, gate
   /// ticket held. Returns false when every overflow slot holds another

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 namespace parahash::core {
 
@@ -45,6 +46,25 @@ inline double estimate_coprocessing(double cpu_only_seconds,
     speed += static_cast<double>(num_gpus) / single_gpu_seconds;
   }
   return speed > 0 ? 1.0 / speed : 0.0;
+}
+
+/// Eq. (1) generalised to an N-stage fused chain: when every stage
+/// boundary is a ledger the steps overlap partition-by-partition, so
+/// the chain's elapsed time is the SLOWEST stage's overlappable span
+/// plus one partition's fill/drain from every stage (each stage adds
+/// one non-overlappable partition at the front of the chain).
+inline double estimate_fused_elapsed(const std::vector<StepTimes>& stages) {
+  double overlapped = 0;
+  double fill_drain = 0;
+  for (const auto& t : stages) {
+    const double n =
+        static_cast<double>(t.partitions < 1 ? 1 : t.partitions);
+    const double t_gpu = t.gpu_compute + t.dh_transfer;
+    const double t_io = (n - 1) / n * std::max(t.input, t.output);
+    overlapped = std::max({overlapped, t.cpu_compute, t_gpu, t_io});
+    fill_drain += (t.input + t.output) / n;
+  }
+  return overlapped + fill_drain;
 }
 
 /// Case 2 of Sec. IV-B: elapsed time when IO dominates.

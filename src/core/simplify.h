@@ -1,0 +1,473 @@
+// Step-3 graph simplification + contig extraction primitives.
+//
+// Step 3 runs in two phases. The COMPACT SCAN is the per-partition
+// device kernel: it sweeps one published subgraph table and reports the
+// partition's branch-seed candidates (vertices whose edge counters show
+// an oriented out-degree >= 2 — a superset of the exact branch points,
+// since a coverage-filtered exact branch always has the counters of
+// one) and its boundary vertices (a valid edge leads to a kmer whose
+// minimizer routes to ANOTHER partition — the boundary-vertex exchange
+// that lets the stitch phase count contigs spanning partitions). The
+// STITCH phase then runs once over the whole graph: tip clipping and
+// simple bubble popping seeded from the exchanged branch candidates,
+// followed by unitig extraction that walks across partition boundaries
+// through the graph's global find() path.
+//
+// Determinism contract: every simplification decision is evaluated
+// against the FROZEN pre-simplification graph and recorded as a vertex
+// removal mark; marks are applied as one union after all decisions.
+// Seeds are processed in sorted order and ties break on canonical
+// vertex keys, so the emitted contig set is byte-identical whatever the
+// partition count or execution mode that produced the scan results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/unitig.h"
+#include "util/dna.h"
+#include "util/error.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+/// Thresholds for Step-3 simplification. Lengths count graph vertices
+/// (kmers), not bases; 0 means "auto", resolved to 2k — the usual
+/// read-length-scale default for tip and bubble bounds.
+struct SimplifyConfig {
+  std::uint32_t min_coverage = 0;
+  std::uint32_t min_edge_weight = 1;
+  std::uint32_t min_tip_len = 0;     ///< dead-end arms <= this are clipped
+  std::uint32_t bubble_max_len = 0;  ///< bubble arms longer than this stay
+};
+
+struct SimplifyStats {
+  std::uint64_t branch_seeds = 0;    ///< deduped candidates examined
+  std::uint64_t tips_clipped = 0;
+  std::uint64_t tip_kmers = 0;
+  std::uint64_t bubbles_popped = 0;  ///< losing arms removed
+  std::uint64_t bubble_kmers = 0;
+  std::uint64_t removed_vertices = 0;
+
+  SimplifyStats& operator+=(const SimplifyStats& o) {
+    branch_seeds += o.branch_seeds;
+    tips_clipped += o.tips_clipped;
+    tip_kmers += o.tip_kmers;
+    bubbles_popped += o.bubbles_popped;
+    bubble_kmers += o.bubble_kmers;
+    removed_vertices += o.removed_vertices;
+    return *this;
+  }
+};
+
+/// Inputs of the per-partition compact scan.
+struct CompactScanConfig {
+  int k = 0;
+  int p = 0;
+  std::uint32_t num_partitions = 1;
+  std::uint32_t min_coverage = 0;
+  std::uint32_t min_edge_weight = 1;
+};
+
+/// One partition's scan output — the unit the Step-3 executor moves.
+template <int W>
+struct CompactScanResult {
+  std::uint32_t partition_id = 0;
+  std::uint64_t vertices_scanned = 0;
+  std::vector<Kmer<W>> branch_seeds;
+  std::vector<Kmer<W>> boundary;
+
+  void merge(CompactScanResult&& other) {
+    vertices_scanned += other.vertices_scanned;
+    branch_seeds.insert(branch_seeds.end(), other.branch_seeds.begin(),
+                        other.branch_seeds.end());
+    boundary.insert(boundary.end(), other.boundary.begin(),
+                    other.boundary.end());
+  }
+};
+
+/// Which partition a canonical kmer's minimizer routes to — the same
+/// rule DeBruijnGraph::partition_of applies, exposed as a free function
+/// so device kernels can classify boundary vertices without a graph.
+template <int W>
+inline std::uint32_t route_partition(const Kmer<W>& canon, int p,
+                                     std::uint32_t num_partitions) {
+  std::uint8_t codes[Kmer<W>::kMaxK];
+  for (int i = 0; i < canon.k(); ++i) codes[i] = canon.base(i);
+  return minimizer_partition(kmer_minimizer_naive(codes, canon.k(), p),
+                             num_partitions);
+}
+
+/// Scans `entries[begin, end)` of one partition's published subgraph.
+/// Shared by the CPU and simulated-GPU compact kernels; `out` must
+/// carry the partition id before the call.
+template <int W>
+void compact_scan_range(
+    const std::vector<concurrent::VertexEntry<W>>& entries,
+    const CompactScanConfig& config, std::uint64_t begin,
+    std::uint64_t end, CompactScanResult<W>& out) {
+  const std::uint32_t min_w =
+      config.min_edge_weight == 0 ? 1 : config.min_edge_weight;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const auto& e = entries[i];
+    ++out.vertices_scanned;
+    if (e.coverage < config.min_coverage) continue;
+    bool is_branch = false;
+    bool is_boundary = false;
+    for (int flip = 0; flip < 2; ++flip) {
+      const Kmer<W> oriented =
+          flip ? e.kmer.reverse_complement() : e.kmer;
+      int degree = 0;
+      for (int b = 0; b < 4; ++b) {
+        const std::uint32_t w =
+            flip ? e.edges[concurrent::kEdgeIn +
+                           complement(static_cast<std::uint8_t>(b))]
+                 : e.edges[concurrent::kEdgeOut + b];
+        if (w < min_w) continue;
+        ++degree;
+        if (!is_boundary) {
+          const Kmer<W> neighbor =
+              oriented.successor(static_cast<std::uint8_t>(b))
+                  .canonical();
+          if (route_partition(neighbor, config.p,
+                              config.num_partitions) !=
+              out.partition_id) {
+            is_boundary = true;
+          }
+        }
+      }
+      if (degree >= 2) is_branch = true;
+    }
+    if (is_branch) out.branch_seeds.push_back(e.kmer);
+    if (is_boundary) out.boundary.push_back(e.kmer);
+  }
+}
+
+/// Tip clipping + simple bubble popping over the frozen graph, seeded
+/// from the compact scan's branch candidates.
+template <int W>
+class GraphSimplifier {
+ public:
+  GraphSimplifier(const DeBruijnGraph<W>& graph,
+                  const SimplifyConfig& config)
+      : graph_(graph),
+        min_coverage_(config.min_coverage),
+        min_edge_weight_(config.min_edge_weight == 0
+                             ? 1
+                             : config.min_edge_weight),
+        min_tip_(config.min_tip_len != 0
+                     ? config.min_tip_len
+                     : static_cast<std::uint32_t>(2 * graph.k())),
+        max_bubble_(config.bubble_max_len != 0
+                        ? config.bubble_max_len
+                        : static_cast<std::uint32_t>(2 * graph.k())) {}
+
+  /// Runs both passes; seeds may contain duplicates (they are sorted
+  /// and deduped here, which is what makes the outcome independent of
+  /// how the scan partitioned them).
+  SimplifyStats run(std::vector<Kmer<W>> seeds) {
+    SimplifyStats stats;
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    stats.branch_seeds = seeds.size();
+
+    for (const auto& seed : seeds) {
+      const Entry* entry = graph_.find(seed);
+      if (entry == nullptr || entry->coverage < min_coverage_) continue;
+      for (int flip = 0; flip < 2; ++flip) {
+        process_branch(State{seed, flip != 0}, *entry, stats);
+      }
+    }
+    stats.removed_vertices = removed_.size();
+    return stats;
+  }
+
+  /// Canonical keys of every vertex removed by a clip or pop.
+  const std::unordered_set<std::string>& removed() const {
+    return removed_;
+  }
+
+ private:
+  using Entry = concurrent::VertexEntry<W>;
+
+  struct State {
+    Kmer<W> canon;
+    bool flip = false;
+  };
+
+  enum class ArmEnd { kDeadEnd, kMerge, kBranch, kTooLong, kCycle };
+
+  struct Arm {
+    std::vector<std::string> keys;  ///< arm vertices, walk order
+    double coverage_sum = 0;
+    ArmEnd end = ArmEnd::kTooLong;
+    std::string merge_key;  ///< reconvergence vertex (end == kMerge)
+    bool merge_flip = false;
+  };
+
+  std::uint32_t out_weight(const Entry& e, bool flip, int b) const {
+    return flip ? e.edges[concurrent::kEdgeIn +
+                          complement(static_cast<std::uint8_t>(b))]
+                : e.edges[concurrent::kEdgeOut + b];
+  }
+
+  /// Follows (state, base b) to the next state; false if the target
+  /// vertex is absent or below the coverage floor.
+  bool hop(const State& from, int b, State& to,
+           const Entry** to_entry) const {
+    const Kmer<W> oriented =
+        from.flip ? from.canon.reverse_complement() : from.canon;
+    const Kmer<W> next =
+        oriented.successor(static_cast<std::uint8_t>(b));
+    const Kmer<W> next_canon = next.canonical();
+    const Entry* entry = graph_.find(next_canon);
+    if (entry == nullptr || entry->coverage < min_coverage_) return false;
+    to.canon = next_canon;
+    to.flip = !(next == next_canon);
+    *to_entry = entry;
+    return true;
+  }
+
+  /// Exact out-bases: the edge counter passes the weight floor AND the
+  /// target vertex survives the coverage floor.
+  std::vector<int> valid_out_bases(const State& s, const Entry& e) const {
+    std::vector<int> bases;
+    for (int b = 0; b < 4; ++b) {
+      if (out_weight(e, s.flip, b) < min_edge_weight_) continue;
+      State to;
+      const Entry* to_entry = nullptr;
+      if (hop(s, b, to, &to_entry)) bases.push_back(b);
+    }
+    return bases;
+  }
+
+  int exact_in_degree(const State& s, const Entry& e) const {
+    State rev{s.canon, !s.flip};
+    return static_cast<int>(valid_out_bases(rev, e).size());
+  }
+
+  Arm walk_arm(const State& from, int b, std::uint32_t limit) const {
+    Arm arm;
+    State cur;
+    const Entry* cur_entry = nullptr;
+    if (!hop(from, b, cur, &cur_entry)) {
+      arm.end = ArmEnd::kDeadEnd;  // unreachable: b was validated
+      return arm;
+    }
+    std::unordered_set<std::string> on_arm;
+    on_arm.insert(from.canon.to_string());
+    for (;;) {
+      const std::string key = cur.canon.to_string();
+      if (exact_in_degree(cur, *cur_entry) >= 2) {
+        arm.end = ArmEnd::kMerge;  // another path enters here
+        arm.merge_key = key;
+        arm.merge_flip = cur.flip;
+        return arm;
+      }
+      if (on_arm.count(key) != 0) {
+        arm.end = ArmEnd::kCycle;
+        return arm;
+      }
+      on_arm.insert(key);
+      arm.keys.push_back(key);
+      arm.coverage_sum += cur_entry->coverage;
+      if (arm.keys.size() > limit) {
+        arm.end = ArmEnd::kTooLong;
+        return arm;
+      }
+      const auto bases = valid_out_bases(cur, *cur_entry);
+      if (bases.empty()) {
+        arm.end = ArmEnd::kDeadEnd;
+        return arm;
+      }
+      if (bases.size() >= 2) {
+        arm.end = ArmEnd::kBranch;
+        return arm;
+      }
+      State next;
+      const Entry* next_entry = nullptr;
+      if (!hop(cur, bases[0], next, &next_entry)) {
+        arm.end = ArmEnd::kDeadEnd;
+        return arm;
+      }
+      cur = next;
+      cur_entry = next_entry;
+    }
+  }
+
+  void process_branch(const State& s, const Entry& e,
+                      SimplifyStats& stats) {
+    const auto bases = valid_out_bases(s, e);
+    if (bases.size() < 2) return;
+
+    const std::uint32_t limit = std::max(min_tip_, max_bubble_);
+    std::vector<Arm> arms;
+    arms.reserve(bases.size());
+    for (int b : bases) arms.push_back(walk_arm(s, b, limit));
+
+    // Tip clipping: a short dead-end arm hanging off this branch.
+    for (const auto& arm : arms) {
+      if (arm.end != ArmEnd::kDeadEnd) continue;
+      if (arm.keys.empty() || arm.keys.size() > min_tip_) continue;
+      std::uint64_t fresh = 0;
+      for (const auto& key : arm.keys) fresh += removed_.insert(key).second;
+      if (fresh != 0) {
+        ++stats.tips_clipped;
+        stats.tip_kmers += fresh;
+      }
+    }
+
+    // Bubble popping: arms reconverging at the same oriented vertex.
+    // Group, keep the best arm, pop the rest. The bubble is discovered
+    // from both endpoints; the processed set keeps the stats single-
+    // counted (the removal marks are idempotent either way).
+    std::unordered_map<std::string, std::vector<const Arm*>> groups;
+    for (const auto& arm : arms) {
+      if (arm.end != ArmEnd::kMerge) continue;
+      if (arm.keys.empty() || arm.keys.size() > max_bubble_) continue;
+      groups[arm.merge_key + (arm.merge_flip ? "-" : "+")].push_back(
+          &arm);
+    }
+    const std::string seed_key = s.canon.to_string();
+    for (auto& [merge, group] : groups) {
+      if (group.size() < 2) continue;
+      const std::string merge_key = merge.substr(0, merge.size() - 1);
+      const std::string bubble_id =
+          seed_key < merge_key ? seed_key + "|" + merge_key
+                               : merge_key + "|" + seed_key;
+      if (!processed_bubbles_.insert(bubble_id).second) continue;
+
+      // The winner: highest mean coverage; ties break on the sorted
+      // key multiset, which reads the same from either endpoint.
+      auto sorted_keys = [](const Arm* a) {
+        std::vector<std::string> keys = a->keys;
+        std::sort(keys.begin(), keys.end());
+        return keys;
+      };
+      const Arm* winner = group[0];
+      auto winner_keys = sorted_keys(winner);
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        const Arm* contender = group[i];
+        const double wc = winner->coverage_sum /
+                          static_cast<double>(winner->keys.size());
+        const double cc = contender->coverage_sum /
+                          static_cast<double>(contender->keys.size());
+        auto contender_keys = sorted_keys(contender);
+        if (cc > wc || (cc == wc && contender_keys < winner_keys)) {
+          winner = contender;
+          winner_keys = std::move(contender_keys);
+        }
+      }
+      for (const Arm* arm : group) {
+        if (arm == winner) continue;
+        std::uint64_t fresh = 0;
+        for (const auto& key : arm->keys) {
+          fresh += removed_.insert(key).second;
+        }
+        ++stats.bubbles_popped;
+        stats.bubble_kmers += fresh;
+      }
+    }
+  }
+
+  const DeBruijnGraph<W>& graph_;
+  std::uint32_t min_coverage_;
+  std::uint32_t min_edge_weight_;
+  std::uint32_t min_tip_;
+  std::uint32_t max_bubble_;
+  std::unordered_set<std::string> removed_;
+  std::unordered_set<std::string> processed_bubbles_;
+};
+
+/// Unitig extraction over the simplified graph, in the canonical order
+/// contigs are numbered and written: longest first, ties by sequence.
+template <int W>
+std::vector<Unitig> extract_contigs(
+    const DeBruijnGraph<W>& graph, const SimplifyConfig& config,
+    const std::unordered_set<std::string>* removed) {
+  UnitigBuilder<W> builder(
+      graph, config.min_coverage,
+      config.min_edge_weight == 0 ? 1 : config.min_edge_weight, removed);
+  std::vector<Unitig> contigs = builder.build();
+  std::sort(contigs.begin(), contigs.end(),
+            [](const Unitig& a, const Unitig& b) {
+              if (a.bases.size() != b.bases.size()) {
+                return a.bases.size() > b.bases.size();
+              }
+              return a.bases < b.bases;
+            });
+  return contigs;
+}
+
+/// How many contigs walk through boundary vertices of two or more
+/// partitions. A contig that crosses a partition boundary necessarily
+/// contains the two adjacent boundary vertices of the crossing, so the
+/// exchanged boundary map is enough to detect it.
+template <int W>
+std::uint64_t count_cross_partition(
+    const std::vector<Unitig>& contigs,
+    const std::unordered_map<std::string, std::uint32_t>&
+        boundary_partition,
+    int k) {
+  std::uint64_t crossing = 0;
+  for (const auto& contig : contigs) {
+    if (static_cast<int>(contig.bases.size()) < k) continue;
+    std::optional<std::uint32_t> first;
+    for (std::size_t i = 0; i + k <= contig.bases.size(); ++i) {
+      const Kmer<W> canon =
+          Kmer<W>::from_string(
+              std::string_view(contig.bases).substr(i, k))
+              .canonical();
+      const auto it = boundary_partition.find(canon.to_string());
+      if (it == boundary_partition.end()) continue;
+      if (!first) {
+        first = it->second;
+      } else if (*first != it->second) {
+        ++crossing;
+        break;
+      }
+    }
+  }
+  return crossing;
+}
+
+/// Writes contigs as FASTA (80-column wrap); returns bytes written so
+/// the caller can charge the output channel.
+inline std::uint64_t write_contigs_fasta(
+    const std::string& path, const std::vector<Unitig>& contigs) {
+  std::ofstream file(path);
+  if (!file) throw IoError("simplify: cannot open " + path);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < contigs.size(); ++i) {
+    const auto& contig = contigs[i];
+    char header[128];
+    const int n = std::snprintf(
+        header, sizeof header, ">contig_%zu len=%zu kmers=%llu cov=%.2f",
+        i, contig.bases.size(),
+        static_cast<unsigned long long>(contig.kmers),
+        contig.mean_coverage);
+    file << header << '\n';
+    bytes += static_cast<std::uint64_t>(n) + 1;
+    for (std::size_t off = 0; off < contig.bases.size(); off += 80) {
+      const std::size_t len = std::min<std::size_t>(
+          80, contig.bases.size() - off);
+      file.write(contig.bases.data() + off,
+                 static_cast<std::streamsize>(len));
+      file.put('\n');
+      bytes += len + 1;
+    }
+  }
+  file.close();
+  if (file.fail()) throw IoError("simplify: write failure on " + path);
+  return bytes;
+}
+
+}  // namespace parahash::core

@@ -35,13 +35,18 @@ template <int W>
 class UnitigBuilder {
  public:
   /// Only edges with weight >= min_edge_weight are followed; vertices
-  /// below min_coverage are ignored entirely.
-  explicit UnitigBuilder(const DeBruijnGraph<W>& graph,
-                         std::uint32_t min_coverage = 0,
-                         std::uint32_t min_edge_weight = 1)
+  /// below min_coverage are ignored entirely. `excluded` (optional,
+  /// not owned, by canonical kmer string) removes vertices from the
+  /// walk as if they were filtered — the hook Step-3 simplification
+  /// uses to apply its clip/pop marks without mutating the graph.
+  explicit UnitigBuilder(
+      const DeBruijnGraph<W>& graph, std::uint32_t min_coverage = 0,
+      std::uint32_t min_edge_weight = 1,
+      const std::unordered_set<std::string>* excluded = nullptr)
       : graph_(graph),
         min_coverage_(min_coverage),
-        min_edge_weight_(min_edge_weight) {}
+        min_edge_weight_(min_edge_weight),
+        excluded_(excluded) {}
 
   std::vector<Unitig> build() {
     std::vector<Unitig> unitigs;
@@ -49,6 +54,7 @@ class UnitigBuilder {
 
     graph_.for_each_vertex([&](const Entry& entry) {
       if (entry.coverage < min_coverage_) return;
+      if (is_excluded(key_of(entry.kmer))) return;
       if (visited_.contains(key_of(entry.kmer))) return;
       unitigs.push_back(trace_from(entry));
     });
@@ -67,6 +73,10 @@ class UnitigBuilder {
     return canon.to_string();
   }
 
+  bool is_excluded(const std::string& key) const {
+    return excluded_ != nullptr && excluded_->contains(key);
+  }
+
   /// Out-edge weight of oriented state via appended base b.
   std::uint32_t out_weight(const Entry& e, bool flip, int b) const {
     return flip ? e.edges[concurrent::kEdgeIn +
@@ -74,9 +84,25 @@ class UnitigBuilder {
                 : e.edges[concurrent::kEdgeOut + b];
   }
 
+  /// An edge into an excluded vertex is dead: it neither counts toward
+  /// degrees nor stops a walk, so clipped tips and popped bubble arms
+  /// let the surviving path compact straight through the old junction.
+  bool edge_excluded(const Entry& e, bool flip, int b) const {
+    if (excluded_ == nullptr) return false;
+    const Kmer<W> oriented =
+        flip ? e.kmer.reverse_complement() : e.kmer;
+    return excluded_->contains(
+        oriented.successor(static_cast<std::uint8_t>(b))
+            .canonical()
+            .to_string());
+  }
+
   int oriented_out_degree(const Entry& e, bool flip) const {
     int d = 0;
-    for (int b = 0; b < 4; ++b) d += out_weight(e, flip, b) >= min_edge_weight_;
+    for (int b = 0; b < 4; ++b) {
+      d += out_weight(e, flip, b) >= min_edge_weight_ &&
+           !edge_excluded(e, flip, b);
+    }
     return d;
   }
 
@@ -88,7 +114,8 @@ class UnitigBuilder {
   int unique_out_base(const Entry& e, bool flip) const {
     int base = -1;
     for (int b = 0; b < 4; ++b) {
-      if (out_weight(e, flip, b) >= min_edge_weight_) {
+      if (out_weight(e, flip, b) >= min_edge_weight_ &&
+          !edge_excluded(e, flip, b)) {
         if (base >= 0) return -1;
         base = b;
       }
@@ -109,6 +136,7 @@ class UnitigBuilder {
     const Kmer<W> next_canon = next.canonical();
     const Entry* entry = graph_.find(next_canon);
     if (entry == nullptr || entry->coverage < min_coverage_) return false;
+    if (is_excluded(key_of(next_canon))) return false;
 
     to.canon = next_canon;
     to.flip = !(next == next_canon);
@@ -190,6 +218,7 @@ class UnitigBuilder {
   const DeBruijnGraph<W>& graph_;
   std::uint32_t min_coverage_;
   std::uint32_t min_edge_weight_;
+  const std::unordered_set<std::string>* excluded_ = nullptr;
   std::unordered_set<std::string> visited_;
 };
 

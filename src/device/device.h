@@ -27,6 +27,7 @@
 
 #include "concurrent/thread_pool.h"
 #include "core/msp.h"
+#include "core/simplify.h"
 #include "core/subgraph.h"
 #include "io/fastx.h"
 #include "io/partition_file.h"
@@ -47,8 +48,11 @@ struct DeviceStats {
   std::uint64_t hash_partitions = 0;
   std::uint64_t hash_kmers = 0;
   std::uint64_t hash_vertices = 0;    ///< Fig. 11's Step-2 workload unit
+  std::uint64_t compact_partitions = 0;
+  std::uint64_t compact_vertices = 0;  ///< Step-3 workload unit
   double msp_compute_seconds = 0;
   double hash_compute_seconds = 0;
+  double compact_compute_seconds = 0;
   double transfer_seconds = 0;        ///< simulated host<->device time
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
@@ -60,8 +64,11 @@ struct DeviceStats {
     a.hash_partitions -= b.hash_partitions;
     a.hash_kmers -= b.hash_kmers;
     a.hash_vertices -= b.hash_vertices;
+    a.compact_partitions -= b.compact_partitions;
+    a.compact_vertices -= b.compact_vertices;
     a.msp_compute_seconds -= b.msp_compute_seconds;
     a.hash_compute_seconds -= b.hash_compute_seconds;
+    a.compact_compute_seconds -= b.compact_compute_seconds;
     a.transfer_seconds -= b.transfer_seconds;
     a.bytes_h2d -= b.bytes_h2d;
     a.bytes_d2h -= b.bytes_d2h;
@@ -94,6 +101,15 @@ class Device {
   /// plus its hash table (simulated GPUs only).
   virtual core::SubgraphBuildResult<W> run_hash(
       const io::PartitionBlob& blob, const core::HashConfig& config) = 0;
+
+  /// Step-3 kernel: compact-scan one published subgraph (branch seeds +
+  /// boundary vertices for the stitch phase). Throws
+  /// DeviceCapacityError if the partition's entry array does not fit
+  /// device memory (simulated GPUs only).
+  virtual core::CompactScanResult<W> run_compact(
+      std::uint32_t partition_id,
+      const std::vector<concurrent::VertexEntry<W>>& entries,
+      const core::CompactScanConfig& config) = 0;
 
   virtual DeviceStats stats() const = 0;
 
@@ -145,6 +161,34 @@ class CpuDevice final : public Device<W> {
     stats_.hash_kmers += result.kmers_processed;
     stats_.hash_vertices += result.table->size();
     return result;
+  }
+
+  core::CompactScanResult<W> run_compact(
+      std::uint32_t partition_id,
+      const std::vector<concurrent::VertexEntry<W>>& entries,
+      const core::CompactScanConfig& config) override {
+    WallTimer timer;
+    core::CompactScanResult<W> merged;
+    merged.partition_id = partition_id;
+    if (pool_.size() == 1) {
+      core::compact_scan_range(entries, config, 0, entries.size(),
+                               merged);
+    } else {
+      std::mutex merge_mutex;
+      pool_.parallel_for(
+          entries.size(), /*grain=*/0,
+          [&](std::uint64_t begin, std::uint64_t end) {
+            core::CompactScanResult<W> local;
+            local.partition_id = partition_id;
+            core::compact_scan_range(entries, config, begin, end, local);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            merged.merge(std::move(local));
+          });
+    }
+    stats_.compact_compute_seconds += timer.seconds();
+    ++stats_.compact_partitions;
+    stats_.compact_vertices += merged.vertices_scanned;
+    return merged;
   }
 
   DeviceStats stats() const override { return stats_; }
@@ -239,6 +283,42 @@ class SimGpuDevice final : public Device<W> {
     stats_.hash_kmers += result.kmers_processed;
     stats_.hash_vertices += result.table->size();
     return result;
+  }
+
+  core::CompactScanResult<W> run_compact(
+      std::uint32_t partition_id,
+      const std::vector<concurrent::VertexEntry<W>>& entries,
+      const core::CompactScanConfig& config) override {
+    // The staged input is the partition's full entry array.
+    const std::uint64_t entry_bytes =
+        entries.size() * sizeof(concurrent::VertexEntry<W>);
+    require_memory(entry_bytes, "subgraph entries");
+    transfer(entry_bytes, config_.h2d_bytes_per_sec, stats_.bytes_h2d);
+
+    WallTimer timer;
+    core::CompactScanResult<W> merged;
+    merged.partition_id = partition_id;
+    std::mutex merge_mutex;
+    pool_.parallel_for(
+        entries.size(), static_cast<std::uint64_t>(config_.warp),
+        [&](std::uint64_t begin, std::uint64_t end) {
+          core::CompactScanResult<W> local;
+          local.partition_id = partition_id;
+          core::compact_scan_range(entries, config, begin, end, local);
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          merged.merge(std::move(local));
+        });
+    stats_.compact_compute_seconds += timer.seconds();
+
+    // Result transfer: the exchanged seed + boundary kmer lists.
+    const std::uint64_t out_bytes =
+        (merged.branch_seeds.size() + merged.boundary.size()) *
+        sizeof(Kmer<W>);
+    transfer(out_bytes, config_.d2h_bytes_per_sec, stats_.bytes_d2h);
+
+    ++stats_.compact_partitions;
+    stats_.compact_vertices += merged.vertices_scanned;
+    return merged;
   }
 
   DeviceStats stats() const override { return stats_; }

@@ -194,7 +194,13 @@ void Autotuner::tick(const ControlSample& sample,
 
   // --- In-flight budget: backlog vs. memory headroom -----------------
   const std::uint64_t table = table_bytes_estimate_;
-  const bool backlog = sample.ledger.srv > sample.ledger.cns;
+  // Backlog on EITHER chain boundary (sealed partitions Step 2 has not
+  // claimed, or built subgraphs Step 3 has not scanned) means a
+  // consumer is starved of lanes.
+  const bool backlog =
+      sample.ledger.srv > sample.ledger.cns ||
+      (sample.step3_active &&
+       sample.compact_ledger.srv > sample.compact_ledger.cns);
   if (!options_.pin_inflight_budget && table != 0 &&
       sample.budget_bytes != 0 && cooled("inflight_budget")) {
     const bool claims_blocked =

@@ -120,6 +120,11 @@ struct CalibrationReport {
   /// Eq. (1)/(2) predictions at the chosen configuration.
   double predicted_step1_seconds = 0;
   double predicted_step2_seconds = 0;
+  /// Step-3 compact-scan prediction (0 when --step3 is off): the scan
+  /// touches every distinct vertex once, so the model prices it as
+  /// est_total_kmers / mean-coverage vertices over the fitted device
+  /// throughput.
+  double predicted_step3_seconds = 0;
 };
 
 /// Autotuner state exported into RunReport (and report_json's `tuner`
@@ -145,6 +150,11 @@ struct DeviceControlSample {
 struct ControlSample {
   double t_seconds = 0;
   PartitionLedger::Counters ledger;
+  /// Second chain boundary (Step 2 → Step 3) when --step3 rides the
+  /// fused run; all-zero (and step3_active false) otherwise. Backlog
+  /// on EITHER boundary argues for more CPU lanes.
+  PartitionLedger::Counters compact_ledger;
+  bool step3_active = false;
   std::uint64_t inflight_bytes = 0;
   std::uint64_t budget_bytes = 0;
   std::uint64_t rss_bytes = 0;

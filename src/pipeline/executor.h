@@ -300,6 +300,32 @@ StageTimes run_pipelined(const std::vector<device::Device<W>*>& devices,
   return run_pipelined(devices, callbacks, options);
 }
 
+/// One pipeline step as data: what the executor runs is N instances of
+/// this, not N hand-written drivers. The label names the trace tracks
+/// ("<label>:input", "<label>:<device>"); the device set is the step's
+/// scheduling pool; the callbacks carry the produce/compute/consume
+/// hooks (a step's consume publishing into a ledger the next step's
+/// produce claims from is what chains steps into a fused pipeline).
+template <typename In, typename Out, int W>
+struct StepDescriptor {
+  const char* label = "step";
+  std::vector<device::Device<W>*> devices;
+  StepCallbacks<In, Out, W> callbacks;
+  ExecutorOptions options;
+  bool pipelined = true;  ///< false = Fig.-12 sequential baseline
+};
+
+/// Runs one described step. This is the only entry point the drivers
+/// use — step1/step2/step3 differ solely in the descriptor they build.
+template <typename In, typename Out, int W>
+StageTimes run_step(StepDescriptor<In, Out, W> step) {
+  step.options.trace_label = step.label;
+  return step.pipelined
+             ? run_pipelined(step.devices, step.callbacks, step.options)
+             : run_sequential(step.devices, step.callbacks,
+                              step.options);
+}
+
 template <typename In, typename Out, int W>
 StageTimes run_sequential(const std::vector<device::Device<W>*>& devices,
                           const StepCallbacks<In, Out, W>& callbacks,

@@ -46,14 +46,18 @@ std::string make_partition_dir(const std::string& requested, bool* owned) {
 
 /// Splits a fused run's whole-run device-stat delta into per-step
 /// shares: the MSP counters can only have moved in Step 1, the hashing
-/// counters only in Step 2. Transfer time and bytes are charged to the
-/// Step-2 share (hash staging dominates them; with both steps live on
-/// the device concurrently a finer split would be fiction).
+/// counters only in Step 2, the compact counters only in Step 3.
+/// Transfer time and bytes are charged to the Step-2 share (hash
+/// staging dominates them; with several steps live on the device
+/// concurrently a finer split would be fiction).
 device::DeviceStats msp_share(device::DeviceStats d) {
   d.hash_partitions = 0;
   d.hash_kmers = 0;
   d.hash_vertices = 0;
   d.hash_compute_seconds = 0;
+  d.compact_partitions = 0;
+  d.compact_vertices = 0;
+  d.compact_compute_seconds = 0;
   d.transfer_seconds = 0;
   d.bytes_h2d = 0;
   d.bytes_d2h = 0;
@@ -64,6 +68,23 @@ device::DeviceStats hash_share(device::DeviceStats d) {
   d.msp_batches = 0;
   d.msp_reads = 0;
   d.msp_compute_seconds = 0;
+  d.compact_partitions = 0;
+  d.compact_vertices = 0;
+  d.compact_compute_seconds = 0;
+  return d;
+}
+
+device::DeviceStats compact_share(device::DeviceStats d) {
+  d.msp_batches = 0;
+  d.msp_reads = 0;
+  d.msp_compute_seconds = 0;
+  d.hash_partitions = 0;
+  d.hash_kmers = 0;
+  d.hash_vertices = 0;
+  d.hash_compute_seconds = 0;
+  d.transfer_seconds = 0;
+  d.bytes_h2d = 0;
+  d.bytes_d2h = 0;
   return d;
 }
 
@@ -79,6 +100,9 @@ ParaHash<W>::ParaHash(Options options)
                      "k too large for this kmer word count");
   PARAHASH_CHECK_MSG(options_.use_cpu || options_.num_gpus > 0,
                      "at least one device required");
+  PARAHASH_CHECK_MSG(!options_.step3 || options_.accumulate_graph,
+                     "step3 requires accumulate_graph: the stitch phase "
+                     "walks the whole in-memory graph");
 
   partition_dir_ = make_partition_dir(options_.work_dir,
                                       &own_partition_dir_);
@@ -318,6 +342,15 @@ void ParaHash<W>::apply_autotune(
     if (total_kmer_rate > 0) {
       cal.predicted_step2_seconds =
           cal.est_total_kmers / total_kmer_rate;
+      if (options_.step3) {
+        // Step-3 proxy: the compact scan touches each DISTINCT vertex
+        // once, so its span is Step 2's shrunk by the mean coverage
+        // (est kmer instances per distinct kmer, the model's lambda).
+        const double est_vertices =
+            cal.est_total_kmers /
+            std::max(1.0, options_.hash.lambda);
+        cal.predicted_step3_seconds = est_vertices / total_kmer_rate;
+      }
     }
   }
 
@@ -351,9 +384,32 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct(
       /*device_reports=*/true, /*exclusive_devices=*/false);
 
   VectorPartitionStream stream(paths);
-  core::DeBruijnGraph<W> graph = run_hashing_impl(
-      stream, report.step2, /*device_reports=*/true,
-      /*exclusive_devices=*/false);
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+  run_hashing_impl(stream, report.step2, /*device_reports=*/true,
+                   /*exclusive_devices=*/false, /*downstream=*/nullptr,
+                   graph);
+
+  if (options_.step3) {
+    // Unfused Step 3: serve every built partition through a one-shot
+    // boundary ledger, same protocol as the fused chain, steps
+    // back-to-back.
+    PartitionLedger boundary;
+    for (std::uint32_t id = 0; id < options_.msp.num_partitions; ++id) {
+      const auto& entries = graph.partition(id);
+      io::SealedPartition built;
+      built.id = id;
+      built.bytes =
+          entries.size() * sizeof(concurrent::VertexEntry<W>);
+      built.kmers = entries.size();
+      boundary.publish(std::move(built));
+    }
+    boundary.close();
+    LedgerPartitionStream built_stream(boundary);
+    run_compaction_impl(built_stream, graph, report.step3,
+                        report.step3_stats, /*device_reports=*/true,
+                        /*exclusive_devices=*/false);
+  }
   report.total_elapsed_seconds = total.seconds();
 
   finalize_report(graph, report);
@@ -374,8 +430,14 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
   before.reserve(devs.size());
   for (auto* dev : devs) before.push_back(dev->stats());
 
-  PartitionLedger ledger(
-      options_.inflight_table_budget_bytes,
+  // The stage-boundary chain: boundary 0 hands sealed partition files
+  // from Step 1 to Step 2 (budget-gated by estimated table bytes);
+  // boundary 1, present when Step 3 runs, hands built subgraphs from
+  // Step 2 to the compact scanners (ungated: the graph owns the entries
+  // either way).
+  LedgerChain chain;
+  PartitionLedger& ledger = chain.add_boundary(
+      "step1-step2", options_.inflight_table_budget_bytes,
       [this](const io::SealedPartition& part) {
         const std::uint64_t slots =
             options_.hash.slots_override != 0
@@ -387,11 +449,13 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
         return slots *
                concurrent::ConcurrentKmerTable<W>::bytes_per_slot();
       });
+  PartitionLedger* compact_boundary =
+      options_.step3 ? &chain.add_boundary("step2-step3") : nullptr;
 
   std::unique_ptr<LedgerSampler> sampler;
   if (options_.ledger_sample_period > 0) {
     sampler = std::make_unique<LedgerSampler>(
-        ledger, options_.ledger_sample_period);
+        chain, options_.ledger_sample_period);
   }
 
   // Live control loop: sample the ledger / RSS / probe histogram /
@@ -402,10 +466,15 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
     // and may carry samples from earlier runs in this process.
     const auto probe_base =
         telemetry::histogram("probe.length").snapshot();
-    auto sampler_fn = [this, run_timer, &ledger, devs, probe_base] {
+    auto sampler_fn = [this, run_timer, &ledger, compact_boundary, devs,
+                       probe_base] {
       ControlSample s;
       s.t_seconds = run_timer->seconds();
       s.ledger = ledger.counters();
+      if (compact_boundary != nullptr) {
+        s.step3_active = true;
+        s.compact_ledger = compact_boundary->counters();
+      }
       s.inflight_bytes = ledger.inflight_bytes();
       s.budget_bytes = ledger.budget();
       s.rss_bytes = current_rss_bytes();
@@ -454,7 +523,7 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
                             /*exclusive_devices=*/true);
     } catch (...) {
       step1_error = std::current_exception();
-      ledger.abort();  // unblock Step-2 claims; partial run ends fast
+      chain.abort_all();  // unblock downstream claims; run ends fast
     }
     step1_end_seconds = total.seconds();
     ledger.close();
@@ -464,17 +533,47 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
   core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
                                options_.msp.num_partitions);
   std::exception_ptr step2_error;
-  try {
-    graph = run_hashing_impl(stream, report.step2,
-                             /*device_reports=*/false,
-                             /*exclusive_devices=*/true);
-  } catch (...) {
-    step2_error = std::current_exception();
-    ledger.abort();  // drop unclaimed partitions; Step 1 publishes no-op
+  double step2_end_seconds = 0;
+  // Step 2 builds into the shared `graph`: partitions_[id] slots are
+  // pre-sized, each write is published to Step 3 through the compact
+  // boundary's mutex, so the chained reader only ever sees adopted
+  // partitions.
+  auto step2_body = [&] {
+    try {
+      run_hashing_impl(stream, report.step2,
+                       /*device_reports=*/false,
+                       /*exclusive_devices=*/true, compact_boundary,
+                       graph);
+    } catch (...) {
+      step2_error = std::current_exception();
+      chain.abort_all();  // drop unclaimed partitions everywhere
+    }
+    step2_end_seconds = total.seconds();
+  };
+
+  std::exception_ptr step3_error;
+  double step3_end_seconds = 0;
+  if (compact_boundary != nullptr) {
+    // Three-band timeline: Step 2 moves to its own thread and the
+    // caller thread drives Step 3, claiming built subgraphs while
+    // Step 2 is still hashing (and Step 1 possibly still sealing).
+    std::thread step2_thread(step2_body);
+    LedgerPartitionStream built_stream(*compact_boundary);
+    try {
+      run_compaction_impl(built_stream, graph, report.step3,
+                          report.step3_stats, /*device_reports=*/false,
+                          /*exclusive_devices=*/true);
+    } catch (...) {
+      step3_error = std::current_exception();
+      chain.abort_all();
+    }
+    step3_end_seconds = total.seconds();
+    step2_thread.join();
+  } else {
+    step2_body();
   }
-  const double step2_end_seconds = total.seconds();
   step1_thread.join();
-  if (tuner_) tuner_->stop();  // before ledger/devs leave scope
+  if (tuner_) tuner_->stop();  // before the chain/devs leave scope
   if (sampler) {
     sampler->stop();
     report.ledger_samples = sampler->samples();
@@ -482,12 +581,18 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
 
   if (step1_error) std::rethrow_exception(step1_error);
   if (step2_error) std::rethrow_exception(step2_error);
+  if (step3_error) std::rethrow_exception(step3_error);
 
   report.total_elapsed_seconds = total.seconds();
-  // Both steps went active at ~t=0 (thread launch); the concurrently
-  // active window therefore ends when the first of them finishes.
+  // All fused steps went active at ~t=0 (thread launch); each
+  // concurrently-active window therefore ends when the first of its
+  // pair finishes.
   report.step_overlap_seconds =
       std::min(step1_end_seconds, step2_end_seconds);
+  if (compact_boundary != nullptr) {
+    report.step23_overlap_seconds =
+        std::min(step2_end_seconds, step3_end_seconds);
+  }
 
   for (std::size_t i = 0; i < devs.size(); ++i) {
     const device::DeviceStats delta = devs[i]->stats() - before[i];
@@ -495,6 +600,10 @@ std::pair<core::DeBruijnGraph<W>, RunReport> ParaHash<W>::construct_fused(
         devs[i]->name(), devs[i]->kind(), msp_share(delta)});
     report.step2.devices.push_back(DeviceReport{
         devs[i]->name(), devs[i]->kind(), hash_share(delta)});
+    if (compact_boundary != nullptr) {
+      report.step3.devices.push_back(DeviceReport{
+          devs[i]->name(), devs[i]->kind(), compact_share(delta)});
+    }
   }
 
   finalize_report(graph, report);

@@ -27,7 +27,9 @@
 #include "core/graph.h"
 #include "core/msp.h"
 #include "core/perf_model.h"
+#include "core/simplify.h"
 #include "core/subgraph.h"
+#include "core/unitig.h"
 #include "device/device.h"
 #include "io/throttle.h"
 #include "pipeline/autotune.h"
@@ -110,6 +112,29 @@ struct Options {
   /// superkmer partition files are cleaned up).
   std::string subgraph_dir;
 
+  // --- Step 3: simplification + contig extraction ------------------
+  /// Run Step 3 after Step 2 (or fused with it, see fuse_steps):
+  /// per-partition compact scans on the devices gather branch seeds and
+  /// boundary vertices, then a stitch phase clips tips, pops simple
+  /// bubbles and extracts unitigs across partition boundaries.
+  /// Requires accumulate_graph (the stitch walks the whole graph).
+  bool step3 = false;
+
+  /// Dead-end arms of at most this many kmers are clipped (0 = 2k).
+  std::uint32_t min_tip_len = 0;
+
+  /// Bubble arms longer than this many kmers are kept (0 = 2k).
+  std::uint32_t bubble_max_len = 0;
+
+  /// Minimum edge-counter weight an edge needs to be walked during
+  /// simplification and contig extraction.
+  std::uint32_t min_edge_weight = 1;
+
+  /// Contig FASTA / assembly-graph GFA output paths (empty = not
+  /// written; the contig set is still built and reported).
+  std::string contigs_out;
+  std::string gfa_out;
+
   // --- Result ------------------------------------------------------
   std::uint32_t min_coverage = 0;  ///< filter threshold for final graph
 
@@ -138,13 +163,13 @@ struct StepReport {
   core::StepTimes model_times() const {
     core::StepTimes t;
     for (const auto& d : devices) {
+      const double compute = d.stats.msp_compute_seconds +
+                             d.stats.hash_compute_seconds +
+                             d.stats.compact_compute_seconds;
       if (d.kind == device::DeviceKind::kCpu) {
-        t.cpu_compute += d.stats.msp_compute_seconds +
-                         d.stats.hash_compute_seconds;
+        t.cpu_compute += compute;
       } else {
-        t.gpu_compute = std::max(t.gpu_compute,
-                                 d.stats.msp_compute_seconds +
-                                     d.stats.hash_compute_seconds);
+        t.gpu_compute = std::max(t.gpu_compute, compute);
         t.dh_transfer =
             std::max(t.dh_transfer, d.stats.transfer_seconds);
       }
@@ -156,9 +181,26 @@ struct StepReport {
   }
 };
 
+/// Step-3 outcome counters (beyond the executor timing that lives in
+/// RunReport::step3 like any other step).
+struct Step3Stats {
+  core::SimplifyStats simplify;
+  std::uint64_t branch_seed_vertices = 0;  ///< pre-dedup, scan output
+  std::uint64_t boundary_vertices = 0;
+  std::uint64_t contigs = 0;
+  std::uint64_t contig_bases = 0;
+  std::uint64_t cross_partition_contigs = 0;
+  std::uint64_t gfa_segments = 0;
+  std::uint64_t gfa_links = 0;
+};
+
 struct RunReport {
   StepReport step1;
   StepReport step2;
+  /// Step-3 executor timing and device deltas (empty unless
+  /// Options::step3).
+  StepReport step3;
+  Step3Stats step3_stats;
   /// Aggregate hash-table upsert statistics across every Step-2
   /// partition build (probe counts, tag-reject vs full-key-compare
   /// split, lock waits).
@@ -174,6 +216,10 @@ struct RunReport {
   /// unfused runs (the steps execute back-to-back); for fused runs this
   /// is the wall-clock the fusion reclaimed from the hard barrier.
   double step_overlap_seconds = 0;
+
+  /// Seconds Step 2 and Step 3 were concurrently active (three-stage
+  /// fused runs only): the second band of the Fig.-12 timeline.
+  double step23_overlap_seconds = 0;
 
   /// Ledger-counter timeline of a fused run (empty for unfused runs or
   /// ledger_sample_period == 0): the direct evidence of Step 1 ∥ Step 2
@@ -221,6 +267,11 @@ class ParaHash {
 
   const Options& options() const { return options_; }
 
+  /// The contig set the last Step-3 run extracted (empty unless
+  /// Options::step3), in canonical order: longest first, ties by
+  /// sequence.
+  const std::vector<core::Unitig>& contigs() const { return contigs_; }
+
   /// Where partition files (and, by default, subgraph files) live.
   const std::string& partition_dir() const { return partition_dir_; }
 
@@ -238,10 +289,23 @@ class ParaHash {
       const std::vector<std::string>& input_paths, StepReport& report,
       PartitionLedger* ledger, bool device_reports,
       bool exclusive_devices);
-  core::DeBruijnGraph<W> run_hashing_impl(PartitionStream& stream,
-                                          StepReport& report,
-                                          bool device_reports,
-                                          bool exclusive_devices);
+  /// Builds into a caller-owned `graph` (pre-sized to the run's
+  /// partition count) so a chained Step 3 can read adopted partitions
+  /// while this step is still running. A non-null `downstream` boundary
+  /// receives each partition the moment its subgraph is adopted, and is
+  /// closed when the step ends.
+  void run_hashing_impl(PartitionStream& stream, StepReport& report,
+                        bool device_reports, bool exclusive_devices,
+                        PartitionLedger* downstream,
+                        core::DeBruijnGraph<W>& graph);
+  /// Step 3: compact-scans each built partition the stream yields (the
+  /// fused chain's second boundary, or a synthetic stream after an
+  /// unfused Step 2), then runs the stitch phase over the whole graph
+  /// and fills contigs_.
+  void run_compaction_impl(PartitionStream& stream,
+                           const core::DeBruijnGraph<W>& graph,
+                           StepReport& report, Step3Stats& stats,
+                           bool device_reports, bool exclusive_devices);
   std::pair<core::DeBruijnGraph<W>, RunReport> construct_fused(
       const std::vector<std::string>& input_paths);
   /// Runs the calibration pre-pass and applies its choices to the
@@ -274,6 +338,7 @@ class ParaHash {
   concurrent::TableStats table_stats_;   // aggregated over Step-2 builds
   core::GraphStats streamed_stats_;      // accumulate_graph == false
   std::uint64_t streamed_filtered_ = 0;  // accumulate_graph == false
+  std::vector<core::Unitig> contigs_;    // Step-3 output
 };
 
 /// Convenience: build with runtime k dispatch (k <= 32 uses one-word

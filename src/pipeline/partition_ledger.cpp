@@ -142,8 +142,24 @@ bool PartitionLedger::aborted() const {
 
 LedgerSampler::LedgerSampler(const PartitionLedger& ledger,
                              double period_seconds)
-    : ledger_(ledger),
-      period_seconds_(period_seconds > 0 ? period_seconds : 1e-3) {
+    : period_seconds_(period_seconds > 0 ? period_seconds : 1e-3) {
+  bands_.push_back(Band{"ledger", &ledger});
+  start();
+}
+
+LedgerSampler::LedgerSampler(const LedgerChain& chain,
+                             double period_seconds)
+    : period_seconds_(period_seconds > 0 ? period_seconds : 1e-3) {
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    // Band 0 keeps the unprefixed legacy track/gauge names so trace
+    // consumers keyed on "ledger.*" keep working with chained runs.
+    bands_.push_back(Band{
+        i == 0 ? "ledger" : "ledger." + chain.label(i), &chain.at(i)});
+  }
+  start();
+}
+
+void LedgerSampler::start() {
   thread_ = std::thread([this] {
     trace::set_thread_name("ledger sampler");
     WallTimer timer;
@@ -175,25 +191,37 @@ void LedgerSampler::stop() {
 }
 
 void LedgerSampler::sample_once(double t_seconds) {
-  const PartitionLedger::Counters c = ledger_.counters();
-  samples_.push_back(LedgerSample{t_seconds, c});
+  LedgerSample sample;
+  sample.t_seconds = t_seconds;
+  sample.bands.reserve(bands_.size());
+  for (const Band& band : bands_) {
+    sample.bands.push_back(band.ledger->counters());
+  }
+  sample.counters = sample.bands.front();
+  samples_.push_back(sample);
 
-  static telemetry::Gauge& srv = telemetry::gauge("ledger.srv");
-  static telemetry::Gauge& cns = telemetry::gauge("ledger.cns");
-  static telemetry::Gauge& prd = telemetry::gauge("ledger.prd");
-  static telemetry::Gauge& wrt = telemetry::gauge("ledger.wrt");
-  srv.set(static_cast<std::int64_t>(c.srv));
-  cns.set(static_cast<std::int64_t>(c.cns));
-  prd.set(static_cast<std::int64_t>(c.prd));
-  wrt.set(static_cast<std::int64_t>(c.wrt));
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    const auto& label = bands_[i].label;
+    const auto& c = sample.bands[i];
+    telemetry::gauge(label + ".srv")
+        .set(static_cast<std::int64_t>(c.srv));
+    telemetry::gauge(label + ".cns")
+        .set(static_cast<std::int64_t>(c.cns));
+    telemetry::gauge(label + ".prd")
+        .set(static_cast<std::int64_t>(c.prd));
+    telemetry::gauge(label + ".wrt")
+        .set(static_cast<std::int64_t>(c.wrt));
 
-  if (trace::enabled()) {
-    trace::CounterSeries series;
-    series.push("srv", static_cast<double>(c.srv));
-    series.push("cns", static_cast<double>(c.cns));
-    series.push("prd", static_cast<double>(c.prd));
-    series.push("wrt", static_cast<double>(c.wrt));
-    trace::emit_counter("ledger", "ledger", series);
+    if (trace::enabled()) {
+      trace::CounterSeries series;
+      series.push("srv", static_cast<double>(c.srv));
+      series.push("cns", static_cast<double>(c.cns));
+      series.push("prd", static_cast<double>(c.prd));
+      series.push("wrt", static_cast<double>(c.wrt));
+      // The category must be a static literal (the tracer keeps the
+      // pointer); the per-band name is copied.
+      trace::emit_counter("ledger", label.c_str(), series);
+    }
   }
 }
 

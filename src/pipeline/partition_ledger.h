@@ -30,9 +30,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <condition_variable>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -140,10 +142,59 @@ class PartitionLedger {
   bool aborted_ = false;
 };
 
-/// One timestamped snapshot of the four shared counters.
+/// The generalized form of the fused scheduler's hand-off state: one
+/// PartitionLedger per STAGE BOUNDARY of an N-stage pipeline. A
+/// two-step fused run owns a single boundary ("step1-step2"); adding
+/// Step 3 appends a second ("step2-step3") whose publisher is Step 2's
+/// consume stage and whose claimants are Step-3 workers — the same
+/// srv/cns/prd/wrt protocol, instantiated once per hand-off instead of
+/// hard-coded for one.
+class LedgerChain {
+ public:
+  /// Appends a boundary and returns its ledger. The label names the
+  /// boundary in telemetry gauges, trace counter tracks and the run
+  /// report's timeline bands.
+  PartitionLedger& add_boundary(std::string label,
+                                std::uint64_t inflight_budget_bytes = 0,
+                                PartitionLedger::CostFn cost = {}) {
+    boundaries_.push_back(Boundary{
+        std::move(label),
+        std::make_unique<PartitionLedger>(inflight_budget_bytes,
+                                          std::move(cost))});
+    return *boundaries_.back().ledger;
+  }
+
+  std::size_t size() const { return boundaries_.size(); }
+  PartitionLedger& at(std::size_t i) { return *boundaries_[i].ledger; }
+  const PartitionLedger& at(std::size_t i) const {
+    return *boundaries_[i].ledger;
+  }
+  const std::string& label(std::size_t i) const {
+    return boundaries_[i].label;
+  }
+
+  /// Emergency stop across every boundary: a stage dying mid-chain must
+  /// unblock both its upstream publisher and its downstream claimants.
+  void abort_all() {
+    for (auto& b : boundaries_) b.ledger->abort();
+  }
+
+ private:
+  struct Boundary {
+    std::string label;
+    std::unique_ptr<PartitionLedger> ledger;
+  };
+  std::vector<Boundary> boundaries_;
+};
+
+/// One timestamped snapshot of the shared counters — `counters` is the
+/// first boundary (the classic Step-1→Step-2 band); `bands` holds every
+/// boundary of a chained run in order, so a three-stage timeline
+/// carries two bands per sample.
 struct LedgerSample {
   double t_seconds = 0;  ///< since the sampler started
   PartitionLedger::Counters counters;
+  std::vector<PartitionLedger::Counters> bands;
 };
 
 /// Background thread that snapshots a ledger's counters at a fixed
@@ -160,6 +211,10 @@ struct LedgerSample {
 class LedgerSampler {
  public:
   LedgerSampler(const PartitionLedger& ledger, double period_seconds);
+  /// Samples every boundary of a chain each tick (band i of each
+  /// sample is boundary i; band 0 doubles as the legacy `counters`).
+  /// The chain must not gain boundaries while the sampler runs.
+  LedgerSampler(const LedgerChain& chain, double period_seconds);
   ~LedgerSampler();
 
   LedgerSampler(const LedgerSampler&) = delete;
@@ -173,9 +228,15 @@ class LedgerSampler {
   const std::vector<LedgerSample>& samples() const { return samples_; }
 
  private:
+  struct Band {
+    std::string label;
+    const PartitionLedger* ledger = nullptr;
+  };
+
+  void start();
   void sample_once(double t_seconds);
 
-  const PartitionLedger& ledger_;
+  std::vector<Band> bands_;
   double period_seconds_;
   std::vector<LedgerSample> samples_;
   std::mutex mutex_;

@@ -27,6 +27,12 @@ void write_device(JsonWriter& w, const DeviceReport& d) {
   w.value(d.stats.msp_compute_seconds);
   w.key("hash_compute_seconds");
   w.value(d.stats.hash_compute_seconds);
+  w.key("compact_partitions");
+  w.value(d.stats.compact_partitions);
+  w.key("compact_vertices");
+  w.value(d.stats.compact_vertices);
+  w.key("compact_compute_seconds");
+  w.value(d.stats.compact_compute_seconds);
   w.key("transfer_seconds");
   w.value(d.stats.transfer_seconds);
   w.key("bytes_h2d");
@@ -127,6 +133,8 @@ void write_tuner(JsonWriter& w, const TunerReport& t) {
   w.value(t.calibration.predicted_step1_seconds);
   w.key("predicted_step2_seconds");
   w.value(t.calibration.predicted_step2_seconds);
+  w.key("predicted_step3_seconds");
+  w.value(t.calibration.predicted_step3_seconds);
   w.key("devices");
   w.begin_array();
   for (const auto& d : t.calibration.devices) {
@@ -181,6 +189,35 @@ std::string run_report_json(const RunReport& report,
   write_step(w, report.step2);
   w.key("step2_table");
   write_table(w, report.step2_table);
+  w.key("step3");
+  write_step(w, report.step3);
+  w.key("step3_stats");
+  w.begin_object();
+  w.key("branch_seed_vertices");
+  w.value(report.step3_stats.branch_seed_vertices);
+  w.key("boundary_vertices");
+  w.value(report.step3_stats.boundary_vertices);
+  w.key("tips_clipped");
+  w.value(report.step3_stats.simplify.tips_clipped);
+  w.key("tip_kmers");
+  w.value(report.step3_stats.simplify.tip_kmers);
+  w.key("bubbles_popped");
+  w.value(report.step3_stats.simplify.bubbles_popped);
+  w.key("bubble_kmers");
+  w.value(report.step3_stats.simplify.bubble_kmers);
+  w.key("removed_vertices");
+  w.value(report.step3_stats.simplify.removed_vertices);
+  w.key("contigs");
+  w.value(report.step3_stats.contigs);
+  w.key("contig_bases");
+  w.value(report.step3_stats.contig_bases);
+  w.key("cross_partition_contigs");
+  w.value(report.step3_stats.cross_partition_contigs);
+  w.key("gfa_segments");
+  w.value(report.step3_stats.gfa_segments);
+  w.key("gfa_links");
+  w.value(report.step3_stats.gfa_links);
+  w.end_object();
   w.key("graph");
   w.begin_object();
   w.key("vertices");
@@ -206,6 +243,8 @@ std::string run_report_json(const RunReport& report,
   w.value(report.peak_rss_bytes);
   w.key("step_overlap_seconds");
   w.value(report.step_overlap_seconds);
+  w.key("step23_overlap_seconds");
+  w.value(report.step23_overlap_seconds);
   if (!simd_level.empty()) {
     w.key("simd_level");
     w.value(simd_level);
@@ -236,6 +275,18 @@ std::string run_report_json(const RunReport& report,
     w.value(s.counters.prd);
     w.key("wrt");
     w.value(s.counters.wrt);
+    if (s.bands.size() > 1) {
+      // Second chain boundary (Step 2 → Step 3) in a three-band run:
+      // flat keys so a sample row stays a single timeline point.
+      w.key("srv2");
+      w.value(s.bands[1].srv);
+      w.key("cns2");
+      w.value(s.bands[1].cns);
+      w.key("prd2");
+      w.value(s.bands[1].prd);
+      w.key("wrt2");
+      w.value(s.bands[1].wrt);
+    }
     w.end_object();
   }
   w.end_array();

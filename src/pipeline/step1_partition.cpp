@@ -55,7 +55,6 @@ std::vector<std::string> ParaHash<W>::run_partitioning_impl(
   ExecutorOptions exec;
   exec.queue_depth = options_.queue_depth;
   exec.exclusive_devices = exclusive_devices;
-  exec.trace_label = "step1";
 
   // One pass per id range; multiple passes re-read the input (bounded
   // open file handles, the multi-pass MSP trade).
@@ -98,9 +97,13 @@ std::vector<std::string> ParaHash<W>::run_partitioning_impl(
       }
     };
 
-    report.times += options_.pipelined
-                        ? run_pipelined(devs, callbacks, exec)
-                        : run_sequential(devs, callbacks, exec);
+    StepDescriptor<io::ReadBatch, core::MspBatchOutput, W> step;
+    step.label = "step1";
+    step.devices = devs;
+    step.callbacks = std::move(callbacks);
+    step.options = exec;
+    step.pipelined = options_.pipelined;
+    report.times += run_step(std::move(step));
 
     // Seals every partition of this pass in id order, firing the
     // ledger publish hook per partition — the fused hand-off.

@@ -18,24 +18,31 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing(
     const std::vector<std::string>& partition_paths, StepReport& report) {
   PARAHASH_CHECK(partition_paths.size() == options_.msp.num_partitions);
   VectorPartitionStream stream(partition_paths);
-  return run_hashing_impl(stream, report, /*device_reports=*/true,
-                          /*exclusive_devices=*/false);
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+  run_hashing_impl(stream, report, /*device_reports=*/true,
+                   /*exclusive_devices=*/false, /*downstream=*/nullptr,
+                   graph);
+  return graph;
 }
 
 template <int W>
 core::DeBruijnGraph<W> ParaHash<W>::run_hashing(PartitionStream& stream,
                                                 StepReport& report) {
-  return run_hashing_impl(stream, report, /*device_reports=*/true,
-                          /*exclusive_devices=*/false);
+  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
+                               options_.msp.num_partitions);
+  run_hashing_impl(stream, report, /*device_reports=*/true,
+                   /*exclusive_devices=*/false, /*downstream=*/nullptr,
+                   graph);
+  return graph;
 }
 
 template <int W>
-core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
-    PartitionStream& stream, StepReport& report, bool device_reports,
-    bool exclusive_devices) {
-  core::DeBruijnGraph<W> graph(options_.msp.k, options_.msp.p,
-                               options_.msp.num_partitions);
-
+void ParaHash<W>::run_hashing_impl(PartitionStream& stream,
+                                   StepReport& report, bool device_reports,
+                                   bool exclusive_devices,
+                                   PartitionLedger* downstream,
+                                   core::DeBruijnGraph<W>& graph) {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   resizes_ = 0;
@@ -67,6 +74,19 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
     if (options_.accumulate_graph) {
       graph.adopt_table(partition_id, *result.table,
                         /*min_coverage=*/0);
+      if (downstream != nullptr) {
+        // Chain hand-off: serve the adopted subgraph to Step 3. The
+        // unit has no file behind it — Step 3 reads the in-memory
+        // partition — so the path stays empty and bytes/kmers carry
+        // the entry-array sizing.
+        const auto& entries = graph.partition(partition_id);
+        io::SealedPartition built;
+        built.id = partition_id;
+        built.bytes =
+            entries.size() * sizeof(concurrent::VertexEntry<W>);
+        built.kmers = entries.size();
+        downstream->publish(std::move(built));
+      }
     } else {
       // Streamed mode: fold this subgraph into the aggregate statistics
       // and let the table go (the paper's big-genome protocol).
@@ -126,32 +146,37 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
     stream.retire(partition_id);  // ledger: advance wrt, free budget
   };
 
-  const auto devs = devices();
-  std::vector<device::DeviceStats> before;
-  if (device_reports) {
-    for (auto* dev : devs) before.push_back(dev->stats());
-  }
-  ExecutorOptions exec;
-  exec.queue_depth = options_.queue_depth;
-  exec.exclusive_devices = exclusive_devices;
-  exec.trace_label = "step2";
+  StepDescriptor<io::PartitionBlob, core::SubgraphBuildResult<W>, W>
+      step;
+  step.label = "step2";
+  step.devices = devices();
+  step.callbacks = std::move(callbacks);
+  step.pipelined = options_.pipelined;
+  step.options.queue_depth = options_.queue_depth;
+  step.options.exclusive_devices = exclusive_devices;
   if (!lease_ptrs_.empty()) {
     // Autotuned run: a second (initially parked) lane per device that
     // the control thread can admit, and a lease it can zero to park a
     // mis-modelled device.
-    exec.max_lanes = 2;
-    exec.lane_leases = &lease_ptrs_;
+    step.options.max_lanes = 2;
+    step.options.lane_leases = &lease_ptrs_;
   }
+  std::vector<device::DeviceStats> before;
+  if (device_reports) {
+    for (auto* dev : step.devices) before.push_back(dev->stats());
+  }
+  const auto devs = step.devices;
   try {
-    report.times = options_.pipelined
-                       ? run_pipelined(devs, callbacks, exec)
-                       : run_sequential(devs, callbacks, exec);
+    report.times = run_step(std::move(step));
   } catch (...) {
     // A dead consumer must not leave the upstream publisher feeding a
-    // stream nobody drains.
+    // stream nobody drains — nor the downstream claimant waiting on a
+    // boundary nobody will ever close.
     stream.abort();
+    if (downstream != nullptr) downstream->abort();
     throw;
   }
+  if (downstream != nullptr) downstream->close();
   report.bytes_in = bytes_in;
   report.bytes_out = bytes_out;
   if (device_reports) {
@@ -160,7 +185,6 @@ core::DeBruijnGraph<W> ParaHash<W>::run_hashing_impl(
           devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
     }
   }
-  return graph;
 }
 
 template core::DeBruijnGraph<1> ParaHash<1>::run_hashing(
@@ -171,9 +195,11 @@ template core::DeBruijnGraph<1> ParaHash<1>::run_hashing(PartitionStream&,
                                                          StepReport&);
 template core::DeBruijnGraph<2> ParaHash<2>::run_hashing(PartitionStream&,
                                                          StepReport&);
-template core::DeBruijnGraph<1> ParaHash<1>::run_hashing_impl(
-    PartitionStream&, StepReport&, bool, bool);
-template core::DeBruijnGraph<2> ParaHash<2>::run_hashing_impl(
-    PartitionStream&, StepReport&, bool, bool);
+template void ParaHash<1>::run_hashing_impl(PartitionStream&, StepReport&,
+                                            bool, bool, PartitionLedger*,
+                                            core::DeBruijnGraph<1>&);
+template void ParaHash<2>::run_hashing_impl(PartitionStream&, StepReport&,
+                                            bool, bool, PartitionLedger*,
+                                            core::DeBruijnGraph<2>&);
 
 }  // namespace parahash::pipeline

@@ -1,0 +1,161 @@
+// Step 3 — parallel graph simplification + contig extraction over a
+// stream of BUILT partitions: per-partition compact scans run on the
+// devices (pipelined against Step 2 in fused runs, claiming from the
+// chain's second boundary as soon as Step 2 adopts a subgraph), then a
+// single-threaded stitch phase clips tips, pops simple bubbles and
+// extracts unitigs whose paths cross partition boundaries through the
+// graph's global read path. The stitch is deterministic by
+// construction (sorted, deduped seeds; decisions against the frozen
+// graph; canonically ordered output), so the contig set is
+// byte-identical across execution modes and partition counts.
+#include "pipeline/parahash.h"
+
+#include <unordered_map>
+
+#include "core/gfa.h"
+#include "pipeline/partition_ledger.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace parahash::pipeline {
+
+template <int W>
+void ParaHash<W>::run_compaction_impl(PartitionStream& stream,
+                                      const core::DeBruijnGraph<W>& graph,
+                                      StepReport& report,
+                                      Step3Stats& stats,
+                                      bool device_reports,
+                                      bool exclusive_devices) {
+  PARAHASH_CHECK_MSG(options_.accumulate_graph,
+                     "step3 requires accumulate_graph: the stitch phase "
+                     "walks the whole in-memory graph");
+  contigs_.clear();
+
+  core::CompactScanConfig scan;
+  scan.k = options_.msp.k;
+  scan.p = options_.msp.p;
+  scan.num_partitions = options_.msp.num_partitions;
+  scan.min_coverage = options_.min_coverage;
+  scan.min_edge_weight = options_.min_edge_weight;
+
+  std::uint64_t bytes_in = 0;
+  std::vector<Kmer<W>> branch_seeds;
+  std::unordered_map<std::string, std::uint32_t> boundary_partition;
+
+  StepCallbacks<io::SealedPartition, core::CompactScanResult<W>, W>
+      callbacks;
+  callbacks.produce = [&](io::SealedPartition& part) {
+    if (!stream.next(part)) return false;
+    bytes_in += part.bytes;
+    return true;
+  };
+  callbacks.compute = [&](device::Device<W>& dev,
+                          const io::SealedPartition& part) {
+    auto result = dev.run_compact(part.id, graph.partition(part.id),
+                                  scan);
+    stream.built(part.id);  // ledger: advance the boundary's prd
+    return result;
+  };
+  callbacks.consume = [&](core::CompactScanResult<W> result) {
+    stats.branch_seed_vertices += result.branch_seeds.size();
+    branch_seeds.insert(branch_seeds.end(), result.branch_seeds.begin(),
+                        result.branch_seeds.end());
+    for (const auto& kmer : result.boundary) {
+      boundary_partition.emplace(kmer.to_string(), result.partition_id);
+    }
+    stream.retire(result.partition_id);
+  };
+
+  StepDescriptor<io::SealedPartition, core::CompactScanResult<W>, W>
+      step;
+  step.label = "step3";
+  step.devices = devices();
+  step.callbacks = std::move(callbacks);
+  step.pipelined = options_.pipelined;
+  step.options.queue_depth = options_.queue_depth;
+  step.options.exclusive_devices = exclusive_devices;
+  if (!lease_ptrs_.empty()) {
+    // The leases are shared with the Step-2 executor: the tuner's
+    // widen/park decisions act on every consumer of a device at once.
+    step.options.max_lanes = 2;
+    step.options.lane_leases = &lease_ptrs_;
+  }
+  std::vector<device::DeviceStats> before;
+  if (device_reports) {
+    for (auto* dev : step.devices) before.push_back(dev->stats());
+  }
+  const auto devs = step.devices;
+  try {
+    report.times = run_step(std::move(step));
+  } catch (...) {
+    stream.abort();
+    throw;
+  }
+  report.bytes_in = bytes_in;
+
+  // ---- Stitch phase: whole-graph, single-threaded, deterministic ----
+  {
+    PARAHASH_TRACE_SCOPE("step3", "stitch");
+    core::SimplifyConfig config;
+    config.min_coverage = options_.min_coverage;
+    config.min_edge_weight = options_.min_edge_weight;
+    config.min_tip_len = options_.min_tip_len;
+    config.bubble_max_len = options_.bubble_max_len;
+
+    core::GraphSimplifier<W> simplifier(graph, config);
+    stats.simplify = simplifier.run(std::move(branch_seeds));
+    stats.boundary_vertices = boundary_partition.size();
+
+    contigs_ = core::extract_contigs(graph, config,
+                                     &simplifier.removed());
+    stats.contigs = contigs_.size();
+    for (const auto& contig : contigs_) {
+      stats.contig_bases += contig.bases.size();
+    }
+    stats.cross_partition_contigs = core::count_cross_partition<W>(
+        contigs_, boundary_partition, options_.msp.k);
+
+    if (!options_.contigs_out.empty()) {
+      const std::uint64_t bytes =
+          core::write_contigs_fasta(options_.contigs_out, contigs_);
+      output_throttle_.consume(bytes);
+      report.bytes_out += bytes;
+    }
+    if (!options_.gfa_out.empty()) {
+      core::GfaExporter<W> exporter(
+          graph, contigs_, options_.min_coverage,
+          options_.min_edge_weight == 0 ? 1 : options_.min_edge_weight);
+      const auto [segments, links] = exporter.write(options_.gfa_out);
+      stats.gfa_segments = segments;
+      stats.gfa_links = links;
+    }
+  }
+
+  telemetry::counter("step3.tips_clipped")
+      .add(stats.simplify.tips_clipped);
+  telemetry::counter("step3.bubbles_popped")
+      .add(stats.simplify.bubbles_popped);
+  telemetry::counter("step3.contigs").add(stats.contigs);
+  telemetry::counter("step3.boundary_vertices")
+      .add(stats.boundary_vertices);
+  PARAHASH_TRACE_INSTANT("step3", "stitch.done", "contigs",
+                         stats.contigs);
+
+  if (device_reports) {
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      report.devices.push_back(DeviceReport{
+          devs[i]->name(), devs[i]->kind(), devs[i]->stats() - before[i]});
+    }
+  }
+}
+
+template void ParaHash<1>::run_compaction_impl(PartitionStream&,
+                                               const core::DeBruijnGraph<1>&,
+                                               StepReport&, Step3Stats&,
+                                               bool, bool);
+template void ParaHash<2>::run_compaction_impl(PartitionStream&,
+                                               const core::DeBruijnGraph<2>&,
+                                               StepReport&, Step3Stats&,
+                                               bool, bool);
+
+}  // namespace parahash::pipeline

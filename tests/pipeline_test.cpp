@@ -221,6 +221,11 @@ struct CapacityFussyDevice final : device::Device<1> {
       const io::PartitionBlob&, const core::HashConfig&) override {
     throw Error("unused");
   }
+  core::CompactScanResult<1> run_compact(
+      std::uint32_t, const std::vector<concurrent::VertexEntry<1>>&,
+      const core::CompactScanConfig&) override {
+    throw Error("unused");
+  }
   device::DeviceStats stats() const override { return {}; }
   std::string name_;
 };

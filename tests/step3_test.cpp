@@ -1,0 +1,299 @@
+// Step 3 (graph simplification + contig extraction) tests: the contig
+// set must be byte-identical across every execution mode (one
+// partition, many partitions sequential, many partitions fused into
+// the three-stage chain), the simplifier must actually clip tips and
+// pop bubbles on error-bearing reads, the GFA export must round-trip
+// the contigs, and the fused chain's second ledger boundary must show
+// Step 3 consuming while Step 2 is still producing — the three-band
+// Fig.-12 timeline.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "core/simplify.h"
+#include "core/unitig.h"
+#include "io/fastx.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+
+namespace parahash::pipeline {
+namespace {
+
+struct Dataset {
+  io::TempDir dir{"step3_test"};
+  std::string fastq;
+};
+
+std::unique_ptr<Dataset> make_dataset(std::uint64_t genome_size = 3000,
+                                      double coverage = 8.0,
+                                      std::uint64_t seed = 17,
+                                      double lambda = 1.0) {
+  auto d = std::make_unique<Dataset>();
+  d->fastq = d->dir.file("reads.fastq");
+  sim::DatasetSpec spec;
+  spec.genome_size = genome_size;
+  spec.read_length = 90;
+  spec.coverage = coverage;
+  spec.lambda = lambda;
+  spec.seed = seed;
+  sim::write_dataset(spec, d->fastq);
+  return d;
+}
+
+Options base_options() {
+  Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+  options.batch_bases = 16 << 10;
+  options.step3 = true;
+  return options;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------- determinism across modes
+
+TEST(Step3, ContigsIdenticalAcrossExecutionModes) {
+  const auto d = make_dataset();
+  auto options = base_options();
+  options.min_coverage = 2;
+  options.min_tip_len = 2;
+  options.bubble_max_len = 60;
+
+  // (a) one partition: no cross-partition stitching at all.
+  options.msp.num_partitions = 1;
+  options.contigs_out = d->dir.file("a.fa");
+  ParaHash<1> one(options);
+  one.construct(d->fastq);
+  const auto fasta_a = slurp(options.contigs_out);
+  const auto contigs_a = one.contigs();
+
+  // (b) eight partitions, sequential executor.
+  options.msp.num_partitions = 8;
+  options.pipelined = false;
+  options.contigs_out = d->dir.file("b.fa");
+  ParaHash<1> seq(options);
+  seq.construct(d->fastq);
+  const auto fasta_b = slurp(options.contigs_out);
+
+  // (c) eight partitions, fused three-stage chain.
+  options.pipelined = true;
+  options.fuse_steps = true;
+  options.contigs_out = d->dir.file("c.fa");
+  ParaHash<1> fused(options);
+  auto [graph, report] = fused.construct(d->fastq);
+  const auto fasta_c = slurp(options.contigs_out);
+
+  ASSERT_FALSE(contigs_a.empty());
+  EXPECT_EQ(fasta_a, fasta_b);
+  EXPECT_EQ(fasta_a, fasta_c);
+  ASSERT_EQ(contigs_a.size(), fused.contigs().size());
+  for (std::size_t i = 0; i < contigs_a.size(); ++i) {
+    EXPECT_EQ(contigs_a[i].bases, fused.contigs()[i].bases);
+    EXPECT_EQ(contigs_a[i].kmers, fused.contigs()[i].kmers);
+  }
+  EXPECT_EQ(report.step3_stats.contigs, contigs_a.size());
+  EXPECT_EQ(report.step3.times.items, 8u);
+}
+
+// --------------------------------------------- simplification effects
+
+TEST(Step3, ClipsTipsPopsBubblesAndCompactsThroughJunctions) {
+  // min_coverage = 1 keeps every error kmer: a substitution mid-read
+  // forks a length-k side path that rejoins (a bubble); one near a
+  // read end dangles (a tip). The simplifier must remove both kinds,
+  // and the surviving paths must compact THROUGH the former junctions
+  // — strictly fewer contigs than plain unitig extraction sees.
+  const auto d = make_dataset(4000, 10.0, 5, /*lambda=*/1.0);
+  auto options = base_options();
+  options.min_coverage = 1;
+  options.min_tip_len = 0;     // auto: 2k
+  options.bubble_max_len = 0;  // auto: 2k
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+  const auto& s3 = report.step3_stats;
+
+  EXPECT_GT(s3.branch_seed_vertices, 0u);
+  EXPECT_GT(s3.simplify.tips_clipped, 0u);
+  EXPECT_GT(s3.simplify.bubbles_popped, 0u);
+  EXPECT_EQ(s3.simplify.removed_vertices,
+            s3.simplify.tip_kmers + s3.simplify.bubble_kmers);
+
+  core::UnitigBuilder<1> plain(graph, options.min_coverage,
+                               options.min_edge_weight);
+  EXPECT_LT(system.contigs().size(), plain.build().size());
+}
+
+TEST(Step3, ContigsMatchUnitigsOnCleanReads) {
+  // Error-free reads leave nothing to simplify: Step 3's contigs must
+  // equal what the caller-side UnitigBuilder extracts directly.
+  const auto d = make_dataset(2500, 6.0, 11, /*lambda=*/0.0);
+  auto options = base_options();
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+  EXPECT_EQ(report.step3_stats.simplify.removed_vertices, 0u);
+
+  core::UnitigBuilder<1> plain(graph, 0, 1);
+  auto expected = plain.build();
+  std::sort(expected.begin(), expected.end(),
+            [](const core::Unitig& a, const core::Unitig& b) {
+              if (a.bases.size() != b.bases.size()) {
+                return a.bases.size() > b.bases.size();
+              }
+              return a.bases < b.bases;
+            });
+  ASSERT_EQ(system.contigs().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(system.contigs()[i].bases, expected[i].bases);
+  }
+}
+
+// --------------------------------------------------- GFA round-trip
+
+TEST(Step3, GfaRoundTripsContigs) {
+  const auto d = make_dataset();
+  auto options = base_options();
+  options.min_coverage = 2;
+  options.gfa_out = d->dir.file("assembly.gfa");
+
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+  ASSERT_FALSE(system.contigs().empty());
+  EXPECT_EQ(report.step3_stats.gfa_segments, system.contigs().size());
+
+  std::multiset<std::string> contig_seqs;
+  for (const auto& u : system.contigs()) contig_seqs.insert(u.bases);
+
+  std::ifstream in(options.gfa_out);
+  ASSERT_TRUE(in.is_open());
+  std::multiset<std::string> gfa_seqs;
+  std::set<std::string> segment_names;
+  std::size_t links = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "S") {
+      std::string name, seq;
+      fields >> name >> seq;
+      gfa_seqs.insert(seq);
+      segment_names.insert(name);
+    } else if (tag == "L") {
+      std::string from, from_dir, to;
+      fields >> from >> from_dir >> to;
+      ++links;
+      EXPECT_TRUE(segment_names.count(from)) << line;
+      EXPECT_TRUE(segment_names.count(to)) << line;
+    }
+  }
+  EXPECT_EQ(gfa_seqs, contig_seqs);
+  EXPECT_EQ(links, report.step3_stats.gfa_links);
+}
+
+// ------------------------------------------- three-band fused timeline
+
+TEST(Step3, FusedTimelineShowsStep23Overlap) {
+  // The Fig.-12 three-band view: some sample on the second chain
+  // boundary must catch Step 3 consuming built subgraphs (cns2 > 0)
+  // while Step 2 has not yet published them all (srv2 < partitions).
+  // Multi-pass Step 1 keeps the whole chain's window wide.
+  const auto d = make_dataset(3000, 8.0, 99);
+  auto options = base_options();
+  options.msp.num_partitions = 16;
+  options.max_open_partitions = 4;  // 4 passes over the input
+  options.fuse_steps = true;
+  options.ledger_sample_period = 1e-4;
+
+  ParaHash<1> fused(options);
+  auto [graph, report] = fused.construct(d->fastq);
+
+  EXPECT_GT(report.step23_overlap_seconds, 0.0);
+  EXPECT_LE(report.step23_overlap_seconds, report.total_elapsed_seconds);
+
+  ASSERT_GE(report.ledger_samples.size(), 2u);
+  bool saw_band = false;
+  bool overlapped = false;
+  for (const auto& s : report.ledger_samples) {
+    if (s.bands.size() < 2) continue;
+    saw_band = true;
+    const auto& b = s.bands[1];
+    EXPECT_GE(b.srv, b.cns);
+    EXPECT_GE(b.cns, b.prd);
+    EXPECT_GE(b.prd, b.wrt);
+    if (b.cns > 0 && b.srv < options.msp.num_partitions) {
+      overlapped = true;
+    }
+  }
+  EXPECT_TRUE(saw_band) << "no sample carried the step2-step3 band";
+  EXPECT_TRUE(overlapped)
+      << "no sample caught Step 3 consuming while Step 2 was still "
+         "publishing ("
+      << report.ledger_samples.size() << " samples)";
+  // The final sample is fully drained on both boundaries.
+  const auto& last = report.ledger_samples.back();
+  ASSERT_GE(last.bands.size(), 2u);
+  EXPECT_EQ(last.bands[1].wrt, options.msp.num_partitions);
+}
+
+// ----------------------------------------------------- routing + model
+
+TEST(Step3, RoutePartitionMatchesGraphPlacement) {
+  const auto d = make_dataset(1500, 5.0, 7);
+  auto options = base_options();
+  ParaHash<1> system(options);
+  auto [graph, report] = system.construct(d->fastq);
+
+  std::size_t checked = 0;
+  for (std::uint32_t part = 0; part < graph.num_partitions(); ++part) {
+    for (const auto& e : graph.partition(part)) {
+      ASSERT_EQ(core::route_partition<1>(e.kmer, options.msp.p,
+                                         graph.num_partitions()),
+                graph.partition_of(e.kmer));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Step3, FusedElapsedModelGeneralisesEqOne) {
+  core::StepTimes a;
+  a.cpu_compute = 2.0;
+  a.input = 1.0;
+  a.output = 0.5;
+  a.partitions = 4;
+  // One stage: identical to Eq. (1).
+  EXPECT_DOUBLE_EQ(core::estimate_fused_elapsed({a}),
+                   core::estimate_step_elapsed(a));
+  // Adding a faster stage only adds its fill/drain share.
+  core::StepTimes b;
+  b.cpu_compute = 0.5;
+  b.input = 0.2;
+  b.partitions = 4;
+  EXPECT_DOUBLE_EQ(core::estimate_fused_elapsed({a, b}),
+                   core::estimate_step_elapsed(a) + b.input / 4.0);
+  // A slower second stage dominates the overlapped span.
+  core::StepTimes c;
+  c.cpu_compute = 8.0;
+  c.partitions = 4;
+  EXPECT_DOUBLE_EQ(core::estimate_fused_elapsed({a, c}),
+                   8.0 + (a.input + a.output) / 4.0);
+}
+
+}  // namespace
+}  // namespace parahash::pipeline
