@@ -199,7 +199,18 @@ inline void write_bench_report() {
   w.end_object();
 
   std::ofstream out(path);
-  if (out) out << w.str() << '\n';
+  if (out) {
+    out << w.str() << '\n';
+    out.flush();
+  }
+  if (!out || out.fail()) {
+    // Runs in an atexit handler, after main returned 0 — a missing
+    // BENCH_*.json must still fail the run, so CI never mistakes a
+    // write error (disk full, bad report dir) for a clean bench.
+    std::fprintf(stderr, "bench: failed to write report %s\n",
+                 path.c_str());
+    _exit(1);
+  }
 }
 
 inline void bench_report_init(const char* title, const char* paper_ref) {

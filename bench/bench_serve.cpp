@@ -1,0 +1,199 @@
+// bench_serve — load-generates the graph-query daemon and reports
+// serving latency percentiles and throughput.
+//
+// Builds a small graph in-process, publishes the frozen snapshot,
+// starts the daemon on a temp socket, then drives it from N concurrent
+// client connections (default 8, PARAHASH_SERVE_CLIENTS to override)
+// issuing a mixed workload: point FINDs, batched MFINDs and bounded
+// BFS. Per-request wall latency is recorded client-side; the table
+// prints p50/p99 and aggregate QPS per client count, and the same
+// numbers land in BENCH_bench_serve.json via report_metric().
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/frozen_graph.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/query_engine.h"
+
+namespace {
+
+using namespace parahash;
+
+struct LoadResult {
+  std::vector<double> latencies_us;  ///< one per request, all clients
+  double elapsed_seconds = 0;
+  std::uint64_t requests = 0;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Drives `clients` concurrent connections for `requests_per_client`
+/// mixed requests each.
+LoadResult run_load(const std::string& socket_path,
+                    const std::vector<std::string>& kmers, int clients,
+                    int requests_per_client) {
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+
+  const auto started = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client;
+        client.connect(socket_path);
+        std::mt19937 rng(static_cast<unsigned>(1234 + c));
+        std::uniform_int_distribution<std::size_t> pick(0,
+                                                        kmers.size() - 1);
+        auto& latencies = per_client[static_cast<std::size_t>(c)];
+        latencies.reserve(static_cast<std::size_t>(requests_per_client));
+        for (int i = 0; i < requests_per_client; ++i) {
+          std::string line;
+          switch (i % 4) {
+            case 0:
+            case 1:  // 50% point lookups
+              line = "FIND " + kmers[pick(rng)];
+              break;
+            case 2: {  // 25% batched lookups, 16 kmers per request
+              line = "MFIND";
+              for (int j = 0; j < 16; ++j) {
+                line += ' ';
+                line += kmers[pick(rng)];
+              }
+              break;
+            }
+            default:  // 25% small traversals
+              line = "BFS " + kmers[pick(rng)] + " 2";
+              break;
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          const serve::ClientReply reply = client.request(line);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!reply.ok) {
+            failed.store(true);
+            return;
+          }
+          latencies.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      } catch (const std::exception&) {
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto finished = std::chrono::steady_clock::now();
+
+  LoadResult result;
+  if (failed.load()) return result;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(finished - started).count();
+  for (auto& latencies : per_client) {
+    result.requests += latencies.size();
+    result.latencies_us.insert(result.latencies_us.end(),
+                               latencies.begin(), latencies.end());
+  }
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+int client_count_env() {
+  const char* env = std::getenv("PARAHASH_SERVE_CLIENTS");
+  const int n = env != nullptr ? std::atoi(env) : 0;
+  return n > 0 ? n : 8;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Graph-query serving: latency and throughput vs concurrent clients",
+      "serving tier (extension; daemon over the frozen snapshot)");
+
+  const io::TempDir dir;
+  const auto spec = bench::bench_chr14();
+  const std::string fastq = bench::dataset_path(dir, spec);
+
+  // Build once, publish the snapshot.
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 64;
+  options.cpu_threads = 2;
+  options.publish_frozen = true;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  const auto frozen = system.frozen();
+  std::printf("snapshot: %llu vertices, %.1f MB (built in %.3f s)\n",
+              static_cast<unsigned long long>(report.frozen.vertices),
+              static_cast<double>(report.frozen.memory_bytes) / 1e6,
+              report.frozen.build_seconds);
+
+  // Sample query keys from the snapshot (every client hits real kmers;
+  // the miss path is exercised by BFS frontiers).
+  std::vector<std::string> kmers;
+  frozen->for_each_vertex([&](const auto& entry) {
+    if (kmers.size() < 4096) kmers.push_back(entry.kmer.to_string());
+  });
+
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = dir.file("bench_serve.sock");
+  serve_options.worker_threads = 2;
+  // The daemon owns its own snapshot (FrozenGraph is move-only; the
+  // published one stays with the builder).
+  serve::Daemon daemon(serve::make_query_engine<1>(
+                           core::FrozenGraph<1>::freeze(graph)),
+                       serve_options);
+  daemon.start();
+
+  const int max_clients = client_count_env();
+  const int requests_per_client = 400;
+  std::printf("\n%8s %10s %10s %10s %12s\n", "clients", "p50 us",
+              "p99 us", "QPS", "requests");
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    const int n = std::min(clients, max_clients);
+    LoadResult r = run_load(serve_options.socket_path, kmers, n,
+                            requests_per_client);
+    if (r.requests == 0) {
+      std::fprintf(stderr, "bench_serve: load run failed at %d clients\n",
+                   n);
+      daemon.stop();
+      return 1;
+    }
+    const double p50 = quantile(r.latencies_us, 0.50);
+    const double p99 = quantile(r.latencies_us, 0.99);
+    const double qps =
+        static_cast<double>(r.requests) / r.elapsed_seconds;
+    std::printf("%8d %10.1f %10.1f %10.0f %12llu\n", n, p50, p99, qps,
+                static_cast<unsigned long long>(r.requests));
+    const std::string tag = "clients_" + std::to_string(n);
+    bench::report_metric(tag + "_p50_us", p50);
+    bench::report_metric(tag + "_p99_us", p99);
+    bench::report_metric(tag + "_qps", qps);
+    if (n == max_clients) break;
+  }
+  bench::report_metric("max_clients", max_clients);
+  bench::report_metric("snapshot_vertices",
+                       static_cast<double>(report.frozen.vertices));
+
+  daemon.stop();
+  std::printf("\ndaemon served %llu queries total\n",
+              static_cast<unsigned long long>(daemon.queries_served()));
+  return 0;
+}

@@ -1,324 +1,19 @@
-// parahash_cli — a complete command-line front end for the library.
+// parahash_cli — the retired flat front end, kept as an alias.
 //
-//   parahash_cli build  <reads.fastq...> --graph=out.phdg [--k=27 --p=11
-//        --partitions=512 --gpus=0 --threads=N --min-coverage=0
-//        --work-dir=DIR --no-pipeline --input-mbps=0 --output-mbps=0
-//        --quality-trim=0 --max-open-files=0 --fuse-steps
-//        --inflight-table-budget=MB --upsert-batch=N|auto|tuned
-//        --autotune --trace-out=trace.json --metrics-out=metrics.json
-//        --report-json=report.json
-//        --step3 --min-tip-len=N --bubble-max-len=N --min-edge-weight=N
-//        --contigs-out=contigs.fa --gfa-out=graph.gfa]
-//        (several input files — plain or .gz — concatenate)
-//   parahash_cli stats  <graph.phdg>
-//   parahash_cli unitigs <graph.phdg> --fasta=out.fa [--min-coverage=2
-//        --min-edge-weight=2]
-//   parahash_cli gfa    <graph.phdg> --out=graph.gfa [--min-coverage=2]
-//   parahash_cli export <graph.phdg> --tsv=graph.tsv [--min-coverage=0]
-//
-// The graph file must have been produced with k <= 32 (one-word kmers);
-// `build` dispatches on k automatically.
+// Every historical invocation (`parahash_cli build ... --k=27`,
+// `parahash_cli stats g.phdg`, ...) forwards unchanged to the
+// subcommand CLI in src/cli/ — the flag vocabulary is identical, the
+// new binary just adds `serve`, `query`, `report` and `--config`.
+// Prefer the `parahash` binary; this shim exists so existing scripts
+// keep working and prints a one-line deprecation note to stderr.
 #include <cstdio>
-#include <fstream>
-#include <string>
 
-#include "core/algo.h"
-#include "core/export.h"
-#include "core/gfa.h"
-#include "core/stats.h"
-#include "core/unitig.h"
-#include "pipeline/parahash.h"
-#include "pipeline/report_json.h"
-#include "util/flags.h"
-#include "util/simd.h"
-#include "util/telemetry.h"
-#include "util/trace.h"
-
-namespace {
-
-using namespace parahash;
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: parahash_cli <build|stats|unitigs|gfa|export> ...\n"
-               "see the header of examples/parahash_cli.cpp\n");
-  return 2;
-}
-
-int cmd_build(const Flags& flags) {
-  if (flags.positional().size() < 2) return usage();
-  // Every positional after "build" is an input file (lanes concatenate).
-  const std::vector<std::string> inputs(flags.positional().begin() + 1,
-                                        flags.positional().end());
-  pipeline::Options options;
-  options.msp.k = static_cast<int>(flags.get_int("k", 27));
-  options.msp.p = static_cast<int>(flags.get_int("p", 11));
-  options.msp.num_partitions =
-      static_cast<std::uint32_t>(flags.get_int("partitions", 512));
-  options.cpu_threads = static_cast<int>(flags.get_int("threads", 0));
-  options.num_gpus = static_cast<int>(flags.get_int("gpus", 0));
-  options.min_coverage =
-      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
-  options.work_dir = flags.get("work-dir");
-  options.pipelined = !flags.get_bool("no-pipeline");
-  options.input_bytes_per_sec = flags.get_double("input-mbps", 0) * 1e6;
-  options.output_bytes_per_sec = flags.get_double("output-mbps", 0) * 1e6;
-  options.quality_trim_phred =
-      static_cast<int>(flags.get_int("quality-trim", 0));
-  options.max_open_partitions =
-      static_cast<std::uint32_t>(flags.get_int("max-open-files", 0));
-  options.fuse_steps = flags.get_bool("fuse-steps");
-  options.inflight_table_budget_bytes = static_cast<std::uint64_t>(
-      flags.get_double("inflight-table-budget", 0) * 1e6);
-  options.hash.upsert_window = concurrent::UpsertWindow::parse(
-      flags.get("upsert-batch",
-                concurrent::UpsertWindow{}.to_string()));
-
-  // Step 3 — graph simplification + contig extraction. Implied by a
-  // contig/GFA output path; rides the fused chain under --fuse-steps.
-  options.contigs_out = flags.get("contigs-out");
-  options.gfa_out = flags.get("gfa-out");
-  options.step3 = flags.get_bool("step3") || !options.contigs_out.empty() ||
-                  !options.gfa_out.empty();
-  options.min_tip_len =
-      static_cast<std::uint32_t>(flags.get_int("min-tip-len", 0));
-  options.bubble_max_len =
-      static_cast<std::uint32_t>(flags.get_int("bubble-max-len", 0));
-  options.min_edge_weight =
-      static_cast<std::uint32_t>(flags.get_int("min-edge-weight", 1));
-
-  // --autotune: calibration pre-pass + live control loop. Explicitly
-  // given flags are pinned — the tuner fills in only what the user
-  // left at defaults.
-  options.autotune.enabled = flags.get_bool("autotune");
-  if (options.autotune.enabled) {
-    options.autotune.pin_partitions = flags.has("partitions");
-    options.autotune.pin_inflight_budget =
-        flags.has("inflight-table-budget");
-    options.autotune.pin_upsert_window = flags.has("upsert-batch");
-    options.autotune.pin_fuse =
-        flags.has("fuse-steps") || flags.has("no-pipeline");
-  }
-
-  const std::string graph_path = flags.get("graph", "graph.phdg");
-  const std::string trace_path = flags.get("trace-out");
-  const std::string metrics_path = flags.get("metrics-out");
-  const std::string report_path = flags.get("report-json");
-  if (!metrics_path.empty()) telemetry::set_enabled(true);
-  if (!trace_path.empty()) trace::start();
-
-  const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
-    pipeline::ParaHash<W> system(options);
-    auto [graph, run_report] = system.construct(inputs);
-    graph.write(graph_path);
-    return run_report;
-  });
-
-  std::printf("step1 %.3f s (%llu batches), step2 %.3f s (%llu "
-              "partitions), total %.3f s\n",
-              report.step1.times.elapsed_seconds,
-              static_cast<unsigned long long>(report.step1.times.items),
-              report.step2.times.elapsed_seconds,
-              static_cast<unsigned long long>(report.step2.times.items),
-              report.total_elapsed_seconds);
-  if (options.step3) {
-    const auto& s3 = report.step3_stats;
-    std::printf("step3 %.3f s (%llu partitions): %llu contigs "
-                "(%llu bases, %llu cross-partition), tips clipped %llu, "
-                "bubbles popped %llu\n",
-                report.step3.times.elapsed_seconds,
-                static_cast<unsigned long long>(report.step3.times.items),
-                static_cast<unsigned long long>(s3.contigs),
-                static_cast<unsigned long long>(s3.contig_bases),
-                static_cast<unsigned long long>(s3.cross_partition_contigs),
-                static_cast<unsigned long long>(s3.simplify.tips_clipped),
-                static_cast<unsigned long long>(s3.simplify.bubbles_popped));
-    if (!options.contigs_out.empty()) {
-      std::printf("contigs written to %s\n", options.contigs_out.c_str());
-    }
-    if (!options.gfa_out.empty()) {
-      std::printf("gfa written to %s (%llu segments, %llu links)\n",
-                  options.gfa_out.c_str(),
-                  static_cast<unsigned long long>(s3.gfa_segments),
-                  static_cast<unsigned long long>(s3.gfa_links));
-    }
-  }
-  if (options.fuse_steps) {
-    std::printf("fused steps: overlap %.3f s", report.step_overlap_seconds);
-    if (options.step3) {
-      std::printf(", step2/3 overlap %.3f s",
-                  report.step23_overlap_seconds);
-    }
-    if (options.inflight_table_budget_bytes > 0) {
-      std::printf(" (table budget %.1f MB)",
-                  static_cast<double>(options.inflight_table_budget_bytes) /
-                      1e6);
-    }
-    std::printf("\n");
-  }
-  if (report.tuner.enabled) {
-    std::printf("autotune: partitions=%u, budget %.1f MB, window %d, "
-                "%zu decisions (see report tuner section)\n",
-                report.tuner.calibration.chosen_partitions,
-                static_cast<double>(
-                    report.tuner.calibration.chosen_inflight_budget) /
-                    1e6,
-                report.tuner.calibration.chosen_upsert_window,
-                report.tuner.decisions.size());
-  }
-  std::printf("vertices %llu (filtered %llu), partition bytes %llu, "
-              "peak RSS %.1f MB\n",
-              static_cast<unsigned long long>(report.graph.vertices),
-              static_cast<unsigned long long>(report.filtered_vertices),
-              static_cast<unsigned long long>(report.partition_bytes),
-              static_cast<double>(report.peak_rss_bytes) / 1e6);
-  const auto& ht = report.step2_table;
-  if (ht.adds > 0) {
-    std::printf("upserts %llu, probes/upsert %.2f, tag-rejected %llu, "
-                "full key compares %llu (tag filter %.1f%%)\n",
-                static_cast<unsigned long long>(ht.adds),
-                ht.mean_probe_length(),
-                static_cast<unsigned long long>(ht.tag_rejects),
-                static_cast<unsigned long long>(ht.key_compares),
-                100.0 * ht.tag_filter_rate());
-    std::printf("group scans %llu (%s, window %s), lanes rejected "
-                "wholesale %llu\n",
-                static_cast<unsigned long long>(ht.group_scans),
-                simd::to_string(simd::active()),
-                options.hash.upsert_window.to_string().c_str(),
-                static_cast<unsigned long long>(ht.lanes_rejected));
-    if (ht.overflow_hits > 0 || ht.migrations > 0 || report.resizes > 0) {
-      std::printf("overflow hits %llu, table migrations %llu, "
-                  "restarts %d\n",
-                  static_cast<unsigned long long>(ht.overflow_hits),
-                  static_cast<unsigned long long>(ht.migrations),
-                  report.resizes);
-    }
-  }
-  if (!trace_path.empty()) {
-    trace::stop();
-    trace::write(trace_path);
-    std::printf("trace written to %s\n", trace_path.c_str());
-  }
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) throw IoError("cannot open " + metrics_path);
-    out << telemetry::Registry::global().snapshot_json() << '\n';
-    std::printf("metrics written to %s\n", metrics_path.c_str());
-  }
-  if (!report_path.empty()) {
-    std::ofstream out(report_path);
-    if (!out) throw IoError("cannot open " + report_path);
-    out << pipeline::run_report_json(
-               report, simd::to_string(simd::active()),
-               options.hash.upsert_window.to_string(),
-               options.inflight_table_budget_bytes)
-        << '\n';
-    std::printf("report written to %s\n", report_path.c_str());
-  }
-  std::printf("graph written to %s\n", graph_path.c_str());
-  return 0;
-}
-
-int cmd_stats(const Flags& flags) {
-  if (flags.positional().size() < 2) return usage();
-  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
-  const auto stats = graph.stats();
-  std::printf("k=%d P=%d partitions=%u\n", graph.k(), graph.p(),
-              graph.num_partitions());
-  std::printf("vertices:            %llu\n",
-              static_cast<unsigned long long>(stats.vertices));
-  std::printf("total coverage:      %llu\n",
-              static_cast<unsigned long long>(stats.total_coverage));
-  std::printf("distinct edges:      %llu\n",
-              static_cast<unsigned long long>(stats.distinct_edges));
-  std::printf("branching vertices:  %llu\n",
-              static_cast<unsigned long long>(stats.branching_vertices));
-
-  const auto histogram = core::coverage_histogram(graph, 32);
-  std::printf("suggested min-coverage: %u\n",
-              histogram.suggested_min_coverage());
-  const auto degrees = core::degree_distribution(graph);
-  std::printf("simple-path vertices:   %llu\n",
-              static_cast<unsigned long long>(
-                  degrees.simple_path_vertices()));
-  std::printf("tips:                   %llu\n",
-              static_cast<unsigned long long>(degrees.tips()));
-  std::printf("branch vertices:        %llu\n",
-              static_cast<unsigned long long>(degrees.branches()));
-  const auto components = core::connected_components(graph);
-  std::printf("connected components:   %llu (largest %llu)\n",
-              static_cast<unsigned long long>(components.count),
-              static_cast<unsigned long long>(components.largest()));
-  return 0;
-}
-
-int cmd_unitigs(const Flags& flags) {
-  if (flags.positional().size() < 2) return usage();
-  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
-  const auto min_coverage =
-      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
-  const auto min_edge =
-      static_cast<std::uint32_t>(flags.get_int("min-edge-weight", 1));
-  core::UnitigBuilder<1> builder(graph, min_coverage, min_edge);
-  const auto unitigs = builder.build();
-
-  const std::string fasta = flags.get("fasta", "unitigs.fa");
-  std::ofstream out(fasta);
-  if (!out) throw IoError("cannot open " + fasta);
-  std::uint64_t bases = 0;
-  for (std::size_t i = 0; i < unitigs.size(); ++i) {
-    out << ">unitig_" << i << " len=" << unitigs[i].length()
-        << " cov=" << unitigs[i].mean_coverage << '\n'
-        << unitigs[i].bases << '\n';
-    bases += unitigs[i].length();
-  }
-  std::printf("%zu unitigs, %llu bases -> %s\n", unitigs.size(),
-              static_cast<unsigned long long>(bases), fasta.c_str());
-  return 0;
-}
-
-int cmd_gfa(const Flags& flags) {
-  if (flags.positional().size() < 2) return usage();
-  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
-  const auto min_coverage =
-      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
-  core::UnitigBuilder<1> builder(graph, min_coverage);
-  core::GfaExporter<1> exporter(graph, builder.build(), min_coverage);
-  const std::string path = flags.get("out", "graph.gfa");
-  const auto [segments, links] = exporter.write(path);
-  std::printf("%zu segments, %zu links -> %s\n", segments, links,
-              path.c_str());
-  return 0;
-}
-
-int cmd_export(const Flags& flags) {
-  if (flags.positional().size() < 2) return usage();
-  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
-  const std::string path = flags.get("tsv", "graph.tsv");
-  const auto written = core::write_adjacency_tsv(
-      graph, path,
-      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0)));
-  std::printf("%llu vertices -> %s\n",
-              static_cast<unsigned long long>(written), path.c_str());
-  return 0;
-}
-
-}  // namespace
+#include "cli/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  if (flags.positional().empty()) return usage();
-  const std::string& command = flags.positional()[0];
-  try {
-    if (command == "build") return cmd_build(flags);
-    if (command == "stats") return cmd_stats(flags);
-    if (command == "unitigs") return cmd_unitigs(flags);
-    if (command == "gfa") return cmd_gfa(flags);
-    if (command == "export") return cmd_export(flags);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+  std::fprintf(stderr,
+               "note: parahash_cli is deprecated; use the `parahash` "
+               "binary (same commands and flags, plus serve/query/"
+               "report and --config)\n");
+  return parahash::cli::run_cli(argc, argv);
 }

@@ -2,7 +2,8 @@
 """ci-trace leg: run a small fused construction with every telemetry
 output enabled and validate the three artefacts.
 
-Usage: scripts/check_trace.py [--autotune] [--step3] <path/to/parahash_cli>
+Usage: scripts/check_trace.py [--autotune] [--step3] [--serve] \
+           <path/to/parahash_cli>
 
 Checks:
   - trace.json, metrics.json, report.json all parse as JSON;
@@ -28,12 +29,25 @@ into the fused pipeline and the checks extend to the third stage:
     consuming while Step 2 was still publishing, plus
     step23_overlap_seconds > 0;
   - the contigs FASTA and GFA artefacts exist and are well-formed.
+
+With --serve the script runs the serving-tier scenario INSTEAD of the
+trace one (`ci.sh serve` leg):
+  - `build --publish-frozen --save-config` publishes the snapshot,
+    writes a report with `frozen` + embedded `config` sections;
+  - `report --extract-config` recovers the config from the report;
+  - the daemon starts in the background (`serve --ready-file`), answers
+    FIND/MFIND/STATS over its socket (STATS JSON counts the queries),
+    and `query --graph` answers offline without it;
+  - a second build from the extracted config alone reproduces the
+    first report's graph/table stats (the reproducibility guarantee).
 """
 import json
 import random
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 
@@ -54,17 +68,149 @@ def fail(msg):
     sys.exit(1)
 
 
+def run_cli(cmd, what):
+    proc = subprocess.run([str(c) for c in cmd], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        fail(f"{what} failed ({proc.returncode}):\n{proc.stderr}")
+    return proc.stdout
+
+
+def check_serve(cli):
+    """The ci-serve leg: snapshot publication, the daemon loop, offline
+    queries, and config-driven run reproduction."""
+    with tempfile.TemporaryDirectory(prefix="parahash_ci_serve.") as tmp:
+        tmp = Path(tmp)
+        fastq = tmp / "reads.fastq"
+        write_fastq(fastq)
+        graph = tmp / "graph.phdg"
+        report = tmp / "report.json"
+        saved_cfg = tmp / "run.json"
+        run_cli([cli, "build", fastq, f"--graph={graph}",
+                 f"--work-dir={tmp / 'work'}", "--partitions=16",
+                 "--publish-frozen", f"--report-json={report}",
+                 f"--save-config={saved_cfg}"], "build")
+
+        report_doc = json.loads(report.read_text())
+        frozen = report_doc.get("frozen")
+        if not frozen or not frozen.get("published"):
+            fail("report has no published frozen section")
+        if frozen["vertices"] != report_doc["graph"]["vertices"]:
+            fail("frozen snapshot vertex count != graph vertex count")
+        embedded = report_doc.get("config")
+        if not embedded or "build" not in embedded:
+            fail("report does not embed the run config")
+        if not saved_cfg.is_file():
+            fail("--save-config wrote nothing")
+
+        # The report is self-describing: extract the config back out.
+        extracted = tmp / "extracted.json"
+        run_cli([cli, "report", report, f"--extract-config={extracted}"],
+                "report --extract-config")
+        if json.loads(extracted.read_text())["build"] != embedded["build"]:
+            fail("extracted config build section != embedded one")
+
+        # A kmer every build must contain: the first k bases of the
+        # first read (default k is taken from the saved config).
+        k = embedded["build"]["k"]
+        first_read = fastq.read_text().splitlines()[1]
+        kmer = first_read[:k]
+
+        # Daemon round trip: background serve, FIND/MFIND/STATS over
+        # the socket, clean SIGTERM shutdown.
+        sock = tmp / "ci.sock"
+        ready = tmp / "ready"
+        daemon = subprocess.Popen(
+            [str(cli), "serve", f"--graph={graph}", f"--socket={sock}",
+             f"--ready-file={ready}", "--runtime-seconds=60"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            deadline = time.monotonic() + 20
+            while not ready.is_file() and time.monotonic() < deadline:
+                if daemon.poll() is not None:
+                    fail("daemon exited before becoming ready:\n"
+                         f"{daemon.stderr.read()}")
+                time.sleep(0.05)
+            if not ready.is_file():
+                fail("daemon never wrote its ready file")
+
+            out = run_cli([cli, "query", f"--socket={sock}", "FIND",
+                           kmer], "socket FIND")
+            if not out.startswith("1 "):
+                fail(f"daemon FIND of a real kmer returned {out!r}")
+            out = run_cli([cli, "query", f"--socket={sock}", "MFIND",
+                           kmer, "A" * k], "socket MFIND")
+            if out.split()[0] != "1":
+                fail(f"daemon MFIND bit for a real kmer is {out!r}")
+            stats = json.loads(run_cli(
+                [cli, "query", f"--socket={sock}", "STATS"],
+                "socket STATS"))
+            if stats["vertices"] != report_doc["graph"]["vertices"]:
+                fail("daemon STATS vertices != report graph vertices")
+            if stats["queries_served"] < 2:
+                fail("daemon STATS did not count the served queries")
+            # A malformed kmer is an ERR, and the CLI reports it as a
+            # non-zero exit, not a crash.
+            bad = subprocess.run(
+                [str(cli), "query", f"--socket={sock}", "FIND", "NOT!"],
+                capture_output=True, text=True)
+            if bad.returncode == 0:
+                fail("malformed FIND did not exit non-zero")
+        finally:
+            if daemon.poll() is None:
+                daemon.send_signal(signal.SIGTERM)
+            daemon.wait(timeout=20)
+        if daemon.returncode != 0:
+            fail(f"daemon exited {daemon.returncode}:\n"
+                 f"{daemon.stderr.read()}")
+        if sock.exists():
+            fail("daemon left its socket file behind")
+
+        # Offline mode answers without a daemon.
+        offline = json.loads(run_cli(
+            [cli, "query", f"--graph={graph}", "STATS"], "offline STATS"))
+        if offline["vertices"] != report_doc["graph"]["vertices"]:
+            fail("offline STATS vertices != report graph vertices")
+
+        # Reproduction: a second build from the extracted config alone
+        # must match the first run's graph and table stats.
+        graph2 = tmp / "graph2.phdg"
+        report2 = tmp / "report2.json"
+        run_cli([cli, "build", f"--config={extracted}",
+                 f"--graph={graph2}", f"--work-dir={tmp / 'work2'}",
+                 f"--report-json={report2}"], "build --config")
+        report2_doc = json.loads(report2.read_text())
+        if report2_doc["graph"] != report_doc["graph"]:
+            fail("config-reproduced run has different graph stats:\n"
+                 f"  first: {report_doc['graph']}\n"
+                 f"  again: {report2_doc['graph']}")
+        for key in ("adds", "inserts"):
+            if (report2_doc["step2_table"][key]
+                    != report_doc["step2_table"][key]):
+                fail(f"config-reproduced run differs in "
+                     f"step2_table.{key}")
+
+        print(f"ci-serve: OK ({report_doc['graph']['vertices']} vertices "
+              f"served, {stats['queries_served']} daemon queries, "
+              f"config round trip reproduced the build)")
+
+
 def main():
     args = sys.argv[1:]
     autotune = "--autotune" in args
     step3 = "--step3" in args
-    args = [a for a in args if a not in ("--autotune", "--step3")]
+    serve = "--serve" in args
+    args = [a for a in args if a not in ("--autotune", "--step3",
+                                         "--serve")]
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     cli = Path(args[0]).resolve()
     if not cli.is_file():
         fail(f"no such binary: {cli}")
+    if serve:
+        check_serve(cli)
+        return
 
     with tempfile.TemporaryDirectory(prefix="parahash_ci_trace.") as tmp:
         tmp = Path(tmp)

@@ -15,14 +15,16 @@
 # section and decision instants, and a step3 leg that re-runs it with
 # the third pipeline stage chained in (--contigs-out/--gfa-out) and
 # validates the step3 tracks, the three-band ledger overlap, and the
-# contig artefacts.
+# contig artefacts, and a serve leg that publishes a frozen snapshot,
+# queries it through the background daemon and offline, and proves a
+# run is reproducible from its extracted config alone.
 #
 # The `bench` leg (not part of `all` — it is a perf artefact refresh,
 # not a gate) runs the model benches (fig13/fig14) and the micro
 # benches at a small preset and copies their BENCH_<binary>.json
 # reports to the repository root.
 #
-#   scripts/ci.sh             all seven gating legs
+#   scripts/ci.sh             all eight gating legs
 #   scripts/ci.sh default     Release + full suite only
 #   scripts/ci.sh tsan        ThreadSanitizer subset only
 #   scripts/ci.sh scalar      scalar-fallback build + full suite only
@@ -30,6 +32,7 @@
 #   scripts/ci.sh trace       telemetry artefact validation only
 #   scripts/ci.sh autotune    tuner artefact validation only
 #   scripts/ci.sh step3       third-stage (contig) artefact validation only
+#   scripts/ci.sh serve       serving-tier + config-reproduction validation only
 #   scripts/ci.sh bench       refresh BENCH_*.json artefacts (standalone)
 set -eu
 cd "$(dirname "$0")/.."
@@ -41,26 +44,30 @@ run_smalltable=1
 run_trace=1
 run_autotune=1
 run_step3=1
+run_serve=1
 run_bench=0
 case "${1:-all}" in
   all) ;;
   default) run_tsan=0; run_scalar=0; run_smalltable=0; run_trace=0
-           run_autotune=0; run_step3=0 ;;
+           run_autotune=0; run_step3=0; run_serve=0 ;;
   tsan) run_default=0; run_scalar=0; run_smalltable=0; run_trace=0
-        run_autotune=0; run_step3=0 ;;
+        run_autotune=0; run_step3=0; run_serve=0 ;;
   scalar) run_default=0; run_tsan=0; run_smalltable=0; run_trace=0
-          run_autotune=0; run_step3=0 ;;
+          run_autotune=0; run_step3=0; run_serve=0 ;;
   smalltable) run_default=0; run_tsan=0; run_scalar=0; run_trace=0
-              run_autotune=0; run_step3=0 ;;
+              run_autotune=0; run_step3=0; run_serve=0 ;;
   trace) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-         run_autotune=0; run_step3=0 ;;
+         run_autotune=0; run_step3=0; run_serve=0 ;;
   autotune) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-            run_trace=0; run_step3=0 ;;
+            run_trace=0; run_step3=0; run_serve=0 ;;
   step3) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-         run_trace=0; run_autotune=0 ;;
+         run_trace=0; run_autotune=0; run_serve=0 ;;
+  serve) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
+         run_trace=0; run_autotune=0; run_step3=0 ;;
   bench) run_default=0; run_tsan=0; run_scalar=0; run_smalltable=0
-         run_trace=0; run_autotune=0; run_step3=0; run_bench=1 ;;
-  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace|autotune|step3|bench]" >&2
+         run_trace=0; run_autotune=0; run_step3=0; run_serve=0
+         run_bench=1 ;;
+  *) echo "usage: $0 [all|default|tsan|scalar|smalltable|trace|autotune|step3|serve|bench]" >&2
      exit 2 ;;
 esac
 
@@ -102,6 +109,15 @@ if [ "$run_step3" -eq 1 ]; then
   cmake --preset default
   cmake --build --preset default --target parahash_cli
   scripts/check_trace.py --step3 build/examples/parahash_cli
+fi
+if [ "$run_serve" -eq 1 ]; then
+  # ci-serve: build with --publish-frozen/--save-config, run the query
+  # daemon in the background and drive FIND/MFIND/STATS through its
+  # socket (and offline), then re-run the build from the extracted
+  # config and require identical graph/table stats.
+  cmake --preset default
+  cmake --build --preset default --target parahash_bin
+  scripts/check_trace.py --serve build/src/cli/parahash
 fi
 if [ "$run_bench" -eq 1 ]; then
   # ci-bench: the perf-model benches (Fig. 13/14, including the

@@ -1,0 +1,33 @@
+// The subcommand command-line front end:
+//
+//   parahash build  <reads...> [--config run.json] [flags]
+//   parahash serve  --graph g.phdg | --subgraph-dir DIR --p N [flags]
+//   parahash query  [--socket S | --graph g.phdg] <VERB> [args...]
+//   parahash report <report.json> [--extract-config out.json]
+//   parahash stats | unitigs | gfa | export   (graph-file tools)
+//
+// One flags layer serves every command: each cmd_* builds a
+// parahash::Config (optionally seeded from --config FILE), applies the
+// explicit flags on top, and runs. The retired flat binary
+// (examples/parahash_cli.cpp) forwards here unchanged, so old
+// invocations keep working.
+#pragma once
+
+#include "util/flags.h"
+
+namespace parahash::cli {
+
+int cmd_build(const Flags& flags);
+int cmd_serve(const Flags& flags);
+int cmd_query(const Flags& flags);
+int cmd_report(const Flags& flags);
+int cmd_stats(const Flags& flags);
+int cmd_unitigs(const Flags& flags);
+int cmd_gfa(const Flags& flags);
+int cmd_export(const Flags& flags);
+
+/// Dispatches argv[1] to the matching cmd_*; prints usage and returns
+/// 2 on an unknown command, 1 on any error escaping a command.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace parahash::cli

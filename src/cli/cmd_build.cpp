@@ -1,0 +1,205 @@
+// parahash build — construct the graph (steps 1-3), write artefacts.
+//
+// Flat flags, a --config run.json recipe, or both (flags win). The
+// resolved config is embedded in --report-json output and can be saved
+// with --save-config, so every run is reproducible from one file.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/config_flags.h"
+#include "pipeline/config.h"
+#include "pipeline/parahash.h"
+#include "pipeline/report_json.h"
+#include "util/simd.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace parahash::cli {
+namespace {
+
+/// Writes `text` to `path`; false (with a stderr note) when the open
+/// or the write fails — a silently missing artefact must fail the run.
+bool write_artifact(const std::string& path, const std::string& text,
+                    const char* what) {
+  std::ofstream out(path);
+  if (out) {
+    out << text << '\n';
+    out.flush();
+  }
+  if (!out || out.fail()) {
+    std::fprintf(stderr, "error: failed to write %s to %s\n", what,
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_build_summary(const pipeline::Options& options,
+                         const pipeline::RunReport& report) {
+  std::printf("step1 %.3f s (%llu batches), step2 %.3f s (%llu "
+              "partitions), total %.3f s\n",
+              report.step1.times.elapsed_seconds,
+              static_cast<unsigned long long>(report.step1.times.items),
+              report.step2.times.elapsed_seconds,
+              static_cast<unsigned long long>(report.step2.times.items),
+              report.total_elapsed_seconds);
+  if (options.step3) {
+    const auto& s3 = report.step3_stats;
+    std::printf("step3 %.3f s (%llu partitions): %llu contigs "
+                "(%llu bases, %llu cross-partition), tips clipped %llu, "
+                "bubbles popped %llu\n",
+                report.step3.times.elapsed_seconds,
+                static_cast<unsigned long long>(report.step3.times.items),
+                static_cast<unsigned long long>(s3.contigs),
+                static_cast<unsigned long long>(s3.contig_bases),
+                static_cast<unsigned long long>(s3.cross_partition_contigs),
+                static_cast<unsigned long long>(s3.simplify.tips_clipped),
+                static_cast<unsigned long long>(s3.simplify.bubbles_popped));
+    if (!options.contigs_out.empty()) {
+      std::printf("contigs written to %s\n", options.contigs_out.c_str());
+    }
+    if (!options.gfa_out.empty()) {
+      std::printf("gfa written to %s (%llu segments, %llu links)\n",
+                  options.gfa_out.c_str(),
+                  static_cast<unsigned long long>(s3.gfa_segments),
+                  static_cast<unsigned long long>(s3.gfa_links));
+    }
+  }
+  if (options.fuse_steps) {
+    std::printf("fused steps: overlap %.3f s", report.step_overlap_seconds);
+    if (options.step3) {
+      std::printf(", step2/3 overlap %.3f s", report.step23_overlap_seconds);
+    }
+    if (options.inflight_table_budget_bytes > 0) {
+      std::printf(" (table budget %.1f MB)",
+                  static_cast<double>(options.inflight_table_budget_bytes) /
+                      1e6);
+    }
+    std::printf("\n");
+  }
+  if (report.tuner.enabled) {
+    std::printf("autotune: partitions=%u, budget %.1f MB, window %d, "
+                "%zu decisions (see report tuner section)\n",
+                report.tuner.calibration.chosen_partitions,
+                static_cast<double>(
+                    report.tuner.calibration.chosen_inflight_budget) /
+                    1e6,
+                report.tuner.calibration.chosen_upsert_window,
+                report.tuner.decisions.size());
+  }
+  if (report.frozen.published) {
+    std::printf("frozen snapshot: %llu vertices in %u partitions, "
+                "%.1f MB, built in %.3f s\n",
+                static_cast<unsigned long long>(report.frozen.vertices),
+                report.frozen.partitions,
+                static_cast<double>(report.frozen.memory_bytes) / 1e6,
+                report.frozen.build_seconds);
+  }
+  std::printf("vertices %llu (filtered %llu), partition bytes %llu, "
+              "peak RSS %.1f MB\n",
+              static_cast<unsigned long long>(report.graph.vertices),
+              static_cast<unsigned long long>(report.filtered_vertices),
+              static_cast<unsigned long long>(report.partition_bytes),
+              static_cast<double>(report.peak_rss_bytes) / 1e6);
+  const auto& ht = report.step2_table;
+  if (ht.adds > 0) {
+    std::printf("upserts %llu, probes/upsert %.2f, tag-rejected %llu, "
+                "full key compares %llu (tag filter %.1f%%)\n",
+                static_cast<unsigned long long>(ht.adds),
+                ht.mean_probe_length(),
+                static_cast<unsigned long long>(ht.tag_rejects),
+                static_cast<unsigned long long>(ht.key_compares),
+                100.0 * ht.tag_filter_rate());
+    std::printf("group scans %llu (%s, window %s), lanes rejected "
+                "wholesale %llu\n",
+                static_cast<unsigned long long>(ht.group_scans),
+                simd::to_string(simd::active()),
+                options.hash.upsert_window.to_string().c_str(),
+                static_cast<unsigned long long>(ht.lanes_rejected));
+    if (ht.overflow_hits > 0 || ht.migrations > 0 || report.resizes > 0) {
+      std::printf("overflow hits %llu, table migrations %llu, "
+                  "restarts %d\n",
+                  static_cast<unsigned long long>(ht.overflow_hits),
+                  static_cast<unsigned long long>(ht.migrations),
+                  report.resizes);
+    }
+  }
+}
+
+}  // namespace
+
+int cmd_build(const Flags& flags) {
+  const std::vector<std::string> positional_inputs(
+      flags.positional().begin() +
+          static_cast<long>(flags.positional().empty() ? 0 : 1),
+      flags.positional().end());
+
+  Config config = base_config(flags);
+  apply_build_flags(flags, config);
+  apply_path_flags(flags, positional_inputs, config);
+  if (config.paths.inputs.empty()) {
+    std::fprintf(stderr, "usage: parahash build <reads.fastq...> "
+                         "[--config run.json] [flags]\n");
+    return 2;
+  }
+  if (config.paths.graph.empty()) config.paths.graph = "graph.phdg";
+
+  if (flags.has("save-config")) {
+    config.save_file(flags.get("save-config"));
+    std::printf("config written to %s\n", flags.get("save-config").c_str());
+  }
+
+  const pipeline::Options& options = config.build;
+  if (!config.paths.metrics_out.empty()) telemetry::set_enabled(true);
+  if (!config.paths.trace_out.empty()) trace::start();
+
+  const auto report = with_kmer_words(options.msp.k, [&]<int W>() {
+    pipeline::ParaHash<W> system(options);
+    auto [graph, run_report] = system.construct(config.paths.inputs);
+    graph.write(config.paths.graph);
+    return run_report;
+  });
+
+  print_build_summary(options, report);
+
+  bool artifacts_ok = true;
+  if (!config.paths.trace_out.empty()) {
+    trace::stop();
+    if (!trace::write(config.paths.trace_out)) {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   config.paths.trace_out.c_str());
+      artifacts_ok = false;
+    } else {
+      std::printf("trace written to %s\n", config.paths.trace_out.c_str());
+    }
+  }
+  if (!config.paths.metrics_out.empty()) {
+    if (write_artifact(config.paths.metrics_out,
+                       telemetry::Registry::global().snapshot_json(),
+                       "metrics")) {
+      std::printf("metrics written to %s\n",
+                  config.paths.metrics_out.c_str());
+    } else {
+      artifacts_ok = false;
+    }
+  }
+  if (!config.paths.report_json.empty()) {
+    const std::string json = pipeline::run_report_json(
+        report, simd::to_string(simd::active()),
+        options.hash.upsert_window.to_string(),
+        options.inflight_table_budget_bytes, config.to_json());
+    if (write_artifact(config.paths.report_json, json, "report")) {
+      std::printf("report written to %s\n",
+                  config.paths.report_json.c_str());
+    } else {
+      artifacts_ok = false;
+    }
+  }
+  std::printf("graph written to %s\n", config.paths.graph.c_str());
+  return artifacts_ok ? 0 : 1;
+}
+
+}  // namespace parahash::cli

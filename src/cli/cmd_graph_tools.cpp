@@ -1,0 +1,122 @@
+// Graph-file tools carried over from the flat CLI: stats, unitigs,
+// gfa, export. They read a written .phdg file (k <= 32, one-word
+// kmers) and need no daemon.
+#include <cstdio>
+#include <fstream>
+
+#include "cli/cli.h"
+#include "core/algo.h"
+#include "core/export.h"
+#include "core/gfa.h"
+#include "core/graph.h"
+#include "core/stats.h"
+#include "core/unitig.h"
+#include "util/error.h"
+
+namespace parahash::cli {
+
+int cmd_stats(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: parahash stats <graph.phdg>\n");
+    return 2;
+  }
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto stats = graph.stats();
+  std::printf("k=%d P=%d partitions=%u\n", graph.k(), graph.p(),
+              graph.num_partitions());
+  std::printf("vertices:            %llu\n",
+              static_cast<unsigned long long>(stats.vertices));
+  std::printf("total coverage:      %llu\n",
+              static_cast<unsigned long long>(stats.total_coverage));
+  std::printf("distinct edges:      %llu\n",
+              static_cast<unsigned long long>(stats.distinct_edges));
+  std::printf("branching vertices:  %llu\n",
+              static_cast<unsigned long long>(stats.branching_vertices));
+
+  const auto histogram = core::coverage_histogram(graph, 32);
+  std::printf("suggested min-coverage: %u\n",
+              histogram.suggested_min_coverage());
+  const auto degrees = core::degree_distribution(graph);
+  std::printf("simple-path vertices:   %llu\n",
+              static_cast<unsigned long long>(
+                  degrees.simple_path_vertices()));
+  std::printf("tips:                   %llu\n",
+              static_cast<unsigned long long>(degrees.tips()));
+  std::printf("branch vertices:        %llu\n",
+              static_cast<unsigned long long>(degrees.branches()));
+  const auto components = core::connected_components(graph);
+  std::printf("connected components:   %llu (largest %llu)\n",
+              static_cast<unsigned long long>(components.count),
+              static_cast<unsigned long long>(components.largest()));
+  return 0;
+}
+
+int cmd_unitigs(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parahash unitigs <graph.phdg> --fasta=out.fa\n");
+    return 2;
+  }
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto min_coverage =
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
+  const auto min_edge =
+      static_cast<std::uint32_t>(flags.get_int("min-edge-weight", 1));
+  core::UnitigBuilder<1> builder(graph, min_coverage, min_edge);
+  const auto unitigs = builder.build();
+
+  const std::string fasta = flags.get("fasta", "unitigs.fa");
+  std::ofstream out(fasta);
+  if (!out) throw IoError("cannot open " + fasta);
+  std::uint64_t bases = 0;
+  for (std::size_t i = 0; i < unitigs.size(); ++i) {
+    out << ">unitig_" << i << " len=" << unitigs[i].length()
+        << " cov=" << unitigs[i].mean_coverage << '\n'
+        << unitigs[i].bases << '\n';
+    bases += unitigs[i].length();
+  }
+  out.flush();
+  if (out.fail()) {
+    std::fprintf(stderr, "error: failed to write %s\n", fasta.c_str());
+    return 1;
+  }
+  std::printf("%zu unitigs, %llu bases -> %s\n", unitigs.size(),
+              static_cast<unsigned long long>(bases), fasta.c_str());
+  return 0;
+}
+
+int cmd_gfa(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parahash gfa <graph.phdg> --out=graph.gfa\n");
+    return 2;
+  }
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const auto min_coverage =
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0));
+  core::UnitigBuilder<1> builder(graph, min_coverage);
+  core::GfaExporter<1> exporter(graph, builder.build(), min_coverage);
+  const std::string path = flags.get("out", "graph.gfa");
+  const auto [segments, links] = exporter.write(path);
+  std::printf("%zu segments, %zu links -> %s\n", segments, links,
+              path.c_str());
+  return 0;
+}
+
+int cmd_export(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parahash export <graph.phdg> --tsv=graph.tsv\n");
+    return 2;
+  }
+  const auto graph = core::DeBruijnGraph<1>::load(flags.positional()[1]);
+  const std::string path = flags.get("tsv", "graph.tsv");
+  const auto written = core::write_adjacency_tsv(
+      graph, path,
+      static_cast<std::uint32_t>(flags.get_int("min-coverage", 0)));
+  std::printf("%llu vertices -> %s\n",
+              static_cast<unsigned long long>(written), path.c_str());
+  return 0;
+}
+
+}  // namespace parahash::cli

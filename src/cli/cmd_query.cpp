@@ -1,0 +1,183 @@
+// parahash query — one-shot queries, online or offline.
+//
+//   parahash query --socket parahash.sock FIND ACGT...   (via daemon)
+//   parahash query --graph g.phdg BFS ACGT... 3          (no daemon)
+//
+// Online mode joins the operands into one protocol line and prints the
+// payload (an ERR reply goes to stderr with exit 1). Offline mode
+// loads the snapshot in-process and answers the same verbs with the
+// same payload format, so scripts can swap modes freely.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/config_flags.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "util/error.h"
+
+namespace parahash::cli {
+namespace {
+
+int parse_int_arg(const std::string& text, const char* what) {
+  try {
+    return std::stoi(text);
+  } catch (...) {
+    throw InvalidArgumentError(std::string("query: ") + what +
+                               " must be an integer, got '" + text + "'");
+  }
+}
+
+int print_response(const serve::Response& response) {
+  if (!response.ok) {
+    std::fprintf(stderr, "ERR %s\n", response.error.c_str());
+    return 1;
+  }
+  for (const std::string& line : response.lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+/// Answers one parsed request against an in-process engine with the
+/// daemon's payload formats.
+serve::Response answer_offline(const serve::QueryEngine& engine,
+                               const serve::Request& request,
+                               std::uint32_t default_min_weight) {
+  using serve::Response;
+  using serve::Verb;
+  const auto min_weight = [&](std::size_t index) {
+    return index < request.args.size()
+               ? static_cast<std::uint32_t>(
+                     parse_int_arg(request.args[index], "min_weight"))
+               : default_min_weight;
+  };
+  switch (request.verb) {
+    case Verb::kPing:
+      return Response::one_line("pong");
+    case Verb::kFind: {
+      const auto r = engine.find(request.args[0]);
+      if (!r.found) return Response::one_line("0");
+      std::string line = "1 " + std::to_string(r.coverage);
+      for (const std::uint32_t e : r.edges) {
+        line += ' ';
+        line += std::to_string(e);
+      }
+      return Response::one_line(line);
+    }
+    case Verb::kMfind: {
+      std::vector<serve::QueryEngine::FindResult> results;
+      engine.find_many(request.args, results);
+      std::string bits;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i > 0) bits += ' ';
+        bits += results[i].found ? '1' : '0';
+      }
+      return Response::one_line(bits);
+    }
+    case Verb::kNeigh:
+      return Response::success(
+          engine.neighbors(request.args[0], min_weight(1)));
+    case Verb::kBfs: {
+      const int radius = parse_int_arg(request.args[1], "radius");
+      std::vector<std::string> lines;
+      for (const auto& row :
+           engine.bfs(request.args[0], radius, min_weight(2), 0)) {
+        lines.push_back(row.kmer + ' ' + std::to_string(row.depth) + ' ' +
+                        std::to_string(row.coverage));
+      }
+      return Response::success(std::move(lines));
+    }
+    case Verb::kGfa: {
+      const int radius = parse_int_arg(request.args[1], "radius");
+      const std::string text =
+          engine.gfa(request.args[0], radius, min_weight(2), 0);
+      std::vector<std::string> lines;
+      std::size_t pos = 0;
+      while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::size_t end = nl == std::string::npos ? text.size() : nl;
+        lines.push_back(text.substr(pos, end - pos));
+        pos = end + 1;
+      }
+      return Response::success(std::move(lines));
+    }
+    case Verb::kStats: {
+      std::string line = "{\"k\":" + std::to_string(engine.k()) +
+                         ",\"vertices\":" +
+                         std::to_string(engine.num_vertices()) +
+                         ",\"partitions\":" +
+                         std::to_string(engine.num_partitions()) +
+                         ",\"memory_bytes\":" +
+                         std::to_string(engine.memory_bytes()) + "}";
+      return Response::one_line(line);
+    }
+    default:
+      return Response::err("unsupported verb in offline mode");
+  }
+}
+
+}  // namespace
+
+int cmd_query(const Flags& flags) {
+  Config config = base_config(flags);
+  apply_serve_flags(flags, config);
+  apply_path_flags(flags, {}, config);
+
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parahash query [--socket S | --graph g.phdg | "
+                 "--subgraph-dir DIR --p N] <VERB> [args...]\n");
+    return 2;
+  }
+  std::string line;
+  for (std::size_t i = 1; i < flags.positional().size(); ++i) {
+    if (i > 1) line += ' ';
+    line += flags.positional()[i];
+  }
+
+  if (flags.has("socket")) {
+    serve::Client client;
+    client.connect(config.serve.socket_path);
+    const serve::ClientReply reply = client.request(line);
+    serve::Response response;
+    response.ok = reply.ok;
+    response.error = reply.error;
+    response.lines = reply.lines;
+    return print_response(response);
+  }
+
+  const std::string subgraph_dir = flags.get("subgraph-dir");
+  if (config.paths.graph.empty() && subgraph_dir.empty()) {
+    std::fprintf(stderr, "query: need --socket, --graph or "
+                         "--subgraph-dir\n");
+    return 2;
+  }
+  const double alpha = flags.get_double("frozen-alpha", 0.7);
+  std::unique_ptr<serve::QueryEngine> engine;
+  if (!subgraph_dir.empty()) {
+    const int p = static_cast<int>(flags.get_int("p", config.build.msp.p));
+    engine = serve::load_engine_from_subgraph_dir(subgraph_dir, p, alpha);
+  } else {
+    engine = serve::load_engine_from_graph(config.paths.graph, alpha);
+  }
+
+  const serve::Request request = serve::parse_request(line);
+  if (request.verb == serve::Verb::kInvalid) {
+    std::fprintf(stderr, "ERR %s\n", request.error.c_str());
+    return 1;
+  }
+  serve::Response response;
+  try {
+    response = answer_offline(*engine, request,
+                              config.serve.min_edge_weight);
+  } catch (const Error& e) {
+    response = serve::Response::err(e.what());
+  }
+  return print_response(response);
+}
+
+}  // namespace parahash::cli

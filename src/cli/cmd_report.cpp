@@ -1,0 +1,117 @@
+// parahash report — inspect a --report-json file.
+//
+//   parahash report run_report.json
+//   parahash report run_report.json --extract-config run.json
+//
+// Prints the headline numbers of a recorded run; --extract-config
+// recovers the embedded parahash::Config (validated through a full
+// from_json/to_json round trip) so `parahash build --config run.json`
+// reproduces the run.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/cli.h"
+#include "pipeline/config.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace parahash::cli {
+namespace {
+
+/// Re-serialises a parsed JSON tree (object keys come back sorted —
+/// JsonValue stores members in a std::map).
+void unparse(const JsonValue& v, JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: w.raw("null"); break;
+    case JsonValue::Kind::kBool: w.value(v.as_bool()); break;
+    case JsonValue::Kind::kNumber: w.value(v.as_double()); break;
+    case JsonValue::Kind::kString: w.value(v.as_string()); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.as_array()) unparse(item, w);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, value] : v.as_object()) {
+        w.key(key);
+        unparse(value, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+double number_or(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+}  // namespace
+
+int cmd_report(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: parahash report <report.json> "
+                         "[--extract-config out.json]\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  std::ifstream in(path);
+  if (!in) throw IoError("report: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = JsonValue::parse(buffer.str());
+
+  const auto step_seconds = [&](const char* step) {
+    const JsonValue* s = root.get(step);
+    return s != nullptr ? number_or(s->get("elapsed_seconds"), 0) : 0.0;
+  };
+  std::printf("report %s\n", path.c_str());
+  std::printf("  step1 %.3f s, step2 %.3f s, step3 %.3f s, total %.3f s\n",
+              step_seconds("step1"), step_seconds("step2"),
+              step_seconds("step3"),
+              number_or(root.get("total_elapsed_seconds"), 0));
+  if (const JsonValue* graph = root.get("graph")) {
+    std::printf("  vertices %.0f, distinct edges %.0f\n",
+                number_or(graph->get("vertices"), 0),
+                number_or(graph->get("distinct_edges"), 0));
+  }
+  if (const JsonValue* frozen = root.get("frozen")) {
+    std::printf("  frozen snapshot: %.0f vertices, %.1f MB, "
+                "built in %.3f s\n",
+                number_or(frozen->get("vertices"), 0),
+                number_or(frozen->get("memory_bytes"), 0) / 1e6,
+                number_or(frozen->get("build_seconds"), 0));
+  }
+  if (const JsonValue* tuner = root.get("tuner")) {
+    const JsonValue* decisions = tuner->get("decisions");
+    std::printf("  autotuned: %zu decisions\n",
+                decisions != nullptr && decisions->is_array()
+                    ? decisions->as_array().size()
+                    : 0);
+  }
+  const JsonValue* config = root.get("config");
+  std::printf("  embedded config: %s\n",
+              config != nullptr ? "yes" : "no");
+
+  if (flags.has("extract-config")) {
+    if (config == nullptr) {
+      std::fprintf(stderr, "report: %s has no embedded config (was it "
+                           "written with --report-json by this CLI?)\n",
+                   path.c_str());
+      return 1;
+    }
+    JsonWriter w;
+    unparse(*config, w);
+    // Round-trip through Config so a schema mismatch fails HERE, not
+    // at the next build.
+    const Config validated = Config::from_json(w.str());
+    const std::string out_path = flags.get("extract-config");
+    validated.save_file(out_path);
+    std::printf("config written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace parahash::cli

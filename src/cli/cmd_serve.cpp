@@ -1,0 +1,104 @@
+// parahash serve — the graph-query daemon.
+//
+// Loads a frozen snapshot from a .phdg graph file (--graph) or a
+// Step-2 subgraph directory (--subgraph-dir + --p), binds the AF_UNIX
+// socket and serves protocol.h queries until SIGINT/SIGTERM (or
+// --runtime-seconds). --ready-file writes the socket path once the
+// daemon accepts connections, so scripts can wait for it instead of
+// polling the socket.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cli/cli.h"
+#include "cli/config_flags.h"
+#include "serve/daemon.h"
+#include "serve/query_engine.h"
+#include "util/error.h"
+#include "util/telemetry.h"
+
+namespace parahash::cli {
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+}  // namespace
+
+int cmd_serve(const Flags& flags) {
+  Config config = base_config(flags);
+  apply_serve_flags(flags, config);
+  apply_path_flags(flags, {}, config);
+
+  const std::string graph_path = config.paths.graph;
+  const std::string subgraph_dir = flags.get("subgraph-dir");
+  if (graph_path.empty() && subgraph_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: parahash serve --graph g.phdg | "
+                 "--subgraph-dir DIR --p N [--socket S] [flags]\n");
+    return 2;
+  }
+  const double alpha = flags.get_double("frozen-alpha", 0.7);
+
+  telemetry::set_enabled(true);
+  std::unique_ptr<serve::QueryEngine> engine;
+  if (!subgraph_dir.empty()) {
+    const int p = static_cast<int>(
+        flags.get_int("p", config.build.msp.p));
+    engine = serve::load_engine_from_subgraph_dir(subgraph_dir, p, alpha);
+  } else {
+    engine = serve::load_engine_from_graph(graph_path, alpha);
+  }
+  std::printf("snapshot loaded: k=%d, %llu vertices in %u partitions, "
+              "%.1f MB\n",
+              engine->k(),
+              static_cast<unsigned long long>(engine->num_vertices()),
+              engine->num_partitions(),
+              static_cast<double>(engine->memory_bytes()) / 1e6);
+
+  serve::Daemon daemon(std::move(engine), config.serve);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  daemon.start();
+  std::printf("serving on %s (%d workers, batch %d)\n",
+              daemon.socket_path().c_str(), config.serve.worker_threads,
+              config.serve.max_batch);
+  std::fflush(stdout);
+
+  if (flags.has("ready-file")) {
+    std::ofstream ready(flags.get("ready-file"));
+    ready << daemon.socket_path() << '\n';
+    ready.flush();
+    if (!ready || ready.fail()) {
+      std::fprintf(stderr, "error: failed to write ready file %s\n",
+                   flags.get("ready-file").c_str());
+      daemon.stop();
+      return 1;
+    }
+  }
+
+  const double runtime_seconds = flags.get_double("runtime-seconds", 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(runtime_seconds));
+  while (g_stop_requested == 0) {
+    if (runtime_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  daemon.stop();
+  std::printf("served %llu queries\n",
+              static_cast<unsigned long long>(daemon.queries_served()));
+  return 0;
+}
+
+}  // namespace parahash::cli

@@ -1,0 +1,111 @@
+#include "cli/config_flags.h"
+
+#include <cstdint>
+
+#include "concurrent/batched_upsert.h"
+
+namespace parahash::cli {
+namespace {
+
+void set_int(const Flags& flags, const char* name, int& out) {
+  if (flags.has(name)) out = static_cast<int>(flags.get_int(name, 0));
+}
+void set_u32(const Flags& flags, const char* name, std::uint32_t& out) {
+  if (flags.has(name)) {
+    out = static_cast<std::uint32_t>(flags.get_int(name, 0));
+  }
+}
+void set_bool(const Flags& flags, const char* name, bool& out) {
+  if (flags.has(name)) out = flags.get_bool(name);
+}
+void set_string(const Flags& flags, const char* name, std::string& out) {
+  if (flags.has(name)) out = flags.get(name);
+}
+
+}  // namespace
+
+Config base_config(const Flags& flags) {
+  if (flags.has("config")) return Config::load_file(flags.get("config"));
+  return Config{};
+}
+
+void apply_build_flags(const Flags& flags, Config& config) {
+  pipeline::Options& o = config.build;
+  set_int(flags, "k", o.msp.k);
+  set_int(flags, "p", o.msp.p);
+  set_u32(flags, "partitions", o.msp.num_partitions);
+  set_int(flags, "threads", o.cpu_threads);
+  set_int(flags, "gpus", o.num_gpus);
+  set_u32(flags, "min-coverage", o.min_coverage);
+  set_string(flags, "work-dir", o.work_dir);
+  if (flags.has("no-pipeline")) o.pipelined = !flags.get_bool("no-pipeline");
+  if (flags.has("input-mbps")) {
+    o.input_bytes_per_sec = flags.get_double("input-mbps", 0) * 1e6;
+  }
+  if (flags.has("output-mbps")) {
+    o.output_bytes_per_sec = flags.get_double("output-mbps", 0) * 1e6;
+  }
+  set_int(flags, "quality-trim", o.quality_trim_phred);
+  set_u32(flags, "max-open-files", o.max_open_partitions);
+  set_bool(flags, "fuse-steps", o.fuse_steps);
+  if (flags.has("inflight-table-budget")) {
+    o.inflight_table_budget_bytes = static_cast<std::uint64_t>(
+        flags.get_double("inflight-table-budget", 0) * 1e6);
+  }
+  if (flags.has("upsert-batch")) {
+    o.hash.upsert_window =
+        concurrent::UpsertWindow::parse(flags.get("upsert-batch"));
+  }
+  if (flags.has("alpha")) o.hash.alpha = flags.get_double("alpha", 0.7);
+
+  // Step 3: implied by a contig/GFA output path, as on the flat CLI.
+  set_string(flags, "contigs-out", o.contigs_out);
+  set_string(flags, "gfa-out", o.gfa_out);
+  if (flags.has("step3") || !o.contigs_out.empty() || !o.gfa_out.empty()) {
+    o.step3 = flags.has("step3") ? flags.get_bool("step3") : true;
+  }
+  set_u32(flags, "min-tip-len", o.min_tip_len);
+  set_u32(flags, "bubble-max-len", o.bubble_max_len);
+  set_u32(flags, "min-edge-weight", o.min_edge_weight);
+
+  // Serving snapshot.
+  set_bool(flags, "publish-frozen", o.publish_frozen);
+  if (flags.has("frozen-alpha")) {
+    o.frozen_alpha = flags.get_double("frozen-alpha", 0.7);
+  }
+
+  if (flags.has("autotune")) o.autotune.enabled = flags.get_bool("autotune");
+  if (o.autotune.enabled) {
+    // Explicit flags win over the tuner; config-file pins persist.
+    o.autotune.pin_partitions |= flags.has("partitions");
+    o.autotune.pin_inflight_budget |= flags.has("inflight-table-budget");
+    o.autotune.pin_upsert_window |= flags.has("upsert-batch");
+    o.autotune.pin_fuse |= flags.has("fuse-steps") ||
+                           flags.has("no-pipeline");
+  }
+}
+
+void apply_serve_flags(const Flags& flags, Config& config) {
+  serve::ServeOptions& s = config.serve;
+  set_string(flags, "socket", s.socket_path);
+  set_int(flags, "serve-workers", s.worker_threads);
+  set_int(flags, "max-batch", s.max_batch);
+  set_int(flags, "max-bfs-radius", s.max_bfs_radius);
+  if (flags.has("max-bfs-vertices")) {
+    s.max_bfs_vertices =
+        static_cast<std::uint64_t>(flags.get_int("max-bfs-vertices", 0));
+  }
+  set_u32(flags, "min-edge-weight", s.min_edge_weight);
+}
+
+void apply_path_flags(const Flags& flags,
+                      const std::vector<std::string>& positional_inputs,
+                      Config& config) {
+  if (!positional_inputs.empty()) config.paths.inputs = positional_inputs;
+  set_string(flags, "graph", config.paths.graph);
+  set_string(flags, "trace-out", config.paths.trace_out);
+  set_string(flags, "metrics-out", config.paths.metrics_out);
+  set_string(flags, "report-json", config.paths.report_json);
+}
+
+}  // namespace parahash::cli

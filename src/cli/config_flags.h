@@ -1,0 +1,35 @@
+// Flags -> parahash::Config mapping, shared by every subcommand.
+//
+// Precedence (lowest to highest): built-in defaults, the --config FILE
+// JSON, explicit command-line flags. Only flags actually present
+// override the config file, so `parahash build --config run.json`
+// reproduces the recorded run exactly and a flag tweaks one knob of it.
+#pragma once
+
+#include "pipeline/config.h"
+#include "util/flags.h"
+
+namespace parahash::cli {
+
+/// Defaults, then --config FILE (if given). Throws on a malformed or
+/// newer-versioned file.
+Config base_config(const Flags& flags);
+
+/// Overlays the build/pipeline flags (--k, --partitions, --fuse-steps,
+/// --step3, ... — the flat CLI's full vocabulary) onto config.build,
+/// and sets the autotune pin_* bits for explicitly-given knobs.
+void apply_build_flags(const Flags& flags, Config& config);
+
+/// Overlays the serving flags (--socket, --serve-workers, --max-batch,
+/// --max-bfs-radius, --max-bfs-vertices, --min-edge-weight) onto
+/// config.serve.
+void apply_serve_flags(const Flags& flags, Config& config);
+
+/// Overlays artefact paths (--graph, --trace-out, --metrics-out,
+/// --report-json) and, when `positional_inputs` is non-empty, replaces
+/// config.paths.inputs with it.
+void apply_path_flags(const Flags& flags,
+                      const std::vector<std::string>& positional_inputs,
+                      Config& config);
+
+}  // namespace parahash::cli

@@ -1,0 +1,5 @@
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return parahash::cli::run_cli(argc, argv);
+}

@@ -1,0 +1,52 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+namespace parahash::cli {
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: parahash <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  build   <reads...>      construct the graph (steps 1-3)\n"
+      "  serve                   run the graph-query daemon\n"
+      "  query   <VERB> [args]   one-shot query (daemon or offline)\n"
+      "  report  <report.json>   inspect / extract a recorded run\n"
+      "  stats   <graph.phdg>    graph summary statistics\n"
+      "  unitigs <graph.phdg>    extract unitigs to FASTA\n"
+      "  gfa     <graph.phdg>    export assembly graph as GFA1\n"
+      "  export  <graph.phdg>    export adjacency as TSV\n"
+      "\n"
+      "every command accepts --config run.json (flags override it);\n"
+      "see docs/SERVING.md and the README flag table.\n");
+  return 2;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& command = flags.positional()[0];
+  try {
+    if (command == "build") return cmd_build(flags);
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "query") return cmd_query(flags);
+    if (command == "report") return cmd_report(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "unitigs") return cmd_unitigs(flags);
+    if (command == "gfa") return cmd_gfa(flags);
+    if (command == "export") return cmd_export(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace parahash::cli

@@ -1,0 +1,277 @@
+// FrozenTableView: a read-optimized, immutable snapshot of one
+// partition's k-mer table, built for the serving tier.
+//
+// The live ConcurrentKmerTable pays for write concurrency on every
+// probe: the gate ticket, the generation check, the displacement bound,
+// the locked-lane spin, and the main-XOR-overflow split. A query daemon
+// answering millions of point lookups needs none of that — once Step 2
+// publishes a partition the contents never change. Freezing re-packs
+// the table for probe-only scans:
+//
+//   * main table and adopted overflow region are COMPACTED into one
+//     open-addressed array (the overflow keys re-home by plain linear
+//     probing, so a lookup is a single probe walk — no second region,
+//     no mutex);
+//   * metadata bytes are re-written with only two states, empty and
+//     occupied|tag — the locked state and the migration generation
+//     cannot occur, so the probe loop has no claim/retry/restart
+//     branches at all;
+//   * the load factor is chosen at freeze time (default 0.7), so a
+//     table that grew past its Property-1 estimate is re-sized to its
+//     REAL population, not the estimate.
+//
+// Probing reuses the same SIMD group-scan engine as the live table
+// (concurrent/probe_group.h): one 16/32-byte compare classifies a whole
+// cluster, and the first empty lane proves absence. The metadata array
+// keeps the std::atomic<uint8_t> element type purely so scan_group can
+// be shared; after the build (relaxed stores, single or externally
+// synchronised writers) every access is a read.
+//
+// FrozenTableView satisfies GraphKmerTableLike so generic graph code
+// (stats, conformance tests, drive_ops readers) treats it like any
+// other table; add() on a frozen view throws Error — immutability is
+// the contract, not a convention.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "concurrent/probe_group.h"
+#include "concurrent/table_concept.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/kmer.h"
+#include "util/simd.h"
+
+namespace parahash::concurrent {
+
+template <int W>
+class FrozenTableView {
+ public:
+  static constexpr std::uint8_t kEmpty = 0x00;
+  static constexpr std::uint8_t kOccupiedBit = 0x80;
+  static constexpr std::uint8_t kTagMask = 0x3F;
+
+  /// Same tag derivation as the live table (hash TOP bits), so a key's
+  /// occupied byte is identical in both — parity tests compare probe
+  /// behaviour like for like.
+  static constexpr std::uint8_t occupied_byte(std::uint64_t hash) noexcept {
+    return static_cast<std::uint8_t>(kOccupiedBit |
+                                     ((hash >> 58) & kTagMask));
+  }
+
+  /// Non-atomic payload: key words plus the 9 counters, packed plain —
+  /// a frozen slot is never written concurrently with a read.
+  struct Slot {
+    std::array<std::uint64_t, W> key{};
+    std::uint32_t coverage = 0;
+    std::array<std::uint32_t, 8> edges{};
+  };
+
+  /// An empty view sized for `expected` entries at load factor `alpha`.
+  /// Fill with insert() (build phase, single writer or externally
+  /// synchronised), then treat as immutable.
+  explicit FrozenTableView(int k, std::uint64_t expected = 0,
+                           double alpha = 0.7)
+      : k_(k), simd_level_(simd::active()) {
+    PARAHASH_CHECK_MSG(k >= 1 && k <= Kmer<W>::kMaxK,
+                       "k out of range for this word count");
+    PARAHASH_CHECK_MSG(alpha > 0.0 && alpha <= 1.0,
+                       "freeze load factor must be in (0, 1]");
+    std::uint64_t want = static_cast<std::uint64_t>(
+        static_cast<double>(expected) / alpha);
+    if (want < 2) want = 2;
+    const std::uint64_t cap = std::bit_ceil(want);
+    meta_ = std::vector<std::atomic<std::uint8_t>>(cap);
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Freezes any table variant that exposes k()/size()/for_each —
+  /// ConcurrentKmerTable's unified main+overflow view compacts into one
+  /// array here. The source must be quiescent (all writers finished).
+  template <typename Table>
+  static FrozenTableView freeze(const Table& table, double alpha = 0.7) {
+    FrozenTableView view(table.k(), table.size(), alpha);
+    table.for_each(
+        [&](const VertexEntry<W>& e) { view.insert(e); });
+    return view;
+  }
+
+  int k() const noexcept { return k_; }
+  std::uint64_t capacity() const noexcept { return meta_.size(); }
+  std::uint64_t size() const noexcept { return size_; }
+  double load_factor() const noexcept {
+    return static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+  std::uint64_t memory_bytes() const noexcept {
+    return meta_.size() * sizeof(std::atomic<std::uint8_t>) +
+           slots_.size() * sizeof(Slot);
+  }
+
+  simd::Level simd_level() const noexcept { return simd_level_; }
+  /// Backend override for the scalar/SSE2/AVX2 parity tests; clamped to
+  /// what the build and CPU support.
+  void set_simd_level(simd::Level level) noexcept {
+    const simd::Level ceiling = simd::detect();
+    simd_level_ = static_cast<int>(level) < static_cast<int>(ceiling)
+                      ? level
+                      : ceiling;
+  }
+
+  /// Build-phase insert (linear probing, no displacement bound). The
+  /// view is sized for its population, so exhaustion means caller error.
+  void insert(const VertexEntry<W>& e) {
+    PARAHASH_CHECK_MSG(size_ < capacity(), "frozen view over-filled");
+    const auto words = e.kmer.words();
+    const std::uint64_t hash = e.kmer.hash();
+    std::uint64_t idx = hash & mask_;
+    while (meta_[idx].load(std::memory_order_relaxed) != kEmpty) {
+      idx = (idx + 1) & mask_;
+    }
+    Slot& slot = slots_[idx];
+    for (int w = 0; w < W; ++w) slot.key[w] = words[w];
+    slot.coverage = e.coverage;
+    slot.edges = e.edges;
+    meta_[idx].store(occupied_byte(hash), std::memory_order_relaxed);
+    ++size_;
+  }
+
+  /// KmerTableLike surface — a frozen view is immutable by contract.
+  AddResult add(const Kmer<W>&, int, int) {
+    throw Error("FrozenTableView is immutable: add() is not supported");
+  }
+
+  /// Point lookup via group scans: classify a whole metadata block,
+  /// compare keys only on tag-match lanes, stop at the first empty lane
+  /// (slots never empty out, so an empty proves absence). No locked
+  /// lanes, no generation check, no overflow fallback.
+  std::optional<VertexEntry<W>> find(const Kmer<W>& canon) const {
+    return find_hashed(canon, canon.hash());
+  }
+
+  /// find() with the hash precomputed — the batched front-end hashes at
+  /// prefetch time and reuses the value here.
+  std::optional<VertexEntry<W>> find_hashed(const Kmer<W>& canon,
+                                            std::uint64_t hash) const {
+    const auto words = canon.words();
+    const std::uint8_t occupied = occupied_byte(hash);
+    std::uint64_t base = hash & mask_;
+    std::uint64_t scanned = 0;
+    do {
+      const probe::GroupScan g =
+          probe::scan_group(meta_.data(), mask_, base, occupied,
+                            simd_level_);
+      // Walk interesting lanes in probe order; first empty or matching
+      // key resolves. Locked lanes cannot exist in a frozen view.
+      std::uint32_t interesting = g.match | g.empty;
+      while (interesting != 0) {
+        const int lane = std::countr_zero(interesting);
+        interesting &= interesting - 1;
+        if ((g.empty >> lane) & 1u) return std::nullopt;
+        const std::uint64_t idx =
+            (base + static_cast<std::uint64_t>(lane)) & mask_;
+        if (key_equals(slots_[idx], words)) return snapshot(idx);
+      }
+      base = (base + static_cast<std::uint64_t>(g.width)) & mask_;
+      scanned += static_cast<std::uint64_t>(g.width);
+    } while (scanned <= mask_);
+    return std::nullopt;
+  }
+
+  /// Membership without decoding the entry (the daemon's cheapest path).
+  bool contains(const Kmer<W>& canon) const {
+    return find_hashed(canon, canon.hash()).has_value();
+  }
+
+  /// Prefetches the probe group for a key with this hash — the batched
+  /// query front-end issues these a window ahead so independent lookup
+  /// misses overlap, the read-side twin of the upsert prefetch window.
+  void prefetch(std::uint64_t hash) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t idx = hash & mask_;
+    const std::uint64_t last_lane =
+        static_cast<std::uint64_t>(probe::group_width(simd_level_)) - 1;
+    __builtin_prefetch(meta_.data() + idx, 0, 3);
+    __builtin_prefetch(meta_.data() + ((idx + last_lane) & mask_), 0, 3);
+    __builtin_prefetch(slots_.data() + idx, 0, 3);
+#endif
+  }
+
+  /// Batched lookup: hash everything, prefetch a window ahead, then
+  /// resolve — the group-probe/prefetch front-end the request queue
+  /// drains query batches through. `out` is resized to match `keys`.
+  void find_many(std::span<const Kmer<W>> keys,
+                 std::vector<std::optional<VertexEntry<W>>>& out,
+                 int window = 16) const {
+    const std::size_t n = keys.size();
+    out.assign(n, std::nullopt);
+    if (window < 1) window = 1;
+    std::vector<std::uint64_t> hashes(n);
+    const std::size_t ahead = std::min<std::size_t>(
+        static_cast<std::size_t>(window), n);
+    for (std::size_t i = 0; i < ahead; ++i) {
+      hashes[i] = keys[i].hash();
+      prefetch(hashes[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t next = i + ahead;
+      if (next < n) {
+        hashes[next] = keys[next].hash();
+        prefetch(hashes[next]);
+      }
+      out[i] = find_hashed(keys[i], hashes[i]);
+    }
+  }
+
+  /// Visits every entry (arbitrary order, like the live table's scan).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t idx = 0; idx < meta_.size(); ++idx) {
+      if ((meta_[idx].load(std::memory_order_relaxed) & kOccupiedBit) !=
+          0) {
+        fn(snapshot(idx));
+      }
+    }
+  }
+
+ private:
+  bool key_equals(const Slot& slot,
+                  std::span<const std::uint64_t, W> words) const noexcept {
+    for (int w = 0; w < W; ++w) {
+      if (slot.key[w] != words[w]) return false;
+    }
+    return true;
+  }
+
+  VertexEntry<W> snapshot(std::uint64_t idx) const {
+    const Slot& slot = slots_[idx];
+    VertexEntry<W> entry;
+    entry.kmer = Kmer<W>::from_words(slot.key, k_);
+    entry.coverage = slot.coverage;
+    entry.edges = slot.edges;
+    return entry;
+  }
+
+  int k_;
+  simd::Level simd_level_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t size_ = 0;
+  // Atomic element type solely to share probe::scan_group with the live
+  // table; all post-build accesses are reads (relaxed build stores).
+  std::vector<std::atomic<std::uint8_t>> meta_;
+  std::vector<Slot> slots_;
+};
+
+static_assert(GraphKmerTableLike<FrozenTableView<1>>,
+              "frozen views must satisfy the shared table concept");
+static_assert(GraphKmerTableLike<FrozenTableView<2>, 2>,
+              "frozen views must satisfy the shared table concept");
+
+}  // namespace parahash::concurrent

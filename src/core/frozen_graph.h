@@ -1,0 +1,232 @@
+// FrozenGraph: the serving tier's immutable, partitioned snapshot of a
+// constructed De Bruijn graph.
+//
+// Where DeBruijnGraph stores sorted vertex arrays (compact, good for
+// sequential export), FrozenGraph holds one FrozenTableView per
+// partition — the hash layout point queries want: a membership probe is
+// minimizer routing plus one group-probe walk, and a batch of queries
+// can overlap its cache misses through the prefetch front-end. Three
+// ways to get one:
+//
+//   * freeze(live tables)   — construct() publishes the snapshot
+//     directly from the Step-2 tables before they are drained;
+//   * freeze(DeBruijnGraph) — from a loaded .phdg file;
+//   * load_subgraph_dir()   — from Step-2 subgraph_<id>.bin files
+//     (--subgraph-dir), no intermediate graph materialisation.
+//
+// Partition routing recomputes the canonical minimizer exactly like
+// DeBruijnGraph::partition_of / the Step-1 router, so a snapshot
+// answers for any kmer the construction would have stored.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concurrent/frozen_view.h"
+#include "concurrent/table_concept.h"
+#include "core/graph.h"
+#include "core/msp.h"
+#include "util/error.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+template <int W>
+class FrozenGraph {
+ public:
+  using Entry = concurrent::VertexEntry<W>;
+  using View = concurrent::FrozenTableView<W>;
+
+  /// An empty snapshot; partitions are installed with set_partition.
+  FrozenGraph(int k, int p, std::uint32_t num_partitions)
+      : k_(k), p_(p) {
+    PARAHASH_CHECK_MSG(num_partitions >= 1,
+                       "frozen graph needs at least one partition");
+    views_.reserve(num_partitions);
+    for (std::uint32_t i = 0; i < num_partitions; ++i) {
+      views_.push_back(View(k, 0));
+    }
+  }
+
+  /// Snapshot of a fully built DeBruijnGraph (e.g. loaded from .phdg).
+  static FrozenGraph freeze(const DeBruijnGraph<W>& graph,
+                            double alpha = 0.7) {
+    FrozenGraph frozen(graph.k(), graph.p(), graph.num_partitions());
+    for (std::uint32_t part = 0; part < graph.num_partitions(); ++part) {
+      const auto& entries = graph.partition(part);
+      View view(graph.k(), entries.size(), alpha);
+      for (const Entry& e : entries) view.insert(e);
+      frozen.views_[part] = std::move(view);
+    }
+    return frozen;
+  }
+
+  /// Installs one partition's frozen view (construct() publishes each
+  /// Step-2 table through View::freeze as it finishes).
+  void set_partition(std::uint32_t partition_id, View view) {
+    PARAHASH_CHECK(partition_id < views_.size());
+    PARAHASH_CHECK_MSG(view.k() == k_, "partition k mismatch");
+    views_[partition_id] = std::move(view);
+  }
+
+  /// Loads Step-2 subgraph files (`subgraph_<id>.bin`) from a
+  /// directory. The file format carries k and the partition id but not
+  /// the minimizer length, so `p` comes from the caller (the same flag
+  /// the build took); the partition count is discovered from the ids
+  /// present. Missing ids stay empty — a valid state, partitions with
+  /// no kmers write no file.
+  static FrozenGraph load_subgraph_dir(const std::string& dir, int p,
+                                       double alpha = 0.7) {
+    namespace fs = std::filesystem;
+    struct FileInfo {
+      std::string path;
+      std::uint32_t partition_id;
+      std::uint32_t k;
+      std::uint64_t count;
+    };
+    std::vector<FileInfo> files;
+    std::uint32_t num_partitions = 0;
+    int k = 0;
+    if (!fs::is_directory(dir)) {
+      throw IoError("frozen: no such subgraph directory: " + dir);
+    }
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("subgraph_", 0) != 0 ||
+          name.size() < 14 ||  // "subgraph_0.bin"
+          name.substr(name.size() - 4) != ".bin") {
+        continue;
+      }
+      std::ifstream file(entry.path(), std::ios::binary);
+      if (!file) throw IoError("frozen: cannot open " + name);
+      FileInfo info;
+      info.path = entry.path().string();
+      std::uint32_t k32 = 0;
+      file.read(reinterpret_cast<char*>(&k32), sizeof(k32));
+      file.read(reinterpret_cast<char*>(&info.partition_id),
+                sizeof(info.partition_id));
+      file.read(reinterpret_cast<char*>(&info.count), sizeof(info.count));
+      if (!file) throw IoError("frozen: truncated header in " + name);
+      info.k = k32;
+      if (k == 0) {
+        k = static_cast<int>(k32);
+      } else if (k != static_cast<int>(k32)) {
+        throw IoError("frozen: inconsistent k across subgraph files");
+      }
+      num_partitions = std::max(num_partitions, info.partition_id + 1);
+      files.push_back(std::move(info));
+    }
+    if (files.empty()) {
+      throw IoError("frozen: no subgraph_<id>.bin files in " + dir);
+    }
+    FrozenGraph frozen(k, p, num_partitions);
+    for (const FileInfo& info : files) {
+      std::ifstream file(info.path, std::ios::binary);
+      file.seekg(static_cast<std::streamoff>(2 * sizeof(std::uint32_t) +
+                                             sizeof(std::uint64_t)));
+      View view(k, info.count, alpha);
+      for (std::uint64_t i = 0; i < info.count; ++i) {
+        std::array<std::uint64_t, W> words{};
+        Entry e;
+        file.read(reinterpret_cast<char*>(words.data()),
+                  W * sizeof(std::uint64_t));
+        file.read(reinterpret_cast<char*>(&e.coverage), sizeof(e.coverage));
+        file.read(reinterpret_cast<char*>(e.edges.data()),
+                  8 * sizeof(std::uint32_t));
+        if (!file) throw IoError("frozen: truncated entries in " + info.path);
+        e.kmer = Kmer<W>::from_words(words, k);
+        view.insert(e);
+      }
+      frozen.set_partition(info.partition_id, std::move(view));
+    }
+    return frozen;
+  }
+
+  int k() const noexcept { return k_; }
+  int p() const noexcept { return p_; }
+  std::uint32_t num_partitions() const noexcept {
+    return static_cast<std::uint32_t>(views_.size());
+  }
+  const View& partition(std::uint32_t id) const { return views_[id]; }
+
+  std::uint64_t num_vertices() const {
+    std::uint64_t n = 0;
+    for (const View& v : views_) n += v.size();
+    return n;
+  }
+  std::uint64_t memory_bytes() const {
+    std::uint64_t n = 0;
+    for (const View& v : views_) n += v.memory_bytes();
+    return n;
+  }
+
+  /// Same routing as DeBruijnGraph::partition_of (the MSP invariant).
+  std::uint32_t partition_of(const Kmer<W>& canon) const {
+    std::uint8_t codes[Kmer<W>::kMaxK];
+    for (int i = 0; i < canon.k(); ++i) codes[i] = canon.base(i);
+    const std::uint64_t minimizer =
+        kmer_minimizer_naive(codes, canon.k(), p_);
+    return minimizer_partition(
+        minimizer, static_cast<std::uint32_t>(views_.size()));
+  }
+
+  /// Point lookup by any kmer (canonicalised internally) — the
+  /// serving-tier analogue of DeBruijnGraph::find.
+  std::optional<Entry> find_entry(const Kmer<W>& kmer) const {
+    const Kmer<W> canon = kmer.canonical();
+    return views_[partition_of(canon)].find(canon);
+  }
+
+  /// Batched lookup: keys are routed per partition, then each
+  /// partition's run drains through the view's prefetch front-end so
+  /// independent probe misses overlap. Results land in input order.
+  void find_many(std::span<const Kmer<W>> kmers,
+                 std::vector<std::optional<Entry>>& out) const {
+    const std::size_t n = kmers.size();
+    out.assign(n, std::nullopt);
+    // Bucket indices by partition (canonicalising once).
+    std::vector<Kmer<W>> canon(n, Kmer<W>(0));
+    std::vector<std::vector<std::size_t>> buckets(views_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      canon[i] = kmers[i].canonical();
+      buckets[partition_of(canon[i])].push_back(i);
+    }
+    std::vector<Kmer<W>> batch;
+    std::vector<std::optional<Entry>> results;
+    for (std::uint32_t part = 0; part < views_.size(); ++part) {
+      const auto& idx = buckets[part];
+      if (idx.empty()) continue;
+      batch.clear();
+      batch.reserve(idx.size());
+      for (std::size_t i : idx) batch.push_back(canon[i]);
+      views_[part].find_many(batch, results);
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        out[idx[j]] = results[j];
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_each_vertex(Fn&& fn) const {
+    for (const View& v : views_) v.for_each(fn);
+  }
+
+  /// Parity-test hook: force every partition's probe backend.
+  void set_simd_level(simd::Level level) noexcept {
+    for (View& v : views_) v.set_simd_level(level);
+  }
+
+ private:
+  int k_;
+  int p_;
+  std::vector<View> views_;
+};
+
+}  // namespace parahash::core

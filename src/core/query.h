@@ -1,0 +1,180 @@
+// Graph-query primitives shared by the serving tier and the CLI:
+// point lookup, one-step neighbours, bounded-radius BFS, and GFA1
+// export of a query neighbourhood.
+//
+// Everything here is templated over the graph representation through
+// one hook — `find_entry(graph, kmer) -> std::optional<VertexEntry>` —
+// so the same traversal code answers against the sorted-array
+// DeBruijnGraph (offline analysis) and the hash-layout FrozenGraph
+// (the query daemon). algo.h keeps the original DeBruijnGraph-only
+// helpers; new callers should come through here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "concurrent/table_concept.h"
+#include "core/frozen_graph.h"
+#include "core/graph.h"
+#include "util/dna.h"
+#include "util/kmer.h"
+
+namespace parahash::core {
+
+/// The lookup hook: adapts each graph representation to one shape.
+template <int W>
+std::optional<concurrent::VertexEntry<W>> find_entry(
+    const DeBruijnGraph<W>& graph, const Kmer<W>& kmer) {
+  const auto* e = graph.find(kmer);
+  if (e == nullptr) return std::nullopt;
+  return *e;
+}
+
+template <int W>
+std::optional<concurrent::VertexEntry<W>> find_entry(
+    const FrozenGraph<W>& graph, const Kmer<W>& kmer) {
+  return graph.find_entry(kmer);
+}
+
+/// A graph any of the query functions can answer against.
+template <typename G, int W>
+concept QueryableGraph = requires(const G& graph, const Kmer<W>& kmer) {
+  { graph.k() } -> std::convertible_to<int>;
+  { find_entry(graph, kmer).has_value() } -> std::convertible_to<bool>;
+};
+
+/// Undirected neighbours of a vertex entry that pass the weight
+/// threshold: canonical kmers one overlap away on either side.
+template <int W>
+std::vector<Kmer<W>> entry_neighbors(
+    const concurrent::VertexEntry<W>& entry,
+    std::uint32_t min_edge_weight = 1) {
+  std::vector<Kmer<W>> out;
+  for (int b = 0; b < 4; ++b) {
+    if (entry.out_weight(b) >= min_edge_weight) {
+      out.push_back(
+          entry.kmer.successor(static_cast<std::uint8_t>(b)).canonical());
+    }
+    if (entry.in_weight(b) >= min_edge_weight) {
+      out.push_back(
+          entry.kmer.predecessor(static_cast<std::uint8_t>(b)).canonical());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// One vertex of a BFS result: the canonical kmer, its decoded entry
+/// and the BFS depth it was first reached at.
+template <int W>
+struct QueryVertex {
+  concurrent::VertexEntry<W> entry;
+  int depth = 0;
+};
+
+/// Bounded BFS from `start` (canonicalised): every vertex within
+/// `radius` overlap-steps, depth-stamped, including the start at depth
+/// 0. Empty when the start kmer is absent. `max_vertices` bounds the
+/// result for serving (0 = unbounded) — a query into a dense region
+/// must not let one client walk the whole graph.
+template <int W, typename Graph>
+  requires QueryableGraph<Graph, W>
+std::vector<QueryVertex<W>> bfs_neighborhood(
+    const Graph& graph, const Kmer<W>& start, int radius,
+    std::uint32_t min_edge_weight = 1, std::size_t max_vertices = 0) {
+  std::vector<QueryVertex<W>> out;
+  const Kmer<W> origin = start.canonical();
+  const auto origin_entry = find_entry(graph, origin);
+  if (!origin_entry.has_value()) return out;
+
+  std::unordered_set<std::string> visited{origin.to_string()};
+  std::deque<std::pair<concurrent::VertexEntry<W>, int>> frontier;
+  frontier.emplace_back(*origin_entry, 0);
+  while (!frontier.empty()) {
+    auto [entry, depth] = frontier.front();
+    frontier.pop_front();
+    out.push_back(QueryVertex<W>{entry, depth});
+    if (max_vertices != 0 && out.size() >= max_vertices) break;
+    if (depth == radius) continue;
+    for (const auto& next : entry_neighbors(entry, min_edge_weight)) {
+      if (!visited.insert(next.to_string()).second) continue;
+      const auto next_entry = find_entry(graph, next);
+      if (next_entry.has_value()) {
+        frontier.emplace_back(*next_entry, depth + 1);
+      }
+    }
+  }
+  return out;
+}
+
+/// GFA1 serialisation of a query neighbourhood: one segment per
+/// vertex (named by its canonical kmer), one link per edge whose both
+/// endpoints are in the set, with the (k-1)-base overlap. Each
+/// undirected edge appears once (canonical min-of-reverse dedup, the
+/// same convention as the unitig exporter). Returns (#segments,
+/// #links).
+template <int W>
+std::pair<std::size_t, std::size_t> write_neighborhood_gfa(
+    std::ostream& out, const std::vector<QueryVertex<W>>& vertices, int k,
+    std::uint32_t min_edge_weight = 1) {
+  std::unordered_set<std::string> in_set;
+  for (const auto& v : vertices) in_set.insert(v.entry.kmer.to_string());
+
+  out << "H\tVN:Z:1.0\n";
+  for (const auto& v : vertices) {
+    out << "S\t" << v.entry.kmer.to_string() << '\t'
+        << v.entry.kmer.to_string() << "\tRC:i:" << v.entry.coverage
+        << '\n';
+  }
+
+  // Links: walk each vertex's out-edges in both orientations; a link
+  // from oriented kmer A to oriented kmer B is kept iff B's canonical
+  // form is in the set, emitted in canonical direction only.
+  using Link = std::tuple<std::string, char, std::string, char>;
+  const auto flip = [](char o) { return o == '+' ? '-' : '+'; };
+  std::set<Link> links;
+  for (const auto& v : vertices) {
+    const Kmer<W> canon = v.entry.kmer;
+    for (const char orient : {'+', '-'}) {
+      const Kmer<W> oriented =
+          orient == '+' ? canon : canon.reverse_complement();
+      for (int b = 0; b < 4; ++b) {
+        // Oriented out-weight: forward orientation reads the out
+        // counters, reversed reads the in counters complemented.
+        const std::uint32_t weight =
+            orient == '+'
+                ? v.entry.out_weight(b)
+                : v.entry.in_weight(complement(static_cast<std::uint8_t>(b)));
+        if (weight < min_edge_weight) continue;
+        const Kmer<W> next =
+            oriented.successor(static_cast<std::uint8_t>(b));
+        const Kmer<W> next_canon = next.canonical();
+        if (!in_set.contains(next_canon.to_string())) continue;
+        const char next_orient = next == next_canon ? '+' : '-';
+        const Link link{canon.to_string(), orient,
+                        next_canon.to_string(), next_orient};
+        const Link reversed{next_canon.to_string(), flip(next_orient),
+                            canon.to_string(), flip(orient)};
+        links.insert(std::min(link, reversed));
+      }
+    }
+  }
+  const int overlap = k - 1;
+  for (const auto& [from, fo, to, to_o] : links) {
+    out << "L\t" << from << '\t' << fo << '\t' << to << '\t' << to_o
+        << '\t' << overlap << "M\n";
+  }
+  return {vertices.size(), links.size()};
+}
+
+}  // namespace parahash::core

@@ -1,0 +1,340 @@
+#include "pipeline/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace parahash {
+namespace {
+
+const char* growth_mode_name(core::GrowthMode mode) {
+  return mode == core::GrowthMode::kRestart ? "restart" : "overflow";
+}
+
+core::GrowthMode growth_mode_from(const std::string& name) {
+  if (name == "overflow") return core::GrowthMode::kOverflow;
+  if (name == "restart") return core::GrowthMode::kRestart;
+  throw InvalidArgumentError("config: unknown growth_mode '" + name + "'");
+}
+
+const char* encoding_name(io::Encoding encoding) {
+  return encoding == io::Encoding::kByte ? "byte" : "2bit";
+}
+
+io::Encoding encoding_from(const std::string& name) {
+  if (name == "2bit") return io::Encoding::kTwoBit;
+  if (name == "byte") return io::Encoding::kByte;
+  throw InvalidArgumentError("config: unknown encoding '" + name + "'");
+}
+
+// Per-type readers: absent members keep the default already in `out`.
+void read(const JsonValue* v, bool& out) {
+  if (v != nullptr) out = v->as_bool();
+}
+void read(const JsonValue* v, int& out) {
+  if (v != nullptr) out = static_cast<int>(v->as_int());
+}
+void read(const JsonValue* v, std::uint32_t& out) {
+  if (v != nullptr) out = static_cast<std::uint32_t>(v->as_uint());
+}
+void read(const JsonValue* v, std::uint64_t& out) {
+  if (v != nullptr) out = v->as_uint();
+}
+void read(const JsonValue* v, double& out) {
+  if (v != nullptr) out = v->as_double();
+}
+void read(const JsonValue* v, std::string& out) {
+  if (v != nullptr) out = v->as_string();
+}
+
+void write_hash(JsonWriter& w, const core::HashConfig& h) {
+  w.begin_object();
+  w.key("lambda").value(h.lambda);
+  w.key("alpha").value(h.alpha);
+  w.key("min_slots").value(h.min_slots);
+  w.key("slots_override").value(h.slots_override);
+  w.key("growth_mode").value(growth_mode_name(h.growth_mode));
+  w.key("max_resizes").value(h.max_resizes);
+  w.key("max_displacement").value(h.max_displacement);
+  w.key("overflow_fraction").value(h.overflow_fraction);
+  w.key("migration_threshold").value(h.migration_threshold);
+  w.key("singleton_prefilter").value(h.singleton_prefilter);
+  w.key("bloom_cells_per_kmer").value(h.bloom_cells_per_kmer);
+  w.key("bloom_hashes").value(h.bloom_hashes);
+  w.key("upsert_window").value(h.upsert_window.to_string());
+  w.end_object();
+}
+
+void read_hash(const JsonValue* v, core::HashConfig& h) {
+  if (v == nullptr) return;
+  read(v->get("lambda"), h.lambda);
+  read(v->get("alpha"), h.alpha);
+  read(v->get("min_slots"), h.min_slots);
+  read(v->get("slots_override"), h.slots_override);
+  if (const auto* m = v->get("growth_mode")) {
+    h.growth_mode = growth_mode_from(m->as_string());
+  }
+  read(v->get("max_resizes"), h.max_resizes);
+  read(v->get("max_displacement"), h.max_displacement);
+  read(v->get("overflow_fraction"), h.overflow_fraction);
+  read(v->get("migration_threshold"), h.migration_threshold);
+  read(v->get("singleton_prefilter"), h.singleton_prefilter);
+  read(v->get("bloom_cells_per_kmer"), h.bloom_cells_per_kmer);
+  read(v->get("bloom_hashes"), h.bloom_hashes);
+  if (const auto* window = v->get("upsert_window")) {
+    h.upsert_window = concurrent::UpsertWindow::parse(window->as_string());
+  }
+}
+
+void write_gpu(JsonWriter& w, const device::SimGpuConfig& g) {
+  w.begin_object();
+  w.key("threads").value(g.threads);
+  w.key("warp").value(g.warp);
+  w.key("h2d_bytes_per_sec").value(g.h2d_bytes_per_sec);
+  w.key("d2h_bytes_per_sec").value(g.d2h_bytes_per_sec);
+  w.key("launch_latency_seconds").value(g.launch_latency_seconds);
+  w.key("device_memory_bytes").value(g.device_memory_bytes);
+  w.key("name").value(g.name);
+  w.end_object();
+}
+
+void read_gpu(const JsonValue* v, device::SimGpuConfig& g) {
+  if (v == nullptr) return;
+  read(v->get("threads"), g.threads);
+  read(v->get("warp"), g.warp);
+  read(v->get("h2d_bytes_per_sec"), g.h2d_bytes_per_sec);
+  read(v->get("d2h_bytes_per_sec"), g.d2h_bytes_per_sec);
+  read(v->get("launch_latency_seconds"), g.launch_latency_seconds);
+  read(v->get("device_memory_bytes"), g.device_memory_bytes);
+  read(v->get("name"), g.name);
+}
+
+void write_autotune(JsonWriter& w, const pipeline::AutotuneOptions& a) {
+  w.begin_object();
+  w.key("enabled").value(a.enabled);
+  w.key("control_period_seconds").value(a.control_period_seconds);
+  w.key("memory_target_bytes").value(a.memory_target_bytes);
+  w.key("calibration_batches").value(
+      static_cast<std::uint64_t>(a.calibration_batches));
+  w.key("calibration_batch_bases").value(
+      static_cast<std::uint64_t>(a.calibration_batch_bases));
+  w.key("divergence_threshold").value(a.divergence_threshold);
+  w.key("cooldown_ticks").value(a.cooldown_ticks);
+  w.key("pin_partitions").value(a.pin_partitions);
+  w.key("pin_inflight_budget").value(a.pin_inflight_budget);
+  w.key("pin_upsert_window").value(a.pin_upsert_window);
+  w.key("pin_fuse").value(a.pin_fuse);
+  w.end_object();
+}
+
+void read_autotune(const JsonValue* v, pipeline::AutotuneOptions& a) {
+  if (v == nullptr) return;
+  read(v->get("enabled"), a.enabled);
+  read(v->get("control_period_seconds"), a.control_period_seconds);
+  read(v->get("memory_target_bytes"), a.memory_target_bytes);
+  read(v->get("calibration_batches"), a.calibration_batches);
+  read(v->get("calibration_batch_bases"), a.calibration_batch_bases);
+  read(v->get("divergence_threshold"), a.divergence_threshold);
+  read(v->get("cooldown_ticks"), a.cooldown_ticks);
+  read(v->get("pin_partitions"), a.pin_partitions);
+  read(v->get("pin_inflight_budget"), a.pin_inflight_budget);
+  read(v->get("pin_upsert_window"), a.pin_upsert_window);
+  read(v->get("pin_fuse"), a.pin_fuse);
+}
+
+void write_build(JsonWriter& w, const pipeline::Options& o) {
+  w.begin_object();
+  w.key("k").value(o.msp.k);
+  w.key("p").value(o.msp.p);
+  w.key("partitions").value(o.msp.num_partitions);
+  w.key("encoding").value(encoding_name(o.msp.encoding));
+  w.key("hash");
+  write_hash(w, o.hash);
+  w.key("work_dir").value(o.work_dir);
+  w.key("keep_partitions").value(o.keep_partitions);
+  w.key("use_cpu").value(o.use_cpu);
+  w.key("cpu_threads").value(o.cpu_threads);
+  w.key("num_gpus").value(o.num_gpus);
+  w.key("gpu");
+  write_gpu(w, o.gpu);
+  w.key("pipelined").value(o.pipelined);
+  w.key("queue_depth").value(static_cast<std::uint64_t>(o.queue_depth));
+  w.key("batch_bases").value(static_cast<std::uint64_t>(o.batch_bases));
+  w.key("quality_trim_phred").value(o.quality_trim_phred);
+  w.key("max_open_partitions").value(o.max_open_partitions);
+  w.key("fuse_steps").value(o.fuse_steps);
+  w.key("inflight_table_budget_bytes").value(o.inflight_table_budget_bytes);
+  w.key("ledger_sample_period").value(o.ledger_sample_period);
+  w.key("autotune");
+  write_autotune(w, o.autotune);
+  w.key("input_bytes_per_sec").value(o.input_bytes_per_sec);
+  w.key("output_bytes_per_sec").value(o.output_bytes_per_sec);
+  w.key("write_subgraphs").value(o.write_subgraphs);
+  w.key("subgraph_dir").value(o.subgraph_dir);
+  w.key("step3").value(o.step3);
+  w.key("min_tip_len").value(o.min_tip_len);
+  w.key("bubble_max_len").value(o.bubble_max_len);
+  w.key("min_edge_weight").value(o.min_edge_weight);
+  w.key("contigs_out").value(o.contigs_out);
+  w.key("gfa_out").value(o.gfa_out);
+  w.key("publish_frozen").value(o.publish_frozen);
+  w.key("frozen_alpha").value(o.frozen_alpha);
+  w.key("min_coverage").value(o.min_coverage);
+  w.key("accumulate_graph").value(o.accumulate_graph);
+  w.end_object();
+}
+
+void read_build(const JsonValue* v, pipeline::Options& o) {
+  if (v == nullptr) return;
+  read(v->get("k"), o.msp.k);
+  read(v->get("p"), o.msp.p);
+  read(v->get("partitions"), o.msp.num_partitions);
+  if (const auto* e = v->get("encoding")) {
+    o.msp.encoding = encoding_from(e->as_string());
+  }
+  read_hash(v->get("hash"), o.hash);
+  read(v->get("work_dir"), o.work_dir);
+  read(v->get("keep_partitions"), o.keep_partitions);
+  read(v->get("use_cpu"), o.use_cpu);
+  read(v->get("cpu_threads"), o.cpu_threads);
+  read(v->get("num_gpus"), o.num_gpus);
+  read_gpu(v->get("gpu"), o.gpu);
+  read(v->get("pipelined"), o.pipelined);
+  read(v->get("queue_depth"), o.queue_depth);
+  read(v->get("batch_bases"), o.batch_bases);
+  read(v->get("quality_trim_phred"), o.quality_trim_phred);
+  read(v->get("max_open_partitions"), o.max_open_partitions);
+  read(v->get("fuse_steps"), o.fuse_steps);
+  read(v->get("inflight_table_budget_bytes"), o.inflight_table_budget_bytes);
+  read(v->get("ledger_sample_period"), o.ledger_sample_period);
+  read_autotune(v->get("autotune"), o.autotune);
+  read(v->get("input_bytes_per_sec"), o.input_bytes_per_sec);
+  read(v->get("output_bytes_per_sec"), o.output_bytes_per_sec);
+  read(v->get("write_subgraphs"), o.write_subgraphs);
+  read(v->get("subgraph_dir"), o.subgraph_dir);
+  read(v->get("step3"), o.step3);
+  read(v->get("min_tip_len"), o.min_tip_len);
+  read(v->get("bubble_max_len"), o.bubble_max_len);
+  read(v->get("min_edge_weight"), o.min_edge_weight);
+  read(v->get("contigs_out"), o.contigs_out);
+  read(v->get("gfa_out"), o.gfa_out);
+  read(v->get("publish_frozen"), o.publish_frozen);
+  read(v->get("frozen_alpha"), o.frozen_alpha);
+  read(v->get("min_coverage"), o.min_coverage);
+  read(v->get("accumulate_graph"), o.accumulate_graph);
+}
+
+void write_serve(JsonWriter& w, const serve::ServeOptions& s) {
+  w.begin_object();
+  w.key("socket_path").value(s.socket_path);
+  w.key("worker_threads").value(s.worker_threads);
+  w.key("max_batch").value(s.max_batch);
+  w.key("max_bfs_radius").value(s.max_bfs_radius);
+  w.key("max_bfs_vertices").value(s.max_bfs_vertices);
+  w.key("min_edge_weight").value(s.min_edge_weight);
+  w.key("backlog").value(s.backlog);
+  w.end_object();
+}
+
+void read_serve(const JsonValue* v, serve::ServeOptions& s) {
+  if (v == nullptr) return;
+  read(v->get("socket_path"), s.socket_path);
+  read(v->get("worker_threads"), s.worker_threads);
+  read(v->get("max_batch"), s.max_batch);
+  read(v->get("max_bfs_radius"), s.max_bfs_radius);
+  read(v->get("max_bfs_vertices"), s.max_bfs_vertices);
+  read(v->get("min_edge_weight"), s.min_edge_weight);
+  read(v->get("backlog"), s.backlog);
+}
+
+void write_paths(JsonWriter& w, const ArtifactPaths& p) {
+  w.begin_object();
+  w.key("inputs").begin_array();
+  for (const std::string& input : p.inputs) w.value(input);
+  w.end_array();
+  w.key("graph").value(p.graph);
+  w.key("trace_out").value(p.trace_out);
+  w.key("metrics_out").value(p.metrics_out);
+  w.key("report_json").value(p.report_json);
+  w.end_object();
+}
+
+void read_paths(const JsonValue* v, ArtifactPaths& p) {
+  if (v == nullptr) return;
+  if (const auto* inputs = v->get("inputs")) {
+    p.inputs.clear();
+    for (const JsonValue& input : inputs->as_array()) {
+      p.inputs.push_back(input.as_string());
+    }
+  }
+  read(v->get("graph"), p.graph);
+  read(v->get("trace_out"), p.trace_out);
+  read(v->get("metrics_out"), p.metrics_out);
+  read(v->get("report_json"), p.report_json);
+}
+
+}  // namespace
+
+std::string Config::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("version").value(version);
+  w.key("build");
+  write_build(w, build);
+  w.key("serve");
+  write_serve(w, serve);
+  w.key("paths");
+  write_paths(w, paths);
+  w.end_object();
+  return std::move(w).str();
+}
+
+Config Config::from_json(const std::string& text) {
+  const JsonValue root = JsonValue::parse(text);
+  if (!root.is_object()) {
+    throw InvalidArgumentError("config: top-level JSON value must be "
+                               "an object");
+  }
+  Config config;
+  if (const auto* version = root.get("version")) {
+    config.version = static_cast<int>(version->as_int());
+    if (config.version < 1 || config.version > kConfigVersion) {
+      throw InvalidArgumentError(
+          "config: unsupported schema version " +
+          std::to_string(config.version) + " (this build understands <= " +
+          std::to_string(kConfigVersion) + ")");
+    }
+  }
+  read_build(root.get("build"), config.build);
+  read_serve(root.get("serve"), config.serve);
+  read_paths(root.get("paths"), config.paths);
+  return config;
+}
+
+Config Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return from_json(buffer.str());
+  } catch (const JsonParseError& e) {
+    throw InvalidArgumentError("config: " + path + ": " + e.what());
+  }
+}
+
+void Config::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("config: cannot open " + path);
+  out << to_json() << '\n';
+  out.flush();
+  if (out.fail()) throw IoError("config: failed writing " + path);
+}
+
+bool operator==(const Config& a, const Config& b) {
+  return a.to_json() == b.to_json();
+}
+
+}  // namespace parahash

@@ -1,0 +1,72 @@
+// The unified, versioned public configuration for the whole system.
+//
+// parahash::Config aggregates every knob the subsystems expose —
+// pipeline::Options (which embeds core::MspConfig, core::HashConfig and
+// the device/IO/step-3 settings), serve::ServeOptions, and the artefact
+// paths a run reads and writes — behind one JSON round-trip:
+//
+//   Config config;
+//   config.build.msp.k = 27;
+//   config.save_file("run.json");
+//   ...
+//   Config again = Config::load_file("run.json");   // == config
+//
+// The schema is versioned (kConfigVersion); from_json rejects files
+// from a NEWER schema and fills absent members with defaults, so a
+// partial hand-written config stays valid. `parahash build --config
+// run.json` reproduces a run from this file alone, and the same JSON
+// object is embedded under the "config" key of --report-json output so
+// every report carries its own reproduction recipe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/parahash.h"
+#include "serve/serve_options.h"
+
+namespace parahash {
+
+/// Current config schema version. Bump when a field changes meaning;
+/// adding fields with defaults does not require a bump.
+inline constexpr int kConfigVersion = 1;
+
+/// Input/output artefacts of a run — the part of a reproduction recipe
+/// that is not an algorithm knob.
+struct ArtifactPaths {
+  std::vector<std::string> inputs;  ///< FASTA/FASTQ(.gz) read files
+  std::string graph;                ///< .phdg output ("" = graph.phdg)
+  std::string trace_out;            ///< Chrome trace ("" = off)
+  std::string metrics_out;          ///< telemetry snapshot ("" = off)
+  std::string report_json;          ///< machine-readable report ("" = off)
+
+  friend bool operator==(const ArtifactPaths&,
+                         const ArtifactPaths&) = default;
+};
+
+struct Config {
+  int version = kConfigVersion;
+  pipeline::Options build;  ///< construction pipeline (steps 1-3)
+  serve::ServeOptions serve;
+  ArtifactPaths paths;
+
+  /// One JSON object in fixed schema order (round-trip stable).
+  std::string to_json() const;
+
+  /// Inverse of to_json. Absent members keep their defaults; a
+  /// `version` newer than kConfigVersion (or malformed JSON) throws
+  /// InvalidArgumentError / JsonParseError.
+  static Config from_json(const std::string& text);
+
+  static Config load_file(const std::string& path);
+  void save_file(const std::string& path) const;
+};
+
+/// Equality over the serialised form: the writer emits a fixed schema,
+/// so two configs are equal iff every knob matches.
+bool operator==(const Config& a, const Config& b);
+inline bool operator!=(const Config& a, const Config& b) {
+  return !(a == b);
+}
+
+}  // namespace parahash

@@ -16,6 +16,7 @@
 #include "util/mem.h"
 #include "util/rng.h"
 #include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace parahash::pipeline {
 
@@ -191,6 +192,28 @@ void ParaHash<W>::finalize_report(core::DeBruijnGraph<W>& graph,
     report.tuner.enabled = true;
     report.tuner.calibration = tuner_->calibration();
     report.tuner.decisions = tuner_->decisions();
+  }
+
+  if (options_.publish_frozen && options_.accumulate_graph) {
+    // Publish the serving snapshot: every partition re-packed into a
+    // probe-only frozen table (after the min-coverage filter above, so
+    // the snapshot answers like the final graph).
+    WallTimer freeze_timer;
+    auto frozen = std::make_shared<core::FrozenGraph<W>>(
+        core::FrozenGraph<W>::freeze(graph, options_.frozen_alpha));
+    report.frozen.published = true;
+    report.frozen.vertices = frozen->num_vertices();
+    report.frozen.partitions = frozen->num_partitions();
+    report.frozen.memory_bytes = frozen->memory_bytes();
+    report.frozen.build_seconds = freeze_timer.seconds();
+    frozen_ = std::move(frozen);
+    if (telemetry::enabled()) {
+      telemetry::gauge("serve.snapshot_vertices")
+          .set(static_cast<std::int64_t>(report.frozen.vertices));
+      telemetry::gauge("serve.snapshot_bytes")
+          .set(static_cast<std::int64_t>(report.frozen.memory_bytes));
+    }
+    PARAHASH_TRACE_INSTANT("serve", "frozen.publish");
   }
 
   if (own_partition_dir_ && !options_.keep_partitions) {

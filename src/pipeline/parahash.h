@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/frozen_graph.h"
 #include "core/graph.h"
 #include "core/msp.h"
 #include "core/perf_model.h"
@@ -135,6 +136,16 @@ struct Options {
   std::string contigs_out;
   std::string gfa_out;
 
+  // --- Serving snapshot --------------------------------------------
+  /// Publish a read-optimized FrozenGraph snapshot (core/frozen_graph.h)
+  /// of the final graph at the end of construct(): the serving tier's
+  /// input, reported under RunReport::frozen and retrievable via
+  /// ParaHash::frozen(). Requires accumulate_graph.
+  bool publish_frozen = false;
+
+  /// Load factor of the frozen snapshot's probe-only tables.
+  double frozen_alpha = 0.7;
+
   // --- Result ------------------------------------------------------
   std::uint32_t min_coverage = 0;  ///< filter threshold for final graph
 
@@ -194,6 +205,15 @@ struct Step3Stats {
   std::uint64_t gfa_links = 0;
 };
 
+/// Snapshot-publication outcome (Options::publish_frozen).
+struct FrozenReport {
+  bool published = false;
+  std::uint64_t vertices = 0;
+  std::uint32_t partitions = 0;
+  std::uint64_t memory_bytes = 0;
+  double build_seconds = 0;
+};
+
 struct RunReport {
   StepReport step1;
   StepReport step2;
@@ -230,6 +250,9 @@ struct RunReport {
   /// the controller took, with the model inputs that motivated it
   /// (enabled == false on runs without --autotune).
   TunerReport tuner;
+
+  /// Serving-snapshot publication (Options::publish_frozen).
+  FrozenReport frozen;
 };
 
 /// The system, fixed to kmers of W 64-bit words (W=1 covers k <= 32).
@@ -271,6 +294,13 @@ class ParaHash {
   /// Options::step3), in canonical order: longest first, ties by
   /// sequence.
   const std::vector<core::Unitig>& contigs() const { return contigs_; }
+
+  /// The frozen snapshot the last construct() published (nullptr unless
+  /// Options::publish_frozen). Shared ownership: a serving tier may
+  /// outlive the builder.
+  std::shared_ptr<const core::FrozenGraph<W>> frozen() const {
+    return frozen_;
+  }
 
   /// Where partition files (and, by default, subgraph files) live.
   const std::string& partition_dir() const { return partition_dir_; }
@@ -339,6 +369,7 @@ class ParaHash {
   core::GraphStats streamed_stats_;      // accumulate_graph == false
   std::uint64_t streamed_filtered_ = 0;  // accumulate_graph == false
   std::vector<core::Unitig> contigs_;    // Step-3 output
+  std::shared_ptr<const core::FrozenGraph<W>> frozen_;  // publish_frozen
 };
 
 /// Convenience: build with runtime k dispatch (k <= 32 uses one-word

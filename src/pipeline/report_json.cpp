@@ -180,9 +180,14 @@ void write_tuner(JsonWriter& w, const TunerReport& t) {
 std::string run_report_json(const RunReport& report,
                             const std::string& simd_level,
                             const std::string& upsert_window,
-                            std::uint64_t inflight_budget) {
+                            std::uint64_t inflight_budget,
+                            const std::string& config_json) {
   JsonWriter w;
   w.begin_object();
+  if (!config_json.empty()) {
+    w.key("config");
+    w.raw(config_json);
+  }
   w.key("step1");
   write_step(w, report.step1);
   w.key("step2");
@@ -260,6 +265,21 @@ std::string run_report_json(const RunReport& report,
   if (report.tuner.enabled) {
     w.key("tuner");
     write_tuner(w, report.tuner);
+  }
+  if (report.frozen.published) {
+    w.key("frozen");
+    w.begin_object();
+    w.key("published");
+    w.value(report.frozen.published);
+    w.key("vertices");
+    w.value(report.frozen.vertices);
+    w.key("partitions");
+    w.value(report.frozen.partitions);
+    w.key("memory_bytes");
+    w.value(report.frozen.memory_bytes);
+    w.key("build_seconds");
+    w.value(report.frozen.build_seconds);
+    w.end_object();
   }
   w.key("ledger_samples");
   w.begin_array();

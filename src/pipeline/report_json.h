@@ -15,10 +15,14 @@ namespace parahash::pipeline {
 /// JSON object for one RunReport. `simd_level` / `upsert_window` /
 /// `inflight_budget` are run configuration the report struct does not
 /// carry; the CLI passes them so the JSON is self-describing. Pass
-/// empty / 0 when unknown.
+/// empty / 0 when unknown. `config_json` — a pre-rendered
+/// parahash::Config::to_json() object — is spliced verbatim under the
+/// "config" key when non-empty, so a report carries the full recipe to
+/// reproduce its run (`parahash report --extract-config`).
 std::string run_report_json(const RunReport& report,
                             const std::string& simd_level = "",
                             const std::string& upsert_window = "",
-                            std::uint64_t inflight_budget = 0);
+                            std::uint64_t inflight_budget = 0,
+                            const std::string& config_json = "");
 
 }  // namespace parahash::pipeline

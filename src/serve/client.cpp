@@ -1,0 +1,175 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace parahash::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgumentError("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError("client: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw IoError("client: cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::string Client::read_line() {
+  char chunk[4096];
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw IoError("client: connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return line;
+}
+
+ClientReply Client::request(std::string_view line) {
+  if (fd_ < 0) throw IoError("client: not connected");
+  std::string wire(line);
+  wire += '\n';
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("client: write failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  ClientReply reply;
+  const std::string header = read_line();
+  if (header.rfind("ERR ", 0) == 0) {
+    reply.error = header.substr(4);
+    return reply;
+  }
+  if (header.rfind("OK ", 0) != 0) {
+    throw IoError("client: malformed response header '" + header + "'");
+  }
+  std::size_t count = 0;
+  const std::string count_str = header.substr(3);
+  const auto [ptr, ec] = std::from_chars(
+      count_str.data(), count_str.data() + count_str.size(), count);
+  if (ec != std::errc() || ptr != count_str.data() + count_str.size()) {
+    throw IoError("client: malformed payload count '" + header + "'");
+  }
+  reply.ok = true;
+  reply.lines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    reply.lines.push_back(read_line());
+  }
+  return reply;
+}
+
+namespace {
+[[noreturn]] void throw_err(const char* verb, const ClientReply& reply) {
+  throw Error(std::string("client: ") + verb + " failed: " + reply.error);
+}
+}  // namespace
+
+bool Client::ping() {
+  const ClientReply reply = request("PING");
+  return reply.ok && !reply.lines.empty() && reply.lines[0] == "pong";
+}
+
+bool Client::find(const std::string& kmer) {
+  const ClientReply reply = request("FIND " + kmer);
+  if (!reply.ok) throw_err("FIND", reply);
+  return !reply.lines.empty() && !reply.lines[0].empty() &&
+         reply.lines[0][0] == '1';
+}
+
+std::vector<bool> Client::find_many(
+    const std::vector<std::string>& kmers) {
+  std::string line = "MFIND";
+  for (const std::string& kmer : kmers) {
+    line += ' ';
+    line += kmer;
+  }
+  const ClientReply reply = request(line);
+  if (!reply.ok) throw_err("MFIND", reply);
+  std::vector<bool> out;
+  out.reserve(kmers.size());
+  if (!reply.lines.empty()) {
+    for (char c : reply.lines[0]) {
+      if (c == '0' || c == '1') out.push_back(c == '1');
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Client::neighbors(const std::string& kmer) {
+  const ClientReply reply = request("NEIGH " + kmer);
+  if (!reply.ok) throw_err("NEIGH", reply);
+  return reply.lines;
+}
+
+std::vector<std::string> Client::bfs(const std::string& kmer, int radius) {
+  const ClientReply reply =
+      request("BFS " + kmer + ' ' + std::to_string(radius));
+  if (!reply.ok) throw_err("BFS", reply);
+  return reply.lines;
+}
+
+std::string Client::gfa(const std::string& kmer, int radius) {
+  const ClientReply reply =
+      request("GFA " + kmer + ' ' + std::to_string(radius));
+  if (!reply.ok) throw_err("GFA", reply);
+  std::string out;
+  for (const std::string& line : reply.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parahash::serve

@@ -1,0 +1,60 @@
+// Blocking client for the query daemon: one connection, lockstep
+// request/response (protocol.h). Used by the `parahash query`
+// subcommand, the serve tests and the bench_serve load generator —
+// all three speak through this one implementation so the wire format
+// has a single reader.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parahash::serve {
+
+/// A decoded reply: `ok` plus payload lines, or an error message.
+struct ClientReply {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> lines;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to the daemon's AF_UNIX socket. Throws IoError.
+  void connect(const std::string& socket_path);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request line and reads the full reply. Throws IoError
+  /// on a broken connection; protocol-level failures come back as
+  /// `ok == false` with the server's message.
+  ClientReply request(std::string_view line);
+
+  // Typed conveniences over request().
+  bool ping();
+  /// Membership of one kmer (FIND); throws on ERR replies.
+  bool find(const std::string& kmer);
+  /// Batched membership (MFIND); one bool per kmer.
+  std::vector<bool> find_many(const std::vector<std::string>& kmers);
+  std::vector<std::string> neighbors(const std::string& kmer);
+  /// BFS rows as raw "<kmer> <depth> <coverage>" lines.
+  std::vector<std::string> bfs(const std::string& kmer, int radius);
+  /// The neighbourhood's GFA1 text.
+  std::string gfa(const std::string& kmer, int radius);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace parahash::serve

@@ -1,0 +1,386 @@
+#include "serve/daemon.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/telemetry.h"
+
+namespace parahash::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out short writes and EINTR.
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Daemon::Daemon(std::unique_ptr<QueryEngine> engine, ServeOptions options)
+    : engine_(std::move(engine)), options_(std::move(options)) {
+  PARAHASH_CHECK_MSG(engine_ != nullptr, "daemon needs a query engine");
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.max_batch < 1) options_.max_batch = 1;
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  PARAHASH_CHECK_MSG(!running(), "daemon already started");
+  const std::string& path = options_.socket_path;
+  PARAHASH_CHECK_MSG(!path.empty(), "empty socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PARAHASH_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                     "socket path too long for AF_UNIX");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("serve: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("serve: cannot listen on " + path + ": " + why);
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // Unblock accept(): shutdown() wakes it on Linux; close finishes it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Unblock connection readers; their loops exit on EOF.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+
+  // Workers: wake everyone; the loop exits once the queue is dry. Any
+  // jobs still queued are answered (their connections already closed,
+  // the write just fails quietly).
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Daemon::accept_loop() {
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    if (!running()) {
+      ::close(fd);
+      break;
+    }
+    telemetry::counter("serve.connections").add(1);
+    telemetry::gauge("serve.active_connections").add(1);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    client_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Daemon::connection_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Pull the next complete line (requests are tiny; the buffer only
+    // grows past one chunk if a client pipelines).
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        open = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (!open) break;
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    const auto started = std::chrono::steady_clock::now();
+    const Request request = parse_request(line);
+    Response response;
+    switch (request.verb) {
+      case Verb::kInvalid:
+        response = Response::err(request.error);
+        break;
+      case Verb::kPing:
+        response = Response::one_line("pong");
+        break;
+      case Verb::kQuit:
+        response = Response::one_line("bye");
+        break;
+      case Verb::kStats:
+        response = stats_response();
+        break;
+      default: {
+        // Table/traversal work goes through the shared queue so the
+        // workers can batch it across connections.
+        std::future<Response> future;
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex_);
+          Job job;
+          job.request = request;
+          job.enqueued = started;
+          future = job.promise.get_future();
+          queue_.push_back(std::move(job));
+          telemetry::gauge("serve.queue_depth")
+              .set(static_cast<std::int64_t>(queue_.size()));
+        }
+        queue_cv_.notify_one();
+        response = future.get();
+        break;
+      }
+    }
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("serve.queries").add(1);
+    if (!response.ok) telemetry::counter("serve.errors").add(1);
+    telemetry::histogram("serve.query_ns").record(ns_since(started));
+    if (!write_all(fd, response.to_wire())) break;
+    if (request.verb == Verb::kQuit) break;
+  }
+  ::close(fd);
+  telemetry::gauge("serve.active_connections").add(-1);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  std::erase(client_fds_, fd);
+}
+
+void Daemon::worker_loop() {
+  while (true) {
+    std::vector<Job> jobs;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || !running();
+      });
+      if (queue_.empty()) {
+        if (!running()) return;
+        continue;
+      }
+      const std::size_t take = std::min<std::size_t>(
+          static_cast<std::size_t>(options_.max_batch), queue_.size());
+      jobs.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        jobs.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      telemetry::gauge("serve.queue_depth")
+          .set(static_cast<std::int64_t>(queue_.size()));
+    }
+    telemetry::histogram("serve.batch_size").record(jobs.size());
+    process_batch(jobs);
+  }
+}
+
+void Daemon::process_batch(std::vector<Job>& jobs) {
+  // Merge every membership lookup in the popped batch into one
+  // find_many pass: keys from all FIND/MFIND jobs concatenate, probe
+  // together through the prefetch front-end, then slice back per job.
+  std::vector<std::string> keys;
+  struct SliceRef {
+    std::size_t job;
+    std::size_t begin;
+    std::size_t count;
+  };
+  std::vector<SliceRef> slices;
+  std::vector<Response> responses(jobs.size());
+  std::vector<bool> answered(jobs.size(), false);
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Request& request = jobs[j].request;
+    if (request.verb != Verb::kFind && request.verb != Verb::kMfind) {
+      continue;
+    }
+    bool valid = true;
+    for (const std::string& kmer : request.args) {
+      if (!engine_->valid_kmer(kmer)) {
+        responses[j] = Response::err("invalid kmer '" + kmer + "'");
+        answered[j] = true;
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    slices.push_back(SliceRef{j, keys.size(), request.args.size()});
+    keys.insert(keys.end(), request.args.begin(), request.args.end());
+  }
+
+  if (!keys.empty()) {
+    std::vector<QueryEngine::FindResult> results;
+    engine_->find_many(keys, results);
+    for (const SliceRef& slice : slices) {
+      const Request& request = jobs[slice.job].request;
+      if (request.verb == Verb::kFind) {
+        const auto& r = results[slice.begin];
+        if (r.found) {
+          std::string line = "1 " + std::to_string(r.coverage);
+          for (int e = 0; e < 8; ++e) {
+            line += ' ';
+            line += std::to_string(r.edges[static_cast<std::size_t>(e)]);
+          }
+          responses[slice.job] = Response::one_line(std::move(line));
+        } else {
+          responses[slice.job] = Response::one_line("0");
+        }
+      } else {
+        std::string bits;
+        for (std::size_t i = 0; i < slice.count; ++i) {
+          if (i > 0) bits += ' ';
+          bits += results[slice.begin + i].found ? '1' : '0';
+        }
+        responses[slice.job] = Response::one_line(std::move(bits));
+      }
+      answered[slice.job] = true;
+    }
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!answered[j]) responses[j] = handle_traversal(jobs[j].request);
+    jobs[j].promise.set_value(std::move(responses[j]));
+  }
+}
+
+Response Daemon::handle_traversal(const Request& request) {
+  try {
+    switch (request.verb) {
+      case Verb::kNeigh: {
+        std::uint32_t min_weight = options_.min_edge_weight;
+        if (request.args.size() > 1 &&
+            !parse_u32(request.args[1], min_weight)) {
+          return Response::err("bad min_weight");
+        }
+        return Response::success(
+            engine_->neighbors(request.args[0], min_weight));
+      }
+      case Verb::kBfs:
+      case Verb::kGfa: {
+        int radius = 0;
+        if (!parse_int(request.args[1], radius) || radius < 0) {
+          return Response::err("bad radius");
+        }
+        if (radius > options_.max_bfs_radius) {
+          return Response::err("radius exceeds server limit " +
+                               std::to_string(options_.max_bfs_radius));
+        }
+        std::uint32_t min_weight = options_.min_edge_weight;
+        if (request.args.size() > 2 &&
+            !parse_u32(request.args[2], min_weight)) {
+          return Response::err("bad min_weight");
+        }
+        if (request.verb == Verb::kBfs) {
+          const auto rows =
+              engine_->bfs(request.args[0], radius, min_weight,
+                           options_.max_bfs_vertices);
+          std::vector<std::string> lines;
+          lines.reserve(rows.size());
+          for (const auto& row : rows) {
+            lines.push_back(row.kmer + ' ' + std::to_string(row.depth) +
+                            ' ' + std::to_string(row.coverage));
+          }
+          return Response::success(std::move(lines));
+        }
+        const std::string text =
+            engine_->gfa(request.args[0], radius, min_weight,
+                         options_.max_bfs_vertices);
+        std::vector<std::string> lines;
+        std::istringstream stream(text);
+        for (std::string line; std::getline(stream, line);) {
+          lines.push_back(std::move(line));
+        }
+        return Response::success(std::move(lines));
+      }
+      default:
+        return Response::err("verb not handled");
+    }
+  } catch (const Error& e) {
+    return Response::err(e.what());
+  }
+}
+
+Response Daemon::stats_response() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("k").value(engine_->k());
+  w.key("p").value(engine_->p());
+  w.key("partitions").value(engine_->num_partitions());
+  w.key("vertices").value(engine_->num_vertices());
+  w.key("memory_bytes").value(engine_->memory_bytes());
+  w.key("queries_served")
+      .value(queries_served_.load(std::memory_order_relaxed));
+  w.end_object();
+  return Response::one_line(std::move(w).str());
+}
+
+}  // namespace parahash::serve

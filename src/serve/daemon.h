@@ -1,0 +1,112 @@
+// The graph-query daemon: a local-socket server answering the
+// protocol.h verbs against one frozen snapshot.
+//
+// Threading model — thread-per-connection readers, shared batching
+// workers:
+//
+//   accept thread ──> connection threads (parse, enqueue, write reply)
+//                         │ Job{Request, promise<Response>}
+//                         v
+//                   shared request queue  (serve.queue_depth gauge)
+//                         │ pop up to max_batch
+//                         v
+//                   worker threads: all FIND/MFIND kmers in the popped
+//                   batch merge into ONE engine->find_many() pass —
+//                   cross-client lookups drain through the snapshot's
+//                   group-probe/prefetch front-end together — while
+//                   traversal verbs (NEIGH/BFS/GFA) run per job.
+//
+// A connection is strict request-response lockstep: the reader blocks
+// on the job's future before reading the next line, so per-connection
+// ordering is trivial and backpressure is the client's own pipeline
+// depth. PING/QUIT/STATS short-circuit in the connection thread (no
+// table work to batch).
+//
+// Telemetry (all under serve.*, exported like every other subsystem):
+// queries/errors/connections counters, queue_depth + active_connections
+// gauges, batch_size and query_ns histograms (the bench's p50/p99
+// source).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/serve_options.h"
+
+namespace parahash::serve {
+
+class Daemon {
+ public:
+  Daemon(std::unique_ptr<QueryEngine> engine, ServeOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket, starts workers and the accept loop. Returns
+  /// once the daemon is accepting connections (callers print their
+  /// readiness line after this).
+  void start();
+
+  /// Stops accepting, drains in-flight requests, joins every thread
+  /// and removes the socket file. Idempotent.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  const QueryEngine& engine() const noexcept { return *engine_; }
+  std::uint64_t queries_served() const noexcept {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  /// Answers one popped batch: merged membership pass + per-job
+  /// traversals.
+  void process_batch(std::vector<Job>& jobs);
+  Response handle_traversal(const Request& request);
+  Response stats_response() const;
+
+  std::unique_ptr<QueryEngine> engine_;
+  ServeOptions options_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> client_fds_;  ///< open connections (for shutdown)
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::atomic<std::uint64_t> queries_served_{0};
+};
+
+}  // namespace parahash::serve

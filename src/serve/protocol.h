@@ -1,0 +1,131 @@
+// The daemon's wire protocol: newline-delimited text over a local
+// stream socket, strict request-response lockstep per connection.
+//
+// Requests are one line: a verb plus space-separated operands.
+//
+//   PING
+//   FIND  <kmer>                       point membership + entry
+//   MFIND <kmer> [<kmer> ...]          batched membership bits
+//   NEIGH <kmer> [min_weight]          one-step neighbours
+//   BFS   <kmer> <radius> [min_weight] bounded-radius neighbourhood
+//   GFA   <kmer> <radius> [min_weight] neighbourhood as GFA1 text
+//   STATS                              snapshot + serving counters
+//   QUIT                               close this connection
+//
+// Every response has a uniform shape, so one client loop handles all
+// verbs:
+//
+//   OK <n>\n        followed by exactly n payload lines, or
+//   ERR <message>\n with no payload.
+//
+// Payloads: FIND returns `1 <coverage> <e0> ... <e7>` or `0`; MFIND
+// one line of space-separated 0/1 bits in operand order; NEIGH one
+// canonical kmer per line; BFS `<kmer> <depth> <coverage>` rows; GFA
+// raw GFA1 lines; STATS a single JSON object. Kmers are plain ACGT
+// strings of the snapshot's k; anything else is an ERR, never a crash.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parahash::serve {
+
+enum class Verb {
+  kPing,
+  kFind,
+  kMfind,
+  kNeigh,
+  kBfs,
+  kGfa,
+  kStats,
+  kQuit,
+  kInvalid,
+};
+
+struct Request {
+  Verb verb = Verb::kInvalid;
+  std::vector<std::string> args;  ///< operands after the verb
+  std::string error;              ///< set when verb == kInvalid
+};
+
+inline Request parse_request(std::string_view line) {
+  Request req;
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') {
+      ++end;
+    }
+    if (end > pos) tokens.emplace_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  if (tokens.empty()) {
+    req.error = "empty request";
+    return req;
+  }
+  const std::string& verb = tokens[0];
+  const std::size_t n_args = tokens.size() - 1;
+  const auto want = [&](Verb v, std::size_t min_args,
+                        std::size_t max_args) {
+    if (n_args < min_args || n_args > max_args) {
+      req.error = "wrong operand count for " + verb;
+      return;
+    }
+    req.verb = v;
+    req.args.assign(tokens.begin() + 1, tokens.end());
+  };
+  if (verb == "PING") want(Verb::kPing, 0, 0);
+  else if (verb == "FIND") want(Verb::kFind, 1, 1);
+  else if (verb == "MFIND") want(Verb::kMfind, 1, 4096);
+  else if (verb == "NEIGH") want(Verb::kNeigh, 1, 2);
+  else if (verb == "BFS") want(Verb::kBfs, 2, 3);
+  else if (verb == "GFA") want(Verb::kGfa, 2, 3);
+  else if (verb == "STATS") want(Verb::kStats, 0, 0);
+  else if (verb == "QUIT") want(Verb::kQuit, 0, 0);
+  else req.error = "unknown verb '" + verb + "'";
+  return req;
+}
+
+/// A fully formed reply: the header line plus payload lines.
+struct Response {
+  bool ok = false;
+  std::string error;               ///< ERR payload when !ok
+  std::vector<std::string> lines;  ///< payload when ok
+
+  static Response err(std::string message) {
+    Response r;
+    r.error = std::move(message);
+    return r;
+  }
+  static Response success(std::vector<std::string> lines) {
+    Response r;
+    r.ok = true;
+    r.lines = std::move(lines);
+    return r;
+  }
+  static Response one_line(std::string line) {
+    return success({std::move(line)});
+  }
+
+  /// Serialises to the wire form (header + payload, each \n-terminated).
+  std::string to_wire() const {
+    std::string out;
+    if (!ok) {
+      out = "ERR " + error + "\n";
+      return out;
+    }
+    out = "OK " + std::to_string(lines.size()) + "\n";
+    for (const std::string& line : lines) {
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+}  // namespace parahash::serve

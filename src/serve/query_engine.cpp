@@ -1,0 +1,214 @@
+#include "serve/query_engine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/query.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/kmer.h"
+
+namespace parahash::serve {
+
+namespace {
+
+/// One validation point for query kmers: exact length, ACGT only.
+/// (Kmer::from_string folds unknown characters to A, which is right
+/// for sequencing input but would silently answer the wrong query
+/// here.)
+void validate_kmer(const std::string& s, int k) {
+  if (static_cast<int>(s.size()) != k) {
+    throw InvalidArgumentError("kmer '" + s + "' is not length " +
+                               std::to_string(k));
+  }
+  for (char c : s) {
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c':
+      case 'G': case 'g': case 'T': case 't':
+        break;
+      default:
+        throw InvalidArgumentError("kmer '" + s +
+                                   "' has a non-ACGT character");
+    }
+  }
+}
+
+template <int W>
+class FrozenQueryEngine final : public QueryEngine {
+ public:
+  explicit FrozenQueryEngine(core::FrozenGraph<W> graph)
+      : graph_(std::move(graph)) {}
+
+  int k() const override { return graph_.k(); }
+  int p() const override { return graph_.p(); }
+  std::uint32_t num_partitions() const override {
+    return graph_.num_partitions();
+  }
+  std::uint64_t num_vertices() const override {
+    return graph_.num_vertices();
+  }
+  std::uint64_t memory_bytes() const override {
+    return graph_.memory_bytes();
+  }
+
+  bool valid_kmer(const std::string& kmer) const override {
+    if (static_cast<int>(kmer.size()) != graph_.k()) return false;
+    for (char c : kmer) {
+      switch (c) {
+        case 'A': case 'a': case 'C': case 'c':
+        case 'G': case 'g': case 'T': case 't':
+          break;
+        default:
+          return false;
+      }
+    }
+    return true;
+  }
+
+  FindResult find(const std::string& kmer) const override {
+    validate_kmer(kmer, graph_.k());
+    const auto entry = graph_.find_entry(Kmer<W>::from_string(kmer));
+    FindResult r;
+    if (entry.has_value()) {
+      r.found = true;
+      r.coverage = entry->coverage;
+      r.edges = entry->edges;
+    }
+    return r;
+  }
+
+  void find_many(std::span<const std::string> kmers,
+                 std::vector<FindResult>& out) const override {
+    std::vector<Kmer<W>> keys;
+    keys.reserve(kmers.size());
+    for (const std::string& s : kmers) {
+      validate_kmer(s, graph_.k());
+      keys.push_back(Kmer<W>::from_string(s));
+    }
+    std::vector<std::optional<concurrent::VertexEntry<W>>> hits;
+    graph_.find_many(keys, hits);
+    out.assign(hits.size(), FindResult{});
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      if (hits[i].has_value()) {
+        out[i].found = true;
+        out[i].coverage = hits[i]->coverage;
+        out[i].edges = hits[i]->edges;
+      }
+    }
+  }
+
+  std::vector<std::string> neighbors(
+      const std::string& kmer,
+      std::uint32_t min_edge_weight) const override {
+    validate_kmer(kmer, graph_.k());
+    const Kmer<W> canon = Kmer<W>::from_string(kmer).canonical();
+    const auto entry = graph_.find_entry(canon);
+    std::vector<std::string> out;
+    if (!entry.has_value()) return out;
+    for (const auto& n : core::entry_neighbors(*entry, min_edge_weight)) {
+      // Only neighbours that exist in the snapshot: an edge counter can
+      // point at a vertex filtered by min-coverage.
+      if (graph_.find_entry(n).has_value()) out.push_back(n.to_string());
+    }
+    return out;
+  }
+
+  std::vector<BfsRow> bfs(const std::string& kmer, int radius,
+                          std::uint32_t min_edge_weight,
+                          std::uint64_t max_vertices) const override {
+    validate_kmer(kmer, graph_.k());
+    const auto vertices = core::bfs_neighborhood<W>(
+        graph_, Kmer<W>::from_string(kmer), radius, min_edge_weight,
+        max_vertices);
+    std::vector<BfsRow> rows;
+    rows.reserve(vertices.size());
+    for (const auto& v : vertices) {
+      rows.push_back(BfsRow{v.entry.kmer.to_string(), v.depth,
+                            v.entry.coverage});
+    }
+    return rows;
+  }
+
+  std::string gfa(const std::string& kmer, int radius,
+                  std::uint32_t min_edge_weight,
+                  std::uint64_t max_vertices) const override {
+    validate_kmer(kmer, graph_.k());
+    const auto vertices = core::bfs_neighborhood<W>(
+        graph_, Kmer<W>::from_string(kmer), radius, min_edge_weight,
+        max_vertices);
+    std::ostringstream out;
+    core::write_neighborhood_gfa<W>(out, vertices, graph_.k(),
+                                    min_edge_weight);
+    return std::move(out).str();
+  }
+
+ private:
+  core::FrozenGraph<W> graph_;
+};
+
+}  // namespace
+
+template <int W>
+std::unique_ptr<QueryEngine> make_query_engine(core::FrozenGraph<W> graph) {
+  return std::make_unique<FrozenQueryEngine<W>>(std::move(graph));
+}
+
+template std::unique_ptr<QueryEngine> make_query_engine<1>(
+    core::FrozenGraph<1>);
+template std::unique_ptr<QueryEngine> make_query_engine<2>(
+    core::FrozenGraph<2>);
+
+std::unique_ptr<QueryEngine> load_engine_from_graph(const std::string& path,
+                                                    double alpha) {
+  // Peek the header for the word count, then dispatch.
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("serve: cannot open graph file " + path);
+  core::internal::GraphFileHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || header.magic != core::internal::GraphFileHeader::kMagic) {
+    throw IoError("serve: bad graph header in " + path);
+  }
+  file.close();
+  // Dispatch on the file's word count, not on k: a two-word graph with
+  // small k must still load as W=2 to match its on-disk layout.
+  const auto load = [&]<int W>() -> std::unique_ptr<QueryEngine> {
+    auto graph = core::DeBruijnGraph<W>::load(path);
+    return make_query_engine<W>(core::FrozenGraph<W>::freeze(graph, alpha));
+  };
+  if (header.words == 1) return load.template operator()<1>();
+  if (header.words == 2) return load.template operator()<2>();
+  throw IoError("serve: unsupported kmer word count in " + path);
+}
+
+std::unique_ptr<QueryEngine> load_engine_from_subgraph_dir(
+    const std::string& dir, int p, double alpha) {
+  // Peek k from any subgraph file to pick the word count.
+  namespace fs = std::filesystem;
+  int k = 0;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("subgraph_", 0) != 0 ||
+          name.substr(name.size() < 4 ? 0 : name.size() - 4) != ".bin") {
+        continue;
+      }
+      std::ifstream file(entry.path(), std::ios::binary);
+      std::uint32_t k32 = 0;
+      file.read(reinterpret_cast<char*>(&k32), sizeof(k32));
+      if (file) {
+        k = static_cast<int>(k32);
+        break;
+      }
+    }
+  }
+  if (k == 0) {
+    throw IoError("serve: no readable subgraph_<id>.bin files in " + dir);
+  }
+  return with_kmer_words(k, [&]<int W>() -> std::unique_ptr<QueryEngine> {
+    return make_query_engine<W>(
+        core::FrozenGraph<W>::load_subgraph_dir(dir, p, alpha));
+  });
+}
+
+}  // namespace parahash::serve

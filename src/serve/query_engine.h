@@ -1,0 +1,80 @@
+// The daemon's query surface, type-erased over the kmer word count.
+//
+// A snapshot's W (1 word for k <= 32, 2 for k <= 64) is a template
+// parameter everywhere else in the tree, but the daemon picks it at
+// LOAD time (from the graph file / subgraph headers), so the socket
+// and batching layers talk to this interface and never mention W. The
+// concrete engine wraps a core::FrozenGraph and traffics in validated
+// kmer strings — one validation point, every malformed query becomes
+// an InvalidArgumentError the connection layer turns into an ERR
+// reply.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/frozen_graph.h"
+
+namespace parahash::serve {
+
+class QueryEngine {
+ public:
+  struct FindResult {
+    bool found = false;
+    std::uint32_t coverage = 0;
+    std::array<std::uint32_t, 8> edges{};
+  };
+  struct BfsRow {
+    std::string kmer;  ///< canonical form
+    int depth = 0;
+    std::uint32_t coverage = 0;
+  };
+
+  virtual ~QueryEngine() = default;
+
+  virtual int k() const = 0;
+  virtual int p() const = 0;
+  virtual std::uint32_t num_partitions() const = 0;
+  virtual std::uint64_t num_vertices() const = 0;
+  virtual std::uint64_t memory_bytes() const = 0;
+
+  /// Non-throwing shape check (length + charset); the daemon uses it
+  /// to reject a malformed job with an ERR before it joins a batch.
+  virtual bool valid_kmer(const std::string& kmer) const = 0;
+
+  virtual FindResult find(const std::string& kmer) const = 0;
+  /// Batched lookup (the cross-client batching path: the whole batch
+  /// drains through the snapshot's prefetch front-end in one pass).
+  /// out[i] answers kmers[i]; every kmer must pass valid_kmer.
+  virtual void find_many(std::span<const std::string> kmers,
+                         std::vector<FindResult>& out) const = 0;
+  virtual std::vector<std::string> neighbors(
+      const std::string& kmer, std::uint32_t min_edge_weight) const = 0;
+  virtual std::vector<BfsRow> bfs(const std::string& kmer, int radius,
+                                  std::uint32_t min_edge_weight,
+                                  std::uint64_t max_vertices) const = 0;
+  /// The neighbourhood as GFA1 text (core::write_neighborhood_gfa).
+  virtual std::string gfa(const std::string& kmer, int radius,
+                          std::uint32_t min_edge_weight,
+                          std::uint64_t max_vertices) const = 0;
+};
+
+/// Wraps a frozen snapshot; the daemon owns the returned engine.
+template <int W>
+std::unique_ptr<QueryEngine> make_query_engine(core::FrozenGraph<W> graph);
+
+/// Loads a .phdg graph file and freezes it (W picked from the header).
+std::unique_ptr<QueryEngine> load_engine_from_graph(
+    const std::string& path, double alpha = 0.7);
+
+/// Loads Step-2 subgraph_<id>.bin files (W picked from k in the
+/// headers; `p` must match the build's minimizer length).
+std::unique_ptr<QueryEngine> load_engine_from_subgraph_dir(
+    const std::string& dir, int p, double alpha = 0.7);
+
+}  // namespace parahash::serve

@@ -1,0 +1,41 @@
+// Options for the graph-query daemon (src/serve/daemon.h). Kept in a
+// dependency-free header so the unified Config aggregate
+// (pipeline/config.h) can embed them without pulling socket code into
+// every translation unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parahash::serve {
+
+struct ServeOptions {
+  /// AF_UNIX socket path the daemon listens on. The daemon unlinks a
+  /// stale socket file at bind time and removes its own on shutdown.
+  std::string socket_path = "parahash.sock";
+
+  /// Worker threads draining the shared request queue. Each worker
+  /// pops up to `max_batch` requests at once and routes every
+  /// membership lookup in the batch through the snapshot's prefetch
+  /// front-end — cross-client batching is what turns many small
+  /// queries into table-friendly probe streams.
+  int worker_threads = 2;
+  int max_batch = 64;
+
+  /// Ceilings a single query may claim (DoS guard, not tuning):
+  /// BFS radius and result-set size per request.
+  int max_bfs_radius = 16;
+  std::uint64_t max_bfs_vertices = 4096;
+
+  /// Edge-weight threshold applied to traversal queries that do not
+  /// specify their own.
+  std::uint32_t min_edge_weight = 1;
+
+  /// Listen backlog; connections beyond it queue in the kernel.
+  int backlog = 64;
+
+  friend bool operator==(const ServeOptions&,
+                         const ServeOptions&) = default;
+};
+
+}  // namespace parahash::serve

@@ -1,12 +1,20 @@
-// Minimal JSON writer: enough to emit metrics snapshots, trace events
-// and run reports without a third-party dependency. Commas are managed
+// Minimal JSON writer + parser: enough to emit metrics snapshots,
+// trace events and run reports — and to read them (and `--config`
+// files) back — without a third-party dependency. Commas are managed
 // by a nesting stack; non-finite doubles are emitted as null so the
-// output always parses.
+// output always parses. The parser is the writer's inverse: a small
+// recursive-descent reader producing a JsonValue tree, accepting
+// exactly RFC 8259 JSON (no comments, no trailing commas) so config
+// files stay interchangeable with any other tooling.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -138,6 +146,297 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> need_comma_;
   bool pending_value_ = false;
+};
+
+/// Thrown by JsonValue::parse on malformed input; carries a byte
+/// offset so a bad config file points at the offending character.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A parsed JSON document: one tagged value, with typed accessors that
+/// throw JsonParseError-free std::runtime_error on kind mismatch (a
+/// config reader wants loud failures, not silent defaults). Object
+/// member order is not preserved (std::map) — round-trip identity is
+/// defined over re-serialisation through the same writer, which emits
+/// keys in a fixed schema order anyway.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  double as_double() const {
+    require(Kind::kNumber, "number");
+    return number_;
+  }
+  std::int64_t as_int() const {
+    require(Kind::kNumber, "number");
+    return static_cast<std::int64_t>(number_);
+  }
+  std::uint64_t as_uint() const {
+    require(Kind::kNumber, "number");
+    if (number_ < 0) throw std::runtime_error("JSON number is negative");
+    return static_cast<std::uint64_t>(number_);
+  }
+  const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return string_;
+  }
+  const std::vector<JsonValue>& as_array() const {
+    require(Kind::kArray, "array");
+    return array_;
+  }
+  const std::map<std::string, JsonValue>& as_object() const {
+    require(Kind::kObject, "object");
+    return object_;
+  }
+
+  bool has(std::string_view key) const {
+    return kind_ == Kind::kObject &&
+           object_.find(std::string(key)) != object_.end();
+  }
+  /// Member access; throws if absent (use get() for optional members).
+  const JsonValue& at(std::string_view key) const {
+    require(Kind::kObject, "object");
+    auto it = object_.find(std::string(key));
+    if (it == object_.end()) {
+      throw std::runtime_error("JSON object has no member '" +
+                               std::string(key) + "'");
+    }
+    return it->second;
+  }
+  /// Member access; nullptr if absent or not an object.
+  const JsonValue* get(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = object_.find(std::string(key));
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). Throws JsonParseError.
+  static JsonValue parse(std::string_view text) {
+    Parser p{text, 0};
+    JsonValue v = p.value();
+    p.skip_ws();
+    if (p.pos != text.size()) {
+      throw JsonParseError("trailing characters after JSON value", p.pos);
+    }
+    return v;
+  }
+
+ private:
+  void require(Kind want, const char* name) const {
+    if (kind_ != want) {
+      throw std::runtime_error(std::string("JSON value is not a ") + name);
+    }
+  }
+
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+
+    [[noreturn]] void fail(const char* what) const {
+      throw JsonParseError(what, pos);
+    }
+    void skip_ws() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+              text[pos] == '\r')) {
+        ++pos;
+      }
+    }
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+    void expect(char c) {
+      if (peek() != c) fail("unexpected character");
+      ++pos;
+    }
+    bool consume_literal(std::string_view lit) {
+      if (text.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    }
+
+    JsonValue value() {
+      skip_ws();
+      switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string_value();
+        case 't':
+          if (!consume_literal("true")) fail("bad literal");
+          return make_bool(true);
+        case 'f':
+          if (!consume_literal("false")) fail("bad literal");
+          return make_bool(false);
+        case 'n':
+          if (!consume_literal("null")) fail("bad literal");
+          return JsonValue{};
+        default: return number();
+      }
+    }
+
+    JsonValue object() {
+      expect('{');
+      JsonValue v;
+      v.kind_ = Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.object_.emplace(std::move(key), value());
+        skip_ws();
+        const char c = peek();
+        ++pos;
+        if (c == '}') return v;
+        if (c != ',') fail("expected ',' or '}' in object");
+      }
+    }
+
+    JsonValue array() {
+      expect('[');
+      JsonValue v;
+      v.kind_ = Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        v.array_.push_back(value());
+        skip_ws();
+        const char c = peek();
+        ++pos;
+        if (c == ']') return v;
+        if (c != ',') fail("expected ',' or ']' in array");
+      }
+    }
+
+    JsonValue string_value() {
+      JsonValue v;
+      v.kind_ = Kind::kString;
+      v.string_ = parse_string();
+      return v;
+    }
+
+    std::string parse_string() {
+      expect('"');
+      std::string out;
+      for (;;) {
+        if (pos >= text.size()) fail("unterminated string");
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out += c;
+          continue;
+        }
+        if (pos >= text.size()) fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // UTF-8 encode the code point (the writer only ever emits
+            // \u00xx for control bytes, but accept the full BMP).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      }
+    }
+
+    JsonValue number() {
+      const std::size_t start = pos;
+      if (pos < text.size() && text[pos] == '-') ++pos;
+      while (pos < text.size() &&
+             ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+              text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+              text[pos] == '-')) {
+        ++pos;
+      }
+      if (pos == start) fail("expected a JSON value");
+      const std::string token(text.substr(start, pos - start));
+      char* end = nullptr;
+      const double d = std::strtod(token.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        throw JsonParseError("malformed number", start);
+      }
+      JsonValue v;
+      v.kind_ = Kind::kNumber;
+      v.number_ = d;
+      return v;
+    }
+
+    static JsonValue make_bool(bool b) {
+      JsonValue v;
+      v.kind_ = Kind::kBool;
+      v.bool_ = b;
+      return v;
+    }
+  };
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
 };
 
 }  // namespace parahash

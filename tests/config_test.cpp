@@ -1,0 +1,168 @@
+// Tests for the unified config aggregate (pipeline/config.h) and the
+// JSON parser beneath it (util/json.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pipeline/config.h"
+#include "pipeline/report_json.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace parahash {
+namespace {
+
+// ----------------------------------------------------------- parser
+
+TEST(JsonParser, ParsesScalarsArraysAndObjects) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": "text", "c": [1, 2, 3], "d": {"e": true},
+          "f": null, "g": -7})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_double(), 1.5);
+  EXPECT_EQ(v.at("b").as_string(), "text");
+  EXPECT_EQ(v.at("c").as_array().size(), 3u);
+  EXPECT_EQ(v.at("c").as_array()[2].as_int(), 3);
+  EXPECT_TRUE(v.at("d").at("e").as_bool());
+  EXPECT_TRUE(v.at("f").is_null());
+  EXPECT_EQ(v.at("g").as_int(), -7);
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonParser, RoundTripsWriterEscapes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value(std::string("quote \" slash \\ tab \t nl \n"));
+  w.end_object();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("s").as_string(), "quote \" slash \\ tab \t nl \n");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(JsonParser, KindMismatchThrows) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1})");
+  EXPECT_THROW(v.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("-3").as_uint(), std::runtime_error);
+}
+
+// ----------------------------------------------------------- config
+
+Config non_default_config() {
+  Config config;
+  config.build.msp.k = 31;
+  config.build.msp.p = 13;
+  config.build.msp.num_partitions = 128;
+  config.build.hash.alpha = 0.8;
+  config.build.hash.growth_mode = core::GrowthMode::kRestart;
+  config.build.hash.upsert_window =
+      concurrent::UpsertWindow::fixed_window(32);
+  config.build.cpu_threads = 4;
+  config.build.num_gpus = 2;
+  config.build.gpu.threads = 3;
+  config.build.gpu.name = "test-gpu";
+  config.build.fuse_steps = true;
+  config.build.inflight_table_budget_bytes = 123456789;
+  config.build.autotune.enabled = true;
+  config.build.autotune.pin_partitions = true;
+  config.build.step3 = true;
+  config.build.min_edge_weight = 2;
+  config.build.contigs_out = "contigs.fa";
+  config.build.publish_frozen = true;
+  config.build.frozen_alpha = 0.65;
+  config.build.min_coverage = 2;
+  config.build.accumulate_graph = false;
+  config.serve.socket_path = "/tmp/x.sock";
+  config.serve.worker_threads = 4;
+  config.serve.max_batch = 128;
+  config.serve.max_bfs_radius = 8;
+  config.serve.min_edge_weight = 3;
+  config.paths.inputs = {"a.fastq", "b.fastq.gz"};
+  config.paths.graph = "out.phdg";
+  config.paths.report_json = "report.json";
+  return config;
+}
+
+TEST(Config, JsonRoundTripIsIdentity) {
+  const Config config = non_default_config();
+  const Config back = Config::from_json(config.to_json());
+  EXPECT_EQ(back, config);
+  // Spot-check decoded fields (operator== compares serialisations; a
+  // field silently dropped by BOTH directions would not be caught by
+  // it alone).
+  EXPECT_EQ(back.build.msp.k, 31);
+  EXPECT_EQ(back.build.hash.growth_mode, core::GrowthMode::kRestart);
+  EXPECT_EQ(back.build.hash.upsert_window.to_string(), "32");
+  EXPECT_EQ(back.build.inflight_table_budget_bytes, 123456789u);
+  EXPECT_TRUE(back.build.autotune.pin_partitions);
+  EXPECT_FALSE(back.build.accumulate_graph);
+  EXPECT_EQ(back.serve.max_batch, 128);
+  EXPECT_EQ(back.paths.inputs.size(), 2u);
+  EXPECT_EQ(back.paths.inputs[1], "b.fastq.gz");
+}
+
+TEST(Config, DefaultRoundTripIsIdentity) {
+  const Config config;
+  EXPECT_EQ(Config::from_json(config.to_json()), config);
+}
+
+TEST(Config, PartialJsonKeepsDefaults) {
+  const Config config = Config::from_json(
+      R"({"version": 1, "build": {"k": 23, "hash": {"alpha": 0.9}}})");
+  EXPECT_EQ(config.build.msp.k, 23);
+  EXPECT_DOUBLE_EQ(config.build.hash.alpha, 0.9);
+  // Everything else stays at defaults.
+  const Config defaults;
+  EXPECT_EQ(config.build.msp.p, defaults.build.msp.p);
+  EXPECT_EQ(config.serve, defaults.serve);
+  EXPECT_EQ(config.paths, defaults.paths);
+}
+
+TEST(Config, RejectsNewerSchemaVersion) {
+  EXPECT_THROW(Config::from_json(R"({"version": 999})"),
+               InvalidArgumentError);
+  EXPECT_THROW(Config::from_json(R"({"version": 0})"),
+               InvalidArgumentError);
+  EXPECT_THROW(Config::from_json("[]"), InvalidArgumentError);
+  EXPECT_THROW(Config::from_json("{nope"), JsonParseError);
+}
+
+TEST(Config, RejectsUnknownEnumNames) {
+  EXPECT_THROW(
+      Config::from_json(R"({"build": {"hash": {"growth_mode": "x"}}})"),
+      InvalidArgumentError);
+  EXPECT_THROW(Config::from_json(R"({"build": {"encoding": "x"}})"),
+               InvalidArgumentError);
+}
+
+TEST(Config, FileRoundTrip) {
+  const Config config = non_default_config();
+  const std::string path = ::testing::TempDir() + "parahash_config.json";
+  config.save_file(path);
+  EXPECT_EQ(Config::load_file(path), config);
+  EXPECT_THROW(Config::load_file(path + ".does-not-exist"), IoError);
+}
+
+TEST(Config, EmbedsInReportJson) {
+  // The report writer splices the config verbatim under "config" and
+  // the round trip through the report recovers it.
+  const Config config = non_default_config();
+  pipeline::RunReport report;
+  const std::string json = pipeline::run_report_json(
+      report, "scalar", "16", 0, config.to_json());
+  const JsonValue root = JsonValue::parse(json);
+  ASSERT_TRUE(root.has("config"));
+  EXPECT_EQ(root.at("config").at("build").at("k").as_int(), 31);
+}
+
+}  // namespace
+}  // namespace parahash

@@ -1,0 +1,302 @@
+// Parity tests for the serving snapshot: a FrozenTableView (and the
+// per-partition FrozenGraph built from it) must answer find/for_each
+// IDENTICALLY to the live ConcurrentKmerTable it was frozen from — for
+// every SIMD probe backend, after incremental migrations, and with
+// adopted overflow entries compacted in.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "concurrent/frozen_view.h"
+#include "concurrent/kmer_table.h"
+#include "core/frozen_graph.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "sim/read_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace parahash::concurrent {
+namespace {
+
+template <int W>
+Kmer<W> random_kmer(Rng& rng, int k) {
+  Kmer<W> kmer;
+  for (int i = 0; i < k; ++i) kmer.push_back(rng.base());
+  return kmer;
+}
+
+struct Op {
+  std::string kmer;
+  int edge_out;
+  int edge_in;
+};
+
+template <int W>
+std::vector<Op> make_ops(int distinct, int total, int k,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(distinct);
+  for (int i = 0; i < distinct; ++i) {
+    keys.push_back(random_kmer<W>(rng, k).to_string());
+  }
+  std::vector<Op> ops;
+  ops.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    Op op;
+    op.kmer = keys[rng.below(keys.size())];
+    op.edge_out = static_cast<int>(rng.below(5)) - 1;  // -1..3
+    op.edge_in = static_cast<int>(rng.below(5)) - 1;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Every backend the host supports, scalar always included.
+std::vector<simd::Level> backends() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::detect() >= simd::Level::kSse2) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::detect() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// find() parity for present keys, absent keys, and for_each coverage,
+/// at one SIMD level.
+template <int W>
+void expect_view_matches_table(const ConcurrentKmerTable<W>& table,
+                               FrozenTableView<W>& view,
+                               const std::vector<Op>& ops, int k,
+                               simd::Level level) {
+  view.set_simd_level(level);
+  ASSERT_EQ(view.size(), table.size());
+
+  std::set<std::string> present;
+  for (const auto& op : ops) present.insert(op.kmer);
+  for (const std::string& key : present) {
+    const auto kmer = Kmer<W>::from_string(key);
+    const auto live = table.find(kmer);
+    const auto frozen = view.find(kmer);
+    ASSERT_TRUE(live.has_value()) << key;
+    ASSERT_TRUE(frozen.has_value())
+        << key << " missing at " << simd::to_string(level);
+    EXPECT_EQ(frozen->coverage, live->coverage) << key;
+    EXPECT_EQ(frozen->edges, live->edges) << key;
+  }
+
+  // Absent keys miss in both.
+  Rng rng(4242);
+  for (int i = 0; i < 256; ++i) {
+    const auto kmer = random_kmer<W>(rng, k);
+    if (present.contains(kmer.to_string())) continue;
+    EXPECT_EQ(view.find(kmer).has_value(),
+              table.find(kmer).has_value())
+        << kmer.to_string();
+  }
+
+  // for_each visits exactly the live key set, once each.
+  std::set<std::string> visited;
+  view.for_each([&](const VertexEntry<W>& e) {
+    EXPECT_TRUE(visited.insert(e.kmer.to_string()).second)
+        << "duplicate " << e.kmer.to_string();
+  });
+  EXPECT_EQ(visited.size(), present.size());
+}
+
+TEST(FrozenView, ParityAfterMigrations) {
+  // A table ~30x undersized rides through several incremental
+  // doublings before the freeze; the snapshot must match the final
+  // live state on every probe backend.
+  GrowthConfig growth;
+  growth.enabled = true;
+  const int k = 27;
+  const auto ops = make_ops<1>(2000, 8000, k, 99);
+  ConcurrentKmerTable<1> table(64, k, growth);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  ASSERT_GE(table.migrations(), 1u);
+
+  auto view = FrozenTableView<1>::freeze(table);
+  for (const simd::Level level : backends()) {
+    SCOPED_TRACE(simd::to_string(level));
+    expect_view_matches_table(table, view, ops, k, level);
+  }
+}
+
+TEST(FrozenView, ParityWithAdoptedOverflowEntries) {
+  // Overflow-heavy knobs (tiny displacement bound, migration disabled
+  // by a threshold of 1.0) force entries into the overflow region; the
+  // freeze must compact them into the same probe-only array as main
+  // entries.
+  GrowthConfig growth;
+  growth.enabled = true;
+  growth.max_displacement = 16;
+  growth.overflow_fraction = 1.0;
+  growth.migration_threshold = 1.0;
+  const int k = 27;
+  const auto ops = make_ops<1>(80, 600, k, 2024);
+  ConcurrentKmerTable<1> table(64, k, growth);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  ASSERT_GT(table.overflow_size(), 0u);
+
+  auto view = FrozenTableView<1>::freeze(table);
+  for (const simd::Level level : backends()) {
+    SCOPED_TRACE(simd::to_string(level));
+    expect_view_matches_table(table, view, ops, k, level);
+  }
+}
+
+TEST(FrozenView, TwoWordKmerParity) {
+  const int k = 43;  // W=2 territory
+  GrowthConfig growth;
+  growth.enabled = true;
+  const auto ops = make_ops<2>(500, 2500, k, 5150);
+  ConcurrentKmerTable<2> table(64, k, growth);
+  for (const auto& op : ops) {
+    table.add(Kmer<2>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  auto view = FrozenTableView<2>::freeze(table);
+  for (const simd::Level level : backends()) {
+    SCOPED_TRACE(simd::to_string(level));
+    expect_view_matches_table(table, view, ops, k, level);
+  }
+}
+
+TEST(FrozenView, FindManyMatchesPointLookups) {
+  const int k = 27;
+  const auto ops = make_ops<1>(1000, 4000, k, 7);
+  ConcurrentKmerTable<1> table(2048, k);
+  for (const auto& op : ops) {
+    table.add(Kmer<1>::from_string(op.kmer), op.edge_out, op.edge_in);
+  }
+  auto view = FrozenTableView<1>::freeze(table);
+
+  // Present and absent keys interleaved, in one batched pass.
+  Rng rng(11);
+  std::vector<Kmer<1>> keys;
+  for (const auto& op : ops) keys.push_back(Kmer<1>::from_string(op.kmer));
+  for (int i = 0; i < 200; ++i) keys.push_back(random_kmer<1>(rng, k));
+
+  std::vector<std::optional<VertexEntry<1>>> results;
+  view.find_many(keys, results);
+  ASSERT_EQ(results.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto point = view.find(keys[i]);
+    ASSERT_EQ(results[i].has_value(), point.has_value()) << i;
+    if (point.has_value()) {
+      EXPECT_EQ(results[i]->coverage, point->coverage);
+      EXPECT_EQ(results[i]->edges, point->edges);
+    }
+  }
+}
+
+TEST(FrozenView, IsImmutable) {
+  ConcurrentKmerTable<1> table(64, 27);
+  table.add(Kmer<1>::from_string("ACGTACGTACGTACGTACGTACGTACG"), 1, 2);
+  auto view = FrozenTableView<1>::freeze(table);
+  EXPECT_THROW(
+      view.add(Kmer<1>::from_string("ACGTACGTACGTACGTACGTACGTACG"), 1, 2),
+      Error);
+}
+
+// --------------------------------------------------------------- graph
+
+TEST(FrozenGraph, MatchesLiveGraphFromPipelineRun) {
+  // End-to-end: simulate reads, build the partitioned graph, publish
+  // the snapshot through the pipeline hook, and compare every vertex
+  // (and a batched find_many pass) against the live graph.
+  io::TempDir dir;
+  sim::DatasetSpec spec;
+  spec.genome_size = 3000;
+  spec.read_length = 90;
+  spec.coverage = 8.0;
+  spec.lambda = 1.0;
+  spec.seed = 7;
+  const std::string fastq = dir.file("reads.fastq");
+  sim::write_dataset(spec, fastq);
+
+  pipeline::Options options;
+  options.msp.k = 27;
+  options.msp.p = 11;
+  options.msp.num_partitions = 8;
+  options.cpu_threads = 2;
+  options.publish_frozen = true;
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+  const auto frozen = system.frozen();
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_TRUE(report.frozen.published);
+  EXPECT_EQ(report.frozen.vertices, report.graph.vertices);
+  EXPECT_EQ(frozen->num_vertices(), report.graph.vertices);
+  EXPECT_EQ(frozen->k(), graph.k());
+  EXPECT_EQ(frozen->p(), graph.p());
+  EXPECT_EQ(frozen->num_partitions(), graph.num_partitions());
+
+  std::vector<Kmer<1>> all_kmers;
+  graph.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
+    const auto entry = frozen->find_entry(e.kmer);
+    ASSERT_TRUE(entry.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(entry->coverage, e.coverage);
+    EXPECT_EQ(entry->edges, e.edges);
+    all_kmers.push_back(e.kmer);
+  });
+  ASSERT_EQ(all_kmers.size(), report.graph.vertices);
+
+  std::vector<std::optional<core::FrozenGraph<1>::Entry>> results;
+  frozen->find_many(all_kmers, results);
+  ASSERT_EQ(results.size(), all_kmers.size());
+  for (std::size_t i = 0; i < all_kmers.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value()) << all_kmers[i].to_string();
+    EXPECT_EQ(results[i]->coverage,
+              graph.find(all_kmers[i])->coverage);
+  }
+}
+
+TEST(FrozenGraph, LoadsFromSubgraphDir) {
+  // Step-2 subgraph files round-trip into a snapshot equivalent to the
+  // one frozen from the in-memory graph.
+  io::TempDir dir;
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 80;
+  spec.coverage = 6.0;
+  spec.lambda = 0.5;
+  spec.seed = 21;
+  const std::string fastq = dir.file("reads.fastq");
+  sim::write_dataset(spec, fastq);
+
+  pipeline::Options options;
+  options.msp.k = 21;
+  options.msp.p = 7;
+  options.msp.num_partitions = 4;
+  options.cpu_threads = 2;
+  options.write_subgraphs = true;
+  options.subgraph_dir = dir.file("subgraphs");
+  pipeline::ParaHash<1> system(options);
+  auto [graph, report] = system.construct(fastq);
+
+  const auto loaded = core::FrozenGraph<1>::load_subgraph_dir(
+      options.subgraph_dir, options.msp.p);
+  EXPECT_EQ(loaded.k(), graph.k());
+  EXPECT_EQ(loaded.num_vertices(), report.graph.vertices);
+  graph.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
+    const auto entry = loaded.find_entry(e.kmer);
+    ASSERT_TRUE(entry.has_value()) << e.kmer.to_string();
+    EXPECT_EQ(entry->coverage, e.coverage);
+    EXPECT_EQ(entry->edges, e.edges);
+  });
+}
+
+}  // namespace
+}  // namespace parahash::concurrent

@@ -1,0 +1,239 @@
+// Tests for the graph-query serving tier: protocol parsing, the
+// daemon's correctness under many concurrent clients, error replies,
+// and query limits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/frozen_graph.h"
+#include "io/tmpdir.h"
+#include "pipeline/parahash.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "sim/read_sim.h"
+
+namespace parahash::serve {
+namespace {
+
+struct ServeFixture {
+  io::TempDir dir;
+  core::DeBruijnGraph<1> graph{21, 7, 4};
+  std::vector<std::string> kmers;  ///< canonical vertex kmers
+  std::unique_ptr<Daemon> daemon;
+
+  explicit ServeFixture(ServeOptions options = {}) {
+    sim::DatasetSpec spec;
+    spec.genome_size = 2000;
+    spec.read_length = 80;
+    spec.coverage = 6.0;
+    spec.lambda = 0.5;
+    spec.seed = 33;
+    const std::string fastq = dir.file("reads.fastq");
+    sim::write_dataset(spec, fastq);
+
+    pipeline::Options build;
+    build.msp.k = 21;
+    build.msp.p = 7;
+    build.msp.num_partitions = 4;
+    build.cpu_threads = 2;
+    pipeline::ParaHash<1> system(build);
+    auto [g, report] = system.construct(fastq);
+    graph = std::move(g);
+    graph.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
+      kmers.push_back(e.kmer.to_string());
+    });
+
+    options.socket_path = dir.file("serve_test.sock");
+    daemon = std::make_unique<Daemon>(
+        make_query_engine<1>(core::FrozenGraph<1>::freeze(graph)),
+        options);
+    daemon->start();
+  }
+
+  ~ServeFixture() { daemon->stop(); }
+
+  Client connect() const {
+    Client client;
+    client.connect(daemon->socket_path());
+    return client;
+  }
+};
+
+TEST(ServeProtocol, ParsesVerbsAndRejectsBadOperandCounts) {
+  EXPECT_EQ(parse_request("PING").verb, Verb::kPing);
+  EXPECT_EQ(parse_request("FIND ACGT").verb, Verb::kFind);
+  EXPECT_EQ(parse_request("MFIND A C G").args.size(), 3u);
+  EXPECT_EQ(parse_request("BFS ACGT 3").verb, Verb::kBfs);
+  EXPECT_EQ(parse_request("BFS ACGT 3 2").verb, Verb::kBfs);
+
+  EXPECT_EQ(parse_request("").verb, Verb::kInvalid);
+  EXPECT_EQ(parse_request("FIND").verb, Verb::kInvalid);
+  EXPECT_EQ(parse_request("FIND A B").verb, Verb::kInvalid);
+  EXPECT_EQ(parse_request("BFS ACGT").verb, Verb::kInvalid);
+  EXPECT_EQ(parse_request("FROB X").verb, Verb::kInvalid);
+}
+
+TEST(ServeDaemon, AnswersPointAndBatchedLookups) {
+  const ServeFixture f;
+  Client client = f.connect();
+  EXPECT_TRUE(client.ping());
+
+  // Every real vertex is found; a kmer absent from the graph is not.
+  for (std::size_t i = 0; i < std::min<std::size_t>(64, f.kmers.size());
+       ++i) {
+    EXPECT_TRUE(client.find(f.kmers[i])) << f.kmers[i];
+  }
+
+  std::vector<std::string> batch(f.kmers.begin(),
+                                 f.kmers.begin() +
+                                     std::min<std::size_t>(
+                                         100, f.kmers.size()));
+  const std::vector<bool> bits = client.find_many(batch);
+  ASSERT_EQ(bits.size(), batch.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_TRUE(bits[i]) << batch[i];
+  }
+}
+
+TEST(ServeDaemon, RejectsMalformedKmersWithErrNotCrash) {
+  const ServeFixture f;
+  Client client = f.connect();
+
+  ClientReply reply = client.request("FIND NOTAKMER");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_FALSE(reply.error.empty());
+
+  // Wrong length.
+  reply = client.request("FIND ACGT");
+  EXPECT_FALSE(reply.ok);
+
+  // The connection survives an error and answers the next query.
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.find(f.kmers.front()));
+}
+
+TEST(ServeDaemon, EnforcesBfsRadiusLimit) {
+  ServeOptions options;
+  options.max_bfs_radius = 2;
+  const ServeFixture f(options);
+  Client client = f.connect();
+
+  const ClientReply ok = client.request("BFS " + f.kmers.front() + " 2");
+  EXPECT_TRUE(ok.ok);
+  const ClientReply too_deep =
+      client.request("BFS " + f.kmers.front() + " 3");
+  EXPECT_FALSE(too_deep.ok);
+}
+
+TEST(ServeDaemon, NeighborsAndGfaAreConsistent) {
+  const ServeFixture f;
+  Client client = f.connect();
+
+  // A BFS of radius 1 contains the start plus its neighbours.
+  std::string seed;
+  std::vector<std::string> neighbors;
+  for (const std::string& kmer : f.kmers) {
+    neighbors = client.neighbors(kmer);
+    if (!neighbors.empty()) {
+      seed = kmer;
+      break;
+    }
+  }
+  ASSERT_FALSE(seed.empty()) << "graph has no connected vertex";
+
+  const std::vector<std::string> rows = client.bfs(seed, 1);
+  std::set<std::string> bfs_kmers;
+  for (const std::string& row : rows) {
+    bfs_kmers.insert(row.substr(0, row.find(' ')));
+  }
+  for (const std::string& n : neighbors) {
+    EXPECT_TRUE(bfs_kmers.contains(n)) << n;
+  }
+
+  // The GFA export names every BFS vertex as a segment.
+  const std::string gfa = client.gfa(seed, 1);
+  std::size_t segments = 0;
+  for (std::size_t pos = 0; pos < gfa.size();) {
+    const std::size_t nl = gfa.find('\n', pos);
+    const std::string line =
+        gfa.substr(pos, nl == std::string::npos ? std::string::npos
+                                                : nl - pos);
+    if (line.rfind("S\t", 0) == 0) ++segments;
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(segments, bfs_kmers.size());
+}
+
+TEST(ServeDaemon, ManyConcurrentClientsGetCorrectAnswers) {
+  // The acceptance test for cross-client batching: 8 clients hammer
+  // the daemon in parallel, each validating every reply against the
+  // live graph. A batching bug (answers sliced to the wrong job)
+  // shows up as a wrong bit, a wrong coverage, or a stuck future.
+  const ServeFixture f;
+  std::map<std::string, std::uint32_t> coverage;
+  f.graph.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
+    coverage[e.kmer.to_string()] = e.coverage;
+  });
+
+  const int clients = 8;
+  const int requests = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client;
+        client.connect(f.daemon->socket_path());
+        for (int i = 0; i < requests; ++i) {
+          const std::string& kmer =
+              f.kmers[static_cast<std::size_t>(c * 31 + i * 7) %
+                      f.kmers.size()];
+          const ClientReply reply = client.request("FIND " + kmer);
+          if (!reply.ok || reply.lines.empty()) {
+            ++failures;
+            continue;
+          }
+          // Payload: `1 <coverage> <e0..e7>`.
+          const std::string& line = reply.lines[0];
+          if (line[0] != '1') {
+            ++failures;
+            continue;
+          }
+          const std::size_t sp1 = line.find(' ');
+          const std::size_t sp2 = line.find(' ', sp1 + 1);
+          const auto got = static_cast<std::uint32_t>(
+              std::stoul(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+          if (got != coverage.at(kmer)) ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(f.daemon->queries_served(),
+            static_cast<std::uint64_t>(clients) * requests);
+}
+
+TEST(ServeDaemon, StopIsIdempotentAndRemovesSocket) {
+  auto f = std::make_unique<ServeFixture>();
+  const std::string socket_path = f->daemon->socket_path();
+  f->daemon->stop();
+  f->daemon->stop();
+  EXPECT_FALSE(std::ifstream(socket_path).good());
+}
+
+}  // namespace
+}  // namespace parahash::serve
