@@ -8,6 +8,16 @@
 // BFS. Per-request wall latency is recorded client-side; the table
 // prints p50/p99 and aggregate QPS per client count, and the same
 // numbers land in BENCH_bench_serve.json via report_metric().
+//
+// Three extra sections quantify the scale-out surface:
+//   - transport: the same mixed load over the TCP listener vs AF_UNIX
+//     (tcp_* vs unix_* metrics) — the protocol cost of leaving the box;
+//   - cache: a traversal-only load over a small hot set, cold pass vs
+//     hot pass (cache_cold_* vs cache_hot_*) — what the sharded LRU
+//     buys on a browser-style repeat workload;
+//   - hot swap: the mixed load while the snapshot is swapped every
+//     50 ms (swap_churn_* metrics) — serving must not stall or drop
+//     requests during generation changes.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -43,10 +53,13 @@ double quantile(std::vector<double>& sorted, double q) {
 }
 
 /// Drives `clients` concurrent connections for `requests_per_client`
-/// mixed requests each.
-LoadResult run_load(const std::string& socket_path,
+/// requests each against `target` (an AF_UNIX path or "tcp:host:port" —
+/// Client::connect dispatches on the prefix). `traversals_only`
+/// restricts the mix to NEIGH/BFS over the key set, the cacheable
+/// verbs, so a second pass over the same keys measures the hot cache.
+LoadResult run_load(const std::string& target,
                     const std::vector<std::string>& kmers, int clients,
-                    int requests_per_client) {
+                    int requests_per_client, bool traversals_only = false) {
   std::vector<std::vector<double>> per_client(
       static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
@@ -57,7 +70,7 @@ LoadResult run_load(const std::string& socket_path,
     threads.emplace_back([&, c] {
       try {
         serve::Client client;
-        client.connect(socket_path);
+        client.connect(target);
         std::mt19937 rng(static_cast<unsigned>(1234 + c));
         std::uniform_int_distribution<std::size_t> pick(0,
                                                         kmers.size() - 1);
@@ -65,7 +78,7 @@ LoadResult run_load(const std::string& socket_path,
         latencies.reserve(static_cast<std::size_t>(requests_per_client));
         for (int i = 0; i < requests_per_client; ++i) {
           std::string line;
-          switch (i % 4) {
+          switch (traversals_only ? (i % 2 == 0 ? 5 : 3) : i % 4) {
             case 0:
             case 1:  // 50% point lookups
               line = "FIND " + kmers[pick(rng)];
@@ -78,6 +91,9 @@ LoadResult run_load(const std::string& socket_path,
               }
               break;
             }
+            case 5:  // traversal mix only: one-step neighbours
+              line = "NEIGH " + kmers[pick(rng)];
+              break;
             default:  // 25% small traversals
               line = "BFS " + kmers[pick(rng)] + " 2";
               break;
@@ -154,6 +170,7 @@ int main() {
 
   serve::ServeOptions serve_options;
   serve_options.socket_path = dir.file("bench_serve.sock");
+  serve_options.listen = "127.0.0.1:0";  // ephemeral port for the TCP rows
   serve_options.worker_threads = 2;
   // The daemon owns its own snapshot (FrozenGraph is move-only; the
   // published one stays with the builder).
@@ -192,8 +209,106 @@ int main() {
   bench::report_metric("snapshot_vertices",
                        static_cast<double>(report.frozen.vertices));
 
+  // ---- transport: the same mixed load over TCP vs AF_UNIX ----------
+  const std::string tcp_target =
+      "tcp:127.0.0.1:" + std::to_string(daemon.tcp_port());
+  std::printf("\n%8s %10s %10s %10s\n", "transprt", "p50 us", "p99 us",
+              "QPS");
+  for (const bool tcp : {false, true}) {
+    const std::string target =
+        tcp ? tcp_target : serve_options.socket_path;
+    LoadResult r =
+        run_load(target, kmers, max_clients, requests_per_client);
+    if (r.requests == 0) {
+      std::fprintf(stderr, "bench_serve: %s load run failed\n",
+                   tcp ? "tcp" : "unix");
+      daemon.stop();
+      return 1;
+    }
+    const std::string tag = tcp ? "tcp" : "unix";
+    const double p50 = quantile(r.latencies_us, 0.50);
+    const double p99 = quantile(r.latencies_us, 0.99);
+    const double qps = static_cast<double>(r.requests) / r.elapsed_seconds;
+    std::printf("%8s %10.1f %10.1f %10.0f\n", tag.c_str(), p50, p99, qps);
+    bench::report_metric(tag + "_p50_us", p50);
+    bench::report_metric(tag + "_p99_us", p99);
+    bench::report_metric(tag + "_qps", qps);
+  }
   daemon.stop();
-  std::printf("\ndaemon served %llu queries total\n",
-              static_cast<unsigned long long>(daemon.queries_served()));
+
+  // ---- cache: traversal-only load, cold pass vs hot pass -----------
+  // A fresh daemon with the sharded LRU on, hammered over a small hot
+  // set (browser-style repeats). The first pass fills the cache, the
+  // second is served from it without waking a worker.
+  serve::ServeOptions cached_options;
+  cached_options.socket_path = dir.file("bench_serve_cache.sock");
+  cached_options.worker_threads = 2;
+  cached_options.cache_entries = 4096;
+  serve::Daemon cached(serve::make_query_engine<1>(
+                           core::FrozenGraph<1>::freeze(graph)),
+                       cached_options);
+  cached.start();
+  const std::vector<std::string> hot_set(
+      kmers.begin(),
+      kmers.begin() + std::min<std::size_t>(256, kmers.size()));
+  std::printf("\n%8s %10s %10s %10s\n", "cache", "p50 us", "p99 us",
+              "QPS");
+  for (const bool hot : {false, true}) {
+    LoadResult r = run_load(cached_options.socket_path, hot_set,
+                            max_clients, requests_per_client,
+                            /*traversals_only=*/true);
+    if (r.requests == 0) {
+      std::fprintf(stderr, "bench_serve: cache load run failed\n");
+      cached.stop();
+      return 1;
+    }
+    const std::string tag = hot ? "cache_hot" : "cache_cold";
+    const double p50 = quantile(r.latencies_us, 0.50);
+    const double p99 = quantile(r.latencies_us, 0.99);
+    const double qps = static_cast<double>(r.requests) / r.elapsed_seconds;
+    std::printf("%8s %10.1f %10.1f %10.0f\n", hot ? "hot" : "cold", p50,
+                p99, qps);
+    bench::report_metric(tag + "_p50_us", p50);
+    bench::report_metric(tag + "_p99_us", p99);
+    bench::report_metric(tag + "_qps", qps);
+  }
+
+  // ---- hot swap: the mixed load while generations churn ------------
+  // A swapper thread re-freezes the same graph and publishes it every
+  // 50 ms; serving must not stall (in-flight queries finish on the old
+  // generation) and no request may fail.
+  std::atomic<bool> swapping{true};
+  std::atomic<int> swaps{0};
+  std::thread swapper([&] {
+    while (swapping.load()) {
+      cached.swap_engine(serve::make_query_engine<1>(
+          core::FrozenGraph<1>::freeze(graph)));
+      swaps.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  LoadResult churn = run_load(cached_options.socket_path, kmers,
+                              max_clients, requests_per_client);
+  swapping.store(false);
+  swapper.join();
+  if (churn.requests == 0) {
+    std::fprintf(stderr, "bench_serve: swap-churn load run failed\n");
+    cached.stop();
+    return 1;
+  }
+  const double churn_p99 = quantile(churn.latencies_us, 0.99);
+  const double churn_qps =
+      static_cast<double>(churn.requests) / churn.elapsed_seconds;
+  std::printf("\nswap churn: %d swaps, p99 %.1f us, %.0f QPS "
+              "(0 dropped requests)\n",
+              swaps.load(), churn_p99, churn_qps);
+  bench::report_metric("swap_churn_swaps", swaps.load());
+  bench::report_metric("swap_churn_p99_us", churn_p99);
+  bench::report_metric("swap_churn_qps", churn_qps);
+
+  cached.stop();
+  std::printf("\ndaemons served %llu queries total\n",
+              static_cast<unsigned long long>(daemon.queries_served() +
+                                              cached.queries_served()));
   return 0;
 }

@@ -35,9 +35,15 @@ trace one (`ci.sh serve` leg):
   - `build --publish-frozen --save-config` publishes the snapshot,
     writes a report with `frozen` + embedded `config` sections;
   - `report --extract-config` recovers the config from the report;
-  - the daemon starts in the background (`serve --ready-file`), answers
-    FIND/MFIND/STATS over its socket (STATS JSON counts the queries),
-    and `query --graph` answers offline without it;
+  - the daemon starts in the background (`serve --ready-file --listen
+    127.0.0.1:0 --cache-entries N --metrics-out`), answers FIND/MFIND/
+    STATS over its AF_UNIX socket AND the same verbs over the TCP
+    listener (`query --tcp`, port taken from the ready file);
+  - repeated traversals hit the hot-result cache, a SWAP verb performs
+    one hot-swap cycle (generation 2 keeps answering), and the metrics
+    artefact written at shutdown carries the serve.swap.* and
+    serve.cache.* instruments that prove both happened;
+  - `query --graph` answers offline without the daemon;
   - a second build from the extracted config alone reproduces the
     first report's graph/table stats (the reproducibility guarantee).
 """
@@ -116,12 +122,16 @@ def check_serve(cli):
         first_read = fastq.read_text().splitlines()[1]
         kmer = first_read[:k]
 
-        # Daemon round trip: background serve, FIND/MFIND/STATS over
-        # the socket, clean SIGTERM shutdown.
+        # Daemon round trip: background serve on both transports with
+        # the hot-result cache on, FIND/MFIND/STATS over the socket and
+        # over TCP, one hot-swap cycle, clean SIGTERM shutdown.
         sock = tmp / "ci.sock"
         ready = tmp / "ready"
+        serve_metrics = tmp / "serve_metrics.json"
         daemon = subprocess.Popen(
             [str(cli), "serve", f"--graph={graph}", f"--socket={sock}",
+             "--listen=127.0.0.1:0", "--cache-entries=1024",
+             f"--metrics-out={serve_metrics}",
              f"--ready-file={ready}", "--runtime-seconds=60"],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
         try:
@@ -156,6 +166,45 @@ def check_serve(cli):
                 capture_output=True, text=True)
             if bad.returncode == 0:
                 fail("malformed FIND did not exit non-zero")
+
+            # The TCP listener speaks the identical protocol; the ready
+            # file's second line carries the resolved ephemeral port.
+            ready_lines = ready.read_text().splitlines()
+            tcp_line = next(
+                (l for l in ready_lines if l.startswith("tcp ")), None)
+            if tcp_line is None:
+                fail(f"ready file has no tcp line: {ready_lines}")
+            tcp = f"127.0.0.1:{tcp_line.split()[1]}"
+            out = run_cli([cli, "query", f"--tcp={tcp}", "FIND", kmer],
+                          "tcp FIND")
+            if not out.startswith("1 "):
+                fail(f"tcp FIND of a real kmer returned {out!r}")
+            out = run_cli([cli, "query", f"--tcp={tcp}", "MFIND", kmer,
+                           "A" * k], "tcp MFIND")
+            if out.split()[0] != "1":
+                fail(f"tcp MFIND bit for a real kmer is {out!r}")
+
+            # Repeated traversals populate then hit the result cache
+            # (validated against the metrics artefact after shutdown).
+            for _ in range(2):
+                run_cli([cli, "query", f"--tcp={tcp}", "NEIGH", kmer],
+                        "tcp NEIGH")
+
+            # One hot-swap cycle: SWAP re-loads the graph file as
+            # generation 2 and the daemon keeps answering.
+            out = run_cli([cli, "query", f"--socket={sock}", "SWAP",
+                           graph], "SWAP")
+            if not out.startswith("generation 2 "):
+                fail(f"SWAP did not report generation 2: {out!r}")
+            stats = json.loads(run_cli(
+                [cli, "query", f"--socket={sock}", "STATS"],
+                "post-swap STATS"))
+            if stats.get("generation") != 2:
+                fail(f"post-swap STATS generation != 2: {stats}")
+            out = run_cli([cli, "query", f"--socket={sock}", "FIND",
+                           kmer], "post-swap FIND")
+            if not out.startswith("1 "):
+                fail(f"post-swap FIND returned {out!r}")
         finally:
             if daemon.poll() is None:
                 daemon.send_signal(signal.SIGTERM)
@@ -165,6 +214,22 @@ def check_serve(cli):
                  f"{daemon.stderr.read()}")
         if sock.exists():
             fail("daemon left its socket file behind")
+
+        # The shutdown metrics artefact proves the swap and the cache
+        # actually happened (not just that the verbs returned OK).
+        if not serve_metrics.is_file():
+            fail("daemon wrote no --metrics-out artefact")
+        serve_counters = json.loads(
+            serve_metrics.read_text()).get("counters", {})
+        if serve_counters.get("serve.swap.count", 0) < 1:
+            fail("metrics counted no serve.swap.count")
+        if serve_counters.get("serve.cache.hits", 0) < 1:
+            fail("metrics counted no serve.cache.hits "
+                 "(repeated NEIGH did not hit the cache)")
+        if serve_counters.get("serve.cache.misses", 0) < 1:
+            fail("metrics counted no serve.cache.misses")
+        if serve_counters.get("serve.queries", 0) < 8:
+            fail("metrics under-counted serve.queries")
 
         # Offline mode answers without a daemon.
         offline = json.loads(run_cli(
@@ -191,7 +256,9 @@ def check_serve(cli):
                      f"step2_table.{key}")
 
         print(f"ci-serve: OK ({report_doc['graph']['vertices']} vertices "
-              f"served, {stats['queries_served']} daemon queries, "
+              f"served, {stats['queries_served']} daemon queries over "
+              f"unix+tcp, 1 hot-swap cycle, "
+              f"{serve_counters['serve.cache.hits']} cache hits, "
               f"config round trip reproduced the build)")
 
 

@@ -1,10 +1,13 @@
 // parahash query — one-shot queries, online or offline.
 //
 //   parahash query --socket parahash.sock FIND ACGT...   (via daemon)
+//   parahash query --tcp localhost:4100 FIND ACGT...     (TCP daemon)
 //   parahash query --graph g.phdg BFS ACGT... 3          (no daemon)
 //
 // Online mode joins the operands into one protocol line and prints the
-// payload (an ERR reply goes to stderr with exit 1). Offline mode
+// payload (an ERR reply goes to stderr with exit 1); --tcp dials the
+// daemon's TCP listener, which speaks the identical protocol (a
+// --socket value of the form tcp:host:port works too). Offline mode
 // loads the snapshot in-process and answers the same verbs with the
 // same payload format, so scripts can swap modes freely.
 #include <cstdio>
@@ -129,8 +132,9 @@ int cmd_query(const Flags& flags) {
 
   if (flags.positional().size() < 2) {
     std::fprintf(stderr,
-                 "usage: parahash query [--socket S | --graph g.phdg | "
-                 "--subgraph-dir DIR --p N] <VERB> [args...]\n");
+                 "usage: parahash query [--socket S | --tcp host:port | "
+                 "--graph g.phdg | --subgraph-dir DIR --p N] "
+                 "<VERB> [args...]\n");
     return 2;
   }
   std::string line;
@@ -139,9 +143,10 @@ int cmd_query(const Flags& flags) {
     line += flags.positional()[i];
   }
 
-  if (flags.has("socket")) {
+  if (flags.has("socket") || flags.has("tcp")) {
     serve::Client client;
-    client.connect(config.serve.socket_path);
+    client.connect(flags.has("tcp") ? "tcp:" + flags.get("tcp")
+                                    : config.serve.socket_path);
     const serve::ClientReply reply = client.request(line);
     serve::Response response;
     response.ok = reply.ok;

@@ -2,13 +2,24 @@
 //
 // Loads a frozen snapshot from a .phdg graph file (--graph) or a
 // Step-2 subgraph directory (--subgraph-dir + --p), binds the AF_UNIX
-// socket and serves protocol.h queries until SIGINT/SIGTERM (or
-// --runtime-seconds). --ready-file writes the socket path once the
-// daemon accepts connections, so scripts can wait for it instead of
-// polling the socket.
+// socket (--socket) and/or a TCP endpoint (--listen host:port; both
+// speak the same protocol) and serves protocol.h queries until
+// SIGINT/SIGTERM (or --runtime-seconds). --ready-file writes the
+// socket path (and `tcp <port>` when TCP is on) once the daemon
+// accepts connections, so scripts can wait for it instead of polling.
+//
+// Hot swap: --watch polls the --graph file (every --watch-poll-seconds,
+// default 1) and swaps the snapshot in place when its mtime changes —
+// a rebuild that overwrites the .phdg goes live without restarting the
+// daemon or dropping a query. The SWAP protocol verb does the same on
+// demand for any path.
+//
+// --metrics-out writes the telemetry snapshot (all serve.* instruments
+// included) at shutdown, mirroring the build command's artefact.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -28,6 +39,12 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void handle_stop_signal(int) { g_stop_requested = 1; }
 
+std::filesystem::file_time_type mtime_or_min(const std::string& path) {
+  std::error_code ec;
+  const auto t = std::filesystem::last_write_time(path, ec);
+  return ec ? std::filesystem::file_time_type::min() : t;
+}
+
 }  // namespace
 
 int cmd_serve(const Flags& flags) {
@@ -40,10 +57,17 @@ int cmd_serve(const Flags& flags) {
   if (graph_path.empty() && subgraph_dir.empty()) {
     std::fprintf(stderr,
                  "usage: parahash serve --graph g.phdg | "
-                 "--subgraph-dir DIR --p N [--socket S] [flags]\n");
+                 "--subgraph-dir DIR --p N [--socket S] "
+                 "[--listen host:port] [--watch] [flags]\n");
     return 2;
   }
   const double alpha = flags.get_double("frozen-alpha", 0.7);
+  const bool watch = flags.has("watch") && flags.get_bool("watch");
+  if (watch && graph_path.empty()) {
+    std::fprintf(stderr, "serve: --watch needs --graph (the file whose "
+                         "changes are swapped in)\n");
+    return 2;
+  }
 
   telemetry::set_enabled(true);
   std::unique_ptr<serve::QueryEngine> engine;
@@ -62,18 +86,33 @@ int cmd_serve(const Flags& flags) {
               static_cast<double>(engine->memory_bytes()) / 1e6);
 
   serve::Daemon daemon(std::move(engine), config.serve);
+  daemon.set_swap_alpha(alpha);
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   daemon.start();
-  std::printf("serving on %s (%d workers, batch %d)\n",
-              daemon.socket_path().c_str(), config.serve.worker_threads,
-              config.serve.max_batch);
+  if (!config.serve.socket_path.empty()) {
+    std::printf("serving on %s (%d workers, batch %d)\n",
+                daemon.socket_path().c_str(), config.serve.worker_threads,
+                config.serve.max_batch);
+  }
+  if (daemon.tcp_port() != 0) {
+    std::printf("serving on tcp %s (port %u)\n",
+                config.serve.listen.c_str(),
+                static_cast<unsigned>(daemon.tcp_port()));
+  }
+  if (config.serve.cache_entries > 0) {
+    std::printf("hot-result cache: %d entries in %d shards\n",
+                config.serve.cache_entries, config.serve.cache_shards);
+  }
   std::fflush(stdout);
 
   if (flags.has("ready-file")) {
     std::ofstream ready(flags.get("ready-file"));
     ready << daemon.socket_path() << '\n';
+    if (daemon.tcp_port() != 0) {
+      ready << "tcp " << daemon.tcp_port() << '\n';
+    }
     ready.flush();
     if (!ready || ready.fail()) {
       std::fprintf(stderr, "error: failed to write ready file %s\n",
@@ -84,20 +123,66 @@ int cmd_serve(const Flags& flags) {
   }
 
   const double runtime_seconds = flags.get_double("runtime-seconds", 0);
+  const double watch_poll_seconds =
+      flags.get_double("watch-poll-seconds", 1.0);
+  auto watched_mtime = watch ? mtime_or_min(graph_path)
+                             : std::filesystem::file_time_type::min();
+  auto next_poll = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(watch_poll_seconds));
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(runtime_seconds));
   while (g_stop_requested == 0) {
-    if (runtime_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
-      break;
+    const auto now = std::chrono::steady_clock::now();
+    if (runtime_seconds > 0 && now >= deadline) break;
+    if (watch && now >= next_poll) {
+      next_poll = now + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                watch_poll_seconds));
+      const auto mtime = mtime_or_min(graph_path);
+      if (mtime != watched_mtime &&
+          mtime != std::filesystem::file_time_type::min()) {
+        watched_mtime = mtime;
+        try {
+          const std::uint64_t generation =
+              daemon.swap_from_path(graph_path);
+          std::printf("watch: swapped to generation %llu\n",
+                      static_cast<unsigned long long>(generation));
+          std::fflush(stdout);
+        } catch (const std::exception& e) {
+          // A half-written file mid-rebuild: keep serving the current
+          // generation and retry on the next poll.
+          std::fprintf(stderr, "watch: swap failed (%s), still serving "
+                               "generation %llu\n",
+                       e.what(),
+                       static_cast<unsigned long long>(
+                           daemon.generation()));
+        }
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
   daemon.stop();
-  std::printf("served %llu queries\n",
-              static_cast<unsigned long long>(daemon.queries_served()));
+  if (!config.paths.metrics_out.empty()) {
+    std::ofstream out(config.paths.metrics_out);
+    out << telemetry::Registry::global().snapshot_json() << '\n';
+    out.flush();
+    if (!out || out.fail()) {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   config.paths.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n",
+                config.paths.metrics_out.c_str());
+  }
+  std::printf("served %llu queries over %llu generations\n",
+              static_cast<unsigned long long>(daemon.queries_served()),
+              static_cast<unsigned long long>(daemon.generation()));
   return 0;
 }
 

@@ -88,8 +88,15 @@ void apply_build_flags(const Flags& flags, Config& config) {
 void apply_serve_flags(const Flags& flags, Config& config) {
   serve::ServeOptions& s = config.serve;
   set_string(flags, "socket", s.socket_path);
+  set_string(flags, "listen", s.listen);
   set_int(flags, "serve-workers", s.worker_threads);
   set_int(flags, "max-batch", s.max_batch);
+  set_int(flags, "max-connections", s.max_connections);
+  if (flags.has("idle-timeout")) {
+    s.idle_timeout_seconds = flags.get_double("idle-timeout", 0);
+  }
+  set_int(flags, "cache-entries", s.cache_entries);
+  set_int(flags, "cache-shards", s.cache_shards);
   set_int(flags, "max-bfs-radius", s.max_bfs_radius);
   if (flags.has("max-bfs-vertices")) {
     s.max_bfs_vertices =

@@ -229,8 +229,13 @@ void read_build(const JsonValue* v, pipeline::Options& o) {
 void write_serve(JsonWriter& w, const serve::ServeOptions& s) {
   w.begin_object();
   w.key("socket_path").value(s.socket_path);
+  w.key("listen").value(s.listen);
   w.key("worker_threads").value(s.worker_threads);
   w.key("max_batch").value(s.max_batch);
+  w.key("max_connections").value(s.max_connections);
+  w.key("idle_timeout_seconds").value(s.idle_timeout_seconds);
+  w.key("cache_entries").value(s.cache_entries);
+  w.key("cache_shards").value(s.cache_shards);
   w.key("max_bfs_radius").value(s.max_bfs_radius);
   w.key("max_bfs_vertices").value(s.max_bfs_vertices);
   w.key("min_edge_weight").value(s.min_edge_weight);
@@ -241,8 +246,13 @@ void write_serve(JsonWriter& w, const serve::ServeOptions& s) {
 void read_serve(const JsonValue* v, serve::ServeOptions& s) {
   if (v == nullptr) return;
   read(v->get("socket_path"), s.socket_path);
+  read(v->get("listen"), s.listen);
   read(v->get("worker_threads"), s.worker_threads);
   read(v->get("max_batch"), s.max_batch);
+  read(v->get("max_connections"), s.max_connections);
+  read(v->get("idle_timeout_seconds"), s.idle_timeout_seconds);
+  read(v->get("cache_entries"), s.cache_entries);
+  read(v->get("cache_shards"), s.cache_shards);
   read(v->get("max_bfs_radius"), s.max_bfs_radius);
   read(v->get("max_bfs_vertices"), s.max_bfs_vertices);
   read(v->get("min_edge_weight"), s.min_edge_weight);

@@ -29,7 +29,10 @@ namespace parahash {
 
 /// Current config schema version. Bump when a field changes meaning;
 /// adding fields with defaults does not require a bump.
-inline constexpr int kConfigVersion = 1;
+/// v2: the serve section grew the scale-out knobs (listen,
+/// max_connections, idle_timeout_seconds, cache_entries,
+/// cache_shards); v1 files still load, absent members keep defaults.
+inline constexpr int kConfigVersion = 2;
 
 /// Input/output artefacts of a run — the part of a reproduction recipe
 /// that is not an algorithm knob.

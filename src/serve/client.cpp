@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -9,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/listener.h"
 #include "util/error.h"
 
 namespace parahash::serve {
@@ -28,7 +32,15 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-void Client::connect(const std::string& socket_path) {
+void Client::connect(const std::string& target) {
+  // "tcp:host:port" dials the TCP listener; anything else is a path.
+  if (target.rfind("tcp:", 0) == 0) {
+    const auto [host, port] =
+        Listener::parse_host_port(target.substr(4));
+    connect_tcp(host.empty() ? "127.0.0.1" : host, port);
+    return;
+  }
+  const std::string& socket_path = target;
   close();
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -47,6 +59,33 @@ void Client::connect(const std::string& socket_path) {
     close();
     throw IoError("client: cannot connect to " + socket_path + ": " + why);
   }
+}
+
+void Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgumentError("client: bad host '" + host +
+                               "' (IPv4 dotted quad or localhost)");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError("client: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw IoError("client: cannot connect to " + host + ':' +
+                  std::to_string(port) + ": " + why);
+  }
+  // Lockstep request/response: Nagle would add an RTT per request.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 void Client::close() {
@@ -77,7 +116,11 @@ ClientReply Client::request(std::string_view line) {
   wire += '\n';
   std::size_t off = 0;
   while (off < wire.size()) {
-    const ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+    // MSG_NOSIGNAL: a daemon that closed this connection (shutdown,
+    // idle timeout) must surface as a thrown IoError, not SIGPIPE
+    // killing the calling process.
+    const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw IoError("client: write failed: " +
@@ -170,6 +213,25 @@ std::string Client::gfa(const std::string& kmer, int radius) {
     out += '\n';
   }
   return out;
+}
+
+std::uint64_t Client::swap(const std::string& path) {
+  const ClientReply reply = request("SWAP " + path);
+  if (!reply.ok) throw_err("SWAP", reply);
+  // Payload: `generation <g> vertices <n>`.
+  std::uint64_t generation = 0;
+  if (!reply.lines.empty()) {
+    const std::string& line = reply.lines[0];
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      const std::string g = line.substr(
+          sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                            : sp2 - sp1 - 1);
+      std::from_chars(g.data(), g.data() + g.size(), generation);
+    }
+  }
+  return generation;
 }
 
 }  // namespace parahash::serve

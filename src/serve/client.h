@@ -1,10 +1,11 @@
 // Blocking client for the query daemon: one connection, lockstep
-// request/response (protocol.h). Used by the `parahash query`
-// subcommand, the serve tests and the bench_serve load generator —
-// all three speak through this one implementation so the wire format
-// has a single reader.
+// request/response (protocol.h), over either transport — AF_UNIX or
+// TCP. Used by the `parahash query` subcommand, the serve tests and
+// the bench_serve load generator — all three speak through this one
+// implementation so the wire format has a single reader.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,8 +29,12 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connects to the daemon's AF_UNIX socket. Throws IoError.
-  void connect(const std::string& socket_path);
+  /// Connects to a daemon endpoint. A target of the form
+  /// "tcp:host:port" dials TCP; anything else is an AF_UNIX socket
+  /// path. Throws IoError.
+  void connect(const std::string& target);
+  /// Dials the daemon's TCP listener directly. Throws IoError.
+  void connect_tcp(const std::string& host, std::uint16_t port);
   void close();
   bool connected() const noexcept { return fd_ >= 0; }
 
@@ -49,6 +54,9 @@ class Client {
   std::vector<std::string> bfs(const std::string& kmer, int radius);
   /// The neighbourhood's GFA1 text.
   std::string gfa(const std::string& kmer, int radius);
+  /// Hot-swaps the daemon to a new .phdg snapshot (SWAP); returns the
+  /// new generation. Throws on ERR replies.
+  std::uint64_t swap(const std::string& path);
 
  private:
   std::string read_line();

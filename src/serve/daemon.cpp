@@ -1,13 +1,13 @@
 #include "serve/daemon.h"
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <exception>
 #include <sstream>
 #include <utility>
 
@@ -20,13 +20,17 @@ namespace parahash::serve {
 namespace {
 
 /// Writes the whole buffer, riding out short writes and EINTR.
-bool write_all(int fd, std::string_view data) {
+/// MSG_NOSIGNAL turns a disconnected peer into an EPIPE return instead
+/// of a process-killing SIGPIPE — a client vanishing mid-response
+/// (e.g. during a large BFS payload) is an ordinary connection close.
+bool send_all(int fd, std::string_view data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EPIPE/ECONNRESET: peer is gone, close cleanly
     }
     off += static_cast<std::size_t>(n);
   }
@@ -55,66 +59,137 @@ std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Daemon::Daemon(std::unique_ptr<QueryEngine> engine, ServeOptions options)
-    : engine_(std::move(engine)), options_(std::move(options)) {
-  PARAHASH_CHECK_MSG(engine_ != nullptr, "daemon needs a query engine");
+    : options_(std::move(options)),
+      cache_(options_.cache_entries > 0
+                 ? static_cast<std::size_t>(options_.cache_entries)
+                 : 0,
+             options_.cache_shards > 0
+                 ? static_cast<std::size_t>(options_.cache_shards)
+                 : 1) {
+  PARAHASH_CHECK_MSG(engine != nullptr, "daemon needs a query engine");
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.max_batch < 1) options_.max_batch = 1;
+  publish_snapshot(std::shared_ptr<QueryEngine>(std::move(engine)));
 }
 
 Daemon::~Daemon() { stop(); }
 
+std::shared_ptr<const Daemon::Snapshot> Daemon::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::uint64_t Daemon::publish_snapshot(
+    std::shared_ptr<QueryEngine> engine) {
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    generation = snapshot_ ? snapshot_->generation + 1 : 1;
+    auto next = std::make_shared<Snapshot>();
+    next->engine = std::move(engine);
+    next->generation = generation;
+    snapshot_ = std::move(next);
+  }
+  // The dead generation's cached results can never be served again
+  // (the generation is part of every key); release them now rather
+  // than letting them squat in the LRU until they age out.
+  cache_.clear();
+  telemetry::gauge("serve.swap.generation")
+      .set(static_cast<std::int64_t>(generation));
+  return generation;
+}
+
+std::uint64_t Daemon::swap_engine(std::unique_ptr<QueryEngine> engine) {
+  PARAHASH_CHECK_MSG(engine != nullptr, "swap needs a query engine");
+  const std::uint64_t generation =
+      publish_snapshot(std::shared_ptr<QueryEngine>(std::move(engine)));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("serve.swap.count").add(1);
+  return generation;
+}
+
+std::uint64_t Daemon::swap_from_path(const std::string& path) {
+  const auto started = std::chrono::steady_clock::now();
+  std::unique_ptr<QueryEngine> engine;
+  try {
+    engine = load_engine_from_graph(path, swap_alpha_);
+  } catch (...) {
+    telemetry::counter("serve.swap.errors").add(1);
+    throw;
+  }
+  telemetry::histogram("serve.swap.load_ns").record(ns_since(started));
+  return swap_engine(std::move(engine));
+}
+
+std::uint64_t Daemon::generation() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_ ? snapshot_->generation : 0;
+}
+
+std::size_t Daemon::open_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return connections_.size() - finished_.size();
+}
+
+std::size_t Daemon::tracked_connection_threads() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return connections_.size();
+}
+
 void Daemon::start() {
   PARAHASH_CHECK_MSG(!running(), "daemon already started");
-  const std::string& path = options_.socket_path;
-  PARAHASH_CHECK_MSG(!path.empty(), "empty socket path");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  PARAHASH_CHECK_MSG(path.size() < sizeof(addr.sun_path),
-                     "socket path too long for AF_UNIX");
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  PARAHASH_CHECK_MSG(
+      !options_.socket_path.empty() || !options_.listen.empty(),
+      "daemon needs at least one listener (socket_path or listen)");
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw IoError("serve: socket() failed: " +
-                  std::string(std::strerror(errno)));
+  listeners_.clear();
+  tcp_listener_ = SIZE_MAX;
+  tcp_port_ = 0;
+  if (!options_.socket_path.empty()) {
+    listeners_.push_back(
+        Listener::bind_unix(options_.socket_path, options_.backlog));
   }
-  ::unlink(path.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, options_.backlog) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw IoError("serve: cannot listen on " + path + ": " + why);
+  if (!options_.listen.empty()) {
+    listeners_.push_back(
+        Listener::bind_tcp(options_.listen, options_.backlog));
+    tcp_listener_ = listeners_.size() - 1;
+    tcp_port_ = listeners_.back().bound_port();
   }
 
   running_.store(true, std::memory_order_release);
   for (int i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    accept_threads_.emplace_back([this, i] { accept_loop(i); });
+  }
 }
 
 void Daemon::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
 
   // Unblock accept(): shutdown() wakes it on Linux; close finishes it.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-
-  // Unblock connection readers; their loops exit on EOF.
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : conn_threads_) {
+  for (const Listener& listener : listeners_) listener.interrupt();
+  for (std::thread& t : accept_threads_) {
     if (t.joinable()) t.join();
   }
-  conn_threads_.clear();
+  accept_threads_.clear();
+  for (Listener& listener : listeners_) listener.close_and_cleanup();
+  listeners_.clear();
+
+  // Unblock connection readers; their loops exit on EOF (jobs still in
+  // flight finish first: workers are joined only after the readers).
+  std::unordered_map<std::uint64_t, Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [id, conn] : connections_) ::shutdown(conn.fd, SHUT_RDWR);
+    connections = std::move(connections_);
+    connections_.clear();
+    finished_.clear();
+  }
+  for (auto& [id, conn] : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
 
   // Workers: wake everyone; the loop exits once the queue is dry. Any
   // jobs still queued are answered (their connections already closed,
@@ -124,30 +199,68 @@ void Daemon::stop() {
     if (t.joinable()) t.join();
   }
   workers_.clear();
-
-  ::unlink(options_.socket_path.c_str());
 }
 
-void Daemon::accept_loop() {
+void Daemon::accept_loop(std::size_t listener_index) {
+  const Listener& listener = listeners_[listener_index];
   while (running()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listener.accept_client(options_.idle_timeout_seconds);
     if (fd < 0) {
+      if (!running()) break;
       if (errno == EINTR) continue;
-      break;  // listen socket shut down
+      if (is_transient_accept_error(errno)) {
+        // ECONNABORTED / fd exhaustion under load: stopping here would
+        // leave a daemon that reports running but never accepts again.
+        // Count it, back off briefly and keep accepting.
+        accept_errors_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::counter("serve.accept_errors").add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      break;  // listen socket is genuinely gone (shutdown or fatal)
     }
     if (!running()) {
       ::close(fd);
       break;
     }
-    telemetry::counter("serve.connections").add(1);
-    telemetry::gauge("serve.active_connections").add(1);
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    client_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+    adopt_connection(fd);
   }
 }
 
-void Daemon::connection_loop(int fd) {
+void Daemon::adopt_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  reap_finished_locked();
+  const std::size_t open = connections_.size();
+  if (options_.max_connections > 0 &&
+      open >= static_cast<std::size_t>(options_.max_connections)) {
+    // Load-shed above the ceiling: answer once so a protocol-speaking
+    // client sees why, then close.
+    send_all(fd, "ERR server busy (connection limit reached)\n");
+    ::close(fd);
+    telemetry::counter("serve.rejected_connections").add(1);
+    return;
+  }
+  telemetry::counter("serve.connections").add(1);
+  telemetry::gauge("serve.active_connections").add(1);
+  const std::uint64_t id = next_conn_id_++;
+  Connection& conn = connections_[id];
+  conn.fd = fd;
+  conn.thread = std::thread([this, id, fd] { connection_loop(id, fd); });
+}
+
+void Daemon::reap_finished_locked() {
+  for (const std::uint64_t id : finished_) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    // The loop body has already returned (it queued its id last), so
+    // this join completes immediately.
+    if (it->second.thread.joinable()) it->second.thread.join();
+    connections_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Daemon::connection_loop(std::uint64_t id, int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -159,6 +272,10 @@ void Daemon::connection_loop(int fd) {
       const ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // SO_RCVTIMEO expired: the connection idled past the limit.
+          telemetry::counter("serve.idle_timeouts").add(1);
+        }
         open = false;
         break;
       }
@@ -172,6 +289,7 @@ void Daemon::connection_loop(int fd) {
     const auto started = std::chrono::steady_clock::now();
     const Request request = parse_request(line);
     Response response;
+    bool handled = true;
     switch (request.verb) {
       case Verb::kInvalid:
         response = Response::err(request.error);
@@ -185,36 +303,56 @@ void Daemon::connection_loop(int fd) {
       case Verb::kStats:
         response = stats_response();
         break;
-      default: {
-        // Table/traversal work goes through the shared queue so the
-        // workers can batch it across connections.
-        std::future<Response> future;
-        {
-          std::lock_guard<std::mutex> lock(queue_mutex_);
-          Job job;
-          job.request = request;
-          job.enqueued = started;
-          future = job.promise.get_future();
-          queue_.push_back(std::move(job));
-          telemetry::gauge("serve.queue_depth")
-              .set(static_cast<std::int64_t>(queue_.size()));
-        }
-        queue_cv_.notify_one();
-        response = future.get();
+      case Verb::kSwap:
+        // The load runs here on the connection thread — the query
+        // workers keep draining batches against generation N the
+        // whole time.
+        response = swap_response(request);
         break;
+      default:
+        handled = false;
+        break;
+    }
+    if (!handled && cache_.enabled() &&
+        ResultCache::cacheable(request.verb)) {
+      // Hot-result fast path: a cached traversal answer for the
+      // current generation skips the queue entirely.
+      const auto snapshot = current_snapshot();
+      auto cached =
+          cache_.lookup(ResultCache::key(snapshot->generation, request));
+      if (cached.has_value()) {
+        response = std::move(*cached);
+        handled = true;
       }
+    }
+    if (!handled) {
+      // Table/traversal work goes through the shared queue so the
+      // workers can batch it across connections.
+      std::future<Response> future;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        Job job;
+        job.request = request;
+        job.enqueued = started;
+        future = job.promise.get_future();
+        queue_.push_back(std::move(job));
+        telemetry::gauge("serve.queue_depth")
+            .set(static_cast<std::int64_t>(queue_.size()));
+      }
+      queue_cv_.notify_one();
+      response = future.get();
     }
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     telemetry::counter("serve.queries").add(1);
     if (!response.ok) telemetry::counter("serve.errors").add(1);
     telemetry::histogram("serve.query_ns").record(ns_since(started));
-    if (!write_all(fd, response.to_wire())) break;
+    if (!send_all(fd, response.to_wire())) break;
     if (request.verb == Verb::kQuit) break;
   }
   ::close(fd);
   telemetry::gauge("serve.active_connections").add(-1);
   std::lock_guard<std::mutex> lock(conn_mutex_);
-  std::erase(client_fds_, fd);
+  if (connections_.contains(id)) finished_.push_back(id);
 }
 
 void Daemon::worker_loop() {
@@ -245,74 +383,117 @@ void Daemon::worker_loop() {
 }
 
 void Daemon::process_batch(std::vector<Job>& jobs) {
-  // Merge every membership lookup in the popped batch into one
-  // find_many pass: keys from all FIND/MFIND jobs concatenate, probe
-  // together through the prefetch front-end, then slice back per job.
-  std::vector<std::string> keys;
-  struct SliceRef {
-    std::size_t job;
-    std::size_t begin;
-    std::size_t count;
-  };
-  std::vector<SliceRef> slices;
+  // The batch pins ONE snapshot for its whole lifetime: every answer
+  // in it is computed against exactly this generation, and a
+  // concurrent swap takes effect at the next batch boundary.
+  const auto snapshot = current_snapshot();
+  const QueryEngine& engine = *snapshot->engine;
+
   std::vector<Response> responses(jobs.size());
-  std::vector<bool> answered(jobs.size(), false);
+  std::vector<bool> fulfilled(jobs.size(), false);
+  const auto fulfil = [&](std::size_t j, Response response) {
+    if (fulfilled[j]) return;
+    jobs[j].promise.set_value(std::move(response));
+    fulfilled[j] = true;
+  };
 
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const Request& request = jobs[j].request;
-    if (request.verb != Verb::kFind && request.verb != Verb::kMfind) {
-      continue;
-    }
-    bool valid = true;
-    for (const std::string& kmer : request.args) {
-      if (!engine_->valid_kmer(kmer)) {
-        responses[j] = Response::err("invalid kmer '" + kmer + "'");
-        answered[j] = true;
-        valid = false;
-        break;
+  try {
+    // Merge every membership lookup in the popped batch into one
+    // find_many pass: keys from all FIND/MFIND jobs concatenate, probe
+    // together through the prefetch front-end, then slice back per job.
+    std::vector<std::string> keys;
+    struct SliceRef {
+      std::size_t job;
+      std::size_t begin;
+      std::size_t count;
+    };
+    std::vector<SliceRef> slices;
+    std::vector<bool> answered(jobs.size(), false);
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const Request& request = jobs[j].request;
+      if (request.verb != Verb::kFind && request.verb != Verb::kMfind) {
+        continue;
       }
+      bool valid = true;
+      for (const std::string& kmer : request.args) {
+        if (!engine.valid_kmer(kmer)) {
+          responses[j] = Response::err("invalid kmer '" + kmer + "'");
+          answered[j] = true;
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      slices.push_back(SliceRef{j, keys.size(), request.args.size()});
+      keys.insert(keys.end(), request.args.begin(), request.args.end());
     }
-    if (!valid) continue;
-    slices.push_back(SliceRef{j, keys.size(), request.args.size()});
-    keys.insert(keys.end(), request.args.begin(), request.args.end());
-  }
 
-  if (!keys.empty()) {
-    std::vector<QueryEngine::FindResult> results;
-    engine_->find_many(keys, results);
-    for (const SliceRef& slice : slices) {
-      const Request& request = jobs[slice.job].request;
-      if (request.verb == Verb::kFind) {
-        const auto& r = results[slice.begin];
-        if (r.found) {
-          std::string line = "1 " + std::to_string(r.coverage);
-          for (int e = 0; e < 8; ++e) {
-            line += ' ';
-            line += std::to_string(r.edges[static_cast<std::size_t>(e)]);
+    if (!keys.empty()) {
+      std::vector<QueryEngine::FindResult> results;
+      engine.find_many(keys, results);
+      for (const SliceRef& slice : slices) {
+        const Request& request = jobs[slice.job].request;
+        if (request.verb == Verb::kFind) {
+          const auto& r = results[slice.begin];
+          if (r.found) {
+            std::string line = "1 " + std::to_string(r.coverage);
+            for (int e = 0; e < 8; ++e) {
+              line += ' ';
+              line += std::to_string(r.edges[static_cast<std::size_t>(e)]);
+            }
+            responses[slice.job] = Response::one_line(std::move(line));
+          } else {
+            responses[slice.job] = Response::one_line("0");
           }
-          responses[slice.job] = Response::one_line(std::move(line));
         } else {
-          responses[slice.job] = Response::one_line("0");
+          std::string bits;
+          for (std::size_t i = 0; i < slice.count; ++i) {
+            if (i > 0) bits += ' ';
+            bits += results[slice.begin + i].found ? '1' : '0';
+          }
+          responses[slice.job] = Response::one_line(std::move(bits));
         }
-      } else {
-        std::string bits;
-        for (std::size_t i = 0; i < slice.count; ++i) {
-          if (i > 0) bits += ' ';
-          bits += results[slice.begin + i].found ? '1' : '0';
-        }
-        responses[slice.job] = Response::one_line(std::move(bits));
+        answered[slice.job] = true;
       }
-      answered[slice.job] = true;
+    }
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!answered[j]) {
+        const Request& request = jobs[j].request;
+        responses[j] = handle_traversal(engine, request);
+        if (responses[j].ok && cache_.enabled() &&
+            ResultCache::cacheable(request.verb)) {
+          cache_.insert(ResultCache::key(snapshot->generation, request),
+                        responses[j]);
+        }
+      }
+      fulfil(j, std::move(responses[j]));
+    }
+  } catch (const std::exception& e) {
+    // Anything not already turned into an ERR by handle_traversal —
+    // std::bad_alloc, a future_error, a non-parahash throw from the
+    // engine — must not escape the worker (std::terminate would take
+    // the whole daemon down). Answer the affected jobs and move on.
+    telemetry::counter("serve.internal_errors").add(1);
+    const Response err =
+        Response::err(std::string("internal: ") + e.what());
+    for (std::size_t j = 0; j < jobs.size(); ++j) fulfil(j, err);
+  } catch (...) {
+    telemetry::counter("serve.internal_errors").add(1);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      fulfil(j, Response::err("internal error"));
     }
   }
-
+  // Belt and braces: a promise left unfulfilled would hang its
+  // connection forever; make sure none can slip through.
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (!answered[j]) responses[j] = handle_traversal(jobs[j].request);
-    jobs[j].promise.set_value(std::move(responses[j]));
+    fulfil(j, Response::err("internal: job dropped"));
   }
 }
 
-Response Daemon::handle_traversal(const Request& request) {
+Response Daemon::handle_traversal(const QueryEngine& engine,
+                                  const Request& request) {
   try {
     switch (request.verb) {
       case Verb::kNeigh: {
@@ -322,7 +503,7 @@ Response Daemon::handle_traversal(const Request& request) {
           return Response::err("bad min_weight");
         }
         return Response::success(
-            engine_->neighbors(request.args[0], min_weight));
+            engine.neighbors(request.args[0], min_weight));
       }
       case Verb::kBfs:
       case Verb::kGfa: {
@@ -341,8 +522,8 @@ Response Daemon::handle_traversal(const Request& request) {
         }
         if (request.verb == Verb::kBfs) {
           const auto rows =
-              engine_->bfs(request.args[0], radius, min_weight,
-                           options_.max_bfs_vertices);
+              engine.bfs(request.args[0], radius, min_weight,
+                         options_.max_bfs_vertices);
           std::vector<std::string> lines;
           lines.reserve(rows.size());
           for (const auto& row : rows) {
@@ -352,8 +533,8 @@ Response Daemon::handle_traversal(const Request& request) {
           return Response::success(std::move(lines));
         }
         const std::string text =
-            engine_->gfa(request.args[0], radius, min_weight,
-                         options_.max_bfs_vertices);
+            engine.gfa(request.args[0], radius, min_weight,
+                       options_.max_bfs_vertices);
         std::vector<std::string> lines;
         std::istringstream stream(text);
         for (std::string line; std::getline(stream, line);) {
@@ -370,17 +551,37 @@ Response Daemon::handle_traversal(const Request& request) {
 }
 
 Response Daemon::stats_response() const {
+  const auto snapshot = current_snapshot();
+  const QueryEngine& engine = *snapshot->engine;
   JsonWriter w;
   w.begin_object();
-  w.key("k").value(engine_->k());
-  w.key("p").value(engine_->p());
-  w.key("partitions").value(engine_->num_partitions());
-  w.key("vertices").value(engine_->num_vertices());
-  w.key("memory_bytes").value(engine_->memory_bytes());
+  w.key("k").value(engine.k());
+  w.key("p").value(engine.p());
+  w.key("partitions").value(engine.num_partitions());
+  w.key("vertices").value(engine.num_vertices());
+  w.key("memory_bytes").value(engine.memory_bytes());
+  w.key("generation").value(snapshot->generation);
+  w.key("swaps").value(swaps_.load(std::memory_order_relaxed));
   w.key("queries_served")
       .value(queries_served_.load(std::memory_order_relaxed));
+  w.key("open_connections")
+      .value(static_cast<std::uint64_t>(open_connections()));
+  w.key("cache_entries")
+      .value(static_cast<std::uint64_t>(cache_.size()));
   w.end_object();
   return Response::one_line(std::move(w).str());
+}
+
+Response Daemon::swap_response(const Request& request) {
+  try {
+    const std::uint64_t generation = swap_from_path(request.args[0]);
+    const auto snapshot = current_snapshot();
+    return Response::one_line(
+        "generation " + std::to_string(generation) + " vertices " +
+        std::to_string(snapshot->engine->num_vertices()));
+  } catch (const std::exception& e) {
+    return Response::err(std::string("swap failed: ") + e.what());
+  }
 }
 
 }  // namespace parahash::serve

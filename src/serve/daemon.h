@@ -1,10 +1,11 @@
-// The graph-query daemon: a local-socket server answering the
-// protocol.h verbs against one frozen snapshot.
+// The graph-query daemon: a multi-transport server answering the
+// protocol.h verbs against a swappable frozen snapshot.
 //
 // Threading model — thread-per-connection readers, shared batching
-// workers:
+// workers, one accept loop per listener:
 //
-//   accept thread ──> connection threads (parse, enqueue, write reply)
+//   accept threads ──> connection threads (parse, cache fast path,
+//    (unix + tcp)       enqueue, write reply)
 //                         │ Job{Request, promise<Response>}
 //                         v
 //                   shared request queue  (serve.queue_depth gauge)
@@ -14,18 +15,42 @@
 //                   batch merge into ONE engine->find_many() pass —
 //                   cross-client lookups drain through the snapshot's
 //                   group-probe/prefetch front-end together — while
-//                   traversal verbs (NEIGH/BFS/GFA) run per job.
+//                   traversal verbs (NEIGH/BFS/GFA) run per job and
+//                   land in the hot-result cache.
+//
+// Snapshot hot-swap: the engine lives behind a generation-tagged
+// shared snapshot. Workers pin the snapshot once per batch, so a
+// swap_engine() (the SWAP verb, or `parahash serve --watch`) publishes
+// generation N+1 between batches — queries in flight finish on N, no
+// request is dropped, and every individual answer is computed against
+// exactly one generation. The hot-result cache keys on the generation
+// and is additionally cleared at swap time, so a stale result can
+// never be served.
+//
+// Crash-proofing (each has a regression test in serve_test.cpp):
+//   - responses go out via send(MSG_NOSIGNAL); a client that
+//     disconnects mid-response is a clean close, not a fatal SIGPIPE;
+//   - the accept loops ride out transient errnos (ECONNABORTED,
+//     EMFILE, ...) with a short backoff and a serve.accept_errors
+//     count instead of silently never accepting again;
+//   - finished connection threads are reaped as new connections
+//     arrive, so a long-lived daemon does not leak one thread handle
+//     per connection ever served;
+//   - any throw escaping a worker batch (std::bad_alloc included) is
+//     caught at the batch boundary; every affected job is answered
+//     `ERR internal ...` and every promise is always fulfilled.
 //
 // A connection is strict request-response lockstep: the reader blocks
 // on the job's future before reading the next line, so per-connection
 // ordering is trivial and backpressure is the client's own pipeline
-// depth. PING/QUIT/STATS short-circuit in the connection thread (no
-// table work to batch).
+// depth. PING/QUIT/STATS/SWAP and cache hits short-circuit in the
+// connection thread (no table work to batch).
 //
 // Telemetry (all under serve.*, exported like every other subsystem):
-// queries/errors/connections counters, queue_depth + active_connections
-// gauges, batch_size and query_ns histograms (the bench's p50/p99
-// source).
+// queries/errors/connections counters, accept_errors /
+// rejected_connections / idle_timeouts counters, swap.{count,errors} +
+// swap.load_ns, cache.{hits,misses,evictions}, queue_depth +
+// active_connections gauges, batch_size and query_ns histograms.
 #pragma once
 
 #include <atomic>
@@ -38,10 +63,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "serve/listener.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/serve_options.h"
 
 namespace parahash::serve {
@@ -54,9 +82,10 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  /// Binds the socket, starts workers and the accept loop. Returns
-  /// once the daemon is accepting connections (callers print their
-  /// readiness line after this).
+  /// Binds every configured listener (AF_UNIX socket_path, TCP
+  /// listen), starts workers and the accept loops. Returns once the
+  /// daemon is accepting connections (callers print their readiness
+  /// line after this).
   void start();
 
   /// Stops accepting, drains in-flight requests, joins every thread
@@ -69,44 +98,111 @@ class Daemon {
   const std::string& socket_path() const noexcept {
     return options_.socket_path;
   }
-  const QueryEngine& engine() const noexcept { return *engine_; }
+  /// The TCP port actually bound (resolves a requested port 0); 0 when
+  /// no TCP listener is configured or the daemon is not started.
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
   std::uint64_t queries_served() const noexcept {
     return queries_served_.load(std::memory_order_relaxed);
   }
 
+  // ----------------------------------------------------- hot swap
+  /// Publishes a new snapshot as generation N+1 and invalidates the
+  /// hot-result cache. In-flight batches finish on the old generation;
+  /// the old engine is released when the last batch pinning it
+  /// completes. Returns the new generation. Thread-safe.
+  std::uint64_t swap_engine(std::unique_ptr<QueryEngine> engine);
+
+  /// Loads a .phdg graph file (serve::load_engine_from_graph) and
+  /// swaps to it. The load runs on the calling thread — the SWAP verb
+  /// executes it on the requesting connection's thread, never a query
+  /// worker, so serving continues throughout. Throws on load failure
+  /// (the current snapshot stays live).
+  std::uint64_t swap_from_path(const std::string& path);
+
+  /// Load factor for snapshots rebuilt by swap_from_path.
+  void set_swap_alpha(double alpha) noexcept { swap_alpha_ = alpha; }
+
+  std::uint64_t generation() const;
+  std::uint64_t swaps() const noexcept {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------- observability hooks
+  /// Open connections right now (test + STATS surface).
+  std::size_t open_connections() const;
+  /// Connection-thread handles currently tracked (the reaping
+  /// regression test asserts this does not grow with served-and-gone
+  /// connections).
+  std::size_t tracked_connection_threads() const;
+  std::uint64_t accept_errors() const noexcept {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One immutable generation of the serving state. Workers pin it
+  /// (shared_ptr copy) for the duration of a batch.
+  struct Snapshot {
+    std::shared_ptr<QueryEngine> engine;
+    std::uint64_t generation = 1;
+  };
+
   struct Job {
     Request request;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void accept_loop();
-  void connection_loop(int fd);
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  std::shared_ptr<const Snapshot> current_snapshot() const;
+  std::uint64_t publish_snapshot(std::shared_ptr<QueryEngine> engine);
+
+  void accept_loop(std::size_t listener_index);
+  /// Registers fd and spawns its reader; enforces max_connections.
+  void adopt_connection(int fd);
+  /// Joins connection threads whose loops have finished.
+  void reap_finished_locked();
+  void connection_loop(std::uint64_t id, int fd);
   void worker_loop();
   /// Answers one popped batch: merged membership pass + per-job
-  /// traversals.
+  /// traversals, against one pinned snapshot. Never throws; every
+  /// job's promise is fulfilled.
   void process_batch(std::vector<Job>& jobs);
-  Response handle_traversal(const Request& request);
+  Response handle_traversal(const QueryEngine& engine,
+                            const Request& request);
   Response stats_response() const;
+  Response swap_response(const Request& request);
 
-  std::unique_ptr<QueryEngine> engine_;
   ServeOptions options_;
+  double swap_alpha_ = 0.7;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  ResultCache cache_;
 
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
+  std::vector<Listener> listeners_;
+  std::size_t tcp_listener_ = SIZE_MAX;  ///< index into listeners_
+  std::uint16_t tcp_port_ = 0;
+  std::vector<std::thread> accept_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex conn_mutex_;
-  std::vector<int> client_fds_;  ///< open connections (for shutdown)
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mutex_;
+  std::uint64_t next_conn_id_ = 0;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::vector<std::uint64_t> finished_;  ///< ids ready to reap
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
 
   std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
 };
 
 }  // namespace parahash::serve

@@ -1,0 +1,243 @@
+// One listening endpoint for the query daemon, abstracting the two
+// transports behind a single bind/accept/close surface:
+//
+//   Listener::bind_unix("parahash.sock", backlog)   AF_UNIX stream
+//   Listener::bind_tcp("127.0.0.1:4100", backlog)   TCP (IPv4)
+//
+// Both speak the exact same protocol.h byte stream once accepted — the
+// daemon runs one accept loop per listener and every connection joins
+// the same shared batching queue, so the transport choice is invisible
+// past accept(). TCP binds parse "host:port" ("" or "0.0.0.0" host =
+// any interface, "localhost" = loopback); port 0 picks an ephemeral
+// port, readable back via bound_port() for tests and the bench.
+//
+// Accept failures are classified by is_transient_accept_error(): a
+// client that aborted its connect (ECONNABORTED), fd exhaustion
+// (EMFILE/ENFILE) or transient kernel memory pressure must NOT stop
+// the accept loop — the daemon backs off and keeps accepting, exiting
+// only on shutdown.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace parahash::serve {
+
+/// True for accept() errnos that a server must ride out rather than
+/// treat as a dead listen socket: connection aborts, fd exhaustion and
+/// kernel buffer pressure all clear on their own (or when a client
+/// disconnects), while e.g. EBADF/EINVAL mean the socket is gone.
+inline bool is_transient_accept_error(int err) noexcept {
+  switch (err) {
+    case ECONNABORTED:  // client gave up between SYN and accept
+    case EMFILE:        // per-process fd limit (load shed, retry)
+    case ENFILE:        // system-wide fd limit
+    case ENOBUFS:       // transient kernel buffer exhaustion
+    case ENOMEM:
+    case EPERM:         // firewall rules can bounce single accepts
+#ifdef EPROTO
+    case EPROTO:        // protocol error on one incoming connection
+#endif
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close_and_cleanup(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept { *this = std::move(other); }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      close_and_cleanup();
+      fd_ = std::exchange(other.fd_, -1);
+      is_unix_ = other.is_unix_;
+      address_ = std::move(other.address_);
+      unlink_path_ = std::move(other.unlink_path_);
+      bound_port_ = other.bound_port_;
+    }
+    return *this;
+  }
+
+  /// Binds an AF_UNIX stream socket, unlinking a stale socket file
+  /// from a previous run first. Throws IoError.
+  static Listener bind_unix(const std::string& path, int backlog) {
+    PARAHASH_CHECK_MSG(!path.empty(), "empty socket path");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PARAHASH_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                       "socket path too long for AF_UNIX");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Listener listener;
+    listener.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener.fd_ < 0) {
+      throw IoError("serve: socket() failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listener.fd_, backlog) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(listener.fd_);
+      listener.fd_ = -1;
+      throw IoError("serve: cannot listen on " + path + ": " + why);
+    }
+    listener.is_unix_ = true;
+    listener.address_ = path;
+    listener.unlink_path_ = path;
+    return listener;
+  }
+
+  /// Binds a TCP (IPv4) socket from a "host:port" spec. Host "" or
+  /// "0.0.0.0" binds every interface, "localhost" the loopback; port 0
+  /// picks an ephemeral port (see bound_port()). Throws IoError /
+  /// InvalidArgumentError.
+  static Listener bind_tcp(const std::string& host_port, int backlog) {
+    const auto [host, port] = parse_host_port(host_port);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host.empty() || host == "0.0.0.0") {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else {
+      const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+      if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+        throw InvalidArgumentError("serve: bad listen host '" + host +
+                                   "' (IPv4 dotted quad or localhost)");
+      }
+    }
+
+    Listener listener;
+    listener.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener.fd_ < 0) {
+      throw IoError("serve: socket() failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listener.fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listener.fd_, backlog) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(listener.fd_);
+      listener.fd_ = -1;
+      throw IoError("serve: cannot listen on " + host_port + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener.fd_,
+                      reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      listener.bound_port_ = ntohs(bound.sin_port);
+    }
+    listener.is_unix_ = false;
+    listener.address_ =
+        (host.empty() ? "0.0.0.0" : host) + ':' +
+        std::to_string(listener.bound_port_);
+    return listener;
+  }
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  bool is_unix() const noexcept { return is_unix_; }
+  /// Human-readable endpoint ("path" or "host:port" after resolution).
+  const std::string& address() const noexcept { return address_; }
+  /// The kernel-assigned port for TCP binds (equals the requested port
+  /// unless it was 0); 0 for AF_UNIX.
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+  /// Accepts one connection and applies per-connection socket options:
+  /// TCP_NODELAY (the protocol is lockstep request/response — Nagle
+  /// would serialize it at RTT granularity) and an SO_RCVTIMEO idle
+  /// timeout when one is configured. Returns -1 with errno set on
+  /// failure, exactly like accept(2).
+  int accept_client(double idle_timeout_seconds) const {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) return fd;
+    if (!is_unix_) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (idle_timeout_seconds > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(idle_timeout_seconds);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (idle_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    return fd;
+  }
+
+  /// Wakes a blocked accept() so its loop can observe shutdown.
+  void interrupt() const noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  /// Closes the socket and removes the AF_UNIX socket file.
+  void close_and_cleanup() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (!unlink_path_.empty()) {
+      ::unlink(unlink_path_.c_str());
+      unlink_path_.clear();
+    }
+  }
+
+  /// Splits "host:port" on the last colon ("4100" alone means every
+  /// interface on that port). Throws InvalidArgumentError.
+  static std::pair<std::string, std::uint16_t> parse_host_port(
+      const std::string& spec) {
+    const std::size_t colon = spec.rfind(':');
+    const std::string host =
+        colon == std::string::npos ? std::string() : spec.substr(0, colon);
+    const std::string port_str =
+        colon == std::string::npos ? spec : spec.substr(colon + 1);
+    if (port_str.empty()) {
+      throw InvalidArgumentError("serve: listen spec '" + spec +
+                                 "' has no port");
+    }
+    unsigned long port = 0;
+    for (char c : port_str) {
+      if (c < '0' || c > '9') {
+        throw InvalidArgumentError("serve: bad port in listen spec '" +
+                                   spec + "'");
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) {
+        throw InvalidArgumentError("serve: port out of range in '" +
+                                   spec + "'");
+      }
+    }
+    return {host, static_cast<std::uint16_t>(port)};
+  }
+
+ private:
+  int fd_ = -1;
+  bool is_unix_ = true;
+  std::string address_;
+  std::string unlink_path_;  ///< socket file to remove on close
+  std::uint16_t bound_port_ = 0;
+};
+
+}  // namespace parahash::serve

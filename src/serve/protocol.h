@@ -10,6 +10,7 @@
 //   BFS   <kmer> <radius> [min_weight] bounded-radius neighbourhood
 //   GFA   <kmer> <radius> [min_weight] neighbourhood as GFA1 text
 //   STATS                              snapshot + serving counters
+//   SWAP  <path>                       hot-swap to a new .phdg snapshot
 //   QUIT                               close this connection
 //
 // Every response has a uniform shape, so one client loop handles all
@@ -21,8 +22,18 @@
 // Payloads: FIND returns `1 <coverage> <e0> ... <e7>` or `0`; MFIND
 // one line of space-separated 0/1 bits in operand order; NEIGH one
 // canonical kmer per line; BFS `<kmer> <depth> <coverage>` rows; GFA
-// raw GFA1 lines; STATS a single JSON object. Kmers are plain ACGT
-// strings of the snapshot's k; anything else is an ERR, never a crash.
+// raw GFA1 lines; STATS a single JSON object; SWAP one line
+// `generation <g> vertices <n>` once the new snapshot is live. Kmers
+// are plain ACGT strings of the snapshot's k; anything else is an ERR,
+// never a crash.
+//
+// SWAP is the hot-swap admin verb: the daemon loads the named .phdg
+// file into a generation-N+1 snapshot while generation N keeps
+// serving, then publishes it between batches — in-flight queries
+// finish on N, no request is dropped, and the hot-result cache is
+// invalidated wholesale. There is no authentication: the verb is meant
+// for the daemon's own --watch poller and trusted local operators
+// (same trust model as the socket itself).
 #pragma once
 
 #include <string>
@@ -39,6 +50,7 @@ enum class Verb {
   kBfs,
   kGfa,
   kStats,
+  kSwap,
   kQuit,
   kInvalid,
 };
@@ -86,6 +98,7 @@ inline Request parse_request(std::string_view line) {
   else if (verb == "BFS") want(Verb::kBfs, 2, 3);
   else if (verb == "GFA") want(Verb::kGfa, 2, 3);
   else if (verb == "STATS") want(Verb::kStats, 0, 0);
+  else if (verb == "SWAP") want(Verb::kSwap, 1, 1);
   else if (verb == "QUIT") want(Verb::kQuit, 0, 0);
   else req.error = "unknown verb '" + verb + "'";
   return req;

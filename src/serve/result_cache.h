@@ -1,0 +1,152 @@
+// Hot-result cache for the query daemon: a sharded LRU over rendered
+// traversal responses.
+//
+// Traversals (NEIGH/BFS/GFA) are the expensive verbs — a BFS walks the
+// snapshot vertex by vertex while a FIND is one batched probe — and
+// real query streams hit the same few neighbourhoods over and over
+// (a genome browser panning, an assembler polishing one region). The
+// cache keys the fully rendered Response on
+//
+//   (snapshot generation, verb, raw argument string)
+//
+// so a hit skips the queue entirely: the connection thread answers
+// from the cache without waking a worker. Including the generation in
+// the key means a swapped-in snapshot can never be answered with the
+// old graph's payload; on top of that the daemon calls clear() at swap
+// time so the dead generation's entries release their memory at once
+// instead of aging out.
+//
+// Sharding: the key hash picks one of `shards` independent LRUs, each
+// behind its own mutex, so concurrent connection threads rarely
+// contend. Capacity is per-cache (split evenly across shards) and
+// counted in entries; eviction is strict LRU within a shard.
+//
+// Telemetry: serve.cache.{hits,misses,evictions} counters, exported
+// through the global registry like every other serve.* instrument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/telemetry.h"
+
+namespace parahash::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` total entries across `shards` LRUs; capacity 0
+  /// disables the cache (lookup always misses, insert is a no-op).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8)
+      : capacity_(capacity) {
+    if (shards == 0) shards = 1;
+    if (capacity_ > 0 && shards > capacity_) shards = capacity_;
+    const std::size_t per_shard =
+        capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// Builds the cache key for a request against one snapshot
+  /// generation. Only traversal verbs are cacheable: membership verbs
+  /// are already one batched probe, and PING/STATS/SWAP are dynamic.
+  static bool cacheable(Verb verb) noexcept {
+    return verb == Verb::kNeigh || verb == Verb::kBfs || verb == Verb::kGfa;
+  }
+  static std::string key(std::uint64_t generation, const Request& request) {
+    std::string key = std::to_string(generation);
+    key += '|';
+    key += std::to_string(static_cast<int>(request.verb));
+    for (const std::string& arg : request.args) {
+      key += '|';
+      key += arg;
+    }
+    return key;
+  }
+
+  std::optional<Response> lookup(const std::string& key) {
+    if (capacity_ == 0) return std::nullopt;
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      telemetry::counter("serve.cache.misses").add(1);
+      return std::nullopt;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    telemetry::counter("serve.cache.hits").add(1);
+    return it->second->response;
+  }
+
+  void insert(const std::string& key, const Response& response) {
+    if (capacity_ == 0) return;
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->response = response;
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.push_front(Entry{key, response});
+    shard.index[key] = shard.order.begin();
+    while (shard.order.size() > shard.capacity) {
+      shard.index.erase(shard.order.back().key);
+      shard.order.pop_back();
+      telemetry::counter("serve.cache.evictions").add(1);
+    }
+  }
+
+  /// Drops every entry (the swap path: the old generation's results
+  /// can never be served again, so release them now).
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->order.clear();
+      shard->index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->order.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    Response response;
+  };
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+    std::size_t capacity;
+    mutable std::mutex mutex;
+    std::list<Entry> order;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace parahash::serve

@@ -10,9 +10,33 @@
 namespace parahash::serve {
 
 struct ServeOptions {
-  /// AF_UNIX socket path the daemon listens on. The daemon unlinks a
-  /// stale socket file at bind time and removes its own on shutdown.
+  /// AF_UNIX socket path the daemon listens on ("" = no unix
+  /// listener). The daemon unlinks a stale socket file at bind time
+  /// and removes its own on shutdown.
   std::string socket_path = "parahash.sock";
+
+  /// TCP "host:port" to additionally listen on ("" = no TCP listener;
+  /// port 0 = kernel-assigned ephemeral port, see
+  /// Daemon::tcp_port()). Both transports speak the same protocol
+  /// through one shared accept/connection/worker path.
+  std::string listen;
+
+  /// Ceiling on simultaneously open connections across both
+  /// transports; one past the ceiling is answered `ERR server busy`
+  /// and closed (0 = unlimited).
+  int max_connections = 256;
+
+  /// Per-connection idle timeout: a connection that sends no request
+  /// for this long is closed (0 = never). Enforced with SO_RCVTIMEO,
+  /// so fractions of a second work.
+  double idle_timeout_seconds = 0;
+
+  /// Hot-result LRU over rendered NEIGH/BFS/GFA responses, keyed on
+  /// (snapshot generation, verb, args): total entries across
+  /// `cache_shards` independently locked shards (0 entries = cache
+  /// off). Invalidated wholesale on snapshot swap.
+  int cache_entries = 0;
+  int cache_shards = 8;
 
   /// Worker threads draining the shared request queue. Each worker
   /// pops up to `max_batch` requests at once and routes every

@@ -82,8 +82,13 @@ Config non_default_config() {
   config.build.min_coverage = 2;
   config.build.accumulate_graph = false;
   config.serve.socket_path = "/tmp/x.sock";
+  config.serve.listen = "127.0.0.1:4100";
   config.serve.worker_threads = 4;
   config.serve.max_batch = 128;
+  config.serve.max_connections = 64;
+  config.serve.idle_timeout_seconds = 30.0;
+  config.serve.cache_entries = 4096;
+  config.serve.cache_shards = 4;
   config.serve.max_bfs_radius = 8;
   config.serve.min_edge_weight = 3;
   config.paths.inputs = {"a.fastq", "b.fastq.gz"};
@@ -106,6 +111,11 @@ TEST(Config, JsonRoundTripIsIdentity) {
   EXPECT_TRUE(back.build.autotune.pin_partitions);
   EXPECT_FALSE(back.build.accumulate_graph);
   EXPECT_EQ(back.serve.max_batch, 128);
+  EXPECT_EQ(back.serve.listen, "127.0.0.1:4100");
+  EXPECT_EQ(back.serve.max_connections, 64);
+  EXPECT_DOUBLE_EQ(back.serve.idle_timeout_seconds, 30.0);
+  EXPECT_EQ(back.serve.cache_entries, 4096);
+  EXPECT_EQ(back.serve.cache_shards, 4);
   EXPECT_EQ(back.paths.inputs.size(), 2u);
   EXPECT_EQ(back.paths.inputs[1], "b.fastq.gz");
 }

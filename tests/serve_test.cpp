@@ -1,10 +1,18 @@
 // Tests for the graph-query serving tier: protocol parsing, the
 // daemon's correctness under many concurrent clients, error replies,
-// and query limits.
+// query limits, crash-proofing (SIGPIPE, worker exceptions, thread
+// reaping, connection ceilings) and the scale-out surface (TCP
+// transport, snapshot hot-swap, hot-result cache).
 #include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -18,12 +26,49 @@
 #include "pipeline/parahash.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/listener.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "sim/read_sim.h"
+#include "util/telemetry.h"
 
 namespace parahash::serve {
 namespace {
+
+/// Builds a small graph from a simulated dataset; `seed` varies the
+/// genome so two builds give genuinely different graphs (the hot-swap
+/// tests need distinguishable generations).
+core::DeBruijnGraph<1> build_graph(io::TempDir& dir, unsigned seed,
+                                   std::vector<std::string>* kmers) {
+  sim::DatasetSpec spec;
+  spec.genome_size = 2000;
+  spec.read_length = 80;
+  spec.coverage = 6.0;
+  spec.lambda = 0.5;
+  spec.seed = seed;
+  const std::string fastq =
+      dir.file("reads_" + std::to_string(seed) + ".fastq");
+  sim::write_dataset(spec, fastq);
+
+  pipeline::Options build;
+  build.msp.k = 21;
+  build.msp.p = 7;
+  build.msp.num_partitions = 4;
+  build.cpu_threads = 2;
+  pipeline::ParaHash<1> system(build);
+  auto [g, report] = system.construct(fastq);
+  if (kmers != nullptr) {
+    g.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
+      kmers->push_back(e.kmer.to_string());
+    });
+  }
+  return std::move(g);
+}
+
+std::unique_ptr<QueryEngine> engine_for(core::DeBruijnGraph<1>& graph) {
+  return make_query_engine<1>(core::FrozenGraph<1>::freeze(graph));
+}
 
 struct ServeFixture {
   io::TempDir dir;
@@ -32,31 +77,9 @@ struct ServeFixture {
   std::unique_ptr<Daemon> daemon;
 
   explicit ServeFixture(ServeOptions options = {}) {
-    sim::DatasetSpec spec;
-    spec.genome_size = 2000;
-    spec.read_length = 80;
-    spec.coverage = 6.0;
-    spec.lambda = 0.5;
-    spec.seed = 33;
-    const std::string fastq = dir.file("reads.fastq");
-    sim::write_dataset(spec, fastq);
-
-    pipeline::Options build;
-    build.msp.k = 21;
-    build.msp.p = 7;
-    build.msp.num_partitions = 4;
-    build.cpu_threads = 2;
-    pipeline::ParaHash<1> system(build);
-    auto [g, report] = system.construct(fastq);
-    graph = std::move(g);
-    graph.for_each_vertex([&](const core::DeBruijnGraph<1>::Entry& e) {
-      kmers.push_back(e.kmer.to_string());
-    });
-
+    graph = build_graph(dir, 33, &kmers);
     options.socket_path = dir.file("serve_test.sock");
-    daemon = std::make_unique<Daemon>(
-        make_query_engine<1>(core::FrozenGraph<1>::freeze(graph)),
-        options);
+    daemon = std::make_unique<Daemon>(engine_for(graph), options);
     daemon->start();
   }
 
@@ -75,12 +98,41 @@ TEST(ServeProtocol, ParsesVerbsAndRejectsBadOperandCounts) {
   EXPECT_EQ(parse_request("MFIND A C G").args.size(), 3u);
   EXPECT_EQ(parse_request("BFS ACGT 3").verb, Verb::kBfs);
   EXPECT_EQ(parse_request("BFS ACGT 3 2").verb, Verb::kBfs);
+  EXPECT_EQ(parse_request("SWAP /tmp/g.phdg").verb, Verb::kSwap);
 
   EXPECT_EQ(parse_request("").verb, Verb::kInvalid);
   EXPECT_EQ(parse_request("FIND").verb, Verb::kInvalid);
   EXPECT_EQ(parse_request("FIND A B").verb, Verb::kInvalid);
   EXPECT_EQ(parse_request("BFS ACGT").verb, Verb::kInvalid);
+  EXPECT_EQ(parse_request("SWAP").verb, Verb::kInvalid);
   EXPECT_EQ(parse_request("FROB X").verb, Verb::kInvalid);
+}
+
+TEST(ServeListener, ClassifiesTransientAcceptErrnos) {
+  // The satellite regression: these must NOT stop the accept loop.
+  EXPECT_TRUE(is_transient_accept_error(ECONNABORTED));
+  EXPECT_TRUE(is_transient_accept_error(EMFILE));
+  EXPECT_TRUE(is_transient_accept_error(ENFILE));
+  EXPECT_TRUE(is_transient_accept_error(ENOBUFS));
+  EXPECT_TRUE(is_transient_accept_error(ENOMEM));
+  // These mean the listen socket itself is gone.
+  EXPECT_FALSE(is_transient_accept_error(EBADF));
+  EXPECT_FALSE(is_transient_accept_error(EINVAL));
+  EXPECT_FALSE(is_transient_accept_error(ENOTSOCK));
+}
+
+TEST(ServeListener, ParsesHostPortSpecs) {
+  EXPECT_EQ(Listener::parse_host_port("127.0.0.1:4100"),
+            (std::pair<std::string, std::uint16_t>{"127.0.0.1", 4100}));
+  EXPECT_EQ(Listener::parse_host_port("4100"),
+            (std::pair<std::string, std::uint16_t>{"", 4100}));
+  EXPECT_EQ(Listener::parse_host_port("localhost:0"),
+            (std::pair<std::string, std::uint16_t>{"localhost", 0}));
+  EXPECT_THROW(Listener::parse_host_port("host:"), InvalidArgumentError);
+  EXPECT_THROW(Listener::parse_host_port("host:70000"),
+               InvalidArgumentError);
+  EXPECT_THROW(Listener::parse_host_port("host:12x"),
+               InvalidArgumentError);
 }
 
 TEST(ServeDaemon, AnswersPointAndBatchedLookups) {
@@ -233,6 +285,492 @@ TEST(ServeDaemon, StopIsIdempotentAndRemovesSocket) {
   f->daemon->stop();
   f->daemon->stop();
   EXPECT_FALSE(std::ifstream(socket_path).good());
+}
+
+// ------------------------------------------------- crash-proofing
+
+TEST(ServeDaemon, SurvivesClientDisconnectMidResponse) {
+  // The SIGPIPE regression: a client that pipelines traversal requests
+  // and vanishes without reading leaves the daemon writing into a
+  // closed socket. Before MSG_NOSIGNAL that raised SIGPIPE and killed
+  // the whole process; now it is a clean connection close and every
+  // other client keeps being served.
+  const ServeFixture f;
+
+  for (int round = 0; round < 3; ++round) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string& path = f.daemon->socket_path();
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    // Pipeline a stack of big traversals, then slam the door without
+    // reading a byte: at least one response write hits a dead peer.
+    std::string burst;
+    for (int i = 0; i < 64; ++i) {
+      burst += "BFS " + f.kmers[static_cast<std::size_t>(i) %
+                                f.kmers.size()] + " 8\n";
+    }
+    ASSERT_GT(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL), 0);
+    ::close(fd);
+
+    // The daemon must still be alive and serving.
+    Client client = f.connect();
+    EXPECT_TRUE(client.ping());
+    EXPECT_TRUE(client.find(f.kmers.front()));
+  }
+}
+
+/// A query engine whose table calls blow up with a non-parahash
+/// exception — the shape of a std::bad_alloc or future_error escaping
+/// the engine mid-batch.
+class ThrowingEngine final : public QueryEngine {
+ public:
+  int k() const override { return 21; }
+  int p() const override { return 7; }
+  std::uint32_t num_partitions() const override { return 1; }
+  std::uint64_t num_vertices() const override { return 0; }
+  std::uint64_t memory_bytes() const override { return 0; }
+  bool valid_kmer(const std::string& kmer) const override {
+    return kmer.size() == 21;
+  }
+  FindResult find(const std::string&) const override {
+    throw std::runtime_error("engine exploded");
+  }
+  void find_many(std::span<const std::string>,
+                 std::vector<FindResult>&) const override {
+    throw std::runtime_error("engine exploded");
+  }
+  std::vector<std::string> neighbors(const std::string&,
+                                     std::uint32_t) const override {
+    throw std::runtime_error("engine exploded");
+  }
+  std::vector<BfsRow> bfs(const std::string&, int, std::uint32_t,
+                          std::uint64_t) const override {
+    throw std::runtime_error("engine exploded");
+  }
+  std::string gfa(const std::string&, int, std::uint32_t,
+                  std::uint64_t) const override {
+    throw std::runtime_error("engine exploded");
+  }
+};
+
+TEST(ServeDaemon, WorkerExceptionsAnswerErrInternalNotTerminate) {
+  // A throw escaping process_batch used to propagate out of
+  // worker_loop and std::terminate the daemon. Now it is caught at the
+  // batch boundary: every affected job gets `ERR internal ...`, every
+  // promise is fulfilled, and the daemon keeps serving.
+  io::TempDir dir;
+  ServeOptions options;
+  options.socket_path = dir.file("throwing.sock");
+  Daemon daemon(std::make_unique<ThrowingEngine>(), options);
+  daemon.start();
+
+  Client client;
+  client.connect(daemon.socket_path());
+  const std::string kmer(21, 'A');
+
+  // FIND routes through the merged find_many pass.
+  ClientReply reply = client.request("FIND " + kmer);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("internal"), std::string::npos)
+      << reply.error;
+
+  // NEIGH routes through the per-job traversal path.
+  reply = client.request("NEIGH " + kmer);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("internal"), std::string::npos)
+      << reply.error;
+
+  // The daemon survived both and still answers.
+  EXPECT_TRUE(client.ping());
+  daemon.stop();
+}
+
+TEST(ServeDaemon, ReapsFinishedConnectionThreads) {
+  // The thread-leak regression: conn_threads_ used to grow by one
+  // std::thread per connection ever accepted, until stop(). Sequential
+  // connect/QUIT cycles must leave the tracked-handle count bounded.
+  const ServeFixture f;
+
+  const int cycles = 24;
+  for (int i = 0; i < cycles; ++i) {
+    Client client = f.connect();
+    EXPECT_TRUE(client.ping());
+    client.request("QUIT");
+    client.close();
+    // Give the connection thread a moment to finish its loop so the
+    // next accept's reap sees it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // One more connection triggers a reap of everything finished above.
+  Client client = f.connect();
+  EXPECT_TRUE(client.ping());
+  EXPECT_LE(f.daemon->tracked_connection_threads(), 4u)
+      << "daemon is leaking one thread handle per served connection";
+}
+
+TEST(ServeDaemon, ShedsConnectionsAboveCeiling) {
+  ServeOptions options;
+  options.max_connections = 2;
+  const ServeFixture f(options);
+
+  Client a = f.connect();
+  Client b = f.connect();
+  EXPECT_TRUE(a.ping());
+  EXPECT_TRUE(b.ping());
+
+  // The third connection is answered `ERR server busy` and closed.
+  // Read the rejection with a raw socket: sending a request first can
+  // race the server's close into an RST that discards the reply.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string& path = f.daemon->socket_path();
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string rejection;
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    rejection.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(rejection.find("ERR server busy"), std::string::npos)
+      << rejection;
+
+  // Freeing a slot lets the next connection in.
+  a.request("QUIT");
+  a.close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client d = f.connect();
+  EXPECT_TRUE(d.ping());
+}
+
+TEST(ServeDaemon, IdleTimeoutClosesSilentConnections) {
+  ServeOptions options;
+  options.idle_timeout_seconds = 0.2;
+  const ServeFixture f(options);
+
+  const std::uint64_t timeouts_before =
+      telemetry::counter("serve.idle_timeouts").value();
+  Client client = f.connect();
+  EXPECT_TRUE(client.ping());
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  // The daemon closed the idle connection; the next request fails.
+  EXPECT_THROW(client.request("PING"), IoError);
+  EXPECT_GE(telemetry::counter("serve.idle_timeouts").value(),
+            timeouts_before + 1);
+
+  // A fresh connection that keeps talking is unaffected.
+  Client busy = f.connect();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(busy.ping());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// ------------------------------------------------------ transport
+
+TEST(ServeDaemon, TcpTransportSpeaksTheSameProtocol) {
+  ServeOptions options;
+  options.listen = "127.0.0.1:0";  // ephemeral port
+  const ServeFixture f(options);
+  ASSERT_NE(f.daemon->tcp_port(), 0);
+
+  Client client;
+  client.connect_tcp("127.0.0.1", f.daemon->tcp_port());
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.find(f.kmers.front()));
+  std::vector<std::string> batch(f.kmers.begin(),
+                                 f.kmers.begin() +
+                                     std::min<std::size_t>(
+                                         32, f.kmers.size()));
+  const std::vector<bool> bits = client.find_many(batch);
+  ASSERT_EQ(bits.size(), batch.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_TRUE(bits[i]) << batch[i];
+  }
+
+  // The "tcp:host:port" target form dials the same listener, and both
+  // transports serve the same snapshot concurrently.
+  Client via_target;
+  via_target.connect("tcp:127.0.0.1:" +
+                     std::to_string(f.daemon->tcp_port()));
+  EXPECT_TRUE(via_target.ping());
+  Client unix_client = f.connect();
+  EXPECT_TRUE(unix_client.find(f.kmers.front()));
+}
+
+// ------------------------------------------------------- hot swap
+
+TEST(ServeDaemon, SwapVerbLoadsNewSnapshot) {
+  io::TempDir dir;
+  std::vector<std::string> kmers_a;
+  std::vector<std::string> kmers_b;
+  core::DeBruijnGraph<1> graph_a = build_graph(dir, 33, &kmers_a);
+  core::DeBruijnGraph<1> graph_b = build_graph(dir, 77, &kmers_b);
+  const std::string path_b = dir.file("b.phdg");
+  graph_b.write(path_b);
+
+  // A kmer unique to generation B proves which snapshot answers.
+  std::set<std::string> set_a(kmers_a.begin(), kmers_a.end());
+  std::string only_b;
+  for (const std::string& kmer : kmers_b) {
+    if (!set_a.contains(kmer)) {
+      only_b = kmer;
+      break;
+    }
+  }
+  ASSERT_FALSE(only_b.empty()) << "graphs are identical; bad seeds";
+
+  ServeOptions options;
+  options.socket_path = dir.file("swap.sock");
+  Daemon daemon(engine_for(graph_a), options);
+  daemon.start();
+
+  Client client;
+  client.connect(daemon.socket_path());
+  EXPECT_FALSE(client.find(only_b));
+  EXPECT_EQ(daemon.generation(), 1u);
+
+  EXPECT_EQ(client.swap(path_b), 2u);
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_EQ(daemon.swaps(), 1u);
+  EXPECT_TRUE(client.find(only_b));
+
+  // STATS reports the new generation.
+  const ClientReply stats = client.request("STATS");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_NE(stats.lines[0].find("\"generation\":2"), std::string::npos)
+      << stats.lines[0];
+
+  // A failed swap (missing file) is an ERR and the current snapshot
+  // stays live.
+  const ClientReply bad = client.request("SWAP /does/not/exist.phdg");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_TRUE(client.find(only_b));
+  daemon.stop();
+}
+
+TEST(ServeDaemon, HotSwapUnderLoadNeverDropsOrBlends) {
+  // The hot-swap acceptance test: clients issue FIND/NEIGH/BFS
+  // continuously while the snapshot is swapped many times. Required:
+  // zero failed/dropped queries, every answer consistent with exactly
+  // one generation (never a blend), and the result cache never serves
+  // a stale generation.
+  io::TempDir dir;
+  std::vector<std::string> kmers_a;
+  std::vector<std::string> kmers_b;
+  core::DeBruijnGraph<1> graph_a = build_graph(dir, 33, &kmers_a);
+  core::DeBruijnGraph<1> graph_b = build_graph(dir, 77, &kmers_b);
+
+  // Expected per-generation answers, computed against offline engines
+  // with the daemon's default parameters (min_weight 1, max 4096).
+  const auto engine_a = engine_for(graph_a);
+  const auto engine_b = engine_for(graph_b);
+  std::vector<std::string> probe;  // union sample
+  for (std::size_t i = 0; i < kmers_a.size(); i += 7) {
+    probe.push_back(kmers_a[i]);
+  }
+  for (std::size_t i = 0; i < kmers_b.size(); i += 7) {
+    probe.push_back(kmers_b[i]);
+  }
+  struct Expected {
+    QueryEngine::FindResult find_a, find_b;
+    std::vector<std::string> neigh_a, neigh_b;
+    std::vector<std::string> bfs_a, bfs_b;
+  };
+  const auto bfs_lines = [](const QueryEngine& engine,
+                            const std::string& kmer) {
+    std::vector<std::string> lines;
+    for (const auto& row : engine.bfs(kmer, 2, 1, 4096)) {
+      lines.push_back(row.kmer + ' ' + std::to_string(row.depth) + ' ' +
+                      std::to_string(row.coverage));
+    }
+    return lines;
+  };
+  std::map<std::string, Expected> expected;
+  for (const std::string& kmer : probe) {
+    Expected e;
+    e.find_a = engine_a->find(kmer);
+    e.find_b = engine_b->find(kmer);
+    e.neigh_a = engine_a->neighbors(kmer, 1);
+    e.neigh_b = engine_b->neighbors(kmer, 1);
+    e.bfs_a = bfs_lines(*engine_a, kmer);
+    e.bfs_b = bfs_lines(*engine_b, kmer);
+    expected[kmer] = std::move(e);
+  }
+
+  ServeOptions options;
+  options.socket_path = dir.file("hotswap.sock");
+  options.cache_entries = 256;  // the cache must never serve stale
+  options.worker_threads = 2;
+  Daemon daemon(engine_for(graph_a), options);
+  daemon.start();
+
+  const int clients = 4;
+  const int requests = 240;
+  std::atomic<int> failures{0};
+  std::atomic<int> blends{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client;
+        client.connect(daemon.socket_path());
+        for (int i = 0; i < requests; ++i) {
+          const std::string& kmer =
+              probe[static_cast<std::size_t>(c * 13 + i * 5) %
+                    probe.size()];
+          const Expected& e = expected.at(kmer);
+          switch (i % 3) {
+            case 0: {
+              const ClientReply reply = client.request("FIND " + kmer);
+              if (!reply.ok || reply.lines.empty()) {
+                ++failures;
+                break;
+              }
+              const auto render = [](const QueryEngine::FindResult& r) {
+                if (!r.found) return std::string("0");
+                std::string line = "1 " + std::to_string(r.coverage);
+                for (const std::uint32_t edge : r.edges) {
+                  line += ' ';
+                  line += std::to_string(edge);
+                }
+                return line;
+              };
+              if (reply.lines[0] != render(e.find_a) &&
+                  reply.lines[0] != render(e.find_b)) {
+                ++blends;
+              }
+              break;
+            }
+            case 1: {
+              const ClientReply reply = client.request("NEIGH " + kmer);
+              if (!reply.ok) {
+                ++failures;
+                break;
+              }
+              if (reply.lines != e.neigh_a && reply.lines != e.neigh_b) {
+                ++blends;
+              }
+              break;
+            }
+            default: {
+              const ClientReply reply =
+                  client.request("BFS " + kmer + " 2");
+              if (!reply.ok) {
+                ++failures;
+                break;
+              }
+              if (reply.lines != e.bfs_a && reply.lines != e.bfs_b) {
+                ++blends;
+              }
+              break;
+            }
+          }
+        }
+      } catch (const std::exception&) {
+        failures += requests;  // a dropped connection fails the test
+      }
+    });
+  }
+
+  // Swap generations while the load runs: A -> B -> A -> ... The
+  // engines are rebuilt per swap (FrozenGraph is move-only).
+  const int swaps = 6;
+  for (int s = 0; s < swaps; ++s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    daemon.swap_engine(s % 2 == 0 ? engine_for(graph_b)
+                                  : engine_for(graph_a));
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0) << "queries dropped during hot swap";
+  EXPECT_EQ(blends.load(), 0)
+      << "an answer matched neither generation (cross-generation blend "
+         "or stale cache)";
+  EXPECT_EQ(daemon.generation(), static_cast<std::uint64_t>(1 + swaps));
+
+  // After the final swap (ends on A), the cache must serve generation
+  // A answers — a stale generation-B NEIGH would be a blend above, but
+  // pin it explicitly here too.
+  Client client;
+  client.connect(daemon.socket_path());
+  for (const std::string& kmer : probe) {
+    const ClientReply reply = client.request("NEIGH " + kmer);
+    ASSERT_TRUE(reply.ok);
+    EXPECT_EQ(reply.lines, expected.at(kmer).neigh_a) << kmer;
+  }
+  daemon.stop();
+}
+
+// ---------------------------------------------------------- cache
+
+TEST(ServeResultCache, LruEvictsAndCountsPerGeneration) {
+  ResultCache cache(4, 2);
+  EXPECT_TRUE(cache.enabled());
+  Request request;
+  request.verb = Verb::kNeigh;
+  request.args = {"AAA"};
+  const std::string key_gen1 = ResultCache::key(1, request);
+  const std::string key_gen2 = ResultCache::key(2, request);
+  EXPECT_NE(key_gen1, key_gen2)
+      << "generation must be part of the cache key";
+
+  EXPECT_FALSE(cache.lookup(key_gen1).has_value());
+  cache.insert(key_gen1, Response::one_line("n1"));
+  const auto hit = cache.lookup(key_gen1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->lines[0], "n1");
+  // The other generation's key misses even for the same request.
+  EXPECT_FALSE(cache.lookup(key_gen2).has_value());
+
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(key_gen1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Disabled cache: no-ops.
+  ResultCache off(0);
+  EXPECT_FALSE(off.enabled());
+  off.insert(key_gen1, Response::one_line("x"));
+  EXPECT_FALSE(off.lookup(key_gen1).has_value());
+}
+
+TEST(ServeDaemon, CacheServesRepeatedTraversals) {
+  ServeOptions options;
+  options.cache_entries = 64;
+  const ServeFixture f(options);
+  Client client = f.connect();
+
+  const std::uint64_t hits_before =
+      telemetry::counter("serve.cache.hits").value();
+  const std::string& kmer = f.kmers.front();
+  const ClientReply first = client.request("NEIGH " + kmer);
+  ASSERT_TRUE(first.ok);
+  const ClientReply second = client.request("NEIGH " + kmer);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.lines, second.lines);
+  EXPECT_GE(telemetry::counter("serve.cache.hits").value(),
+            hits_before + 1)
+      << "repeated NEIGH did not hit the hot-result cache";
+
+  // BFS and GFA are cacheable too, and answers stay identical.
+  const ClientReply bfs1 = client.request("BFS " + kmer + " 2");
+  const ClientReply bfs2 = client.request("BFS " + kmer + " 2");
+  ASSERT_TRUE(bfs1.ok);
+  EXPECT_EQ(bfs1.lines, bfs2.lines);
 }
 
 }  // namespace
